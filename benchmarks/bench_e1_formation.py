@@ -1,0 +1,43 @@
+"""E1 — Theorem 2: any pattern, any initial configuration, probability 1.
+
+Sweeps the number of robots and pattern families from random
+general-position starts under the ASYNC adversary, reporting success
+rates and convergence cost.  The theory predicts success 1.0 everywhere
+(n >= 7); the cost should grow with n.
+"""
+
+from repro import FormPattern, patterns
+from repro.analysis import format_table, run_batch
+from repro.scheduler import AsyncScheduler
+
+from .conftest import write_result
+
+SEEDS = list(range(3))
+
+
+def e1_rows():
+    scenarios = [
+        ("n=7 polygon", patterns.regular_polygon(7), 7),
+        ("n=7 random", patterns.random_pattern(7, seed=5), 7),
+        ("n=9 rings", patterns.nested_rings([5, 4]), 9),
+        ("n=10 random", patterns.random_pattern(10, seed=6), 10),
+    ]
+    rows = []
+    for name, pattern, n in scenarios:
+        batch = run_batch(
+            name,
+            lambda pattern=pattern: FormPattern(pattern),
+            lambda seed: AsyncScheduler(seed=seed),
+            lambda seed, n=n: patterns.random_configuration(n, seed=seed),
+            seeds=SEEDS,
+            max_steps=400_000,
+        )
+        rows.append(batch.row())
+    return rows
+
+
+def test_e1_formation(benchmark):
+    rows = benchmark.pedantic(e1_rows, rounds=1, iterations=1)
+    write_result("e1_formation.txt", format_table(rows))
+    for row in rows:
+        assert row["success"] == 1.0, row

@@ -1,0 +1,49 @@
+"""E2 — Lemma 1: the election terminates with probability 1.
+
+Starts from perfectly symmetric configurations (regular n-gons), where
+only the probabilistic election can break the tie, and measures election
+cost as n grows.  The theory gives success probability >= 1/2^(n+1) per
+attempt, repeated until success — so expected coin flips grow with n but
+every run terminates.
+"""
+
+import math
+
+from repro import FormPattern, patterns
+from repro.analysis import format_table, run_batch
+from repro.geometry import Vec2
+from repro.scheduler import RoundRobinScheduler
+
+from .conftest import write_result
+
+SEEDS = list(range(4))
+
+
+def ngon(n):
+    return [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / n) for i in range(n)]
+
+
+def e2_rows():
+    rows = []
+    for n in (7, 8, 10):
+        pattern = patterns.random_pattern(n, seed=5)
+        batch = run_batch(
+            f"n={n} symmetric start",
+            lambda pattern=pattern: FormPattern(pattern),
+            lambda seed: RoundRobinScheduler(),
+            lambda seed, n=n: ngon(n),
+            seeds=SEEDS,
+            max_steps=500_000,
+        )
+        row = batch.row()
+        row["coin_flips_mean"] = round(batch.stat("coin_flips"), 1)
+        rows.append(row)
+    return rows
+
+
+def test_e2_election(benchmark):
+    rows = benchmark.pedantic(e2_rows, rounds=1, iterations=1)
+    write_result("e2_election.txt", format_table(rows))
+    for row in rows:
+        assert row["success"] == 1.0, row
+        assert row["bits_per_cycle"] <= 1.0

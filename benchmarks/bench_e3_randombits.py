@@ -1,0 +1,63 @@
+"""E3 — the randomness budget: one bit per cycle vs continuous draws.
+
+The paper's algorithm uses at most one random bit per robot per cycle;
+the Yamauchi-Yamashita-style baseline draws continuous values (64 bits
+each) and needs chirality.  Both are raced from identical symmetric
+starts; the table reports the measured budgets.
+"""
+
+import math
+
+from repro import FormPattern, YamauchiYamashita, patterns
+from repro.analysis import format_table, run_batch
+from repro.geometry import Vec2
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import chirality_frames
+
+from .conftest import write_result
+
+SEEDS = list(range(3))
+N = 7
+
+
+def ngon(n):
+    return [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / n) for i in range(n)]
+
+
+def e3_rows():
+    pattern = patterns.random_pattern(N, seed=5)
+    rows = []
+    ours = run_batch(
+        "formPattern (1 bit/flip, no chirality)",
+        lambda: FormPattern(pattern),
+        lambda seed: RoundRobinScheduler(),
+        lambda seed: ngon(N),
+        seeds=SEEDS,
+        max_steps=400_000,
+    )
+    theirs = run_batch(
+        "YY-style (64-bit draws, chirality)",
+        lambda: YamauchiYamashita(pattern),
+        lambda seed: RoundRobinScheduler(),
+        lambda seed: ngon(N),
+        seeds=SEEDS,
+        frame_policy=chirality_frames(),
+        max_steps=400_000,
+    )
+    for batch in (ours, theirs):
+        row = batch.row()
+        row["bits_mean"] = round(batch.stat("random_bits"), 1)
+        row["float_draws"] = round(batch.stat("float_draws"), 1)
+        rows.append(row)
+    return rows
+
+
+def test_e3_random_bits(benchmark):
+    rows = benchmark.pedantic(e3_rows, rounds=1, iterations=1)
+    write_result("e3_randombits.txt", format_table(rows))
+    ours, theirs = rows
+    assert ours["success"] == 1.0
+    assert ours["bits_per_cycle"] <= 1.0
+    # The baseline must burn at least an order of magnitude more bits.
+    assert theirs["bits_mean"] >= 64
+    assert ours["float_draws"] == 0

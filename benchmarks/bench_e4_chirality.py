@@ -1,0 +1,52 @@
+"""E4 — no common North, no common chirality.
+
+Runs the paper's algorithm and the shared-frame deterministic baseline
+under three frame regimes.  Expected shape: the baseline only succeeds
+with a shared global frame; the paper's algorithm succeeds everywhere.
+"""
+
+from repro import FormPattern, GlobalFrameFormation, patterns
+from repro.analysis import format_table, run_batch
+from repro.scheduler import SsyncScheduler
+from repro.sim import chirality_frames, global_frames, random_frames
+
+from .conftest import write_result
+
+SEEDS = list(range(3))
+N = 7
+
+
+def e4_rows():
+    pattern = patterns.random_pattern(N, seed=1)
+    regimes = [
+        ("global frames", global_frames()),
+        ("chirality only", chirality_frames()),
+        ("no chirality", random_frames()),
+    ]
+    rows = []
+    for regime, policy in regimes:
+        for name, factory, budget in (
+            ("baseline", lambda: GlobalFrameFormation(pattern), 60_000),
+            ("formPattern", lambda: FormPattern(pattern), 400_000),
+        ):
+            batch = run_batch(
+                f"{name} / {regime}",
+                factory,
+                lambda seed: SsyncScheduler(seed=seed),
+                lambda seed: patterns.random_configuration(N, seed=seed),
+                seeds=SEEDS,
+                frame_policy=policy,
+                max_steps=budget,
+            )
+            rows.append(batch.row())
+    return rows
+
+
+def test_e4_chirality(benchmark):
+    rows = benchmark.pedantic(e4_rows, rounds=1, iterations=1)
+    write_result("e4_chirality.txt", format_table(rows))
+    by_name = {r["scenario"]: r for r in rows}
+    assert by_name["baseline / global frames"]["success"] == 1.0
+    assert by_name["baseline / no chirality"]["success"] < 1.0
+    assert by_name["formPattern / no chirality"]["success"] == 1.0
+    assert by_name["formPattern / chirality only"]["success"] == 1.0

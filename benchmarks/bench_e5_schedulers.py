@@ -1,0 +1,57 @@
+"""E5 — full asynchrony: scheduler and δ sweep.
+
+FSYNC ⊂ SSYNC ⊂ ASYNC: the algorithm must succeed under all of them —
+including an aggressive ASYNC adversary that pauses robots mid-move (the
+behaviour Yamauchi-Yamashita rule out by assumption) — with cost growing
+as the adversary gets crueler and δ smaller.
+"""
+
+from repro import FormPattern, patterns
+from repro.analysis import format_table, run_batch
+from repro.scheduler import (
+    AsyncScheduler,
+    FsyncScheduler,
+    RoundRobinScheduler,
+    SsyncScheduler,
+)
+
+from .conftest import write_result
+
+SEEDS = list(range(3))
+N = 7
+
+
+def e5_rows():
+    pattern = patterns.regular_polygon(N)
+    scenarios = [
+        ("FSYNC", lambda s: FsyncScheduler(), 1e-3),
+        ("ROUND-ROBIN", lambda s: RoundRobinScheduler(), 1e-3),
+        ("SSYNC", lambda s: SsyncScheduler(seed=s), 1e-3),
+        ("SSYNC trunc", lambda s: SsyncScheduler(seed=s, truncate_prob=0.5), 1e-3),
+        ("ASYNC", lambda s: AsyncScheduler(seed=s), 1e-3),
+        ("ASYNC aggressive", lambda s: AsyncScheduler.aggressive(s), 1e-3),
+        ("ASYNC agg, delta=1e-4", lambda s: AsyncScheduler.aggressive(s), 1e-4),
+        ("ASYNC agg, delta=0.1", lambda s: AsyncScheduler.aggressive(s), 1e-1),
+    ]
+    rows = []
+    for name, factory, delta in scenarios:
+        batch = run_batch(
+            name,
+            lambda: FormPattern(pattern),
+            factory,
+            lambda seed: patterns.random_configuration(N, seed=seed + 30),
+            seeds=SEEDS,
+            max_steps=500_000,
+            delta=delta,
+        )
+        row = batch.row()
+        row["steps_mean"] = round(batch.stat("steps"), 0)
+        rows.append(row)
+    return rows
+
+
+def test_e5_schedulers(benchmark):
+    rows = benchmark.pedantic(e5_rows, rounds=1, iterations=1)
+    write_result("e5_schedulers.txt", format_table(rows))
+    for row in rows:
+        assert row["success"] == 1.0, row

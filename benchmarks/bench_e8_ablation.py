@@ -1,0 +1,70 @@
+"""E8 — ablation of the ψ_RSB constants.
+
+The paper fixes the committed shift at 1/8, the descent shift at 1/4 and
+the election threshold at 7/8 without justifying the exact values.  This
+experiment sweeps them within their admissible ranges (Definition 3
+bounds enforced by :class:`repro.algorithms.Tuning`) from symmetric
+starts, showing the algorithm is correct across the range and how the
+constants trade election speed against movement.
+"""
+
+import math
+
+from repro import FormPattern, patterns
+from repro.algorithms import Tuning
+from repro.analysis import format_table, run_batch
+from repro.geometry import Vec2
+from repro.scheduler import RoundRobinScheduler
+
+from .conftest import write_result
+
+SEEDS = list(range(3))
+N = 7
+
+
+def ngon(n):
+    return [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / n) for i in range(n)]
+
+
+def e8_rows():
+    pattern = patterns.random_pattern(N, seed=5)
+    variants = [
+        ("paper defaults (1/8, 1/4, 7/8)", Tuning()),
+        ("small shifts (1/16, 3/16)", Tuning(shift_small=1 / 16, shift_big=3 / 16)),
+        ("wide shifts (3/16, 1/4)", Tuning(shift_small=3 / 16, shift_big=1 / 4)),
+        ("eager election (3/4)", Tuning(elect_threshold=0.75)),
+        ("timid election (15/16)", Tuning(elect_threshold=15 / 16)),
+        ("small away cap (1/14)", Tuning(away_cap=1 / 14)),
+    ]
+    rows = []
+    for name, tuning in variants:
+        batch = run_batch(
+            name,
+            lambda tuning=tuning: FormPattern(pattern, tuning=tuning),
+            lambda seed: RoundRobinScheduler(),
+            lambda seed: ngon(N),
+            seeds=SEEDS,
+            max_steps=500_000,
+        )
+        row = batch.row()
+        row["coin_flips_mean"] = round(batch.stat("coin_flips"), 1)
+        rows.append(row)
+    return rows
+
+
+def test_e8_ablation(benchmark):
+    rows = benchmark.pedantic(e8_rows, rounds=1, iterations=1)
+    write_result("e8_ablation.txt", format_table(rows))
+    for row in rows:
+        assert row["success"] == 1.0, row
+
+
+def test_e8_invalid_tunings_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Tuning(shift_small=0.3, shift_big=0.2)
+    with pytest.raises(ValueError):
+        Tuning(shift_big=0.3)
+    with pytest.raises(ValueError):
+        Tuning(elect_threshold=1.0)

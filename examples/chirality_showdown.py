@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Chirality showdown: why "no common Right" matters.
+
+The deterministic related work needs all robots to agree on a common
+coordinate system.  This script runs a deterministic baseline that relies
+on that agreement, and the paper's algorithm, under three frame regimes:
+
+  * shared global frames      (common North + common chirality),
+  * chirality-only frames     (random rotation/scale, same handedness),
+  * adversarial frames        (random rotation/scale/REFLECTION per Look).
+
+The baseline collapses as soon as the shared order evaporates; the
+paper's algorithm does not care.
+
+Run:  python examples/chirality_showdown.py
+"""
+
+from repro import FormPattern, GlobalFrameFormation, Simulation, patterns
+from repro.analysis import format_table
+from repro.scheduler import SsyncScheduler
+from repro.sim import chirality_frames, global_frames, random_frames
+
+N = 7
+RUNS = 5
+
+
+def trial(algorithm_factory, frame_policy, max_steps=120_000):
+    wins = 0
+    for seed in range(RUNS):
+        sim = Simulation.random(
+            N,
+            algorithm_factory(),
+            SsyncScheduler(seed=seed),
+            seed=seed + 100,
+            frame_policy=frame_policy,
+            max_steps=max_steps,
+        )
+        result = sim.run()
+        if result.terminated and result.pattern_formed:
+            wins += 1
+    return wins
+
+
+def main() -> None:
+    pattern = patterns.random_pattern(N, seed=1)
+    regimes = [
+        ("shared global frame", global_frames()),
+        ("chirality only", chirality_frames()),
+        ("no chirality (adversarial)", random_frames()),
+    ]
+    algorithms = [
+        ("global-frame baseline", lambda: GlobalFrameFormation(pattern)),
+        ("formPattern (this paper)", lambda: FormPattern(pattern)),
+    ]
+
+    rows = []
+    for regime_name, policy in regimes:
+        row = {"frame regime": regime_name}
+        for alg_name, factory in algorithms:
+            wins = trial(factory, policy)
+            row[alg_name] = f"{wins}/{RUNS}"
+        rows.append(row)
+
+    print(f"success over {RUNS} seeds, n = {N}, SSYNC scheduler\n")
+    print(format_table(rows))
+    print(
+        "\nThe baseline needs the shared frame; the paper's algorithm "
+        "forms the pattern even when every observation is arbitrarily "
+        "rotated, scaled and mirrored."
+    )
+
+
+if __name__ == "__main__":
+    main()

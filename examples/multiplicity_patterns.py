@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Patterns with multiplicity points (Section 5 / Appendix C).
+
+With strong multiplicity detection the extension forms patterns in which
+several robots must stack on one location — including the delicate case
+of a stack at the pattern's *center*, formed via the auxiliary pattern
+F~ whose center stack is displaced to the midpoint g_F and walked in at
+the very end.
+
+Run:  python examples/multiplicity_patterns.py
+"""
+
+from repro import MultiplicityFormPattern, Simulation, patterns
+from repro.scheduler import RoundRobinScheduler
+from repro.viz import render
+
+SEED = 6
+
+
+def run(pattern, n, label):
+    algorithm = MultiplicityFormPattern(pattern)
+    simulation = Simulation.random(
+        n, algorithm, RoundRobinScheduler(), seed=SEED, max_steps=250_000
+    )
+    result = simulation.run()
+    print(f"=== {label} ===")
+    print(render(result.final_configuration.points(), pattern))
+    stacks = [
+        (p, m)
+        for p, m in result.final_configuration.distinct_points()
+        if m > 1
+    ]
+    print(f"formed: {result.pattern_formed}   steps: {result.steps}   "
+          f"stacks: {[(round(p.x, 2), round(p.y, 2), m) for p, m in stacks]}\n")
+
+
+def main() -> None:
+    # A ring of 7 with a double robot at the center (the Appendix C case).
+    run(
+        patterns.center_multiplicity_pattern(7, 2),
+        9,
+        "7-ring + center stack of 2",
+    )
+    # A random pattern with one doubled (non-central) point.
+    base = patterns.random_pattern(7, seed=9)
+    run(
+        patterns.multiplicity_pattern(base, [3]),
+        8,
+        "random pattern with one doubled point",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The randomness budget: one bit per robot per cycle.
+
+Yamauchi-Yamashita's randomized formation draws a uniform point from a
+continuous segment — unboundedly many random bits (charged 64 per draw
+here).  The paper's algorithm flips at most ONE fair coin per cycle, and
+only during the election.  This script races the two from identical
+perfectly-symmetric starts and reports the measured budgets.
+
+Run:  python examples/random_bits_budget.py
+"""
+
+import math
+
+from repro import FormPattern, Simulation, YamauchiYamashita, patterns
+from repro.analysis import format_table
+from repro.geometry import Vec2
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import chirality_frames
+
+N = 7
+RUNS = 4
+
+
+def race(factory, frame_policy):
+    pattern = patterns.random_pattern(N, seed=5)
+    rows = []
+    for seed in range(RUNS):
+        initial = [
+            Vec2.polar(1.0, 0.1 + 2 * math.pi * i / N) for i in range(N)
+        ]
+        sim = Simulation(
+            initial,
+            factory(pattern),
+            RoundRobinScheduler(),
+            seed=seed,
+            frame_policy=frame_policy,
+            max_steps=300_000,
+        )
+        res = sim.run()
+        rows.append(
+            {
+                "formed": res.pattern_formed,
+                "bits": res.metrics.random_bits,
+                "flips": res.metrics.coin_flips,
+                "draws": res.metrics.float_draws,
+                "bits_per_cycle": res.metrics.bits_per_cycle(),
+            }
+        )
+    return rows
+
+
+def summarise(name, rows):
+    formed = sum(1 for r in rows if r["formed"])
+    return {
+        "algorithm": name,
+        "formed": f"{formed}/{len(rows)}",
+        "mean bits/run": round(sum(r["bits"] for r in rows) / len(rows), 1),
+        "coin flips": sum(r["flips"] for r in rows),
+        "continuous draws": sum(r["draws"] for r in rows),
+        "max bits/cycle": round(max(r["bits_per_cycle"] for r in rows), 4),
+    }
+
+
+def main() -> None:
+    ours = race(FormPattern, None)  # full no-chirality model
+    theirs = race(YamauchiYamashita, chirality_frames())  # needs chirality
+
+    print(
+        f"symmetric {N}-gon start (election unavoidable), {RUNS} seeds\n"
+    )
+    print(
+        format_table(
+            [summarise("formPattern (paper)", ours),
+             summarise("Yamauchi-Yamashita style", theirs)]
+        )
+    )
+    print(
+        "\nThe paper's algorithm never exceeds one bit per cycle; the "
+        "baseline burns 64 bits per continuous draw and additionally "
+        "needs common chirality."
+    )
+
+
+if __name__ == "__main__":
+    main()

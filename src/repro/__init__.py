@@ -1,0 +1,61 @@
+"""repro - probabilistic asynchronous arbitrary pattern formation.
+
+A complete reproduction of Bramas & Tixeuil's PODC 2016 brief announcement
+(full version: "Asynchronous Pattern Formation without Chirality",
+arXiv:1508.03714): a Look-Compute-Move mobile-robot simulator with FSYNC /
+SSYNC / ASYNC adversarial schedulers, the paper's randomized
+symmetry-breaking + deterministic pattern formation algorithm, the regular
+set machinery it relies on, baselines, pattern libraries and analysis
+tooling.
+
+Quickstart::
+
+    from repro import FormPattern, Simulation, patterns
+    from repro.scheduler import AsyncScheduler
+
+    pattern = patterns.regular_polygon(8)
+    sim = Simulation.random(n=8, algorithm=FormPattern(pattern),
+                            scheduler=AsyncScheduler(seed=2), seed=1)
+    result = sim.run()
+    assert result.pattern_formed
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, geometry, model, patterns, regular, scheduler, sim, viz
+from .algorithms import (
+    Algorithm,
+    FormPattern,
+    GlobalFrameFormation,
+    MultiplicityFormPattern,
+    ScatterThenForm,
+    Tuning,
+    YamauchiYamashita,
+)
+from .geometry import Vec2
+from .model import Configuration, Pattern
+from .sim import Simulation, SimulationResult
+
+__all__ = [
+    "Algorithm",
+    "Configuration",
+    "FormPattern",
+    "GlobalFrameFormation",
+    "MultiplicityFormPattern",
+    "Pattern",
+    "ScatterThenForm",
+    "Simulation",
+    "SimulationResult",
+    "Tuning",
+    "Vec2",
+    "YamauchiYamashita",
+    "__version__",
+    "analysis",
+    "geometry",
+    "model",
+    "patterns",
+    "regular",
+    "scheduler",
+    "sim",
+    "viz",
+]

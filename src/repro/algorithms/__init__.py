@@ -1,0 +1,26 @@
+"""Algorithms: the paper's formPattern (ψ_RSB + ψ_DPF) and baselines."""
+
+from .analysis import Analysis
+from .base import Algorithm, ComputeContext
+from .baselines import GlobalFrameFormation, YamauchiYamashita
+from .form_pattern import FormPattern
+from .multiplicity import MultiplicityFormPattern
+from .pattern_geometry import PatternGeometry, TargetCircle
+from .scattering import ScatterThenForm, Scattering
+from .tuning import DEFAULT_TUNING, Tuning
+
+__all__ = [
+    "Algorithm",
+    "Analysis",
+    "ComputeContext",
+    "DEFAULT_TUNING",
+    "FormPattern",
+    "GlobalFrameFormation",
+    "MultiplicityFormPattern",
+    "PatternGeometry",
+    "ScatterThenForm",
+    "Scattering",
+    "TargetCircle",
+    "Tuning",
+    "YamauchiYamashita",
+]

@@ -1,0 +1,141 @@
+"""Per-activation configuration analysis.
+
+Everything the paper's predicates derive from one snapshot, computed once
+and shared by all sub-phases of the algorithm:
+
+* the configuration normalised so that ``C(P)`` is the unit circle at the
+  origin (the paper's convention ``C(P) = C(F)`` with unit radius);
+* the center ``c(P)`` (regular-set center or SEC center);
+* the selected robot, if any;
+* lazily, the regular set ``reg(P)`` and any shifted regular set.
+
+All coordinates here are *normalised local* coordinates; the algorithm
+transforms computed paths back into the robot's raw frame at the end.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..geometry import (
+    Circle,
+    Similarity,
+    Vec2,
+    smallest_enclosing_circle,
+)
+from ..geometry.tolerance import approx_le, approx_lt
+from ..model import Snapshot
+from ..regular import (
+    RegularSet,
+    ShiftedRegularSet,
+    find_regular,
+    find_shifted_regular,
+    regular_set_of,
+)
+
+#: Tolerance for "strictly closer" radius comparisons in the algorithm.
+RTOL = 1e-6
+
+
+class Analysis:
+    """Normalised view of one snapshot plus cached derived structures."""
+
+    def __init__(self, snapshot: Snapshot, l_f: float) -> None:
+        raw_points = list(snapshot.points)
+        sec = smallest_enclosing_circle(raw_points)
+        if sec.radius <= 1e-12:
+            raise ValueError("degenerate configuration: all robots gathered")
+        #: raw local frame -> normalised coordinates
+        self.norm = Similarity.scaling(1.0 / sec.radius).compose(
+            Similarity.translation_of(-sec.center)
+        )
+        self.denorm = self.norm.inverse()
+        self.points: list[Vec2] = [self.norm.apply(p) for p in raw_points]
+        self.me: Vec2 = self.norm.apply(snapshot.me)
+        self.multiplicity_detection = snapshot.multiplicity_detection
+        self.l_f = l_f
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @cached_property
+    def sec(self) -> Circle:
+        """``C(P)`` in normalised coordinates (the unit circle)."""
+        return Circle(Vec2.zero(), 1.0)
+
+    @cached_property
+    def whole_regular(self):
+        """Definition 1 on the whole configuration (None if not regular)."""
+        return find_regular(self.points)
+
+    @cached_property
+    def center(self) -> Vec2:
+        """``c(P)``: regular-set center when P is regular, else SEC center."""
+        if self.whole_regular is not None:
+            return self.whole_regular.center
+        return Vec2.zero()
+
+    def radius_of(self, p: Vec2) -> float:
+        """``|p|``: distance of a robot to ``c(P)``."""
+        return p.dist(self.center)
+
+    def i_am(self, p: Vec2) -> bool:
+        """Whether ``p`` is the observing robot's own location."""
+        return self.me.approx_eq(p, 1e-9)
+
+    def others(self) -> list[Vec2]:
+        """All robots except (one occurrence of) the observer."""
+        out = list(self.points)
+        for i, p in enumerate(out):
+            if self.i_am(p):
+                del out[i]
+                return out
+        return out
+
+    # ------------------------------------------------------------------
+    # paper predicates
+    # ------------------------------------------------------------------
+    @cached_property
+    def selected_robot(self) -> Vec2 | None:
+        """The selected robot, if one exists.
+
+        A robot ``r`` is selected when ``|r| <= l_F / 2`` and no other
+        robot lies strictly inside ``D(2 |r|)`` (the disc around ``c(P)``).
+        A robot at the center itself also counts (phase 1 of the
+        deterministic algorithm parks the selected robot there briefly).
+        """
+        best: Vec2 | None = None
+        best_radius = float("inf")
+        for p in self.points:
+            radius = self.radius_of(p)
+            if radius < best_radius:
+                best, best_radius = p, radius
+        if best is None:
+            return None
+        if not approx_le(best_radius, self.l_f / 2.0, RTOL):
+            return None
+        for q in self.points:
+            if q.approx_eq(best, 1e-9):
+                continue
+            if approx_lt(self.radius_of(q), 2.0 * best_radius, RTOL):
+                return None
+        return best
+
+    @cached_property
+    def regular(self) -> RegularSet | None:
+        """``reg(P)`` (Definition 2), or None."""
+        if any(p.approx_eq(self.center, 1e-9) for p in self.points):
+            return None
+        return regular_set_of(self.points)
+
+    @cached_property
+    def shifted(self) -> ShiftedRegularSet | None:
+        """The ε-shifted regular set (Definition 3), or None."""
+        if any(p.approx_eq(self.center, 1e-9) for p in self.points):
+            return None
+        return find_shifted_regular(self.points)
+
+    # ------------------------------------------------------------------
+    def n(self) -> int:
+        """Number of robots observed."""
+        return len(self.points)

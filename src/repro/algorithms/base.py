@@ -1,0 +1,45 @@
+"""Algorithm interface.
+
+An algorithm is a pure function from a snapshot (the configuration in the
+robot's own coordinate system) to a movement path, plus access to local
+randomness.  Robots are oblivious: no state survives between cycles, so
+implementations must not keep per-robot mutable state — everything must be
+recomputed from the snapshot.  The paths returned are expressed in the
+same local frame as the snapshot; the engine maps them back to global
+coordinates.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..model import Pattern, Snapshot
+from ..sim.context import ComputeContext
+from ..sim.paths import Path
+
+__all__ = ["Algorithm", "ComputeContext"]
+
+
+class Algorithm(abc.ABC):
+    """A distributed mobile-robot algorithm."""
+
+    #: Human-readable name for result tables.
+    name: str = "algorithm"
+
+    #: Whether robots must be able to see multiplicities.
+    requires_multiplicity_detection: bool = False
+
+    #: The pattern the algorithm forms, when it is a formation algorithm.
+    target_pattern: Pattern | None = None
+
+    @abc.abstractmethod
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        """Compute the movement for this cycle.
+
+        Args:
+            snapshot: the observed configuration, in the robot's frame.
+            ctx: randomness / chirality context.
+
+        Returns:
+            The path to follow (local frame), or None to stay put.
+        """

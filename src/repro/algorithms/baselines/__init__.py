@@ -1,0 +1,6 @@
+"""Baseline algorithms the experiments compare against."""
+
+from .global_frame import GlobalFrameFormation
+from .yamauchi_yamashita import YamauchiYamashita
+
+__all__ = ["GlobalFrameFormation", "YamauchiYamashita"]

@@ -1,0 +1,76 @@
+"""Baseline: deterministic formation with a *shared* coordinate system.
+
+The deterministic related work (Flocchini et al.; Fujinaga et al.)
+established that oblivious robots can form any pattern exactly when they
+agree on a common "North" and a common "Right" — i.e. a full common
+coordinate system.  This baseline embodies that assumption in its
+simplest useful form: every robot normalises its snapshot by the smallest
+enclosing circle, sorts robots and targets in the (shared) lexicographic
+order, and the first mismatched robot walks straight to its target.
+
+It exists to make the paper's point measurable: under
+:func:`repro.sim.engine.global_frames` it forms every pattern quickly and
+deterministically; under the no-chirality frame policy the shared order
+evaporates and it fails (experiment E4).
+"""
+
+from __future__ import annotations
+
+from ...geometry import Similarity, Vec2, similar, smallest_enclosing_circle
+from ...model import Pattern, Snapshot
+from ...sim.context import ComputeContext
+from ...sim.paths import Path
+from ..base import Algorithm
+
+
+class GlobalFrameFormation(Algorithm):
+    """Deterministic pattern formation assuming a common frame."""
+
+    name = "global-frame"
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.target_pattern = pattern.normalized()
+        self._targets = sorted(
+            self.target_pattern.points, key=lambda p: (p.x, p.y)
+        )
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        points = list(snapshot.points)
+        if similar(points, list(self.target_pattern.points)):
+            return None
+        sec = smallest_enclosing_circle(points)
+        if sec.radius <= 1e-12:
+            return None
+        norm = Similarity.scaling(1.0 / sec.radius).compose(
+            Similarity.translation_of(-sec.center)
+        )
+        denorm = norm.inverse()
+        normed = sorted(
+            (norm.apply(p) for p in points), key=lambda p: (p.x, p.y)
+        )
+        me = norm.apply(snapshot.me)
+
+        mover, target = self._next_move(normed)
+        if mover is None or not me.approx_eq(mover, 1e-9):
+            return None
+        return Path.line(me, target).transformed(denorm)
+
+    def _next_move(
+        self, normed: list[Vec2]
+    ) -> tuple[Vec2 | None, Vec2 | None]:
+        """First mismatched robot (lex order) with a free target; if every
+        mismatched robot's target is occupied (a permutation cycle), the
+        first one detours to the midpoint to break the cycle."""
+        mismatched: list[tuple[Vec2, Vec2]] = []
+        for robot, target in zip(normed, self._targets):
+            if not robot.approx_eq(target, 1e-9):
+                mismatched.append((robot, target))
+        if not mismatched:
+            return None, None
+        for robot, target in mismatched:
+            if not any(q.approx_eq(target, 1e-9) for q in normed):
+                return robot, target
+        robot, target = mismatched[0]
+        return robot, Vec2(
+            (robot.x + target.x) / 2.0, (robot.y + target.y) / 2.0
+        )

@@ -1,0 +1,74 @@
+"""Baseline: Yamauchi-Yamashita-style randomized formation.
+
+[13] (Yamauchi & Yamashita, DISC 2014) solves randomized pattern
+formation in ASYNC under three assumptions the paper under reproduction
+removes: (i) common chirality, (ii) no pauses while moving, and (iii)
+*continuous* randomness — each random choice draws a uniform point from a
+segment, i.e. unboundedly many random bits (charged 64 per draw here).
+
+No artifact of [13] exists; this is a faithful-in-spirit simplification
+(documented in DESIGN.md): symmetry is broken by a single continuous draw
+per closest robot (distinct radii with probability 1), the unique closest
+robot then descends until *selected*, and the deterministic formation
+phase is shared with the main algorithm so that measured differences
+isolate the election.  Under a pausing ASYNC adversary the one-shot
+continuous election can elect two robots concurrently (exactly the
+failure mode assumption (ii) rules out), which experiment E5 measures.
+"""
+
+from __future__ import annotations
+
+from ...model import Pattern, Snapshot
+from ...sim.context import ComputeContext
+from ...sim.paths import Path
+from ..analysis import RTOL, Analysis
+from ..dpf import dpf_compute
+from ..form_pattern import FormPattern
+from ..moves import radial_move
+
+
+class YamauchiYamashita(FormPattern):
+    """Randomized formation with chirality + continuous randomness."""
+
+    name = "yamauchi-yamashita"
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        from ...geometry import similar
+
+        from ..form_pattern import FORMATION_EPS
+
+        an = Analysis(snapshot, self.pg.l_f)
+        if similar(an.points, self.pg.points, FORMATION_EPS):
+            return None
+        join = self._final_join(an)
+        if join is not None:
+            mover, path = join
+            return self._denormalize(an, path if an.i_am(mover) else None)
+        rs = an.selected_robot
+        if rs is not None:
+            return self._denormalize(an, dpf_compute(an, self.pg, rs, ctx))
+        return self._denormalize(an, self._continuous_election(an, ctx))
+
+    def _continuous_election(
+        self, an: Analysis, ctx: ComputeContext
+    ) -> Path | None:
+        """One continuous draw per tied-closest robot breaks every
+        symmetry with probability 1; the unique closest robot descends
+        until selected."""
+        center = an.center
+        my_radius = an.me.dist(center)
+        others = [p for p in an.points if not an.i_am(p)]
+        other_min = min(p.dist(center) for p in others)
+
+        if my_radius < other_min - RTOL:
+            # Unique closest: descend to the selected radius.
+            target = 0.9 * min(an.l_f / 2.0, other_min / 2.0)
+            if my_radius <= target + 1e-9:
+                return None
+            return radial_move(an.me, center, target)
+        if my_radius > other_min + RTOL:
+            return None
+        # Tied among the closest: draw a uniform inward displacement.
+        u = ctx.random_float()  # 64 bits — the cost the paper removes
+        step = my_radius * (0.05 + 0.20 * u)
+        return radial_move(an.me, center, my_radius - step)

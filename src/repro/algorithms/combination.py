@@ -1,0 +1,151 @@
+"""Combination of algorithms (Section 2 of the paper).
+
+Oblivious robots cannot "run phase 1, then phase 2": nothing remembers
+which phase is current.  The paper's substitute is the *combination*: a
+set of sub-algorithms with **disjoint active sets**, each satisfying the
+**termination awareness** property (configurations in which it orders no
+movement are terminal for it), glued together by inferring from the
+current configuration which sub-algorithm applies.  A combination is
+*partially ordered* when the reachability relation ψ1 ↝ ψ2 (an execution
+of ψ1 can enter ψ2's active set) has an acyclic transitive closure — then
+the combination terminates iff every member does.
+
+This module provides the executable version of that formalism: a
+:class:`CombinedAlgorithm` built from guarded sub-algorithms, plus
+empirical checkers for active-set disjointness and termination awareness
+used by the test-suite (the paper's formPattern is *hand-fused* for
+efficiency, but its phase structure is exactly a combination, and the
+checkers validate that structure on sampled configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..geometry import Vec2
+from ..model import LocalFrame, Snapshot, make_snapshot
+from ..scheduler.rng import ForcedBits
+from ..sim.context import ComputeContext
+from ..sim.paths import Path
+from .base import Algorithm
+
+#: A guard deciding whether a configuration is in a phase's active set.
+Guard = Callable[[Snapshot], bool]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One guarded sub-algorithm of a combination."""
+
+    name: str
+    guard: Guard
+    algorithm: Algorithm
+
+
+class CombinedAlgorithm(Algorithm):
+    """Executes the first phase whose guard accepts the configuration.
+
+    Guards are evaluated in order; robots are oblivious, so the dispatch
+    re-runs from scratch at every activation — exactly the paper's
+    "find the first phase with a condition that is not verified".
+    """
+
+    name = "combination"
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise ValueError("a combination needs at least one phase")
+        self.phases = list(phases)
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        for phase in self.phases:
+            if phase.guard(snapshot):
+                return phase.algorithm.compute(snapshot, ctx)
+        return None
+
+    def active_phase(self, snapshot: Snapshot) -> Phase | None:
+        """Which phase a configuration dispatches to (None = terminal)."""
+        for phase in self.phases:
+            if phase.guard(snapshot):
+                return phase
+        return None
+
+
+def _probe_snapshots(points: Sequence[Vec2], multiplicity: bool):
+    frame = LocalFrame.identity_at(Vec2.zero())
+    for p in points:
+        yield make_snapshot(list(points), p, frame.observe, multiplicity)
+
+
+def orders_movement(
+    algorithm: Algorithm,
+    points: Sequence[Vec2],
+    multiplicity_detection: bool = False,
+) -> bool:
+    """Whether the algorithm orders any robot to move in ``points``.
+
+    Probes every robot with both coin outcomes and both chiralities, the
+    same procedure the engine's terminal test uses.
+    """
+    for snapshot in _probe_snapshots(points, multiplicity_detection):
+        for bit in (0, 1):
+            for chirality in (True, False):
+                ctx = ComputeContext(ForcedBits(bit), own_chirality=chirality)
+                path = algorithm.compute(snapshot, ctx)
+                if path is not None and not path.is_trivial(1e-9):
+                    return True
+    return False
+
+
+def check_disjoint_active_sets(
+    combination: CombinedAlgorithm,
+    configurations: Sequence[Sequence[Vec2]],
+) -> list[str]:
+    """Empirically check active-set disjointness on sample configurations.
+
+    Returns a list of violation descriptions (empty = no violation found):
+    a configuration may satisfy at most one guard.
+    """
+    violations: list[str] = []
+    frame = LocalFrame.identity_at(Vec2.zero())
+    for i, points in enumerate(configurations):
+        snapshot = make_snapshot(list(points), list(points)[0], frame.observe)
+        active = [p.name for p in combination.phases if p.guard(snapshot)]
+        if len(active) > 1:
+            violations.append(
+                f"configuration #{i} active in several phases: {active}"
+            )
+    return violations
+
+
+def check_termination_awareness(
+    algorithm: Algorithm,
+    configurations: Sequence[Sequence[Vec2]],
+    is_active: Guard | None = None,
+    multiplicity_detection: bool = False,
+) -> list[str]:
+    """Empirically check termination awareness on sample configurations.
+
+    For each sampled configuration that the algorithm treats as *empty*
+    (orders no movement), the configuration must be outside the active
+    set — i.e. genuinely terminal, not a silent deadlock.  ``is_active``
+    is the active-set predicate; with None, every sampled configuration
+    is considered active, so any empty one is reported.
+    """
+    violations: list[str] = []
+    frame = LocalFrame.identity_at(Vec2.zero())
+    for i, points in enumerate(configurations):
+        if orders_movement(algorithm, points, multiplicity_detection):
+            continue
+        if is_active is None:
+            violations.append(f"configuration #{i} is empty but sampled as active")
+            continue
+        snapshot = make_snapshot(
+            list(points), list(points)[0], frame.observe, multiplicity_detection
+        )
+        if is_active(snapshot):
+            violations.append(
+                f"configuration #{i} is empty yet still in the active set"
+            )
+    return violations

@@ -1,0 +1,19 @@
+"""ψ_DPF — deterministic pattern formation without chirality."""
+
+from .dpf import dpf_compute
+from .frame import FrameResult, build_frame, find_rmax, pattern_angle_guard, phase1
+from .rotation import is_pattern_prime_formed, paired_targets, rotation_phase
+from .state import DpfState
+
+__all__ = [
+    "DpfState",
+    "FrameResult",
+    "build_frame",
+    "dpf_compute",
+    "find_rmax",
+    "is_pattern_prime_formed",
+    "paired_targets",
+    "pattern_angle_guard",
+    "phase1",
+    "rotation_phase",
+]

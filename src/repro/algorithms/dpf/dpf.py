@@ -1,0 +1,72 @@
+"""ψ_DPF: deterministic pattern formation without chirality (Section 4).
+
+Orchestrates the phase chain.  Every activation re-derives the whole
+pipeline from the snapshot (robots are oblivious) and executes the first
+phase whose condition fails:
+
+  1. global coordinate system (phase1 / frame.py);
+  2. null-angle pre-phase, |C(F) ∩ F'| = 2 pre-phase;
+  3. per-circle triplet clean_exterior / locate_enough / remove_excess;
+  4. rotation onto the pattern points.
+
+The final step — the selected robot joining the pattern — is the main
+algorithm's line 3 and lives in form_pattern.py.
+"""
+
+from __future__ import annotations
+
+from ...geometry import Vec2
+from ...sim.context import ComputeContext
+from ...sim.paths import Path
+from ..analysis import Analysis
+from ..pattern_geometry import PatternGeometry
+from .fix_enclosing import fix_enclosing_phase
+from .frame import phase1
+from .placement import (
+    Moves,
+    clean_exterior,
+    locate_enough,
+    null_angle_phase,
+    over_bound_phase,
+    remove_excess,
+)
+from .rotation import rotation_phase
+from .state import DpfState
+
+
+def dpf_compute(
+    an: Analysis, pg: PatternGeometry, rs: Vec2, ctx: ComputeContext
+) -> Path | None:
+    """One ψ_DPF step for the observing robot (r_s is selected)."""
+    result = phase1(an, pg, rs)
+    if result.move is not None:
+        mover, path = result.move
+        return path if an.i_am(mover) else None
+    if result.frame is None or result.rmax is None:
+        return None
+
+    state = DpfState(an, pg, rs, result.rmax, result.frame)
+
+    for moves in _phase_chain(state):
+        if moves is None:
+            continue
+        return _my_move(an, moves)
+    return None
+
+
+def _phase_chain(state: DpfState):
+    yield null_angle_phase(state)
+    yield over_bound_phase(state)
+    yield fix_enclosing_phase(state)
+    for i in range(len(state.pg.circles)):
+        yield clean_exterior(state, i)
+        yield locate_enough(state, i)
+        yield remove_excess(state, i)
+    yield rotation_phase(state)
+
+
+def _my_move(an: Analysis, moves: Moves) -> Path | None:
+    for mover, path in moves:
+        if an.i_am(mover):
+            return path
+    return None

@@ -1,0 +1,111 @@
+"""ψ_DPF special pre-phase (Appendix B): ``|C(F) ∩ F'| = 2``.
+
+When the pattern keeps only two points on the enclosing circle, the two
+robots that will hold ``C(P)`` must be steered to *exactly* those two
+(antipodal) points before anyone else may leave the circle — two robots
+cannot rotate on ``C(P)`` without breaking it, so a third robot is raised
+first, then the greatest and smallest robots dock at the two targets
+while the others spread between them, and finally the leftovers descend.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...geometry.tolerance import approx_eq
+from .placement import (
+    Moves,
+    _highest_radius_below,
+    _lowest_radius_above,
+    _next_angle_above,
+    _sec_arc,
+    _shares_circle,
+)
+from .state import ANG_TOL, RAD_TOL, DpfState
+
+
+def fix_enclosing_phase(state: DpfState) -> Moves | None:
+    """Active only when the pattern has exactly two enclosing points."""
+    if state.pg.circles[0].count != 2:
+        return None
+    targets = sorted(
+        a for r, a in state.pg.targets if approx_eq(r, 1.0, RAD_TOL)
+    )
+    if len(targets) != 2:
+        return None
+    t_lo, t_hi = targets
+    on_sec = state.on_circle(1.0)
+
+    if len(on_sec) == 2:
+        angles = sorted(a for _, a in on_sec)
+        if _close(angles[0], t_lo) and _close(angles[1], t_hi):
+            return None  # docked: phase satisfied
+        return _raise_third(state)
+
+    if len(on_sec) < 2:
+        return _raise_third(state)
+
+    # Three or more robots on C(P): dock the extremes, spread the middle.
+    r_lo, a_lo = on_sec[0]
+    r_hi, a_hi = on_sec[-1]
+    if _close(a_lo, t_lo) and _close(a_hi, t_hi):
+        # Anchors docked: the second smallest robot steps inward.
+        mover, my_a = on_sec[1]
+        barrier = _highest_radius_below(state, 1.0, floor=_floor(state))
+        target_radius = (1.0 + barrier) / 2.0
+        if state.ray_blocked(mover, target_radius):
+            nxt = _next_angle_above(state, my_a)
+            park = state.free_parking_angle((my_a + nxt) / 2.0, my_a, nxt)
+            return [(mover, state.arc_to(mover, park, increasing=True))]
+        return [(mover, state.radial(mover, target_radius))]
+
+    moves: Moves = []
+    middles = on_sec[1:-1]
+    span = t_hi - t_lo
+    for idx, (robot, ang) in enumerate(on_sec):
+        if robot.approx_eq(r_lo, 1e-9) and idx == 0:
+            goal = t_lo
+        elif robot.approx_eq(r_hi, 1e-9) and idx == len(on_sec) - 1:
+            goal = t_hi
+        else:
+            j = idx  # middles keep their rank between the anchors
+            goal = t_lo + span * j / (len(middles) + 1)
+        if _close(ang, goal):
+            continue
+        path = _sec_arc(state, robot, ang, goal, on_sec)
+        if path is not None:
+            moves.append((robot, path))
+    return moves if moves else None
+
+
+def _raise_third(state: DpfState) -> Moves:
+    """Raise the greatest interior robot onto C(P), below everyone there."""
+    interior = state.interior_of(1.0)
+    mover, my_r, my_a = interior[-1]
+    if state.is_rmax(mover):
+        # Never consume r_max for this; take the next greatest.
+        if len(interior) >= 2:
+            mover, my_r, my_a = interior[-2]
+        else:
+            return []
+    if _shares_circle(state, mover, my_r):
+        barrier = _lowest_radius_above(state, my_r, cap=1.0)
+        return [(mover, state.radial(mover, (my_r + barrier) / 2.0))]
+    on_sec = state.on_circle(1.0)
+    a = min((ang for _, ang in on_sec), default=2.0 * math.pi)
+    a = min(a, state.park_bound)
+    if 0.0 < my_a < a - ANG_TOL and not state.ray_blocked(mover, 1.0):
+        return [(mover, state.radial(mover, 1.0))]
+    park = state.free_parking_angle(a / 2.0, 0.0, a)
+    return [(mover, state.arc_to(mover, park, increasing=False))]
+
+
+def _floor(state: DpfState) -> float:
+    if len(state.pg.circles) > 1:
+        return state.pg.circles[1].radius
+    return 2.0 * state.z.to_polar(state.rs).radius + RAD_TOL
+
+
+def _close(a: float, b: float, tol: float = ANG_TOL) -> bool:
+    d = abs(a - b) % (2.0 * math.pi)
+    return d <= tol or 2.0 * math.pi - d <= tol

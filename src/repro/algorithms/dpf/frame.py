@@ -1,0 +1,167 @@
+"""ψ_DPF phase 1: create the global oriented coordinate system ``Z``.
+
+``Z`` is the polar frame every robot can reconstruct from any snapshot:
+center ``c(P)``, reference direction through ``r_max``, orientation the
+one maximising the selected robot's coordinates.  ``r_max`` is the unique
+robot of ``P - {r_s}`` that is simultaneously
+
+  (i)   radially innermost,
+  (ii)  angularly closest to the selected robot, with
+  (iii) ``|r_max| <= |f_max|``, and
+  (iv)  enough angular clearance: ``2 angmin(r_s, c, r_max) < theta_F``.
+
+When no such robot exists the selected robot manufactures one: it walks
+to the center, then steps out a small angle away from the closest robot.
+
+Note on (iv): the paper bounds the clearance by ``theta_F'`` computed over
+same-radius pattern points only.  For the frame to survive phases 2-3 no
+robot may ever become strictly angularly closer to ``r_s`` than ``r_max``
+— including robots standing on *any* pattern point near ``r_max``'s ray —
+so this implementation strengthens the bound to the minimum over all
+pattern directions (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ...geometry import PolarFrame, Vec2, angmin, direction_angle
+from ...geometry.tolerance import norm_angle
+from ...sim.paths import Path
+from ..analysis import RTOL, Analysis
+from ..moves import move_toward, radial_move
+from ..pattern_geometry import PatternGeometry
+
+
+@dataclass
+class FrameResult:
+    """Outcome of phase 1 for one activation."""
+
+    frame: PolarFrame | None          # defined when r_max exists
+    rmax: Vec2 | None
+    move: tuple[Vec2, Path] | None    # (mover, path) when the phase is active
+    satisfied: bool                   # all four conditions hold
+
+
+def pattern_angle_guard(pg: PatternGeometry) -> float:
+    """The strengthened clearance bound: minimum positive angular distance
+    from ``f_max``'s direction to any other F' point's direction, capped by
+    ``theta_F'`` and pi."""
+    guard = min(math.pi, pg.theta_f_prime)
+    for radius, angle in pg.targets:
+        if radius <= 1e-9:
+            continue
+        dist = min(angle, 2.0 * math.pi - angle)
+        if dist > 1e-9:
+            guard = min(guard, dist)
+    return guard
+
+
+def build_frame(an: Analysis, rs: Vec2, rmax: Vec2) -> PolarFrame:
+    """The global frame Z for a given r_s / r_max pair."""
+    center = an.center
+    reference = direction_angle(center, rmax)
+    ccw_angle = norm_angle(direction_angle(center, rs) - reference)
+    # Orientation maximising r_s's angular coordinate.
+    direct = ccw_angle > math.pi
+    return PolarFrame(center, reference, direct)
+
+
+def find_rmax(
+    an: Analysis, pg: PatternGeometry, rs: Vec2
+) -> tuple[Vec2 | None, bool]:
+    """(r_max, condition_iii) — r_max satisfying (i), (ii), (iv), or None.
+
+    The second component reports whether (iii) also holds.
+    """
+    center = an.center
+    others = [p for p in an.points if not p.approx_eq(rs)]
+    if not others or rs.approx_eq(center):
+        return None, False
+    min_radius = min(p.dist(center) for p in others)
+    min_angle_rs = min(angmin(rs, center, p) for p in others)
+    guard = pattern_angle_guard(pg)
+
+    candidates = [
+        p
+        for p in others
+        if abs(p.dist(center) - min_radius) <= RTOL
+        and abs(angmin(rs, center, p) - min_angle_rs) <= 1e-7
+    ]
+    if len(candidates) != 1:
+        return None, False
+    rmax = candidates[0]
+    if 2.0 * angmin(rs, center, rmax) >= guard:
+        return None, False
+    cond_iii = rmax.dist(center) <= pg.f_max_radius + RTOL
+    return rmax, cond_iii
+
+
+def phase1(an: Analysis, pg: PatternGeometry, rs: Vec2) -> FrameResult:
+    """Evaluate phase 1; return the frame and/or the required movement."""
+    center = an.center
+    others = [p for p in an.points if not p.approx_eq(rs)]
+
+    if rs.approx_eq(center, 1e-7):
+        # r_s is parked at the center: step out to manufacture r_max.
+        target = _step_out_target(an, pg, rs, others)
+        return FrameResult(None, None, (rs, move_toward(rs, target)), False)
+
+    rmax, cond_iii = find_rmax(an, pg, rs)
+    if rmax is None:
+        # No admissible r_max: r_s walks to the center first.
+        return FrameResult(None, None, (rs, move_toward(rs, center)), False)
+
+    frame = build_frame(an, rs, rmax)
+    if not cond_iii:
+        # r_max must descend to |f_max| (radial: the frame is unaffected).
+        return FrameResult(
+            frame, rmax, (rmax, radial_move(rmax, center, pg.f_max_radius)), False
+        )
+    return FrameResult(frame, rmax, None, True)
+
+
+def _step_out_target(
+    an: Analysis, pg: PatternGeometry, rs: Vec2, others: list[Vec2]
+) -> Vec2:
+    """Where r_s moves when leaving the center.
+
+    Distance ``min(l_F, min |r|) / 2``; direction a small angle off the
+    closest robot, so that robot becomes the unique r_max satisfying (ii)
+    and (iv)."""
+    center = an.center
+    min_radius = min(p.dist(center) for p in others)
+    d = min(an.l_f, min_radius) / 2.0
+    closest = [p for p in others if abs(p.dist(center) - min_radius) <= RTOL]
+    anchor = _best_anchor(an, closest)
+    theta_anchor = direction_angle(center, anchor)
+
+    guard = pattern_angle_guard(pg)
+    # Angular clearance to the anchor's nearest same-or-other robots, so
+    # the anchor is the *unique* angularly-closest robot to r_s.
+    nearest_gap = min(
+        (
+            angmin(anchor, center, q)
+            for q in others
+            if not q.approx_eq(anchor)
+        ),
+        default=math.pi,
+    )
+    eta = 0.25 * min(guard / 2.0, nearest_gap)
+    return center + Vec2.polar(d, theta_anchor + eta)
+
+
+def _best_anchor(an: Analysis, closest: list[Vec2]) -> Vec2:
+    """Deterministic choice among radius-tied closest robots."""
+    # Any deterministic, similarity-invariant choice works; use the robot
+    # with the lexicographically greatest local view.
+    from functools import cmp_to_key
+
+    from ...model.views import compare_views, local_view
+
+    if len(closest) == 1:
+        return closest[0]
+    entries = [(p, local_view(an.points, an.center, p)) for p in closest]
+    entries.sort(key=cmp_to_key(lambda a, b: compare_views(a[1], b[1])), reverse=True)
+    return entries[0][0]

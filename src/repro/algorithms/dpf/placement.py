@@ -1,0 +1,356 @@
+"""ψ_DPF phase 2: put the right number of robots on each target circle.
+
+Sub-phases, each with a *phase condition* (when it holds the sub-phase is
+skipped); a robot's activation executes the first sub-phase whose
+condition fails:
+
+* ``null_angle`` — no robot other than ``r_max`` may stand on ``r_max``'s
+  half-line (unless it occupies an F' target that lies on it);
+* ``clean_exterior(i)`` — no robot strictly between ``C_{i-1}`` and
+  ``C_i``: stragglers are parked on ``C_i`` beyond everyone already there;
+* ``locate_enough(i)`` — ``C_i`` hosts at least ``m_i`` robots: interior
+  robots are raised onto ``C_i`` below everyone already there;
+* ``remove_excess(i)`` — ``C_i`` hosts exactly ``m_i`` robots: for inner
+  circles the smallest robot steps off inward; on the enclosing circle the
+  ``m_1`` keepers first form a regular ``m_1``-gon (so the others can
+  leave without disturbing ``C(P)``).
+
+All parking angles stay inside ``(0, park_bound)``: strictly off
+``r_max``'s half-line and strictly clear of the selected robot's angular
+neighbourhood, which keeps the global frame Z well-defined throughout.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...geometry import Vec2
+from ...geometry.tolerance import approx_eq
+from ...sim.paths import Path
+from .state import ANG_TOL, RAD_TOL, DpfState, max_gap_with
+
+Moves = list[tuple[Vec2, Path]]
+
+#: Tolerance for the C(P)-preservation gap check: the enclosing circle is
+#: preserved as long as no angular gap *exceeds* pi (a gap of exactly pi
+#: means a diametral support pair, which still determines the circle).
+SEC_GAP_SLACK = 1e-9
+
+
+# ----------------------------------------------------------------------
+# pre-phase: clear r_max's half-line
+# ----------------------------------------------------------------------
+def null_angle_phase(state: DpfState) -> Moves | None:
+    """Move robots (other than r_max) off the null angle."""
+    offenders = []
+    for p, r, a in state.coords:
+        if state.is_rmax(p):
+            continue
+        if a > ANG_TOL:
+            continue
+        if _on_null_target(state, r):
+            continue
+        offenders.append((p, r))
+    if not offenders:
+        return None
+
+    positive = [a for _, _, a in state.coords if a > ANG_TOL]
+    limit = min(positive) if positive else math.pi / 2.0
+    limit = min(limit, state.park_bound)
+    moves: Moves = []
+    for k, (p, _) in enumerate(offenders):
+        target = state.free_parking_angle(
+            limit * (k + 1) / (len(offenders) + 1), 0.0, limit
+        )
+        moves.append((p, state.arc_to(p, target, increasing=True)))
+    return moves
+
+
+def _on_null_target(state: DpfState, radius: float) -> bool:
+    """Whether an F' target with null angle exists at this radius."""
+    for r_t, a_t in state.pg.targets:
+        if approx_eq(r_t, radius, RAD_TOL) and (
+            a_t <= ANG_TOL or a_t >= 2.0 * math.pi - ANG_TOL
+        ):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# pre-phase: clear the angular safety zone near r_s's direction
+# ----------------------------------------------------------------------
+def over_bound_phase(state: DpfState) -> Moves | None:
+    """Relocate robots parked beyond the angular safety bound.
+
+    Initial (or RSB-inherited) positions may place robots at Z-angles in
+    ``(park_bound, 2*pi)`` — inside the corridor reserved for the selected
+    robot's direction.  The placement machinery assumes that corridor is
+    empty on the *inner* circles (parking intervals invert otherwise), so
+    such robots arc back below the bound first.  Robots on the enclosing
+    circle are exempt: their angular moves are constrained by C(P)
+    preservation and are handled by the dedicated enclosing-circle phases.
+    Robots standing on an F' target (angle below the bound by
+    construction) are never offenders.
+    """
+    offenders = [
+        (p, r, a)
+        for p, r, a in state.coords
+        if a > state.park_bound + ANG_TOL
+        and not state.is_rmax(p)
+        and r < 1.0 - RAD_TOL
+    ]
+    if not offenders:
+        return None
+    # The smallest-angle offender goes first: everything between it and
+    # the free zone is below the bound already, so its way is clear up to
+    # (at worst) a halfway clamp against a same-circle robot.
+    mover, my_r, my_a = min(offenders, key=lambda t: t[2])
+    below = [
+        a
+        for p, r, a in state.coords
+        if not p.approx_eq(mover, 1e-9) and a < my_a
+    ]
+    floor = max(below) if below else 0.0
+    floor = min(floor, state.park_bound - 2 * ANG_TOL)
+    target = state.free_parking_angle(
+        (floor + state.park_bound) / 2.0, floor, state.park_bound
+    )
+    # Stop halfway to any same-circle robot on the decreasing way.
+    for other, ang in state.on_circle(my_r):
+        if other.approx_eq(mover, 1e-9):
+            continue
+        if target - ANG_TOL <= ang < my_a:
+            target = max(target, (my_a + ang) / 2.0)
+    if abs(target - my_a) <= ANG_TOL:
+        return []
+    if approx_eq(my_r, 1.0, RAD_TOL):
+        path = _sec_arc(state, mover, my_a, target, state.on_circle(1.0))
+        return [(mover, path)] if path is not None else []
+    return [(mover, state.arc_to(mover, target, increasing=False))]
+
+
+# ----------------------------------------------------------------------
+# clean_exterior(i)
+# ----------------------------------------------------------------------
+def clean_exterior(state: DpfState, i: int) -> Moves | None:
+    """No robot may remain strictly between C_{i-1} and C_i."""
+    if i == 0:
+        return None
+    r_i = state.pg.circles[i].radius
+    r_prev = state.pg.circles[i - 1].radius
+    stragglers = state.between(r_i, r_prev)
+    if not stragglers:
+        return None
+    mover, my_r, my_a = stragglers[0]  # lex-smallest in exterior(C_i)
+
+    if _shares_circle(state, mover, my_r):
+        barrier = _highest_radius_below(state, my_r, floor=r_i)
+        return [(mover, state.radial(mover, (my_r + barrier) / 2.0))]
+
+    on_target = state.on_circle(r_i)
+    a = max((ang for _, ang in on_target), default=0.0)
+    if my_a > a + ANG_TOL and not state.ray_blocked(mover, r_i):
+        return [(mover, state.radial(mover, r_i))]
+    target = state.free_parking_angle(
+        (a + state.park_bound) / 2.0, a, state.park_bound
+    )
+    return [(mover, state.arc_to(mover, target, increasing=True))]
+
+
+# ----------------------------------------------------------------------
+# locate_enough(i)
+# ----------------------------------------------------------------------
+def locate_enough(state: DpfState, i: int) -> Moves | None:
+    """C_i must host at least m_i robots."""
+    circle = state.pg.circles[i]
+    if len(state.on_circle(circle.radius)) >= circle.count:
+        return None
+    interior = state.interior_of(circle.radius)
+    if not interior:
+        return None  # nothing to raise; earlier stages must act first
+    mover, my_r, my_a = interior[-1]  # lex-greatest interior robot
+
+    if state.is_rmax(mover):
+        # r_max keeps its null angle: pure radial ascent onto C_i (its
+        # target f_max lives there at angle 0).
+        return [(mover, state.radial(mover, circle.radius))]
+
+    if _shares_circle(state, mover, my_r):
+        barrier = _lowest_radius_above(state, my_r, cap=circle.radius)
+        return [(mover, state.radial(mover, (my_r + barrier) / 2.0))]
+
+    on_target = state.on_circle(circle.radius)
+    a = min((ang for _, ang in on_target), default=2.0 * math.pi)
+    a = min(a, state.park_bound)
+    if 0.0 < my_a < a - ANG_TOL and not state.ray_blocked(mover, circle.radius):
+        return [(mover, state.radial(mover, circle.radius))]
+    target = state.free_parking_angle(a / 2.0, 0.0, a)
+    return [(mover, state.arc_to(mover, target, increasing=False))]
+
+
+# ----------------------------------------------------------------------
+# remove_excess(i)
+# ----------------------------------------------------------------------
+def remove_excess(state: DpfState, i: int) -> Moves | None:
+    """C_i must host exactly m_i robots."""
+    circle = state.pg.circles[i]
+    on_circle = state.on_circle(circle.radius)
+    if len(on_circle) <= circle.count:
+        return None
+    if i > 0:
+        mover, _ = on_circle[0]  # smallest robot on C_i
+        floor = (
+            state.pg.circles[i + 1].radius
+            if i + 1 < len(state.pg.circles)
+            else 2.0 * state.z.to_polar(state.rs).radius + RAD_TOL
+        )
+        barrier = _highest_radius_below(state, circle.radius, floor=floor)
+        target_radius = (circle.radius + barrier) / 2.0
+        if state.ray_blocked(mover, target_radius):
+            # Nudge off the blocked ray first.
+            _, my_a = state.coord_of(mover)
+            nxt = _next_angle_above(state, my_a)
+            target = state.free_parking_angle(
+                (my_a + nxt) / 2.0, my_a, nxt
+            )
+            return [(mover, state.arc_to(mover, target, increasing=True))]
+        return [(mover, state.radial(mover, target_radius))]
+    return _remove_excess_sec(state, circle.count, on_circle)
+
+
+def _remove_excess_sec(
+    state: DpfState, m1: int, on_circle: list[tuple[Vec2, float]]
+) -> Moves | None:
+    """Excess robots on the enclosing circle (i = 1, m1 >= 3).
+
+    The m1 greatest robots aim at the regular m1-gon with the null-angle
+    line as axis of symmetry (vertices at (2k+1) pi/m1); the excess robots
+    squeeze into the arc (0, pi/m1).  Once the gon stands, the smallest
+    robot steps inward.
+    """
+    extras = len(on_circle) - m1
+    keepers = on_circle[extras:]
+    gon = [(2 * k + 1) * math.pi / m1 for k in range(m1)]
+    keepers_placed = all(
+        _ang_close(ang, g) for (_, ang), g in zip(keepers, gon)
+    )
+    if keepers_placed:
+        mover, _ = on_circle[0]
+        barrier = _highest_radius_below(state, 1.0, floor=_next_circle_floor(state))
+        target_radius = (1.0 + barrier) / 2.0
+        if state.ray_blocked(mover, target_radius):
+            _, my_a = state.coord_of(mover)
+            nxt = _next_angle_above(state, my_a)
+            target = state.free_parking_angle((my_a + nxt) / 2.0, my_a, nxt)
+            return [(mover, state.arc_to(mover, target, increasing=True))]
+        return [(mover, state.radial(mover, target_radius))]
+
+    moves: Moves = []
+    slot = math.pi / m1
+    extra_targets = [slot * (j + 1) / (extras + 1) for j in range(extras)]
+    assignments = list(zip(on_circle, extra_targets + gon))
+    for (robot, ang), target in assignments:
+        if _ang_close(ang, target):
+            continue
+        path = _sec_arc(state, robot, ang, target, on_circle)
+        if path is not None:
+            moves.append((robot, path))
+    return moves if moves else None
+
+
+# ----------------------------------------------------------------------
+# arcs on the enclosing circle that must preserve C(P)
+# ----------------------------------------------------------------------
+def _sec_arc(
+    state: DpfState,
+    me: Vec2,
+    my_angle: float,
+    target: float,
+    on_circle: list[tuple[Vec2, float]],
+) -> Path | None:
+    """Arc toward ``target`` on C(P): never pass a neighbour, never let the
+    largest angular gap of the enclosing-circle robots exceed pi."""
+    increasing = target > my_angle
+    others = [
+        ang for robot, ang in on_circle if not robot.approx_eq(me, 1e-9)
+    ]
+    # Order preservation: stop halfway to the first robot on the way —
+    # including one sitting exactly on the target (tolerances on both
+    # ends, or an ulp of angle noise lets a full move land on a robot).
+    bound = target
+    for ang in others:
+        if increasing and my_angle < ang <= target + ANG_TOL:
+            bound = min(bound, (my_angle + ang) / 2.0)
+        elif not increasing and target - ANG_TOL <= ang < my_angle:
+            bound = max(bound, (my_angle + ang) / 2.0)
+    # C(P) preservation: binary search the farthest admissible angle.
+    admissible = _max_sec_preserving(others, my_angle, bound, increasing)
+    if abs(admissible - my_angle) <= ANG_TOL:
+        return None
+    return state.arc_to(me, admissible, increasing)
+
+
+def _max_sec_preserving(
+    others: list[float], start: float, goal: float, increasing: bool
+) -> float:
+    """Farthest angle toward ``goal`` keeping max gap <= pi."""
+    if max_gap_with(others, goal) <= math.pi + SEC_GAP_SLACK:
+        return goal
+    lo, hi = 0.0, 1.0  # fraction of the way from start to goal
+    for _ in range(50):
+        mid = (lo + hi) / 2.0
+        candidate = start + (goal - start) * mid
+        if max_gap_with(others, candidate) <= math.pi + SEC_GAP_SLACK:
+            lo = mid
+        else:
+            hi = mid
+    return start + (goal - start) * lo
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _shares_circle(state: DpfState, me: Vec2, my_r: float) -> bool:
+    for p, r, _ in state.coords:
+        if p.approx_eq(me, 1e-9):
+            continue
+        if approx_eq(r, my_r, RAD_TOL):
+            return True
+    rs_r = state.z.to_polar(state.rs).radius
+    return approx_eq(rs_r, my_r, RAD_TOL)
+
+
+def _highest_radius_below(state: DpfState, radius: float, floor: float) -> float:
+    best = floor
+    for _, r, _ in state.coords:
+        if r < radius - RAD_TOL:
+            best = max(best, r)
+    rs_r = state.z.to_polar(state.rs).radius
+    if rs_r < radius - RAD_TOL:
+        best = max(best, rs_r)
+    return best
+
+
+def _lowest_radius_above(state: DpfState, radius: float, cap: float) -> float:
+    best = cap
+    for _, r, _ in state.coords:
+        if r > radius + RAD_TOL:
+            best = min(best, r)
+    return best
+
+
+def _next_circle_floor(state: DpfState) -> float:
+    if len(state.pg.circles) > 1:
+        return state.pg.circles[1].radius
+    return 2.0 * state.z.to_polar(state.rs).radius + RAD_TOL
+
+
+def _next_angle_above(state: DpfState, angle: float) -> float:
+    candidates = [a for _, _, a in state.coords if a > angle + ANG_TOL]
+    nxt = min(candidates) if candidates else 2.0 * math.pi
+    return min(nxt, state.park_bound if state.park_bound > angle else nxt)
+
+
+def _ang_close(a: float, b: float, tol: float = ANG_TOL) -> bool:
+    d = abs(a - b) % (2.0 * math.pi)
+    return d <= tol or 2.0 * math.pi - d <= tol

@@ -1,0 +1,99 @@
+"""ψ_DPF phase 3: rotate robots on their circles onto the pattern points.
+
+Robots and targets are paired by the shared lexicographic order on
+(radius, Z-angle); every robot moves along its own circle toward its
+target through the arc that does **not** contain the null-angle point (so
+the pairing order is invariant), stopping halfway to any robot in the
+way; robots on the enclosing circle additionally never let ``C(P)``
+change.  The waiting relation is acyclic (robots on a circle behave as on
+a segment), so no deadlock is possible — Lemma 10 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...geometry.tolerance import approx_eq
+from .placement import Moves, _sec_arc
+from .state import ANG_TOL, RAD_TOL, DpfState
+
+
+def _close(a: float, b: float, tol: float = ANG_TOL) -> bool:
+    d = abs(a - b) % (2.0 * math.pi)
+    return d <= tol or 2.0 * math.pi - d <= tol
+
+
+def rotation_phase(state: DpfState) -> Moves | None:
+    """Move each mismatched robot toward its paired target."""
+    pairs = paired_targets(state)
+    if pairs is None:
+        return None  # radius profile mismatched: earlier phases must act
+    moves: Moves = []
+    done = True
+    for (robot, my_r, my_a), (t_r, t_a) in pairs:
+        if _close(my_a, t_a):
+            continue
+        done = False
+        path = _arc_toward(state, robot, my_r, my_a, t_a)
+        if path is not None:
+            moves.append((robot, path))
+    if done:
+        return None
+    return moves if moves else None
+
+
+def paired_targets(state: DpfState):
+    """Robots of P' paired with F' targets by lexicographic rank.
+
+    Returns None when the radius profiles disagree (phase 2 incomplete).
+    """
+    if len(state.coords) != len(state.pg.targets):
+        return None
+    pairs = []
+    for robot_entry, target in zip(state.coords, state.pg.targets):
+        _, my_r, _ = robot_entry
+        t_r, _ = target
+        if not approx_eq(my_r, t_r, 10 * RAD_TOL):
+            return None
+        pairs.append((robot_entry, target))
+    return pairs
+
+
+def is_pattern_prime_formed(state: DpfState) -> bool:
+    """Whether P' already coincides with F' in the global frame."""
+    pairs = paired_targets(state)
+    if pairs is None:
+        return False
+    return all(_close(a, t_a) for (_, _, a), (_, t_a) in pairs)
+
+
+def _arc_toward(
+    state: DpfState, robot, my_r: float, my_a: float, t_a: float
+):
+    """One rotation step: toward the target, not through angle 0, halting
+    halfway to any same-circle robot on the way.
+
+    A robot already standing on my own target does not block me when the
+    target is a multiplicity point with room left (the Appendix C rule:
+    robots sharing a destination may stack there)."""
+    increasing = t_a > my_a
+    target_mult = sum(
+        1
+        for r_t, a_t in state.pg.targets
+        if approx_eq(r_t, my_r, 10 * RAD_TOL) and _close(a_t, t_a)
+    )
+    bound = t_a
+    for other, ang in state.on_circle(my_r):
+        if other.approx_eq(robot, 1e-9):
+            continue
+        if target_mult > 1 and _close(ang, t_a):
+            continue  # stacking onto my own multiplicity target
+        if increasing and my_a < ang <= bound + ANG_TOL:
+            bound = min(bound, (my_a + ang) / 2.0)
+        elif not increasing and bound - ANG_TOL <= ang < my_a:
+            bound = max(bound, (my_a + ang) / 2.0)
+    if abs(bound - my_a) <= ANG_TOL:
+        return None
+    if approx_eq(my_r, 1.0, RAD_TOL):
+        return _sec_arc(state, robot, my_a, bound, state.on_circle(1.0))
+    return state.arc_to(robot, bound, increasing)

@@ -1,0 +1,169 @@
+"""Shared state for one ψ_DPF activation.
+
+Built once per compute() call after phase 1 succeeds: the global frame Z,
+the robots of ``P' = P - {r_s}`` with their Z-polar coordinates in the
+canonical lexicographic order, and the angular-safety bound protecting
+``r_max``'s uniqueness (no robot may ever become strictly angularly closer
+to the selected robot than ``r_max`` is).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ...geometry import PolarFrame, Vec2, angmin
+from ...geometry.tolerance import approx_eq
+from ...sim.paths import Path
+from ..analysis import Analysis
+from ..moves import arc_move_sweep, radial_move
+from ..pattern_geometry import PatternGeometry
+from .frame import pattern_angle_guard
+
+#: Position matching tolerances (normalised units / radians).
+RAD_TOL = 1e-6
+ANG_TOL = 1e-6
+
+
+@dataclass
+class DpfState:
+    """Everything phases 2-3 need, computed once per activation."""
+
+    an: Analysis
+    pg: PatternGeometry
+    rs: Vec2
+    rmax: Vec2
+    z: PolarFrame
+    prime: list[Vec2] = field(init=False)
+    coords: list[tuple[Vec2, float, float]] = field(init=False)  # (p, r, ang)
+    eta: float = field(init=False)
+    guard: float = field(init=False)
+    park_bound: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.prime = [p for p in self.an.points if not p.approx_eq(self.rs)]
+        coords = []
+        for p in self.prime:
+            polar = self.z.to_polar(p)
+            angle = polar.angle
+            if angle > 2.0 * math.pi - ANG_TOL or angle < ANG_TOL:
+                angle = 0.0
+            # Snap radii onto the target circles so the lexicographic
+            # order is immune to 1e-12 noise in "on the circle" radii.
+            radius = polar.radius
+            index = self.pg.circle_index_of_radius(radius)
+            if index is not None:
+                radius = self.pg.circles[index].radius
+            coords.append((p, radius, angle))
+        coords.sort(key=lambda t: (t[1], t[2]))
+        self.coords = coords
+        self.eta = angmin(self.rs, self.z.center, self.rmax)
+        self.guard = pattern_angle_guard(self.pg)
+        # Robots may park at angles strictly below this; it keeps every
+        # robot's angular distance to r_s strictly above eta (see frame.py).
+        self.park_bound = 2.0 * math.pi - self.eta - self.guard / 2.0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def coord_of(self, p: Vec2) -> tuple[float, float]:
+        """(radius, Z-angle) of a robot of P'."""
+        for q, r, a in self.coords:
+            if q.approx_eq(p, 1e-9):
+                return r, a
+        polar = self.z.to_polar(p)
+        return polar.radius, polar.angle
+
+    def on_circle(self, radius: float) -> list[tuple[Vec2, float]]:
+        """Robots of P' on the circle of ``radius``, with angles, sorted by
+        angle ascending."""
+        out = [
+            (p, a)
+            for p, r, a in self.coords
+            if approx_eq(r, radius, RAD_TOL)
+        ]
+        out.sort(key=lambda t: t[1])
+        return out
+
+    def interior_of(self, radius: float) -> list[tuple[Vec2, float, float]]:
+        """Robots of P' strictly inside ``radius`` (lex sorted)."""
+        return [t for t in self.coords if t[1] < radius - RAD_TOL]
+
+    def between(self, r_low: float, r_high: float) -> list[tuple[Vec2, float, float]]:
+        """Robots of P' strictly between the two radii (lex sorted)."""
+        return [
+            t for t in self.coords if r_low + RAD_TOL < t[1] < r_high - RAD_TOL
+        ]
+
+    def is_rmax(self, p: Vec2) -> bool:
+        return p.approx_eq(self.rmax, 1e-9)
+
+    # ------------------------------------------------------------------
+    # movement constructors (Z-aware)
+    # ------------------------------------------------------------------
+    def arc_to(self, me: Vec2, target_angle: float, increasing: bool) -> Path:
+        """Arc on my circle to a Z-angle, sweeping in the given Z sense."""
+        _, cur = self.coord_of(me)
+        if increasing:
+            sweep_z = (target_angle - cur) % (2.0 * math.pi)
+        else:
+            sweep_z = -((cur - target_angle) % (2.0 * math.pi))
+        sweep_local = sweep_z if self.z.direct else -sweep_z
+        return arc_move_sweep(me, self.z.center, sweep_local)
+
+    def radial(self, me: Vec2, target_radius: float) -> Path:
+        """Radial move toward/away from the center."""
+        return radial_move(me, self.z.center, target_radius)
+
+    def ray_blocked(self, me: Vec2, target_radius: float) -> bool:
+        """Whether another robot stands on my ray between me and target."""
+        my_r, my_a = self.coord_of(me)
+        lo, hi = sorted((my_r, target_radius))
+        for p, r, a in self.coords:
+            if p.approx_eq(me, 1e-9):
+                continue
+            if lo - RAD_TOL <= r <= hi + RAD_TOL and _ang_eq(a, my_a):
+                return True
+        rs_polar = self.z.to_polar(self.rs)
+        if lo - RAD_TOL <= rs_polar.radius <= hi + RAD_TOL and _ang_eq(
+            rs_polar.angle, my_a
+        ):
+            return True
+        return False
+
+    def free_parking_angle(
+        self, start: float, low: float, high: float
+    ) -> float:
+        """An angle in (low, high) near ``start`` with no robot on it (any
+        circle) — avoids creating ray or position coincidences."""
+        if high - low <= 3 * ANG_TOL:
+            # Degenerate interval (should not happen once the over-bound
+            # pre-phase has cleared the parking zone); stay near its middle.
+            return (low + high) / 2.0
+        candidate = min(max(start, low + ANG_TOL), high - ANG_TOL)
+        taken = [a for _, _, a in self.coords]
+        rs_angle = self.z.to_polar(self.rs).angle
+        taken.append(rs_angle)
+        for _ in range(64):
+            if all(not _ang_eq(candidate, t, 10 * ANG_TOL) for t in taken):
+                return candidate
+            candidate = low + (candidate - low) * 0.87
+        return candidate
+
+
+def _ang_eq(a: float, b: float, tol: float = ANG_TOL) -> bool:
+    d = abs(a - b) % (2.0 * math.pi)
+    return d <= tol or 2.0 * math.pi - d <= tol
+
+
+def max_gap_with(angles: list[float], extra: float | None = None) -> float:
+    """Largest angular gap among the given directions (2*pi when empty)."""
+    values = sorted(angles + ([extra] if extra is not None else []))
+    if not values:
+        return 2.0 * math.pi
+    gaps = [
+        (values[(i + 1) % len(values)] - values[i]) % (2.0 * math.pi)
+        for i in range(len(values) - 1)
+    ]
+    gaps.append((values[0] - values[-1]) % (2.0 * math.pi))
+    return max(gaps)

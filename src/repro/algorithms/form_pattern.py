@@ -1,0 +1,137 @@
+"""The paper's main algorithm: ``formPattern``.
+
+Per activation (lines 1-17 of the paper's main pseudo-code):
+
+1. if the pattern is already formed — do nothing (terminal);
+2. if a unique maximal-view robot ``r`` exists whose removal leaves
+   ``F`` minus a maximal-view point — ``r`` performs the *final join*,
+   walking straight to the missing pattern point;
+3. else if a *selected* robot exists — run the deterministic pattern
+   formation ψ_DPF;
+4. else — run the randomized symmetry breaking ψ_RSB.
+
+All reasoning happens in normalised coordinates (unit ``C(P)`` at the
+origin); the resulting path is mapped back to the robot's raw local frame
+before being returned to the engine.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+
+from ..geometry import Vec2, find_similarity, point_holds_sec, similar, without_point
+from ..model import Pattern, Snapshot
+from ..model.views import compare_views, local_view, max_view_points
+from ..sim.context import ComputeContext
+from ..sim.paths import Path
+from .analysis import Analysis
+from .base import Algorithm
+from .dpf import dpf_compute
+from .pattern_geometry import PatternGeometry
+from .rsb import rsb_compute
+from .tuning import DEFAULT_TUNING, Tuning
+
+
+#: Tolerance (normalised units) for "the pattern is formed" matching.
+#: Per-cycle renormalisation leaves ~1e-6 of noise on parked robots, so
+#: formation checks must be an order of magnitude looser than that while
+#: staying far below every geometric feature of the algorithm.
+FORMATION_EPS = 2e-5
+
+
+class FormPattern(Algorithm):
+    """Probabilistic asynchronous arbitrary pattern formation.
+
+    Forms ``pattern`` from any general-position initial configuration of
+    ``len(pattern)`` robots, under any fair scheduler (FSYNC to full
+    ASYNC), without any agreement on coordinate systems, using one random
+    bit per robot per cycle.  Guarantees hold for ``n >= 7`` (Theorem 2).
+
+    Args:
+        pattern: the target pattern (any similarity representative).
+        tuning: ψ_RSB constants (paper defaults; see :class:`Tuning`).
+    """
+
+    name = "formPattern"
+
+    def __init__(self, pattern: Pattern, tuning: Tuning = DEFAULT_TUNING) -> None:
+        if pattern.has_multiplicity():
+            raise ValueError(
+                "this algorithm requires a multiplicity-free pattern; use "
+                "MultiplicityFormPattern for patterns with multiplicities"
+            )
+        self.pg = PatternGeometry(pattern)
+        self.tuning = tuning
+        self.target_pattern = self.pg.pattern
+        #: the maximal-view non-holding points of F (the paper's ClosestF).
+        self.closest_f = self._closest_f()
+
+    def _closest_f(self) -> list[Vec2]:
+        pts = self.pg.points
+        center = self.pg.center
+        candidates = [
+            p
+            for p in pts
+            if not p.approx_eq(center) and not point_holds_sec(pts, p)
+        ]
+        entries = [(p, local_view(pts, center, p)) for p in candidates]
+        entries.sort(
+            key=cmp_to_key(lambda a, b: compare_views(a[1], b[1])), reverse=True
+        )
+        top = entries[0][1]
+        out: list[Vec2] = []
+        for p, v in entries:
+            if compare_views(v, top) != 0:
+                break
+            if not any(p.approx_eq(q) for q in out):
+                out.append(p)
+        return out
+
+    # ------------------------------------------------------------------
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        if len(snapshot.points) != len(self.pg.points):
+            raise ValueError(
+                f"configuration has {len(snapshot.points)} robots, pattern "
+                f"needs {len(self.pg.points)}"
+            )
+        an = Analysis(snapshot, self.pg.l_f)
+
+        if similar(an.points, self.pg.points, FORMATION_EPS):
+            return None  # pattern formed: stay put forever
+
+        join = self._final_join(an)
+        if join is not None:
+            mover, path = join
+            result = path if an.i_am(mover) else None
+            return self._denormalize(an, result)
+
+        rs = an.selected_robot
+        if rs is not None:
+            return self._denormalize(an, dpf_compute(an, self.pg, rs, ctx))
+        return self._denormalize(an, rsb_compute(an, self.pg, ctx, self.tuning))
+
+    # ------------------------------------------------------------------
+    def _final_join(self, an: Analysis) -> tuple[Vec2, Path] | None:
+        """Line 3: the unique maximal-view robot walks to the missing
+        pattern point when everyone else already forms F minus one."""
+        closest_p = max_view_points(an.points, an.center)
+        if len(closest_p) != 1:
+            return None
+        r = closest_p[0]
+        rest = without_point(an.points, r)
+        for f in self.closest_f:
+            f_rest = without_point(self.pg.points, f)
+            transform = find_similarity(f_rest, rest, FORMATION_EPS)
+            if transform is None:
+                continue
+            target = transform.apply(f)
+            if target.approx_eq(r, 1e-9):
+                return None  # formed (caught by the similarity check anyway)
+            return r, Path.line(r, target)
+        return None
+
+    @staticmethod
+    def _denormalize(an: Analysis, path: Path | None) -> Path | None:
+        if path is None or path.is_trivial():
+            return None
+        return path.transformed(an.denorm)

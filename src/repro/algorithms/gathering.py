@@ -1,0 +1,54 @@
+"""Gathering: all robots meet at one point (the total-multiplicity pattern).
+
+The pattern-formation algorithm deliberately excludes the gathered
+configuration (its normalisation needs ``C(P)`` non-degenerate), and the
+paper handles "F is a single point of multiplicity n" by first forming an
+auxiliary two-location pattern.  This module provides the direct classic
+solution used as that final stage and as a standalone primitive:
+center-of-gravity gathering with multiplicity detection, correct in
+SSYNC (and in practice robust under our ASYNC adversary thanks to the
+largest-stack tie-breaking):
+
+* if one location already hosts a strict majority of robots, everyone
+  else moves there (majority stacks can never lose their majority:
+  movers arrive one by one);
+* otherwise robots move toward the center of the smallest enclosing
+  circle, which is invariant while only interior robots move.
+
+This is a pragmatic engineering primitive, not a reproduction of the
+FSYNC/SSYNC gathering literature's strongest results; its tests pin down
+exactly the guarantees it does provide.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Vec2, smallest_enclosing_circle
+from ..model import Snapshot
+from ..sim.context import ComputeContext
+from ..sim.paths import Path
+from .base import Algorithm
+
+
+class Gathering(Algorithm):
+    """Gather all robots at a single point."""
+
+    name = "gathering"
+    requires_multiplicity_detection = True
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        distinct = snapshot.distinct()
+        if len(distinct) == 1:
+            return None  # gathered
+
+        total = sum(m for _, m in distinct)
+        location, count = max(distinct, key=lambda t: (t[1],))
+        if 2 * count > total:
+            # A strict-majority stack is the rendezvous point.
+            if snapshot.me.approx_eq(location, 1e-9):
+                return None
+            return Path.line(snapshot.me, location)
+
+        target = smallest_enclosing_circle(snapshot.points).center
+        if snapshot.me.approx_eq(target, 1e-9):
+            return None
+        return Path.line(snapshot.me, target)

@@ -1,0 +1,47 @@
+"""Movement constructors shared by all algorithm phases.
+
+All helpers build :class:`~repro.sim.paths.Path` objects in the same
+(normalised) coordinates as the analysis, starting exactly at the moving
+robot's observed position — the engine checks that invariant.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Circle, Vec2, direction_angle
+from ..geometry.tolerance import norm_angle_signed
+from ..sim.paths import Path
+
+
+def radial_move(me: Vec2, center: Vec2, target_radius: float) -> Path:
+    """Move along the half-line from ``center`` through ``me`` to the
+    given radius (inward or outward)."""
+    direction = (me - center).normalized()
+    return Path.line(me, center + direction * target_radius)
+
+
+def move_toward(me: Vec2, target: Vec2, distance: float | None = None) -> Path:
+    """Straight move toward ``target``; optionally only ``distance`` far."""
+    if distance is None:
+        return Path.line(me, target)
+    gap = me.dist(target)
+    if gap <= 1e-15 or distance >= gap:
+        return Path.line(me, target)
+    return Path.line(me, me + (target - me) * (distance / gap))
+
+
+def arc_move_to_angle(me: Vec2, center: Vec2, target_angle: float) -> Path:
+    """Move on my circle (around ``center``) to ``target_angle``, taking
+    the shorter way."""
+    radius = me.dist(center)
+    circle = Circle(center, radius)
+    current = direction_angle(center, me)
+    sweep = norm_angle_signed(target_angle - current)
+    return Path.arc(circle, current, sweep)
+
+
+def arc_move_sweep(me: Vec2, center: Vec2, sweep: float) -> Path:
+    """Move on my circle by the signed ``sweep`` angle."""
+    radius = me.dist(center)
+    circle = Circle(center, radius)
+    current = direction_angle(center, me)
+    return Path.arc(circle, current, sweep)

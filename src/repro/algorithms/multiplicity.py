@@ -1,0 +1,162 @@
+"""Extension: patterns with multiplicity points (Section 5 + Appendix C).
+
+With (strong) multiplicity detection the main algorithm forms patterns in
+which several robots share a location: robots heading for the same target
+are allowed to stack.  The only genuinely special case is a multiplicity
+at the pattern's center ``c(F)`` — no ordering can funnel several robots
+*through* the center — so the algorithm first forms the auxiliary pattern
+``F~`` in which the center stack is displaced to ``g_F`` (the midpoint of
+the center and the maximal-view point), then the stacked robots walk the
+final half-line into the center one after another.
+"""
+
+from __future__ import annotations
+
+from ..geometry import (
+    Vec2,
+    direction_angle,
+    find_similarity,
+    midpoint,
+    similar,
+)
+from ..geometry.tolerance import norm_angle
+from ..model import Pattern, Snapshot
+from ..regular import config_center
+from ..sim.context import ComputeContext
+from ..sim.paths import Path
+from .analysis import Analysis
+from .form_pattern import FormPattern
+
+
+class MultiplicityFormPattern(FormPattern):
+    """Pattern formation for patterns that contain multiplicity points.
+
+    Requires robots endowed with strong multiplicity detection.  The
+    initial configuration must still be multiplicity-free (scattering from
+    multiplicities is the open ASYNC problem the paper leaves for future
+    work).
+    """
+
+    name = "formPattern+multiplicity"
+    requires_multiplicity_detection = True
+
+    def __init__(self, pattern: Pattern) -> None:
+        normalized = pattern.normalized()
+        center = config_center(list(normalized.points))
+        self.center_count = sum(
+            1 for p in normalized.points if p.approx_eq(center, 1e-9)
+        )
+        self.full_pattern = normalized
+        if self.center_count >= 1 and len(normalized) - self.center_count >= 1:
+            working = _displace_center(normalized, center, self.center_count)
+        else:
+            working = normalized
+        # Bypass FormPattern.__init__'s multiplicity rejection: build the
+        # geometry for the working pattern directly.
+        from .pattern_geometry import PatternGeometry
+        from .tuning import DEFAULT_TUNING
+
+        self.pg = PatternGeometry(working)
+        self.tuning = DEFAULT_TUNING
+        self.target_pattern = self.full_pattern
+        self.closest_f = self._closest_f()
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        from .form_pattern import FORMATION_EPS
+
+        an = Analysis(snapshot, self.pg.l_f)
+        if similar(an.points, list(self.full_pattern.points), FORMATION_EPS):
+            return None
+        if self.center_count >= 1:
+            last = self._center_stack_move(an)
+            if last is not None:
+                mover, path = last
+                return self._denormalize(an, path if an.i_am(mover) else None)
+            if self._in_last_stage(an):
+                return None  # someone else's walk into the center is due
+        return super().compute(snapshot, ctx)
+
+    # ------------------------------------------------------------------
+    def _in_last_stage(self, an: Analysis) -> bool:
+        """Whether the auxiliary pattern F~ has been formed (possibly with
+        some robots already moved toward the center)."""
+        return self._stack_state(an) is not None
+
+    def _center_stack_move(self, an: Analysis) -> tuple[Vec2, Path] | None:
+        """The next robot of the displaced stack walks into the center."""
+        state = self._stack_state(an)
+        if state is None:
+            return None
+        center, walkers = state
+        if not walkers:
+            return None
+        # Walk them in from the closest first: the half-line stays simple
+        # and no robot ever crosses another.
+        mover = min(walkers, key=lambda p: p.dist(center))
+        return mover, Path.line(mover, center)
+
+    def _stack_state(self, an: Analysis) -> tuple[Vec2, list[Vec2]] | None:
+        """Detect the last stage: the m closest robots share one half-line
+        from the center (some possibly already at the center) and the rest
+        forms F minus its center stack.  Returns (center, robots still to
+        walk in)."""
+        m = self.center_count
+        rest_pattern = [
+            p
+            for p in self.full_pattern.points
+            if not _is_center_point(self.full_pattern, p)
+        ]
+        if len(rest_pattern) + m != len(an.points):
+            return None
+        # Candidate center: where the pattern's center lands — recover it
+        # by matching the outer robots against the outer pattern.
+        from .form_pattern import FORMATION_EPS
+
+        ranked = sorted(an.points, key=lambda p: p.dist(an.center))
+        stack, outer = ranked[:m], ranked[m:]
+        if not similar(outer, rest_pattern, FORMATION_EPS):
+            return None
+        transform = find_similarity(rest_pattern, outer, FORMATION_EPS)
+        if transform is None:
+            return None
+        pattern_center = config_center(list(self.full_pattern.points))
+        center = transform.apply(pattern_center)
+        # All stack robots on one half-line from the center.
+        direction: float | None = None
+        walkers: list[Vec2] = []
+        for p in stack:
+            if p.approx_eq(center, 1e-7):
+                continue
+            theta = direction_angle(center, p)
+            if direction is None:
+                direction = theta
+            elif abs(norm_angle(theta - direction)) > 1e-5 and (
+                2.0 * 3.141592653589793 - abs(norm_angle(theta - direction))
+            ) > 1e-5:
+                return None
+            walkers.append(p)
+        return center, walkers
+
+
+def _displace_center(pattern: Pattern, center: Vec2, count: int) -> Pattern:
+    """Build F~: the center stack displaced to g_F (Appendix C)."""
+    rest = [p for p in pattern.points if not p.approx_eq(center, 1e-9)]
+    if not rest:
+        raise ValueError("a pure gathering pattern needs at least 2 locations")
+    from functools import cmp_to_key
+
+    from ..model.views import compare_views, local_view
+
+    distinct = []
+    for p in rest:
+        if not any(p.approx_eq(q) for q in distinct):
+            distinct.append(p)
+    entries = [(p, local_view(rest, center, p)) for p in distinct]
+    entries.sort(key=cmp_to_key(lambda a, b: compare_views(a[1], b[1])), reverse=True)
+    g_f = midpoint(center, entries[0][0])
+    return Pattern.from_points(rest + [g_f] * count)
+
+
+def _is_center_point(pattern: Pattern, p: Vec2) -> bool:
+    center = config_center(list(pattern.points))
+    return p.approx_eq(center, 1e-9)

@@ -1,0 +1,183 @@
+"""Pattern-side precomputation.
+
+Everything the algorithm derives from the target pattern ``F`` alone —
+independent of any snapshot — computed once when the algorithm is built:
+
+* the normalised pattern (unit ``C(F)`` at the origin) and its center
+  ``c(F)``;
+* ``l_F`` (distance of the second closest point to the center), which
+  scales the *selected robot* predicate;
+* ``f_s``: the maximal-view point not holding ``C(F)`` — the selected
+  robot's final destination — and ``F' = F - {f_s}``;
+* ``f_max``: a maximal-view point of ``F'`` — the anchor that aligns the
+  pattern with the global coordinate system ``Z``;
+* ``theta_F'``: the angular clearance around ``f_max`` (condition (iv) of
+  phase 1);
+* the target circles ``C_1, ..., C_m`` (distinct radii of ``F'`` points,
+  decreasing) with their multiplicities ``m_i``;
+* the polar coordinates of every ``F'`` point in the ``f_max``-anchored
+  frame, in the lexicographic order used to pair robots to destinations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cmp_to_key
+
+from ..geometry import (
+    Vec2,
+    angmin,
+    direction_angle,
+    norm_angle,
+    point_holds_sec,
+    without_point,
+)
+from ..geometry.tolerance import approx_eq
+from ..model import Pattern
+from ..model.views import compare_views, local_view
+from ..regular import config_center
+
+#: Radius grouping tolerance for the target circles.
+CIRCLE_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class TargetCircle:
+    """One target circle ``C_i``: its radius and how many points it hosts."""
+
+    radius: float
+    count: int
+
+
+class PatternGeometry:
+    """Precomputed, snapshot-independent data about the target pattern."""
+
+    def __init__(self, pattern: Pattern) -> None:
+        if len(pattern) < 4:
+            raise ValueError(
+                "pattern formation needs at least 4 points (the paper's "
+                "guarantees need n >= 7)"
+            )
+        normalized = pattern.normalized()
+        self.pattern = normalized
+        self.points: list[Vec2] = list(normalized.points)
+        #: c(F) — regular-set center if F is regular, else the SEC center.
+        self.center: Vec2 = config_center(self.points)
+
+        radii = sorted(p.dist(self.center) for p in self.points)
+        self.l_f: float = radii[1]
+
+        self.f_s: Vec2 = self._pick_f_s()
+        self.f_prime: list[Vec2] = without_point(self.points, self.f_s)
+        self.f_max: Vec2 = self._pick_f_max()
+        self.f_max_radius: float = self.f_max.dist(self.center)
+        self.theta_f_prime: float = self._theta_f_prime()
+
+        #: orientation of f_max's maximal view (True = counterclockwise in
+        #: the pattern's own coordinates); fixes the mirror of F'.
+        self.f_max_direct: bool = local_view(
+            self.f_prime, self.center, self.f_max
+        ).direct
+
+        self.circles: list[TargetCircle] = self._target_circles()
+        #: (radius, angle) of every F' point in the f_max-anchored polar
+        #: frame, sorted lexicographically (the d_1 < ... < d_{n-1} order).
+        self.targets: list[tuple[float, float]] = self._target_coords()
+
+    # ------------------------------------------------------------------
+    def _pick_f_s(self) -> Vec2:
+        """Max-view point of F that does not hold C(F)."""
+        candidates = [
+            p
+            for p in _distinct(self.points)
+            if not p.approx_eq(self.center)
+            and not point_holds_sec(self.points, p)
+        ]
+        if not candidates:
+            raise ValueError("no pattern point is free of the enclosing circle")
+        views = [(p, local_view(self.points, self.center, p)) for p in candidates]
+        views.sort(
+            key=cmp_to_key(lambda a, b: compare_views(a[1], b[1])), reverse=True
+        )
+        return views[0][0]
+
+    def _pick_f_max(self) -> Vec2:
+        """Max-view point of F' (about c(F))."""
+        candidates = [
+            p for p in _distinct(self.f_prime) if not p.approx_eq(self.center)
+        ]
+        views = [(p, local_view(self.f_prime, self.center, p)) for p in candidates]
+        views.sort(
+            key=cmp_to_key(lambda a, b: compare_views(a[1], b[1])), reverse=True
+        )
+        return views[0][0]
+
+    def _theta_f_prime(self) -> float:
+        """theta_F' = min({pi} U {angmin(f_max, c, f) : same-radius f})."""
+        best = math.pi
+        for f in self.f_prime:
+            if f.approx_eq(self.f_max):
+                continue
+            if approx_eq(f.dist(self.center), self.f_max_radius, CIRCLE_TOL * 10):
+                best = min(best, angmin(self.f_max, self.center, f))
+        return best
+
+    def _target_circles(self) -> list[TargetCircle]:
+        """Distinct radii of F' (descending) with point counts."""
+        radii = sorted((p.dist(self.center) for p in self.f_prime), reverse=True)
+        circles: list[TargetCircle] = []
+        for r in radii:
+            if circles and approx_eq(circles[-1].radius, r, CIRCLE_TOL):
+                circles[-1] = TargetCircle(circles[-1].radius, circles[-1].count + 1)
+            else:
+                circles.append(TargetCircle(r, 1))
+        return circles
+
+    def _target_coords(self) -> list[tuple[float, float]]:
+        """F' points as (radius, angle) in the f_max frame, lex sorted.
+
+        The frame: center c(F), reference direction through f_max, angles
+        growing in f_max's view orientation.  This is exactly how F' is
+        "mirrored and rotated" onto the global system Z.
+        """
+        ref = direction_angle(self.center, self.f_max)
+        coords: list[tuple[float, float]] = []
+        for p in self.f_prime:
+            if p.approx_eq(self.center):
+                coords.append((0.0, 0.0))
+                continue
+            raw = direction_angle(self.center, p) - ref
+            angle = norm_angle(raw if self.f_max_direct else -raw)
+            if angle > 2.0 * math.pi - 1e-9 or angle < 1e-12:
+                angle = 0.0
+            # Snap the radius to its circle's canonical value so the
+            # lexicographic sort never lets 1e-16 radius noise outrank the
+            # angle — the pairing with robots depends on this order.
+            radius = p.dist(self.center)
+            index = self.circle_index_of_radius(radius)
+            if index is not None:
+                radius = self.circles[index].radius
+            coords.append((radius, angle))
+        coords.sort()
+        return coords
+
+    # ------------------------------------------------------------------
+    def circle_index_of_radius(self, radius: float) -> int | None:
+        """Index i (0-based) of the circle with this radius, if any."""
+        for i, c in enumerate(self.circles):
+            if approx_eq(c.radius, radius, 1e-6):
+                return i
+        return None
+
+    def smallest_circle_radius(self) -> float:
+        """Radius of C_m (the innermost target circle)."""
+        return self.circles[-1].radius
+
+
+def _distinct(points: list[Vec2]) -> list[Vec2]:
+    out: list[Vec2] = []
+    for p in points:
+        if not any(p.approx_eq(q) for q in out):
+            out.append(p)
+    return out

@@ -1,0 +1,16 @@
+"""ψ_RSB — randomized symmetry breaking (probabilistic leader election)."""
+
+from .election import election_compute
+from .nonregular_case import nonregular_compute
+from .partial_pattern import PartialPatternGuard, partial_pattern_guard
+from .rsb import rsb_compute
+from .shifted_case import shifted_compute
+
+__all__ = [
+    "PartialPatternGuard",
+    "election_compute",
+    "nonregular_compute",
+    "partial_pattern_guard",
+    "rsb_compute",
+    "shifted_compute",
+]

@@ -1,0 +1,123 @@
+"""ψ_RSB, regular branch: randomized robot election.
+
+The configuration contains a (non-shifted) regular set ``Q``.  The robots
+of ``Q`` that are closest to the center flip a fair coin: heads, move an
+eighth of their radius toward the center; tails, move away (bounded so as
+to stay strictly inside the largest disc free of ``P \\ Q`` robots).
+A robot becomes *elected* when it is strictly below 7/8 of every other
+member's radius; once it observes its own election it commits by shifting
+on its circle, creating the 1/8-shifted regular set the next branch
+handles.  One coin per robot per cycle — the paper's randomness budget.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...geometry import Vec2, direction_angle, min_angle
+from ...geometry.tolerance import norm_angle, norm_angle_signed
+from ...model.views import local_view
+from ...regular import RegularSet
+from ...sim.context import ComputeContext
+from ...sim.paths import Path
+from ..analysis import RTOL, Analysis
+from ..moves import arc_move_to_angle, radial_move
+from ..pattern_geometry import PatternGeometry
+from ..tuning import DEFAULT_TUNING, Tuning
+from .partial_pattern import partial_pattern_guard
+
+
+def election_compute(
+    an: Analysis,
+    reg: RegularSet,
+    pg: PatternGeometry,
+    ctx: ComputeContext,
+    tuning: Tuning = DEFAULT_TUNING,
+) -> Path | None:
+    """Movement for the observing robot in the election branch."""
+    center = reg.geometry.center
+    members = list(reg.members)
+    if not any(an.i_am(p) for p in members):
+        return None  # robots outside the regular set never move here
+
+    # Appendix A guard: pull Q strictly inside the leftover pattern radii
+    # before electing, and cap outward moves afterwards.
+    guard = partial_pattern_guard(an, reg, pg)
+    forced_radius = guard.move_for(an)
+    if forced_radius is not None:
+        return radial_move(an.me, center, forced_radius)
+    if guard.moves:
+        return None  # someone else must descend first
+
+    my_radius = an.me.dist(center)
+    others_q = [p for p in members if not an.i_am(p)]
+    min_others_q = min(p.dist(center) for p in others_q)
+
+    if my_radius < tuning.elect_threshold * min_others_q - RTOL:
+        # I observe my own election: commit by shifting on my circle.
+        return _elected_shift(an, center, ctx, tuning)
+
+    if any(
+        p.dist(center) < my_radius - RTOL
+        for p in an.points
+        if not an.i_am(p)
+    ):
+        return None  # someone is strictly closer; I do not move
+
+    # I am one of the closest robots: flip the one coin of this cycle.
+    complement = [
+        p for p in an.points if not any(p.approx_eq(q) for q in members)
+    ]
+    d = min((p.dist(center) for p in complement), default=math.inf)
+    if ctx.random_bit():
+        return radial_move(an.me, center, my_radius * tuning.toward_factor)
+    away = min(0.5 * (d - my_radius), my_radius * tuning.away_cap)
+    if away <= 1e-12:
+        return None
+    target = my_radius + away
+    if guard.cap is not None and target >= guard.cap - RTOL:
+        return None
+    return radial_move(an.me, center, target)
+
+
+def _elected_shift(
+    an: Analysis, center: Vec2, ctx: ComputeContext, tuning: Tuning
+) -> Path:
+    """The elected robot's commitment move: arc by alpha_min(P)/8 on its
+    circle, toward its closest angular neighbour (the direction that
+    decreases its minimum angle, as Definition 3(b) requires)."""
+    alpha = min_angle(center, an.points)
+    theta_me = direction_angle(center, an.me)
+    side = _side_toward_nearest(an, center, theta_me, ctx)
+    target = norm_angle(theta_me + side * alpha * tuning.shift_small)
+    return arc_move_to_angle(an.me, center, target)
+
+
+def _side_toward_nearest(
+    an: Analysis, center: Vec2, theta_me: float, ctx: ComputeContext
+) -> float:
+    """+1/-1: the arc direction with the nearest angular neighbour.
+
+    Ties (perfectly symmetric neighbourhoods) are broken by the robot's
+    view orientation when it has one, else by its own chirality — either
+    way the first δ of movement freezes the choice into the
+    configuration."""
+    best_delta = math.inf
+    best_side = 0.0
+    for q in an.points:
+        if an.i_am(q) or q.approx_eq(center):
+            continue
+        signed = norm_angle_signed(direction_angle(center, q) - theta_me)
+        if abs(signed) < 1e-9:
+            continue
+        if abs(signed) < best_delta - 1e-9:
+            best_delta = abs(signed)
+            best_side = 1.0 if signed > 0 else -1.0
+        elif abs(abs(signed) - best_delta) <= 1e-9:
+            best_side = 0.0  # tie: neighbours at equal angles on both sides
+    if best_side != 0.0:
+        return best_side
+    view = local_view(an.points, center, an.me)
+    if not view.symmetric:
+        return 1.0 if view.direct else -1.0
+    return 1.0 if ctx.own_chirality else -1.0

@@ -1,0 +1,64 @@
+"""ψ_RSB restricted to Q^c: no regular set in the configuration.
+
+By Property 1 the configuration then has trivial symmetricity and no
+mirror axis, so all views are distinct and a unique maximal-view robot
+``r_max`` (among those not holding ``C(P)``) exists.  Only ``r_max``
+moves: radially toward the center.  If some point of its radial path
+turns the configuration into one *containing* a (shifted) regular set,
+it stops at the first such point (handing over to ψ_RSB|Q); otherwise it
+descends until it is selected.
+
+With this library's view order (closest robots have the greatest views)
+``r_max`` is always one of the innermost robots, so its descent crosses
+no other robot's radius: the only structure it can create is a shifted
+regular set in which it is the shifted robot, which is probed just below
+the current innermost radius.
+"""
+
+from __future__ import annotations
+
+from ...geometry import Vec2, without_point
+from ...model.views import max_view_not_holding_sec
+from ...regular import find_shifted_regular
+from ...sim.paths import Path
+from ..analysis import RTOL, Analysis
+from ..moves import radial_move
+from ..tuning import DEFAULT_TUNING, Tuning
+
+
+def nonregular_compute(
+    an: Analysis, tuning: Tuning = DEFAULT_TUNING
+) -> Path | None:
+    """Movement for the observing robot when no regular set exists."""
+    center = an.center
+    candidates = max_view_not_holding_sec(an.points, center)
+    if len(candidates) != 1:
+        # Near-symmetric tie below the regularity tolerance: measure-zero
+        # for the workloads we run; waiting is always safe.
+        return None
+    rmax = candidates[0]
+    if not an.i_am(rmax):
+        return None
+
+    my_radius = an.me.dist(center)
+    d_min = min(p.dist(center) for p in an.points)
+    # Probe: would standing strictly below every tie create a shifted
+    # regular set with me as the shifted robot?  (Directions never change
+    # along a radial path, so this single probe decides the whole ray.)
+    probe_radius = 0.99 * d_min
+    if probe_radius > 1e-9:
+        probe_me = center + (an.me - center).normalized() * probe_radius
+        probe_points = without_point(an.points, an.me) + [probe_me]
+        if find_shifted_regular(probe_points) is not None:
+            if my_radius > probe_radius + RTOL:
+                return radial_move(an.me, center, probe_radius)
+            return None
+
+    others_min = min(
+        (p.dist(center) for p in an.points if not an.i_am(p)),
+        default=an.l_f,
+    )
+    target = tuning.select_margin * min(an.l_f / 2.0, others_min / 2.0)
+    if my_radius <= target + 1e-9:
+        return None  # already selected (caller re-dispatches next cycle)
+    return radial_move(an.me, center, target)

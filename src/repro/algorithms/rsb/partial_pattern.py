@@ -1,0 +1,190 @@
+"""``handlePartiallyFormedPattern`` (Appendix A of the paper).
+
+Guard run before the probabilistic election: if the pattern could be
+accidentally completed — the robots outside the regular set already sit on
+pattern points (under some rotation/reflection with ``C(F) = C(P)``) and
+all but one of the regular set's robots stand on half-lines through the
+remaining pattern points — then the election's radial moves could create
+the "n-1 robots form F minus a point" configuration without anyone
+noticing.  The guard first pulls the regular set's robots strictly inside
+the remaining pattern radii, then caps the election's outward moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...geometry import Vec2, direction_angle
+from ...geometry.tolerance import approx_eq, norm_angle
+from ...regular import RegularSet
+from ..analysis import Analysis
+from ..pattern_geometry import PatternGeometry
+
+#: Tolerance for matching robots to pattern points / half-lines.
+MATCH_TOL = 1e-6
+ANGLE_MATCH_TOL = 1e-5
+
+
+@dataclass
+class PartialPatternGuard:
+    """Outcome of the guard.
+
+    ``moves`` maps robots (by position) to target radii they must reach
+    before the election may continue; ``cap`` bounds the radius of any
+    outward election move (None = no cap).
+    """
+
+    moves: list[tuple[Vec2, float]] = field(default_factory=list)
+    cap: float | None = None
+
+    def move_for(self, an: Analysis) -> float | None:
+        """Target radius for the observing robot, if it must move."""
+        for p, radius in self.moves:
+            if an.i_am(p):
+                return radius
+        return None
+
+
+def partial_pattern_guard(
+    an: Analysis, reg: RegularSet, pg: PatternGeometry
+) -> PartialPatternGuard:
+    """Evaluate the Appendix A guard for the current configuration."""
+    center = reg.geometry.center
+    members = list(reg.members)
+    complement = [
+        p for p in an.points if not any(p.approx_eq(q) for q in members)
+    ]
+    f_rest = _align_complement(an, center, complement, pg, members)
+    if f_rest is None:
+        return PartialPatternGuard()
+    if not _enough_on_half_lines(center, members, f_rest):
+        return PartialPatternGuard()
+
+    radii = sorted((f.dist(center) for f in f_rest), reverse=True)
+    d1 = radii[0]
+    inner = [r for r in radii if r < d1 - MATCH_TOL]
+    d2 = inner[0] if inner else d1
+    d = (d1 + d2) / 2.0
+
+    above_d1 = [p for p in members if p.dist(center) > d1 + MATCH_TOL]
+    if above_d1:
+        return PartialPatternGuard(moves=[(p, d1) for p in above_d1])
+    above_d = [p for p in members if p.dist(center) > d + MATCH_TOL]
+    if above_d:
+        return PartialPatternGuard(moves=[(p, d) for p in above_d])
+    return PartialPatternGuard(cap=d)
+
+
+def _align_complement(
+    an: Analysis,
+    center: Vec2,
+    complement: list[Vec2],
+    pg: PatternGeometry,
+    members: list[Vec2],
+) -> list[Vec2] | None:
+    """Find a rotation/reflection of F (with C(F)=C(P)) placing every
+    complement robot on a pattern point; return the unmatched pattern
+    points ``F_r``, or None.
+
+    With a proper complement, every checked rotation must match it point
+    for point.  With Q = P the complement is empty and any rotation
+    matches trivially — candidates are then anchored on the regular set's
+    own members (their *directions* are what condition (ii) tests), and
+    the guard's half-line count does the filtering.
+    """
+    pattern = pg.points  # unit SEC at origin, like the analysis frame
+    if len(complement) >= len(pattern):
+        return None
+    candidate_angles = _candidate_rotations(center, complement, pattern, members)
+    best: list[Vec2] | None = None
+    for reflect in (False, True):
+        for theta in candidate_angles:
+            mapped = [_transform(f, theta, reflect) for f in pattern]
+            rest = _match_all(complement, mapped)
+            if rest is None:
+                continue
+            if complement:
+                return rest
+            # Empty complement: keep the first rotation whose half-line
+            # condition actually holds; trivial matches are not enough.
+            if _enough_on_half_lines(center, members, rest):
+                return rest
+            best = best if best is not None else rest
+    return best
+
+
+def _candidate_rotations(
+    center: Vec2,
+    complement: list[Vec2],
+    pattern: list[Vec2],
+    members: list[Vec2],
+) -> list[float]:
+    """Rotations aligning a pattern point with an anchor robot.
+
+    Anchors are complement robots when they exist (the rotation must map
+    pattern points onto them exactly) and regular-set members otherwise
+    (their directions must align with pattern directions)."""
+    out: list[float] = []
+    if complement:
+        for p in complement[:2]:
+            tp = direction_angle(Vec2.zero(), p) if not p.approx_eq(Vec2.zero()) else 0.0
+            rp = p.norm()
+            for f in pattern:
+                if not approx_eq(f.norm(), rp, 10 * MATCH_TOL):
+                    continue
+                tf = direction_angle(Vec2.zero(), f) if not f.approx_eq(Vec2.zero()) else 0.0
+                out.append(norm_angle(tp - tf))
+                out.append(norm_angle(-(tp + tf)))  # reflection partner
+        return out
+    for p in members[:2]:
+        if p.approx_eq(center):
+            continue
+        tp = direction_angle(center, p)
+        for f in pattern:
+            if f.approx_eq(Vec2.zero()):
+                continue
+            tf = direction_angle(Vec2.zero(), f)
+            out.append(norm_angle(tp - tf))
+            out.append(norm_angle(-(tp + tf)))
+    return out or [0.0]
+
+
+def _transform(f: Vec2, theta: float, reflect: bool) -> Vec2:
+    g = f.mirrored_x() if reflect else f
+    return g.rotated(theta)
+
+
+def _match_all(complement: list[Vec2], mapped: list[Vec2]) -> list[Vec2] | None:
+    """Match every complement robot to a distinct mapped pattern point;
+    return leftover pattern points or None."""
+    remaining = list(mapped)
+    for p in complement:
+        for i, f in enumerate(remaining):
+            if p.approx_eq(f, 10 * MATCH_TOL):
+                del remaining[i]
+                break
+        else:
+            return None
+    return remaining
+
+
+def _enough_on_half_lines(
+    center: Vec2, members: list[Vec2], f_rest: list[Vec2]
+) -> bool:
+    """At least |Q|-1 members stand on half-lines through distinct F_r
+    points."""
+    needed = len(members) - 1
+    used = [False] * len(f_rest)
+    count = 0
+    for p in members:
+        tp = direction_angle(center, p)
+        for i, f in enumerate(f_rest):
+            if used[i] or f.approx_eq(center):
+                continue
+            tf = direction_angle(center, f)
+            diff = norm_angle(tp - tf)
+            if min(diff, 2.0 * 3.141592653589793 - diff) <= ANGLE_MATCH_TOL:
+                used[i] = True
+                count += 1
+                break
+    return count >= needed

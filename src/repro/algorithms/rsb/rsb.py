@@ -1,0 +1,37 @@
+"""ψ_RSB: the randomized symmetry-breaking algorithm (Section 3).
+
+Dispatch: a configuration with an ε-shifted regular set is handled by the
+deterministic shift/descend machinery; one with a plain regular set by the
+coin-flipping election; anything else (asymmetric) by the deterministic
+``r_max`` descent.  The branch partition mirrors the paper's
+``ψ_RSB|Q`` / ``ψ_RSB|Q^c`` split, and every branch's goal is the same:
+produce a configuration with a *selected* robot, at which point the
+deterministic pattern formation ψ_DPF takes over.
+"""
+
+from __future__ import annotations
+
+from ...sim.context import ComputeContext
+from ...sim.paths import Path
+from ..analysis import Analysis
+from ..pattern_geometry import PatternGeometry
+from ..tuning import DEFAULT_TUNING, Tuning
+from .election import election_compute
+from .nonregular_case import nonregular_compute
+from .shifted_case import shifted_compute
+
+
+def rsb_compute(
+    an: Analysis,
+    pg: PatternGeometry,
+    ctx: ComputeContext,
+    tuning: Tuning = DEFAULT_TUNING,
+) -> Path | None:
+    """One ψ_RSB step for the observing robot."""
+    shifted = an.shifted
+    if shifted is not None:
+        return shifted_compute(an, shifted, tuning)
+    reg = an.regular
+    if reg is not None:
+        return election_compute(an, reg, pg, ctx, tuning)
+    return nonregular_compute(an, tuning)

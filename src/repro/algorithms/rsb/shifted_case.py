@@ -1,0 +1,119 @@
+"""ψ_RSB, shifted branch: the configuration contains an ε-shifted set.
+
+State machine (following the paper's prose — the pseudo-code's ``S`` is
+over the members of the shifted regular set ``Q``, the robots of
+``P \\ Q`` never move in this sub-algorithm):
+
+  A. some Q-robot is off the shifted robot's circle and ε != 1/8
+       → the shifted robot adjusts its arc so ε becomes exactly 1/8;
+  B. some Q-robot is off the circle and ε = 1/8
+       → those robots descend radially onto the shifted robot's circle;
+  C. every Q-robot sits on the shifted robot's circle and ε < 1/4
+       → the shifted robot arcs on to ε = 1/4 (it now *knows* the others
+         are static: a robot exactly on the target circle has finished);
+  D. ε = 1/4 and the other Q-robots share one circle at or above the
+     shifted robot
+       → the shifted robot moves radially inward until *selected*.
+
+Definition 3(c) guarantees the shifted robot is one of the closest robots
+of the whole configuration, so "off the circle" always means strictly
+farther out.
+"""
+
+from __future__ import annotations
+
+from ...geometry import Vec2, angmin, direction_angle
+from ...geometry.tolerance import approx_eq, norm_angle, norm_angle_signed
+from ...regular import ShiftedRegularSet
+from ...sim.paths import Path
+from ..analysis import Analysis
+from ..moves import arc_move_to_angle, radial_move
+from ..tuning import DEFAULT_TUNING, Tuning
+
+#: Tolerance on "ε equals 1/8 (or 1/4)".
+EPS_TOL = 1e-4
+
+#: Tolerance for "on the same circle" radius comparisons.  The shifted
+#: set's center is recovered numerically (to ~1e-7 in unit-scale
+#: coordinates), so radii measured from it carry that noise; 5e-5 is far
+#: above it and far below every geometric scale of the algorithm.
+CIRCLE_TOL = 5e-5
+
+#: Safety factor for the selected-radius destination.
+SELECT_MARGIN = 0.9
+
+
+def shifted_compute(
+    an: Analysis,
+    shifted: ShiftedRegularSet,
+    tuning: Tuning = DEFAULT_TUNING,
+) -> Path | None:
+    """Movement for the observing robot in the shifted branch."""
+    center = shifted.center
+    re = shifted.shifted_robot
+    re_radius = re.dist(center)
+    others = [q for q in shifted.members if not q.approx_eq(re)]
+    off_circle = [
+        q for q in others if q.dist(center) > re_radius + CIRCLE_TOL
+    ]
+    eps = shifted.epsilon
+
+    # D first: ε = 1/4 and the other Q-robots all share one circle at or
+    # above me — I am in (or about to start) the final dive, and the fact
+    # that I am *below* their common circle must not re-trigger case A.
+    radii = [q.dist(center) for q in others]
+    common_circle = bool(radii) and max(radii) - min(radii) <= CIRCLE_TOL
+    if (
+        approx_eq(eps, tuning.shift_big, EPS_TOL)
+        and common_circle
+        and min(radii) >= re_radius - CIRCLE_TOL
+    ):
+        if not an.i_am(re):
+            return None
+        other_min = min(
+            (p.dist(center) for p in an.points if not p.approx_eq(re)),
+            default=an.l_f,
+        )
+        target = tuning.select_margin * min(an.l_f / 2.0, other_min / 2.0)
+        if re_radius <= target + 1e-9:
+            return None  # already selected; nothing to do
+        return radial_move(an.me, center, target)
+
+    if off_circle and not approx_eq(eps, tuning.shift_small, EPS_TOL):
+        # A: adjust the shift to exactly 1/8 (only the shifted robot moves).
+        if an.i_am(re):
+            return _arc_to_shift(an, shifted, tuning.shift_small)
+        return None
+
+    if off_circle:
+        # B: ε = 1/8 — the off-circle members of Q descend to re's circle.
+        for q in off_circle:
+            if an.i_am(q):
+                return radial_move(an.me, center, re_radius)
+        return None
+
+    if not an.i_am(re):
+        return None
+
+    if eps < tuning.shift_big - EPS_TOL:
+        # C: everyone is on my circle and static; open the shift to 1/4.
+        return _arc_to_shift(an, shifted, tuning.shift_big)
+    return None
+
+
+def _arc_to_shift(
+    an: Analysis, shifted: ShiftedRegularSet, target_eps: float
+) -> Path:
+    """Arc on my circle so the shift becomes ``target_eps`` exactly.
+
+    The side is the one I already committed to (the side of the virtual
+    grid position r' I currently stand on) — condition (b) of
+    Definition 3 encodes it in the configuration itself.
+    """
+    center = shifted.center
+    theta_virtual = direction_angle(center, shifted.virtual_position)
+    theta_me = direction_angle(center, an.me)
+    side = 1.0 if norm_angle_signed(theta_me - theta_virtual) >= 0.0 else -1.0
+    alpha_min = angmin(an.me, center, shifted.virtual_position) / shifted.epsilon
+    target_angle = norm_angle(theta_virtual + side * target_eps * alpha_min)
+    return arc_move_to_angle(an.me, center, target_angle)

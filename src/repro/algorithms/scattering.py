@@ -1,0 +1,120 @@
+"""Scattering, and the SSYNC scatter-then-form combination (Section 5).
+
+The paper's algorithm requires a multiplicity-free *initial*
+configuration.  Its Section 5 sketches the fix the authors leave as
+future work for ASYNC but note is straightforward in SSYNC: run a
+scattering phase whenever the configuration contains multiplicity points
+that do not belong to a legitimate path toward the pattern, and the
+formation algorithm otherwise.  In SSYNC each activated robot acts on a
+*fresh* snapshot, which is what makes the naive combination sound.
+
+The scattering algorithm follows the random-bit scattering idea of
+Bramas & Tixeuil (cited as [4]): every robot on a multiplicity point
+draws ``bits`` random bits, picks one of ``2^bits`` directions, and steps
+a short distance out.  Co-located robots cannot be distinguished by the
+adversary's scheduler choice alone once their coins differ, so each round
+splits every stack with positive probability and the configuration is
+multiplicity-free after finitely many rounds with probability 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry import Vec2
+from ..model import Pattern, Snapshot
+from ..sim.context import ComputeContext
+from ..sim.paths import Path
+from .base import Algorithm
+from .form_pattern import FormPattern
+
+
+class Scattering(Algorithm):
+    """Break multiplicity points with random short hops (SSYNC).
+
+    Args:
+        bits: random bits drawn per hop (2^bits candidate directions).
+        step_fraction: hop length as a fraction of the distance to the
+            nearest other occupied location (keeps hops collision-free).
+    """
+
+    name = "scattering"
+    requires_multiplicity_detection = True
+
+    def __init__(self, bits: int = 3, step_fraction: float = 0.2) -> None:
+        if bits < 1:
+            raise ValueError("need at least one random bit per hop")
+        if not 0.0 < step_fraction < 0.5:
+            raise ValueError("step_fraction must be in (0, 0.5)")
+        self.bits = bits
+        self.step_fraction = step_fraction
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        occupancy = sum(
+            1 for p in snapshot.points if p.approx_eq(snapshot.me, 1e-9)
+        )
+        if occupancy <= 1:
+            return None
+        others = [
+            p for p in snapshot.points if not p.approx_eq(snapshot.me, 1e-9)
+        ]
+        if others:
+            clearance = min(snapshot.me.dist(p) for p in others)
+        else:
+            sec = snapshot.sec()
+            clearance = max(sec.radius, 1.0)
+        step = max(clearance * self.step_fraction, 1e-6)
+
+        index = 0
+        for _ in range(self.bits):
+            index = (index << 1) | ctx.random_bit()
+        sectors = 1 << self.bits
+        angle = 2.0 * math.pi * index / sectors
+        return Path.line(snapshot.me, snapshot.me + Vec2.polar(step, angle))
+
+
+class ScatterThenForm(Algorithm):
+    """SSYNC combination: scatter away multiplicities, then form.
+
+    Dispatch is inferred from the configuration (robots are oblivious):
+    any multiplicity point that is not part of the *target* pattern's own
+    multiplicities routes to scattering; otherwise the pattern formation
+    algorithm runs.  Sound in SSYNC (moves always act on fresh
+    snapshots); ASYNC composition is the paper's stated open problem.
+    """
+
+    name = "scatter-then-form"
+    requires_multiplicity_detection = True
+
+    def __init__(self, pattern: Pattern, bits: int = 3) -> None:
+        self.formation = FormPattern(pattern)
+        self.scattering = Scattering(bits=bits)
+        self.target_pattern = self.formation.target_pattern
+
+    def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
+        if self._has_illegitimate_multiplicity(snapshot):
+            return self.scattering.compute(snapshot, ctx)
+        collapsed = Snapshot(
+            tuple(_dedupe(snapshot.points)), snapshot.me, False
+        )
+        return self.formation.compute(collapsed, ctx)
+
+    def _has_illegitimate_multiplicity(self, snapshot: Snapshot) -> bool:
+        counts: dict[tuple[float, float], int] = {}
+        for p in snapshot.points:
+            for q in counts:
+                if abs(p.x - q[0]) <= 1e-9 and abs(p.y - q[1]) <= 1e-9:
+                    counts[q] += 1
+                    break
+            else:
+                counts[p.as_tuple()] = 1
+        # The base pattern is multiplicity-free: any stack is illegitimate.
+        return any(c > 1 for c in counts.values())
+
+
+def _dedupe(points) -> list[Vec2]:
+    out: list[Vec2] = []
+    for p in points:
+        if not any(p.approx_eq(q, 1e-9) for q in out):
+            out.append(p)
+    return out

@@ -1,0 +1,58 @@
+"""Tunable constants of the randomized symmetry-breaking phase.
+
+The paper fixes several magic constants: the committed shift ε = 1/8, the
+pre-descent shift ε = 1/4, the election threshold 7/8, the inward coin
+step |r|/8 and the outward cap |r|/7.  They are inter-constrained — the
+correctness argument needs
+
+* ``shift_small < shift_big <= 1/4`` (Definition 3's admissible range),
+* ``elect_threshold < 1`` with the inward step consistent with it
+  (a robot stepping inward by ``1 - elect_threshold`` of its radius twice
+  in a row becomes elected), and
+* ``away_cap`` small enough that an away-mover stays inside the free disc.
+
+The ablation experiment (E8) sweeps these within their admissible ranges;
+:class:`Tuning` validates the constraints so inadmissible combinations
+fail fast instead of silently livelocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tuning:
+    """Constants of ψ_RSB (paper defaults)."""
+
+    #: committed shift after election (paper: 1/8).
+    shift_small: float = 0.125
+    #: shift announcing the final descent (paper: 1/4).
+    shift_big: float = 0.25
+    #: a robot is elected below this fraction of the others' radii (7/8).
+    elect_threshold: float = 0.875
+    #: outward coin move cap as a fraction of radius (paper: 1/7).
+    away_cap: float = 1.0 / 7.0
+    #: selected-radius safety margin (fraction of the theoretical bound).
+    select_margin: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shift_small < self.shift_big <= 0.25:
+            raise ValueError(
+                "need 0 < shift_small < shift_big <= 1/4 (Definition 3)"
+            )
+        if not 0.5 <= self.elect_threshold < 1.0:
+            raise ValueError("elect_threshold must be in [0.5, 1)")
+        if not 0.0 < self.away_cap < 0.5:
+            raise ValueError("away_cap must be in (0, 0.5)")
+        if not 0.0 < self.select_margin < 1.0:
+            raise ValueError("select_margin must be in (0, 1)")
+
+    @property
+    def toward_factor(self) -> float:
+        """Inward coin move target fraction (7/8 of the radius by default,
+        matching the election threshold so one further step elects)."""
+        return self.elect_threshold
+
+
+DEFAULT_TUNING = Tuning()

@@ -1,0 +1,38 @@
+"""Analysis tooling: invariant checkers, batch runners, statistics."""
+
+from .batch import BatchResult, RunRecord, format_table, run_batch
+from .checker import (
+    InvariantViolation,
+    delta_checker,
+    fairness_checker,
+    no_multiplicity_checker,
+    sec_radius_monitor,
+)
+from .stats import (
+    binomial_ci,
+    geometric_mean,
+    mean,
+    median,
+    percentile,
+    stddev,
+    variance,
+)
+
+__all__ = [
+    "BatchResult",
+    "InvariantViolation",
+    "RunRecord",
+    "binomial_ci",
+    "delta_checker",
+    "fairness_checker",
+    "format_table",
+    "geometric_mean",
+    "mean",
+    "median",
+    "no_multiplicity_checker",
+    "percentile",
+    "run_batch",
+    "sec_radius_monitor",
+    "stddev",
+    "variance",
+]

@@ -1,0 +1,157 @@
+"""Batch experiment runner.
+
+Runs many seeded simulations of one scenario, collects per-run outcomes,
+and aggregates them into the success-rate / cost statistics the
+experiment tables report.  This is the workhorse behind ``benchmarks/``
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..model import Configuration, Pattern
+from ..scheduler.base import Scheduler
+from ..sim.engine import FramePolicy, Simulation, SimulationResult
+from .stats import mean, median, percentile
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one seeded run."""
+
+    seed: int
+    formed: bool
+    terminated: bool
+    steps: int
+    cycles: int
+    epochs: int
+    random_bits: int
+    coin_flips: int
+    float_draws: int
+    distance: float
+    reason: str
+
+
+@dataclass
+class BatchResult:
+    """Aggregate over a batch of runs."""
+
+    name: str
+    runs: list[RunRecord] = field(default_factory=list)
+
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    def success_rate(self) -> float:
+        """Fraction of runs that terminated with the pattern formed."""
+        if not self.runs:
+            return 0.0
+        return sum(1 for r in self.runs if r.formed and r.terminated) / len(
+            self.runs
+        )
+
+    def successes(self) -> list[RunRecord]:
+        return [r for r in self.runs if r.formed and r.terminated]
+
+    def stat(self, attr: str, agg: str = "mean") -> float:
+        """Aggregate an attribute over *successful* runs."""
+        values = [float(getattr(r, attr)) for r in self.successes()]
+        if not values:
+            return float("nan")
+        if agg == "mean":
+            return mean(values)
+        if agg == "median":
+            return median(values)
+        if agg == "p90":
+            return percentile(values, 90.0)
+        if agg == "max":
+            return max(values)
+        if agg == "min":
+            return min(values)
+        raise ValueError(f"unknown aggregation {agg!r}")
+
+    def bits_per_cycle(self) -> float:
+        """Random bits per completed cycle, over successful runs."""
+        succ = self.successes()
+        total_bits = sum(r.random_bits for r in succ)
+        total_cycles = sum(r.cycles for r in succ)
+        return total_bits / total_cycles if total_cycles else 0.0
+
+    def row(self) -> dict:
+        """One table row for the experiment reports."""
+        return {
+            "scenario": self.name,
+            "runs": self.n_runs(),
+            "success": round(self.success_rate(), 3),
+            "cycles_mean": round(self.stat("cycles"), 1),
+            "epochs_mean": round(self.stat("epochs"), 1),
+            "bits_per_cycle": round(self.bits_per_cycle(), 4),
+            "distance_mean": round(self.stat("distance"), 3),
+        }
+
+
+def run_batch(
+    name: str,
+    algorithm_factory: Callable[[], object],
+    scheduler_factory: Callable[[int], Scheduler],
+    initial_factory: Callable[[int], Configuration | Sequence],
+    seeds: Sequence[int],
+    *,
+    pattern: Pattern | None = None,
+    frame_policy: FramePolicy | None = None,
+    max_steps: int = 300_000,
+    delta: float = 1e-3,
+) -> BatchResult:
+    """Run one scenario across ``seeds`` and aggregate the outcomes."""
+    batch = BatchResult(name)
+    for seed in seeds:
+        sim = Simulation(
+            initial_factory(seed),
+            algorithm_factory(),
+            scheduler_factory(seed),
+            seed=seed,
+            pattern=pattern,
+            frame_policy=frame_policy,
+            max_steps=max_steps,
+            delta=delta,
+        )
+        result = sim.run()
+        batch.runs.append(_record(seed, result))
+    return batch
+
+
+def _record(seed: int, result: SimulationResult) -> RunRecord:
+    m = result.metrics
+    return RunRecord(
+        seed=seed,
+        formed=result.pattern_formed,
+        terminated=result.terminated,
+        steps=result.steps,
+        cycles=m.cycles,
+        epochs=m.epochs,
+        random_bits=m.random_bits,
+        coin_flips=m.coin_flips,
+        float_draws=m.float_draws,
+        distance=m.distance,
+        reason=result.reason,
+    )
+
+
+def format_table(rows: list[dict]) -> str:
+    """Fixed-width text table from a list of uniform dicts."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(str(r.get(h, ""))) for r in rows))
+        for h in headers
+    }
+    lines = [
+        "  ".join(str(h).ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for r in rows:
+        lines.append("  ".join(str(r.get(h, "")).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

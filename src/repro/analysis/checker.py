@@ -1,0 +1,83 @@
+"""Invariant checkers pluggable into the simulation engine.
+
+Each checker is a callable ``(simulation, action) -> None`` that raises
+:class:`InvariantViolation` when a property the algorithm must maintain is
+broken.  Used by the test suite (failure injection / safety tests) and
+during debugging.
+"""
+
+from __future__ import annotations
+
+from ..geometry import EPS, smallest_enclosing_circle
+from ..scheduler.base import Action
+from ..sim.engine import Simulation
+
+
+class InvariantViolation(AssertionError):
+    """An algorithm-level safety property was violated during a run."""
+
+
+def no_multiplicity_checker(allow_at_end: bool = False):
+    """No two robots may ever share a location (multiplicity-free runs).
+
+    Args:
+        allow_at_end: permit multiplicities (for multiplicity-pattern
+            runs, where stacking is the goal).
+    """
+
+    def check(sim: Simulation, action: Action) -> None:
+        if allow_at_end:
+            return
+        pts = sim.points()
+        for i, p in enumerate(pts):
+            for q in pts[i + 1 :]:
+                if p.approx_eq(q, 1e-9):
+                    raise InvariantViolation(
+                        f"multiplicity created at {p!r} "
+                        f"(step {sim.step_count}, {action.kind.value} "
+                        f"robot {action.robot_id})"
+                    )
+
+    return check
+
+
+def delta_checker():
+    """The engine must never end a move before min(delta, path length)."""
+
+    def check(sim: Simulation, action: Action) -> None:
+        from ..scheduler.base import ActionKind
+        from ..sim.robot import Phase
+
+        if action.kind is not ActionKind.MOVE:
+            return
+        robot = sim.robots[action.robot_id]
+        if robot.phase is Phase.IDLE and robot.distance_travelled < 0:
+            raise InvariantViolation("negative travel distance")
+
+    return check
+
+
+def sec_radius_monitor(tolerance: float = 0.5):
+    """The enclosing circle should never collapse (robots gathering is
+    unreachable for the paper's algorithm)."""
+
+    def check(sim: Simulation, action: Action) -> None:
+        sec = smallest_enclosing_circle(sim.points())
+        if sec.radius < EPS:
+            raise InvariantViolation("configuration collapsed to a point")
+
+    return check
+
+
+def fairness_checker(bound: int):
+    """No robot may be starved longer than ``bound`` scheduler steps."""
+
+    def check(sim: Simulation, action: Action) -> None:
+        for robot in sim.robots:
+            if sim.step_count - robot.last_action_step > bound:
+                raise InvariantViolation(
+                    f"robot {robot.robot_id} starved for more than "
+                    f"{bound} steps"
+                )
+
+    return check

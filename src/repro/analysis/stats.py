@@ -1,0 +1,73 @@
+"""Small statistics helpers (no external dependencies on the hot path)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; NaN for an empty sequence."""
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (len(values) - 1)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; NaN for an empty sequence."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def binomial_ci(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a success probability."""
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; NaN when empty."""
+    if not values:
+        return float("nan")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

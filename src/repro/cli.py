@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — run one formation and render it as ASCII;
+* ``batch``       — run a seeded batch and print the statistics table;
+* ``election``    — run from a perfectly symmetric start (forces coins);
+* ``version``     — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from . import __version__, patterns
+from .algorithms import FormPattern
+from .analysis import format_table, run_batch
+from .geometry import Vec2
+from .scheduler import (
+    AsyncScheduler,
+    FsyncScheduler,
+    RoundRobinScheduler,
+    SsyncScheduler,
+)
+from .sim import Simulation
+from .viz import render
+
+SCHEDULERS = {
+    "fsync": lambda seed: FsyncScheduler(),
+    "ssync": lambda seed: SsyncScheduler(seed=seed),
+    "async": lambda seed: AsyncScheduler(seed=seed),
+    "async-aggressive": lambda seed: AsyncScheduler.aggressive(seed),
+    "round-robin": lambda seed: RoundRobinScheduler(),
+}
+
+PATTERNS = {
+    "polygon": lambda n: patterns.regular_polygon(n),
+    "star": lambda n: patterns.star_pattern(max(n // 2, 2)),
+    "rings": lambda n: patterns.nested_rings([n - n // 2, n // 2]),
+    "random": lambda n: patterns.random_pattern(n, seed=42),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Probabilistic asynchronous arbitrary pattern formation",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run one formation and render it")
+    _common(demo)
+
+    batch = sub.add_parser("batch", help="run a seeded batch, print stats")
+    _common(batch)
+    batch.add_argument("--runs", type=int, default=5)
+
+    election = sub.add_parser(
+        "election", help="run from a perfectly symmetric start"
+    )
+    _common(election)
+
+    sub.add_parser("version", help="print the version")
+    return parser
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-n", type=int, default=8, help="number of robots")
+    p.add_argument("--pattern", choices=sorted(PATTERNS), default="polygon")
+    p.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="async")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--delta", type=float, default=1e-3)
+    p.add_argument("--max-steps", type=int, default=400_000)
+
+
+def cmd_demo(args) -> int:
+    pattern = PATTERNS[args.pattern](args.n)
+    sim = Simulation.random(
+        args.n,
+        FormPattern(pattern),
+        SCHEDULERS[args.scheduler](args.seed),
+        seed=args.seed,
+        delta=args.delta,
+        max_steps=args.max_steps,
+    )
+    print("initial:")
+    print(render(sim.points(), pattern))
+    result = sim.run()
+    print("\nfinal:")
+    print(render(result.final_configuration.points(), pattern))
+    print(f"\nformed={result.pattern_formed} steps={result.steps} "
+          f"{result.metrics.summary()}")
+    return 0 if result.pattern_formed else 1
+
+
+def cmd_batch(args) -> int:
+    pattern = PATTERNS[args.pattern](args.n)
+    batch = run_batch(
+        f"{args.pattern} n={args.n} {args.scheduler}",
+        lambda: FormPattern(pattern),
+        SCHEDULERS[args.scheduler],
+        lambda seed: patterns.random_configuration(args.n, seed=seed),
+        seeds=range(args.seed, args.seed + args.runs),
+        delta=args.delta,
+        max_steps=args.max_steps,
+    )
+    print(format_table([batch.row()]))
+    return 0 if batch.success_rate() == 1.0 else 1
+
+
+def cmd_election(args) -> int:
+    pattern = PATTERNS[args.pattern](args.n)
+    initial = [
+        Vec2.polar(1.0, 0.1 + 2 * math.pi * i / args.n) for i in range(args.n)
+    ]
+    sim = Simulation(
+        initial,
+        FormPattern(pattern),
+        SCHEDULERS[args.scheduler](args.seed),
+        seed=args.seed,
+        delta=args.delta,
+        max_steps=args.max_steps,
+    )
+    result = sim.run()
+    m = result.metrics
+    print(f"formed={result.pattern_formed} steps={result.steps} "
+          f"coin_flips={m.coin_flips} bits_per_cycle={m.bits_per_cycle():.4f}")
+    return 0 if result.pattern_formed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return cmd_demo(args)
+    if args.command == "batch":
+        return cmd_batch(args)
+    if args.command == "election":
+        return cmd_election(args)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

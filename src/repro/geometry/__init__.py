@@ -1,0 +1,115 @@
+"""Planar geometry substrate.
+
+Everything the robot model and the paper's algorithm need from the plane:
+points, angles, circles, the smallest enclosing circle, similarity
+transforms and the point-set similarity relation, convex hulls, and Weber
+points.
+"""
+
+from .angles import (
+    ang,
+    angle_gaps,
+    angmin,
+    bisector_angle,
+    direction_angle,
+    half_line_angles,
+    min_angle,
+    min_angle_at,
+)
+from .circle import Circle, arc_length, chord_angle, circle_from_three, circle_from_two
+from .convex import convex_hull, is_inside_hull
+from .point import (
+    Vec2,
+    centroid,
+    contains_point,
+    dedupe_points,
+    lerp,
+    midpoint,
+    without_point,
+    without_points,
+)
+from .polar import PolarCoord, PolarFrame, angular_distance_on_circle
+from .sec import (
+    boundary_points,
+    holds_sec,
+    point_holds_sec,
+    smallest_enclosing_circle,
+)
+from .similarity import congruent, find_similarity, normalize_points, similar
+from .tolerance import (
+    EPS,
+    SNAP_EPS,
+    all_approx_eq,
+    angle_approx_eq,
+    approx_cmp,
+    approx_eq,
+    approx_ge,
+    approx_gt,
+    approx_le,
+    approx_lt,
+    clamp,
+    is_zero,
+    lex_cmp,
+    norm_angle,
+    norm_angle_signed,
+    snap,
+)
+from .transform import Similarity
+from .weber import is_weber_point, weber_objective, weber_point
+
+__all__ = [
+    "EPS",
+    "SNAP_EPS",
+    "Circle",
+    "PolarCoord",
+    "PolarFrame",
+    "Similarity",
+    "Vec2",
+    "all_approx_eq",
+    "ang",
+    "angle_approx_eq",
+    "angle_gaps",
+    "angmin",
+    "angular_distance_on_circle",
+    "approx_cmp",
+    "approx_eq",
+    "approx_ge",
+    "approx_gt",
+    "approx_le",
+    "approx_lt",
+    "arc_length",
+    "bisector_angle",
+    "boundary_points",
+    "centroid",
+    "chord_angle",
+    "circle_from_three",
+    "circle_from_two",
+    "clamp",
+    "congruent",
+    "contains_point",
+    "convex_hull",
+    "dedupe_points",
+    "direction_angle",
+    "find_similarity",
+    "half_line_angles",
+    "holds_sec",
+    "is_inside_hull",
+    "is_weber_point",
+    "is_zero",
+    "lerp",
+    "lex_cmp",
+    "midpoint",
+    "min_angle",
+    "min_angle_at",
+    "norm_angle",
+    "norm_angle_signed",
+    "normalize_points",
+    "point_holds_sec",
+    "similar",
+    "smallest_enclosing_circle",
+    "snap",
+    "without_point",
+    "without_points",
+    "weber_objective",
+    "weber_point",
+]

@@ -1,0 +1,123 @@
+"""Angle algebra used by the paper's predicates.
+
+The paper manipulates three kinds of angles:
+
+* ``ang(u, v, w)`` — the angle at vertex ``v`` from ``u`` to ``w`` measured
+  in a fixed orientation, in [0, 2*pi);
+* ``angmin(u, v, w)`` — the minimum of the two orientations, in [0, pi];
+* angular *gaps* between consecutive half-lines out of a center, used to
+  recognise equiangular (m-regular) and biangular sets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .point import Vec2
+from .tolerance import EPS, is_zero, norm_angle
+
+
+def direction_angle(center: Vec2, p: Vec2) -> float:
+    """Direction of ``p`` as seen from ``center``, in [0, 2*pi)."""
+    return norm_angle((p - center).angle())
+
+
+def ang(u: Vec2, v: Vec2, w: Vec2, clockwise: bool = False) -> float:
+    """The angle ``ang(u, v, w)`` at vertex ``v``, in [0, 2*pi).
+
+    By default the angle is measured counterclockwise from ray ``v->u`` to
+    ray ``v->w``; pass ``clockwise=True`` for the other orientation.
+    """
+    a = direction_angle(v, u)
+    b = direction_angle(v, w)
+    ccw = norm_angle(b - a)
+    return norm_angle(-ccw) if clockwise else ccw
+
+
+def angmin(u: Vec2, v: Vec2, w: Vec2) -> float:
+    """``angmin(u, v, w)``: the smaller of the two orientations, in [0, pi]."""
+    ccw = ang(u, v, w)
+    return min(ccw, 2.0 * math.pi - ccw)
+
+
+def angle_gaps(angles: Sequence[float]) -> list[float]:
+    """Consecutive gaps of a set of directions, sorted around the circle.
+
+    Given ``k`` direction angles, returns the ``k`` gaps between successive
+    directions (including the wrap-around gap), in the order induced by the
+    sorted directions.  Gaps sum to 2*pi.
+    """
+    if not angles:
+        return []
+    ordered = sorted(norm_angle(a) for a in angles)
+    gaps = [
+        norm_angle(ordered[(i + 1) % len(ordered)] - ordered[i])
+        for i in range(len(ordered) - 1)
+    ]
+    gaps.append(2.0 * math.pi - sum(gaps))
+    return gaps
+
+
+def half_line_angles(center: Vec2, points: Sequence[Vec2], eps: float = EPS) -> list[float]:
+    """Directions of the half-lines ``H_c(M)`` out of ``center``.
+
+    Points eps-equal in direction collapse to a single half-line (several
+    robots on the same half-line count once), matching the paper's
+    ``H_c(M)`` definition.  Returns sorted angles in [0, 2*pi).
+
+    Raises:
+        ValueError: if some point coincides with the center.
+    """
+    raw: list[float] = []
+    for p in points:
+        if p.approx_eq(center, eps):
+            raise ValueError("half-line undefined: point coincides with center")
+        raw.append(direction_angle(center, p))
+    raw.sort()
+    merged: list[float] = []
+    for a in raw:
+        if not merged or not is_zero(norm_angle(a - merged[-1]), eps):
+            merged.append(a)
+    # The first and last may also be the same half-line across the wrap.
+    if len(merged) > 1 and is_zero(2.0 * math.pi - (merged[-1] - merged[0]) % (2 * math.pi), eps):
+        if is_zero(norm_angle(merged[0] - merged[-1]), eps):
+            merged.pop()
+    return merged
+
+
+def min_angle_at(center: Vec2, p: Vec2, points: Sequence[Vec2]) -> float:
+    """``alpha_min,c(p, M)``: minimum non-null angle at ``center`` between
+    ``p`` and any other point of ``points``.
+
+    Returns ``math.inf`` when no other point forms a non-null angle.
+    """
+    theta_p = direction_angle(center, p)
+    best = math.inf
+    for q in points:
+        if q.approx_eq(p):
+            continue
+        theta_q = direction_angle(center, q)
+        delta = norm_angle(theta_q - theta_p)
+        delta = min(delta, 2.0 * math.pi - delta)
+        if is_zero(delta):
+            continue
+        best = min(best, delta)
+    return best
+
+
+def min_angle(center: Vec2, points: Sequence[Vec2]) -> float:
+    """``alpha_min,c(M)``: minimum angle between two half-lines of ``points``.
+
+    Returns ``math.inf`` for fewer than two half-lines.
+    """
+    angles = half_line_angles(center, points)
+    if len(angles) < 2:
+        return math.inf
+    gaps = angle_gaps(angles)
+    return min(gaps)
+
+
+def bisector_angle(a: float, b: float) -> float:
+    """Direction bisecting the counterclockwise arc from ``a`` to ``b``."""
+    return norm_angle(a + norm_angle(b - a) / 2.0)

@@ -1,0 +1,83 @@
+"""Circles and circle-related predicates."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import Vec2
+from .tolerance import EPS, approx_eq, approx_le, approx_lt
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circle with ``center`` and non-negative ``radius``."""
+
+    center: Vec2
+    radius: float
+
+    def contains(self, p: Vec2, eps: float = EPS) -> bool:
+        """True when ``p`` lies inside or on the circle (closed disc)."""
+        return approx_le(self.center.dist(p), self.radius, eps)
+
+    def strictly_contains(self, p: Vec2, eps: float = EPS) -> bool:
+        """True when ``p`` lies strictly inside the circle (open disc)."""
+        return approx_lt(self.center.dist(p), self.radius, eps)
+
+    def on_circumference(self, p: Vec2, eps: float = EPS) -> bool:
+        """True when ``p`` lies on the circumference."""
+        return approx_eq(self.center.dist(p), self.radius, eps)
+
+    def point_at(self, angle: float) -> Vec2:
+        """The circumference point at polar ``angle`` around the center."""
+        return self.center + Vec2.polar(self.radius, angle)
+
+    def angle_of(self, p: Vec2) -> float:
+        """Polar angle of ``p`` around the center, in [0, 2*pi)."""
+        from .angles import direction_angle
+
+        return direction_angle(self.center, p)
+
+    def approx_eq(self, other: "Circle", eps: float = EPS) -> bool:
+        """Tolerant equality of two circles."""
+        return self.center.approx_eq(other.center, eps) and approx_eq(
+            self.radius, other.radius, eps
+        )
+
+    def scaled(self, factor: float) -> "Circle":
+        """Concentric circle with radius scaled by ``factor``."""
+        return Circle(self.center, self.radius * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circle(c={self.center!r}, r={self.radius:.6g})"
+
+
+def circle_from_two(a: Vec2, b: Vec2) -> Circle:
+    """Smallest circle through two points (diameter circle)."""
+    center = Vec2((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+    return Circle(center, center.dist(a))
+
+
+def circle_from_three(a: Vec2, b: Vec2, c: Vec2) -> Circle | None:
+    """Circumscribed circle of a triangle, or None when degenerate."""
+    d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y))
+    if abs(d) < 1e-14:
+        return None
+    a2, b2, c2 = a.norm_sq(), b.norm_sq(), c.norm_sq()
+    ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d
+    uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d
+    center = Vec2(ux, uy)
+    return Circle(center, center.dist(a))
+
+
+def arc_length(radius: float, angle: float) -> float:
+    """Arc length spanned by ``angle`` radians on a circle of ``radius``."""
+    return abs(radius * angle)
+
+
+def chord_angle(radius: float, chord: float) -> float:
+    """Central angle subtended by a chord of the given length."""
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    half = min(1.0, max(-1.0, chord / (2.0 * radius)))
+    return 2.0 * math.asin(half)

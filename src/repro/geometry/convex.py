@@ -1,0 +1,61 @@
+"""Convex hull (Andrew's monotone chain).
+
+Used for cross-checking smallest-enclosing-circle support points and by a
+few tests; not on the algorithm's hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .point import Vec2
+from .tolerance import EPS
+
+
+def convex_hull(points: Sequence[Vec2], eps: float = EPS) -> list[Vec2]:
+    """Vertices of the convex hull in counterclockwise order.
+
+    Collinear boundary points are dropped.  Returns the input (deduplicated)
+    when it has fewer than three distinct points.
+    """
+    pts = sorted(set((p.x, p.y) for p in points))
+    unique = [Vec2(x, y) for x, y in pts]
+    if len(unique) <= 2:
+        return unique
+
+    def cross(o: Vec2, a: Vec2, b: Vec2) -> float:
+        return (a - o).cross(b - o)
+
+    lower: list[Vec2] = []
+    for p in unique:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= eps:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[Vec2] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= eps:
+            upper.pop()
+        upper.append(p)
+
+    return lower[:-1] + upper[:-1]
+
+
+def is_inside_hull(hull: Sequence[Vec2], p: Vec2, eps: float = EPS) -> bool:
+    """Whether ``p`` lies inside or on the given CCW convex polygon."""
+    n = len(hull)
+    if n == 0:
+        return False
+    if n == 1:
+        return hull[0].approx_eq(p, eps)
+    if n == 2:
+        a, b = hull
+        if abs((b - a).cross(p - a)) > eps:
+            return False
+        t = (p - a).dot(b - a)
+        return -eps <= t <= (b - a).norm_sq() + eps
+    for i in range(n):
+        a, b = hull[i], hull[(i + 1) % n]
+        if (b - a).cross(p - a) < -eps:
+            return False
+    return True

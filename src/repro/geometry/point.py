@@ -1,0 +1,198 @@
+"""2-D points/vectors.
+
+``Vec2`` is the single plane-point type used throughout the library.  It is
+an immutable value object with the usual vector algebra, tolerant equality,
+and a few plane-geometry helpers (perpendicular, cross product, rotation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .tolerance import EPS, approx_eq, is_zero
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """An immutable point (or vector) in the Euclidean plane."""
+
+    x: float
+    y: float
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "Vec2":
+        """The origin."""
+        return Vec2(0.0, 0.0)
+
+    @staticmethod
+    def unit(angle: float) -> "Vec2":
+        """Unit vector pointing in direction ``angle`` (radians)."""
+        return Vec2(math.cos(angle), math.sin(angle))
+
+    @staticmethod
+    def polar(radius: float, angle: float) -> "Vec2":
+        """Point at the given polar coordinates around the origin."""
+        return Vec2(radius * math.cos(angle), radius * math.sin(angle))
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Vec2") -> float:
+        """Scalar (dot) product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def perp(self) -> "Vec2":
+        """The vector rotated by +90 degrees."""
+        return Vec2(-self.y, self.x)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (cheaper, exact for comparisons)."""
+        return self.x * self.x + self.y * self.y
+
+    def dist(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def dist_sq(self, other: "Vec2") -> float:
+        """Squared Euclidean distance to ``other``."""
+        dx, dy = self.x - other.x, self.y - other.y
+        return dx * dx + dy * dy
+
+    def normalized(self) -> "Vec2":
+        """Unit vector with the same direction.
+
+        Raises:
+            ZeroDivisionError: when called on the (near-)zero vector.
+        """
+        n = self.norm()
+        if is_zero(n, 1e-15):
+            raise ZeroDivisionError("cannot normalise a zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def angle(self) -> float:
+        """Direction of the vector in [-pi, pi] (``atan2`` convention)."""
+        return math.atan2(self.y, self.x)
+
+    def rotated(self, theta: float, about: "Vec2 | None" = None) -> "Vec2":
+        """The point rotated by ``theta`` radians about ``about`` (origin)."""
+        c, s = math.cos(theta), math.sin(theta)
+        if about is None:
+            return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+        dx, dy = self.x - about.x, self.y - about.y
+        return Vec2(about.x + c * dx - s * dy, about.y + s * dx + c * dy)
+
+    def mirrored_x(self) -> "Vec2":
+        """The point reflected across the x axis (chirality flip)."""
+        return Vec2(self.x, -self.y)
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def approx_eq(self, other: "Vec2", eps: float = EPS) -> bool:
+        """Tolerant equality of two points."""
+        return approx_eq(self.x, other.x, eps) and approx_eq(self.y, other.y, eps)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vec2({self.x:.6g}, {self.y:.6g})"
+
+
+def centroid(points: Sequence[Vec2]) -> Vec2:
+    """Arithmetic mean of a non-empty sequence of points."""
+    if not points:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    return Vec2(sx / len(points), sy / len(points))
+
+
+def lerp(a: Vec2, b: Vec2, t: float) -> Vec2:
+    """Linear interpolation between ``a`` (t=0) and ``b`` (t=1)."""
+    return Vec2(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+
+
+def midpoint(a: Vec2, b: Vec2) -> Vec2:
+    """The midpoint of segment ``ab``."""
+    return lerp(a, b, 0.5)
+
+
+def without_point(points: Iterable[Vec2], target: Vec2, eps: float = EPS) -> list[Vec2]:
+    """A copy of ``points`` with one occurrence of ``target`` removed.
+
+    Raises:
+        ValueError: when no point eps-matches ``target``.
+    """
+    out = list(points)
+    for i, p in enumerate(out):
+        if p.approx_eq(target, eps):
+            del out[i]
+            return out
+    raise ValueError(f"point {target!r} not found in collection")
+
+
+def without_points(
+    points: Iterable[Vec2], targets: Iterable[Vec2], eps: float = EPS
+) -> list[Vec2]:
+    """A copy of ``points`` with one occurrence of each target removed."""
+    out = list(points)
+    for t in targets:
+        out = without_point(out, t, eps)
+    return out
+
+
+def contains_point(points: Iterable[Vec2], target: Vec2, eps: float = EPS) -> bool:
+    """Whether some point of the collection eps-matches ``target``."""
+    return any(p.approx_eq(target, eps) for p in points)
+
+
+def dedupe_points(points: Iterable[Vec2], eps: float = EPS) -> list[Vec2]:
+    """Remove eps-duplicate points, keeping first occurrences in order.
+
+    Quadratic, which is fine for the configuration sizes this library
+    simulates (tens of robots).
+    """
+    unique: list[Vec2] = []
+    for p in points:
+        if not any(p.approx_eq(q, eps) for q in unique):
+            unique.append(p)
+    return unique

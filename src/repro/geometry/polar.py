@@ -1,0 +1,82 @@
+"""Polar coordinate systems.
+
+The paper's global coordinate system ``Z`` (phase 1 of the deterministic
+algorithm) is a polar frame: a center, a reference direction (the half-line
+through ``r_max``) and an orientation (clockwise or counterclockwise — the
+one that maximises the coordinates of the selected robot).  This module
+provides that frame as a value object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import Vec2
+from .tolerance import norm_angle
+
+
+@dataclass(frozen=True, slots=True)
+class PolarCoord:
+    """Polar coordinates ``(radius, angle)`` with angle in [0, 2*pi)."""
+
+    radius: float
+    angle: float
+
+    def key(self) -> tuple[float, float]:
+        """Sort key: lexicographic on (radius, angle).
+
+        Matches the paper's ordering of robots by their polar coordinates
+        in the global frame.
+        """
+        return (self.radius, self.angle)
+
+
+@dataclass(frozen=True, slots=True)
+class PolarFrame:
+    """An oriented polar coordinate system of the plane.
+
+    ``direct`` selects the orientation: True means angles grow
+    counterclockwise (in global coordinates), False clockwise.
+    """
+
+    center: Vec2
+    reference_angle: float
+    direct: bool
+
+    def to_polar(self, p: Vec2) -> PolarCoord:
+        """Coordinates of global point ``p`` in this frame."""
+        v = p - self.center
+        radius = v.norm()
+        if radius == 0.0:
+            return PolarCoord(0.0, 0.0)
+        raw = v.angle() - self.reference_angle
+        angle = norm_angle(raw if self.direct else -raw)
+        return PolarCoord(radius, angle)
+
+    def to_point(self, coord: PolarCoord) -> Vec2:
+        """Global point with the given frame coordinates."""
+        angle = coord.angle if self.direct else -coord.angle
+        return self.center + Vec2.polar(coord.radius, self.reference_angle + angle)
+
+    def point_at(self, radius: float, angle: float) -> Vec2:
+        """Convenience: global point at frame coordinates (radius, angle)."""
+        return self.to_point(PolarCoord(radius, angle))
+
+    def angle_of(self, p: Vec2) -> float:
+        """Frame angle of a global point, in [0, 2*pi)."""
+        return self.to_polar(p).angle
+
+    def radius_of(self, p: Vec2) -> float:
+        """Distance of a global point to the frame center."""
+        return p.dist(self.center)
+
+    def mirrored(self) -> "PolarFrame":
+        """The frame with opposite orientation."""
+        return PolarFrame(self.center, self.reference_angle, not self.direct)
+
+
+def angular_distance_on_circle(a: float, b: float) -> float:
+    """Shortest angular distance between two directions, in [0, pi]."""
+    d = norm_angle(b - a)
+    return min(d, 2.0 * math.pi - d)

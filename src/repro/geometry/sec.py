@@ -1,0 +1,113 @@
+"""Smallest enclosing circle ``C(P)`` (Welzl's algorithm).
+
+The paper normalises every configuration so that ``C(P) = C(F)``; the
+smallest enclosing circle is therefore the single most used geometric
+primitive.  This implementation is the iterative randomized-order Welzl
+variant (expected linear time), made deterministic by a fixed shuffle seed
+so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .circle import Circle, circle_from_three, circle_from_two
+from .point import Vec2
+from .tolerance import EPS
+
+_SHUFFLE_SEED = 0x5EC5EC
+
+
+def smallest_enclosing_circle(points: Sequence[Vec2]) -> Circle:
+    """The smallest circle containing all ``points``.
+
+    Raises:
+        ValueError: on an empty input.
+    """
+    if not points:
+        raise ValueError("smallest enclosing circle of an empty set is undefined")
+    pts = list(points)
+    rng = random.Random(_SHUFFLE_SEED)
+    rng.shuffle(pts)
+
+    circle = Circle(pts[0], 0.0)
+    for i, p in enumerate(pts):
+        if circle.contains(p, EPS):
+            continue
+        circle = _circle_with_point(pts[: i + 1], p)
+    return circle
+
+
+def _circle_with_point(pts: Sequence[Vec2], p: Vec2) -> Circle:
+    """Smallest circle of ``pts`` with ``p`` known to be on the boundary."""
+    circle = Circle(p, 0.0)
+    for i, q in enumerate(pts):
+        if q is p or circle.contains(q, EPS):
+            continue
+        circle = _circle_with_two_points(pts[: i + 1], p, q)
+    return circle
+
+
+def _circle_with_two_points(pts: Sequence[Vec2], p: Vec2, q: Vec2) -> Circle:
+    """Smallest circle of ``pts`` with ``p`` and ``q`` on the boundary."""
+    circle = circle_from_two(p, q)
+    for r in pts:
+        if circle.contains(r, EPS):
+            continue
+        candidate = circle_from_three(p, q, r)
+        if candidate is not None:
+            circle = candidate
+    return circle
+
+
+def boundary_points(points: Sequence[Vec2], circle: Circle | None = None) -> list[Vec2]:
+    """Points of ``points`` lying on the circumference of ``circle``.
+
+    When ``circle`` is None the smallest enclosing circle is used.
+    """
+    if circle is None:
+        circle = smallest_enclosing_circle(points)
+    return [p for p in points if circle.on_circumference(p)]
+
+
+def holds_sec(points: Sequence[Vec2], subset: Sequence[Vec2]) -> bool:
+    """Whether removing ``subset`` (or any part of it) changes ``C(P)``.
+
+    This implements the paper's "A holds C(P)": a set of points ``A`` holds
+    the enclosing circle when there exists ``B`` contained in ``A`` with
+    ``C(P \\ B) != C(P)``.  For a single point this reduces to "removing the
+    point shrinks or moves the enclosing circle".  We check single-point
+    removals and the whole-subset removal, which is sufficient because SEC
+    support sets have at most three essential points.
+    """
+    sec = smallest_enclosing_circle(points)
+    remaining_all = _without(points, subset)
+    if remaining_all:
+        if not smallest_enclosing_circle(remaining_all).approx_eq(sec):
+            return True
+    for p in subset:
+        remaining = _without(points, [p])
+        if remaining and not smallest_enclosing_circle(remaining).approx_eq(sec):
+            return True
+    return False
+
+
+def point_holds_sec(points: Sequence[Vec2], p: Vec2) -> bool:
+    """Whether a single point holds the smallest enclosing circle."""
+    remaining = _without(points, [p])
+    if not remaining:
+        return True
+    sec = smallest_enclosing_circle(points)
+    return not smallest_enclosing_circle(remaining).approx_eq(sec)
+
+
+def _without(points: Sequence[Vec2], subset: Sequence[Vec2]) -> list[Vec2]:
+    """``points`` minus one occurrence of each element of ``subset``."""
+    remaining = list(points)
+    for s in subset:
+        for i, p in enumerate(remaining):
+            if p.approx_eq(s):
+                del remaining[i]
+                break
+    return remaining

@@ -1,0 +1,123 @@
+"""Point-set similarity: the paper's ``A ~ B`` relation.
+
+Two multisets of points are *similar* when one can be obtained from the
+other by translation, uniform scaling, rotation, or symmetry (reflection).
+Deciding similarity (and, when wanted, recovering a witness transform) is
+how the simulator detects that the pattern has been formed.
+
+The decision procedure normalises both sets (translate centroid to the
+origin, scale the maximum radius to 1), then tries every candidate rotation
+that maps one extremal point of ``A`` to an extremal point of ``B``, with
+and without a prior reflection.  Candidate count is O(n), each check is
+O(n^2), so the whole test is O(n^3) — ample for robot-swarm sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .point import Vec2, centroid
+from .tolerance import EPS, approx_eq
+from .transform import Similarity
+
+
+def normalize_points(points: Sequence[Vec2]) -> tuple[list[Vec2], Vec2, float]:
+    """Translate centroid to origin and scale max radius to 1.
+
+    Returns ``(normalised points, original centroid, original max radius)``.
+    A set whose points all coincide gets scale 1 (it stays a single point).
+    """
+    c = centroid(points)
+    shifted = [p - c for p in points]
+    scale = max((p.norm() for p in shifted), default=0.0)
+    if scale < 1e-12:
+        return shifted, c, 1.0
+    return [p / scale for p in shifted], c, scale
+
+
+def _match_multisets(a: Sequence[Vec2], b: Sequence[Vec2], eps: float) -> bool:
+    """Greedy bipartite matching of two equal-size point multisets."""
+    used = [False] * len(b)
+    for p in a:
+        found = False
+        for j, q in enumerate(b):
+            if not used[j] and p.approx_eq(q, eps):
+                used[j] = True
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def similar(a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS) -> bool:
+    """Whether the two point multisets are similar (``A ~ B``)."""
+    return find_similarity(a, b, eps) is not None
+
+
+def find_similarity(
+    a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS
+) -> Similarity | None:
+    """A witness similarity mapping ``a`` onto ``b``, or None.
+
+    The returned transform satisfies ``transform.apply_all(a)`` being a
+    permutation of ``b`` up to ``eps`` (after accounting for the relative
+    scale of the two sets).
+    """
+    if len(a) != len(b):
+        return None
+    if not a:
+        return Similarity.identity()
+
+    norm_a, cen_a, scale_a = normalize_points(a)
+    norm_b, cen_b, scale_b = normalize_points(b)
+
+    # Degenerate: single location (possibly with multiplicity).
+    spread_a = max(p.norm() for p in norm_a)
+    spread_b = max(p.norm() for p in norm_b)
+    if spread_a < eps and spread_b < eps:
+        return (
+            Similarity.translation_of(cen_b)
+            .compose(Similarity.identity())
+            .compose(Similarity.translation_of(-cen_a))
+        )
+    if (spread_a < eps) != (spread_b < eps):
+        return None
+
+    # Radii multisets must agree.
+    radii_a = sorted(p.norm() for p in norm_a)
+    radii_b = sorted(p.norm() for p in norm_b)
+    if any(not approx_eq(ra, rb, eps) for ra, rb in zip(radii_a, radii_b)):
+        return None
+
+    anchor = max(norm_a, key=lambda p: p.norm())
+    anchor_r = anchor.norm()
+    anchor_angle = anchor.angle()
+
+    for reflect in (False, True):
+        source = [p.mirrored_x() for p in norm_a] if reflect else norm_a
+        src_anchor_angle = -anchor_angle if reflect else anchor_angle
+        for q in norm_b:
+            if not approx_eq(q.norm(), anchor_r, eps):
+                continue
+            theta = q.angle() - src_anchor_angle
+            rotated = [p.rotated(theta) for p in source]
+            if _match_multisets(rotated, norm_b, 4 * eps):
+                inner = Similarity(1.0, theta, reflect, Vec2.zero())
+                transform = (
+                    Similarity.translation_of(cen_b)
+                    .compose(Similarity.scaling(scale_b))
+                    .compose(inner)
+                    .compose(Similarity.scaling(1.0 / scale_a))
+                    .compose(Similarity.translation_of(-cen_a))
+                )
+                return transform
+    return None
+
+
+def congruent(a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS) -> bool:
+    """Similarity with equal scale (isometry up to reflection)."""
+    transform = find_similarity(a, b, eps)
+    if transform is None:
+        return False
+    return approx_eq(transform.scale, 1.0, 1e-6)

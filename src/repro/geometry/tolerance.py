@@ -1,0 +1,119 @@
+"""Tolerant floating-point comparisons used by every geometric predicate.
+
+Robots in the paper compute with exact real arithmetic.  A float-based
+simulator must instead decide questions such as "are these two angles
+equal?" or "is this point on that circle?" up to a tolerance.  All such
+decisions in this library go through this module so that the notion of
+equality is consistent everywhere.
+
+The default absolute tolerance is chosen for configurations whose smallest
+enclosing circle has radius O(1) (the library normalises configurations to
+unit enclosing radius before running algorithms), which keeps round-trip
+error through local-frame transforms several orders of magnitude below it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+#: Default absolute tolerance for coordinates, distances and angles.
+EPS = 1e-7
+
+#: Tighter tolerance used when *snapping* computed destinations to their
+#: canonical geometric value (exact radius, exact pattern point).
+SNAP_EPS = 1e-9
+
+
+def is_zero(value: float, eps: float = EPS) -> bool:
+    """Return True when ``value`` is indistinguishable from zero."""
+    return abs(value) <= eps
+
+
+def approx_eq(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True when the two scalars are equal up to ``eps``."""
+    return abs(a - b) <= eps
+
+
+def approx_le(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant ``a <= b`` (true also when a is slightly above b)."""
+    return a <= b + eps
+
+
+def approx_lt(a: float, b: float, eps: float = EPS) -> bool:
+    """Strict tolerant ``a < b`` (false when the values are eps-equal)."""
+    return a < b - eps
+
+
+def approx_ge(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant ``a >= b``."""
+    return a >= b - eps
+
+
+def approx_gt(a: float, b: float, eps: float = EPS) -> bool:
+    """Strict tolerant ``a > b``."""
+    return a > b + eps
+
+
+def approx_cmp(a: float, b: float, eps: float = EPS) -> int:
+    """Three-way tolerant comparison: -1, 0 or +1."""
+    if approx_eq(a, b, eps):
+        return 0
+    return -1 if a < b else 1
+
+
+def lex_cmp(seq_a: Sequence[float], seq_b: Sequence[float], eps: float = EPS) -> int:
+    """Tolerant lexicographic three-way comparison of two float sequences.
+
+    The sequences are compared element by element with :func:`approx_cmp`;
+    the first non-equal element decides.  A shorter sequence that is a
+    prefix of the longer one compares as smaller.
+    """
+    for a, b in zip(seq_a, seq_b):
+        c = approx_cmp(a, b, eps)
+        if c != 0:
+            return c
+    return (len(seq_a) > len(seq_b)) - (len(seq_a) < len(seq_b))
+
+
+def snap(value: float, target: float, eps: float = EPS) -> float:
+    """Return ``target`` when ``value`` is eps-close to it, else ``value``."""
+    return target if approx_eq(value, target, eps) else value
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    return max(low, min(high, value))
+
+
+def all_approx_eq(values: Iterable[float], eps: float = EPS) -> bool:
+    """Return True when all values in the iterable are pairwise eps-equal."""
+    items = list(values)
+    if not items:
+        return True
+    lo, hi = min(items), max(items)
+    return approx_eq(lo, hi, 2 * eps)
+
+
+def norm_angle(theta: float) -> float:
+    """Normalise an angle into [0, 2*pi)."""
+    two_pi = 2.0 * math.pi
+    theta = math.fmod(theta, two_pi)
+    if theta < 0.0:
+        theta += two_pi
+    if theta >= two_pi:  # fmod rounding can land exactly on 2*pi
+        theta -= two_pi
+    return theta
+
+
+def norm_angle_signed(theta: float) -> float:
+    """Normalise an angle into (-pi, pi]."""
+    theta = norm_angle(theta)
+    if theta > math.pi:
+        theta -= 2.0 * math.pi
+    return theta
+
+
+def angle_approx_eq(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant equality of two angles modulo 2*pi."""
+    return is_zero(norm_angle_signed(a - b), eps)

@@ -1,0 +1,129 @@
+"""Similarity transforms of the plane.
+
+A *similarity* is a composition of translation, uniform scaling, rotation
+and (optionally) a reflection.  Two point sets are "similar" in the paper's
+sense (``A ~ B``) exactly when one maps onto the other under such a
+transform.  Similarities are also the mathematical content of a robot's
+local coordinate system: what a robot *sees* is the global configuration
+pushed through the (unknown to us-as-robot) similarity that maps global
+coordinates to its ego-centered frame.
+
+A transform is stored as ``p -> s * R * p + t`` where ``R`` is a rotation
+matrix optionally composed with the reflection ``(x, y) -> (x, -y)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import Vec2
+from .tolerance import EPS, approx_eq
+
+
+@dataclass(frozen=True, slots=True)
+class Similarity:
+    """An orientation-preserving-or-reversing similarity of the plane."""
+
+    scale: float
+    rotation: float
+    reflect: bool
+    translation: Vec2
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0.0:
+            raise ValueError("similarity scale must be positive")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity() -> "Similarity":
+        """The identity transform."""
+        return Similarity(1.0, 0.0, False, Vec2.zero())
+
+    @staticmethod
+    def translation_of(t: Vec2) -> "Similarity":
+        """Pure translation by ``t``."""
+        return Similarity(1.0, 0.0, False, t)
+
+    @staticmethod
+    def rotation_about(theta: float, center: Vec2 = Vec2.zero()) -> "Similarity":
+        """Pure rotation by ``theta`` about ``center``."""
+        return (
+            Similarity.translation_of(center)
+            .compose(Similarity(1.0, theta, False, Vec2.zero()))
+            .compose(Similarity.translation_of(-center))
+        )
+
+    @staticmethod
+    def scaling(factor: float, center: Vec2 = Vec2.zero()) -> "Similarity":
+        """Pure uniform scaling by ``factor`` about ``center``."""
+        return (
+            Similarity.translation_of(center)
+            .compose(Similarity(factor, 0.0, False, Vec2.zero()))
+            .compose(Similarity.translation_of(-center))
+        )
+
+    @staticmethod
+    def reflection_x() -> "Similarity":
+        """Reflection across the x axis (flips chirality)."""
+        return Similarity(1.0, 0.0, True, Vec2.zero())
+
+    # ------------------------------------------------------------------
+    # application and composition
+    # ------------------------------------------------------------------
+    def apply(self, p: Vec2) -> Vec2:
+        """Image of point ``p`` under the transform."""
+        q = p.mirrored_x() if self.reflect else p
+        q = q.rotated(self.rotation)
+        return Vec2(self.scale * q.x + self.translation.x, self.scale * q.y + self.translation.y)
+
+    def apply_vector(self, v: Vec2) -> Vec2:
+        """Image of a *vector* (translation ignored)."""
+        q = v.mirrored_x() if self.reflect else v
+        return q.rotated(self.rotation) * self.scale
+
+    def apply_all(self, points: list[Vec2]) -> list[Vec2]:
+        """Image of every point in a list."""
+        return [self.apply(p) for p in points]
+
+    def compose(self, inner: "Similarity") -> "Similarity":
+        """The transform ``self o inner`` (apply ``inner`` first)."""
+        # self(inner(p)) = s1*R1*(s2*R2*p + t2) + t1
+        scale = self.scale * inner.scale
+        if self.reflect:
+            rotation = self.rotation - inner.rotation
+        else:
+            rotation = self.rotation + inner.rotation
+        reflect = self.reflect != inner.reflect
+        translation = self.apply(inner.translation)
+        return Similarity(scale, rotation, reflect, translation)
+
+    def inverse(self) -> "Similarity":
+        """The inverse transform."""
+        inv_scale = 1.0 / self.scale
+        if self.reflect:
+            inv_rotation = self.rotation
+        else:
+            inv_rotation = -self.rotation
+        inv_reflect = self.reflect
+        inv = Similarity(inv_scale, inv_rotation, inv_reflect, Vec2.zero())
+        translation = -inv.apply(self.translation)
+        return Similarity(inv_scale, inv_rotation, inv_reflect, translation)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def preserves_orientation(self) -> bool:
+        """True for direct similarities (no reflection)."""
+        return not self.reflect
+
+    def is_identity(self, eps: float = EPS) -> bool:
+        """Tolerant identity test."""
+        return (
+            not self.reflect
+            and approx_eq(self.scale, 1.0, eps)
+            and abs(math.remainder(self.rotation, 2.0 * math.pi)) <= eps
+            and self.translation.approx_eq(Vec2.zero(), eps)
+        )

@@ -1,0 +1,104 @@
+"""Weber point (geometric median) computation.
+
+The center of an m-regular (equiangular or biangular) set is its Weber
+point (Anderegg, Cieliebak & Prencipe 2003, cited as [1] in the paper), and
+the Weber point is invariant under straight-line movement of a point toward
+it — which is why radial movements preserve regular sets.
+
+The paper relies on the *existence* of a linear-time exact algorithm for
+biangular configurations; for the simulator we only ever need a numerical
+center good enough to *verify* equiangularity from it, so we use Weiszfeld
+iteration with a robust start and a Newton-style polish of the
+equiangularity residual performed by the callers in :mod:`repro.regular`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .point import Vec2, centroid
+from .tolerance import EPS
+
+
+def weber_point(
+    points: Sequence[Vec2],
+    tol: float = 1e-12,
+    max_iter: int = 10_000,
+) -> Vec2:
+    """Geometric median of ``points`` by damped Weiszfeld iteration.
+
+    The iteration handles the classical degenerate case (current iterate
+    coinciding with an input point) by Vardi-Zhang correction.
+
+    Raises:
+        ValueError: on an empty input.
+    """
+    if not points:
+        raise ValueError("Weber point of an empty set is undefined")
+    if len(points) == 1:
+        return points[0]
+    if len(points) == 2:
+        return Vec2(
+            (points[0].x + points[1].x) / 2.0, (points[0].y + points[1].y) / 2.0
+        )
+
+    current = centroid(points)
+    for _ in range(max_iter):
+        nxt = _weiszfeld_step(points, current)
+        if nxt.dist(current) <= tol:
+            return nxt
+        current = nxt
+    return current
+
+
+def _weiszfeld_step(points: Sequence[Vec2], y: Vec2) -> Vec2:
+    """One Weiszfeld step with Vardi-Zhang handling of coincidence."""
+    num_x = num_y = denom = 0.0
+    coincident: Vec2 | None = None
+    for p in points:
+        d = p.dist(y)
+        if d < 1e-14:
+            coincident = p
+            continue
+        w = 1.0 / d
+        num_x += p.x * w
+        num_y += p.y * w
+        denom += w
+    if denom == 0.0:
+        return y
+    t = Vec2(num_x / denom, num_y / denom)
+    if coincident is None:
+        return t
+    # Vardi-Zhang: pull toward the plain Weiszfeld target but keep the
+    # iterate from being stuck exactly on a data point.
+    r_vec = Vec2(num_x - y.x * denom, num_y - y.y * denom)
+    r = r_vec.norm()
+    if r < 1e-14:
+        return y
+    step = min(1.0, 1.0 / r)
+    return Vec2(y.x + step * (t.x - y.x), y.y + step * (t.y - y.y))
+
+
+def weber_objective(points: Sequence[Vec2], y: Vec2) -> float:
+    """Sum of distances from ``y`` to the points (the Weber objective)."""
+    return sum(p.dist(y) for p in points)
+
+
+def is_weber_point(points: Sequence[Vec2], y: Vec2, eps: float = EPS) -> bool:
+    """Check first-order optimality of ``y`` for the Weber objective.
+
+    The gradient of the objective at a non-data point is the sum of unit
+    vectors toward ``y``; at an optimum it (nearly) vanishes.  At a data
+    point the condition is that the residual of the others is at most 1.
+    """
+    grad = Vec2.zero()
+    at_data_point = False
+    for p in points:
+        d = p.dist(y)
+        if d < eps:
+            at_data_point = True
+            continue
+        grad = grad + (y - p) / d
+    if at_data_point:
+        return grad.norm() <= 1.0 + eps
+    return grad.norm() <= len(points) * eps * 100

@@ -1,0 +1,46 @@
+"""Robot model substrate: configurations, frames, snapshots, views, symmetry."""
+
+from .configuration import Configuration, robots_on_circle, robots_within
+from .frame import LocalFrame
+from .pattern import Pattern
+from .snapshot import Snapshot, make_snapshot
+from .symmetry import (
+    has_mirror_symmetry,
+    is_asymmetric,
+    rotational_symmetry,
+    symmetry_axes,
+)
+from .views import (
+    VIEW_EPS,
+    LocalView,
+    compare_views,
+    equivalent_views,
+    local_view,
+    max_view_not_holding_sec,
+    max_view_points,
+    view_coords,
+    view_order,
+)
+
+__all__ = [
+    "VIEW_EPS",
+    "Configuration",
+    "LocalFrame",
+    "LocalView",
+    "Pattern",
+    "Snapshot",
+    "compare_views",
+    "equivalent_views",
+    "has_mirror_symmetry",
+    "is_asymmetric",
+    "local_view",
+    "make_snapshot",
+    "max_view_not_holding_sec",
+    "max_view_points",
+    "robots_on_circle",
+    "robots_within",
+    "rotational_symmetry",
+    "symmetry_axes",
+    "view_coords",
+    "view_order",
+]

@@ -1,0 +1,88 @@
+"""Robot configurations.
+
+A configuration is the multiset of robot positions at some instant.  The
+engine keeps positions indexed by robot id (ids exist only in the
+simulator — the robots themselves are anonymous and never see them); the
+anonymous multiset view used by algorithms is obtained via :meth:`points`
+and :meth:`distinct_points`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..geometry import EPS, Circle, Vec2, smallest_enclosing_circle
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable snapshot of all robot positions (global coordinates)."""
+
+    positions: tuple[Vec2, ...]
+
+    @staticmethod
+    def from_points(points: Iterable[Vec2]) -> "Configuration":
+        """Build a configuration from any iterable of points."""
+        return Configuration(tuple(points))
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __iter__(self) -> Iterator[Vec2]:
+        return iter(self.positions)
+
+    def __getitem__(self, robot_id: int) -> Vec2:
+        return self.positions[robot_id]
+
+    def points(self) -> list[Vec2]:
+        """All positions as a list (duplicates preserved)."""
+        return list(self.positions)
+
+    def distinct_points(self, eps: float = EPS) -> list[tuple[Vec2, int]]:
+        """Distinct locations with their multiplicities, insertion order."""
+        found: list[tuple[Vec2, int]] = []
+        for p in self.positions:
+            for i, (q, count) in enumerate(found):
+                if p.approx_eq(q, eps):
+                    found[i] = (q, count + 1)
+                    break
+            else:
+                found.append((p, 1))
+        return found
+
+    def multiplicity_of(self, p: Vec2, eps: float = EPS) -> int:
+        """Number of robots at location ``p``."""
+        return sum(1 for q in self.positions if q.approx_eq(p, eps))
+
+    def has_multiplicity(self, eps: float = EPS) -> bool:
+        """True when some location hosts more than one robot."""
+        return any(count > 1 for _, count in self.distinct_points(eps))
+
+    def sec(self) -> Circle:
+        """Smallest enclosing circle ``C(P)``."""
+        return smallest_enclosing_circle(self.positions)
+
+    def moved(self, robot_id: int, new_position: Vec2) -> "Configuration":
+        """A copy with one robot relocated."""
+        positions = list(self.positions)
+        positions[robot_id] = new_position
+        return Configuration(tuple(positions))
+
+    def translated(self, offset: Vec2) -> "Configuration":
+        """A copy with every robot translated by ``offset``."""
+        return Configuration(tuple(p + offset for p in self.positions))
+
+
+def robots_within(
+    points: Sequence[Vec2], center: Vec2, radius: float, eps: float = EPS
+) -> list[Vec2]:
+    """Points strictly inside the open disc ``D(radius)`` around ``center``."""
+    return [p for p in points if p.dist(center) < radius - eps]
+
+
+def robots_on_circle(
+    points: Sequence[Vec2], circle: Circle, eps: float = EPS
+) -> list[Vec2]:
+    """Points lying on the circumference of ``circle``."""
+    return [p for p in points if circle.on_circumference(p, eps)]

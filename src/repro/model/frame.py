@@ -1,0 +1,76 @@
+"""Local (ego-centered) coordinate frames.
+
+Each robot observes the world through its own coordinate system: an
+arbitrary similarity transform of the global frame, with arbitrary
+handedness.  Because the robots of this paper share **no** "North" and
+**no** chirality, the adversary may hand every robot — at every cycle — a
+freshly rotated, scaled *and mirrored* frame.  An algorithm correct in
+this model must behave identically regardless of the frame, which the test
+suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..geometry import Similarity, Vec2
+
+
+@dataclass(frozen=True)
+class LocalFrame:
+    """A robot's ego-centered coordinate system.
+
+    ``to_local`` maps global coordinates into the robot's frame; the robot
+    itself sits at the frame's origin.
+    """
+
+    to_local: Similarity
+
+    @staticmethod
+    def identity_at(origin: Vec2) -> "LocalFrame":
+        """A frame aligned with the global axes, centered at ``origin``."""
+        return LocalFrame(Similarity.translation_of(-origin))
+
+    @staticmethod
+    def random_at(
+        origin: Vec2,
+        rng: random.Random,
+        allow_reflection: bool = True,
+        min_scale: float = 0.25,
+        max_scale: float = 4.0,
+    ) -> "LocalFrame":
+        """A uniformly random frame centered at ``origin``.
+
+        Rotation is uniform in [0, 2*pi); the frame is mirrored with
+        probability 1/2 when ``allow_reflection`` (the no-chirality model);
+        scale is log-uniform in [min_scale, max_scale].
+        """
+        rotation = rng.uniform(0.0, 6.283185307179586)
+        reflect = allow_reflection and rng.random() < 0.5
+        import math
+
+        log_lo, log_hi = math.log(min_scale), math.log(max_scale)
+        scale = math.exp(rng.uniform(log_lo, log_hi))
+        orient = Similarity(scale, rotation, reflect, Vec2.zero())
+        return LocalFrame(orient.compose(Similarity.translation_of(-origin)))
+
+    def globalize(self) -> Similarity:
+        """The inverse transform (local to global coordinates)."""
+        return self.to_local.inverse()
+
+    def observe(self, p: Vec2) -> Vec2:
+        """A global point as the robot sees it."""
+        return self.to_local.apply(p)
+
+    def observe_all(self, points: list[Vec2]) -> list[Vec2]:
+        """A list of global points as the robot sees them."""
+        return self.to_local.apply_all(points)
+
+    def to_global(self, p: Vec2) -> Vec2:
+        """A local point converted back to global coordinates."""
+        return self.globalize().apply(p)
+
+    def is_mirrored(self) -> bool:
+        """Whether the frame has opposite chirality to the global frame."""
+        return self.to_local.reflect

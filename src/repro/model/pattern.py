@@ -1,0 +1,90 @@
+"""Target patterns ``F``.
+
+A pattern is a multiset of points given to every robot *in its own local
+coordinate system*; only its similarity class matters.  The library keeps
+patterns in a canonical normal form — smallest enclosing circle centered at
+the origin with radius 1 — mirroring the paper's convention that robots
+rescale their frame so that ``C(P) = C(F)`` with unit radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..geometry import (
+    EPS,
+    Circle,
+    Vec2,
+    similar,
+    smallest_enclosing_circle,
+)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An immutable target pattern (multiset of points)."""
+
+    points: tuple[Vec2, ...]
+
+    @staticmethod
+    def from_points(points: Iterable[Vec2]) -> "Pattern":
+        """Build a pattern from any iterable of points."""
+        pts = tuple(points)
+        if not pts:
+            raise ValueError("a pattern must contain at least one point")
+        return Pattern(pts)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Vec2]:
+        return iter(self.points)
+
+    def sec(self) -> Circle:
+        """Smallest enclosing circle ``C(F)``."""
+        return smallest_enclosing_circle(self.points)
+
+    def normalized(self) -> "Pattern":
+        """The pattern scaled/translated so ``C(F)`` is the unit circle."""
+        sec = self.sec()
+        if sec.radius <= EPS:
+            raise ValueError("cannot normalise a single-location pattern")
+        return Pattern(
+            tuple((p - sec.center) / sec.radius for p in self.points)
+        )
+
+    def distinct_points(self, eps: float = EPS) -> list[tuple[Vec2, int]]:
+        """Distinct pattern locations with multiplicities."""
+        found: list[tuple[Vec2, int]] = []
+        for p in self.points:
+            for i, (q, count) in enumerate(found):
+                if p.approx_eq(q, eps):
+                    found[i] = (q, count + 1)
+                    break
+            else:
+                found.append((p, 1))
+        return found
+
+    def has_multiplicity(self, eps: float = EPS) -> bool:
+        """True when some pattern location is requested more than once."""
+        return any(count > 1 for _, count in self.distinct_points(eps))
+
+    def second_closest_distance(self, center: Vec2) -> float:
+        """``l_F``: distance to ``center`` of the second closest point."""
+        distances = sorted(p.dist(center) for p in self.points)
+        if len(distances) < 2:
+            raise ValueError("l_F needs at least two pattern points")
+        return distances[1]
+
+    def matches(self, points: Sequence[Vec2], eps: float = EPS) -> bool:
+        """Whether a configuration forms this pattern (similarity test)."""
+        return similar(list(points), list(self.points), eps)
+
+    def scaled_to(self, sec: Circle) -> "Pattern":
+        """The pattern mapped so its enclosing circle equals ``sec``."""
+        own = self.sec()
+        factor = sec.radius / own.radius if own.radius > EPS else 1.0
+        return Pattern(
+            tuple(sec.center + (p - own.center) * factor for p in self.points)
+        )

@@ -1,0 +1,86 @@
+"""Snapshots: what a robot sees during its Look phase.
+
+A snapshot is the full configuration expressed in the observing robot's
+local frame.  Moving robots appear exactly like static ones.  Without
+multiplicity detection a location hosting several robots is seen as a
+single point; with (strong) multiplicity detection the robot sees the exact
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Circle, Vec2, smallest_enclosing_circle
+from .views import _multiset
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An observation of the configuration in local coordinates.
+
+    Attributes:
+        points: every observed robot location.  With multiplicity detection
+            duplicates are preserved (one entry per robot); without it each
+            location appears exactly once.
+        me: the observing robot's own position in the same frame (the frame
+            is ego-centered, so this is the origin, but the algorithms never
+            rely on that).
+        multiplicity_detection: whether counts at shared locations are
+            visible.
+    """
+
+    points: tuple[Vec2, ...]
+    me: Vec2
+    multiplicity_detection: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a snapshot must contain at least one robot")
+
+    def n(self) -> int:
+        """Number of observed robots (locations when detection is off)."""
+        return len(self.points)
+
+    def others(self) -> list[Vec2]:
+        """All observed locations except (one occurrence of) the observer's."""
+        out = list(self.points)
+        for i, p in enumerate(out):
+            if p.approx_eq(self.me):
+                del out[i]
+                return out
+        return out
+
+    def distinct(self) -> list[tuple[Vec2, int]]:
+        """Distinct locations with multiplicities (1s when detection off)."""
+        return _multiset(self.points)
+
+    def sec(self) -> Circle:
+        """Smallest enclosing circle of the observed configuration."""
+        return smallest_enclosing_circle(self.points)
+
+
+def make_snapshot(
+    global_points: Sequence[Vec2],
+    observer_global: Vec2,
+    to_local,
+    multiplicity_detection: bool = False,
+) -> Snapshot:
+    """Build the snapshot an observer at ``observer_global`` obtains.
+
+    Args:
+        global_points: all robot positions in global coordinates.
+        observer_global: the observer's own global position.
+        to_local: callable mapping a global point into the local frame.
+        multiplicity_detection: whether multiplicities are observable.
+    """
+    if multiplicity_detection:
+        local = tuple(to_local(p) for p in global_points)
+    else:
+        seen: list[Vec2] = []
+        for p in global_points:
+            if not any(p.approx_eq(q) for q in seen):
+                seen.append(p)
+        local = tuple(to_local(p) for p in seen)
+    return Snapshot(local, to_local(observer_global), multiplicity_detection)

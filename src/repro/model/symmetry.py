@@ -1,0 +1,147 @@
+"""Rotational symmetricity ``rho(P)`` and axes of symmetry.
+
+``rho(P)`` is the order of the rotation group of the configuration about
+its center: the number of rotations (including the identity) that map the
+multiset of positions onto itself.  When ``rho(P) = 1`` the configuration
+may still possess mirror symmetry; :func:`symmetry_axes` finds all axes.
+
+Every symmetry of a point set fixes the center of its smallest enclosing
+circle, so candidate rotations/reflections are generated from the ring of
+points closest to that center and verified against the whole multiset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..geometry import Vec2, direction_angle, norm_angle
+from ..geometry.tolerance import approx_eq
+from .views import VIEW_EPS, _multiset
+
+
+def _rings(
+    points: Sequence[tuple[Vec2, int]], center: Vec2, eps: float
+) -> list[list[tuple[Vec2, int]]]:
+    """Points grouped by distance to center, closest ring first."""
+    annotated = sorted(
+        ((p.dist(center), p, m) for p, m in points), key=lambda t: t[0]
+    )
+    rings: list[list[tuple[Vec2, int]]] = []
+    for d, p, m in annotated:
+        if rings and approx_eq(rings[-1][0][0].dist(center), d, eps):
+            rings[-1].append((p, m))
+        else:
+            rings.append([(p, m)])
+    return rings
+
+
+def _maps_to_self(
+    points: Sequence[tuple[Vec2, int]],
+    transform,
+    eps: float,
+) -> bool:
+    """Whether ``transform`` permutes the weighted multiset of points."""
+    used = [False] * len(points)
+    for p, m in points:
+        image = transform(p)
+        for j, (q, mq) in enumerate(points):
+            if not used[j] and m == mq and image.approx_eq(q, eps):
+                used[j] = True
+                break
+        else:
+            return False
+    return True
+
+
+def rotational_symmetry(
+    points: Sequence[Vec2], center: Vec2, eps: float = VIEW_EPS
+) -> int:
+    """The symmetricity ``rho(P)`` about ``center``.
+
+    Points located at the center are rotation-invariant and ignored when
+    generating candidates (but a centered point never breaks symmetry).
+    """
+    multiset = [
+        (p, m) for p, m in _multiset(points) if not p.approx_eq(center, eps)
+    ]
+    if not multiset:
+        return 1
+    rings = _rings(multiset, center, eps)
+    ring0 = rings[0]
+    anchor = ring0[0][0]
+    theta0 = direction_angle(center, anchor)
+    count = 0
+    seen: list[float] = []
+    for q, _ in ring0:
+        theta = norm_angle(direction_angle(center, q) - theta0)
+        if any(_angle_eq(theta, s, eps) for s in seen):
+            continue
+        seen.append(theta)
+        if _maps_to_self(multiset, lambda p, t=theta: p.rotated(t, center), eps):
+            count += 1
+    return max(count, 1)
+
+
+def symmetry_axes(
+    points: Sequence[Vec2], center: Vec2, eps: float = VIEW_EPS
+) -> list[float]:
+    """Directions (mod pi, in [0, pi)) of all mirror axes through ``center``."""
+    multiset = [
+        (p, m) for p, m in _multiset(points) if not p.approx_eq(center, eps)
+    ]
+    if not multiset:
+        return [0.0]
+    rings = _rings(multiset, center, eps)
+    ring0 = rings[0]
+    candidates: list[float] = []
+    for p, _ in ring0:
+        for q, _ in ring0:
+            axis = norm_angle(
+                (direction_angle(center, p) + direction_angle(center, q)) / 2.0
+            ) % math.pi
+            if not any(_axis_eq(axis, a, eps) for a in candidates):
+                candidates.append(axis)
+            # The two bisectors of a pair differ by pi/2.
+            axis2 = (axis + math.pi / 2.0) % math.pi
+            if not any(_axis_eq(axis2, a, eps) for a in candidates):
+                candidates.append(axis2)
+    axes: list[float] = []
+    for axis in candidates:
+        if _maps_to_self(
+            multiset, lambda p, a=axis: _reflect(p, center, a), eps
+        ):
+            axes.append(axis)
+    axes.sort()
+    return axes
+
+
+def has_mirror_symmetry(
+    points: Sequence[Vec2], center: Vec2, eps: float = VIEW_EPS
+) -> bool:
+    """Whether the configuration has at least one axis of symmetry."""
+    return bool(symmetry_axes(points, center, eps))
+
+
+def is_asymmetric(points: Sequence[Vec2], center: Vec2, eps: float = VIEW_EPS) -> bool:
+    """``rho(P) = 1`` and no axis of symmetry — all views are distinct."""
+    return rotational_symmetry(points, center, eps) == 1 and not has_mirror_symmetry(
+        points, center, eps
+    )
+
+
+def _reflect(p: Vec2, center: Vec2, axis_angle: float) -> Vec2:
+    """Reflect ``p`` across the line through ``center`` at ``axis_angle``."""
+    v = p - center
+    c, s = math.cos(2.0 * axis_angle), math.sin(2.0 * axis_angle)
+    return center + Vec2(c * v.x + s * v.y, s * v.x - c * v.y)
+
+
+def _angle_eq(a: float, b: float, eps: float) -> bool:
+    d = norm_angle(a - b)
+    return d <= eps or 2.0 * math.pi - d <= eps
+
+
+def _axis_eq(a: float, b: float, eps: float) -> bool:
+    d = abs(a - b) % math.pi
+    return d <= eps or math.pi - d <= eps

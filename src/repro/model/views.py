@@ -1,0 +1,210 @@
+"""Local views ``Z_r`` and the view order.
+
+For a configuration ``P`` with center ``c = c(P)`` and a robot ``r != c``,
+the *local view* of ``r`` is the multiset of robot positions expressed in
+the polar frame centered at ``c`` in which ``r`` has coordinates ``(1, 0)``,
+taken with the rotational orientation (clockwise or counterclockwise) that
+lexicographically maximises the coordinate sequence.  Robots with the same
+view are indistinguishable; the robot(s) "with maximal view" are the
+canonical choice the algorithms use whenever a distinguished robot is
+needed.
+
+Views are compared *tolerantly*: coordinates within a view are sorted with
+an eps-aware comparator and two views are compared element-wise with the
+same tolerance, so that genuinely symmetric configurations produce equal
+views despite floating-point noise.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Vec2, direction_angle, norm_angle, point_holds_sec
+from ..geometry.tolerance import approx_cmp
+
+#: Tolerance for angle/radius comparisons inside views.  Slightly coarser
+#: than the geometric EPS so that per-cycle frame round-trips never split a
+#: symmetric pair.
+VIEW_EPS = 1e-6
+
+Coord = tuple[float, float, int]
+
+
+def _coord_cmp(a: Coord, b: Coord) -> int:
+    """Tolerant three-way comparison of view coordinates."""
+    c = approx_cmp(a[0], b[0], VIEW_EPS)
+    if c:
+        return c
+    c = approx_cmp(a[1], b[1], VIEW_EPS)
+    if c:
+        return c
+    return (a[2] > b[2]) - (a[2] < b[2])
+
+
+_COORD_KEY = functools.cmp_to_key(_coord_cmp)
+
+
+def _multiset(points: Sequence[Vec2], eps: float = VIEW_EPS) -> list[tuple[Vec2, int]]:
+    """Distinct points with multiplicities."""
+    found: list[tuple[Vec2, int]] = []
+    for p in points:
+        for i, (q, count) in enumerate(found):
+            if p.approx_eq(q, eps):
+                found[i] = (q, count + 1)
+                break
+        else:
+            found.append((p, 1))
+    return found
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """The (maximal-orientation) local view of one robot.
+
+    Attributes:
+        coords: sorted ``(angle, radius, multiplicity)`` coordinates of all
+            distinct robot locations, angles in [0, 2*pi) measured from the
+            owning robot's direction, radii relative to the owner's radius.
+        direct: True when the counterclockwise (in the frame used to compute
+            the view) orientation realises the maximum.
+        symmetric: True when both orientations yield equal views, i.e. the
+            owner lies on an axis of symmetry of the configuration.
+
+    View order.  The paper leaves the lexicographic convention open; this
+    library fixes the one its algorithm relies on (the paper's own naming —
+    "ClosestF", "f_s is one of the closest points to the center" — implies
+    it): views are compared first by the *minimum radius ratio* appearing
+    in the view, so that robots closer to the center have strictly greater
+    views, and ties (same-ring robots) are broken by the tolerant
+    lexicographic order on the coordinate sequence.  The convention is
+    similarity-invariant and gives equivalent robots equal views, which is
+    all the theory requires.
+    """
+
+    coords: tuple[Coord, ...]
+    direct: bool
+    symmetric: bool
+
+    def min_ratio(self) -> float:
+        """Smallest radius ratio in the view (0 when a robot sits at the
+        center; 1 when the owner is among the closest robots)."""
+        return min(c[1] for c in self.coords)
+
+
+def view_coords(
+    points: Sequence[Vec2], center: Vec2, robot: Vec2, direct: bool
+) -> tuple[Coord, ...]:
+    """Raw view coordinates of ``robot`` in one orientation."""
+    unit = robot.dist(center)
+    if unit <= 0.0:
+        raise ValueError("view undefined for a robot located at the center")
+    theta_r = direction_angle(center, robot)
+    coords: list[Coord] = []
+    for p, mult in _multiset(points):
+        if p.approx_eq(center, VIEW_EPS):
+            # A robot exactly at the center is orientation-independent.
+            coords.append((0.0, 0.0, mult))
+            continue
+        raw = direction_angle(center, p) - theta_r
+        angle = norm_angle(raw if direct else -raw)
+        if angle > 2.0 * 3.141592653589793 - VIEW_EPS:
+            angle = 0.0
+        radius = p.dist(center) / unit
+        coords.append((angle, radius, mult))
+    coords.sort(key=_COORD_KEY)
+    return tuple(coords)
+
+
+def compare_coord_seqs(a: Sequence[Coord], b: Sequence[Coord]) -> int:
+    """Tolerant lexicographic three-way comparison of coordinate lists."""
+    for ca, cb in zip(a, b):
+        c = _coord_cmp(ca, cb)
+        if c:
+            return c
+    return (len(a) > len(b)) - (len(a) < len(b))
+
+
+def local_view(points: Sequence[Vec2], center: Vec2, robot: Vec2) -> LocalView:
+    """The local view ``Z_r`` of ``robot``, maximised over orientation."""
+    ccw = view_coords(points, center, robot, direct=True)
+    cw = view_coords(points, center, robot, direct=False)
+    cmp = compare_coord_seqs(ccw, cw)
+    if cmp > 0:
+        return LocalView(ccw, True, False)
+    if cmp < 0:
+        return LocalView(cw, False, False)
+    return LocalView(ccw, True, True)
+
+
+def compare_views(a: LocalView, b: LocalView) -> int:
+    """Tolerant three-way comparison of two local views.
+
+    Compares the minimum radius ratio first (larger ratio — i.e. a robot
+    closer to the center — means a greater view), then the coordinate
+    sequences lexicographically; see :class:`LocalView` for why.
+    """
+    c = approx_cmp(a.min_ratio(), b.min_ratio(), VIEW_EPS)
+    if c:
+        return c
+    return compare_coord_seqs(a.coords, b.coords)
+
+
+def equivalent_views(a: LocalView, b: LocalView) -> bool:
+    """Equality of views including orientation (paper's robot equivalence).
+
+    Two robots are *equivalent* when they have the same view with the same
+    orientation; symmetric views (owner on an axis) compare as equivalent
+    regardless of orientation flag.
+    """
+    if compare_views(a, b) != 0:
+        return False
+    if a.symmetric or b.symmetric:
+        return a.symmetric == b.symmetric
+    return a.direct == b.direct
+
+
+def view_order(points: Sequence[Vec2], center: Vec2) -> list[tuple[Vec2, LocalView]]:
+    """All robots with their views, sorted by decreasing view.
+
+    Robots at the exact center are excluded (their view is undefined).
+    """
+    entries = [
+        (p, local_view(points, center, p))
+        for p in _dedupe(points)
+        if not p.approx_eq(center, VIEW_EPS)
+    ]
+    entries.sort(key=functools.cmp_to_key(lambda x, y: compare_views(x[1], y[1])), reverse=True)
+    return entries
+
+
+def max_view_points(points: Sequence[Vec2], center: Vec2) -> list[Vec2]:
+    """The robot locations achieving the maximal view."""
+    ordered = view_order(points, center)
+    if not ordered:
+        return []
+    top_view = ordered[0][1]
+    return [p for p, v in ordered if compare_views(v, top_view) == 0]
+
+
+def max_view_not_holding_sec(
+    points: Sequence[Vec2], center: Vec2
+) -> list[Vec2]:
+    """Max-view locations among those that do not hold ``C(P)``."""
+    pts = list(points)
+    candidates = [
+        p
+        for p in _dedupe(points)
+        if not p.approx_eq(center, VIEW_EPS) and not point_holds_sec(pts, p)
+    ]
+    if not candidates:
+        return []
+    entries = [(p, local_view(points, center, p)) for p in candidates]
+    entries.sort(key=functools.cmp_to_key(lambda x, y: compare_views(x[1], y[1])), reverse=True)
+    top_view = entries[0][1]
+    return [p for p, v in entries if compare_views(v, top_view) == 0]
+
+
+def _dedupe(points: Sequence[Vec2]) -> list[Vec2]:
+    return [p for p, _ in _multiset(points)]

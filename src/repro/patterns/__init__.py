@@ -1,0 +1,27 @@
+"""Pattern and workload generators."""
+
+from .library import (
+    center_multiplicity_pattern,
+    gathering_pattern,
+    grid_pattern,
+    line_pattern,
+    multiplicity_pattern,
+    nested_rings,
+    random_configuration,
+    random_pattern,
+    regular_polygon,
+    star_pattern,
+)
+
+__all__ = [
+    "center_multiplicity_pattern",
+    "gathering_pattern",
+    "grid_pattern",
+    "line_pattern",
+    "multiplicity_pattern",
+    "nested_rings",
+    "random_configuration",
+    "random_pattern",
+    "regular_polygon",
+    "star_pattern",
+]

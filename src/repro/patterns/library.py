@@ -1,0 +1,145 @@
+"""Pattern and configuration generators.
+
+Workload generators for examples, tests and benchmarks: classic target
+patterns (polygons, grids, lines, stars, nested rings), patterns with
+multiplicity points, and random general-position initial configurations.
+All patterns are returned in canonical normal form (unit smallest
+enclosing circle centered at the origin) where possible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry import Vec2, smallest_enclosing_circle
+from ..model import Configuration, Pattern
+
+
+def regular_polygon(n: int, radius: float = 1.0, phase: float = 0.0) -> Pattern:
+    """A regular n-gon (n >= 3)."""
+    if n < 3:
+        raise ValueError("a polygon needs at least 3 vertices")
+    return Pattern.from_points(
+        Vec2.polar(radius, phase + 2.0 * math.pi * i / n) for i in range(n)
+    )
+
+
+def line_pattern(n: int, jitter: float = 0.0, seed: int = 0) -> Pattern:
+    """``n`` collinear points (optionally jittered off the line)."""
+    if n < 2:
+        raise ValueError("a line needs at least 2 points")
+    rng = random.Random(seed)
+    pts = [
+        Vec2(-1.0 + 2.0 * i / (n - 1), jitter * rng.uniform(-1.0, 1.0))
+        for i in range(n)
+    ]
+    return Pattern.from_points(pts)
+
+
+def grid_pattern(rows: int, cols: int, spacing: float = 1.0) -> Pattern:
+    """A rows x cols rectangular grid."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    pts = [
+        Vec2(c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+    ]
+    return Pattern.from_points(pts)
+
+
+def star_pattern(spikes: int, inner: float = 0.4, outer: float = 1.0) -> Pattern:
+    """A star with alternating inner/outer vertices (2*spikes points)."""
+    if spikes < 2:
+        raise ValueError("a star needs at least 2 spikes")
+    pts = []
+    for i in range(2 * spikes):
+        radius = outer if i % 2 == 0 else inner
+        pts.append(Vec2.polar(radius, math.pi * i / spikes))
+    return Pattern.from_points(pts)
+
+
+def nested_rings(counts: list[int], radii: list[float] | None = None) -> Pattern:
+    """Concentric rings with ``counts[i]`` points on ring ``i``."""
+    if not counts:
+        raise ValueError("need at least one ring")
+    if radii is None:
+        radii = [1.0 - 0.6 * i / max(len(counts) - 1, 1) for i in range(len(counts))]
+    pts = []
+    for ring, (count, radius) in enumerate(zip(counts, radii)):
+        offset = 0.37 * ring  # avoid accidental global symmetry
+        for i in range(count):
+            pts.append(Vec2.polar(radius, offset + 2.0 * math.pi * i / count))
+    return Pattern.from_points(pts)
+
+
+def random_pattern(
+    n: int, seed: int = 0, min_separation: float = 0.1
+) -> Pattern:
+    """A random general-position pattern of ``n`` points."""
+    return Pattern.from_points(
+        _random_points(n, seed, 1.0, min_separation)
+    )
+
+
+def multiplicity_pattern(
+    base: Pattern, doubled_indices: list[int]
+) -> Pattern:
+    """``base`` with the given points' multiplicity increased by one."""
+    pts = list(base.points)
+    for i in doubled_indices:
+        pts.append(base.points[i])
+    return Pattern.from_points(pts)
+
+
+def center_multiplicity_pattern(n_outer: int, center_count: int) -> Pattern:
+    """``n_outer`` ring points plus a multiplicity point at the center."""
+    if n_outer < 3:
+        raise ValueError("need at least 3 outer points")
+    pts = [
+        Vec2.polar(1.0, 0.31 + 2.0 * math.pi * i / n_outer) for i in range(n_outer)
+    ]
+    center = smallest_enclosing_circle(pts).center
+    pts.extend([center] * center_count)
+    return Pattern.from_points(pts)
+
+
+def gathering_pattern(n: int) -> Pattern:
+    """All ``n`` robots at a single point (total multiplicity)."""
+    return Pattern.from_points([Vec2.zero()] * n)
+
+
+def random_configuration(
+    n: int,
+    seed: int = 0,
+    spread: float = 1.0,
+    min_separation: float = 0.05,
+) -> Configuration:
+    """A random general-position initial configuration (no multiplicity)."""
+    return Configuration.from_points(
+        _random_points(n, seed, spread, min_separation)
+    )
+
+
+def _random_points(
+    n: int, seed: int, spread: float, min_separation: float
+) -> list[Vec2]:
+    """Rejection-sample ``n`` points pairwise at least ``min_separation``."""
+    if n < 1:
+        raise ValueError("need at least one point")
+    rng = random.Random(seed)
+    pts: list[Vec2] = []
+    attempts = 0
+    while len(pts) < n:
+        attempts += 1
+        if attempts > 100_000:
+            raise RuntimeError(
+                "could not place points; lower min_separation or raise spread"
+            )
+        candidate = Vec2(
+            rng.uniform(-spread, spread), rng.uniform(-spread, spread)
+        )
+        if candidate.norm() > spread:
+            continue
+        if all(candidate.dist(p) >= min_separation for p in pts):
+            pts.append(candidate)
+    return pts

@@ -1,0 +1,39 @@
+"""Regular sets: Definitions 1-3 of the paper.
+
+* Definition 1 — m-regular / biangular sets (:mod:`regular_set`);
+* Definition 2 — the regular set ``reg(P)`` of a configuration and the
+  center ``c(P)`` (:mod:`config_regular`);
+* Definition 3 — ε-shifted regular sets (:mod:`shifted`).
+"""
+
+from .config_regular import RegularSet, config_center, regular_set_of
+from .regular_set import (
+    ANGLE_TOL,
+    RegularGeometry,
+    check_regular_at,
+    find_regular,
+    is_regular,
+)
+from .shifted import (
+    MIN_SHIFT,
+    RADIUS_TOL,
+    ShiftedRegularSet,
+    find_shifted_regular,
+    regular_set_at,
+)
+
+__all__ = [
+    "ANGLE_TOL",
+    "MIN_SHIFT",
+    "RADIUS_TOL",
+    "RegularGeometry",
+    "RegularSet",
+    "ShiftedRegularSet",
+    "check_regular_at",
+    "config_center",
+    "find_regular",
+    "find_shifted_regular",
+    "is_regular",
+    "regular_set_at",
+    "regular_set_of",
+]

@@ -1,0 +1,129 @@
+"""Definition 2: the regular set ``reg(P)`` of a configuration, and ``c(P)``.
+
+``reg(P)`` is the canonical regular subset of a configuration — the trace a
+symmetric configuration leaves behind while the algorithm moves robots.  It
+is built from the increasing sequence ``Q_1 c Q_2 c ... c Q_k`` where
+``Q_i`` holds the ``i`` greatest-view robots that do not hold ``C(P)``;
+``reg(P)`` is the largest ``Q_i`` that is (bi)angular about ``c(P)`` and
+*coherent* with the rest of the configuration:
+
+  (a) ``Q_i`` is m-regular (or biangular) with center ``c(P)``;
+  (b) ``m`` divides ``rho(P \\ Q_i)``;
+  (c) if ``Q_i`` is biangular, its virtual axes are axes of symmetry of
+      ``P \\ Q_i``.
+
+``c(P)`` itself is the center of the regular set when the whole
+configuration is regular, and the center of the smallest enclosing circle
+otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import (
+    Vec2,
+    contains_point,
+    point_holds_sec,
+    smallest_enclosing_circle,
+    without_points,
+)
+from ..model.symmetry import rotational_symmetry, symmetry_axes
+from ..model.views import view_order
+from .regular_set import ANGLE_TOL, RegularGeometry, check_regular_at, find_regular
+
+
+@dataclass(frozen=True)
+class RegularSet:
+    """``reg(P)``: the regular set of a configuration.
+
+    Attributes:
+        members: the robots forming the regular set.
+        geometry: the set's (bi)angular geometry (center, gaps, order m).
+        whole: True when ``reg(P) = P`` (the entire configuration is
+            regular).
+    """
+
+    members: tuple[Vec2, ...]
+    geometry: RegularGeometry
+    whole: bool
+
+    def contains(self, p: Vec2) -> bool:
+        """Whether robot location ``p`` belongs to the regular set."""
+        return contains_point(self.members, p)
+
+    def complement(self, points: Sequence[Vec2]) -> list[Vec2]:
+        """``P \\ reg(P)`` for the configuration the set was computed from."""
+        return without_points(points, self.members)
+
+
+def config_center(points: Sequence[Vec2]) -> Vec2:
+    """The paper's ``c(P)``.
+
+    The center of the regular set when the whole configuration is regular
+    (Definition 1), else the center of the smallest enclosing circle.
+    """
+    geometry = find_regular(points)
+    if geometry is not None:
+        return geometry.center
+    return smallest_enclosing_circle(points).center
+
+
+def regular_set_of(
+    points: Sequence[Vec2], tol: float = ANGLE_TOL
+) -> RegularSet | None:
+    """Definition 2: compute ``reg(P)``, or None when it does not exist.
+
+    Requires a configuration without multiplicity; a configuration with a
+    robot at ``c(P)`` has no regular set (the definition presupposes
+    ``c(P)`` not in ``P``).
+    """
+    whole = find_regular(points, tol)
+    if whole is not None:
+        return RegularSet(tuple(points), whole, True)
+
+    center = smallest_enclosing_circle(points).center
+    if contains_point(points, center):
+        return None
+
+    ordered = view_order(points, center)
+    eligible = [p for p, _ in ordered if not point_holds_sec(list(points), p)]
+
+    best: RegularSet | None = None
+    for i in range(2, len(eligible) + 1):
+        subset = eligible[:i]
+        geometry = check_regular_at(subset, center, tol)
+        if geometry is None:
+            continue
+        rest = without_points(points, subset)
+        if not rest:
+            continue
+        if not _coherent(rest, center, geometry, tol):
+            continue
+        best = RegularSet(tuple(subset), geometry, False)
+    return best
+
+
+def _coherent(
+    rest: Sequence[Vec2],
+    center: Vec2,
+    geometry: RegularGeometry,
+    tol: float,
+) -> bool:
+    """Conditions (b) and (c) of Definition 2."""
+    rho = rotational_symmetry(rest, center)
+    if rho % geometry.m != 0:
+        return False
+    if geometry.biangular:
+        rest_axes = symmetry_axes(rest, center)
+        for axis in geometry.virtual_axes():
+            if not any(_axis_eq(axis, other, 10 * tol) for other in rest_axes):
+                return False
+    return True
+
+
+def _axis_eq(a: float, b: float, tol: float) -> bool:
+    d = abs(a - b) % math.pi
+    return d <= tol or math.pi - d <= tol

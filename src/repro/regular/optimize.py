@@ -1,0 +1,79 @@
+"""A tiny dependency-free Nelder-Mead optimiser.
+
+Used to polish candidate centers of (shifted) regular sets: the residual
+functions are smooth near a true center, and the starting guesses (Weber
+points, SEC centers) are already close, so a simple downhill simplex is
+entirely adequate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+Objective = Callable[[Sequence[float]], float]
+
+
+def nelder_mead(
+    objective: Objective,
+    start: Sequence[float],
+    step: float = 0.05,
+    tol: float = 1e-14,
+    max_iter: int = 500,
+) -> tuple[list[float], float]:
+    """Minimise ``objective`` from ``start``; returns (point, value).
+
+    Standard Nelder-Mead with reflection/expansion/contraction/shrink
+    coefficients (1, 2, 0.5, 0.5).  Terminates when the simplex's value
+    spread falls below ``tol`` or after ``max_iter`` iterations.
+    """
+    dim = len(start)
+    simplex: list[list[float]] = [list(start)]
+    for i in range(dim):
+        vertex = list(start)
+        vertex[i] += step
+        simplex.append(vertex)
+    values = [objective(v) for v in simplex]
+
+    for _ in range(max_iter):
+        order = sorted(range(dim + 1), key=lambda i: values[i])
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        if values[-1] - values[0] < tol:
+            break
+
+        centroid = [
+            sum(simplex[i][d] for i in range(dim)) / dim for d in range(dim)
+        ]
+        worst = simplex[-1]
+        reflected = [centroid[d] + (centroid[d] - worst[d]) for d in range(dim)]
+        f_reflected = objective(reflected)
+
+        if f_reflected < values[0]:
+            expanded = [
+                centroid[d] + 2.0 * (centroid[d] - worst[d]) for d in range(dim)
+            ]
+            f_expanded = objective(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+        elif f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+        else:
+            contracted = [
+                centroid[d] + 0.5 * (worst[d] - centroid[d]) for d in range(dim)
+            ]
+            f_contracted = objective(contracted)
+            if f_contracted < values[-1]:
+                simplex[-1], values[-1] = contracted, f_contracted
+            else:
+                best = simplex[0]
+                for i in range(1, dim + 1):
+                    simplex[i] = [
+                        best[d] + 0.5 * (simplex[i][d] - best[d])
+                        for d in range(dim)
+                    ]
+                    values[i] = objective(simplex[i])
+
+    best_index = min(range(dim + 1), key=lambda i: values[i])
+    return simplex[best_index], values[best_index]

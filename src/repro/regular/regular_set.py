@@ -1,0 +1,222 @@
+"""Definition 1: m-regular and biangular (m/2-regular) sets.
+
+A set ``M`` of ``m >= 2`` robots is *m-regular* when the half-lines from
+some center ``c`` through the robots are ``m`` distinct directions with
+equal consecutive gaps ``alpha = 2*pi/m``; it is *biangular*
+("m/2-regular", ``m >= 4`` even) when the gaps alternate between two values
+``alpha`` and ``beta``.  Radii are unconstrained — which is exactly why
+radial movements preserve regularity.
+
+The center of a regular set is its Weber point (Anderegg et al.), so
+detection with an unknown center starts from Weiszfeld and polishes the
+gap residual numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Vec2, direction_angle, norm_angle, weber_point
+from ..geometry.tolerance import approx_eq
+from .optimize import nelder_mead
+
+#: Maximum admissible gap deviation (radians) for regularity checks.
+ANGLE_TOL = 1e-5
+
+
+@dataclass(frozen=True)
+class RegularGeometry:
+    """The geometry of a (bi)angular set.
+
+    Attributes:
+        center: the set's center.
+        size: number of robots in the set.
+        m: the rotational order — ``size`` for equiangular sets,
+            ``size // 2`` for biangular ones (the paper's "m/2-regular").
+        biangular: whether the gaps alternate between two values.
+        alpha: the gap (equiangular) or the first alternating gap.
+        beta: the second alternating gap (None for equiangular sets).
+        directions: sorted half-line directions from the center.
+    """
+
+    center: Vec2
+    size: int
+    m: int
+    biangular: bool
+    alpha: float
+    beta: float | None
+    directions: tuple[float, ...]
+
+    def min_gap(self) -> float:
+        """The minimum angle between two consecutive half-lines."""
+        if self.biangular and self.beta is not None:
+            return min(self.alpha, self.beta)
+        return self.alpha
+
+    def virtual_axes(self) -> list[float]:
+        """Directions (mod pi) of the virtual axes of a biangular set.
+
+        The virtual axes bisect each consecutive pair of half-lines.  For an
+        equiangular set the same construction yields its actual axes of
+        direction symmetry; callers only use this for biangular sets.
+        """
+        axes: list[float] = []
+        k = len(self.directions)
+        for i in range(k):
+            a = self.directions[i]
+            b = self.directions[(i + 1) % k]
+            gap = norm_angle(b - a)
+            axis = norm_angle(a + gap / 2.0) % math.pi
+            if not any(_axis_close(axis, existing) for existing in axes):
+                axes.append(axis)
+        axes.sort()
+        return axes
+
+
+def _axis_close(a: float, b: float, tol: float = ANGLE_TOL) -> bool:
+    d = abs(a - b) % math.pi
+    return d <= tol or math.pi - d <= tol
+
+
+def _sorted_directions(
+    points: Sequence[Vec2], center: Vec2
+) -> list[float] | None:
+    """Per-point directions from ``center``, sorted; None if center is hit."""
+    directions: list[float] = []
+    for p in points:
+        if p.approx_eq(center, 1e-9):
+            return None
+        directions.append(direction_angle(center, p))
+    directions.sort()
+    return directions
+
+
+def _gaps(directions: Sequence[float]) -> list[float]:
+    gaps = [
+        norm_angle(directions[(i + 1) % len(directions)] - directions[i])
+        for i in range(len(directions) - 1)
+    ]
+    gaps.append(2.0 * math.pi - sum(gaps))
+    return gaps
+
+
+def check_regular_at(
+    points: Sequence[Vec2], center: Vec2, tol: float = ANGLE_TOL
+) -> RegularGeometry | None:
+    """Definition 1 check with a *known* center.
+
+    Each robot must sit on its own half-line (distinct directions); the
+    gaps must all equal ``2*pi/size`` (equiangular) or alternate between
+    two values (biangular, size >= 4 even).  Equiangular wins ties.
+    """
+    size = len(points)
+    if size < 2:
+        return None
+    directions = _sorted_directions(points, center)
+    if directions is None:
+        return None
+    # Distinct half-lines: consecutive sorted directions must differ.
+    for i in range(size):
+        d = norm_angle(directions[(i + 1) % size] - directions[i])
+        if min(d, 2.0 * math.pi - d) <= tol:
+            return None
+
+    gaps = _gaps(directions)
+    alpha_eq = 2.0 * math.pi / size
+    if all(abs(g - alpha_eq) <= tol for g in gaps):
+        return RegularGeometry(
+            center, size, size, False, alpha_eq, None, tuple(directions)
+        )
+
+    if size >= 2 and size % 2 == 0:
+        # Biangular ("m/2-regular"): alternating gaps.  Size 2 is the
+        # degenerate case the paper's Property 1 needs for mirror-only
+        # configurations: any two half-lines alternate trivially and their
+        # two gap bisectors coincide (mod pi) into the single mirror axis.
+        even = gaps[0::2]
+        odd = gaps[1::2]
+        alpha = sum(even) / len(even)
+        beta = sum(odd) / len(odd)
+        if (
+            all(abs(g - alpha) <= tol for g in even)
+            and all(abs(g - beta) <= tol for g in odd)
+            and not approx_eq(alpha, beta, tol)
+        ):
+            return RegularGeometry(
+                center, size, size // 2, True, alpha, beta, tuple(directions)
+            )
+    return None
+
+
+def _equiangular_residual(points: Sequence[Vec2], center: Vec2) -> float:
+    """Sum of squared gap deviations from 2*pi/n; inf when degenerate."""
+    directions = _sorted_directions(points, center)
+    if directions is None:
+        return math.inf
+    gaps = _gaps(directions)
+    target = 2.0 * math.pi / len(points)
+    return sum((g - target) ** 2 for g in gaps)
+
+
+def _biangular_residual(points: Sequence[Vec2], center: Vec2) -> float:
+    """Sum of squared deviations from the best alternating gap pattern."""
+    directions = _sorted_directions(points, center)
+    if directions is None:
+        return math.inf
+    gaps = _gaps(directions)
+    n = len(gaps)
+    if n < 4 or n % 2 != 0:
+        return math.inf
+    even, odd = gaps[0::2], gaps[1::2]
+    alpha = sum(even) / len(even)
+    beta = sum(odd) / len(odd)
+    return sum((g - alpha) ** 2 for g in even) + sum((g - beta) ** 2 for g in odd)
+
+
+def find_regular(
+    points: Sequence[Vec2], tol: float = ANGLE_TOL, polish: bool = False
+) -> RegularGeometry | None:
+    """Definition 1 check with an *unknown* center.
+
+    The center of a regular set is its Weber point (Anderegg et al.), and
+    the Weber point is invariant under the radial movements the paper's
+    algorithm performs — so checking equiangularity at the Weber point is
+    both exact and fast for every configuration that matters.  Pass
+    ``polish=True`` to additionally run a Nelder-Mead refinement of the
+    gap residuals from the Weber start (useful for noisy external data;
+    never needed for configurations this library's algorithms produce).
+    """
+    if len(points) < 2:
+        return None
+    if len(points) == 2:
+        # Any midpoint works; Definition 1 with m=2 means antipodal
+        # half-lines, satisfied by every interior point of the segment.
+        mid = Vec2(
+            (points[0].x + points[1].x) / 2.0, (points[0].y + points[1].y) / 2.0
+        )
+        return check_regular_at(points, mid, tol)
+
+    start = weber_point(points)
+    geometry = check_regular_at(points, start, tol)
+    if geometry is not None or not polish:
+        return geometry
+
+    scale = max(p.dist(start) for p in points) or 1.0
+    for residual in (_equiangular_residual, _biangular_residual):
+        best, value = nelder_mead(
+            lambda c: residual(points, Vec2(c[0], c[1])),
+            [start.x, start.y],
+            step=0.01 * scale,
+        )
+        if value < tol * tol:
+            geometry = check_regular_at(points, Vec2(best[0], best[1]), tol * 10)
+            if geometry is not None:
+                return geometry
+    return None
+
+
+def is_regular(points: Sequence[Vec2], tol: float = ANGLE_TOL) -> bool:
+    """Whether the whole set satisfies Definition 1 for some center."""
+    return find_regular(points, tol) is not None

@@ -1,0 +1,418 @@
+"""Definition 3: epsilon-shifted regular sets.
+
+A configuration contains an ε-shifted-m-regular set when exactly one robot
+``r`` — one of the closest to the center — stands a small angle off the
+position ``r'`` that would complete a regular set: replacing ``r`` by
+``r'`` yields a configuration containing a regular set (Definition 2), the
+angular offset is ``ε * alpha_min(P')`` with ``0 < ε <= 1/4``, and the
+shift *decreases* the minimum angle of the shifted robot (condition (b)),
+which is what encodes the direction the robot committed to.
+
+Detection splits into two cases:
+
+* ``reg(P') = P'`` (the *whole* configuration is a shifted regular set):
+  the center is unknown and is recovered by fitting the "regular grid
+  minus one direction" model to ``P - {r}`` numerically, then polished to
+  the exact Weber point of the completed set;
+* ``reg(P')`` is a proper subset: the center is necessarily ``c(P')``,
+  the center of the smallest enclosing circle, known exactly.
+
+In both cases candidate virtual positions ``r'`` are generated from
+angular grids through the other robots and then fully verified, so false
+positives cannot survive; Theorem 1 (uniqueness for n >= 7) is exercised
+by the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import (
+    Vec2,
+    angmin,
+    direction_angle,
+    min_angle,
+    min_angle_at,
+    norm_angle,
+    smallest_enclosing_circle,
+    weber_point,
+    without_point,
+)
+from ..geometry.tolerance import approx_eq, norm_angle_signed
+from ..model.views import view_order
+from ..geometry import point_holds_sec, without_points, contains_point
+from .config_regular import RegularSet, _coherent
+from .optimize import nelder_mead
+from .regular_set import ANGLE_TOL, check_regular_at
+
+#: Tolerance on radii equalities (configurations are unit-scale).
+RADIUS_TOL = 1e-5
+
+#: Minimum detectable shift angle (radians); below this the configuration
+#: is treated as plain regular.
+MIN_SHIFT = 5e-5
+
+
+@dataclass(frozen=True)
+class ShiftedRegularSet:
+    """An ε-shifted regular set found in a configuration.
+
+    Attributes:
+        shifted_robot: the robot standing off the regular grid.
+        virtual_position: ``r'``, the grid position completing the set.
+        epsilon: the shift ``ε`` in (0, 1/4].
+        members: the robots of ``reg(P)`` (associated set with ``r'``
+            replaced back by the shifted robot).
+        associated: ``reg(P')``, the completed regular set.
+        center: the set's center.
+        whole: whether the shifted regular set is the entire configuration.
+    """
+
+    shifted_robot: Vec2
+    virtual_position: Vec2
+    epsilon: float
+    members: tuple[Vec2, ...]
+    associated: RegularSet
+    center: Vec2
+    whole: bool
+
+    def min_grid_angle(self) -> float:
+        """``alpha_min`` of the completed configuration ``P'``."""
+        return self.associated.geometry.min_gap()
+
+
+def regular_set_at(
+    points: Sequence[Vec2], center: Vec2, tol: float = ANGLE_TOL
+) -> RegularSet | None:
+    """Definition 2 restricted to a *known* center (proper-subset case).
+
+    Runs the ``Q_i`` greatest-view sequence about ``center`` and returns
+    the largest coherent regular subset, without attempting the
+    whole-configuration (unknown-center) check.
+    """
+    if contains_point(points, center):
+        return None
+    ordered = view_order(points, center)
+    pts = list(points)
+    eligible = [p for p, _ in ordered if not point_holds_sec(pts, p)]
+    best: RegularSet | None = None
+    for i in range(2, len(eligible) + 1):
+        subset = eligible[:i]
+        geometry = check_regular_at(subset, center, tol)
+        if geometry is None:
+            continue
+        rest = without_points(points, subset)
+        if not rest:
+            continue
+        if not _coherent(rest, center, geometry, tol):
+            continue
+        best = RegularSet(tuple(subset), geometry, False)
+    return best
+
+
+def find_shifted_regular(
+    points: Sequence[Vec2], tol: float = ANGLE_TOL
+) -> ShiftedRegularSet | None:
+    """Detect an ε-shifted regular set in the configuration (Definition 3)."""
+    n = len(points)
+    if n < 3:
+        return None
+
+    # --- proper-subset case: center is the SEC center, known exactly. ---
+    sec_center = smallest_enclosing_circle(points).center
+    result = _detect_with_center(points, sec_center, tol)
+    if result is not None:
+        return result
+
+    # --- whole-configuration case: fit the center numerically. ---
+    return _detect_whole(points, tol)
+
+
+# ----------------------------------------------------------------------
+# Proper-subset case
+# ----------------------------------------------------------------------
+def _detect_with_center(
+    points: Sequence[Vec2], center: Vec2, tol: float
+) -> ShiftedRegularSet | None:
+    if contains_point(points, center):
+        return None
+    d_min = min(p.dist(center) for p in points)
+    if d_min <= RADIUS_TOL:
+        return None
+    closest = [p for p in points if approx_eq(p.dist(center), d_min, RADIUS_TOL)]
+    for r in closest:
+        rest = without_point(points, r)
+        for theta in _grid_candidates(rest, r, center, tol):
+            r_prime = center + Vec2.polar(r.dist(center), theta)
+            found = _verify(points, r, r_prime, tol)
+            if found is not None:
+                return found
+    return None
+
+
+def _grid_candidates(
+    rest: Sequence[Vec2], r: Vec2, center: Vec2, tol: float
+) -> list[float]:
+    """Candidate directions for ``r'`` from angular grids through others."""
+    theta_r = direction_angle(center, r)
+    n = len(rest) + 1
+    out: list[float] = []
+    for m in range(2, n + 1):
+        spacing = 2.0 * math.pi / m
+        for q in rest:
+            theta_q = direction_angle(center, q)
+            k = round(norm_angle_signed(theta_r - theta_q) / spacing)
+            theta = norm_angle(theta_q + k * spacing)
+            delta = _ang_dist(theta, theta_r)
+            if delta <= MIN_SHIFT or delta > spacing / 4.0 + 10 * tol:
+                continue
+            if _grid_support(rest, center, theta, spacing, tol) < m - 1:
+                continue
+            if not any(_ang_dist(theta, seen) <= tol for seen in out):
+                out.append(theta)
+    return out
+
+
+def _grid_support(
+    rest: Sequence[Vec2], center: Vec2, origin: float, spacing: float, tol: float
+) -> int:
+    """Number of distinct grid directions occupied by robots of ``rest``."""
+    cells: set[int] = set()
+    m = round(2.0 * math.pi / spacing)
+    for q in rest:
+        theta = direction_angle(center, q)
+        offset = norm_angle(theta - origin)
+        k = round(offset / spacing)
+        if abs(offset - k * spacing) <= 10 * tol or abs(
+            offset - k * spacing
+        ) >= 2.0 * math.pi - 10 * tol:
+            cells.add(k % m)
+    return len(cells)
+
+
+def _ang_dist(a: float, b: float) -> float:
+    d = norm_angle(a - b)
+    return min(d, 2.0 * math.pi - d)
+
+
+# ----------------------------------------------------------------------
+# Whole-configuration case
+# ----------------------------------------------------------------------
+def _detect_whole(
+    points: Sequence[Vec2], tol: float
+) -> ShiftedRegularSet | None:
+    n = len(points)
+    approx_center = weber_point(points)
+    d_min = min(p.dist(approx_center) for p in points)
+    if d_min <= RADIUS_TOL:
+        return None
+    candidates = [
+        p for p in points if p.dist(approx_center) <= 1.25 * d_min
+    ]
+    scale = max(p.dist(approx_center) for p in points) or 1.0
+    for r in candidates:
+        rest = without_point(points, r)
+        if not _whole_prefilter(points, rest, r, approx_center, n):
+            continue
+        start = weber_point(rest)
+        for residual in (_equiangular_minus_one, _biangular_minus_one):
+            best, value = nelder_mead(
+                lambda c: residual(rest, Vec2(c[0], c[1]), n),
+                [start.x, start.y],
+                step=0.02 * scale,
+                max_iter=300,
+            )
+            if value > (10 * tol) ** 2 * n:
+                continue
+            center = Vec2(best[0], best[1])
+            theta = _missing_direction(rest, center, n)
+            if theta is None:
+                continue
+            r_prime = center + Vec2.polar(r.dist(center), theta)
+            # Polish: the exact center of the completed set is its Weber
+            # point; recompute the missing direction from it once.
+            exact = weber_point(list(rest) + [r_prime])
+            theta2 = _missing_direction(rest, exact, n)
+            if theta2 is not None:
+                r_prime = exact + Vec2.polar(r.dist(exact), theta2)
+            found = _verify(points, r, r_prime, tol)
+            if found is not None:
+                return found
+    return None
+
+
+def _whole_prefilter(
+    points: Sequence[Vec2],
+    rest: Sequence[Vec2],
+    r: Vec2,
+    approx_center: Vec2,
+    n: int,
+) -> bool:
+    """Cheap necessary test before the expensive center fit.
+
+    Evaluated at the Weber point of the *full* configuration, which for a
+    truly shifted regular set sits close to the real center:
+
+    * ``rest`` must roughly fit the grid-minus-one model (random
+      configurations are far off), and
+    * ``r`` must stand detectably off the grid — during the election the
+      configuration is an exact regular set, every candidate completes to
+      a zero shift, and the fit must not even be attempted.
+    """
+    residual = min(
+        _equiangular_minus_one(rest, approx_center, n),
+        _biangular_minus_one(rest, approx_center, n),
+    )
+    if residual > 0.5:
+        return False
+    theta = _missing_direction(rest, approx_center, n)
+    if theta is None:
+        return False
+    r_theta = direction_angle(approx_center, r)
+    return _ang_dist(theta, r_theta) > MIN_SHIFT / 2.0
+
+
+def _sorted_gaps(rest: Sequence[Vec2], center: Vec2) -> tuple[list[float], list[float]] | None:
+    """(sorted directions, cyclic gaps) of ``rest`` about ``center``."""
+    directions: list[float] = []
+    for p in rest:
+        if p.approx_eq(center, 1e-9):
+            return None
+        directions.append(direction_angle(center, p))
+    directions.sort()
+    gaps = [
+        norm_angle(directions[(i + 1) % len(directions)] - directions[i])
+        for i in range(len(directions) - 1)
+    ]
+    gaps.append(2.0 * math.pi - sum(gaps))
+    return directions, gaps
+
+
+def _equiangular_minus_one(rest: Sequence[Vec2], center: Vec2, n: int) -> float:
+    """Residual of the "n equiangular directions minus one" model."""
+    data = _sorted_gaps(rest, center)
+    if data is None:
+        return math.inf
+    _, gaps = data
+    alpha = 2.0 * math.pi / n
+    big = max(range(len(gaps)), key=lambda i: gaps[i])
+    total = (gaps[big] - 2.0 * alpha) ** 2
+    total += sum((g - alpha) ** 2 for i, g in enumerate(gaps) if i != big)
+    return total
+
+
+def _biangular_minus_one(rest: Sequence[Vec2], center: Vec2, n: int) -> float:
+    """Residual of the "biangular (alternating) minus one" model."""
+    if n < 6 or n % 2 != 0:
+        return math.inf
+    data = _sorted_gaps(rest, center)
+    if data is None:
+        return math.inf
+    _, gaps = data
+    merged_target = 4.0 * math.pi / n  # alpha + beta
+    best = math.inf
+    k = len(gaps)
+    for j in range(k):
+        rem = [gaps[(j + 1 + i) % k] for i in range(k - 1)]
+        evens = rem[0::2]
+        odds = rem[1::2]
+        if not evens or not odds:
+            continue
+        a = sum(evens) / len(evens)
+        b = sum(odds) / len(odds)
+        total = (gaps[j] - merged_target) ** 2
+        total += (a + b - merged_target) ** 2
+        total += sum((g - a) ** 2 for g in evens)
+        total += sum((g - b) ** 2 for g in odds)
+        best = min(best, total)
+    return best
+
+
+def _missing_direction(
+    rest: Sequence[Vec2], center: Vec2, n: int
+) -> float | None:
+    """Direction of the missing grid half-line, from the fitted center.
+
+    Works for both models: locate the anomalous (merged) gap and place the
+    missing direction so that the gap splits into values consistent with
+    its cyclic neighbours.
+    """
+    data = _sorted_gaps(rest, center)
+    if data is None:
+        return None
+    directions, gaps = data
+    k = len(gaps)
+    if k < 2:
+        return None
+    big = max(range(k), key=lambda i: gaps[i])
+    start = directions[big]
+    merged = gaps[big]
+    # Expected next gap continues the alternation: it equals the gap two
+    # positions before the merged one (cyclically).  For equiangular sets
+    # all small gaps are equal so this reduces to start + alpha.
+    prev2 = gaps[(big - 1) % k]
+    candidate = merged - prev2
+    if candidate <= 0 or candidate >= merged:
+        candidate = merged / 2.0
+    return norm_angle(start + candidate)
+
+
+# ----------------------------------------------------------------------
+# Verification (shared)
+# ----------------------------------------------------------------------
+def _verify(
+    points: Sequence[Vec2], r: Vec2, r_prime: Vec2, tol: float
+) -> ShiftedRegularSet | None:
+    """Full Definition 3 check for a candidate (r, r')."""
+    p_prime = without_point(points, r)
+    p_prime.append(r_prime)
+
+    # reg(P'): whole-configuration regularity first (its center is the
+    # Weber point, exact for truly regular sets), then the subset case.
+    whole_center = weber_point(p_prime)
+    geometry = check_regular_at(p_prime, whole_center, 10 * tol)
+    if geometry is not None:
+        associated = RegularSet(tuple(p_prime), geometry, True)
+    else:
+        center_sub = smallest_enclosing_circle(p_prime).center
+        associated = regular_set_at(p_prime, center_sub, tol)
+        if associated is None or not associated.contains(r_prime):
+            return None
+    center = associated.geometry.center
+
+    # (c) |r| = |r'| = min over P of the distance to the center.
+    d_min = min(p.dist(center) for p in points)
+    if not approx_eq(r.dist(center), d_min, 10 * RADIUS_TOL):
+        return None
+    if not approx_eq(r.dist(center), r_prime.dist(center), 10 * RADIUS_TOL):
+        return None
+
+    # (a) shift angle = eps * alpha_min(P') with 0 < eps <= 1/4.
+    alpha_min = min_angle(center, p_prime)
+    if not math.isfinite(alpha_min) or alpha_min <= 0:
+        return None
+    shift_angle = angmin(r, center, r_prime)
+    if shift_angle <= MIN_SHIFT:
+        return None
+    epsilon = shift_angle / alpha_min
+    if epsilon > 0.25 + 1e-4:
+        return None
+
+    # (b) the shift decreases the shifted robot's minimum angle.
+    if not min_angle_at(center, r, list(points)) < min_angle_at(
+        center, r_prime, p_prime
+    ) + tol:
+        return None
+
+    members = tuple(without_point(associated.members, r_prime) + [r])
+    return ShiftedRegularSet(
+        shifted_robot=r,
+        virtual_position=r_prime,
+        epsilon=epsilon,
+        members=members,
+        associated=associated,
+        center=center,
+        whole=associated.whole,
+    )

@@ -1,0 +1,19 @@
+"""Schedulers (adversaries): FSYNC, SSYNC, ASYNC and randomness sources."""
+
+from .asynchronous import AsyncScheduler, RoundRobinScheduler
+from .base import Action, ActionKind, Scheduler
+from .fsync import FsyncScheduler
+from .rng import ForcedBits, RandomSource
+from .ssync import SsyncScheduler
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "AsyncScheduler",
+    "ForcedBits",
+    "FsyncScheduler",
+    "RandomSource",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SsyncScheduler",
+]

@@ -1,0 +1,150 @@
+"""ASYNC: the fully asynchronous adversarial scheduler.
+
+Every phase of every cycle may take arbitrarily long: a robot can take a
+snapshot, then wait while others complete whole cycles before it computes
+(stale observations); a moving robot can be advanced in small increments
+with other robots acting in between (so they observe it mid-move), paused
+indefinitely, and stopped early once it has covered δ.  Fairness is the
+only constraint, enforced with a starvation bound.
+
+This scheduler is the paper's adversary; presets tune how vicious it is.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..sim.robot import Phase, RobotBody
+from .base import Action, ActionKind, Scheduler
+
+
+class AsyncScheduler(Scheduler):
+    """Randomised fully-asynchronous adversary.
+
+    Args:
+        seed: adversary randomness seed.
+        truncate_prob: probability that a movement advance ends the move
+            early (subject to the δ floor enforced by the engine).
+        pause_prob: probability a selected moving robot is *not* advanced
+            (modelling pauses while moving — the behaviour ruled out by
+            assumption in Yamauchi-Yamashita and allowed here).
+        min_chunk / max_chunk: range of the fraction of remaining distance
+            covered by one movement advance.
+        max_move_chunks: movement is forced to terminate after this many
+            advances (fairness: every move finishes in finite time).
+        compute_delay_prob: probability a robot with a pending snapshot is
+            skipped in favour of someone else (staleness knob).
+        fairness_bound: hard starvation bound in engine steps.
+    """
+
+    name = "ASYNC"
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        truncate_prob: float = 0.15,
+        pause_prob: float = 0.2,
+        min_chunk: float = 0.2,
+        max_chunk: float = 1.0,
+        max_move_chunks: int = 8,
+        compute_delay_prob: float = 0.3,
+        fairness_bound: int = 4000,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._truncate_prob = truncate_prob
+        self._pause_prob = pause_prob
+        self._min_chunk = min_chunk
+        self._max_chunk = max_chunk
+        self._max_move_chunks = max_move_chunks
+        self._compute_delay_prob = compute_delay_prob
+        self._fairness_bound = fairness_bound
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def gentle(cls, seed: int | None = None) -> "AsyncScheduler":
+        """Mostly sequential, little truncation — fast convergence."""
+        return cls(
+            seed=seed,
+            truncate_prob=0.02,
+            pause_prob=0.05,
+            min_chunk=0.8,
+            max_chunk=1.0,
+            max_move_chunks=3,
+            compute_delay_prob=0.05,
+        )
+
+    @classmethod
+    def aggressive(cls, seed: int | None = None) -> "AsyncScheduler":
+        """Maximal interleaving, pauses and truncation."""
+        return cls(
+            seed=seed,
+            truncate_prob=0.35,
+            pause_prob=0.4,
+            min_chunk=0.05,
+            max_chunk=0.5,
+            max_move_chunks=12,
+            compute_delay_prob=0.5,
+        )
+
+    # ------------------------------------------------------------------
+    def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
+        laggard = self.find_laggard(robots, step, self._fairness_bound)
+        if laggard is not None:
+            return self._advance(laggard, force=True)
+        for _ in range(64):
+            robot = self._rng.choice(list(robots))
+            if robot.phase is Phase.OBSERVED and (
+                self._rng.random() < self._compute_delay_prob
+            ):
+                continue  # let the snapshot go stale
+            if robot.phase is Phase.MOVING and self._rng.random() < self._pause_prob:
+                continue  # pause mid-move
+            return self._advance(robot, force=False)
+        # Everybody got skipped by the random knobs — just act somewhere.
+        return self._advance(self._rng.choice(list(robots)), force=True)
+
+    def _advance(self, robot: RobotBody, force: bool) -> Action:
+        if robot.phase is Phase.IDLE:
+            return Action(ActionKind.LOOK, robot.robot_id)
+        if robot.phase is Phase.OBSERVED:
+            return Action(ActionKind.COMPUTE, robot.robot_id)
+        if force or robot.move_chunks >= self._max_move_chunks - 1:
+            return Action(ActionKind.MOVE, robot.robot_id, 1.0, end_move=True)
+        fraction = self._rng.uniform(self._min_chunk, self._max_chunk)
+        end_move = fraction >= 1.0 or self._rng.random() < self._truncate_prob
+        return Action(ActionKind.MOVE, robot.robot_id, fraction, end_move=end_move)
+
+
+class RoundRobinScheduler(Scheduler):
+    """A deterministic sequential ASYNC scheduler.
+
+    Robots take complete cycles one after another in id order.  Useful as
+    the most predictable baseline adversary and for debugging.
+    """
+
+    name = "ROUND-ROBIN"
+
+    def __init__(self) -> None:
+        self._current = 0
+        self._computed = False
+
+    def reset(self, n: int) -> None:
+        self._current = 0
+        self._computed = False
+
+    def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
+        robot = robots[self._current % len(robots)]
+        if robot.phase is Phase.IDLE and self._computed:
+            # Compute ordered no movement: the cycle is over, move on.
+            self._current += 1
+            self._computed = False
+            robot = robots[self._current % len(robots)]
+        if robot.phase is Phase.OBSERVED:
+            self._computed = True
+        elif robot.phase is Phase.MOVING:
+            self._current += 1  # cycle completes with this move
+            self._computed = False
+        return self.natural_action(robot)

@@ -1,0 +1,81 @@
+"""Scheduler interface.
+
+The scheduler *is* the adversary: it decides which robot performs which
+atomic step next (take a snapshot, run its computation, advance along its
+path), how far a moving robot gets before being interrupted, and how stale
+a computation's snapshot is allowed to become.  Every scheduler must be
+*fair* — each robot is activated infinitely often — which the base class
+supports via a laggard-forcing helper the engine relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.robot import Phase, RobotBody
+
+
+class ActionKind(enum.Enum):
+    """The three atomic adversary moves."""
+
+    LOOK = "look"
+    COMPUTE = "compute"
+    MOVE = "move"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One atomic scheduler decision.
+
+    For MOVE actions, ``fraction`` is the share of the *remaining* path
+    distance to traverse now, and ``end_move`` asks the engine to terminate
+    the move after this advance (the engine enforces the paper's δ floor:
+    a robot cannot be stopped before travelling at least δ unless it
+    reaches its destination first).
+    """
+
+    kind: ActionKind
+    robot_id: int
+    fraction: float = 1.0
+    end_move: bool = True
+
+
+class Scheduler(abc.ABC):
+    """Decides the global interleaving of robot steps."""
+
+    #: Informal name used in benchmark tables.
+    name: str = "scheduler"
+
+    def reset(self, n: int) -> None:
+        """Prepare for a fresh run over ``n`` robots."""
+
+    @abc.abstractmethod
+    def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
+        """The next atomic action, given full knowledge of robot states."""
+
+    # ------------------------------------------------------------------
+    # fairness support
+    # ------------------------------------------------------------------
+    @staticmethod
+    def find_laggard(
+        robots: Sequence[RobotBody], step: int, bound: int
+    ) -> RobotBody | None:
+        """A robot starved for more than ``bound`` steps, if any."""
+        worst: RobotBody | None = None
+        for robot in robots:
+            if step - robot.last_action_step > bound:
+                if worst is None or robot.last_action_step < worst.last_action_step:
+                    worst = robot
+        return worst
+
+    @staticmethod
+    def natural_action(robot: RobotBody) -> Action:
+        """The phase-appropriate action advancing ``robot`` one step."""
+        if robot.phase is Phase.IDLE:
+            return Action(ActionKind.LOOK, robot.robot_id)
+        if robot.phase is Phase.OBSERVED:
+            return Action(ActionKind.COMPUTE, robot.robot_id)
+        return Action(ActionKind.MOVE, robot.robot_id, fraction=1.0, end_move=True)

@@ -1,0 +1,52 @@
+"""FSYNC: the fully synchronous scheduler.
+
+All robots execute their Look-Compute-Move cycles in lock step: everybody
+looks at the same instant, then everybody computes, then everybody moves
+all the way to its destination (movement is rigid in FSYNC).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from ..sim.robot import Phase, RobotBody
+from .base import Action, ActionKind, Scheduler
+
+
+class FsyncScheduler(Scheduler):
+    """Lock-step rounds over all robots; rigid movement."""
+
+    name = "FSYNC"
+
+    def __init__(self) -> None:
+        self._queue: deque[Action] = deque()
+
+    def reset(self, n: int) -> None:
+        self._queue.clear()
+
+    def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
+        while True:
+            if not self._queue:
+                self._refill(robots)
+            action = self._queue.popleft()
+            if self._legal(action, robots):
+                return action
+
+    def _refill(self, robots: Sequence[RobotBody]) -> None:
+        ids = [r.robot_id for r in robots]
+        for i in ids:
+            self._queue.append(Action(ActionKind.LOOK, i))
+        for i in ids:
+            self._queue.append(Action(ActionKind.COMPUTE, i))
+        for i in ids:
+            self._queue.append(Action(ActionKind.MOVE, i, fraction=1.0, end_move=True))
+
+    @staticmethod
+    def _legal(action: Action, robots: Sequence[RobotBody]) -> bool:
+        phase = robots[action.robot_id].phase
+        if action.kind is ActionKind.LOOK:
+            return phase is Phase.IDLE
+        if action.kind is ActionKind.COMPUTE:
+            return phase is Phase.OBSERVED
+        return phase is Phase.MOVING

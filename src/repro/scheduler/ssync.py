@@ -1,0 +1,90 @@
+"""SSYNC: the semi-synchronous scheduler.
+
+At each round the adversary activates an arbitrary non-empty subset of the
+robots; the activated robots perform one *atomic* Look-Compute-Move cycle
+(they all look simultaneously and finish moving before anyone else looks).
+Movement may still be cut short by the adversary after at least δ.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Sequence
+
+from ..sim.robot import Phase, RobotBody
+from .base import Action, ActionKind, Scheduler
+
+
+class SsyncScheduler(Scheduler):
+    """Random-subset atomic rounds.
+
+    Args:
+        seed: adversary randomness seed.
+        activation_prob: probability each robot joins a round (at least one
+            robot is always activated).
+        truncate_prob: probability a robot's movement is stopped early
+            (the engine still guarantees δ progress).
+        fairness_bound: a robot idle for this many engine steps is forced
+            into the next round.
+    """
+
+    name = "SSYNC"
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        activation_prob: float = 0.5,
+        truncate_prob: float = 0.0,
+        fairness_bound: int = 2000,
+    ) -> None:
+        if not 0.0 < activation_prob <= 1.0:
+            raise ValueError("activation_prob must be in (0, 1]")
+        self._rng = random.Random(seed)
+        self._activation_prob = activation_prob
+        self._truncate_prob = truncate_prob
+        self._fairness_bound = fairness_bound
+        self._queue: deque[Action] = deque()
+
+    def reset(self, n: int) -> None:
+        self._queue.clear()
+
+    def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
+        while True:
+            if not self._queue:
+                self._refill(robots, step)
+            action = self._queue.popleft()
+            if self._legal(action, robots):
+                return action
+
+    def _refill(self, robots: Sequence[RobotBody], step: int) -> None:
+        chosen = [
+            r.robot_id
+            for r in robots
+            if self._rng.random() < self._activation_prob
+        ]
+        laggard = self.find_laggard(robots, step, self._fairness_bound)
+        if laggard is not None and laggard.robot_id not in chosen:
+            chosen.append(laggard.robot_id)
+        if not chosen:
+            chosen = [self._rng.choice(robots).robot_id]
+        for i in chosen:
+            self._queue.append(Action(ActionKind.LOOK, i))
+        for i in chosen:
+            self._queue.append(Action(ActionKind.COMPUTE, i))
+        for i in chosen:
+            fraction = 1.0
+            if self._truncate_prob and self._rng.random() < self._truncate_prob:
+                fraction = self._rng.uniform(0.1, 0.9)
+            self._queue.append(
+                Action(ActionKind.MOVE, i, fraction=fraction, end_move=True)
+            )
+
+    @staticmethod
+    def _legal(action: Action, robots: Sequence[RobotBody]) -> bool:
+        phase = robots[action.robot_id].phase
+        if action.kind is ActionKind.LOOK:
+            return phase is Phase.IDLE
+        if action.kind is ActionKind.COMPUTE:
+            return phase is Phase.OBSERVED
+        return phase is Phase.MOVING

@@ -1,0 +1,31 @@
+"""Simulation engine: paths, robot state, metrics, traces, the LCM engine."""
+
+from .context import ComputeContext
+from .paths import ArcSegment, LineSegment, Path
+from .robot import Phase, RobotBody
+from .metrics import Metrics
+from .trace import Trace, TraceEvent
+from .engine import (
+    Simulation,
+    SimulationResult,
+    chirality_frames,
+    global_frames,
+    random_frames,
+)
+
+__all__ = [
+    "ArcSegment",
+    "ComputeContext",
+    "LineSegment",
+    "Metrics",
+    "Path",
+    "Phase",
+    "RobotBody",
+    "Simulation",
+    "SimulationResult",
+    "Trace",
+    "TraceEvent",
+    "chirality_frames",
+    "global_frames",
+    "random_frames",
+]

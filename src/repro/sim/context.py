@@ -1,0 +1,29 @@
+"""Per-computation context handed to algorithms by the engine."""
+
+from __future__ import annotations
+
+from ..scheduler.rng import RandomSource
+
+
+class ComputeContext:
+    """The only side channel an algorithm gets besides its snapshot.
+
+    Provides seeded randomness with bit accounting (the paper's algorithm
+    must use at most one bit per cycle, which the metrics verify) and the
+    robot's *own* chirality: each robot has a consistent handedness within
+    a cycle — but no two robots need to agree on one — which algorithms
+    may use to break purely internal ties such as "either arc direction
+    works".
+    """
+
+    def __init__(self, rng: RandomSource, own_chirality: bool = True) -> None:
+        self.rng = rng
+        self.own_chirality = own_chirality
+
+    def random_bit(self) -> int:
+        """A fair coin flip (counted as one bit)."""
+        return self.rng.random_bit()
+
+    def random_float(self) -> float:
+        """A continuous draw (counted as 64 bits); baselines only."""
+        return self.rng.random_float()

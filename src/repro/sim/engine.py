@@ -1,0 +1,398 @@
+"""The Look-Compute-Move simulation engine.
+
+A discrete-event rendering of the paper's continuous-time model: the
+scheduler (= adversary) chooses an interleaving of atomic actions —
+
+* LOOK — the robot takes an instantaneous snapshot of all positions, in a
+  fresh local frame chosen by the frame policy (by default: random
+  rotation, random scale, random reflection — no common North, no common
+  chirality);
+* COMPUTE — the robot runs the algorithm on its stored (possibly stale)
+  snapshot, committing to a path or deciding not to move;
+* MOVE — the robot advances along its committed path by an
+  adversary-chosen amount; the adversary may pause it indefinitely between
+  advances and may end the move early once at least δ has been covered.
+
+Everything the ASYNC adversary of the paper may do — observe moving
+robots, act on obsolete snapshots, pause mid-move — is expressible as an
+interleaving of these actions.
+
+Termination is detected as in the paper's definition of a *terminal*
+configuration: all robots static and the algorithm orders no movement.
+Because the algorithm is randomized, the engine probes every robot with
+both coin outcomes (and both chiralities) before declaring termination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from ..geometry import Vec2
+from ..model import Configuration, LocalFrame, Pattern, make_snapshot
+from ..scheduler.base import Action, ActionKind, Scheduler
+from ..scheduler.rng import ForcedBits, RandomSource
+from .context import ComputeContext
+from .metrics import Metrics
+from .paths import Path
+from .robot import Phase, RobotBody
+from .trace import Trace
+
+
+class AlgorithmLike(Protocol):
+    """Duck type for algorithms (see :class:`repro.algorithms.Algorithm`)."""
+
+    name: str
+    requires_multiplicity_detection: bool
+    target_pattern: Pattern | None
+
+    def compute(self, snapshot, ctx: ComputeContext) -> Path | None: ...
+
+
+FramePolicy = Callable[[int, Vec2, random.Random], LocalFrame]
+
+
+def random_frames(
+    allow_reflection: bool = True,
+    min_scale: float = 0.25,
+    max_scale: float = 4.0,
+) -> FramePolicy:
+    """Fresh random local frame at every Look (the paper's full model).
+
+    With ``allow_reflection`` robots share no chirality; without it they
+    share a handedness but still no North and no unit.
+    """
+
+    def policy(robot_id: int, position: Vec2, rng: random.Random) -> LocalFrame:
+        return LocalFrame.random_at(
+            position,
+            rng,
+            allow_reflection=allow_reflection,
+            min_scale=min_scale,
+            max_scale=max_scale,
+        )
+
+    return policy
+
+
+def global_frames() -> FramePolicy:
+    """All robots share the global frame (common North, chirality, unit).
+
+    This is the *strong* assumption the related deterministic work needs;
+    used by baselines and ablation experiments."""
+
+    def policy(robot_id: int, position: Vec2, rng: random.Random) -> LocalFrame:
+        return LocalFrame.identity_at(position)
+
+    return policy
+
+
+def chirality_frames(min_scale: float = 0.25, max_scale: float = 4.0) -> FramePolicy:
+    """Random rotation and scale but a common handedness (the
+    Yamauchi-Yamashita assumption the paper removes)."""
+    return random_frames(False, min_scale, max_scale)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run."""
+
+    final_configuration: Configuration
+    terminated: bool
+    pattern_formed: bool
+    steps: int
+    metrics: Metrics
+    reason: str
+    trace: Trace | None = None
+
+
+class Simulation:
+    """One simulated execution of an algorithm under a scheduler.
+
+    Args:
+        initial: starting configuration (global coordinates).
+        algorithm: the distributed algorithm every robot runs.
+        scheduler: the adversary choosing the interleaving.
+        delta: the minimum distance δ a robot travels before the adversary
+            may stop it (unknown to the robots).
+        frame_policy: how local frames are drawn at each Look.
+        multiplicity_detection: override the algorithm's requirement.
+        pattern: pattern used for the ``pattern_formed`` verdict (defaults
+            to ``algorithm.target_pattern``).
+        max_steps: scheduler-step budget before giving up.
+        seed: master seed for robot coins and frame draws (the scheduler
+            has its own seed).
+        record_trace: keep a :class:`Trace` of the run.
+        checkers: callables ``(simulation, action) -> None`` invoked after
+            every applied action; raise to fail the run (used for
+            invariant checking in tests).
+    """
+
+    def __init__(
+        self,
+        initial: Configuration | Sequence[Vec2],
+        algorithm: AlgorithmLike,
+        scheduler: Scheduler,
+        *,
+        delta: float = 1e-3,
+        frame_policy: FramePolicy | None = None,
+        multiplicity_detection: bool | None = None,
+        pattern: Pattern | None = None,
+        max_steps: int = 500_000,
+        seed: int = 0,
+        record_trace: bool = False,
+        trace_sample_every: int = 1,
+        checkers: Sequence[Callable[["Simulation", Action], None]] = (),
+    ) -> None:
+        if not isinstance(initial, Configuration):
+            initial = Configuration.from_points(initial)
+        self.robots = [RobotBody(i, p) for i, p in enumerate(initial.positions)]
+        self.algorithm = algorithm
+        self.scheduler = scheduler
+        self.delta = delta
+        self.frame_policy = frame_policy or random_frames()
+        self.multiplicity_detection = (
+            algorithm.requires_multiplicity_detection
+            if multiplicity_detection is None
+            else multiplicity_detection
+        )
+        self.pattern = pattern or algorithm.target_pattern
+        self.max_steps = max_steps
+        self.checkers = list(checkers)
+        self.metrics = Metrics()
+        self.metrics.start(len(self.robots))
+        self.trace = (
+            Trace(sample_every=trace_sample_every) if record_trace else None
+        )
+
+        master = random.Random(seed)
+        self._frame_rng = random.Random(master.getrandbits(63))
+        self._robot_rngs = [
+            RandomSource(master.getrandbits(63)) for _ in self.robots
+        ]
+        self.step_count = 0
+        self._positions_dirty = True
+        self._last_movement_step = 0
+        self._last_probe_step = -(10**9)
+        self.scheduler.reset(len(self.robots))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random(
+        n: int,
+        algorithm: AlgorithmLike,
+        scheduler: Scheduler,
+        seed: int = 0,
+        spread: float = 1.0,
+        min_separation: float = 0.05,
+        **kwargs,
+    ) -> "Simulation":
+        """A simulation from a random general-position configuration."""
+        from ..patterns.library import random_configuration
+
+        initial = random_configuration(
+            n, seed=seed, spread=spread, min_separation=min_separation
+        )
+        return Simulation(initial, algorithm, scheduler, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    def configuration(self) -> Configuration:
+        """The current global configuration."""
+        return Configuration(tuple(r.position for r in self.robots))
+
+    def points(self) -> list[Vec2]:
+        """Current robot positions as a list."""
+        return [r.position for r in self.robots]
+
+    def all_idle(self) -> bool:
+        """Whether every robot is outside its cycle (static configuration)."""
+        return all(r.phase is Phase.IDLE for r in self.robots)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run until terminal, or until the step budget is exhausted."""
+        while self.step_count < self.max_steps:
+            if self._quiescent() and self.is_terminal():
+                return self._result(terminated=True, reason="terminal")
+            action = self.scheduler.next_action(self.robots, self.step_count)
+            self.apply(action)
+            for checker in self.checkers:
+                checker(self, action)
+        return self._result(terminated=False, reason="max_steps")
+
+    def apply(self, action: Action) -> None:
+        """Apply one scheduler action."""
+        robot = self.robots[action.robot_id]
+        self.step_count += 1
+        self.metrics.steps += 1
+        robot.last_action_step = self.step_count
+
+        if action.kind is ActionKind.LOOK:
+            self._apply_look(robot)
+        elif action.kind is ActionKind.COMPUTE:
+            self._apply_compute(robot)
+        else:
+            self._apply_move(robot, action)
+
+        if self.trace is not None:
+            self.trace.record(
+                self.step_count, action.kind, robot.robot_id, self.configuration()
+            )
+
+    def _apply_look(self, robot: RobotBody) -> None:
+        if robot.phase is not Phase.IDLE:
+            raise RuntimeError(
+                f"scheduler bug: LOOK on robot {robot.robot_id} in {robot.phase}"
+            )
+        frame = self.frame_policy(robot.robot_id, robot.position, self._frame_rng)
+        robot.frame = frame
+        robot.snapshot = make_snapshot(
+            self.points(),
+            robot.position,
+            frame.observe,
+            self.multiplicity_detection,
+        )
+        robot.phase = Phase.OBSERVED
+        self.metrics.looks += 1
+
+    def _apply_compute(self, robot: RobotBody) -> None:
+        if robot.phase is not Phase.OBSERVED or robot.snapshot is None:
+            raise RuntimeError(
+                f"scheduler bug: COMPUTE on robot {robot.robot_id} in {robot.phase}"
+            )
+        rng = self._robot_rngs[robot.robot_id]
+        bits_before, flips_before, floats_before = (
+            rng.bits_used,
+            rng.bit_calls,
+            rng.float_calls,
+        )
+        ctx = ComputeContext(rng, own_chirality=not robot.frame.is_mirrored())
+        local_path = self.algorithm.compute(robot.snapshot, ctx)
+        self.metrics.random_bits += rng.bits_used - bits_before
+        self.metrics.coin_flips += rng.bit_calls - flips_before
+        self.metrics.float_draws += rng.float_calls - floats_before
+        self.metrics.computes += 1
+
+        robot.snapshot = None
+        if local_path is None or local_path.is_trivial():
+            robot.phase = Phase.IDLE
+            robot.frame = None
+            self.metrics.record_cycle(robot.robot_id)
+            return
+        global_path = local_path.transformed(robot.frame.globalize())
+        if not global_path.start().approx_eq(robot.position, 1e-6):
+            raise RuntimeError(
+                f"algorithm bug: path for robot {robot.robot_id} starts at "
+                f"{global_path.start()!r}, robot is at {robot.position!r}"
+            )
+        robot.frame = None
+        robot.path = global_path
+        robot.progress = 0.0
+        robot.move_chunks = 0
+        robot.phase = Phase.MOVING
+
+    def _apply_move(self, robot: RobotBody, action: Action) -> None:
+        if robot.phase is not Phase.MOVING or robot.path is None:
+            raise RuntimeError(
+                f"scheduler bug: MOVE on robot {robot.robot_id} in {robot.phase}"
+            )
+        total = robot.path.length()
+        remaining = max(total - robot.progress, 0.0)
+        advance = max(0.0, min(action.fraction, 1.0)) * remaining
+        new_progress = robot.progress + advance
+        finishing = action.end_move or new_progress >= total - 1e-12
+
+        if finishing and new_progress < total - 1e-12:
+            # The adversary may not stop the robot before δ (or the
+            # destination, whichever comes first).
+            floor = min(self.delta, total)
+            new_progress = max(new_progress, floor)
+
+        new_position = robot.path.point_at(new_progress)
+        travelled = new_progress - robot.progress
+        if travelled > 1e-15:
+            self._positions_dirty = True
+            self._last_movement_step = self.step_count
+        robot.distance_travelled += travelled
+        self.metrics.distance += travelled
+        self.metrics.move_actions += 1
+        robot.position = new_position
+        robot.progress = new_progress
+        robot.move_chunks += 1
+
+        if finishing:
+            robot.path = None
+            robot.progress = 0.0
+            robot.move_chunks = 0
+            robot.phase = Phase.IDLE
+            self.metrics.record_cycle(robot.robot_id)
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def _quiescent(self) -> bool:
+        """Cheap gate before the expensive terminal probe."""
+        if not self.all_idle():
+            return False
+        # Probe when something moved since the last probe, or periodically
+        # while quiet (covers algorithms that decide "no move" without
+        # changing any position, e.g. losing coin flips).
+        return self._positions_dirty or (
+            self.step_count - self._last_probe_step > 8 * len(self.robots)
+        )
+
+    def is_terminal(self) -> bool:
+        """The paper's terminal test: static and empty for the algorithm.
+
+        Probes every robot with both coin outcomes and both chiralities so
+        a randomized or chirality-tie-broken decision to move cannot hide.
+        """
+        self._positions_dirty = False
+        self._last_probe_step = self.step_count
+        points = self.points()
+        for robot in self.robots:
+            for bit in (0, 1):
+                for mirrored in (False, True):
+                    frame = LocalFrame.identity_at(robot.position)
+                    if mirrored:
+                        from ..geometry import Similarity
+
+                        frame = LocalFrame(
+                            Similarity.reflection_x().compose(frame.to_local)
+                        )
+                    snapshot = make_snapshot(
+                        points,
+                        robot.position,
+                        frame.observe,
+                        self.multiplicity_detection,
+                    )
+                    ctx = ComputeContext(ForcedBits(bit), own_chirality=not mirrored)
+                    path = self.algorithm.compute(snapshot, ctx)
+                    if path is not None and not path.is_trivial(1e-9):
+                        return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _result(self, terminated: bool, reason: str) -> SimulationResult:
+        final = self.configuration()
+        formed = (
+            self.pattern.matches(final.points(), 2e-5)
+            if self.pattern is not None
+            else False
+        )
+        return SimulationResult(
+            final_configuration=final,
+            terminated=terminated,
+            pattern_formed=formed,
+            steps=self.step_count,
+            metrics=self.metrics,
+            reason=reason,
+            trace=self.trace,
+        )

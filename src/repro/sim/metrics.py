@@ -1,0 +1,60 @@
+"""Execution metrics.
+
+Counts the quantities the experiments report: cycles, epochs (rounds in
+which every robot completed at least one cycle), random bits consumed,
+distance travelled and raw scheduler steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Metrics:
+    """Aggregated counters for one simulation run."""
+
+    steps: int = 0
+    looks: int = 0
+    computes: int = 0
+    move_actions: int = 0
+    cycles: int = 0
+    epochs: int = 0
+    random_bits: int = 0
+    coin_flips: int = 0
+    float_draws: int = 0
+    distance: float = 0.0
+    per_robot_cycles: list[int] = field(default_factory=list)
+    _epoch_floor: int = 0
+
+    def start(self, n: int) -> None:
+        """Initialise per-robot counters."""
+        self.per_robot_cycles = [0] * n
+
+    def record_cycle(self, robot_id: int) -> None:
+        """A robot finished a full Look-Compute-Move cycle."""
+        self.cycles += 1
+        self.per_robot_cycles[robot_id] += 1
+        floor = min(self.per_robot_cycles)
+        if floor > self._epoch_floor:
+            self.epochs += floor - self._epoch_floor
+            self._epoch_floor = floor
+
+    def bits_per_cycle(self) -> float:
+        """Average random bits consumed per completed cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.random_bits / self.cycles
+
+    def summary(self) -> dict:
+        """A plain-dict summary for result tables."""
+        return {
+            "steps": self.steps,
+            "cycles": self.cycles,
+            "epochs": self.epochs,
+            "random_bits": self.random_bits,
+            "coin_flips": self.coin_flips,
+            "float_draws": self.float_draws,
+            "bits_per_cycle": round(self.bits_per_cycle(), 4),
+            "distance": round(self.distance, 6),
+        }

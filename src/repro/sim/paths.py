@@ -1,0 +1,167 @@
+"""Movement paths.
+
+The robots of the paper compute a *path* to a destination, not only a
+destination point: "it moves toward the destination following the
+previously computed path".  Two primitives cover every movement the
+algorithm orders — straight segments (radial moves, final moves) and
+circular arcs ("moves on its circle").  A :class:`Path` is a sequence of
+primitives parameterised by arc length, which is what the adversary
+controls when it interrupts a robot mid-move.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Circle, Similarity, Vec2, direction_angle
+
+
+@dataclass(frozen=True)
+class LineSegment:
+    """A straight segment from ``start`` to ``end``."""
+
+    start: Vec2
+    end: Vec2
+
+    def length(self) -> float:
+        """Arc length of the segment."""
+        return self.start.dist(self.end)
+
+    def point_at(self, s: float) -> Vec2:
+        """Point at arc length ``s`` from the start (clamped)."""
+        total = self.length()
+        if total <= 0.0:
+            return self.start
+        t = min(max(s / total, 0.0), 1.0)
+        return Vec2(
+            self.start.x + (self.end.x - self.start.x) * t,
+            self.start.y + (self.end.y - self.start.y) * t,
+        )
+
+    def transformed(self, transform: Similarity) -> "LineSegment":
+        """The segment mapped through a similarity."""
+        return LineSegment(transform.apply(self.start), transform.apply(self.end))
+
+
+@dataclass(frozen=True)
+class ArcSegment:
+    """A circular arc around ``center`` at ``radius``.
+
+    The arc starts at polar angle ``start_angle`` and sweeps by the signed
+    angle ``sweep`` (positive = counterclockwise).
+    """
+
+    center: Vec2
+    radius: float
+    start_angle: float
+    sweep: float
+
+    def length(self) -> float:
+        """Arc length of the arc."""
+        return abs(self.sweep) * self.radius
+
+    def point_at(self, s: float) -> Vec2:
+        """Point at arc length ``s`` from the start (clamped)."""
+        total = self.length()
+        if total <= 0.0:
+            return self.start()
+        t = min(max(s / total, 0.0), 1.0)
+        angle = self.start_angle + self.sweep * t
+        return self.center + Vec2.polar(self.radius, angle)
+
+    def start(self) -> Vec2:
+        """The arc's start point."""
+        return self.center + Vec2.polar(self.radius, self.start_angle)
+
+    def end(self) -> Vec2:
+        """The arc's end point."""
+        return self.center + Vec2.polar(self.radius, self.start_angle + self.sweep)
+
+    def transformed(self, transform: Similarity) -> "ArcSegment":
+        """The arc mapped through a similarity (arcs map to arcs)."""
+        new_center = transform.apply(self.center)
+        new_radius = self.radius * transform.scale
+        new_start = transform.apply(self.start())
+        new_start_angle = direction_angle(new_center, new_start)
+        new_sweep = -self.sweep if transform.reflect else self.sweep
+        return ArcSegment(new_center, new_radius, new_start_angle, new_sweep)
+
+
+Segment = LineSegment | ArcSegment
+
+
+@dataclass(frozen=True)
+class Path:
+    """A piecewise path (sequence of segments), parameterised by length."""
+
+    segments: tuple[Segment, ...]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def line(start: Vec2, end: Vec2) -> "Path":
+        """A straight path."""
+        return Path((LineSegment(start, end),))
+
+    @staticmethod
+    def arc(circle: Circle, start_angle: float, sweep: float) -> "Path":
+        """An arc path on ``circle``."""
+        return Path(
+            (ArcSegment(circle.center, circle.radius, start_angle, sweep),)
+        )
+
+    @staticmethod
+    def arc_to(circle: Circle, start: Vec2, target_angle: float, direct: bool) -> "Path":
+        """Arc on ``circle`` from ``start`` to ``target_angle``.
+
+        ``direct`` selects the counterclockwise (True) or clockwise sweep.
+        """
+        a0 = direction_angle(circle.center, start)
+        if direct:
+            sweep = (target_angle - a0) % (2.0 * math.pi)
+        else:
+            sweep = -((a0 - target_angle) % (2.0 * math.pi))
+        return Path.arc(circle, a0, sweep)
+
+    @staticmethod
+    def chain(segments: Sequence[Segment]) -> "Path":
+        """A path made of the given segments (assumed contiguous)."""
+        return Path(tuple(segments))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def length(self) -> float:
+        """Total arc length."""
+        return sum(seg.length() for seg in self.segments)
+
+    def is_trivial(self, eps: float = 1e-12) -> bool:
+        """True for a path of (near-)zero length."""
+        return self.length() <= eps
+
+    def start(self) -> Vec2:
+        """The path's start point."""
+        first = self.segments[0]
+        return first.start() if isinstance(first, ArcSegment) else first.start
+
+    def destination(self) -> Vec2:
+        """The path's end point."""
+        last = self.segments[-1]
+        return last.end() if isinstance(last, ArcSegment) else last.end
+
+    def point_at(self, s: float) -> Vec2:
+        """Point at arc length ``s`` from the start (clamped to the path)."""
+        remaining = max(s, 0.0)
+        for seg in self.segments:
+            seg_len = seg.length()
+            if remaining <= seg_len:
+                return seg.point_at(remaining)
+            remaining -= seg_len
+        return self.destination()
+
+    def transformed(self, transform: Similarity) -> "Path":
+        """The path mapped through a similarity transform."""
+        return Path(tuple(seg.transformed(transform) for seg in self.segments))

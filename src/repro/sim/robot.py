@@ -1,0 +1,54 @@
+"""Per-robot simulation state.
+
+Robots themselves are anonymous and oblivious; the *simulator* keeps this
+bookkeeping record per robot — its true position, where it is within its
+Look-Compute-Move cycle, the (possibly stale) snapshot it took, and the
+path it committed to.  None of this is visible to the algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..geometry import Vec2
+from ..model import LocalFrame, Snapshot
+from .paths import Path
+
+
+class Phase(enum.Enum):
+    """Where a robot stands in its LCM cycle."""
+
+    IDLE = "idle"
+    OBSERVED = "observed"  # snapshot taken, compute still pending
+    MOVING = "moving"      # path committed, movement in progress
+
+
+@dataclass
+class RobotBody:
+    """The simulator-side state of one robot."""
+
+    robot_id: int
+    position: Vec2
+    phase: Phase = Phase.IDLE
+    snapshot: Snapshot | None = None
+    frame: LocalFrame | None = None
+    path: Path | None = None
+    progress: float = 0.0
+    move_chunks: int = 0
+    cycles_completed: int = 0
+    last_action_step: int = 0
+    distance_travelled: float = 0.0
+    pending_extras: dict = field(default_factory=dict)
+
+    def is_idle(self) -> bool:
+        return self.phase is Phase.IDLE
+
+    def is_moving(self) -> bool:
+        return self.phase is Phase.MOVING
+
+    def remaining_distance(self) -> float:
+        """Distance left on the committed path (0 when not moving)."""
+        if self.path is None:
+            return 0.0
+        return max(self.path.length() - self.progress, 0.0)

@@ -1,0 +1,66 @@
+"""Execution traces.
+
+An execution in the paper is the infinite sequence of configurations.  The
+trace records the finite prefix a simulation produces: one event per
+scheduler action, optionally with full configuration snapshots (sampled,
+to bound memory).  Traces feed the ASCII renderer, the invariant checkers
+and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..model import Configuration
+from ..scheduler.base import ActionKind
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded scheduler action."""
+
+    step: int
+    kind: ActionKind
+    robot_id: int
+    configuration: Configuration | None
+
+
+class Trace:
+    """A bounded recording of a run.
+
+    Args:
+        sample_every: record a full configuration only every k-th event
+            (1 = every event); other events are recorded without one.
+        max_events: ring-buffer bound on stored events.
+    """
+
+    def __init__(self, sample_every: int = 1, max_events: int = 100_000) -> None:
+        self.sample_every = sample_every
+        self.max_events = max_events
+        self._events: list[TraceEvent] = []
+        self._count = 0
+
+    def record(
+        self, step: int, kind: ActionKind, robot_id: int, config: Configuration
+    ) -> None:
+        """Append an event (with a configuration if due for sampling)."""
+        snap = config if self._count % self.sample_every == 0 else None
+        self._events.append(TraceEvent(step, kind, robot_id, snap))
+        self._count += 1
+        if len(self._events) > self.max_events:
+            del self._events[: len(self._events) - self.max_events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self) -> list[TraceEvent]:
+        """All stored events."""
+        return list(self._events)
+
+    def configurations(self) -> list[Configuration]:
+        """The sampled configurations in order."""
+        return [e.configuration for e in self._events if e.configuration is not None]

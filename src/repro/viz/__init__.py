@@ -1,0 +1,5 @@
+"""Terminal visualisation."""
+
+from .ascii import render, render_configuration, render_trace
+
+__all__ = ["render", "render_configuration", "render_trace"]

@@ -1,0 +1,105 @@
+"""ASCII rendering of configurations and traces.
+
+Terminal-friendly visualisation for the examples and for debugging: a
+configuration is drawn on a character grid, optionally overlaying the
+target pattern.  Robots render as ``o`` (or digits for multiplicities),
+pattern points as ``+``, a robot sitting on a pattern point as ``*``, and
+the center as ``.``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geometry import Vec2, smallest_enclosing_circle
+from ..model import Configuration, Pattern
+
+
+def render(
+    points: Sequence[Vec2],
+    pattern: Pattern | None = None,
+    width: int = 61,
+    height: int = 27,
+) -> str:
+    """Render robot positions (and optionally the target) as ASCII art."""
+    pts = list(points)
+    overlay: list[Vec2] = []
+    if pattern is not None:
+        overlay = _aligned_overlay(pts, pattern)
+
+    everything = pts + overlay
+    min_x = min(p.x for p in everything)
+    max_x = max(p.x for p in everything)
+    min_y = min(p.y for p in everything)
+    max_y = max(p.y for p in everything)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def cell(p: Vec2) -> tuple[int, int]:
+        col = int(round((p.x - min_x) / span_x * (width - 1)))
+        row = int(round((max_y - p.y) / span_y * (height - 1)))
+        return row, col
+
+    grid = [[" "] * width for _ in range(height)]
+    for p in overlay:
+        r, c = cell(p)
+        grid[r][c] = "+"
+    counts: dict[tuple[int, int], int] = {}
+    for p in pts:
+        rc = cell(p)
+        counts[rc] = counts.get(rc, 0) + 1
+    for (r, c), count in counts.items():
+        if grid[r][c] == "+":
+            grid[r][c] = "*"
+        elif count > 1:
+            grid[r][c] = str(min(count, 9))
+        else:
+            grid[r][c] = "o"
+    center = smallest_enclosing_circle(pts).center
+    r, c = cell(center)
+    if grid[r][c] == " ":
+        grid[r][c] = "."
+    return "\n".join("".join(row) for row in grid)
+
+
+def _aligned_overlay(pts: list[Vec2], pattern: Pattern) -> list[Vec2]:
+    """Pattern points placed over the configuration.
+
+    When the configuration already forms the pattern (or nearly), align
+    the overlay by the witnessing similarity so matches render as ``*``;
+    otherwise just scale the pattern onto the current enclosing circle.
+    """
+    from ..geometry import find_similarity
+
+    if len(pts) == len(pattern.points):
+        transform = find_similarity(list(pattern.points), pts, 1e-4)
+        if transform is not None:
+            return [transform.apply(p) for p in pattern.points]
+    sec = smallest_enclosing_circle(pts)
+    return list(pattern.scaled_to(sec).points)
+
+
+def render_configuration(
+    config: Configuration, pattern: Pattern | None = None, **kwargs
+) -> str:
+    """Render a :class:`Configuration`."""
+    return render(config.points(), pattern, **kwargs)
+
+
+def render_trace(
+    configurations: Sequence[Configuration],
+    pattern: Pattern | None = None,
+    frames: int = 6,
+    **kwargs,
+) -> str:
+    """Render up to ``frames`` evenly spaced configurations of a run."""
+    if not configurations:
+        return "(empty trace)"
+    count = min(frames, len(configurations))
+    step = max(len(configurations) // count, 1)
+    chosen = list(configurations)[::step][:count]
+    blocks = []
+    for i, config in enumerate(chosen):
+        blocks.append(f"--- frame {i * step} ---")
+        blocks.append(render_configuration(config, pattern, **kwargs))
+    return "\n".join(blocks)

@@ -1,0 +1,101 @@
+"""Unit + integration tests for the baseline algorithms."""
+
+import math
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import FormPattern, GlobalFrameFormation, YamauchiYamashita
+from repro.geometry import Vec2
+from repro.scheduler import RoundRobinScheduler, SsyncScheduler
+from repro.sim import Simulation, chirality_frames, global_frames
+
+
+class TestGlobalFrameBaseline:
+    def test_forms_with_shared_frames(self):
+        pat = patterns.random_pattern(7, seed=1)
+        alg = GlobalFrameFormation(pat)
+        sim = Simulation.random(
+            7,
+            alg,
+            SsyncScheduler(seed=1),
+            seed=2,
+            frame_policy=global_frames(),
+            max_steps=60_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_deterministic_no_randomness(self):
+        pat = patterns.regular_polygon(6)
+        alg = GlobalFrameFormation(pat)
+        sim = Simulation.random(
+            6,
+            alg,
+            RoundRobinScheduler(),
+            seed=3,
+            frame_policy=global_frames(),
+            max_steps=60_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+        assert res.metrics.random_bits == 0
+
+    def test_fails_without_chirality(self):
+        # The whole point of experiment E4: without a shared frame the
+        # lexicographic pairing evaporates.
+        pat = patterns.random_pattern(7, seed=1)
+        alg = GlobalFrameFormation(pat)
+        sim = Simulation.random(
+            7, alg, SsyncScheduler(seed=1), seed=2, max_steps=15_000
+        )
+        res = sim.run()
+        assert not (res.terminated and res.pattern_formed)
+
+
+class TestYamauchiYamashitaBaseline:
+    def test_forms_with_chirality(self):
+        pat = patterns.random_pattern(7, seed=5)
+        init = [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / 7) for i in range(7)]
+        alg = YamauchiYamashita(pat)
+        sim = Simulation(
+            init,
+            alg,
+            RoundRobinScheduler(),
+            seed=4,
+            frame_policy=chirality_frames(),
+            max_steps=150_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_uses_continuous_randomness(self):
+        pat = patterns.random_pattern(7, seed=5)
+        init = [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / 7) for i in range(7)]
+        alg = YamauchiYamashita(pat)
+        sim = Simulation(
+            init,
+            alg,
+            RoundRobinScheduler(),
+            seed=4,
+            frame_policy=chirality_frames(),
+            max_steps=150_000,
+        )
+        sim.run()
+        assert sim.metrics.float_draws >= 1
+        # 64 bits per draw: far above the main algorithm's budget.
+        assert sim.metrics.random_bits >= 64 * sim.metrics.float_draws
+
+    def test_asymmetric_start_needs_no_randomness(self):
+        pat = patterns.random_pattern(7, seed=5)
+        alg = YamauchiYamashita(pat)
+        sim = Simulation.random(
+            7,
+            alg,
+            RoundRobinScheduler(),
+            seed=6,
+            frame_policy=chirality_frames(),
+            max_steps=150_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed

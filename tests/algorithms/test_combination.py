@@ -1,0 +1,121 @@
+"""Tests for the combination-of-algorithms formalism (Section 2)."""
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import FormPattern
+from repro.algorithms.base import Algorithm
+from repro.algorithms.combination import (
+    CombinedAlgorithm,
+    Phase,
+    check_disjoint_active_sets,
+    check_termination_awareness,
+    orders_movement,
+)
+from repro.geometry import Vec2
+from repro.model import LocalFrame, make_snapshot
+from repro.scheduler.rng import ForcedBits
+from repro.sim.context import ComputeContext
+from repro.sim.paths import Path
+
+from ..conftest import polygon, random_points
+
+
+class GoRight(Algorithm):
+    name = "go-right"
+
+    def compute(self, snapshot, ctx):
+        return Path.line(snapshot.me, snapshot.me + Vec2(1, 0))
+
+
+class Stay(Algorithm):
+    name = "stay"
+
+    def compute(self, snapshot, ctx):
+        return None
+
+
+def wide(snapshot):
+    xs = [p.x for p in snapshot.points]
+    return max(xs) - min(xs) > 3
+
+
+def narrow(snapshot):
+    return not wide(snapshot)
+
+
+class TestCombinedAlgorithm:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            CombinedAlgorithm([])
+
+    def test_dispatch_first_matching_guard(self):
+        combo = CombinedAlgorithm(
+            [Phase("wide", wide, Stay()), Phase("narrow", narrow, GoRight())]
+        )
+        frame = LocalFrame.identity_at(Vec2.zero())
+        snap = make_snapshot(polygon(4), polygon(4)[0], frame.observe)
+        assert combo.active_phase(snap).name == "narrow"
+        path = combo.compute(snap, ComputeContext(ForcedBits(0)))
+        assert path is not None
+
+    def test_no_guard_matches_means_terminal(self):
+        combo = CombinedAlgorithm([Phase("wide", wide, GoRight())])
+        frame = LocalFrame.identity_at(Vec2.zero())
+        snap = make_snapshot(polygon(4), polygon(4)[0], frame.observe)
+        assert combo.active_phase(snap) is None
+        assert combo.compute(snap, ComputeContext(ForcedBits(0))) is None
+
+
+class TestOrdersMovement:
+    def test_positive(self):
+        assert orders_movement(GoRight(), polygon(4))
+
+    def test_negative(self):
+        assert not orders_movement(Stay(), polygon(4))
+
+    def test_formpattern_terminal_on_formed(self):
+        pat = patterns.regular_polygon(7)
+        alg = FormPattern(pat)
+        formed = [p.rotated(0.3) * 2 for p in pat.points]
+        assert not orders_movement(alg, formed)
+
+    def test_formpattern_active_on_random(self):
+        pat = patterns.regular_polygon(7)
+        alg = FormPattern(pat)
+        assert orders_movement(alg, random_points(7, seed=1))
+
+
+class TestCheckers:
+    def test_disjointness_violation_detected(self):
+        always = lambda s: True
+        combo = CombinedAlgorithm(
+            [Phase("a", always, Stay()), Phase("b", always, Stay())]
+        )
+        violations = check_disjoint_active_sets(combo, [polygon(4)])
+        assert violations
+
+    def test_disjointness_ok(self):
+        combo = CombinedAlgorithm(
+            [Phase("wide", wide, Stay()), Phase("narrow", narrow, Stay())]
+        )
+        assert not check_disjoint_active_sets(combo, [polygon(4), polygon(5)])
+
+    def test_termination_awareness_of_formpattern(self):
+        # The paper's algorithm: on any *active* sampled configuration it
+        # orders movement; the only empty configurations are formed ones.
+        pat = patterns.regular_polygon(7)
+        alg = FormPattern(pat)
+        samples = [random_points(7, seed=s) for s in range(4)]
+        samples.append([p.rotated(1.0) for p in pat.points])  # formed
+
+        def is_active(snapshot):
+            return not pat.matches(list(snapshot.points), 2e-5)
+
+        violations = check_termination_awareness(alg, samples, is_active)
+        assert violations == []
+
+    def test_silent_deadlock_detected(self):
+        # An algorithm that never moves is flagged on active configs.
+        violations = check_termination_awareness(Stay(), [polygon(5)])
+        assert violations

@@ -1,0 +1,152 @@
+"""Unit tests for ψ_DPF (deterministic pattern formation)."""
+
+import math
+
+from repro import patterns
+from repro.algorithms import FormPattern, PatternGeometry
+from repro.algorithms.analysis import Analysis
+from repro.algorithms.dpf import (
+    DpfState,
+    build_frame,
+    find_rmax,
+    is_pattern_prime_formed,
+    pattern_angle_guard,
+    phase1,
+)
+from repro.geometry import Vec2, angmin, direction_angle
+from repro.model import LocalFrame, make_snapshot
+
+from ..conftest import polygon, random_points
+
+PG = PatternGeometry(patterns.random_pattern(8, seed=3))
+
+
+def analyse(points, me=None, pg=PG):
+    me = me if me is not None else points[0]
+    frame = LocalFrame.identity_at(Vec2.zero())
+    snap = make_snapshot(points, me, frame.observe)
+    return Analysis(snap, pg.l_f)
+
+
+def selected_config(seed=1, n=8):
+    """A random config with a manually selected robot near the center."""
+    pts = random_points(n - 1, seed=seed, spread=1.0)
+    from repro.geometry import smallest_enclosing_circle
+
+    sec = smallest_enclosing_circle(pts)
+    rs = sec.center + Vec2(0.001 * sec.radius, 0.0005 * sec.radius)
+    return pts + [rs], rs
+
+
+class TestPhase1:
+    def test_guard_positive(self):
+        assert 0 < pattern_angle_guard(PG) <= math.pi
+
+    def test_rs_walks_to_center_without_rmax(self):
+        pts, rs = selected_config(seed=2)
+        an = analyse(pts, rs)
+        rs_n = an.selected_robot
+        assert rs_n is not None
+        result = phase1(an, PG, rs_n)
+        if result.move is not None:
+            mover, path = result.move
+            # Either rs heads to the center / steps out, or rmax descends.
+            assert mover is not None and path.length() > 0
+
+    def test_rs_at_center_steps_out(self):
+        pts = polygon(7)
+        from repro.geometry import smallest_enclosing_circle
+
+        center = smallest_enclosing_circle(pts).center
+        pts = pts + [center]
+        an = analyse(pts, center)
+        rs_n = an.selected_robot
+        assert rs_n is not None
+        result = phase1(an, PG, rs_n)
+        assert result.move is not None
+        mover, path = result.move
+        assert mover.approx_eq(rs_n)
+        dest = path.destination()
+        assert dest.dist(an.center) > 1e-6  # steps off the center
+
+    def test_step_out_creates_rmax(self):
+        pts = polygon(7)
+        from repro.geometry import smallest_enclosing_circle
+
+        center = smallest_enclosing_circle(pts).center
+        an = analyse(pts + [center], center)
+        rs_n = an.selected_robot
+        result = phase1(an, PG, rs_n)
+        _, path = result.move
+        dest = path.destination()
+        # Simulate rs arriving: now a unique rmax must exist.
+        moved = [p for p in an.points if not an.i_am(p)] + [dest]
+        rmax, _ = find_rmax_from(moved, dest)
+        assert rmax is not None
+
+    def test_frame_orientation_maximises_rs(self):
+        pts, rs = selected_config(seed=4)
+        an = analyse(pts, rs)
+        rs_n = an.selected_robot
+        rmax, ok = find_rmax(an, PG, rs_n)
+        if rmax is None:
+            return
+        frame = build_frame(an, rs_n, rmax)
+        angle = frame.to_polar(rs_n).angle
+        assert angle >= math.pi or angle == 0.0
+
+
+def find_rmax_from(points, rs):
+    class FakeAnalysis:
+        pass
+
+    an = FakeAnalysis()
+    an.points = points
+    from repro.geometry import smallest_enclosing_circle
+
+    an.center = smallest_enclosing_circle(points).center
+    return find_rmax(an, PG, rs)
+
+
+class TestDpfState:
+    def _state(self, pg=PG, seed=5):
+        pts, rs = selected_config(seed=seed)
+        an = analyse(pts, rs, pg=pg)
+        rs_n = an.selected_robot
+        result = phase1(an, pg, rs_n)
+        if result.frame is None:
+            return None
+        return DpfState(an, pg, rs_n, result.rmax, result.frame)
+
+    def test_prime_excludes_rs(self):
+        st = self._state()
+        if st is None:
+            return
+        assert len(st.prime) == len(st.an.points) - 1
+
+    def test_coords_sorted(self):
+        st = self._state()
+        if st is None:
+            return
+        keys = [(r, a) for _, r, a in st.coords]
+        assert keys == sorted(keys)
+
+    def test_rmax_is_lex_min(self):
+        st = self._state()
+        if st is None:
+            return
+        first, _, ang = st.coords[0]
+        assert st.is_rmax(first)
+        assert ang == 0.0
+
+    def test_park_bound_below_2pi(self):
+        st = self._state()
+        if st is None:
+            return
+        assert 0 < st.park_bound < 2 * math.pi
+
+    def test_pattern_not_formed_initially(self):
+        st = self._state()
+        if st is None:
+            return
+        assert not is_pattern_prime_formed(st)

@@ -1,0 +1,82 @@
+"""Tests for the gathering primitive."""
+
+import pytest
+
+from repro import patterns
+from repro.algorithms.gathering import Gathering
+from repro.geometry import Vec2
+from repro.model import LocalFrame, make_snapshot
+from repro.scheduler import FsyncScheduler, RoundRobinScheduler, SsyncScheduler
+from repro.scheduler.rng import RandomSource
+from repro.sim import Simulation
+from repro.sim.context import ComputeContext
+
+from ..conftest import polygon
+
+
+def snapshot_of(points, me):
+    frame = LocalFrame.identity_at(Vec2.zero())
+    return make_snapshot(points, me, frame.observe, multiplicity_detection=True)
+
+
+class TestComputeRules:
+    def test_gathered_is_terminal(self):
+        alg = Gathering()
+        pts = [Vec2(1, 1)] * 4
+        snap = snapshot_of(pts, Vec2(1, 1))
+        assert alg.compute(snap, ComputeContext(RandomSource(1))) is None
+
+    def test_majority_attracts(self):
+        alg = Gathering()
+        pts = [Vec2(0, 0)] * 3 + [Vec2(1, 0), Vec2(0, 1)]
+        snap = snapshot_of(pts, Vec2(1, 0))
+        path = alg.compute(snap, ComputeContext(RandomSource(1)))
+        assert path.destination().approx_eq(Vec2(0, 0))
+
+    def test_majority_member_stays(self):
+        alg = Gathering()
+        pts = [Vec2(0, 0)] * 3 + [Vec2(1, 0), Vec2(0, 1)]
+        snap = snapshot_of(pts, Vec2(0, 0))
+        assert alg.compute(snap, ComputeContext(RandomSource(1))) is None
+
+    def test_no_majority_moves_to_sec_center(self):
+        alg = Gathering()
+        pts = polygon(4)
+        snap = snapshot_of(pts, pts[0])
+        path = alg.compute(snap, ComputeContext(RandomSource(1)))
+        assert path.destination().approx_eq(Vec2.zero(), 1e-7)
+
+
+class TestGatheringRuns:
+    @pytest.mark.parametrize("scheduler", [
+        FsyncScheduler,
+        RoundRobinScheduler,
+        lambda: SsyncScheduler(seed=3),
+    ])
+    def test_gathers(self, scheduler):
+        sim = Simulation.random(
+            6,
+            Gathering(),
+            scheduler(),
+            seed=4,
+            max_steps=50_000,
+        )
+        res = sim.run()
+        assert res.terminated
+        assert _spread(res.final_configuration.points()) < 1e-5
+
+    def test_gathers_from_polygon(self):
+        sim = Simulation(
+            polygon(5),
+            Gathering(),
+            FsyncScheduler(),
+            seed=5,
+            max_steps=50_000,
+        )
+        res = sim.run()
+        assert res.terminated
+        assert _spread(res.final_configuration.points()) < 1e-5
+
+
+def _spread(points):
+    return max(p.dist(q) for p in points for q in points)

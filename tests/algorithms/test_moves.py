@@ -1,0 +1,104 @@
+"""Unit tests for movement constructors and a collision regression."""
+
+import math
+
+from repro.algorithms.moves import (
+    arc_move_sweep,
+    arc_move_to_angle,
+    move_toward,
+    radial_move,
+)
+from repro.geometry import Vec2
+
+
+class TestRadialMove:
+    def test_inward(self):
+        path = radial_move(Vec2(2, 0), Vec2.zero(), 1.0)
+        assert path.destination().approx_eq(Vec2(1, 0))
+
+    def test_outward(self):
+        path = radial_move(Vec2(1, 0), Vec2.zero(), 3.0)
+        assert path.destination().approx_eq(Vec2(3, 0))
+
+    def test_direction_preserved(self):
+        me = Vec2.polar(2.0, 1.234)
+        path = radial_move(me, Vec2.zero(), 0.5)
+        dest = path.destination()
+        assert abs(math.atan2(dest.y, dest.x) - 1.234) < 1e-9
+
+    def test_off_center_center(self):
+        c = Vec2(1, 1)
+        path = radial_move(Vec2(3, 1), c, 1.0)
+        assert path.destination().approx_eq(Vec2(2, 1))
+
+
+class TestMoveToward:
+    def test_full(self):
+        path = move_toward(Vec2(0, 0), Vec2(3, 4))
+        assert path.destination().approx_eq(Vec2(3, 4))
+
+    def test_partial(self):
+        path = move_toward(Vec2(0, 0), Vec2(10, 0), distance=4)
+        assert path.destination().approx_eq(Vec2(4, 0))
+
+    def test_distance_beyond_target_clamps(self):
+        path = move_toward(Vec2(0, 0), Vec2(1, 0), distance=5)
+        assert path.destination().approx_eq(Vec2(1, 0))
+
+
+class TestArcMoves:
+    def test_arc_to_angle_shorter_way(self):
+        me = Vec2(1, 0)
+        path = arc_move_to_angle(me, Vec2.zero(), math.pi / 2)
+        assert abs(path.length() - math.pi / 2) < 1e-9
+        assert path.destination().approx_eq(Vec2(0, 1))
+
+    def test_arc_to_angle_other_side(self):
+        me = Vec2(1, 0)
+        path = arc_move_to_angle(me, Vec2.zero(), -math.pi / 4)
+        assert path.destination().approx_eq(Vec2.polar(1, -math.pi / 4))
+        assert abs(path.length() - math.pi / 4) < 1e-9
+
+    def test_sweep_signed(self):
+        me = Vec2(1, 0)
+        ccw = arc_move_sweep(me, Vec2.zero(), 0.5)
+        cw = arc_move_sweep(me, Vec2.zero(), -0.5)
+        assert ccw.destination().approx_eq(Vec2.polar(1, 0.5))
+        assert cw.destination().approx_eq(Vec2.polar(1, -0.5))
+
+    def test_radius_preserved(self):
+        me = Vec2.polar(0.7, 2.0)
+        path = arc_move_sweep(me, Vec2.zero(), 1.0)
+        for frac in (0.0, 0.5, 1.0):
+            p = path.point_at(path.length() * frac)
+            assert abs(p.norm() - 0.7) < 1e-9
+
+
+class TestSecArcBlocking:
+    def test_robot_exactly_on_target_blocks(self):
+        """Regression: a robot an ulp off the exact target angle must
+        still block the arc (halfway rule), not be landed on."""
+        from repro.algorithms.dpf.placement import _sec_arc
+        from repro.algorithms.dpf.state import DpfState  # noqa: F401
+
+        class FakeState:
+            def arc_to(self, me, target, increasing):
+                self.last = (me, target, increasing)
+                from repro.algorithms.moves import arc_move_to_angle
+
+                return arc_move_to_angle(me, Vec2.zero(), target)
+
+        state = FakeState()
+        me = Vec2.polar(1.0, 3.927)
+        blocker_angle = math.pi - 5e-16  # an ulp below the target pi
+        on_circle = [
+            (me, 3.927),
+            (Vec2.polar(1.0, blocker_angle), blocker_angle),
+            (Vec2.polar(1.0, 0.5), 0.5),
+        ]
+        path = _sec_arc(state, me, 3.927, math.pi, on_circle)
+        assert path is not None
+        dest_angle = math.atan2(path.destination().y, path.destination().x)
+        dest_angle %= 2 * math.pi
+        # Clamped halfway, never onto the blocker.
+        assert dest_angle > math.pi + 0.3

@@ -1,0 +1,76 @@
+"""Tests for the multiplicity-pattern extension (Appendix C)."""
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import FormPattern, MultiplicityFormPattern
+from repro.model import Pattern
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import Simulation
+from repro.geometry import Vec2
+
+
+class TestConstruction:
+    def test_base_algorithm_rejects_multiplicity(self):
+        pat = patterns.center_multiplicity_pattern(6, 2)
+        with pytest.raises(ValueError):
+            FormPattern(pat)
+
+    def test_requires_detection(self):
+        pat = patterns.center_multiplicity_pattern(6, 2)
+        alg = MultiplicityFormPattern(pat)
+        assert alg.requires_multiplicity_detection
+
+    def test_center_count_detected(self):
+        pat = patterns.center_multiplicity_pattern(6, 3)
+        alg = MultiplicityFormPattern(pat)
+        assert alg.center_count == 3
+
+    def test_working_pattern_displaces_center(self):
+        pat = patterns.center_multiplicity_pattern(6, 2)
+        alg = MultiplicityFormPattern(pat)
+        # The working pattern has no point at its center.
+        from repro.regular import config_center
+
+        c = config_center(list(alg.pg.pattern.points))
+        assert not any(p.approx_eq(c, 1e-9) for p in alg.pg.pattern.points)
+
+
+class TestFormation:
+    def test_center_multiplicity_formed(self):
+        pat = patterns.center_multiplicity_pattern(7, 2)
+        alg = MultiplicityFormPattern(pat)
+        sim = Simulation.random(
+            9, alg, RoundRobinScheduler(), seed=6, max_steps=200_000
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_final_config_has_stack(self):
+        pat = patterns.center_multiplicity_pattern(7, 2)
+        alg = MultiplicityFormPattern(pat)
+        sim = Simulation.random(
+            9, alg, RoundRobinScheduler(), seed=6, max_steps=200_000
+        )
+        res = sim.run()
+        assert res.final_configuration.has_multiplicity()
+
+    def test_non_center_multiplicity(self):
+        base = patterns.random_pattern(7, seed=9)
+        pat = patterns.multiplicity_pattern(base, [3])
+        alg = MultiplicityFormPattern(pat)
+        sim = Simulation.random(
+            8, alg, RoundRobinScheduler(), seed=2, max_steps=200_000
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_different_seeds(self):
+        pat = patterns.center_multiplicity_pattern(7, 2)
+        for seed in (1, 3):
+            alg = MultiplicityFormPattern(pat)
+            sim = Simulation.random(
+                9, alg, RoundRobinScheduler(), seed=seed, max_steps=200_000
+            )
+            res = sim.run()
+            assert res.terminated and res.pattern_formed, f"seed {seed}"

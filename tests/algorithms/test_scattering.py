@@ -1,0 +1,106 @@
+"""Tests for scattering and the SSYNC scatter-then-form combination."""
+
+import pytest
+
+from repro import patterns
+from repro.algorithms.scattering import ScatterThenForm, Scattering
+from repro.geometry import Vec2
+from repro.model import LocalFrame, make_snapshot
+from repro.scheduler import SsyncScheduler
+from repro.scheduler.rng import RandomSource
+from repro.sim import Simulation
+from repro.sim.context import ComputeContext
+
+from ..conftest import polygon
+
+
+def snapshot_of(points, me):
+    frame = LocalFrame.identity_at(Vec2.zero())
+    return make_snapshot(points, me, frame.observe, multiplicity_detection=True)
+
+
+class TestScattering:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Scattering(bits=0)
+        with pytest.raises(ValueError):
+            Scattering(step_fraction=0.9)
+
+    def test_lone_robot_stays(self):
+        alg = Scattering()
+        snap = snapshot_of(polygon(4), polygon(4)[0])
+        assert alg.compute(snap, ComputeContext(RandomSource(1))) is None
+
+    def test_stacked_robot_hops(self):
+        alg = Scattering()
+        pts = polygon(4) + [polygon(4)[0]]
+        snap = snapshot_of(pts, polygon(4)[0])
+        path = alg.compute(snap, ComputeContext(RandomSource(1)))
+        assert path is not None
+        assert path.length() > 0
+
+    def test_hop_is_short(self):
+        alg = Scattering(step_fraction=0.2)
+        pts = polygon(4) + [polygon(4)[0]]
+        snap = snapshot_of(pts, polygon(4)[0])
+        path = alg.compute(snap, ComputeContext(RandomSource(1)))
+        clearance = min(
+            polygon(4)[0].dist(p) for p in polygon(4)[1:]
+        )
+        assert path.length() <= 0.2 * clearance + 1e-9
+
+    def test_uses_declared_bits(self):
+        alg = Scattering(bits=3)
+        pts = polygon(4) + [polygon(4)[0]]
+        snap = snapshot_of(pts, polygon(4)[0])
+        rng = RandomSource(2)
+        alg.compute(snap, ComputeContext(rng))
+        assert rng.bits_used == 3
+
+    def test_different_coins_different_directions(self):
+        alg = Scattering(bits=3)
+        pts = polygon(4) + [polygon(4)[0]]
+        snap = snapshot_of(pts, polygon(4)[0])
+        dests = set()
+        for seed in range(12):
+            path = alg.compute(snap, ComputeContext(RandomSource(seed)))
+            d = path.destination()
+            dests.add((round(d.x, 6), round(d.y, 6)))
+        assert len(dests) > 1
+
+
+class TestScatterThenForm:
+    def test_forms_from_initial_multiplicity(self):
+        pat = patterns.regular_polygon(8)
+        base = list(patterns.random_configuration(6, seed=3))
+        initial = base + [base[0], base[1]]  # two stacks of 2
+        alg = ScatterThenForm(pat)
+        sim = Simulation(
+            initial,
+            alg,
+            SsyncScheduler(seed=4),
+            seed=5,
+            max_steps=400_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_triple_stack(self):
+        pat = patterns.regular_polygon(7)
+        base = list(patterns.random_configuration(5, seed=6))
+        initial = base + [base[2], base[2]]  # one stack of 3
+        alg = ScatterThenForm(pat)
+        sim = Simulation(
+            initial, alg, SsyncScheduler(seed=7), seed=8, max_steps=400_000
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_multiplicity_free_start_behaves_like_formation(self):
+        pat = patterns.regular_polygon(7)
+        alg = ScatterThenForm(pat)
+        sim = Simulation.random(
+            7, alg, SsyncScheduler(seed=9), seed=10, max_steps=300_000
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed

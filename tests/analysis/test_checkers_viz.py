@@ -1,0 +1,103 @@
+"""Unit tests for invariant checkers and the ASCII renderer."""
+
+import pytest
+
+from repro import patterns
+from repro.algorithms.base import Algorithm
+from repro.analysis import InvariantViolation, fairness_checker, no_multiplicity_checker
+from repro.geometry import Vec2
+from repro.model import Configuration, Pattern
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import Path, Simulation, global_frames
+from repro.viz import render, render_configuration, render_trace
+
+from ..conftest import polygon
+
+
+class CollideAll(Algorithm):
+    """Deliberately drives every robot to the origin (creates multiplicity)."""
+
+    name = "collide"
+
+    def compute(self, snapshot, ctx):
+        if snapshot.me.dist(snapshot.points[0]) < 1e-12 and all(
+            p.approx_eq(snapshot.points[0]) for p in snapshot.points
+        ):
+            return None
+        target = min(snapshot.points, key=lambda p: (p.x, p.y))
+        if snapshot.me.approx_eq(target):
+            return None
+        return Path.line(snapshot.me, target)
+
+
+class TestCheckers:
+    def test_multiplicity_checker_fires(self):
+        sim = Simulation(
+            polygon(3),
+            CollideAll(),
+            RoundRobinScheduler(),
+            frame_policy=global_frames(),
+            max_steps=200,
+            checkers=[no_multiplicity_checker()],
+        )
+        with pytest.raises(InvariantViolation):
+            sim.run()
+
+    def test_multiplicity_checker_allows_when_configured(self):
+        sim = Simulation(
+            polygon(3),
+            CollideAll(),
+            RoundRobinScheduler(),
+            frame_policy=global_frames(),
+            max_steps=60,
+            checkers=[no_multiplicity_checker(allow_at_end=True)],
+        )
+        sim.run()  # no exception
+
+    def test_fairness_checker_passes_fair_run(self):
+        from repro.algorithms import FormPattern
+
+        pat = patterns.regular_polygon(7)
+        sim = Simulation.random(
+            7,
+            FormPattern(pat),
+            RoundRobinScheduler(),
+            seed=1,
+            max_steps=50_000,
+            checkers=[fairness_checker(bound=10_000)],
+        )
+        res = sim.run()
+        assert res.terminated
+
+
+class TestAsciiRenderer:
+    def test_render_contains_robots(self):
+        art = render(polygon(5))
+        assert art.count("o") == 5
+
+    def test_render_with_pattern_overlay(self):
+        pat = Pattern.from_points(polygon(5, phase=0.3))
+        art = render(polygon(5), pat)
+        assert "+" in art or "*" in art
+
+    def test_robot_on_target_is_star(self):
+        pat = Pattern.from_points(polygon(4))
+        art = render(polygon(4), pat)
+        assert art.count("*") == 4
+
+    def test_multiplicity_digit(self):
+        art = render([Vec2(0, 0), Vec2(0, 0), Vec2(1, 1)])
+        assert "2" in art
+
+    def test_render_configuration(self):
+        cfg = Configuration.from_points(polygon(4))
+        art = render_configuration(cfg)
+        assert isinstance(art, str) and art
+
+    def test_render_trace(self):
+        cfgs = [Configuration.from_points(polygon(4, phase=0.1 * i)) for i in range(5)]
+        art = render_trace(cfgs, frames=3)
+        assert art.count("frame") >= 2
+
+    def test_render_trace_empty(self):
+        assert "empty" in render_trace([])

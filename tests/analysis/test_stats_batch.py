@@ -1,0 +1,139 @@
+"""Unit tests for statistics and the batch runner."""
+
+import math
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import FormPattern
+from repro.analysis import (
+    BatchResult,
+    RunRecord,
+    binomial_ci,
+    format_table,
+    geometric_mean,
+    mean,
+    median,
+    percentile,
+    run_batch,
+    stddev,
+    variance,
+)
+from repro.scheduler import RoundRobinScheduler
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert math.isnan(mean([]))
+
+    def test_variance_stddev(self):
+        assert abs(variance([1, 2, 3]) - 1.0) < 1e-12
+        assert abs(stddev([1, 2, 3]) - 1.0) < 1e-12
+        assert variance([5]) == 0
+
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_percentile(self):
+        vals = list(range(1, 11))
+        assert percentile(vals, 0) == 1
+        assert percentile(vals, 100) == 10
+        assert abs(percentile(vals, 50) - 5.5) < 1e-12
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_binomial_ci(self):
+        lo, hi = binomial_ci(90, 100)
+        assert 0.8 < lo < 0.9 < hi <= 1.0
+
+    def test_binomial_ci_empty(self):
+        assert binomial_ci(0, 0) == (0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert abs(geometric_mean([1, 4]) - 2.0) < 1e-12
+        with pytest.raises(ValueError):
+            geometric_mean([0, 1])
+
+
+class TestBatchResult:
+    def _record(self, seed, formed=True, cycles=100, bits=10):
+        return RunRecord(
+            seed=seed,
+            formed=formed,
+            terminated=formed,
+            steps=1000,
+            cycles=cycles,
+            epochs=10,
+            random_bits=bits,
+            coin_flips=bits,
+            float_draws=0,
+            distance=5.0,
+            reason="terminal" if formed else "max_steps",
+        )
+
+    def test_success_rate(self):
+        b = BatchResult("x")
+        b.runs = [self._record(0), self._record(1, formed=False)]
+        assert b.success_rate() == 0.5
+
+    def test_stats_over_successes_only(self):
+        b = BatchResult("x")
+        b.runs = [self._record(0, cycles=100), self._record(1, formed=False, cycles=9999)]
+        assert b.stat("cycles") == 100
+
+    def test_bits_per_cycle(self):
+        b = BatchResult("x")
+        b.runs = [self._record(0, cycles=100, bits=50)]
+        assert b.bits_per_cycle() == 0.5
+
+    def test_row_keys(self):
+        b = BatchResult("scenario-1")
+        b.runs = [self._record(0)]
+        row = b.row()
+        assert row["scenario"] == "scenario-1"
+        assert row["success"] == 1.0
+
+    def test_stat_aggregations(self):
+        b = BatchResult("x")
+        b.runs = [self._record(i, cycles=c) for i, c in enumerate([10, 20, 30])]
+        assert b.stat("cycles", "median") == 20
+        assert b.stat("cycles", "max") == 30
+        assert b.stat("cycles", "min") == 10
+
+    def test_unknown_agg_raises(self):
+        b = BatchResult("x")
+        b.runs = [self._record(0)]
+        with pytest.raises(ValueError):
+            b.stat("cycles", "mode")
+
+
+class TestRunBatch:
+    def test_small_batch(self):
+        pat = patterns.regular_polygon(7)
+        batch = run_batch(
+            "e2e",
+            lambda: FormPattern(pat),
+            lambda seed: RoundRobinScheduler(),
+            lambda seed: patterns.random_configuration(7, seed=seed),
+            seeds=[0, 1],
+            max_steps=120_000,
+        )
+        assert batch.n_runs() == 2
+        assert batch.success_rate() == 1.0
+        assert batch.bits_per_cycle() <= 1.0
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")

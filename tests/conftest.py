@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Vec2
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def polygon(n: int, radius: float = 1.0, phase: float = 0.0) -> list[Vec2]:
+    """Vertices of a regular n-gon around the origin."""
+    return [Vec2.polar(radius, phase + 2.0 * math.pi * i / n) for i in range(n)]
+
+
+def random_points(n: int, seed: int, spread: float = 1.0) -> list[Vec2]:
+    """Random points, pairwise separated (general position for our tolerances)."""
+    r = random.Random(seed)
+    pts: list[Vec2] = []
+    while len(pts) < n:
+        p = Vec2(r.uniform(-spread, spread), r.uniform(-spread, spread))
+        if all(p.dist(q) > 0.05 for q in pts):
+            pts.append(p)
+    return pts

@@ -1,0 +1,103 @@
+"""Unit tests for angle algebra."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Vec2,
+    ang,
+    angle_gaps,
+    angmin,
+    bisector_angle,
+    direction_angle,
+    half_line_angles,
+    min_angle,
+    min_angle_at,
+)
+
+
+class TestDirectionsAndAng:
+    def test_direction_angle_quadrants(self):
+        c = Vec2.zero()
+        assert abs(direction_angle(c, Vec2(1, 0)) - 0.0) < 1e-12
+        assert abs(direction_angle(c, Vec2(0, 1)) - math.pi / 2) < 1e-12
+        assert abs(direction_angle(c, Vec2(-1, 0)) - math.pi) < 1e-12
+        assert abs(direction_angle(c, Vec2(0, -1)) - 3 * math.pi / 2) < 1e-12
+
+    def test_ang_ccw(self):
+        v = Vec2.zero()
+        assert abs(ang(Vec2(1, 0), v, Vec2(0, 1)) - math.pi / 2) < 1e-12
+
+    def test_ang_cw(self):
+        v = Vec2.zero()
+        assert (
+            abs(ang(Vec2(1, 0), v, Vec2(0, 1), clockwise=True) - 3 * math.pi / 2)
+            < 1e-12
+        )
+
+    def test_ang_full_range(self):
+        v = Vec2.zero()
+        a = ang(Vec2(1, 0), v, Vec2(1, -0.001))
+        assert a > math.pi  # just below the axis, counterclockwise is long
+
+    def test_angmin_symmetric(self):
+        v = Vec2.zero()
+        a = angmin(Vec2(1, 0), v, Vec2(0, 1))
+        b = angmin(Vec2(0, 1), v, Vec2(1, 0))
+        assert abs(a - b) < 1e-12
+        assert abs(a - math.pi / 2) < 1e-12
+
+    def test_angmin_at_most_pi(self):
+        v = Vec2.zero()
+        assert angmin(Vec2(1, 0), v, Vec2(-1, -0.1)) <= math.pi
+
+
+class TestGapsAndHalfLines:
+    def test_angle_gaps_sum_to_2pi(self):
+        gaps = angle_gaps([0.1, 1.3, 2.9, 4.0, 5.5])
+        assert abs(sum(gaps) - 2 * math.pi) < 1e-9
+
+    def test_angle_gaps_square(self):
+        gaps = angle_gaps([0, math.pi / 2, math.pi, 3 * math.pi / 2])
+        assert all(abs(g - math.pi / 2) < 1e-12 for g in gaps)
+
+    def test_angle_gaps_empty(self):
+        assert angle_gaps([]) == []
+
+    def test_half_line_angles_merges_collinear(self):
+        c = Vec2.zero()
+        pts = [Vec2(1, 0), Vec2(2, 0), Vec2(0, 1)]
+        assert len(half_line_angles(c, pts)) == 2
+
+    def test_half_line_angles_sorted(self):
+        c = Vec2.zero()
+        angles = half_line_angles(c, [Vec2(0, -1), Vec2(1, 0), Vec2(-1, 1)])
+        assert angles == sorted(angles)
+
+    def test_half_line_at_center_raises(self):
+        with pytest.raises(ValueError):
+            half_line_angles(Vec2.zero(), [Vec2.zero()])
+
+    def test_min_angle_square(self):
+        c = Vec2.zero()
+        pts = [Vec2.polar(1, i * math.pi / 2) for i in range(4)]
+        assert abs(min_angle(c, pts) - math.pi / 2) < 1e-9
+
+    def test_min_angle_single_halfline(self):
+        c = Vec2.zero()
+        assert min_angle(c, [Vec2(1, 0), Vec2(2, 0)]) == math.inf
+
+    def test_min_angle_at(self):
+        c = Vec2.zero()
+        pts = [Vec2(1, 0), Vec2.polar(1, 0.3), Vec2.polar(1, 2.0)]
+        assert abs(min_angle_at(c, pts[0], pts) - 0.3) < 1e-9
+
+    def test_min_angle_at_no_other(self):
+        c = Vec2.zero()
+        assert min_angle_at(c, Vec2(1, 0), [Vec2(1, 0)]) == math.inf
+
+    def test_bisector(self):
+        assert abs(bisector_angle(0.0, math.pi / 2) - math.pi / 4) < 1e-12
+        # Bisector of the CCW arc from 3pi/2 to pi/2 passes through 0.
+        assert abs(bisector_angle(3 * math.pi / 2, math.pi / 2) - 0.0) < 1e-12

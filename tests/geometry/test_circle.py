@@ -1,0 +1,91 @@
+"""Unit tests for circles."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Circle,
+    Vec2,
+    arc_length,
+    chord_angle,
+    circle_from_three,
+    circle_from_two,
+)
+
+
+class TestCircle:
+    def test_contains(self):
+        c = Circle(Vec2.zero(), 1.0)
+        assert c.contains(Vec2(0.5, 0))
+        assert c.contains(Vec2(1, 0))
+        assert not c.contains(Vec2(1.1, 0))
+
+    def test_strictly_contains(self):
+        c = Circle(Vec2.zero(), 1.0)
+        assert c.strictly_contains(Vec2(0.5, 0))
+        assert not c.strictly_contains(Vec2(1, 0))
+
+    def test_on_circumference(self):
+        c = Circle(Vec2(1, 1), 2.0)
+        assert c.on_circumference(Vec2(3, 1))
+        assert not c.on_circumference(Vec2(1, 1))
+
+    def test_point_at_angle_roundtrip(self):
+        c = Circle(Vec2(2, -1), 0.5)
+        for theta in [0.0, 1.0, 3.0, 6.0]:
+            p = c.point_at(theta)
+            assert c.on_circumference(p)
+            assert abs(c.angle_of(p) - theta % (2 * math.pi)) < 1e-9
+
+    def test_scaled(self):
+        c = Circle(Vec2(1, 1), 2.0).scaled(0.5)
+        assert c.radius == 1.0
+        assert c.center == Vec2(1, 1)
+
+    def test_approx_eq(self):
+        a = Circle(Vec2.zero(), 1.0)
+        b = Circle(Vec2(1e-9, 0), 1.0 + 1e-9)
+        assert a.approx_eq(b)
+        assert not a.approx_eq(Circle(Vec2.zero(), 1.1))
+
+
+class TestConstruction:
+    def test_circle_from_two(self):
+        c = circle_from_two(Vec2(-1, 0), Vec2(1, 0))
+        assert c.center.approx_eq(Vec2.zero())
+        assert abs(c.radius - 1) < 1e-12
+
+    def test_circle_from_three_right_triangle(self):
+        c = circle_from_three(Vec2(0, 0), Vec2(2, 0), Vec2(0, 2))
+        assert c is not None
+        assert c.center.approx_eq(Vec2(1, 1))
+        assert abs(c.radius - math.sqrt(2)) < 1e-12
+
+    def test_circle_from_three_collinear(self):
+        assert circle_from_three(Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)) is None
+
+    def test_circumcircle_passes_through_all(self):
+        a, b, c = Vec2(0.3, 1.2), Vec2(-2, 0.5), Vec2(1, -1)
+        circ = circle_from_three(a, b, c)
+        for p in (a, b, c):
+            assert circ.on_circumference(p, 1e-9)
+
+
+class TestArcHelpers:
+    def test_arc_length(self):
+        assert abs(arc_length(2.0, math.pi) - 2 * math.pi) < 1e-12
+        assert arc_length(2.0, -1.0) == 2.0
+
+    def test_chord_angle(self):
+        # A chord equal to the radius subtends pi/3.
+        assert abs(chord_angle(1.0, 1.0) - math.pi / 3) < 1e-12
+        # Diameter chord subtends pi.
+        assert abs(chord_angle(1.0, 2.0) - math.pi) < 1e-12
+
+    def test_chord_angle_invalid_radius(self):
+        with pytest.raises(ValueError):
+            chord_angle(0.0, 1.0)
+
+    def test_chord_angle_clamps_long_chords(self):
+        assert abs(chord_angle(1.0, 2.5) - math.pi) < 1e-12

@@ -1,0 +1,62 @@
+"""Unit tests for convex hulls."""
+
+from repro.geometry import Vec2, convex_hull, is_inside_hull
+
+from ..conftest import polygon, random_points
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(0, 1)]
+        assert len(convex_hull(pts)) == 3
+
+    def test_interior_points_dropped(self):
+        pts = polygon(6) + [Vec2(0.1, 0.1), Vec2(-0.2, 0.05)]
+        assert len(convex_hull(pts)) == 6
+
+    def test_collinear_dropped(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(2, 0), Vec2(1, 1)]
+        hull = convex_hull(pts)
+        assert len(hull) == 3
+
+    def test_all_collinear(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(2, 0)]
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+
+    def test_duplicates(self):
+        pts = [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0), Vec2(0, 1)]
+        assert len(convex_hull(pts)) == 3
+
+    def test_ccw_orientation(self):
+        hull = convex_hull(polygon(5))
+        area = sum(hull[i].cross(hull[(i + 1) % len(hull)]) for i in range(len(hull)))
+        assert area > 0
+
+    def test_hull_contains_all_points(self):
+        pts = random_points(30, seed=3)
+        hull = convex_hull(pts)
+        for p in pts:
+            assert is_inside_hull(hull, p, 1e-7)
+
+
+class TestInsideHull:
+    def test_inside(self):
+        hull = convex_hull(polygon(4))
+        assert is_inside_hull(hull, Vec2(0.1, 0.1))
+
+    def test_outside(self):
+        hull = convex_hull(polygon(4))
+        assert not is_inside_hull(hull, Vec2(2, 2))
+
+    def test_on_edge(self):
+        hull = convex_hull([Vec2(0, 0), Vec2(2, 0), Vec2(0, 2)])
+        assert is_inside_hull(hull, Vec2(1, 0))
+
+    def test_segment_hull(self):
+        hull = convex_hull([Vec2(0, 0), Vec2(2, 0)])
+        assert is_inside_hull(hull, Vec2(1, 0))
+        assert not is_inside_hull(hull, Vec2(1, 0.5))
+
+    def test_empty(self):
+        assert not is_inside_hull([], Vec2(0, 0))

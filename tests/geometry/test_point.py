@@ -1,0 +1,132 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Vec2,
+    centroid,
+    contains_point,
+    dedupe_points,
+    lerp,
+    midpoint,
+    without_point,
+    without_points,
+)
+
+
+class TestVec2Algebra:
+    def test_add_sub(self):
+        assert (Vec2(1, 2) + Vec2(3, 4)) == Vec2(4, 6)
+        assert (Vec2(3, 4) - Vec2(1, 2)) == Vec2(2, 2)
+
+    def test_scalar_mul_div(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+        assert Vec2(3, -6) / 3 == Vec2(1, -2)
+
+    def test_neg(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == 11
+
+    def test_cross_sign(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1
+
+    def test_perp_is_rotation_by_90(self):
+        p = Vec2(3, 4)
+        assert p.perp().approx_eq(p.rotated(math.pi / 2))
+
+    def test_iter_unpack(self):
+        x, y = Vec2(5, 6)
+        assert (x, y) == (5, 6)
+
+
+class TestVec2Metrics:
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == 5
+
+    def test_norm_sq(self):
+        assert Vec2(3, 4).norm_sq() == 25
+
+    def test_dist(self):
+        assert Vec2(1, 1).dist(Vec2(4, 5)) == 5
+
+    def test_dist_sq(self):
+        assert Vec2(1, 1).dist_sq(Vec2(4, 5)) == 25
+
+    def test_normalized(self):
+        n = Vec2(3, 4).normalized()
+        assert abs(n.norm() - 1) < 1e-12
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2.zero().normalized()
+
+    def test_angle(self):
+        assert abs(Vec2(0, 2).angle() - math.pi / 2) < 1e-12
+
+    def test_unit(self):
+        u = Vec2.unit(math.pi / 3)
+        assert abs(u.norm() - 1) < 1e-12
+        assert abs(u.angle() - math.pi / 3) < 1e-12
+
+    def test_polar(self):
+        p = Vec2.polar(2.0, math.pi / 4)
+        assert abs(p.x - math.sqrt(2)) < 1e-12
+        assert abs(p.y - math.sqrt(2)) < 1e-12
+
+
+class TestVec2Transforms:
+    def test_rotation_about_origin(self):
+        assert Vec2(1, 0).rotated(math.pi / 2).approx_eq(Vec2(0, 1))
+
+    def test_rotation_about_point(self):
+        assert Vec2(2, 1).rotated(math.pi, about=Vec2(1, 1)).approx_eq(Vec2(0, 1))
+
+    def test_mirror(self):
+        assert Vec2(1, 2).mirrored_x() == Vec2(1, -2)
+
+    def test_rotation_preserves_norm(self):
+        p = Vec2(3.1, -2.7)
+        assert abs(p.rotated(1.234).norm() - p.norm()) < 1e-12
+
+
+class TestHelpers:
+    def test_centroid(self):
+        assert centroid([Vec2(0, 0), Vec2(2, 0), Vec2(1, 3)]).approx_eq(Vec2(1, 1))
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_lerp_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(2, 4)
+        assert lerp(a, b, 0.25).approx_eq(Vec2(0.5, 1))
+        assert midpoint(a, b).approx_eq(Vec2(1, 2))
+
+    def test_without_point(self):
+        pts = [Vec2(0, 0), Vec2(1, 1), Vec2(1, 1)]
+        out = without_point(pts, Vec2(1, 1))
+        assert len(out) == 2
+        assert contains_point(out, Vec2(1, 1))
+
+    def test_without_point_missing_raises(self):
+        with pytest.raises(ValueError):
+            without_point([Vec2(0, 0)], Vec2(5, 5))
+
+    def test_without_points(self):
+        pts = [Vec2(0, 0), Vec2(1, 1), Vec2(2, 2)]
+        out = without_points(pts, [Vec2(1, 1), Vec2(0, 0)])
+        assert out == [Vec2(2, 2)]
+
+    def test_dedupe(self):
+        pts = [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)]
+        assert len(dedupe_points(pts)) == 2
+
+    def test_contains_point_tolerant(self):
+        assert contains_point([Vec2(1, 1)], Vec2(1 + 1e-9, 1))
+        assert not contains_point([Vec2(1, 1)], Vec2(1.1, 1))

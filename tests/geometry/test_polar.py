@@ -1,0 +1,64 @@
+"""Unit tests for polar frames."""
+
+import math
+
+from repro.geometry import PolarCoord, PolarFrame, Vec2, angular_distance_on_circle
+
+
+class TestPolarFrame:
+    def test_reference_point_has_angle_zero(self):
+        frame = PolarFrame(Vec2(1, 1), 0.5, True)
+        p = Vec2(1, 1) + Vec2.polar(2.0, 0.5)
+        coord = frame.to_polar(p)
+        assert abs(coord.angle) < 1e-12
+        assert abs(coord.radius - 2.0) < 1e-12
+
+    def test_direct_orientation(self):
+        frame = PolarFrame(Vec2.zero(), 0.0, True)
+        assert abs(frame.angle_of(Vec2(0, 1)) - math.pi / 2) < 1e-12
+
+    def test_indirect_orientation(self):
+        frame = PolarFrame(Vec2.zero(), 0.0, False)
+        assert abs(frame.angle_of(Vec2(0, 1)) - 3 * math.pi / 2) < 1e-12
+
+    def test_roundtrip(self):
+        frame = PolarFrame(Vec2(2, -3), 1.2, False)
+        for p in [Vec2(5, 5), Vec2(2, 0), Vec2(-1, -4)]:
+            back = frame.to_point(frame.to_polar(p))
+            assert back.approx_eq(p, 1e-9)
+
+    def test_point_at(self):
+        frame = PolarFrame(Vec2.zero(), 0.0, True)
+        assert frame.point_at(1.0, math.pi / 2).approx_eq(Vec2(0, 1))
+
+    def test_center_maps_to_origin(self):
+        frame = PolarFrame(Vec2(3, 3), 0.7, True)
+        coord = frame.to_polar(Vec2(3, 3))
+        assert coord.radius == 0.0
+
+    def test_mirrored_flips_angles(self):
+        frame = PolarFrame(Vec2.zero(), 0.3, True)
+        p = Vec2.polar(1.0, 1.0)
+        a = frame.angle_of(p)
+        b = frame.mirrored().angle_of(p)
+        assert abs((a + b) % (2 * math.pi)) < 1e-9
+
+    def test_radius_of(self):
+        frame = PolarFrame(Vec2(1, 0), 0.0, True)
+        assert abs(frame.radius_of(Vec2(4, 4)) - 5.0) < 1e-12
+
+
+class TestPolarCoord:
+    def test_key_ordering(self):
+        a = PolarCoord(1.0, 0.5)
+        b = PolarCoord(1.0, 0.6)
+        c = PolarCoord(2.0, 0.0)
+        assert a.key() < b.key() < c.key()
+
+
+class TestAngularDistance:
+    def test_short_way(self):
+        assert abs(angular_distance_on_circle(0.1, 6.2) - 0.1831853) < 1e-4
+
+    def test_max_is_pi(self):
+        assert abs(angular_distance_on_circle(0.0, math.pi) - math.pi) < 1e-12

@@ -1,0 +1,106 @@
+"""Unit tests for the smallest enclosing circle."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Vec2,
+    boundary_points,
+    holds_sec,
+    point_holds_sec,
+    smallest_enclosing_circle,
+)
+
+from ..conftest import polygon, random_points
+
+
+class TestSmallestEnclosingCircle:
+    def test_single_point(self):
+        sec = smallest_enclosing_circle([Vec2(2, 3)])
+        assert sec.center.approx_eq(Vec2(2, 3))
+        assert sec.radius == 0
+
+    def test_two_points_diameter(self):
+        sec = smallest_enclosing_circle([Vec2(-1, 0), Vec2(1, 0)])
+        assert sec.center.approx_eq(Vec2.zero())
+        assert abs(sec.radius - 1) < 1e-9
+
+    def test_equilateral_triangle(self):
+        pts = polygon(3)
+        sec = smallest_enclosing_circle(pts)
+        assert sec.center.approx_eq(Vec2.zero(), 1e-7)
+        assert abs(sec.radius - 1) < 1e-7
+
+    def test_obtuse_triangle_uses_diameter(self):
+        pts = [Vec2(-1, 0), Vec2(1, 0), Vec2(0, 0.1)]
+        sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - 1) < 1e-9
+
+    def test_square(self):
+        sec = smallest_enclosing_circle(polygon(4))
+        assert abs(sec.radius - 1) < 1e-7
+
+    def test_contains_all_points(self):
+        pts = random_points(40, seed=7)
+        sec = smallest_enclosing_circle(pts)
+        for p in pts:
+            assert sec.contains(p)
+
+    def test_minimality_against_random_circles(self):
+        pts = random_points(15, seed=3)
+        sec = smallest_enclosing_circle(pts)
+        # Shrinking the radius must always exclude some point.
+        smaller = sec.scaled(1 - 1e-3)
+        assert any(not smaller.contains(p, 0.0) for p in pts)
+
+    def test_interior_point_ignored(self):
+        pts = polygon(5) + [Vec2(0.1, 0.1)]
+        sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - 1) < 1e-7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_enclosing_circle([])
+
+    def test_duplicate_points(self):
+        pts = [Vec2(0, 0), Vec2(0, 0), Vec2(2, 0)]
+        sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - 1) < 1e-9
+
+
+class TestBoundaryAndHolding:
+    def test_boundary_points_of_polygon(self):
+        pts = polygon(6)
+        assert len(boundary_points(pts)) == 6
+
+    def test_interior_not_boundary(self):
+        pts = polygon(6) + [Vec2.zero()]
+        assert len(boundary_points(pts)) == 6
+
+    def test_polygon_vertex_does_not_hold_sec(self):
+        # In a regular hexagon each vertex's antipode keeps the circle.
+        pts = polygon(6)
+        assert not point_holds_sec(pts, pts[0])
+
+    def test_diameter_pair_holds(self):
+        pts = [Vec2(-1, 0), Vec2(1, 0), Vec2(0, 0.2)]
+        assert point_holds_sec(pts, Vec2(1, 0))
+
+    def test_interior_point_does_not_hold(self):
+        pts = polygon(5) + [Vec2(0.2, 0.2)]
+        assert not point_holds_sec(pts, Vec2(0.2, 0.2))
+
+    def test_holds_sec_subset(self):
+        pts = [Vec2(-1, 0), Vec2(1, 0), Vec2(0, 0.2), Vec2(0.1, -0.1)]
+        assert holds_sec(pts, [Vec2(1, 0), Vec2(0, 0.2)])
+        assert not holds_sec(pts, [Vec2(0, 0.2), Vec2(0.1, -0.1)])
+
+    def test_sec_rotation_invariance(self):
+        pts = random_points(12, seed=11)
+        sec1 = smallest_enclosing_circle(pts)
+        theta = 0.77
+        rotated = [p.rotated(theta) for p in pts]
+        sec2 = smallest_enclosing_circle(rotated)
+        assert abs(sec1.radius - sec2.radius) < 1e-9
+        assert sec2.center.approx_eq(sec1.center.rotated(theta), 1e-7)

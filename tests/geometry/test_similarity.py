@@ -1,0 +1,108 @@
+"""Unit tests for point-set similarity (the paper's A ~ B relation)."""
+
+import math
+
+from repro.geometry import Similarity, Vec2, congruent, find_similarity, similar
+
+from ..conftest import polygon, random_points
+
+
+def transformed(points, scale=1.0, rotation=0.0, reflect=False, dx=0.0, dy=0.0):
+    t = Similarity(scale, rotation, reflect, Vec2(dx, dy))
+    return [t.apply(p) for p in points]
+
+
+class TestSimilar:
+    def test_identical(self):
+        pts = random_points(6, seed=1)
+        assert similar(pts, list(pts))
+
+    def test_translation(self):
+        pts = random_points(6, seed=2)
+        assert similar(pts, transformed(pts, dx=3, dy=-1))
+
+    def test_rotation(self):
+        pts = random_points(6, seed=3)
+        assert similar(pts, transformed(pts, rotation=1.234))
+
+    def test_scaling(self):
+        pts = random_points(6, seed=4)
+        assert similar(pts, transformed(pts, scale=0.37))
+
+    def test_reflection(self):
+        pts = random_points(6, seed=5)
+        assert similar(pts, transformed(pts, reflect=True))
+
+    def test_full_similarity(self):
+        pts = random_points(9, seed=6)
+        assert similar(
+            pts, transformed(pts, scale=2.5, rotation=2.0, reflect=True, dx=1, dy=1)
+        )
+
+    def test_permutation_invariance(self):
+        pts = random_points(7, seed=7)
+        shuffled = list(reversed(transformed(pts, rotation=0.5)))
+        assert similar(pts, shuffled)
+
+    def test_different_sets(self):
+        assert not similar(random_points(6, seed=8), random_points(6, seed=9))
+
+    def test_different_sizes(self):
+        pts = random_points(6, seed=10)
+        assert not similar(pts, pts[:5])
+
+    def test_small_perturbation_breaks(self):
+        pts = polygon(5)
+        other = list(pts)
+        other[0] = other[0] + Vec2(0.01, 0)
+        assert not similar(pts, other)
+
+    def test_multiset_multiplicity_respected(self):
+        a = [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)]
+        b = [Vec2(0, 0), Vec2(0.5, 0), Vec2(1, 0)]  # three distinct points
+        assert not similar(a, b)
+        assert similar(a, [Vec2(2, 2), Vec2(2, 2), Vec2(4, 2)])
+        # A double-at-one-end multiset maps to double-at-the-other-end by a
+        # half-turn, so those two ARE similar.
+        assert similar(a, [Vec2(0, 0), Vec2(1, 0), Vec2(1, 0)])
+
+    def test_single_points(self):
+        assert similar([Vec2(1, 1)], [Vec2(-5, 3)])
+
+    def test_all_coincident(self):
+        assert similar([Vec2(1, 1)] * 3, [Vec2(0, 0)] * 3)
+        assert not similar([Vec2(1, 1)] * 3, [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)])
+
+    def test_polygon_vs_itself_rotated(self):
+        pts = polygon(8)
+        assert similar(pts, polygon(8, phase=0.3))
+
+
+class TestFindSimilarity:
+    def test_witness_maps_points(self):
+        pts = random_points(7, seed=11)
+        image = transformed(pts, scale=1.7, rotation=0.9, reflect=True, dx=2)
+        t = find_similarity(pts, image)
+        assert t is not None
+        mapped = [t.apply(p) for p in pts]
+        for m in mapped:
+            assert any(m.approx_eq(q, 1e-6) for q in image)
+
+    def test_none_when_dissimilar(self):
+        assert find_similarity(random_points(5, 1), random_points(5, 2)) is None
+
+    def test_scale_recovered(self):
+        pts = random_points(6, seed=12)
+        t = find_similarity(pts, transformed(pts, scale=3.0))
+        assert t is not None
+        assert abs(t.scale - 3.0) < 1e-6
+
+
+class TestCongruent:
+    def test_congruent_isometry(self):
+        pts = random_points(6, seed=13)
+        assert congruent(pts, transformed(pts, rotation=1.0, dx=5))
+
+    def test_not_congruent_when_scaled(self):
+        pts = random_points(6, seed=14)
+        assert not congruent(pts, transformed(pts, scale=2.0))

@@ -1,0 +1,94 @@
+"""Unit tests for tolerant comparisons."""
+
+import math
+
+from repro.geometry.tolerance import (
+    EPS,
+    all_approx_eq,
+    angle_approx_eq,
+    approx_cmp,
+    approx_eq,
+    approx_ge,
+    approx_gt,
+    approx_le,
+    approx_lt,
+    clamp,
+    is_zero,
+    lex_cmp,
+    norm_angle,
+    norm_angle_signed,
+    snap,
+)
+
+
+class TestScalarComparisons:
+    def test_approx_eq_within(self):
+        assert approx_eq(1.0, 1.0 + EPS / 2)
+
+    def test_approx_eq_outside(self):
+        assert not approx_eq(1.0, 1.0 + 10 * EPS)
+
+    def test_is_zero(self):
+        assert is_zero(EPS / 2)
+        assert not is_zero(2 * EPS)
+
+    def test_le_ge(self):
+        assert approx_le(1.0 + EPS / 2, 1.0)
+        assert approx_ge(1.0 - EPS / 2, 1.0)
+
+    def test_strict_lt_gt(self):
+        assert not approx_lt(1.0, 1.0 + EPS / 2)
+        assert approx_lt(1.0, 1.1)
+        assert not approx_gt(1.0 + EPS / 2, 1.0)
+        assert approx_gt(1.1, 1.0)
+
+    def test_cmp(self):
+        assert approx_cmp(1.0, 1.0 + EPS / 2) == 0
+        assert approx_cmp(1.0, 2.0) == -1
+        assert approx_cmp(2.0, 1.0) == 1
+
+    def test_lex_cmp(self):
+        assert lex_cmp([1.0, 2.0], [1.0, 2.0 + EPS / 2]) == 0
+        assert lex_cmp([1.0, 2.0], [1.0, 3.0]) == -1
+        assert lex_cmp([2.0], [1.0, 9.0]) == 1
+
+    def test_lex_cmp_prefix(self):
+        assert lex_cmp([1.0], [1.0, 0.0]) == -1
+
+    def test_snap(self):
+        assert snap(1.0 + EPS / 2, 1.0) == 1.0
+        assert snap(1.5, 1.0) == 1.5
+
+    def test_clamp(self):
+        assert clamp(5, 0, 1) == 1
+        assert clamp(-5, 0, 1) == 0
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_all_approx_eq(self):
+        assert all_approx_eq([1.0, 1.0 + EPS / 2, 1.0 - EPS / 2])
+        assert not all_approx_eq([1.0, 1.1])
+        assert all_approx_eq([])
+
+
+class TestAngles:
+    def test_norm_angle_range(self):
+        for theta in [-10.0, -math.pi, 0.0, math.pi, 7.5, 100.0]:
+            v = norm_angle(theta)
+            assert 0.0 <= v < 2.0 * math.pi
+
+    def test_norm_angle_identity(self):
+        assert abs(norm_angle(1.0) - 1.0) < 1e-15
+
+    def test_norm_angle_wraps(self):
+        assert abs(norm_angle(2 * math.pi + 0.5) - 0.5) < 1e-12
+        assert abs(norm_angle(-0.5) - (2 * math.pi - 0.5)) < 1e-12
+
+    def test_norm_angle_signed_range(self):
+        for theta in [-10.0, -math.pi, 0.0, math.pi, 7.5]:
+            v = norm_angle_signed(theta)
+            assert -math.pi < v <= math.pi
+
+    def test_angle_approx_eq_mod_2pi(self):
+        assert angle_approx_eq(0.1, 0.1 + 2 * math.pi)
+        assert angle_approx_eq(0.0, 2 * math.pi - EPS / 2)
+        assert not angle_approx_eq(0.0, 0.1)

@@ -1,0 +1,81 @@
+"""Unit tests for similarity transforms."""
+
+import math
+
+import pytest
+
+from repro.geometry import Similarity, Vec2
+
+
+class TestConstructors:
+    def test_identity(self):
+        t = Similarity.identity()
+        assert t.apply(Vec2(3, 4)).approx_eq(Vec2(3, 4))
+        assert t.is_identity()
+
+    def test_translation(self):
+        t = Similarity.translation_of(Vec2(1, -2))
+        assert t.apply(Vec2(0, 0)).approx_eq(Vec2(1, -2))
+
+    def test_rotation_about_center(self):
+        t = Similarity.rotation_about(math.pi / 2, Vec2(1, 0))
+        assert t.apply(Vec2(2, 0)).approx_eq(Vec2(1, 1))
+        assert t.apply(Vec2(1, 0)).approx_eq(Vec2(1, 0))
+
+    def test_scaling_about_center(self):
+        t = Similarity.scaling(2.0, Vec2(1, 1))
+        assert t.apply(Vec2(2, 1)).approx_eq(Vec2(3, 1))
+        assert t.apply(Vec2(1, 1)).approx_eq(Vec2(1, 1))
+
+    def test_reflection(self):
+        t = Similarity.reflection_x()
+        assert t.apply(Vec2(1, 2)).approx_eq(Vec2(1, -2))
+        assert not t.preserves_orientation()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Similarity(0.0, 0.0, False, Vec2.zero())
+
+
+class TestComposition:
+    def test_compose_order(self):
+        rot = Similarity.rotation_about(math.pi / 2)
+        trans = Similarity.translation_of(Vec2(1, 0))
+        # trans o rot : rotate first, then translate.
+        t = trans.compose(rot)
+        assert t.apply(Vec2(1, 0)).approx_eq(Vec2(1, 1))
+
+    def test_compose_matches_sequential_application(self):
+        a = Similarity(2.0, 0.7, True, Vec2(0.3, -1))
+        b = Similarity(0.5, -1.2, False, Vec2(2, 2))
+        p = Vec2(1.234, -0.567)
+        assert a.compose(b).apply(p).approx_eq(a.apply(b.apply(p)), 1e-9)
+
+    def test_inverse_roundtrip(self):
+        t = Similarity(3.0, 1.1, True, Vec2(5, -2))
+        p = Vec2(0.1, 0.9)
+        assert t.inverse().apply(t.apply(p)).approx_eq(p, 1e-9)
+        assert t.apply(t.inverse().apply(p)).approx_eq(p, 1e-9)
+
+    def test_inverse_of_composition(self):
+        a = Similarity(2.0, 0.7, False, Vec2(0.3, -1))
+        b = Similarity(0.5, -1.2, True, Vec2(2, 2))
+        p = Vec2(-3, 4)
+        lhs = a.compose(b).inverse().apply(p)
+        rhs = b.inverse().compose(a.inverse()).apply(p)
+        assert lhs.approx_eq(rhs, 1e-9)
+
+    def test_apply_vector_ignores_translation(self):
+        t = Similarity(2.0, math.pi / 2, False, Vec2(100, 100))
+        assert t.apply_vector(Vec2(1, 0)).approx_eq(Vec2(0, 2))
+
+    def test_reflection_flips_orientation_of_composition(self):
+        r = Similarity.reflection_x()
+        assert r.compose(r).preserves_orientation()
+
+    def test_distance_scaling(self):
+        t = Similarity(3.0, 0.4, True, Vec2(1, 2))
+        a, b = Vec2(0, 0), Vec2(1, 1)
+        d_before = a.dist(b)
+        d_after = t.apply(a).dist(t.apply(b))
+        assert abs(d_after - 3.0 * d_before) < 1e-9

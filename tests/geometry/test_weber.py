@@ -1,0 +1,80 @@
+"""Unit tests for the Weber point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Vec2, is_weber_point, weber_objective, weber_point
+
+from ..conftest import polygon, random_points
+
+
+class TestWeberPoint:
+    def test_single_point(self):
+        assert weber_point([Vec2(2, 3)]).approx_eq(Vec2(2, 3))
+
+    def test_two_points_midpoint(self):
+        w = weber_point([Vec2(0, 0), Vec2(2, 0)])
+        assert w.approx_eq(Vec2(1, 0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weber_point([])
+
+    def test_regular_polygon_center(self):
+        for n in (3, 4, 5, 7, 8):
+            w = weber_point(polygon(n, phase=0.17))
+            assert w.approx_eq(Vec2.zero(), 1e-6)
+
+    def test_polygon_varied_radii_keeps_center(self):
+        # Equiangular sets have their center as Weber point regardless of
+        # radii — the key invariant the regular-set machinery relies on.
+        pts = [Vec2.polar(1.0 + 0.2 * i, 2 * math.pi * i / 7) for i in range(7)]
+        w = weber_point(pts)
+        assert w.approx_eq(Vec2.zero(), 1e-6)
+
+    def test_biangular_center(self):
+        n, a = 8, 0.5
+        b = 4 * math.pi / n - a
+        dirs, t = [], 0.0
+        for i in range(n):
+            dirs.append(t)
+            t += a if i % 2 == 0 else b
+        pts = [Vec2.polar(1.0 + 0.1 * i, d) for i, d in enumerate(dirs)]
+        assert weber_point(pts).approx_eq(Vec2.zero(), 1e-6)
+
+    def test_translation_equivariance(self):
+        pts = random_points(9, seed=5)
+        w1 = weber_point(pts)
+        off = Vec2(3, -7)
+        w2 = weber_point([p + off for p in pts])
+        assert w2.approx_eq(w1 + off, 1e-6)
+
+    def test_fermat_point_of_triangle(self):
+        # Equilateral triangle: Fermat point = centroid = center.
+        pts = polygon(3)
+        assert weber_point(pts).approx_eq(Vec2.zero(), 1e-6)
+
+    def test_majority_at_one_location(self):
+        # With >half the mass at one point, the Weber point is that point.
+        pts = [Vec2(0, 0)] * 4 + [Vec2(1, 0), Vec2(0, 1), Vec2(-1, -1)]
+        assert weber_point(pts).approx_eq(Vec2.zero(), 1e-4)
+
+    def test_objective_optimality(self):
+        pts = random_points(11, seed=8)
+        w = weber_point(pts)
+        base = weber_objective(pts, w)
+        for dx, dy in [(0.01, 0), (-0.01, 0), (0, 0.01), (0, -0.01)]:
+            assert weber_objective(pts, w + Vec2(dx, dy)) >= base - 1e-9
+
+    def test_is_weber_point(self):
+        pts = polygon(5)
+        assert is_weber_point(pts, Vec2.zero())
+        assert not is_weber_point(pts, Vec2(0.5, 0.5))
+
+    def test_invariance_under_radial_movement(self):
+        # Moving a point along the line through the Weber point keeps it.
+        pts = polygon(7, phase=0.3)
+        moved = list(pts)
+        moved[2] = moved[2] * 0.4  # slide toward the center
+        assert weber_point(moved).approx_eq(Vec2.zero(), 1e-6)

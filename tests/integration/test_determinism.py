@@ -1,0 +1,51 @@
+"""Reproducibility: identical seeds give identical executions."""
+
+from repro import patterns
+from repro.algorithms import FormPattern
+from repro.scheduler import AsyncScheduler, SsyncScheduler
+from repro.sim import Simulation
+
+
+def run_once(seed):
+    pat = patterns.regular_polygon(7)
+    sim = Simulation.random(
+        7,
+        FormPattern(pat),
+        AsyncScheduler(seed=seed * 31),
+        seed=seed,
+        max_steps=300_000,
+    )
+    res = sim.run()
+    return res
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a = run_once(5)
+        b = run_once(5)
+        assert a.steps == b.steps
+        assert a.metrics.random_bits == b.metrics.random_bits
+        assert abs(a.metrics.distance - b.metrics.distance) < 1e-12
+        for p, q in zip(
+            a.final_configuration.points(), b.final_configuration.points()
+        ):
+            assert p.approx_eq(q, 1e-15)
+
+    def test_different_seed_different_trajectory(self):
+        a = run_once(5)
+        b = run_once(6)
+        assert a.steps != b.steps or abs(
+            a.metrics.distance - b.metrics.distance
+        ) > 1e-9
+
+    def test_scheduler_seed_isolated_from_robot_seed(self):
+        pat = patterns.regular_polygon(7)
+        sims = [
+            Simulation.random(
+                7, FormPattern(pat), SsyncScheduler(seed=1), seed=7,
+                max_steps=300_000,
+            )
+            for _ in range(2)
+        ]
+        results = [s.run() for s in sims]
+        assert results[0].steps == results[1].steps

@@ -1,0 +1,130 @@
+"""Failure-injection and robustness integration tests.
+
+Pushes the model's adversarial knobs to their extremes: truncation to the
+δ floor on every move, pausing mid-move, starvation up to the fairness
+bound, extreme frame scales, and stale-compute stress.
+"""
+
+import math
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import FormPattern
+from repro.analysis import no_multiplicity_checker
+from repro.geometry import Vec2
+from repro.scheduler import AsyncScheduler, SsyncScheduler
+from repro.sim import Simulation, random_frames
+
+
+def ngon(n, phase=0.1):
+    return [Vec2.polar(1.0, phase + 2 * math.pi * i / n) for i in range(n)]
+
+
+class TestTruncationExtremes:
+    def test_always_truncated_ssync(self):
+        pat = patterns.regular_polygon(7)
+        sim = Simulation.random(
+            7,
+            FormPattern(pat),
+            SsyncScheduler(seed=1, truncate_prob=1.0),
+            seed=2,
+            delta=0.02,
+            max_steps=400_000,
+            checkers=[no_multiplicity_checker()],
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_large_delta_effectively_rigid(self):
+        pat = patterns.regular_polygon(7)
+        sim = Simulation.random(
+            7,
+            FormPattern(pat),
+            SsyncScheduler(seed=3, truncate_prob=1.0),
+            seed=4,
+            delta=10.0,  # delta exceeds every path: movement is rigid
+            max_steps=300_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+
+class TestPausingAdversary:
+    def test_heavy_pausing(self):
+        scheduler = AsyncScheduler(
+            seed=5,
+            pause_prob=0.7,
+            min_chunk=0.05,
+            max_chunk=0.3,
+            max_move_chunks=16,
+            compute_delay_prob=0.6,
+        )
+        pat = patterns.regular_polygon(7)
+        sim = Simulation.random(
+            7, FormPattern(pat), scheduler, seed=6, max_steps=600_000,
+            checkers=[no_multiplicity_checker()],
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+    def test_pausing_with_symmetric_start(self):
+        scheduler = AsyncScheduler.aggressive(seed=7)
+        pat = patterns.random_pattern(7, seed=5)
+        sim = Simulation(
+            ngon(7), FormPattern(pat), scheduler, seed=8, max_steps=600_000
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+
+class TestFrameExtremes:
+    @pytest.mark.parametrize("scales", [(1e-3, 1e-2), (10.0, 1000.0)])
+    def test_extreme_scales(self, scales):
+        lo, hi = scales
+        pat = patterns.regular_polygon(7)
+        sim = Simulation.random(
+            7,
+            FormPattern(pat),
+            SsyncScheduler(seed=9),
+            seed=10,
+            frame_policy=random_frames(True, lo, hi),
+            max_steps=300_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed
+
+
+class TestScaleInvariance:
+    def test_tiny_and_huge_configurations(self):
+        pat = patterns.regular_polygon(7)
+        for factor in (1e-3, 1e3):
+            initial = [
+                p * factor for p in patterns.random_configuration(7, seed=11)
+            ]
+            sim = Simulation(
+                initial,
+                FormPattern(pat),
+                SsyncScheduler(seed=12),
+                seed=13,
+                delta=1e-3 * factor,
+                max_steps=300_000,
+            )
+            res = sim.run()
+            assert res.terminated and res.pattern_formed, factor
+
+    def test_far_from_origin(self):
+        pat = patterns.regular_polygon(7)
+        offset = Vec2(500.0, -300.0)
+        initial = [
+            p + offset for p in patterns.random_configuration(7, seed=14)
+        ]
+        sim = Simulation(
+            initial,
+            FormPattern(pat),
+            SsyncScheduler(seed=15),
+            seed=16,
+            max_steps=300_000,
+        )
+        res = sim.run()
+        assert res.terminated and res.pattern_formed

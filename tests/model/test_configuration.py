@@ -1,0 +1,78 @@
+"""Unit tests for configurations."""
+
+from repro.geometry import Vec2
+from repro.model import Configuration, robots_on_circle, robots_within
+
+from ..conftest import polygon
+
+
+class TestConfiguration:
+    def test_from_points_and_len(self):
+        cfg = Configuration.from_points([Vec2(0, 0), Vec2(1, 1)])
+        assert len(cfg) == 2
+
+    def test_indexing(self):
+        cfg = Configuration.from_points([Vec2(0, 0), Vec2(1, 1)])
+        assert cfg[1] == Vec2(1, 1)
+
+    def test_iteration(self):
+        pts = [Vec2(0, 0), Vec2(1, 1)]
+        cfg = Configuration.from_points(pts)
+        assert list(cfg) == pts
+
+    def test_points_copy(self):
+        cfg = Configuration.from_points([Vec2(0, 0)])
+        pts = cfg.points()
+        pts.append(Vec2(9, 9))
+        assert len(cfg) == 1
+
+    def test_distinct_points_multiplicity(self):
+        cfg = Configuration.from_points([Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)])
+        distinct = cfg.distinct_points()
+        assert len(distinct) == 2
+        counts = {p.as_tuple(): m for p, m in distinct}
+        assert counts[(0.0, 0.0)] == 2
+        assert counts[(1.0, 0.0)] == 1
+
+    def test_multiplicity_of(self):
+        cfg = Configuration.from_points([Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)])
+        assert cfg.multiplicity_of(Vec2(0, 0)) == 2
+        assert cfg.multiplicity_of(Vec2(5, 5)) == 0
+
+    def test_has_multiplicity(self):
+        assert Configuration.from_points([Vec2(0, 0), Vec2(0, 0)]).has_multiplicity()
+        assert not Configuration.from_points([Vec2(0, 0), Vec2(1, 0)]).has_multiplicity()
+
+    def test_sec(self):
+        cfg = Configuration.from_points(polygon(4))
+        assert abs(cfg.sec().radius - 1) < 1e-7
+
+    def test_moved(self):
+        cfg = Configuration.from_points([Vec2(0, 0), Vec2(1, 1)])
+        moved = cfg.moved(0, Vec2(5, 5))
+        assert moved[0] == Vec2(5, 5)
+        assert cfg[0] == Vec2(0, 0)  # original untouched
+
+    def test_translated(self):
+        cfg = Configuration.from_points([Vec2(0, 0), Vec2(1, 0)])
+        t = cfg.translated(Vec2(1, 2))
+        assert t[0] == Vec2(1, 2)
+        assert t[1] == Vec2(2, 2)
+
+
+class TestSpatialQueries:
+    def test_robots_within(self):
+        pts = polygon(6) + [Vec2(0.1, 0.0)]
+        inner = robots_within(pts, Vec2.zero(), 0.5)
+        assert len(inner) == 1
+
+    def test_robots_within_excludes_boundary(self):
+        pts = [Vec2(0.5, 0)]
+        assert robots_within(pts, Vec2.zero(), 0.5) == []
+
+    def test_robots_on_circle(self):
+        from repro.geometry import Circle
+
+        pts = polygon(5) + [Vec2(0.3, 0)]
+        on = robots_on_circle(pts, Circle(Vec2.zero(), 1.0))
+        assert len(on) == 5

@@ -1,0 +1,61 @@
+"""Unit tests for local frames."""
+
+import random
+
+from repro.geometry import Vec2
+from repro.model import LocalFrame
+
+from ..conftest import random_points
+
+
+class TestLocalFrame:
+    def test_identity_at_centers_origin(self):
+        f = LocalFrame.identity_at(Vec2(3, 4))
+        assert f.observe(Vec2(3, 4)).approx_eq(Vec2.zero())
+
+    def test_observe_roundtrip(self):
+        f = LocalFrame.identity_at(Vec2(1, -1))
+        p = Vec2(7, 2)
+        assert f.to_global(f.observe(p)).approx_eq(p, 1e-9)
+
+    def test_random_frame_is_ego_centered(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            origin = Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            f = LocalFrame.random_at(origin, rng)
+            assert f.observe(origin).approx_eq(Vec2.zero(), 1e-9)
+
+    def test_random_frame_roundtrip(self):
+        rng = random.Random(2)
+        f = LocalFrame.random_at(Vec2(1, 2), rng)
+        for p in random_points(5, seed=3):
+            assert f.to_global(f.observe(p)).approx_eq(p, 1e-9)
+
+    def test_random_frame_preserves_relative_structure(self):
+        # Frames are similarities: distance RATIOS must be preserved.
+        rng = random.Random(4)
+        f = LocalFrame.random_at(Vec2.zero(), rng)
+        a, b, c = Vec2(1, 0), Vec2(0, 2), Vec2(-1, -1)
+        la, lb, lc = f.observe(a), f.observe(b), f.observe(c)
+        ratio_before = a.dist(b) / a.dist(c)
+        ratio_after = la.dist(lb) / la.dist(lc)
+        assert abs(ratio_before - ratio_after) < 1e-9
+
+    def test_reflection_occurs(self):
+        rng = random.Random(5)
+        flags = {LocalFrame.random_at(Vec2.zero(), rng).is_mirrored() for _ in range(50)}
+        assert flags == {True, False}
+
+    def test_no_reflection_when_disallowed(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            f = LocalFrame.random_at(Vec2.zero(), rng, allow_reflection=False)
+            assert not f.is_mirrored()
+
+    def test_scale_bounds(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            f = LocalFrame.random_at(Vec2.zero(), rng, min_scale=0.5, max_scale=2.0)
+            # |observe(unit)| equals the frame scale
+            scale = f.observe(Vec2(1, 0)).dist(f.observe(Vec2.zero()))
+            assert 0.5 - 1e-9 <= scale <= 2.0 + 1e-9

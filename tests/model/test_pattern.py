@@ -1,0 +1,68 @@
+"""Unit tests for patterns."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.model import Pattern
+
+from ..conftest import polygon, random_points
+
+
+class TestPattern:
+    def test_from_points(self):
+        p = Pattern.from_points(polygon(4))
+        assert len(p) == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Pattern.from_points([])
+
+    def test_normalized_unit_sec(self):
+        p = Pattern.from_points([q * 5 + Vec2(3, 3) for q in polygon(5)])
+        n = p.normalized()
+        sec = n.sec()
+        assert sec.center.approx_eq(Vec2.zero(), 1e-7)
+        assert abs(sec.radius - 1) < 1e-7
+
+    def test_normalize_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Pattern.from_points([Vec2(1, 1), Vec2(1, 1)]).normalized()
+
+    def test_distinct_points(self):
+        p = Pattern.from_points([Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)])
+        assert len(p.distinct_points()) == 2
+        assert p.has_multiplicity()
+
+    def test_no_multiplicity(self):
+        assert not Pattern.from_points(polygon(4)).has_multiplicity()
+
+    def test_second_closest_distance(self):
+        p = Pattern.from_points([Vec2(0.2, 0), Vec2(0.5, 0), Vec2(-1, 0), Vec2(1, 0)])
+        assert abs(p.second_closest_distance(Vec2.zero()) - 0.5) < 1e-9
+
+    def test_second_closest_needs_two(self):
+        with pytest.raises(ValueError):
+            Pattern.from_points([Vec2(1, 0)]).second_closest_distance(Vec2.zero())
+
+    def test_matches_similar(self):
+        p = Pattern.from_points(polygon(6))
+        rotated = [q.rotated(0.7) * 2 + Vec2(1, 1) for q in polygon(6)]
+        assert p.matches(rotated)
+
+    def test_matches_rejects(self):
+        p = Pattern.from_points(polygon(6))
+        assert not p.matches(random_points(6, seed=2))
+
+    def test_scaled_to(self):
+        from repro.geometry import Circle
+
+        p = Pattern.from_points(polygon(3))
+        target = Circle(Vec2(5, 5), 2.0)
+        scaled = p.scaled_to(target)
+        sec = scaled.sec()
+        assert sec.center.approx_eq(Vec2(5, 5), 1e-6)
+        assert abs(sec.radius - 2.0) < 1e-6
+
+    def test_iter(self):
+        pts = polygon(3)
+        assert list(Pattern.from_points(pts)) == pts

@@ -1,0 +1,64 @@
+"""Unit tests for snapshots."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.model import LocalFrame, Snapshot, make_snapshot
+
+from ..conftest import polygon
+
+
+class TestSnapshot:
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            Snapshot(tuple(), Vec2.zero())
+
+    def test_n(self):
+        s = Snapshot(tuple(polygon(4)), polygon(4)[0])
+        assert s.n() == 4
+
+    def test_others_removes_one_self(self):
+        pts = polygon(4)
+        s = Snapshot(tuple(pts), pts[0])
+        others = s.others()
+        assert len(others) == 3
+        assert all(not p.approx_eq(pts[0]) for p in others)
+
+    def test_distinct(self):
+        pts = [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)]
+        s = Snapshot(tuple(pts), Vec2(1, 0), multiplicity_detection=True)
+        d = dict((p.as_tuple(), m) for p, m in s.distinct())
+        assert d[(0.0, 0.0)] == 2
+
+    def test_sec(self):
+        s = Snapshot(tuple(polygon(5)), polygon(5)[0])
+        assert abs(s.sec().radius - 1) < 1e-7
+
+
+class TestMakeSnapshot:
+    def test_local_coordinates(self):
+        pts = polygon(4)
+        frame = LocalFrame.identity_at(pts[0])
+        s = make_snapshot(pts, pts[0], frame.observe)
+        assert s.me.approx_eq(Vec2.zero())
+        assert len(s.points) == 4
+
+    def test_without_detection_collapses_multiplicity(self):
+        pts = [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)]
+        frame = LocalFrame.identity_at(pts[2])
+        s = make_snapshot(pts, pts[2], frame.observe, multiplicity_detection=False)
+        assert len(s.points) == 2
+
+    def test_with_detection_keeps_duplicates(self):
+        pts = [Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)]
+        frame = LocalFrame.identity_at(pts[2])
+        s = make_snapshot(pts, pts[2], frame.observe, multiplicity_detection=True)
+        assert len(s.points) == 3
+
+    def test_moving_robots_look_static(self):
+        # A snapshot is positions only: nothing distinguishes a mover.
+        pts = polygon(4)
+        frame = LocalFrame.identity_at(pts[0])
+        s1 = make_snapshot(pts, pts[0], frame.observe)
+        s2 = make_snapshot(list(pts), pts[0], frame.observe)
+        assert s1.points == s2.points

@@ -1,0 +1,91 @@
+"""Unit tests for symmetricity and mirror axes."""
+
+import math
+
+from repro.geometry import Vec2
+from repro.model import (
+    has_mirror_symmetry,
+    is_asymmetric,
+    rotational_symmetry,
+    symmetry_axes,
+)
+
+from ..conftest import polygon, random_points
+
+
+class TestRotationalSymmetry:
+    def test_regular_polygons(self):
+        for n in (3, 4, 5, 6, 7, 8):
+            assert rotational_symmetry(polygon(n), Vec2.zero()) == n
+
+    def test_asymmetric_config(self):
+        pts = random_points(7, seed=1)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        assert rotational_symmetry(pts, c) == 1
+
+    def test_nested_polygons(self):
+        pts = polygon(8) + polygon(4, radius=0.5, phase=0.3)
+        assert rotational_symmetry(pts, Vec2.zero()) == 4
+
+    def test_incommensurate_rings(self):
+        pts = polygon(4) + polygon(3, radius=0.5, phase=0.2)
+        assert rotational_symmetry(pts, Vec2.zero()) == 1
+
+    def test_center_point_ignored(self):
+        pts = polygon(5) + [Vec2.zero()]
+        assert rotational_symmetry(pts, Vec2.zero()) == 5
+
+    def test_multiplicity_breaks_symmetry(self):
+        pts = polygon(4) + [polygon(4)[0]]  # double one vertex
+        assert rotational_symmetry(pts, Vec2.zero()) == 1
+
+    def test_two_antipodal(self):
+        assert rotational_symmetry([Vec2(1, 0), Vec2(-1, 0)], Vec2.zero()) == 2
+
+
+class TestMirrorSymmetry:
+    def test_polygon_axes_count(self):
+        for n in (3, 4, 5, 6):
+            assert len(symmetry_axes(polygon(n), Vec2.zero())) == n
+
+    def test_isoceles_has_one_axis(self):
+        pts = [Vec2(0, 1), Vec2(-1, -1), Vec2(1, -1)]
+        axes = symmetry_axes(pts, Vec2.zero())
+        assert len(axes) == 1
+        assert abs(axes[0] - math.pi / 2) < 1e-6
+
+    def test_scalene_no_axis(self):
+        pts = [Vec2(0, 1), Vec2(-1.2, -0.7), Vec2(0.8, -1.1)]
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        assert not has_mirror_symmetry(pts, c)
+
+    def test_random_no_axis(self):
+        pts = random_points(8, seed=2)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        assert not has_mirror_symmetry(pts, c)
+
+    def test_mirror_pair(self):
+        pts = [Vec2(1, 0.5), Vec2(1, -0.5), Vec2(-1, 0.3), Vec2(-1, -0.3)]
+        assert has_mirror_symmetry(pts, Vec2.zero())
+
+
+class TestIsAsymmetric:
+    def test_random_is_asymmetric(self):
+        pts = random_points(9, seed=3)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        assert is_asymmetric(pts, c)
+
+    def test_polygon_is_not(self):
+        assert not is_asymmetric(polygon(5), Vec2.zero())
+
+    def test_mirror_only_is_not(self):
+        pts = [Vec2(0, 1), Vec2(-1, -1), Vec2(1, -1)]
+        assert not is_asymmetric(pts, Vec2.zero())

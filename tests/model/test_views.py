@@ -1,0 +1,145 @@
+"""Unit tests for local views and the view order."""
+
+import math
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.model import (
+    compare_views,
+    equivalent_views,
+    local_view,
+    max_view_not_holding_sec,
+    max_view_points,
+    view_order,
+)
+
+from ..conftest import polygon, random_points
+
+
+class TestLocalView:
+    def test_view_of_center_robot_raises(self):
+        pts = polygon(4) + [Vec2.zero()]
+        with pytest.raises(ValueError):
+            local_view(pts, Vec2.zero(), Vec2.zero())
+
+    def test_own_coordinate_is_unit(self):
+        pts = polygon(5)
+        v = local_view(pts, Vec2.zero(), pts[0])
+        assert any(abs(a) < 1e-9 and abs(r - 1) < 1e-9 for a, r, _ in v.coords)
+
+    def test_polygon_views_equal(self):
+        pts = polygon(6, phase=0.3)
+        views = [local_view(pts, Vec2.zero(), p) for p in pts]
+        for v in views[1:]:
+            assert compare_views(views[0], v) == 0
+
+    def test_polygon_views_symmetric(self):
+        pts = polygon(6)
+        v = local_view(pts, Vec2.zero(), pts[0])
+        assert v.symmetric  # every vertex sits on a mirror axis
+
+    def test_asymmetric_views_differ(self):
+        pts = random_points(6, seed=3)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        views = [local_view(pts, c, p) for p in pts if not p.approx_eq(c)]
+        distinct = 0
+        for i in range(len(views)):
+            for j in range(i + 1, len(views)):
+                if compare_views(views[i], views[j]) != 0:
+                    distinct += 1
+        assert distinct == len(views) * (len(views) - 1) // 2
+
+    def test_rotation_invariance(self):
+        pts = random_points(7, seed=4)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        v1 = local_view(pts, c, pts[0])
+        theta = 1.1
+        rotated = [p.rotated(theta) for p in pts]
+        v2 = local_view(rotated, c.rotated(theta), rotated[0])
+        assert compare_views(v1, v2) == 0
+
+    def test_reflection_invariance(self):
+        # The view maximises over orientation, so mirroring cannot change it.
+        pts = random_points(7, seed=5)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        v1 = local_view(pts, c, pts[2])
+        mirrored = [p.mirrored_x() for p in pts]
+        v2 = local_view(mirrored, c.mirrored_x(), mirrored[2])
+        assert compare_views(v1, v2) == 0
+
+    def test_scaling_invariance(self):
+        pts = random_points(7, seed=6)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        v1 = local_view(pts, c, pts[1])
+        scaled = [p * 3.7 for p in pts]
+        v2 = local_view(scaled, c * 3.7, scaled[1])
+        assert compare_views(v1, v2) == 0
+
+    def test_multiplicity_distinguishes(self):
+        base = polygon(5)
+        single = base + [Vec2(0.3, 0.2)]
+        double = base + [Vec2(0.3, 0.2), Vec2(0.3, 0.2)]
+        v1 = local_view(single, Vec2.zero(), base[0])
+        v2 = local_view(double, Vec2.zero(), base[0])
+        assert compare_views(v1, v2) != 0
+
+
+class TestViewOrder:
+    def test_closest_robot_has_max_view(self):
+        # Library convention: closer to the center = greater view.
+        pts = polygon(6) + [Vec2(0.2, 0.1)]
+        top = max_view_points(pts, Vec2.zero())
+        assert len(top) == 1
+        assert top[0].approx_eq(Vec2(0.2, 0.1))
+
+    def test_order_is_descending(self):
+        pts = random_points(8, seed=7)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        ordered = view_order(pts, c)
+        for (_, v1), (_, v2) in zip(ordered, ordered[1:]):
+            assert compare_views(v1, v2) >= 0
+
+    def test_max_view_ties_on_polygon(self):
+        pts = polygon(5)
+        assert len(max_view_points(pts, Vec2.zero())) == 5
+
+    def test_center_robot_excluded(self):
+        pts = polygon(5) + [Vec2.zero()]
+        ordered = view_order(pts, Vec2.zero())
+        assert len(ordered) == 5
+
+    def test_max_view_not_holding_sec(self):
+        # Two diametral robots hold the SEC; the inner ones do not.
+        pts = [Vec2(-1, 0), Vec2(1, 0), Vec2(0.3, 0.4), Vec2(-0.2, 0.5), Vec2(0, -0.6), Vec2(0.5, 0.1), Vec2(-0.5, -0.2)]
+        top = max_view_not_holding_sec(pts, Vec2.zero())
+        assert top
+        for p in top:
+            assert not p.approx_eq(Vec2(-1, 0))
+            assert not p.approx_eq(Vec2(1, 0))
+
+
+class TestEquivalence:
+    def test_equivalent_on_symmetric_pair(self):
+        pts = polygon(4, phase=0.2)
+        v1 = local_view(pts, Vec2.zero(), pts[0])
+        v2 = local_view(pts, Vec2.zero(), pts[1])
+        assert equivalent_views(v1, v2)
+
+    def test_not_equivalent_different_configs(self):
+        pts = random_points(5, seed=9)
+        from repro.geometry import smallest_enclosing_circle
+
+        c = smallest_enclosing_circle(pts).center
+        views = [local_view(pts, c, p) for p in pts if not p.approx_eq(c)]
+        assert not equivalent_views(views[0], views[1])

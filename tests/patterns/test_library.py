@@ -1,0 +1,103 @@
+"""Unit tests for the pattern/workload library."""
+
+import math
+
+import pytest
+
+from repro import patterns
+from repro.geometry import Vec2
+
+
+class TestGenerators:
+    def test_regular_polygon(self):
+        pat = patterns.regular_polygon(6)
+        assert len(pat) == 6
+        assert all(abs(p.norm() - 1.0) < 1e-9 for p in pat)
+
+    def test_polygon_minimum(self):
+        with pytest.raises(ValueError):
+            patterns.regular_polygon(2)
+
+    def test_line_pattern(self):
+        pat = patterns.line_pattern(5)
+        assert len(pat) == 5
+        assert all(abs(p.y) < 1e-12 for p in pat)
+
+    def test_line_jitter(self):
+        pat = patterns.line_pattern(5, jitter=0.1, seed=1)
+        assert any(abs(p.y) > 1e-6 for p in pat)
+
+    def test_grid(self):
+        pat = patterns.grid_pattern(3, 4)
+        assert len(pat) == 12
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            patterns.grid_pattern(0, 4)
+
+    def test_star(self):
+        pat = patterns.star_pattern(5)
+        assert len(pat) == 10
+        radii = sorted(round(p.norm(), 6) for p in pat)
+        assert radii[0] < radii[-1]
+
+    def test_nested_rings(self):
+        pat = patterns.nested_rings([5, 4, 3])
+        assert len(pat) == 12
+
+    def test_nested_rings_empty(self):
+        with pytest.raises(ValueError):
+            patterns.nested_rings([])
+
+    def test_random_pattern_general_position(self):
+        pat = patterns.random_pattern(10, seed=3)
+        pts = list(pat.points)
+        for i, p in enumerate(pts):
+            for q in pts[i + 1 :]:
+                assert p.dist(q) >= 0.1 - 1e-9
+
+    def test_multiplicity_pattern(self):
+        base = patterns.regular_polygon(5)
+        pat = patterns.multiplicity_pattern(base, [0, 2])
+        assert len(pat) == 7
+        assert pat.has_multiplicity()
+
+    def test_center_multiplicity_pattern(self):
+        pat = patterns.center_multiplicity_pattern(6, 3)
+        assert len(pat) == 9
+
+    def test_gathering_pattern(self):
+        pat = patterns.gathering_pattern(5)
+        assert len(pat) == 5
+        assert len(pat.distinct_points()) == 1
+
+
+class TestRandomConfiguration:
+    def test_size(self):
+        cfg = patterns.random_configuration(9, seed=1)
+        assert len(cfg) == 9
+
+    def test_min_separation(self):
+        cfg = patterns.random_configuration(9, seed=2, min_separation=0.2)
+        pts = cfg.points()
+        for i, p in enumerate(pts):
+            for q in pts[i + 1 :]:
+                assert p.dist(q) >= 0.2 - 1e-9
+
+    def test_within_spread(self):
+        cfg = patterns.random_configuration(9, seed=3, spread=2.0)
+        assert all(p.norm() <= 2.0 + 1e-9 for p in cfg)
+
+    def test_reproducible(self):
+        a = patterns.random_configuration(6, seed=4).points()
+        b = patterns.random_configuration(6, seed=4).points()
+        assert all(p.approx_eq(q) for p, q in zip(a, b))
+
+    def test_distinct_seeds_differ(self):
+        a = patterns.random_configuration(6, seed=5).points()
+        b = patterns.random_configuration(6, seed=6).points()
+        assert any(not p.approx_eq(q) for p, q in zip(a, b))
+
+    def test_infeasible_raises(self):
+        with pytest.raises(RuntimeError):
+            patterns.random_configuration(50, seed=1, spread=0.1, min_separation=1.0)

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Similarity,
+    Vec2,
+    angle_gaps,
+    angmin,
+    norm_angle,
+    similar,
+    smallest_enclosing_circle,
+    weber_objective,
+    weber_point,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+points = st.builds(Vec2, coords, coords)
+
+
+def point_lists(min_size=1, max_size=12):
+    return st.lists(points, min_size=min_size, max_size=max_size)
+
+
+angles = st.floats(min_value=-10, max_value=10, allow_nan=False)
+scales = st.floats(min_value=0.1, max_value=10, allow_nan=False)
+
+
+@st.composite
+def similarities(draw):
+    return Similarity(
+        draw(scales), draw(angles), draw(st.booleans()), draw(points)
+    )
+
+
+class TestSecProperties:
+    @given(point_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_contains_all(self, pts):
+        sec = smallest_enclosing_circle(pts)
+        assert all(sec.contains(p, 1e-6) for p in pts)
+
+    @given(point_lists(min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_radius_at_least_half_diameter(self, pts):
+        sec = smallest_enclosing_circle(pts)
+        diameter = max(p.dist(q) for p in pts for q in pts)
+        assert sec.radius >= diameter / 2 - 1e-6
+        # And never larger than the diameter itself (loose upper bound).
+        assert sec.radius <= diameter / math.sqrt(3) + 1e-6
+
+    @given(point_lists(min_size=1), points)
+    @settings(max_examples=40, deadline=None)
+    def test_translation_equivariance(self, pts, offset):
+        sec1 = smallest_enclosing_circle(pts)
+        sec2 = smallest_enclosing_circle([p + offset for p in pts])
+        assert abs(sec1.radius - sec2.radius) < 1e-6
+        assert sec2.center.approx_eq(sec1.center + offset, 1e-5)
+
+
+class TestSimilarityProperties:
+    @given(point_lists(min_size=2, max_size=9), similarities())
+    @settings(max_examples=40, deadline=None)
+    def test_transformed_sets_are_similar(self, pts, t):
+        image = [t.apply(p) for p in pts]
+        assert similar(pts, image, 1e-5)
+
+    @given(point_lists(min_size=1, max_size=9))
+    @settings(max_examples=30, deadline=None)
+    def test_reflexive(self, pts):
+        assert similar(pts, list(pts))
+
+    @given(similarities(), points)
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_roundtrip(self, t, p):
+        assert t.inverse().apply(t.apply(p)).approx_eq(p, 1e-4)
+
+
+class TestWeberProperties:
+    @given(point_lists(min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_weber_minimises(self, pts):
+        w = weber_point(pts)
+        base = weber_objective(pts, w)
+        for dx, dy in [(0.05, 0), (0, 0.05), (-0.05, 0), (0, -0.05)]:
+            assert weber_objective(pts, w + Vec2(dx, dy)) >= base - 1e-4
+
+    @given(point_lists(min_size=1, max_size=10), points)
+    @settings(max_examples=30, deadline=None)
+    def test_translation_equivariance(self, pts, offset):
+        w1 = weber_point(pts)
+        w2 = weber_point([p + offset for p in pts])
+        assert w2.approx_eq(w1 + offset, 1e-4)
+
+
+class TestAngleProperties:
+    @given(st.lists(angles, min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_gaps_sum_to_2pi(self, raw):
+        gaps = angle_gaps(raw)
+        assert abs(sum(gaps) - 2 * math.pi) < 1e-6
+
+    @given(angles)
+    @settings(max_examples=60, deadline=None)
+    def test_norm_angle_idempotent(self, a):
+        assert abs(norm_angle(norm_angle(a)) - norm_angle(a)) < 1e-12
+
+    @given(points, points)
+    @settings(max_examples=60, deadline=None)
+    def test_angmin_range_and_symmetry(self, u, w):
+        v = Vec2(200, 200)  # vertex away from the sample box
+        a = angmin(u, v, w)
+        assert 0 <= a <= math.pi + 1e-12
+        assert abs(a - angmin(w, v, u)) < 1e-9

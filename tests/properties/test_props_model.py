@@ -1,0 +1,120 @@
+"""Property-based tests for views, symmetry and regular sets."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Similarity, Vec2, smallest_enclosing_circle
+from repro.model import compare_views, local_view, rotational_symmetry
+from repro.regular import check_regular_at, find_regular, find_shifted_regular
+
+
+@st.composite
+def general_positions(draw, min_size=4, max_size=10):
+    """Random point sets with pairwise separation (general position)."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    import random
+
+    rng = random.Random(seed)
+    pts = []
+    while len(pts) < n:
+        p = Vec2(rng.uniform(-1, 1), rng.uniform(-1, 1))
+        if all(p.dist(q) > 0.08 for q in pts):
+            pts.append(p)
+    return pts
+
+
+@st.composite
+def regular_sets(draw):
+    """Regular sets with random order, phase and radii."""
+    n = draw(st.integers(min_value=3, max_value=10))
+    phase = draw(st.floats(min_value=0, max_value=6.28, allow_nan=False))
+    radii = [
+        draw(st.floats(min_value=0.3, max_value=2.0, allow_nan=False))
+        for _ in range(n)
+    ]
+    return [
+        Vec2.polar(radii[i], phase + 2 * math.pi * i / n) for i in range(n)
+    ], n
+
+
+rotations = st.floats(min_value=0, max_value=6.28, allow_nan=False)
+
+
+class TestViewInvariance:
+    @given(general_positions(), rotations, st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_views_similarity_invariant(self, pts, theta, reflect):
+        c = smallest_enclosing_circle(pts).center
+        t = Similarity(1.7, theta, reflect, Vec2(3, -2))
+        image = [t.apply(p) for p in pts]
+        ci = t.apply(c)
+        for p in pts[:3]:
+            v1 = local_view(pts, c, p)
+            v2 = local_view(image, ci, t.apply(p))
+            assert compare_views(v1, v2) == 0
+
+    @given(general_positions())
+    @settings(max_examples=25, deadline=None)
+    def test_view_order_total(self, pts):
+        c = smallest_enclosing_circle(pts).center
+        views = [local_view(pts, c, p) for p in pts if not p.approx_eq(c)]
+        # Anti-symmetry of the comparator on this sample.
+        for a in views:
+            for b in views:
+                assert compare_views(a, b) == -compare_views(b, a)
+
+
+class TestRegularInvariance:
+    @given(regular_sets(), rotations)
+    @settings(max_examples=25, deadline=None)
+    def test_detection_rotation_invariant(self, reg, theta):
+        pts, n = reg
+        rotated = [p.rotated(theta) for p in pts]
+        geo = find_regular(rotated)
+        assert geo is not None
+        assert geo.size == n
+
+    @given(regular_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_radial_moves_preserve_regularity(self, reg):
+        pts, n = reg
+        moved = list(pts)
+        moved[0] = moved[0] * 0.5
+        assert find_regular(moved) is not None
+
+    @given(general_positions(min_size=7))
+    @settings(max_examples=20, deadline=None)
+    def test_random_sets_not_regular(self, pts):
+        # With >= 7 points in general position, neither regularity nor a
+        # shifted regular set should be detected.
+        assert find_regular(pts) is None
+        assert find_shifted_regular(pts) is None
+
+    @given(regular_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_symmetricity_divides_size(self, reg):
+        pts, n = reg
+        geo = find_regular(pts)
+        assume(geo is not None)
+        rho = rotational_symmetry(pts, geo.center)
+        assert n % rho == 0
+
+
+class TestShiftedProperties:
+    @given(
+        st.integers(min_value=7, max_value=10),
+        st.floats(min_value=0.02, max_value=0.24, allow_nan=False),
+        rotations,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_shift_roundtrip(self, n, eps, phase):
+        alpha = 2 * math.pi / n
+        pts = [Vec2.polar(1.0, phase + 2 * math.pi * i / n) for i in range(n)]
+        pts[0] = Vec2.polar(1.0, phase + eps * alpha)
+        s = find_shifted_regular(pts)
+        assert s is not None
+        assert abs(s.epsilon - eps) < 1e-3
+        assert s.shifted_robot.approx_eq(pts[0], 1e-5)

@@ -1,0 +1,96 @@
+"""Unit tests for Definition 2 (reg(P)) and c(P)."""
+
+import math
+
+from repro.geometry import Vec2
+from repro.regular import config_center, regular_set_of
+
+from ..conftest import polygon, random_points
+
+
+class TestConfigCenter:
+    def test_regular_config_uses_weber_center(self):
+        pts = [p + Vec2(2, 1) for p in polygon(7)]
+        assert config_center(pts).approx_eq(Vec2(2, 1), 1e-5)
+
+    def test_regular_with_varied_radii(self):
+        # c(P) of a regular set is NOT the SEC center in general.
+        pts = [Vec2.polar(1 + 0.5 * (i % 2), 2 * math.pi * i / 8) for i in range(8)]
+        c = config_center(pts)
+        assert c.approx_eq(Vec2.zero(), 1e-5)
+
+    def test_non_regular_uses_sec_center(self):
+        pts = random_points(9, seed=4)
+        from repro.geometry import smallest_enclosing_circle
+
+        assert config_center(pts).approx_eq(
+            smallest_enclosing_circle(pts).center, 1e-9
+        )
+
+
+class TestRegularSetOf:
+    def test_whole_config_regular(self):
+        reg = regular_set_of(polygon(7))
+        assert reg is not None
+        assert reg.whole
+        assert len(reg.members) == 7
+
+    def test_inner_polygon_detected(self):
+        pts = polygon(8) + polygon(4, radius=0.5, phase=0.3)
+        reg = regular_set_of(pts)
+        assert reg is not None
+        assert not reg.whole
+        assert len(reg.members) == 4
+        for m in reg.members:
+            assert abs(m.norm() - 0.5) < 1e-6
+
+    def test_divisibility_condition(self):
+        # Inner 3-gon with outer 8-gon: 3 does not divide 8, but the
+        # divisibility is on rho(P \ Q) which is 8 — 3 does not divide 8,
+        # so only other subsets can qualify.
+        pts = polygon(8) + polygon(3, radius=0.5, phase=0.3)
+        reg = regular_set_of(pts)
+        if reg is not None and not reg.whole:
+            rest_rho_divisible = len(reg.members)
+            assert 8 % reg.geometry.m == 0 or rest_rho_divisible != 3
+
+    def test_random_config_has_no_regular_set(self):
+        for seed in (1, 3, 5):
+            assert regular_set_of(random_points(9, seed=seed)) is None
+
+    def test_property1_rotational(self):
+        # Property 1: rho(P) > 1 implies a regular set exists.
+        pts = polygon(10) + polygon(5, radius=0.6, phase=0.25)
+        assert regular_set_of(pts) is not None
+
+    def test_property1_mirror(self):
+        # An axis of symmetry also implies a regular set (biangular pair
+        # structure): build a mirror-symmetric configuration.
+        pts = []
+        for x, y in [(0.9, 0.3), (0.5, 0.7), (0.2, 0.1)]:
+            pts.append(Vec2(x, y))
+            pts.append(Vec2(x, -y))
+        pts.append(Vec2(-1.0, 0.0))
+        pts.append(Vec2(1.0, 0.0))
+        assert regular_set_of(pts) is not None
+
+    def test_center_occupied_no_regular_set(self):
+        pts = polygon(6) + [Vec2.zero()]
+        # Whole config (with center robot) is not regular per Definition 1,
+        # and Definition 2 requires c(P) not occupied.
+        assert regular_set_of(pts) is None
+
+    def test_members_are_innermost_views(self):
+        # With the closest-first view order, reg(P) of a two-ring config
+        # is the inner ring.
+        pts = polygon(6) + polygon(3, radius=0.4, phase=0.5)
+        reg = regular_set_of(pts)
+        assert reg is not None
+        assert all(abs(m.norm() - 0.4) < 1e-6 for m in reg.members)
+
+    def test_complement(self):
+        pts = polygon(8) + polygon(4, radius=0.5, phase=0.3)
+        reg = regular_set_of(pts)
+        rest = reg.complement(pts)
+        assert len(rest) == 8
+        assert all(abs(p.norm() - 1.0) < 1e-6 for p in rest)

@@ -1,0 +1,46 @@
+"""Unit tests for the Nelder-Mead optimiser."""
+
+import math
+
+from repro.regular.optimize import nelder_mead
+
+
+class TestNelderMead:
+    def test_quadratic_bowl(self):
+        best, value = nelder_mead(
+            lambda x: (x[0] - 1) ** 2 + (x[1] + 2) ** 2, [0.0, 0.0]
+        )
+        assert abs(best[0] - 1) < 1e-4
+        assert abs(best[1] + 2) < 1e-4
+        assert value < 1e-8
+
+    def test_rosenbrock_progress(self):
+        def rosen(x):
+            return 100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2
+
+        best, value = nelder_mead(rosen, [-1.0, 1.0], step=0.2, max_iter=2000)
+        assert value < rosen([-1.0, 1.0])
+
+    def test_one_dimension(self):
+        # 1-D simplexes can stall on a symmetric straddle; the optimiser
+        # only needs step-level accuracy there (2-D is the real use).
+        best, value = nelder_mead(lambda x: (x[0] - 3) ** 2, [0.0], step=0.05)
+        assert abs(best[0] - 3) <= 0.06
+
+    def test_already_optimal(self):
+        best, value = nelder_mead(lambda x: x[0] ** 2, [0.0], step=0.01)
+        assert value < 1e-6
+
+    def test_respects_max_iter(self):
+        calls = []
+
+        def f(x):
+            calls.append(1)
+            return x[0] ** 2
+
+        nelder_mead(f, [5.0], max_iter=10)
+        assert len(calls) < 60  # bounded effort
+
+    def test_nonsmooth_objective(self):
+        best, value = nelder_mead(lambda x: abs(x[0] - 2) + abs(x[1]), [0.0, 1.0])
+        assert value < 0.05

@@ -1,0 +1,131 @@
+"""Unit tests for Definition 1 (m-regular and biangular sets)."""
+
+import math
+
+from repro.geometry import Vec2
+from repro.regular import check_regular_at, find_regular, is_regular
+
+from ..conftest import polygon, random_points
+
+
+def biangular(n: int, a: float, radius=lambda i: 1.0, phase: float = 0.0):
+    b = 4 * math.pi / n - a
+    dirs, t = [], phase
+    for i in range(n):
+        dirs.append(t)
+        t += a if i % 2 == 0 else b
+    return [Vec2.polar(radius(i), d) for i, d in enumerate(dirs)]
+
+
+class TestCheckRegularAt:
+    def test_polygon_is_regular(self):
+        geo = check_regular_at(polygon(7), Vec2.zero())
+        assert geo is not None
+        assert geo.m == 7
+        assert not geo.biangular
+        assert abs(geo.alpha - 2 * math.pi / 7) < 1e-9
+
+    def test_varied_radii_still_regular(self):
+        pts = [Vec2.polar(1 + 0.3 * i, 2 * math.pi * i / 5) for i in range(5)]
+        geo = check_regular_at(pts, Vec2.zero())
+        assert geo is not None and geo.m == 5
+
+    def test_wrong_center_rejected(self):
+        assert check_regular_at(polygon(6), Vec2(0.3, 0.0)) is None
+
+    def test_biangular_detected(self):
+        pts = biangular(8, 0.5)
+        geo = check_regular_at(pts, Vec2.zero())
+        assert geo is not None
+        assert geo.biangular
+        assert geo.m == 4
+        gaps = sorted([geo.alpha, geo.beta])
+        assert abs(gaps[0] - 0.5) < 1e-9
+
+    def test_biangular_odd_size_rejected(self):
+        # 5 points can never be biangular (m must be even).
+        pts = polygon(5)
+        geo = check_regular_at(pts, Vec2.zero())
+        assert geo is not None and not geo.biangular
+
+    def test_equiangular_wins_over_biangular(self):
+        geo = check_regular_at(polygon(8), Vec2.zero())
+        assert geo is not None and not geo.biangular and geo.m == 8
+
+    def test_two_points_antipodal(self):
+        geo = check_regular_at([Vec2(1, 0), Vec2(-2, 0)], Vec2.zero())
+        assert geo is not None and geo.m == 2
+
+    def test_two_points_not_antipodal_is_degenerate_biangular(self):
+        # Property 1 needs any two half-lines to qualify as the degenerate
+        # biangular set (its virtual axis = the bisector line).
+        geo = check_regular_at([Vec2(1, 0), Vec2(0, 1)], Vec2.zero())
+        assert geo is not None
+        assert geo.biangular and geo.m == 1
+        axes = geo.virtual_axes()
+        assert len(axes) == 1
+        assert abs(axes[0] - math.pi / 4) < 1e-9
+
+    def test_shared_half_line_rejected(self):
+        pts = [Vec2(1, 0), Vec2(2, 0), Vec2(-1, 0), Vec2(0, 1)]
+        assert check_regular_at(pts, Vec2.zero()) is None
+
+    def test_point_at_center_rejected(self):
+        pts = polygon(4) + [Vec2.zero()]
+        assert check_regular_at(pts, Vec2.zero()) is None
+
+    def test_single_point(self):
+        assert check_regular_at([Vec2(1, 0)], Vec2.zero()) is None
+
+    def test_virtual_axes_biangular(self):
+        pts = biangular(8, 0.5)
+        geo = check_regular_at(pts, Vec2.zero())
+        axes = geo.virtual_axes()
+        assert axes  # bisectors exist and are deduped mod pi
+        assert all(0 <= a < math.pi for a in axes)
+
+    def test_min_gap(self):
+        geo = check_regular_at(biangular(8, 0.5), Vec2.zero())
+        assert abs(geo.min_gap() - 0.5) < 1e-9
+
+
+class TestFindRegular:
+    def test_polygon_unknown_center(self):
+        shifted = [p + Vec2(3, -2) for p in polygon(7)]
+        geo = find_regular(shifted)
+        assert geo is not None
+        assert geo.center.approx_eq(Vec2(3, -2), 1e-5)
+
+    def test_varied_radii_unknown_center(self):
+        pts = [Vec2.polar(1 + 0.2 * i, 2 * math.pi * i / 7 + 0.4) for i in range(7)]
+        assert find_regular(pts) is not None
+
+    def test_biangular_unknown_center(self):
+        pts = [p + Vec2(1, 1) for p in biangular(8, 0.7, radius=lambda i: 1 + 0.1 * i)]
+        geo = find_regular(pts)
+        assert geo is not None and geo.biangular
+
+    def test_random_not_regular(self):
+        for seed in range(5):
+            assert find_regular(random_points(8, seed=seed)) is None
+
+    def test_is_regular_wrapper(self):
+        assert is_regular(polygon(5))
+        assert not is_regular(random_points(9, seed=3))
+
+    def test_three_points_fermat(self):
+        # Any triangle with all angles < 120 degrees is 3-regular about its
+        # Fermat point — a direct consequence of Definition 1.
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(0.4, 0.8)]
+        assert find_regular(pts) is not None
+
+    def test_radial_perturbation_preserves_regularity(self):
+        pts = polygon(7, phase=0.2)
+        pts[3] = pts[3] * 0.5
+        pts[5] = pts[5] * 1.4
+        assert find_regular(pts) is not None
+
+    def test_angular_perturbation_breaks_regularity(self):
+        pts = polygon(7, phase=0.2)
+        pts[3] = pts[3].rotated(0.05)
+        assert find_regular(pts) is None

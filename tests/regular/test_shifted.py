@@ -1,0 +1,145 @@
+"""Unit tests for Definition 3 (ε-shifted regular sets) and Theorem 1."""
+
+import math
+
+from repro.geometry import Vec2, min_angle
+from repro.regular import find_shifted_regular
+
+from ..conftest import polygon, random_points
+
+
+def shifted_polygon(n: int, eps: float, phase: float = 0.0, radius: float = 1.0):
+    """An n-gon with robot 0 shifted by eps * alpha on its circle, toward
+    its neighbour (decreasing its minimum angle)."""
+    pts = [Vec2.polar(radius, phase + 2 * math.pi * i / n) for i in range(n)]
+    alpha = 2 * math.pi / n
+    pts[0] = Vec2.polar(radius, phase + eps * alpha)
+    return pts
+
+
+class TestWholeConfigShifted:
+    def test_eighth_shift_detected(self):
+        s = find_shifted_regular(shifted_polygon(7, 1 / 8))
+        assert s is not None
+        assert abs(s.epsilon - 0.125) < 1e-4
+        assert s.whole
+
+    def test_quarter_shift_detected(self):
+        s = find_shifted_regular(shifted_polygon(8, 1 / 4))
+        assert s is not None
+        assert abs(s.epsilon - 0.25) < 1e-4
+
+    def test_over_quarter_not_shifted(self):
+        assert find_shifted_regular(shifted_polygon(7, 0.4)) is None
+
+    def test_unshifted_not_shifted(self):
+        assert find_shifted_regular(polygon(7)) is None
+
+    def test_random_not_shifted(self):
+        for seed in (0, 2, 4):
+            assert find_shifted_regular(random_points(9, seed=seed)) is None
+
+    def test_shifted_robot_identified(self):
+        pts = shifted_polygon(7, 1 / 8, phase=0.3)
+        s = find_shifted_regular(pts)
+        assert s is not None
+        assert s.shifted_robot.approx_eq(pts[0], 1e-6)
+
+    def test_virtual_position_on_grid(self):
+        pts = shifted_polygon(7, 1 / 8, phase=0.3)
+        s = find_shifted_regular(pts)
+        assert s.virtual_position.approx_eq(Vec2.polar(1.0, 0.3), 1e-4)
+
+    def test_varied_radii(self):
+        n = 7
+        pts = [Vec2.polar(1.0 + 0.2 * i, 2 * math.pi * i / n) for i in range(n)]
+        alpha = 2 * math.pi / n
+        pts[0] = Vec2.polar(1.0, alpha / 8)  # robot 0 is the closest
+        s = find_shifted_regular(pts)
+        assert s is not None
+        assert abs(s.epsilon - 0.125) < 1e-3
+
+    def test_shifted_robot_must_be_closest(self):
+        # Shift an OUTER robot of a varied-radius gon: condition (c) fails.
+        n = 7
+        pts = [Vec2.polar(1.0 + 0.2 * i, 2 * math.pi * i / n) for i in range(n)]
+        alpha = 2 * math.pi / n
+        pts[6] = Vec2.polar(1.0 + 1.2, 6 * alpha + alpha / 8)
+        s = find_shifted_regular(pts)
+        assert s is None or s.shifted_robot.approx_eq(pts[0], 1e-6)
+
+    def test_biangular_shift(self):
+        n, a = 8, 0.5
+        b = 4 * math.pi / n - a
+        dirs, t = [], 0.0
+        for i in range(n):
+            dirs.append(t)
+            t += a if i % 2 == 0 else b
+        pts = [Vec2.polar(1.0, d) for d in dirs]
+        amin = min(a, b)
+        pts[0] = Vec2.polar(1.0, dirs[0] + amin / 8)
+        s = find_shifted_regular(pts)
+        assert s is not None
+        assert abs(s.epsilon - 0.125) < 1e-3
+
+    def test_translation_invariance(self):
+        pts = [p + Vec2(4, -3) for p in shifted_polygon(7, 1 / 8)]
+        s = find_shifted_regular(pts)
+        assert s is not None
+        assert s.center.approx_eq(Vec2(4, -3), 1e-4)
+
+
+class TestSubsetShifted:
+    def _config(self, eps_shift: float):
+        outer = [Vec2.polar(1.0, 2 * math.pi * i / 8) for i in range(8)]
+        inner = [Vec2.polar(0.5, 0.3 + 2 * math.pi * i / 4) for i in range(1, 4)]
+        # alpha_min(P') = 0.3 here (inner grid direction vs outer direction).
+        inner.append(Vec2.polar(0.5, 0.3 - eps_shift * 0.3))
+        return outer + inner
+
+    def test_detected(self):
+        s = find_shifted_regular(self._config(1 / 8))
+        assert s is not None
+        assert not s.whole
+        assert len(s.members) == 4
+        assert abs(s.epsilon - 0.125) < 1e-4
+
+    def test_wrong_direction_rejected(self):
+        # Shifting away from the nearest half-line violates condition (b).
+        outer = [Vec2.polar(1.0, 2 * math.pi * i / 8) for i in range(8)]
+        inner = [Vec2.polar(0.5, 0.3 + 2 * math.pi * i / 4) for i in range(1, 4)]
+        inner.append(Vec2.polar(0.5, 0.3 + 0.3 / 8))
+        assert find_shifted_regular(outer + inner) is None
+
+    def test_unshifted_subset_not_detected(self):
+        s = find_shifted_regular(self._config(0.0))
+        assert s is None
+
+
+class TestTheorem1Uniqueness:
+    def test_unique_shifted_robot(self):
+        # Theorem 1: for n >= 7 the shifted robot is unique — detection
+        # must return the same robot regardless of rotation/reflection.
+        base = shifted_polygon(9, 1 / 8, phase=0.1)
+        s0 = find_shifted_regular(base)
+        for theta in (0.5, 1.7, 3.0):
+            rotated = [p.rotated(theta) for p in base]
+            s = find_shifted_regular(rotated)
+            assert s is not None
+            assert s.shifted_robot.approx_eq(s0.shifted_robot.rotated(theta), 1e-5)
+
+    def test_reflection_consistency(self):
+        base = shifted_polygon(8, 1 / 8, phase=0.2)
+        s0 = find_shifted_regular(base)
+        mirrored = [p.mirrored_x() for p in base]
+        s = find_shifted_regular(mirrored)
+        assert s is not None
+        assert s.shifted_robot.approx_eq(s0.shifted_robot.mirrored_x(), 1e-5)
+
+    def test_epsilon_scale_invariance(self):
+        base = shifted_polygon(7, 0.2)
+        scaled = [p * 5.0 for p in base]
+        s1 = find_shifted_regular(base)
+        s2 = find_shifted_regular(scaled)
+        assert s1 is not None and s2 is not None
+        assert abs(s1.epsilon - s2.epsilon) < 1e-4

@@ -1,0 +1,261 @@
+"""Unit tests for the LCM simulation engine."""
+
+import math
+
+import pytest
+
+from repro.algorithms.base import Algorithm
+from repro.geometry import Vec2
+from repro.model import Pattern
+from repro.scheduler import (
+    Action,
+    ActionKind,
+    FsyncScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim import Path, Phase, Simulation, global_frames
+
+from ..conftest import polygon
+
+
+class StepEast(Algorithm):
+    """Each robot walks east until the configuration's width reaches a
+    bound (oblivious: the decision is position-based, so the engine's
+    terminal probes cannot perturb it)."""
+
+    name = "step-east"
+
+    def __init__(self, bound: float = 3.0):
+        self.bound = bound
+
+    def compute(self, snapshot, ctx):
+        xs = [p.x for p in snapshot.points]
+        if max(xs) - min(xs) >= self.bound:
+            return None
+        west = min(snapshot.points, key=lambda p: (p.x, p.y))
+        if not snapshot.me.approx_eq(west):
+            return None
+        return Path.line(snapshot.me, Vec2(max(xs) + self.bound, snapshot.me.y))
+
+
+class NeverMove(Algorithm):
+    name = "never-move"
+
+    def compute(self, snapshot, ctx):
+        return None
+
+
+class CoinWalk(Algorithm):
+    """Moves only when the coin says so — exercises the terminal probe."""
+
+    name = "coin-walk"
+
+    def __init__(self):
+        self.enabled = True
+
+    def compute(self, snapshot, ctx):
+        if not self.enabled:
+            return None
+        if ctx.random_bit():
+            return Path.line(snapshot.me, snapshot.me + Vec2(0.1, 0))
+        return None
+
+
+def make_sim(alg, scheduler=None, n=3, **kwargs):
+    pts = polygon(max(n, 3))[:n]
+    kwargs.setdefault("frame_policy", global_frames())
+    return Simulation(pts, alg, scheduler or RoundRobinScheduler(), **kwargs)
+
+
+class TestBasicExecution:
+    def test_never_move_terminates(self):
+        sim = make_sim(NeverMove())
+        res = sim.run()
+        assert res.terminated
+        assert res.reason == "terminal"
+        assert res.metrics.distance == 0
+
+    def test_step_east_moves_and_terminates(self):
+        sim = make_sim(StepEast(bound=3.0), FsyncScheduler(), max_steps=2000)
+        res = sim.run()
+        assert res.terminated
+        assert res.metrics.distance > 0
+        xs = [p.x for p in res.final_configuration.points()]
+        assert max(xs) - min(xs) >= 3.0
+
+    def test_never_move_terminates_immediately(self):
+        # The engine recognises an initial terminal configuration before
+        # spending any scheduler steps.
+        sim = make_sim(NeverMove())
+        res = sim.run()
+        assert res.terminated
+        assert res.steps == 0
+
+    def test_metrics_cycles_counted(self):
+        sim = make_sim(StepEast(bound=2.0), max_steps=2000)
+        sim.run()
+        assert sim.metrics.cycles >= 1
+        assert sim.metrics.looks == sim.metrics.computes
+        assert sim.metrics.distance > 0
+
+    def test_coin_walk_counts_bits(self):
+        alg = CoinWalk()
+        sim = make_sim(alg, max_steps=60)
+        sim.run()
+        assert sim.metrics.random_bits == sim.metrics.coin_flips
+        assert sim.metrics.random_bits > 0
+
+    def test_max_steps_reached(self):
+        class Forever(Algorithm):
+            name = "forever"
+
+            def compute(self, snapshot, ctx):
+                return Path.line(snapshot.me, snapshot.me + Vec2(0.01, 0))
+
+        sim = make_sim(Forever(), max_steps=50)
+        res = sim.run()
+        assert not res.terminated
+        assert res.reason == "max_steps"
+
+    def test_pattern_formed_flag(self):
+        pattern = Pattern.from_points(polygon(3))
+        sim = make_sim(NeverMove(), pattern=pattern)
+        res = sim.run()
+        assert res.pattern_formed  # initial config IS the pattern
+
+    def test_trace_recording(self):
+        sim = make_sim(StepEast(bound=2.0), record_trace=True, max_steps=2000)
+        sim.run()
+        assert sim.trace is not None
+        assert len(sim.trace) > 0
+        assert sim.trace.configurations()
+
+
+class TestDeltaFloor:
+    def test_truncated_move_travels_at_least_delta(self):
+        class LongMove(Algorithm):
+            name = "long"
+
+            def __init__(self):
+                self.done = False
+
+            def compute(self, snapshot, ctx):
+                if self.done:
+                    return None
+                self.done = True
+                return Path.line(snapshot.me, snapshot.me + Vec2(10, 0))
+
+        pts = polygon(3)
+        sim = Simulation(
+            pts,
+            LongMove(),
+            RoundRobinScheduler(),
+            delta=0.5,
+            frame_policy=global_frames(),
+            max_steps=100,
+        )
+        # Manually inject a truncating MOVE with tiny fraction.
+        sim.apply(Action(ActionKind.LOOK, 0))
+        sim.apply(Action(ActionKind.COMPUTE, 0))
+        sim.apply(Action(ActionKind.MOVE, 0, fraction=1e-6, end_move=True))
+        assert sim.robots[0].distance_travelled >= 0.5 - 1e-9
+
+    def test_short_path_reaches_destination(self):
+        class TinyMove(Algorithm):
+            name = "tiny"
+
+            def __init__(self):
+                self.done = False
+
+            def compute(self, snapshot, ctx):
+                if self.done:
+                    return None
+                self.done = True
+                return Path.line(snapshot.me, snapshot.me + Vec2(0.1, 0))
+
+        pts = polygon(3)
+        sim = Simulation(
+            pts, TinyMove(), RoundRobinScheduler(), delta=0.5,
+            frame_policy=global_frames(), max_steps=100,
+        )
+        sim.apply(Action(ActionKind.LOOK, 0))
+        sim.apply(Action(ActionKind.COMPUTE, 0))
+        sim.apply(Action(ActionKind.MOVE, 0, fraction=0.01, end_move=True))
+        # delta exceeds the path: the robot simply arrives.
+        assert abs(sim.robots[0].distance_travelled - 0.1) < 1e-9
+
+
+class TestPhaseMachine:
+    def test_look_sets_observed(self):
+        sim = make_sim(NeverMove())
+        sim.apply(Action(ActionKind.LOOK, 0))
+        assert sim.robots[0].phase is Phase.OBSERVED
+        assert sim.robots[0].snapshot is not None
+
+    def test_illegal_look_raises(self):
+        sim = make_sim(NeverMove())
+        sim.apply(Action(ActionKind.LOOK, 0))
+        with pytest.raises(RuntimeError):
+            sim.apply(Action(ActionKind.LOOK, 0))
+
+    def test_illegal_compute_raises(self):
+        sim = make_sim(NeverMove())
+        with pytest.raises(RuntimeError):
+            sim.apply(Action(ActionKind.COMPUTE, 0))
+
+    def test_illegal_move_raises(self):
+        sim = make_sim(NeverMove())
+        with pytest.raises(RuntimeError):
+            sim.apply(Action(ActionKind.MOVE, 0))
+
+    def test_stale_snapshot_used(self):
+        # Robot 0 looks; robot 1 then moves; robot 0's compute still sees
+        # the OLD position of robot 1.
+        seen = {}
+
+        class Recorder(Algorithm):
+            name = "recorder"
+
+            def compute(self, snapshot, ctx):
+                seen["points"] = list(snapshot.points)
+                return None
+
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(0, 1)]
+        sim = Simulation(
+            pts, Recorder(), RoundRobinScheduler(),
+            frame_policy=global_frames(), max_steps=100,
+        )
+        sim.apply(Action(ActionKind.LOOK, 0))
+        sim.robots[1].position = Vec2(5, 5)  # robot 1 "moved" meanwhile
+        sim.apply(Action(ActionKind.COMPUTE, 0))
+        xs = sorted(round(p.x, 6) for p in seen["points"])
+        assert 1.0 in xs and 5.0 not in xs
+
+    def test_mid_move_observation(self):
+        class OneBigMove(Algorithm):
+            name = "big"
+
+            def __init__(self):
+                self.done = False
+
+            def compute(self, snapshot, ctx):
+                if self.done:
+                    return None
+                self.done = True
+                return Path.line(snapshot.me, snapshot.me + Vec2(2, 0))
+
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(0, 1)]
+        sim = Simulation(
+            pts, OneBigMove(), RoundRobinScheduler(),
+            frame_policy=global_frames(), max_steps=100,
+        )
+        sim.apply(Action(ActionKind.LOOK, 0))
+        sim.apply(Action(ActionKind.COMPUTE, 0))
+        sim.apply(Action(ActionKind.MOVE, 0, fraction=0.25, end_move=False))
+        assert sim.robots[0].phase is Phase.MOVING
+        assert sim.robots[0].position.approx_eq(Vec2(0.5, 0))
+        # Another robot LOOKing now sees the mover mid-path (snapshot is in
+        # robot 1's ego frame: global x=0.5 appears at local x=-0.5).
+        sim.apply(Action(ActionKind.LOOK, 1))
+        xs = [round(p.x, 3) for p in sim.robots[1].snapshot.points]
+        assert -0.5 in xs

@@ -1,0 +1,56 @@
+"""Unit tests for the engine's frame policies."""
+
+import random
+
+from repro.geometry import Vec2
+from repro.sim import chirality_frames, global_frames, random_frames
+
+
+class TestGlobalFrames:
+    def test_identity_translation_only(self):
+        policy = global_frames()
+        rng = random.Random(1)
+        frame = policy(0, Vec2(3, 4), rng)
+        assert frame.observe(Vec2(3, 4)).approx_eq(Vec2.zero())
+        assert frame.observe(Vec2(4, 4)).approx_eq(Vec2(1, 0))
+        assert not frame.is_mirrored()
+
+
+class TestChiralityFrames:
+    def test_never_mirrored(self):
+        policy = chirality_frames()
+        rng = random.Random(2)
+        for _ in range(30):
+            assert not policy(0, Vec2(1, 1), rng).is_mirrored()
+
+    def test_rotation_and_scale_vary(self):
+        policy = chirality_frames()
+        rng = random.Random(3)
+        images = {
+            policy(0, Vec2.zero(), rng).observe(Vec2(1, 0)).as_tuple()
+            for _ in range(10)
+        }
+        assert len(images) > 1
+
+
+class TestRandomFrames:
+    def test_mirroring_occurs(self):
+        policy = random_frames()
+        rng = random.Random(4)
+        flags = {policy(0, Vec2.zero(), rng).is_mirrored() for _ in range(40)}
+        assert flags == {True, False}
+
+    def test_scale_bounds_respected(self):
+        policy = random_frames(min_scale=0.5, max_scale=2.0)
+        rng = random.Random(5)
+        for _ in range(30):
+            frame = policy(0, Vec2.zero(), rng)
+            scale = frame.observe(Vec2(1, 0)).dist(frame.observe(Vec2.zero()))
+            assert 0.5 - 1e-9 <= scale <= 2.0 + 1e-9
+
+    def test_ego_centered(self):
+        policy = random_frames()
+        rng = random.Random(6)
+        origin = Vec2(7, -2)
+        frame = policy(3, origin, rng)
+        assert frame.observe(origin).approx_eq(Vec2.zero(), 1e-9)

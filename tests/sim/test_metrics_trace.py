@@ -1,0 +1,74 @@
+"""Unit tests for metrics and traces."""
+
+from repro.geometry import Vec2
+from repro.model import Configuration
+from repro.scheduler import ActionKind
+from repro.sim import Metrics, Trace
+
+
+class TestMetrics:
+    def test_start_initialises_counters(self):
+        m = Metrics()
+        m.start(3)
+        assert m.per_robot_cycles == [0, 0, 0]
+
+    def test_epoch_advances_when_all_cycled(self):
+        m = Metrics()
+        m.start(3)
+        m.record_cycle(0)
+        m.record_cycle(1)
+        assert m.epochs == 0
+        m.record_cycle(2)
+        assert m.epochs == 1
+
+    def test_epoch_counts_full_rounds(self):
+        m = Metrics()
+        m.start(2)
+        for _ in range(3):
+            m.record_cycle(0)
+            m.record_cycle(1)
+        assert m.epochs == 3
+
+    def test_bits_per_cycle(self):
+        m = Metrics()
+        m.start(1)
+        m.random_bits = 10
+        assert m.bits_per_cycle() == 0.0
+        m.record_cycle(0)
+        assert m.bits_per_cycle() == 10.0
+
+    def test_summary_keys(self):
+        m = Metrics()
+        m.start(1)
+        summary = m.summary()
+        for key in ("steps", "cycles", "epochs", "random_bits", "distance"):
+            assert key in summary
+
+
+class TestTrace:
+    def _config(self):
+        return Configuration.from_points([Vec2(0, 0), Vec2(1, 0)])
+
+    def test_records_events(self):
+        t = Trace()
+        t.record(1, ActionKind.LOOK, 0, self._config())
+        assert len(t) == 1
+        assert t.events()[0].kind is ActionKind.LOOK
+
+    def test_sampling(self):
+        t = Trace(sample_every=2)
+        for i in range(4):
+            t.record(i, ActionKind.MOVE, 0, self._config())
+        assert len(t.configurations()) == 2
+
+    def test_ring_buffer(self):
+        t = Trace(max_events=5)
+        for i in range(10):
+            t.record(i, ActionKind.MOVE, 0, self._config())
+        assert len(t) == 5
+        assert t.events()[0].step == 5
+
+    def test_iteration(self):
+        t = Trace()
+        t.record(0, ActionKind.LOOK, 1, self._config())
+        assert [e.robot_id for e in t] == [1]

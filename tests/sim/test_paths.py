@@ -1,0 +1,127 @@
+"""Unit tests for movement paths."""
+
+import math
+
+from repro.geometry import Circle, Similarity, Vec2
+from repro.sim import ArcSegment, LineSegment, Path
+
+
+class TestLineSegment:
+    def test_length(self):
+        assert LineSegment(Vec2(0, 0), Vec2(3, 4)).length() == 5
+
+    def test_point_at(self):
+        seg = LineSegment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.point_at(4).approx_eq(Vec2(4, 0))
+
+    def test_point_at_clamped(self):
+        seg = LineSegment(Vec2(0, 0), Vec2(1, 0))
+        assert seg.point_at(-1).approx_eq(Vec2(0, 0))
+        assert seg.point_at(99).approx_eq(Vec2(1, 0))
+
+    def test_degenerate(self):
+        seg = LineSegment(Vec2(1, 1), Vec2(1, 1))
+        assert seg.length() == 0
+        assert seg.point_at(0.5).approx_eq(Vec2(1, 1))
+
+
+class TestArcSegment:
+    def test_length(self):
+        arc = ArcSegment(Vec2.zero(), 2.0, 0.0, math.pi)
+        assert abs(arc.length() - 2 * math.pi) < 1e-12
+
+    def test_endpoints(self):
+        arc = ArcSegment(Vec2.zero(), 1.0, 0.0, math.pi / 2)
+        assert arc.start().approx_eq(Vec2(1, 0))
+        assert arc.end().approx_eq(Vec2(0, 1))
+
+    def test_negative_sweep(self):
+        arc = ArcSegment(Vec2.zero(), 1.0, 0.0, -math.pi / 2)
+        assert arc.end().approx_eq(Vec2(0, -1))
+
+    def test_point_stays_on_circle(self):
+        arc = ArcSegment(Vec2(1, 1), 0.5, 0.3, 2.0)
+        for s in [0.0, 0.2, 0.5, arc.length()]:
+            p = arc.point_at(s)
+            assert abs(p.dist(Vec2(1, 1)) - 0.5) < 1e-12
+
+
+class TestPath:
+    def test_line_constructor(self):
+        p = Path.line(Vec2(0, 0), Vec2(1, 0))
+        assert p.start().approx_eq(Vec2(0, 0))
+        assert p.destination().approx_eq(Vec2(1, 0))
+
+    def test_arc_to_direct(self):
+        circle = Circle(Vec2.zero(), 1.0)
+        p = Path.arc_to(circle, Vec2(1, 0), math.pi / 2, direct=True)
+        assert abs(p.length() - math.pi / 2) < 1e-12
+        assert p.destination().approx_eq(Vec2(0, 1))
+
+    def test_arc_to_indirect(self):
+        circle = Circle(Vec2.zero(), 1.0)
+        p = Path.arc_to(circle, Vec2(1, 0), math.pi / 2, direct=False)
+        assert abs(p.length() - 3 * math.pi / 2) < 1e-12
+
+    def test_chain(self):
+        p = Path.chain(
+            [
+                LineSegment(Vec2(0, 0), Vec2(1, 0)),
+                LineSegment(Vec2(1, 0), Vec2(1, 1)),
+            ]
+        )
+        assert abs(p.length() - 2) < 1e-12
+        assert p.point_at(1.5).approx_eq(Vec2(1, 0.5))
+
+    def test_is_trivial(self):
+        assert Path.line(Vec2(0, 0), Vec2(0, 0)).is_trivial()
+        assert not Path.line(Vec2(0, 0), Vec2(1, 0)).is_trivial()
+
+    def test_point_at_monotone(self):
+        circle = Circle(Vec2.zero(), 1.0)
+        p = Path.arc(circle, 0.0, math.pi)
+        prev = p.point_at(0.0)
+        travelled = 0.0
+        for i in range(1, 11):
+            s = p.length() * i / 10
+            cur = p.point_at(s)
+            travelled += prev.dist(cur)
+            prev = cur
+        # Chord sum approximates arc length from below.
+        assert travelled <= p.length() + 1e-9
+
+
+class TestTransformed:
+    def test_line_transform(self):
+        t = Similarity(2.0, math.pi / 2, False, Vec2(1, 0))
+        p = Path.line(Vec2(1, 0), Vec2(2, 0)).transformed(t)
+        assert p.start().approx_eq(Vec2(1, 2))
+        assert p.destination().approx_eq(Vec2(1, 4))
+
+    def test_arc_transform_scales_length(self):
+        t = Similarity(3.0, 0.7, False, Vec2(5, 5))
+        p = Path.arc(Circle(Vec2.zero(), 1.0), 0.0, 1.0)
+        q = p.transformed(t)
+        assert abs(q.length() - 3.0 * p.length()) < 1e-9
+
+    def test_arc_reflection_flips_sweep(self):
+        t = Similarity(1.0, 0.0, True, Vec2.zero())
+        p = Path.arc(Circle(Vec2.zero(), 1.0), 0.0, math.pi / 2)
+        q = p.transformed(t)
+        assert q.destination().approx_eq(Vec2(0, -1))
+
+    def test_transform_endpoint_consistency(self):
+        t = Similarity(0.5, -1.2, True, Vec2(-1, 2))
+        p = Path.arc(Circle(Vec2(1, 1), 2.0), 0.5, -2.0)
+        q = p.transformed(t)
+        assert q.start().approx_eq(t.apply(p.start()), 1e-9)
+        assert q.destination().approx_eq(t.apply(p.destination()), 1e-9)
+
+    def test_transform_midpoints_consistent(self):
+        t = Similarity(2.0, 0.9, True, Vec2(3, -1))
+        p = Path.arc(Circle(Vec2(0, 0), 1.0), 0.2, 1.5)
+        q = p.transformed(t)
+        for frac in (0.25, 0.5, 0.75):
+            a = t.apply(p.point_at(p.length() * frac))
+            b = q.point_at(q.length() * frac)
+            assert a.approx_eq(b, 1e-9)

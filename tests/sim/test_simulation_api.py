@@ -1,0 +1,86 @@
+"""Tests for the Simulation construction API and result object."""
+
+import pytest
+
+from repro import patterns
+from repro.algorithms import FormPattern
+from repro.model import Configuration
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import Simulation
+
+from ..conftest import polygon
+
+
+class TestConstruction:
+    def test_accepts_configuration(self):
+        cfg = Configuration.from_points(polygon(7))
+        sim = Simulation(cfg, FormPattern(patterns.regular_polygon(7)),
+                         RoundRobinScheduler())
+        assert len(sim.robots) == 7
+
+    def test_accepts_point_sequence(self):
+        sim = Simulation(polygon(7), FormPattern(patterns.regular_polygon(7)),
+                         RoundRobinScheduler())
+        assert len(sim.robots) == 7
+
+    def test_random_constructor(self):
+        sim = Simulation.random(
+            7, FormPattern(patterns.regular_polygon(7)), RoundRobinScheduler(),
+            seed=3,
+        )
+        assert len(sim.robots) == 7
+        pts = sim.points()
+        assert len({p.as_tuple() for p in pts}) == 7
+
+    def test_multiplicity_detection_follows_algorithm(self):
+        from repro.algorithms import MultiplicityFormPattern
+
+        alg = MultiplicityFormPattern(patterns.center_multiplicity_pattern(7, 2))
+        sim = Simulation.random(9, alg, RoundRobinScheduler(), seed=1)
+        assert sim.multiplicity_detection
+
+    def test_multiplicity_detection_override(self):
+        sim = Simulation.random(
+            7,
+            FormPattern(patterns.regular_polygon(7)),
+            RoundRobinScheduler(),
+            seed=1,
+            multiplicity_detection=True,
+        )
+        assert sim.multiplicity_detection
+
+
+class TestResult:
+    def test_result_fields(self):
+        sim = Simulation.random(
+            7, FormPattern(patterns.regular_polygon(7)), RoundRobinScheduler(),
+            seed=2, max_steps=200_000,
+        )
+        res = sim.run()
+        assert res.terminated
+        assert res.reason == "terminal"
+        assert res.steps == sim.step_count
+        assert res.metrics is sim.metrics
+        assert len(res.final_configuration) == 7
+
+    def test_pattern_formed_uses_algorithm_target(self):
+        pat = patterns.regular_polygon(7)
+        sim = Simulation(
+            [p * 3 for p in pat.points],
+            FormPattern(pat),
+            RoundRobinScheduler(),
+        )
+        res = sim.run()
+        assert res.pattern_formed
+
+    def test_explicit_pattern_overrides(self):
+        pat = patterns.regular_polygon(7)
+        other = patterns.random_pattern(7, seed=9)
+        sim = Simulation(
+            [p * 3 for p in pat.points],
+            FormPattern(pat),
+            RoundRobinScheduler(),
+            pattern=other,
+        )
+        res = sim.run()
+        assert not res.pattern_formed  # judged against `other`

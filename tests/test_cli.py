@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_command(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 8
+        assert args.scheduler == "async"
+
+    def test_invalid_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--scheduler", "bogus"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(
+            ["demo", "-n", "7", "--scheduler", "round-robin", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "formed=True" in out
+        assert "initial:" in out and "final:" in out
+
+    def test_batch_runs(self, capsys):
+        code = main(
+            [
+                "batch",
+                "-n",
+                "7",
+                "--runs",
+                "2",
+                "--scheduler",
+                "round-robin",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "success" in out
+
+    def test_election_runs(self, capsys):
+        code = main(
+            [
+                "election",
+                "-n",
+                "7",
+                "--pattern",
+                "random",
+                "--scheduler",
+                "round-robin",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "coin_flips" in out
