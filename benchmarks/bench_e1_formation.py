@@ -6,34 +6,35 @@ rates and convergence cost.  The theory predicts success 1.0 everywhere
 (n >= 7); the cost should grow with n.
 """
 
-from repro import FormPattern, patterns
-from repro.analysis import format_table, run_batch
-from repro.scheduler import AsyncScheduler
+from repro.analysis import ScenarioSpec, format_table
 
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 SEEDS = list(range(3))
 
 
-def e1_rows():
+def e1_specs():
     scenarios = [
-        ("n=7 polygon", patterns.regular_polygon(7), 7),
-        ("n=7 random", patterns.random_pattern(7, seed=5), 7),
-        ("n=9 rings", patterns.nested_rings([5, 4]), 9),
-        ("n=10 random", patterns.random_pattern(10, seed=6), 10),
+        ("n=7 polygon", ("polygon", {"n": 7}), 7),
+        ("n=7 random", ("random", {"n": 7, "seed": 5}), 7),
+        ("n=9 rings", ("rings", {"counts": [5, 4]}), 9),
+        ("n=10 random", ("random", {"n": 10, "seed": 6}), 10),
     ]
-    rows = []
-    for name, pattern, n in scenarios:
-        batch = run_batch(
-            name,
-            lambda pattern=pattern: FormPattern(pattern),
-            lambda seed: AsyncScheduler(seed=seed),
-            lambda seed, n=n: patterns.random_configuration(n, seed=seed),
-            seeds=SEEDS,
+    return [
+        ScenarioSpec(
+            name=name,
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": n}),
+            pattern=pattern,
             max_steps=400_000,
         )
-        rows.append(batch.row())
-    return rows
+        for name, pattern, n in scenarios
+    ]
+
+
+def e1_rows():
+    return [run_bench_batch(spec, SEEDS).row() for spec in e1_specs()]
 
 
 def test_e1_formation(benchmark):

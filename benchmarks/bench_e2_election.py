@@ -7,34 +7,25 @@ attempt, repeated until success — so expected coin flips grow with n but
 every run terminates.
 """
 
-import math
+from repro.analysis import ScenarioSpec, format_table
 
-from repro import FormPattern, patterns
-from repro.analysis import format_table, run_batch
-from repro.geometry import Vec2
-from repro.scheduler import RoundRobinScheduler
-
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 SEEDS = list(range(4))
-
-
-def ngon(n):
-    return [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / n) for i in range(n)]
 
 
 def e2_rows():
     rows = []
     for n in (7, 8, 10):
-        pattern = patterns.random_pattern(n, seed=5)
-        batch = run_batch(
-            f"n={n} symmetric start",
-            lambda pattern=pattern: FormPattern(pattern),
-            lambda seed: RoundRobinScheduler(),
-            lambda seed, n=n: ngon(n),
-            seeds=SEEDS,
+        spec = ScenarioSpec(
+            name=f"n={n} symmetric start",
+            algorithm="form-pattern",
+            scheduler="round-robin",
+            initial=("ngon", {"n": n}),
+            pattern=("random", {"n": n, "seed": 5}),
             max_steps=500_000,
         )
+        batch = run_bench_batch(spec, SEEDS)
         row = batch.row()
         row["coin_flips_mean"] = round(batch.stat("coin_flips"), 1)
         rows.append(row)

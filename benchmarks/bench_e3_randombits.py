@@ -6,45 +6,38 @@ each) and needs chirality.  Both are raced from identical symmetric
 starts; the table reports the measured budgets.
 """
 
-import math
+from repro.analysis import ScenarioSpec, format_table
 
-from repro import FormPattern, YamauchiYamashita, patterns
-from repro.analysis import format_table, run_batch
-from repro.geometry import Vec2
-from repro.scheduler import RoundRobinScheduler
-from repro.sim import chirality_frames
-
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 SEEDS = list(range(3))
 N = 7
 
 
-def ngon(n):
-    return [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / n) for i in range(n)]
-
-
 def e3_rows():
-    pattern = patterns.random_pattern(N, seed=5)
+    pattern = ("random", {"n": N, "seed": 5})
+    specs = [
+        ScenarioSpec(
+            name="formPattern (1 bit/flip, no chirality)",
+            algorithm="form-pattern",
+            scheduler="round-robin",
+            initial=("ngon", {"n": N}),
+            pattern=pattern,
+            max_steps=400_000,
+        ),
+        ScenarioSpec(
+            name="YY-style (64-bit draws, chirality)",
+            algorithm="yamauchi-yamashita",
+            scheduler="round-robin",
+            initial=("ngon", {"n": N}),
+            pattern=pattern,
+            frame_policy="chirality",
+            max_steps=400_000,
+        ),
+    ]
     rows = []
-    ours = run_batch(
-        "formPattern (1 bit/flip, no chirality)",
-        lambda: FormPattern(pattern),
-        lambda seed: RoundRobinScheduler(),
-        lambda seed: ngon(N),
-        seeds=SEEDS,
-        max_steps=400_000,
-    )
-    theirs = run_batch(
-        "YY-style (64-bit draws, chirality)",
-        lambda: YamauchiYamashita(pattern),
-        lambda seed: RoundRobinScheduler(),
-        lambda seed: ngon(N),
-        seeds=SEEDS,
-        frame_policy=chirality_frames(),
-        max_steps=400_000,
-    )
-    for batch in (ours, theirs):
+    for spec in specs:
+        batch = run_bench_batch(spec, SEEDS)
         row = batch.row()
         row["bits_mean"] = round(batch.stat("random_bits"), 1)
         row["float_draws"] = round(batch.stat("float_draws"), 1)

@@ -5,40 +5,37 @@ under three frame regimes.  Expected shape: the baseline only succeeds
 with a shared global frame; the paper's algorithm succeeds everywhere.
 """
 
-from repro import FormPattern, GlobalFrameFormation, patterns
-from repro.analysis import format_table, run_batch
-from repro.scheduler import SsyncScheduler
-from repro.sim import chirality_frames, global_frames, random_frames
+from repro.analysis import ScenarioSpec, format_table
 
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 SEEDS = list(range(3))
 N = 7
 
 
 def e4_rows():
-    pattern = patterns.random_pattern(N, seed=1)
+    pattern = ("random", {"n": N, "seed": 1})
     regimes = [
-        ("global frames", global_frames()),
-        ("chirality only", chirality_frames()),
-        ("no chirality", random_frames()),
+        ("global frames", "global"),
+        ("chirality only", "chirality"),
+        ("no chirality", "random"),
     ]
     rows = []
     for regime, policy in regimes:
-        for name, factory, budget in (
-            ("baseline", lambda: GlobalFrameFormation(pattern), 60_000),
-            ("formPattern", lambda: FormPattern(pattern), 400_000),
+        for name, algorithm, budget in (
+            ("baseline", "global-frame", 60_000),
+            ("formPattern", "form-pattern", 400_000),
         ):
-            batch = run_batch(
-                f"{name} / {regime}",
-                factory,
-                lambda seed: SsyncScheduler(seed=seed),
-                lambda seed: patterns.random_configuration(N, seed=seed),
-                seeds=SEEDS,
+            spec = ScenarioSpec(
+                name=f"{name} / {regime}",
+                algorithm=algorithm,
+                scheduler="ssync",
+                initial=("random", {"n": N}),
+                pattern=pattern,
                 frame_policy=policy,
                 max_steps=budget,
             )
-            rows.append(batch.row())
+            rows.append(run_bench_batch(spec, SEEDS).row())
     return rows
 
 

@@ -6,44 +6,37 @@ behaviour Yamauchi-Yamashita rule out by assumption) — with cost growing
 as the adversary gets crueler and δ smaller.
 """
 
-from repro import FormPattern, patterns
-from repro.analysis import format_table, run_batch
-from repro.scheduler import (
-    AsyncScheduler,
-    FsyncScheduler,
-    RoundRobinScheduler,
-    SsyncScheduler,
-)
+from repro.analysis import ScenarioSpec, format_table
 
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 SEEDS = list(range(3))
 N = 7
 
 
 def e5_rows():
-    pattern = patterns.regular_polygon(N)
     scenarios = [
-        ("FSYNC", lambda s: FsyncScheduler(), 1e-3),
-        ("ROUND-ROBIN", lambda s: RoundRobinScheduler(), 1e-3),
-        ("SSYNC", lambda s: SsyncScheduler(seed=s), 1e-3),
-        ("SSYNC trunc", lambda s: SsyncScheduler(seed=s, truncate_prob=0.5), 1e-3),
-        ("ASYNC", lambda s: AsyncScheduler(seed=s), 1e-3),
-        ("ASYNC aggressive", lambda s: AsyncScheduler.aggressive(s), 1e-3),
-        ("ASYNC agg, delta=1e-4", lambda s: AsyncScheduler.aggressive(s), 1e-4),
-        ("ASYNC agg, delta=0.1", lambda s: AsyncScheduler.aggressive(s), 1e-1),
+        ("FSYNC", "fsync", 1e-3),
+        ("ROUND-ROBIN", "round-robin", 1e-3),
+        ("SSYNC", "ssync", 1e-3),
+        ("SSYNC trunc", ("ssync", {"truncate_prob": 0.5}), 1e-3),
+        ("ASYNC", "async", 1e-3),
+        ("ASYNC aggressive", "async-aggressive", 1e-3),
+        ("ASYNC agg, delta=1e-4", "async-aggressive", 1e-4),
+        ("ASYNC agg, delta=0.1", "async-aggressive", 1e-1),
     ]
     rows = []
-    for name, factory, delta in scenarios:
-        batch = run_batch(
-            name,
-            lambda: FormPattern(pattern),
-            factory,
-            lambda seed: patterns.random_configuration(N, seed=seed + 30),
-            seeds=SEEDS,
+    for name, scheduler, delta in scenarios:
+        spec = ScenarioSpec(
+            name=name,
+            algorithm="form-pattern",
+            scheduler=scheduler,
+            initial=("random", {"n": N, "seed_offset": 30}),
+            pattern=("polygon", {"n": N}),
             max_steps=500_000,
             delta=delta,
         )
+        batch = run_bench_batch(spec, SEEDS)
         row = batch.row()
         row["steps_mean"] = round(batch.stat("steps"), 0)
         rows.append(row)

@@ -7,11 +7,9 @@ CPU; the success threshold accounts for that (the extension is also
 exercised, with generous budgets, in tests/algorithms/test_multiplicity.py).
 """
 
-from repro import MultiplicityFormPattern, patterns
-from repro.analysis import format_table, run_batch
-from repro.scheduler import RoundRobinScheduler
+from repro.analysis import ScenarioSpec, format_table
 
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 #: Initial-configuration seeds verified to converge quickly (the point of
 #: E6 is the extension's correctness, not adversary stress — E5 covers
@@ -23,26 +21,32 @@ def e6_rows():
     scenarios = [
         (
             "center stack x2 (n=9)",
-            patterns.center_multiplicity_pattern(7, 2),
+            ("center-multiplicity", {"n_outer": 7, "center_count": 2}),
             9,
         ),
         (
             "doubled point (n=8)",
-            patterns.multiplicity_pattern(patterns.random_pattern(7, seed=9), [3]),
+            (
+                "multiplicity",
+                {
+                    "base": ("random", {"n": 7, "seed": 9}),
+                    "doubled_indices": [3],
+                },
+            ),
             8,
         ),
     ]
     rows = []
     for name, pattern, n in scenarios:
-        batch = run_batch(
-            name,
-            lambda pattern=pattern: MultiplicityFormPattern(pattern),
-            lambda seed: RoundRobinScheduler(),
-            lambda seed, n=n: patterns.random_configuration(n, seed=seed),
-            seeds=SEEDS,
+        spec = ScenarioSpec(
+            name=name,
+            algorithm="multiplicity-form-pattern",
+            scheduler="round-robin",
+            initial=("random", {"n": n}),
+            pattern=pattern,
             max_steps=100_000,
         )
-        rows.append(batch.row())
+        rows.append(run_bench_batch(spec, SEEDS).row())
     return rows
 
 

@@ -8,44 +8,40 @@ starts, showing the algorithm is correct across the range and how the
 constants trade election speed against movement.
 """
 
-import math
+from repro.analysis import ScenarioSpec, format_table
 
-from repro import FormPattern, patterns
-from repro.algorithms import Tuning
-from repro.analysis import format_table, run_batch
-from repro.geometry import Vec2
-from repro.scheduler import RoundRobinScheduler
-
-from .conftest import write_result
+from .conftest import run_bench_batch, write_result
 
 SEEDS = list(range(3))
 N = 7
 
 
-def ngon(n):
-    return [Vec2.polar(1.0, 0.1 + 2 * math.pi * i / n) for i in range(n)]
-
-
 def e8_rows():
-    pattern = patterns.random_pattern(N, seed=5)
     variants = [
-        ("paper defaults (1/8, 1/4, 7/8)", Tuning()),
-        ("small shifts (1/16, 3/16)", Tuning(shift_small=1 / 16, shift_big=3 / 16)),
-        ("wide shifts (3/16, 1/4)", Tuning(shift_small=3 / 16, shift_big=1 / 4)),
-        ("eager election (3/4)", Tuning(elect_threshold=0.75)),
-        ("timid election (15/16)", Tuning(elect_threshold=15 / 16)),
-        ("small away cap (1/14)", Tuning(away_cap=1 / 14)),
+        ("paper defaults (1/8, 1/4, 7/8)", {}),
+        (
+            "small shifts (1/16, 3/16)",
+            {"shift_small": 1 / 16, "shift_big": 3 / 16},
+        ),
+        (
+            "wide shifts (3/16, 1/4)",
+            {"shift_small": 3 / 16, "shift_big": 1 / 4},
+        ),
+        ("eager election (3/4)", {"elect_threshold": 0.75}),
+        ("timid election (15/16)", {"elect_threshold": 15 / 16}),
+        ("small away cap (1/14)", {"away_cap": 1 / 14}),
     ]
     rows = []
     for name, tuning in variants:
-        batch = run_batch(
-            name,
-            lambda tuning=tuning: FormPattern(pattern, tuning=tuning),
-            lambda seed: RoundRobinScheduler(),
-            lambda seed: ngon(N),
-            seeds=SEEDS,
+        spec = ScenarioSpec(
+            name=name,
+            algorithm=("form-pattern", {"tuning": tuning} if tuning else {}),
+            scheduler="round-robin",
+            initial=("ngon", {"n": N}),
+            pattern=("random", {"n": N, "seed": 5}),
             max_steps=500_000,
         )
+        batch = run_bench_batch(spec, SEEDS)
         row = batch.row()
         row["coin_flips_mean"] = round(batch.stat("coin_flips"), 1)
         rows.append(row)
@@ -61,6 +57,8 @@ def test_e8_ablation(benchmark):
 
 def test_e8_invalid_tunings_rejected():
     import pytest
+
+    from repro.algorithms import Tuning
 
     with pytest.raises(ValueError):
         Tuning(shift_small=0.3, shift_big=0.2)

@@ -4,13 +4,32 @@ Every ``bench_eN_*.py`` regenerates one experiment of EXPERIMENTS.md: it
 runs the workload under ``pytest-benchmark`` (so regressions in runtime
 are visible) and writes the experiment's result table to
 ``benchmarks/results/`` while also echoing it to stdout.
+
+The batch-driven experiments go through the parallel runner
+(:func:`repro.analysis.run_batch_parallel`) over registry scenario
+specs; parallel execution is bit-for-bit equivalent to serial (pinned by
+``tests/analysis/test_parallel_equivalence.py``), so the tables are
+unchanged while the wall-clock drops with the worker count.  Set
+``REPRO_BENCH_WORKERS=1`` to force the serial reference path.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
+from repro.analysis import BatchResult, ScenarioSpec, run_batch_parallel
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", str(min(4, os.cpu_count() or 1)))
+)
+
+
+def run_bench_batch(spec: ScenarioSpec, seeds) -> BatchResult:
+    """Run one experiment scenario on the benchmark worker pool."""
+    return run_batch_parallel(spec, seeds, workers=BENCH_WORKERS)
 
 
 def write_result(name: str, text: str) -> None:

@@ -8,6 +8,17 @@ from .checker import (
     no_multiplicity_checker,
     sec_radius_monitor,
 )
+from .journal import RunJournal
+from .parallel import failure_record, run_batch_parallel, run_seed
+from .scenarios import (
+    BuiltScenario,
+    ScenarioSpec,
+    register_algorithm,
+    register_frame_policy,
+    register_initial,
+    register_pattern,
+    register_scheduler,
+)
 from .stats import (
     binomial_ci,
     geometric_mean,
@@ -20,10 +31,14 @@ from .stats import (
 
 __all__ = [
     "BatchResult",
+    "BuiltScenario",
     "InvariantViolation",
+    "RunJournal",
     "RunRecord",
+    "ScenarioSpec",
     "binomial_ci",
     "delta_checker",
+    "failure_record",
     "fairness_checker",
     "format_table",
     "geometric_mean",
@@ -31,7 +46,14 @@ __all__ = [
     "median",
     "no_multiplicity_checker",
     "percentile",
+    "register_algorithm",
+    "register_frame_policy",
+    "register_initial",
+    "register_pattern",
+    "register_scheduler",
     "run_batch",
+    "run_batch_parallel",
+    "run_seed",
     "sec_radius_monitor",
     "stddev",
     "variance",

@@ -103,10 +103,24 @@ def run_batch(
     frame_policy: FramePolicy | None = None,
     max_steps: int = 300_000,
     delta: float = 1e-3,
+    wall_limit: float | None = None,
+    on_record: Callable[[RunRecord], None] | None = None,
 ) -> BatchResult:
-    """Run one scenario across ``seeds`` and aggregate the outcomes."""
+    """Run one scenario across ``seeds`` and aggregate the outcomes.
+
+    Duplicate seeds are rejected: a repeated seed reruns the identical
+    simulation and would silently double-count its outcome in
+    ``BatchResult.success_rate``.
+
+    ``wall_limit`` bounds each run's wall-clock time (soft, checked
+    inside the simulation loop); ``on_record`` is invoked after every
+    completed run — the run journal hooks in here.
+    """
+    seed_list = list(seeds)
+    if len(set(seed_list)) != len(seed_list):
+        raise ValueError("duplicate seeds in batch")
     batch = BatchResult(name)
-    for seed in seeds:
+    for seed in seed_list:
         sim = Simulation(
             initial_factory(seed),
             algorithm_factory(),
@@ -116,9 +130,13 @@ def run_batch(
             frame_policy=frame_policy,
             max_steps=max_steps,
             delta=delta,
+            wall_limit=wall_limit,
         )
         result = sim.run()
-        batch.runs.append(_record(seed, result))
+        record = _record(seed, result)
+        batch.runs.append(record)
+        if on_record is not None:
+            on_record(record)
     return batch
 
 

@@ -1,0 +1,154 @@
+"""Append-only JSONL run journal.
+
+Every completed :class:`~repro.analysis.batch.RunRecord` of a batch is
+appended to a journal file as one JSON line, flushed immediately, so a
+batch killed mid-flight loses at most the line being written.  On
+restart with ``resume=True`` the runner loads the journal, verifies the
+scenario fingerprint recorded in the metadata line, and skips every seed
+that already has a record — no seed runs twice, and the resumed
+aggregates are bit-for-bit those of an uninterrupted batch (JSON float
+round-trips are exact via ``repr``).
+
+File layout::
+
+    {"kind": "meta", "version": 1, "scenario": ..., "fingerprint": ..., "spec": {...}}
+    {"kind": "run", "seed": 0, "formed": true, ..., "distance": 0.123, "reason": "terminal"}
+    {"kind": "run", "seed": 1, ...}
+
+Non-finite floats (a failure record's ``distance`` is NaN) are encoded
+as the strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` so every
+line stays standard JSON.  A truncated final line — the signature of a
+killed process — is tolerated on load; corruption anywhere else raises.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+from .batch import RunRecord
+
+JOURNAL_VERSION = 1
+
+_FLOAT_FIELDS = frozenset(
+    f.name for f in fields(RunRecord) if f.type in ("float", float)
+)
+
+
+def _encode_float(value: float) -> "float | str":
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_float(value) -> float:
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+def encode_record(record: RunRecord) -> str:
+    """One standard-JSON line for a run record."""
+    payload: dict = {"kind": "run"}
+    for key, value in asdict(record).items():
+        if key in _FLOAT_FIELDS:
+            value = _encode_float(float(value))
+        payload[key] = value
+    return json.dumps(payload, ensure_ascii=False, allow_nan=False)
+
+
+def decode_record(payload: dict) -> RunRecord:
+    """Rebuild a run record from a parsed journal line."""
+    data = {k: v for k, v in payload.items() if k != "kind"}
+    for key in _FLOAT_FIELDS:
+        if key in data:
+            data[key] = _decode_float(data[key])
+    return RunRecord(**data)
+
+
+@dataclass
+class JournalState:
+    """Everything a resumed batch needs from an existing journal."""
+
+    meta: dict | None
+    records: dict[int, RunRecord]
+    truncated: bool = False
+
+    def seeds(self) -> set[int]:
+        return set(self.records)
+
+
+class RunJournal:
+    """Append-only JSONL journal of completed run records.
+
+    The journal is opened per operation (never held open), so forked
+    worker processes cannot inherit a dangling file handle; only the
+    parent process ever writes.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def is_empty(self) -> bool:
+        return not self.exists() or self.path.stat().st_size == 0
+
+    # -- writing --------------------------------------------------------
+    def start(self, scenario_name: str, fingerprint: str, spec: dict | None = None) -> None:
+        """Write the metadata line that heads a fresh journal."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "kind": "meta",
+            "version": JOURNAL_VERSION,
+            "scenario": scenario_name,
+            "fingerprint": fingerprint,
+        }
+        if spec is not None:
+            meta["spec"] = spec
+        self._append_line(json.dumps(meta, ensure_ascii=False, allow_nan=False))
+
+    def append(self, record: RunRecord) -> None:
+        """Append one completed run record, flushed immediately."""
+        self._append_line(encode_record(record))
+
+    def _append_line(self, line: str) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    # -- reading --------------------------------------------------------
+    def load(self) -> JournalState:
+        """Parse the journal; tolerate a truncated final line only."""
+        state = JournalState(meta=None, records={})
+        if not self.exists():
+            return state
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    state.truncated = True
+                    break
+                raise ValueError(
+                    f"corrupt journal line {index + 1} in {self.path}"
+                ) from None
+            kind = payload.get("kind")
+            if kind == "meta":
+                state.meta = payload
+            elif kind == "run":
+                record = decode_record(payload)
+                state.records[record.seed] = record
+            else:
+                raise ValueError(
+                    f"unknown journal line kind {kind!r} in {self.path}"
+                )
+        return state

@@ -1,0 +1,332 @@
+"""Parallel, fault-tolerant batch execution.
+
+``run_batch_parallel`` fans the seeds of one :class:`ScenarioSpec` out
+to worker processes.  Each seed is executed by the *same* code path as
+the serial reference runner (a one-seed :func:`run_batch` call inside
+the worker), so for well-behaved scenarios the resulting
+``RunRecord`` lists are bit-for-bit identical to serial execution —
+independent of worker count and of seed submission order.  The
+determinism/equivalence test suite pins this guarantee.
+
+Robustness around each run:
+
+* **timeout** — a per-seed wall-clock budget.  The simulation itself is
+  given the budget as a soft limit (it stops cleanly with
+  ``reason="wall_timeout"``); a hung worker that never reaches the run
+  loop is hard-killed shortly after the budget expires and recorded as
+  ``reason="timeout"``.
+* **retry** — a worker that dies without reporting (OOM-kill, segfault)
+  is retried with capped exponential backoff; after the retry budget the
+  seed is recorded as ``reason="worker_died"``.
+* **failure records** — an exception inside a run is captured in the
+  worker and returned as a ``reason="error: ..."`` record.  One bad seed
+  never crashes the batch: every seed always yields exactly one record.
+
+With a journal attached, every completed record is appended to an
+append-only JSONL file (:mod:`repro.analysis.journal`); a batch
+restarted with ``resume=True`` skips journaled seeds.
+
+``workers=1`` delegates to the serial :func:`run_batch` loop in-process
+and is the reference implementation (no process isolation: timeouts are
+soft-only and fault injection that kills the process kills the batch).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as _connection_wait
+from typing import Sequence
+
+from .batch import BatchResult, RunRecord, run_batch
+from .journal import RunJournal
+from .scenarios import ScenarioSpec
+
+#: A hung worker is hard-killed at ``timeout * factor + grace`` so the
+#: in-simulation soft limit (which yields a richer record) fires first.
+_HARD_TIMEOUT_FACTOR = 1.25
+_HARD_TIMEOUT_GRACE = 0.5
+
+_POLL_INTERVAL = 0.25
+
+
+def failure_record(seed: int, reason: str) -> RunRecord:
+    """The record emitted when a seed produced no simulation result."""
+    return RunRecord(
+        seed=seed,
+        formed=False,
+        terminated=False,
+        steps=0,
+        cycles=0,
+        epochs=0,
+        random_bits=0,
+        coin_flips=0,
+        float_draws=0,
+        distance=float("nan"),
+        reason=reason,
+    )
+
+
+def run_seed(
+    spec: ScenarioSpec, seed: int, wall_limit: float | None = None
+) -> RunRecord:
+    """Execute one seed of a scenario via the serial reference runner."""
+    built = spec.build()
+    batch = run_batch(
+        built.name,
+        built.algorithm_factory,
+        built.scheduler_factory,
+        built.initial_factory,
+        [seed],
+        frame_policy=built.frame_policy,
+        max_steps=built.max_steps,
+        delta=built.delta,
+        wall_limit=wall_limit,
+    )
+    return batch.runs[0]
+
+
+def _worker_entry(
+    conn: Connection, spec: ScenarioSpec, seed: int, wall_limit: float | None
+) -> None:
+    """Worker process body: run one seed, report through the pipe."""
+    try:
+        record = run_seed(spec, seed, wall_limit=wall_limit)
+        conn.send(("ok", record))
+    except BaseException as exc:  # noqa: BLE001 — any failure becomes a record
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Task:
+    seed: int
+    attempt: int
+    proc: "mp.process.BaseProcess"
+    conn: Connection
+    deadline: float | None
+
+
+def _default_context() -> "mp.context.BaseContext":
+    # fork keeps the parent's interpreter state (including the hash
+    # seed), which is the cheapest start method that preserves the
+    # determinism guarantee; fall back to the platform default elsewhere.
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def run_batch_parallel(
+    spec: ScenarioSpec,
+    seeds: Sequence[int],
+    *,
+    workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    backoff_cap: float = 4.0,
+    journal: "str | os.PathLike | None" = None,
+    resume: bool = False,
+    mp_context: "mp.context.BaseContext | None" = None,
+) -> BatchResult:
+    """Run ``spec`` across ``seeds`` on a pool of worker processes.
+
+    Args:
+        spec: the registry scenario to execute.
+        seeds: the seeds to run; duplicates are rejected.
+        workers: process count (default: CPUs, capped at 8); ``1`` runs
+            the serial reference loop in-process.
+        timeout: per-seed wall-clock budget in seconds.
+        retries: how many times a seed is retried after its worker died
+            without reporting a result.
+        backoff: initial delay before a retry, doubled per attempt.
+        backoff_cap: upper bound on the retry delay.
+        journal: path of the append-only JSONL run journal.
+        resume: skip seeds already present in the journal (requires the
+            journal to have been written by the same scenario).
+        mp_context: multiprocessing context override (default: fork
+            where available).
+
+    Returns:
+        A :class:`BatchResult` whose ``runs`` are ordered by the input
+        ``seeds`` order, independent of completion order.
+    """
+    seed_list = [int(s) for s in seeds]
+    if len(set(seed_list)) != len(seed_list):
+        raise ValueError("duplicate seeds in batch")
+    if workers is None:
+        workers = max(1, min(os.cpu_count() or 1, 8))
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+
+    results: dict[int, RunRecord] = {}
+    journal_obj = RunJournal(journal) if journal is not None else None
+    if journal_obj is not None:
+        if not journal_obj.is_empty():
+            if not resume:
+                raise ValueError(
+                    f"journal {journal_obj.path} already exists; enable "
+                    "resume to continue it or remove the file"
+                )
+            state = journal_obj.load()
+            if state.meta is not None:
+                recorded = state.meta.get("fingerprint")
+                if recorded not in (None, spec.fingerprint()):
+                    raise ValueError(
+                        f"journal {journal_obj.path} was written by a "
+                        f"different scenario (fingerprint {recorded}, "
+                        f"expected {spec.fingerprint()})"
+                    )
+            wanted = set(seed_list)
+            results.update(
+                {s: r for s, r in state.records.items() if s in wanted}
+            )
+        else:
+            journal_obj.start(spec.name, spec.fingerprint(), spec.to_dict())
+
+    pending = [s for s in seed_list if s not in results]
+
+    def commit(record: RunRecord) -> None:
+        results[record.seed] = record
+        if journal_obj is not None:
+            journal_obj.append(record)
+
+    if workers == 1:
+        _run_serial(spec, pending, timeout, commit)
+    else:
+        _run_pool(
+            spec,
+            pending,
+            workers,
+            timeout,
+            retries,
+            backoff,
+            backoff_cap,
+            commit,
+            mp_context or _default_context(),
+        )
+
+    batch = BatchResult(spec.name)
+    batch.runs = [results[s] for s in seed_list]
+    return batch
+
+
+def _run_serial(spec, pending, timeout, commit) -> None:
+    built = spec.build()
+    run_batch(
+        built.name,
+        built.algorithm_factory,
+        built.scheduler_factory,
+        built.initial_factory,
+        pending,
+        frame_policy=built.frame_policy,
+        max_steps=built.max_steps,
+        delta=built.delta,
+        wall_limit=timeout,
+        on_record=commit,
+    )
+
+
+def _run_pool(
+    spec, pending, workers, timeout, retries, backoff, backoff_cap, commit, ctx
+) -> None:
+    # (seed, attempt, not_before): retries re-enter the queue with a
+    # capped-backoff earliest start time.
+    queue: deque[tuple[int, int, float]] = deque(
+        (seed, 0, 0.0) for seed in pending
+    )
+    running: list[_Task] = []
+
+    def spawn(seed: int, attempt: int) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(send_conn, spec, seed, timeout),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()
+        deadline = None
+        if timeout is not None:
+            deadline = (
+                time.monotonic()
+                + timeout * _HARD_TIMEOUT_FACTOR
+                + _HARD_TIMEOUT_GRACE
+            )
+        running.append(_Task(seed, attempt, proc, recv_conn, deadline))
+
+    def reap(task: _Task) -> None:
+        task.proc.join()
+        task.conn.close()
+
+    while queue or running:
+        now = time.monotonic()
+        ready = [entry for entry in queue if entry[2] <= now]
+        while ready and len(running) < workers:
+            entry = ready.pop(0)
+            queue.remove(entry)
+            spawn(entry[0], entry[1])
+
+        if not running:
+            # Every queued task is backing off; sleep until the earliest.
+            wake = min(entry[2] for entry in queue)
+            time.sleep(max(0.0, wake - time.monotonic()))
+            continue
+
+        wait_for = _POLL_INTERVAL
+        deadlines = [t.deadline for t in running if t.deadline is not None]
+        deadlines += [entry[2] for entry in queue]
+        if deadlines:
+            wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+        handles = [t.conn for t in running] + [t.proc.sentinel for t in running]
+        _connection_wait(handles, timeout=wait_for)
+
+        now = time.monotonic()
+        still_running: list[_Task] = []
+        for task in running:
+            # Liveness must be sampled BEFORE the pipe is polled: a worker
+            # can send its result and exit between the two checks, and
+            # "no data yet" + "already dead" would misread a completed
+            # run as a worker death.  Sampled in this order, a dead
+            # process with an empty pipe is genuinely resultless — it
+            # cannot send anything after exiting.
+            alive = task.proc.is_alive()
+            outcome = None
+            if task.conn.poll():
+                try:
+                    outcome = task.conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+            if outcome is not None:
+                reap(task)
+                kind, payload = outcome
+                if kind == "ok":
+                    commit(payload)
+                else:
+                    commit(failure_record(task.seed, f"error: {payload}"))
+            elif not alive:
+                reap(task)
+                if task.attempt < retries:
+                    delay = min(backoff * (2.0 ** task.attempt), backoff_cap)
+                    queue.append((task.seed, task.attempt + 1, now + delay))
+                else:
+                    commit(failure_record(task.seed, "worker_died"))
+            elif task.deadline is not None and now >= task.deadline:
+                task.proc.terminate()
+                reap(task)
+                commit(failure_record(task.seed, "timeout"))
+            else:
+                still_running.append(task)
+        running[:] = still_running

@@ -1,0 +1,403 @@
+"""Named, picklable scenario registry for batch execution.
+
+``run_batch`` takes closure factories, which cannot cross a process
+boundary.  A :class:`ScenarioSpec` instead describes a workload purely by
+*names and parameters* — algorithm, scheduler, initial configuration,
+target pattern, frame policy — so a worker process can rebuild the exact
+same factories from plain data.  Specs are therefore picklable, JSON
+serialisable (for the run journal's metadata line) and fingerprintable
+(so a resumed batch can refuse a journal written by a different
+scenario).
+
+New workloads plug in through the ``register_*`` decorators without
+touching the runner: registering a pattern family, an algorithm or an
+adversary makes it immediately usable from ``run_batch_parallel``, the
+CLI and the benchmarks.
+
+The module also ships a deliberately faulty initial-configuration
+builder (``faulty-random``) used by the fault-injection tests: it can
+hang, crash the worker process, or raise for chosen seeds, and records
+every execution attempt in a side-channel log file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..geometry import Vec2
+from ..model import Configuration, Pattern
+from ..patterns import library as _patterns
+from ..scheduler import (
+    AsyncScheduler,
+    FsyncScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SsyncScheduler,
+)
+from ..sim.engine import (
+    FramePolicy,
+    chirality_frames,
+    global_frames,
+    random_frames,
+)
+
+ComponentSpec = "tuple[str, dict] | str | None"
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+PATTERN_BUILDERS: dict[str, Callable[..., Pattern]] = {}
+ALGORITHM_BUILDERS: dict[str, Callable[..., object]] = {}
+SCHEDULER_BUILDERS: dict[str, Callable[..., Scheduler]] = {}
+INITIAL_BUILDERS: dict[str, Callable[..., "Configuration | Sequence[Vec2]"]] = {}
+FRAME_POLICY_BUILDERS: dict[str, Callable[..., FramePolicy]] = {}
+
+
+def _register(registry: dict, name: str):
+    def decorator(fn):
+        if name in registry:
+            raise ValueError(f"{name!r} is already registered")
+        registry[name] = fn
+        return fn
+
+    return decorator
+
+
+def register_pattern(name: str):
+    """Register a pattern builder ``fn(**params) -> Pattern``."""
+    return _register(PATTERN_BUILDERS, name)
+
+
+def register_algorithm(name: str):
+    """Register an algorithm builder ``fn(pattern, **params) -> algorithm``."""
+    return _register(ALGORITHM_BUILDERS, name)
+
+
+def register_scheduler(name: str):
+    """Register a scheduler builder ``fn(seed, **params) -> Scheduler``."""
+    return _register(SCHEDULER_BUILDERS, name)
+
+
+def register_initial(name: str):
+    """Register an initial-configuration builder ``fn(seed, **params)``."""
+    return _register(INITIAL_BUILDERS, name)
+
+
+def register_frame_policy(name: str):
+    """Register a frame-policy builder ``fn(**params) -> FramePolicy``."""
+    return _register(FRAME_POLICY_BUILDERS, name)
+
+
+# ----------------------------------------------------------------------
+# patterns
+# ----------------------------------------------------------------------
+@register_pattern("polygon")
+def _polygon(n: int, radius: float = 1.0, phase: float = 0.0) -> Pattern:
+    return _patterns.regular_polygon(n, radius=radius, phase=phase)
+
+
+@register_pattern("line")
+def _line(n: int, jitter: float = 0.0, seed: int = 0) -> Pattern:
+    return _patterns.line_pattern(n, jitter=jitter, seed=seed)
+
+
+@register_pattern("grid")
+def _grid(rows: int, cols: int, spacing: float = 1.0) -> Pattern:
+    return _patterns.grid_pattern(rows, cols, spacing=spacing)
+
+
+@register_pattern("star")
+def _star(spikes: int, inner: float = 0.4, outer: float = 1.0) -> Pattern:
+    return _patterns.star_pattern(spikes, inner=inner, outer=outer)
+
+
+@register_pattern("rings")
+def _rings(counts: Sequence[int], radii: Sequence[float] | None = None) -> Pattern:
+    return _patterns.nested_rings(list(counts), list(radii) if radii else None)
+
+
+@register_pattern("random")
+def _random_pattern(n: int, seed: int = 0, min_separation: float = 0.1) -> Pattern:
+    return _patterns.random_pattern(n, seed=seed, min_separation=min_separation)
+
+
+@register_pattern("center-multiplicity")
+def _center_multiplicity(n_outer: int, center_count: int) -> Pattern:
+    return _patterns.center_multiplicity_pattern(n_outer, center_count)
+
+
+@register_pattern("multiplicity")
+def _multiplicity(base, doubled_indices: Sequence[int]) -> Pattern:
+    kind, params = normalize_component(base)
+    return _patterns.multiplicity_pattern(
+        build_pattern((kind, params)), list(doubled_indices)
+    )
+
+
+# ----------------------------------------------------------------------
+# algorithms
+# ----------------------------------------------------------------------
+@register_algorithm("form-pattern")
+def _form_pattern(pattern: Pattern, tuning: dict | None = None):
+    from ..algorithms import FormPattern, Tuning
+
+    if tuning:
+        return FormPattern(pattern, tuning=Tuning(**tuning))
+    return FormPattern(pattern)
+
+
+@register_algorithm("multiplicity-form-pattern")
+def _multiplicity_form_pattern(pattern: Pattern):
+    from ..algorithms import MultiplicityFormPattern
+
+    return MultiplicityFormPattern(pattern)
+
+
+@register_algorithm("yamauchi-yamashita")
+def _yamauchi_yamashita(pattern: Pattern):
+    from ..algorithms import YamauchiYamashita
+
+    return YamauchiYamashita(pattern)
+
+
+@register_algorithm("global-frame")
+def _global_frame(pattern: Pattern):
+    from ..algorithms import GlobalFrameFormation
+
+    return GlobalFrameFormation(pattern)
+
+
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+@register_scheduler("fsync")
+def _fsync(seed: int) -> Scheduler:
+    return FsyncScheduler()
+
+
+@register_scheduler("round-robin")
+def _round_robin(seed: int) -> Scheduler:
+    return RoundRobinScheduler()
+
+
+@register_scheduler("ssync")
+def _ssync(seed: int, **params) -> Scheduler:
+    return SsyncScheduler(seed=seed, **params)
+
+
+@register_scheduler("async")
+def _async(seed: int, **params) -> Scheduler:
+    return AsyncScheduler(seed=seed, **params)
+
+
+@register_scheduler("async-aggressive")
+def _async_aggressive(seed: int) -> Scheduler:
+    return AsyncScheduler.aggressive(seed)
+
+
+# ----------------------------------------------------------------------
+# initial configurations
+# ----------------------------------------------------------------------
+@register_initial("random")
+def _random_initial(
+    seed: int,
+    n: int,
+    spread: float = 1.0,
+    min_separation: float = 0.05,
+    seed_offset: int = 0,
+) -> Configuration:
+    return _patterns.random_configuration(
+        n, seed=seed + seed_offset, spread=spread, min_separation=min_separation
+    )
+
+
+@register_initial("ngon")
+def _ngon_initial(
+    seed: int, n: int, radius: float = 1.0, phase: float = 0.1
+) -> list[Vec2]:
+    return [
+        Vec2.polar(radius, phase + 2.0 * math.pi * i / n) for i in range(n)
+    ]
+
+
+@register_initial("faulty-random")
+def _faulty_random_initial(
+    seed: int,
+    n: int,
+    hang_seeds: Sequence[int] = (),
+    crash_seeds: Sequence[int] = (),
+    error_seeds: Sequence[int] = (),
+    attempts_log: str | None = None,
+    hang_time: float = 3600.0,
+) -> Configuration:
+    """Fault-injection workload: hangs, kills the worker, or raises.
+
+    ``attempts_log`` receives one appended line per execution attempt, so
+    tests can count exactly how often a seed ran (retry accounting, and
+    the resume guarantee that no journaled seed runs twice).
+    """
+    if attempts_log:
+        with open(attempts_log, "a", encoding="utf-8") as fh:
+            fh.write(f"{seed}\n")
+    if seed in tuple(hang_seeds):
+        time.sleep(hang_time)
+    if seed in tuple(crash_seeds):
+        # Simulate transient worker death (OOM-kill, segfault): exit
+        # without unwinding, so no error message reaches the parent.
+        os._exit(3)
+    if seed in tuple(error_seeds):
+        raise RuntimeError(f"injected fault for seed {seed}")
+    return _patterns.random_configuration(n, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# frame policies
+# ----------------------------------------------------------------------
+@register_frame_policy("random")
+def _random_frames(**params) -> FramePolicy:
+    return random_frames(**params)
+
+
+@register_frame_policy("chirality")
+def _chirality_frames(**params) -> FramePolicy:
+    return chirality_frames(**params)
+
+
+@register_frame_policy("global")
+def _global_frames() -> FramePolicy:
+    return global_frames()
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+def normalize_component(spec) -> tuple[str, dict] | None:
+    """Normalise ``None | "name" | (name, params)`` to ``(name, params)``."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        return (spec, {})
+    kind, params = spec
+    return (str(kind), dict(params or {}))
+
+
+def build_pattern(spec) -> Pattern | None:
+    """Build a pattern from a normalised component spec."""
+    component = normalize_component(spec)
+    if component is None:
+        return None
+    kind, params = component
+    try:
+        builder = PATTERN_BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern {kind!r}; known: {sorted(PATTERN_BUILDERS)}"
+        ) from None
+    return builder(**params)
+
+
+@dataclass
+class BuiltScenario:
+    """The factories :func:`repro.analysis.run_batch` consumes."""
+
+    name: str
+    algorithm_factory: Callable[[], object]
+    scheduler_factory: Callable[[int], Scheduler]
+    initial_factory: Callable[[int], "Configuration | Sequence[Vec2]"]
+    frame_policy: FramePolicy | None
+    max_steps: int
+    delta: float
+
+
+@dataclass
+class ScenarioSpec:
+    """A batch workload described purely by names and plain parameters.
+
+    Every component is either ``None``, a registered name, or a
+    ``(name, params)`` pair.  The spec contains no live objects, so it
+    pickles cleanly across process boundaries and serialises to JSON for
+    the run journal's metadata line.
+    """
+
+    name: str
+    algorithm: Any = "form-pattern"
+    scheduler: Any = "async"
+    initial: Any = ("random", {"n": 8})
+    pattern: Any = None
+    frame_policy: Any = None
+    max_steps: int = 300_000
+    delta: float = 1e-3
+
+    def __post_init__(self) -> None:
+        self.algorithm = normalize_component(self.algorithm)
+        self.scheduler = normalize_component(self.scheduler)
+        self.initial = normalize_component(self.initial)
+        self.pattern = normalize_component(self.pattern)
+        self.frame_policy = normalize_component(self.frame_policy)
+        if self.algorithm is None or self.scheduler is None or self.initial is None:
+            raise ValueError("algorithm, scheduler and initial are required")
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "algorithm": list(self.algorithm),
+            "scheduler": list(self.scheduler),
+            "initial": list(self.initial),
+            "pattern": list(self.pattern) if self.pattern else None,
+            "frame_policy": (
+                list(self.frame_policy) if self.frame_policy else None
+            ),
+            "max_steps": self.max_steps,
+            "delta": self.delta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Stable digest identifying the workload (for journal resume)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=list)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # -- construction ---------------------------------------------------
+    def build(self) -> BuiltScenario:
+        """Resolve names against the registries into live factories."""
+        aname, aparams = self.algorithm
+        sname, sparams = self.scheduler
+        iname, iparams = self.initial
+        pattern = build_pattern(self.pattern)
+        algorithm_builder = _lookup(ALGORITHM_BUILDERS, aname, "algorithm")
+        scheduler_builder = _lookup(SCHEDULER_BUILDERS, sname, "scheduler")
+        initial_builder = _lookup(INITIAL_BUILDERS, iname, "initial")
+        frame_policy = None
+        if self.frame_policy is not None:
+            fname, fparams = self.frame_policy
+            frame_policy = _lookup(FRAME_POLICY_BUILDERS, fname, "frame policy")(
+                **fparams
+            )
+        return BuiltScenario(
+            name=self.name,
+            algorithm_factory=lambda: algorithm_builder(pattern, **aparams),
+            scheduler_factory=lambda seed: scheduler_builder(seed, **sparams),
+            initial_factory=lambda seed: initial_builder(seed, **iparams),
+            frame_policy=frame_policy,
+            max_steps=self.max_steps,
+            delta=self.delta,
+        )
+
+
+def _lookup(registry: dict, name: str, what: str):
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown {what} {name!r}; known: {sorted(registry)}"
+        ) from None

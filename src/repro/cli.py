@@ -16,7 +16,7 @@ import sys
 
 from . import __version__, patterns
 from .algorithms import FormPattern
-from .analysis import format_table, run_batch
+from .analysis import ScenarioSpec, format_table, run_batch_parallel
 from .geometry import Vec2
 from .scheduler import (
     AsyncScheduler,
@@ -42,6 +42,15 @@ PATTERNS = {
     "random": lambda n: patterns.random_pattern(n, seed=42),
 }
 
+#: Registry pattern specs mirroring ``PATTERNS`` (same shapes, but as
+#: plain data so the batch command can cross process boundaries).
+PATTERN_SPECS = {
+    "polygon": lambda n: ("polygon", {"n": n}),
+    "star": lambda n: ("star", {"spikes": max(n // 2, 2)}),
+    "rings": lambda n: ("rings", {"counts": [n - n // 2, n // 2]}),
+    "random": lambda n: ("random", {"n": n, "seed": 42}),
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -56,6 +65,34 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser("batch", help="run a seeded batch, print stats")
     _common(batch)
     batch.add_argument("--runs", type=int, default=5)
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial reference path)",
+    )
+    batch.add_argument(
+        "--journal",
+        default=None,
+        help="append every completed run to this JSONL journal",
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip seeds already recorded in the journal",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-seed wall-clock budget in seconds",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per seed after transient worker death",
+    )
 
     election = sub.add_parser(
         "election", help="run from a perfectly symmetric start"
@@ -96,16 +133,28 @@ def cmd_demo(args) -> int:
 
 
 def cmd_batch(args) -> int:
-    pattern = PATTERNS[args.pattern](args.n)
-    batch = run_batch(
-        f"{args.pattern} n={args.n} {args.scheduler}",
-        lambda: FormPattern(pattern),
-        SCHEDULERS[args.scheduler],
-        lambda seed: patterns.random_configuration(args.n, seed=seed),
-        seeds=range(args.seed, args.seed + args.runs),
-        delta=args.delta,
+    spec = ScenarioSpec(
+        name=f"{args.pattern} n={args.n} {args.scheduler}",
+        algorithm="form-pattern",
+        scheduler=args.scheduler,
+        initial=("random", {"n": args.n}),
+        pattern=PATTERN_SPECS[args.pattern](args.n),
         max_steps=args.max_steps,
+        delta=args.delta,
     )
+    try:
+        batch = run_batch_parallel(
+            spec,
+            range(args.seed, args.seed + args.runs),
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(format_table([batch.row()]))
     return 0 if batch.success_rate() == 1.0 else 1
 

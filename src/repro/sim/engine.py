@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import monotonic as _monotonic
 from typing import Callable, Protocol, Sequence
 
 from ..geometry import Vec2
@@ -121,6 +122,9 @@ class Simulation:
         pattern: pattern used for the ``pattern_formed`` verdict (defaults
             to ``algorithm.target_pattern``).
         max_steps: scheduler-step budget before giving up.
+        wall_limit: wall-clock budget in seconds; when exceeded the run
+            stops with ``reason="wall_timeout"`` (checked periodically
+            inside the loop, so it cannot interrupt a single action).
         seed: master seed for robot coins and frame draws (the scheduler
             has its own seed).
         record_trace: keep a :class:`Trace` of the run.
@@ -140,6 +144,7 @@ class Simulation:
         multiplicity_detection: bool | None = None,
         pattern: Pattern | None = None,
         max_steps: int = 500_000,
+        wall_limit: float | None = None,
         seed: int = 0,
         record_trace: bool = False,
         trace_sample_every: int = 1,
@@ -159,6 +164,7 @@ class Simulation:
         )
         self.pattern = pattern or algorithm.target_pattern
         self.max_steps = max_steps
+        self.wall_limit = wall_limit
         self.checkers = list(checkers)
         self.metrics = Metrics()
         self.metrics.start(len(self.robots))
@@ -217,8 +223,19 @@ class Simulation:
     # execution
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Run until terminal, or until the step budget is exhausted."""
+        """Run until terminal, or until a step/wall-clock budget runs out."""
+        deadline = (
+            None
+            if self.wall_limit is None
+            else _monotonic() + self.wall_limit
+        )
         while self.step_count < self.max_steps:
+            if (
+                deadline is not None
+                and self.step_count % 256 == 0
+                and _monotonic() > deadline
+            ):
+                return self._result(terminated=False, reason="wall_timeout")
             if self._quiescent() and self.is_terminal():
                 return self._result(terminated=True, reason="terminal")
             action = self.scheduler.next_action(self.robots, self.step_count)

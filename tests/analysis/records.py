@@ -1,0 +1,43 @@
+"""Shared helpers for the parallel-runner test suites."""
+
+import math
+from dataclasses import astuple
+
+from repro.analysis import RunRecord, run_batch
+
+
+def serial_reference(spec, seeds):
+    """Run a scenario through the serial reference runner."""
+    built = spec.build()
+    return run_batch(
+        built.name,
+        built.algorithm_factory,
+        built.scheduler_factory,
+        built.initial_factory,
+        seeds,
+        frame_policy=built.frame_policy,
+        max_steps=built.max_steps,
+        delta=built.delta,
+    )
+
+
+def assert_record_equal(a: RunRecord, b: RunRecord) -> None:
+    """Field-by-field exact equality; NaN compares equal to NaN."""
+    ta, tb = astuple(a), astuple(b)
+    for name, va, vb in zip(
+        (f for f in a.__dataclass_fields__), ta, tb
+    ):
+        if (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ):
+            continue
+        assert va == vb, f"field {name}: {va!r} != {vb!r} (seed {a.seed})"
+
+
+def assert_records_equal(xs, ys) -> None:
+    assert len(xs) == len(ys), f"{len(xs)} records vs {len(ys)}"
+    for a, b in zip(xs, ys):
+        assert_record_equal(a, b)

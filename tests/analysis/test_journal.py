@@ -1,0 +1,195 @@
+"""Run-journal round-trips and batch resume semantics."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    RunJournal,
+    RunRecord,
+    ScenarioSpec,
+    failure_record,
+    run_batch_parallel,
+)
+from repro.analysis.journal import decode_record, encode_record
+
+from .records import assert_record_equal, assert_records_equal, serial_reference
+
+
+def _record(seed, distance=1.5, reason="terminal"):
+    return RunRecord(
+        seed=seed,
+        formed=True,
+        terminated=True,
+        steps=120,
+        cycles=40,
+        epochs=6,
+        random_bits=3,
+        coin_flips=3,
+        float_draws=0,
+        distance=distance,
+        reason=reason,
+    )
+
+
+class TestRoundTrip:
+    def test_plain_record(self):
+        rec = _record(7)
+        assert_record_equal(decode_record(json.loads(encode_record(rec))), rec)
+
+    @pytest.mark.parametrize(
+        "distance", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_nonfinite_distance(self, distance):
+        rec = _record(1, distance=distance)
+        line = encode_record(rec)
+        # Every journal line must stay standard JSON (no bare NaN token).
+        json.loads(line, parse_constant=pytest.fail)
+        out = decode_record(json.loads(line))
+        if math.isnan(distance):
+            assert math.isnan(out.distance)
+        else:
+            assert out.distance == distance
+
+    def test_unicode_reason(self):
+        rec = _record(2, reason="δ-stalled ✓ 中断")
+        out = decode_record(json.loads(encode_record(rec)))
+        assert out.reason == "δ-stalled ✓ 中断"
+
+    def test_float_distance_exact(self):
+        rec = _record(3, distance=0.1 + 0.2)
+        out = decode_record(json.loads(encode_record(rec)))
+        assert out.distance == rec.distance  # bit-for-bit via repr round-trip
+
+    def test_failure_record_round_trip(self):
+        rec = failure_record(9, "error: RuntimeError: boom")
+        out = decode_record(json.loads(encode_record(rec)))
+        assert_record_equal(out, rec)
+
+
+class TestJournalFile:
+    def test_append_and_load(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.start("scn", "abc123", {"name": "scn"})
+        records = [_record(0), _record(1, distance=float("inf"))]
+        for rec in records:
+            journal.append(rec)
+        state = journal.load()
+        assert state.meta["scenario"] == "scn"
+        assert state.meta["fingerprint"] == "abc123"
+        assert state.seeds() == {0, 1}
+        assert_records_equal(
+            [state.records[0], state.records[1]], records
+        )
+        assert not state.truncated
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.start("scn", "abc123")
+        journal.append(_record(0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "run", "seed": 1, "for')  # killed mid-write
+        state = journal.load()
+        assert state.truncated
+        assert state.seeds() == {0}
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json\n{"kind": "run"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt journal line 1"):
+            RunJournal(path).load()
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "mystery"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown journal line kind"):
+            RunJournal(path).load()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        state = RunJournal(tmp_path / "absent.jsonl").load()
+        assert state.meta is None and not state.records
+
+
+def _spec(attempts_log=None, n=5):
+    initial_params = {"n": n}
+    if attempts_log is not None:
+        initial_params["attempts_log"] = str(attempts_log)
+    return ScenarioSpec(
+        name="journal-scn",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("faulty-random", initial_params),
+        pattern=("polygon", {"n": n}),
+        max_steps=5_000,
+    )
+
+
+def _attempts(path):
+    if not path.exists():
+        return []
+    return [int(line) for line in path.read_text().split()]
+
+
+class TestResume:
+    SEEDS = list(range(12))
+
+    def test_resume_skips_journaled_seeds_and_matches_uninterrupted(
+        self, tmp_path
+    ):
+        journal = tmp_path / "batch.jsonl"
+        log = tmp_path / "attempts.log"
+        spec = _spec(attempts_log=log)
+
+        # An "interrupted" batch: only the first half of the seeds got
+        # journaled before the process died.
+        first = run_batch_parallel(
+            spec, self.SEEDS[:6], workers=2, journal=journal
+        )
+        assert sorted(_attempts(log)) == self.SEEDS[:6]
+
+        resumed = run_batch_parallel(
+            spec, self.SEEDS, workers=2, journal=journal, resume=True
+        )
+        # No seed ran twice: the journaled half was loaded, not re-run.
+        assert sorted(_attempts(log)) == self.SEEDS
+        assert [r.seed for r in resumed.runs] == self.SEEDS
+
+        # And the resumed batch is bit-for-bit an uninterrupted one.
+        uninterrupted = serial_reference(_spec(), self.SEEDS)
+        assert_records_equal(resumed.runs, uninterrupted.runs)
+        assert resumed.row() == uninterrupted.row()
+        assert_records_equal(resumed.runs[:6], first.runs)
+
+    def test_journal_written_during_interrupted_half(self, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        spec = _spec()
+        run_batch_parallel(spec, [0, 1, 2], workers=2, journal=journal)
+        state = RunJournal(journal).load()
+        assert state.seeds() == {0, 1, 2}
+        assert state.meta["fingerprint"] == spec.fingerprint()
+
+    def test_existing_journal_without_resume_refused(self, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        spec = _spec()
+        run_batch_parallel(spec, [0], workers=1, journal=journal)
+        with pytest.raises(ValueError, match="resume"):
+            run_batch_parallel(spec, [0, 1], workers=1, journal=journal)
+
+    def test_foreign_journal_refused(self, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        run_batch_parallel(_spec(), [0], workers=1, journal=journal)
+        other = _spec(n=6)
+        with pytest.raises(ValueError, match="different scenario"):
+            run_batch_parallel(
+                other, [0, 1], workers=1, journal=journal, resume=True
+            )
+
+    def test_resume_with_fresh_journal_is_plain_run(self, tmp_path):
+        journal = tmp_path / "new.jsonl"
+        batch = run_batch_parallel(
+            _spec(), [0, 1], workers=1, journal=journal, resume=True
+        )
+        assert [r.seed for r in batch.runs] == [0, 1]
+        assert RunJournal(journal).load().seeds() == {0, 1}

@@ -1,0 +1,101 @@
+"""Headline determinism suite: parallel execution == serial execution.
+
+Every theorem-level claim is measured through batches of seeded runs, so
+the parallel runner is only trustworthy if it is *bit-for-bit* the
+serial reference: for each scenario and seed set, ``run_batch_parallel``
+must yield ``RunRecord`` lists identical field by field (including
+``random_bits`` and exact float equality on ``distance``) to
+``run_batch``, independent of worker count and of seed submission
+order.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import ScenarioSpec, run_batch, run_batch_parallel
+
+from .records import assert_records_equal, serial_reference
+
+SCENARIOS = [
+    ScenarioSpec(
+        name="round-robin / n=5 polygon",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("random", {"n": 5}),
+        pattern=("polygon", {"n": 5}),
+        max_steps=5_000,
+    ),
+    ScenarioSpec(
+        name="ssync / n=6 random",
+        algorithm="form-pattern",
+        scheduler="ssync",
+        initial=("random", {"n": 6}),
+        pattern=("random", {"n": 6, "seed": 3}),
+        max_steps=5_000,
+    ),
+    ScenarioSpec(
+        name="async / n=6 star",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 6}),
+        pattern=("star", {"spikes": 3}),
+        max_steps=5_000,
+    ),
+]
+
+SEEDS = list(range(20))
+
+
+@pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.name)
+def test_parallel_matches_serial_across_worker_counts(spec):
+    serial = serial_reference(spec, SEEDS)
+    assert len(serial.runs) == len(SEEDS)
+    for workers in (1, 2, 4):
+        parallel = run_batch_parallel(spec, SEEDS, workers=workers)
+        assert_records_equal(parallel.runs, serial.runs)
+        assert parallel.name == serial.name
+
+
+def test_results_independent_of_submission_order():
+    spec = SCENARIOS[0]
+    serial = serial_reference(spec, SEEDS)
+    by_seed = {r.seed: r for r in serial.runs}
+    shuffled = SEEDS[:]
+    random.Random(7).shuffle(shuffled)
+    parallel = run_batch_parallel(spec, shuffled, workers=4)
+    # Runs come back in submission order; each record must equal the
+    # serial record of the same seed.
+    assert [r.seed for r in parallel.runs] == shuffled
+    assert_records_equal(
+        parallel.runs, [by_seed[s] for s in shuffled]
+    )
+
+
+def test_aggregates_match_serial():
+    spec = SCENARIOS[0]
+    serial = serial_reference(spec, SEEDS)
+    parallel = run_batch_parallel(spec, SEEDS, workers=4)
+    assert parallel.success_rate() == serial.success_rate()
+    assert parallel.row() == serial.row()
+
+
+def test_parallel_rejects_duplicate_seeds():
+    with pytest.raises(ValueError, match="duplicate"):
+        run_batch_parallel(SCENARIOS[0], [1, 2, 1], workers=2)
+
+
+def test_parallel_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        run_batch_parallel(SCENARIOS[0], [1], workers=0)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("spec", SCENARIOS, ids=lambda s: s.name)
+def test_equivalence_long_matrix(spec):
+    """Nightly-only: a wider seed matrix across worker counts."""
+    seeds = list(range(60))
+    serial = serial_reference(spec, seeds)
+    for workers in (2, 4, 8):
+        parallel = run_batch_parallel(spec, seeds, workers=workers)
+        assert_records_equal(parallel.runs, serial.runs)

@@ -1,0 +1,112 @@
+"""Fault injection: hangs, worker death and in-run exceptions.
+
+Uses the registry's ``faulty-random`` initial-configuration builder,
+which can hang, hard-kill the worker process (simulating OOM/segfault
+death) or raise for chosen seeds — and appends every execution attempt
+to a log file so retry counts are observable.
+"""
+
+import pytest
+
+from repro.analysis import ScenarioSpec, run_batch_parallel
+
+from .records import assert_records_equal, serial_reference
+
+N = 5
+SEEDS = list(range(6))
+
+
+def _spec(tmp_path, **fault_params):
+    log = tmp_path / "attempts.log"
+    params = {"n": N, "attempts_log": str(log), **fault_params}
+    spec = ScenarioSpec(
+        name="faulty-scn",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("faulty-random", params),
+        pattern=("polygon", {"n": N}),
+        max_steps=5_000,
+    )
+    return spec, log
+
+
+def _attempts(log):
+    return [int(line) for line in log.read_text().split()]
+
+
+def _clean_reference(seeds):
+    spec = ScenarioSpec(
+        name="faulty-scn",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("faulty-random", {"n": N}),
+        pattern=("polygon", {"n": N}),
+        max_steps=5_000,
+    )
+    return serial_reference(spec, seeds)
+
+
+def test_hanging_seed_times_out_others_survive(tmp_path):
+    spec, _ = _spec(tmp_path, hang_seeds=[3], hang_time=60.0)
+    batch = run_batch_parallel(spec, SEEDS, workers=2, timeout=0.5)
+    by_seed = {r.seed: r for r in batch.runs}
+    assert by_seed[3].reason == "timeout"
+    assert not by_seed[3].formed and not by_seed[3].terminated
+    good = [r for r in batch.runs if r.seed != 3]
+    reference = {r.seed: r for r in _clean_reference(SEEDS).runs}
+    assert_records_equal(good, [reference[r.seed] for r in good])
+
+
+def test_worker_death_retries_then_records_failure(tmp_path):
+    spec, log = _spec(tmp_path, crash_seeds=[2])
+    batch = run_batch_parallel(
+        spec, SEEDS, workers=2, retries=2, backoff=0.0
+    )
+    by_seed = {r.seed: r for r in batch.runs}
+    assert by_seed[2].reason == "worker_died"
+    # Initial attempt + exactly the configured number of retries.
+    assert _attempts(log).count(2) == 1 + 2
+    for seed in SEEDS:
+        if seed != 2:
+            assert by_seed[seed].reason == "terminal"
+            assert _attempts(log).count(seed) == 1
+
+
+def test_worker_death_zero_retries(tmp_path):
+    spec, log = _spec(tmp_path, crash_seeds=[1])
+    batch = run_batch_parallel(spec, [0, 1], workers=2, retries=0)
+    by_seed = {r.seed: r for r in batch.runs}
+    assert by_seed[1].reason == "worker_died"
+    assert _attempts(log).count(1) == 1
+
+
+def test_raising_seed_becomes_error_record_without_retry(tmp_path):
+    spec, log = _spec(tmp_path, error_seeds=[1])
+    batch = run_batch_parallel(spec, SEEDS, workers=2, retries=3)
+    by_seed = {r.seed: r for r in batch.runs}
+    assert by_seed[1].reason == "error: RuntimeError: injected fault for seed 1"
+    # A deterministic exception is not retried.
+    assert _attempts(log).count(1) == 1
+    assert all(by_seed[s].reason == "terminal" for s in SEEDS if s != 1)
+
+
+def test_every_seed_yields_exactly_one_record(tmp_path):
+    spec, _ = _spec(
+        tmp_path, crash_seeds=[0], error_seeds=[4], hang_seeds=[5],
+        hang_time=60.0,
+    )
+    batch = run_batch_parallel(
+        spec, SEEDS, workers=3, timeout=0.5, retries=1, backoff=0.0
+    )
+    assert [r.seed for r in batch.runs] == SEEDS
+    reasons = {r.seed: r.reason for r in batch.runs}
+    assert reasons[0] == "worker_died"
+    assert reasons[4].startswith("error:")
+    assert reasons[5] == "timeout"
+    assert reasons[1] == reasons[2] == reasons[3] == "terminal"
+
+
+def test_negative_retries_rejected(tmp_path):
+    spec, _ = _spec(tmp_path)
+    with pytest.raises(ValueError):
+        run_batch_parallel(spec, SEEDS, workers=2, retries=-1)

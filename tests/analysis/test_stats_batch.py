@@ -45,6 +45,28 @@ class TestStats:
     def test_percentile_range_check(self):
         with pytest.raises(ValueError):
             percentile([1], 150)
+        with pytest.raises(ValueError):
+            percentile([1], -0.5)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+        assert math.isnan(median([]))
+
+    def test_percentile_single_element(self):
+        for q in (0, 37.5, 50, 100):
+            assert percentile([4.2], q) == 4.2
+        assert median([4.2]) == 4.2
+
+    def test_percentile_ties(self):
+        assert percentile([2, 2, 2, 2], 25) == 2
+        assert percentile([2, 2, 2, 2], 90) == 2
+        assert median([2, 2, 2, 2]) == 2
+        assert median([1, 2, 2, 3]) == 2
+
+    def test_percentile_endpoints_and_interpolation(self):
+        assert percentile([1, 3], 0) == 1
+        assert percentile([1, 3], 100) == 3
+        assert percentile([1, 3], 25) == 1.5
 
     def test_binomial_ci(self):
         lo, hi = binomial_ci(90, 100)
@@ -112,6 +134,33 @@ class TestBatchResult:
 
 
 class TestRunBatch:
+    def test_duplicate_seeds_rejected(self):
+        # A repeated seed reruns the identical simulation and would
+        # silently double-count its outcome in success_rate.
+        pat = patterns.regular_polygon(7)
+        with pytest.raises(ValueError, match="duplicate"):
+            run_batch(
+                "dup",
+                lambda: FormPattern(pat),
+                lambda seed: RoundRobinScheduler(),
+                lambda seed: patterns.random_configuration(7, seed=seed),
+                seeds=[1, 2, 1],
+            )
+
+    def test_on_record_sees_every_run(self):
+        pat = patterns.regular_polygon(7)
+        seen = []
+        batch = run_batch(
+            "cb",
+            lambda: FormPattern(pat),
+            lambda seed: RoundRobinScheduler(),
+            lambda seed: patterns.random_configuration(7, seed=seed),
+            seeds=[0, 1],
+            max_steps=120_000,
+            on_record=seen.append,
+        )
+        assert seen == batch.runs
+
     def test_small_batch(self):
         pat = patterns.regular_polygon(7)
         batch = run_batch(

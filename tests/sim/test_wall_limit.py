@@ -1,0 +1,30 @@
+"""The simulation's soft wall-clock budget."""
+
+from repro import FormPattern, patterns
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import Simulation
+
+
+def _sim(wall_limit):
+    return Simulation.random(
+        7,
+        FormPattern(patterns.regular_polygon(7)),
+        RoundRobinScheduler(),
+        seed=1,
+        wall_limit=wall_limit,
+    )
+
+
+def test_zero_budget_stops_immediately():
+    result = _sim(0.0).run()
+    assert not result.terminated
+    assert result.reason == "wall_timeout"
+    assert result.steps == 0
+
+
+def test_generous_budget_changes_nothing():
+    bounded = _sim(3600.0).run()
+    unbounded = _sim(None).run()
+    assert bounded.reason == unbounded.reason == "terminal"
+    assert bounded.steps == unbounded.steps
+    assert bounded.metrics.distance == unbounded.metrics.distance

@@ -24,6 +24,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--scheduler", "bogus"])
 
+    def test_batch_parallel_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.workers == 1
+        assert args.journal is None
+        assert args.resume is False
+        assert args.timeout is None
+        assert args.retries == 2
+
+    def test_batch_parallel_flags(self):
+        args = build_parser().parse_args(
+            [
+                "batch",
+                "--workers", "4",
+                "--journal", "runs.jsonl",
+                "--resume",
+                "--timeout", "2.5",
+                "--retries", "1",
+            ]
+        )
+        assert args.workers == 4
+        assert args.journal == "runs.jsonl"
+        assert args.resume is True
+        assert args.timeout == 2.5
+        assert args.retries == 1
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -50,6 +75,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "success" in out
+
+    def test_batch_parallel_workers_match_serial(self, capsys, tmp_path):
+        argv = ["batch", "-n", "7", "--runs", "3", "--scheduler", "round-robin"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        journal = tmp_path / "runs.jsonl"
+        assert main(argv + ["--workers", "2", "--journal", str(journal)]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert journal.exists()
+        # Resuming a finished batch reruns nothing and reprints the table.
+        assert main(
+            argv + ["--workers", "2", "--journal", str(journal), "--resume"]
+        ) == 0
+        assert capsys.readouterr().out == serial_out
 
     def test_election_runs(self, capsys):
         code = main(
