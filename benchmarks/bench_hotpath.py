@@ -1,0 +1,143 @@
+"""Hot-path A/B benchmark: geometry/terminal-probe caches on vs off.
+
+Measures the wall-clock of an E1-style batch (the four Theorem-2
+scenarios of ``bench_e1_formation.py``, three seeds each, serial) with
+the memoisation layer enabled and disabled, and reports per-cache hit
+rates for the enabled run.  The checked-in measurement lives in
+``benchmarks/results/hotpath_speedup.md`` and ``BENCH_hotpath.json``
+at the repository root.
+
+Methodology: each measurement is a fresh subprocess (cold caches, no
+cross-contamination of the process-global memos), one warm-up batch
+before the timed section (imports, code objects), and the two modes are
+interleaved within each repetition so that host noise hits both sides
+equally.  The headline number is the median of per-rep ratios — robust
+against a single slow rep on a loaded host — alongside the best-of
+ratio (least-noise estimate).
+
+Run it directly::
+
+    python benchmarks/bench_hotpath.py --reps 5 --json BENCH_hotpath.json
+
+Not a pytest benchmark on purpose: a paired subprocess A/B takes
+minutes and would dwarf the rest of the suite; the equivalence tests
+(``tests/analysis/test_cache_equivalence.py``) are the correctness
+gate, this script is the performance evidence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+#: One measurement subprocess: run the E1-style batch serially, print a
+#: JSON blob with the timed wall-clock and the cache counters.
+_RUN = r"""
+import json, os, sys, time
+from repro.analysis import ScenarioSpec, run_batch_parallel
+from repro.geometry.memo import cache_enabled, cache_stats
+
+scenarios = [
+    ("n=7 polygon", ("polygon", {"n": 7}), 7),
+    ("n=7 random", ("random", {"n": 7, "seed": 5}), 7),
+    ("n=9 rings", ("rings", {"counts": [5, 4]}), 9),
+    ("n=10 random", ("random", {"n": 10, "seed": 6}), 10),
+]
+specs = [
+    ScenarioSpec(
+        name=name,
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": n}),
+        pattern=pattern,
+        max_steps=400_000,
+    )
+    for name, pattern, n in scenarios
+]
+run_batch_parallel(specs[0], [99], workers=1)  # warm-up: imports, JIT-free
+t0 = time.perf_counter()
+for spec in specs:
+    run_batch_parallel(spec, [0, 1, 2], workers=1)
+wall = time.perf_counter() - t0
+print(json.dumps({
+    "wall_seconds": wall,
+    "cache_enabled": cache_enabled(),
+    "caches": [s.as_dict() for s in cache_stats().values()],
+}))
+"""
+
+
+def measure(enabled: bool) -> dict:
+    """One fresh-process measurement with the caches on or off."""
+    env = dict(os.environ)
+    env["REPRO_GEOMETRY_CACHE"] = "1" if enabled else "0"
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    out = subprocess.run(
+        [sys.executable, "-c", _RUN],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the measurement record to this file",
+    )
+    args = parser.parse_args(argv)
+
+    on_times: list[float] = []
+    off_times: list[float] = []
+    caches: list[dict] = []
+    for rep in range(args.reps):
+        off = measure(enabled=False)
+        on = measure(enabled=True)
+        assert on["cache_enabled"] and not off["cache_enabled"]
+        off_times.append(off["wall_seconds"])
+        on_times.append(on["wall_seconds"])
+        caches = on["caches"]  # hit rates are deterministic per mode
+        print(
+            f"rep {rep}: off={off_times[-1]:.2f}s on={on_times[-1]:.2f}s "
+            f"ratio={off_times[-1] / on_times[-1]:.2f}",
+            flush=True,
+        )
+
+    ratios = [o / n for o, n in zip(off_times, on_times)]
+    record = {
+        "workload": "E1-style batch: 4 scenarios x 3 seeds, serial",
+        "reps": args.reps,
+        "cache_off_seconds": off_times,
+        "cache_on_seconds": on_times,
+        "median_ratio": statistics.median(ratios),
+        "best_ratio": min(off_times) / min(on_times),
+        "caches": [c for c in caches if c["hits"] or c["misses"]],
+    }
+    print(f"median cache-off / cache-on ratio: {record['median_ratio']:.2f}")
+    print(f"best-of ratio: {record['best_ratio']:.2f}")
+    for c in record["caches"]:
+        print(
+            f"  {c['name']:<24} hits={c['hits']:<8} "
+            f"misses={c['misses']:<8} hit-rate={c['hit_rate']:.1%}"
+        )
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,7 +50,7 @@ class Analysis:
             Similarity.translation_of(-sec.center)
         )
         self.denorm = self.norm.inverse()
-        self.points: list[Vec2] = [self.norm.apply(p) for p in raw_points]
+        self.points: list[Vec2] = self.norm.apply_all(raw_points)
         self.me: Vec2 = self.norm.apply(snapshot.me)
         self.multiplicity_detection = snapshot.multiplicity_detection
         self.l_f = l_f

@@ -10,6 +10,7 @@ from .checker import (
 )
 from .journal import RunJournal
 from .parallel import failure_record, run_batch_parallel, run_seed
+from .profile import ProfileRecord, format_record, on_record, profile_batch
 from .scenarios import (
     BuiltScenario,
     ScenarioSpec,
@@ -33,10 +34,14 @@ __all__ = [
     "BatchResult",
     "BuiltScenario",
     "InvariantViolation",
+    "ProfileRecord",
     "RunJournal",
     "RunRecord",
     "ScenarioSpec",
     "binomial_ci",
+    "format_record",
+    "on_record",
+    "profile_batch",
     "delta_checker",
     "failure_record",
     "fairness_checker",

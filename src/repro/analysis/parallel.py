@@ -239,6 +239,29 @@ def _run_serial(spec, pending, timeout, commit) -> None:
     )
 
 
+def _wait_timeout(
+    now: float,
+    running: "Sequence[_Task]",
+    queue: "Sequence[tuple[int, int, float]]",
+) -> float:
+    """How long the harvest loop may block waiting for worker events.
+
+    Bounded by the poll interval, the nearest hard-kill deadline and the
+    nearest *future* retry wake-up.  Queue entries whose wake time has
+    already passed are waiting for a worker slot, not for time to pass —
+    a slot only frees via a pipe/sentinel event, which interrupts the
+    wait anyway.  Including them would clamp the timeout to zero and
+    spin the loop at 100% CPU until a worker finishes (the regression
+    pinned by ``tests/analysis/test_busy_spin.py``).
+    """
+    wait_for = _POLL_INTERVAL
+    deadlines = [t.deadline for t in running if t.deadline is not None]
+    deadlines += [entry[2] for entry in queue if entry[2] > now]
+    if deadlines:
+        wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+    return wait_for
+
+
 def _run_pool(
     spec, pending, workers, timeout, retries, backoff, backoff_cap, commit, ctx
 ) -> None:
@@ -285,11 +308,7 @@ def _run_pool(
             time.sleep(max(0.0, wake - time.monotonic()))
             continue
 
-        wait_for = _POLL_INTERVAL
-        deadlines = [t.deadline for t in running if t.deadline is not None]
-        deadlines += [entry[2] for entry in queue]
-        if deadlines:
-            wait_for = min(wait_for, max(0.0, min(deadlines) - now))
+        wait_for = _wait_timeout(now, running, queue)
         handles = [t.conn for t in running] + [t.proc.sentinel for t in running]
         _connection_wait(handles, timeout=wait_for)
 

@@ -1,0 +1,156 @@
+"""Profiling reports: per-phase timings plus cache-hit counters.
+
+Built on two always-available substrates:
+
+* :mod:`repro.profiling` — the process-global per-phase wall-clock
+  accumulator the engine reports LOOK / COMPUTE / MOVE / terminal-probe
+  durations into while enabled;
+* :mod:`repro.geometry.memo` — the hit/miss counters of the hot-path
+  geometry and terminal-probe caches.
+
+:func:`profile_batch` runs a scenario batch under the profiler and
+emits a :class:`ProfileRecord`; every record produced (by it or by
+:func:`emit`) is also passed to callbacks registered with
+:func:`on_record`, so experiment harnesses can stream profiling data
+wherever they stream run records.  ``python -m repro profile`` is the
+CLI front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Sequence
+
+from ..geometry.memo import cache_stats, clear_caches, reset_cache_stats
+from ..profiling import PROFILER, disable, enable, is_enabled
+from .batch import format_table
+from .scenarios import ScenarioSpec
+
+__all__ = [
+    "PROFILER",
+    "ProfileRecord",
+    "disable",
+    "emit",
+    "enable",
+    "format_record",
+    "is_enabled",
+    "on_record",
+    "profile_batch",
+    "remove_on_record",
+]
+
+
+@dataclass
+class ProfileRecord:
+    """One profiling observation: phase timings and cache counters."""
+
+    label: str
+    wall_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_calls: dict[str, int] = field(default_factory=dict)
+    caches: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "wall_seconds": self.wall_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_calls": dict(self.phase_calls),
+            "caches": [dict(c) for c in self.caches],
+        }
+
+
+_on_record: list[Callable[[ProfileRecord], None]] = []
+
+
+def on_record(callback: Callable[[ProfileRecord], None]) -> None:
+    """Register a callback invoked with every emitted ProfileRecord."""
+    _on_record.append(callback)
+
+
+def remove_on_record(callback: Callable[[ProfileRecord], None]) -> None:
+    """Unregister a callback registered with :func:`on_record`."""
+    _on_record.remove(callback)
+
+
+def emit(label: str, wall_seconds: float) -> ProfileRecord:
+    """Snapshot the profiler + cache counters into a record and fire hooks."""
+    record = ProfileRecord(
+        label=label,
+        wall_seconds=wall_seconds,
+        phase_seconds=dict(PROFILER.phase_seconds),
+        phase_calls=dict(PROFILER.phase_calls),
+        caches=[s.as_dict() for s in cache_stats().values()],
+    )
+    for callback in list(_on_record):
+        callback(record)
+    return record
+
+
+def profile_batch(
+    spec: ScenarioSpec,
+    seeds: Sequence[int],
+    *,
+    label: str | None = None,
+    fresh_caches: bool = True,
+) -> tuple["object", ProfileRecord]:
+    """Run ``spec`` serially under the profiler; return (batch, record).
+
+    Serial on purpose: the profiler and the cache counters are
+    process-global, so the run must happen in this process to be
+    observable.  ``fresh_caches`` clears cache contents and counters
+    first so the record describes exactly this batch.
+    """
+    from .parallel import run_batch_parallel
+
+    if fresh_caches:
+        clear_caches()
+        reset_cache_stats()
+    was_enabled = is_enabled()
+    enable(reset=True)
+    started = perf_counter()
+    try:
+        batch = run_batch_parallel(spec, seeds, workers=1)
+    finally:
+        if not was_enabled:
+            disable()
+    wall = perf_counter() - started
+    return batch, emit(label or spec.name, wall)
+
+
+def format_record(record: ProfileRecord) -> str:
+    """Human-readable report: a phase table and a cache table."""
+    phase_rows = [
+        {
+            "phase": phase,
+            "calls": record.phase_calls.get(phase, 0),
+            "seconds": round(seconds, 4),
+            "share": f"{seconds / record.wall_seconds:.1%}"
+            if record.wall_seconds > 0
+            else "-",
+        }
+        for phase, seconds in sorted(
+            record.phase_seconds.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    cache_rows = [
+        {
+            "cache": c["name"],
+            "hits": c["hits"],
+            "misses": c["misses"],
+            "hit_rate": f"{c['hit_rate']:.1%}",
+        }
+        for c in sorted(record.caches, key=lambda c: -c["hits"])
+        if c["hits"] or c["misses"]
+    ]
+    lines = [
+        f"profile: {record.label}",
+        f"wall-clock: {record.wall_seconds:.3f}s "
+        f"(instrumented phases: {sum(record.phase_seconds.values()):.3f}s)",
+        "",
+        format_table(phase_rows) if phase_rows else "(no phase data)",
+        "",
+        format_table(cache_rows) if cache_rows else "(no cache activity)",
+    ]
+    return "\n".join(lines)

@@ -32,11 +32,18 @@ def median(values: Sequence[float]) -> float:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (q in [0, 100])."""
+    """Linear-interpolation percentile (q in [0, 100]).
+
+    NaN values poison the result explicitly (NaN out), instead of the
+    order-dependent garbage ``sorted`` would silently produce — NaN is
+    incomparable, so its sort position depends on the input order.
+    """
     if not values:
         return float("nan")
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile q must be within [0, 100]")
+    if any(math.isnan(v) for v in values):
+        return float("nan")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -50,7 +57,21 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def binomial_ci(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
-    """Wilson score interval for a success probability."""
+    """Wilson score interval for a success probability.
+
+    Raises:
+        ValueError: on negative counts or ``successes > trials`` —
+            inputs for which the interval would be silent nonsense
+            (e.g. a "probability" outside [0, 1]).
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if successes < 0:
+        raise ValueError(f"successes must be >= 0, got {successes}")
+    if successes > trials:
+        raise ValueError(
+            f"successes ({successes}) cannot exceed trials ({trials})"
+        )
     if trials == 0:
         return (0.0, 1.0)
     p = successes / trials

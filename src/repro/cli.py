@@ -5,19 +5,23 @@ Commands:
 * ``demo``        — run one formation and render it as ASCII;
 * ``batch``       — run a seeded batch and print the statistics table;
 * ``election``    — run from a perfectly symmetric start (forces coins);
+* ``profile``     — run a batch under the profiler, print phase timings
+  and cache-hit counters (optionally as JSON);
 * ``version``     — print the package version.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 
 from . import __version__, patterns
 from .algorithms import FormPattern
 from .analysis import ScenarioSpec, format_table, run_batch_parallel
-from .geometry import Vec2
+from .analysis.profile import format_record, profile_batch
+from .geometry import Vec2, cache_enabled, set_cache_enabled
 from .scheduler import (
     AsyncScheduler,
     FsyncScheduler,
@@ -99,6 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common(election)
 
+    profile = sub.add_parser(
+        "profile",
+        help="run a batch under the profiler, print timings + cache hits",
+    )
+    _common(profile)
+    profile.add_argument("--runs", type=int, default=3)
+    profile.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="profile with the geometry/terminal-probe caches disabled",
+    )
+    profile.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also write the profile record to this JSON file",
+    )
+
     sub.add_parser("version", help="print the version")
     return parser
 
@@ -159,6 +181,36 @@ def cmd_batch(args) -> int:
     return 0 if batch.success_rate() == 1.0 else 1
 
 
+def cmd_profile(args) -> int:
+    spec = ScenarioSpec(
+        name=f"{args.pattern} n={args.n} {args.scheduler}",
+        algorithm="form-pattern",
+        scheduler=args.scheduler,
+        initial=("random", {"n": args.n}),
+        pattern=PATTERN_SPECS[args.pattern](args.n),
+        max_steps=args.max_steps,
+        delta=args.delta,
+    )
+    was_enabled = cache_enabled()
+    if args.no_cache:
+        set_cache_enabled(False)
+    try:
+        batch, record = profile_batch(
+            spec, range(args.seed, args.seed + args.runs)
+        )
+    finally:
+        set_cache_enabled(was_enabled)
+    print(format_table([batch.row()]))
+    print()
+    print(format_record(record))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(record.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json_path}")
+    return 0
+
+
 def cmd_election(args) -> int:
     pattern = PATTERNS[args.pattern](args.n)
     initial = [
@@ -188,6 +240,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_batch(args)
     if args.command == "election":
         return cmd_election(args)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "version":
         print(__version__)
         return 0

@@ -18,6 +18,17 @@ from .angles import (
 )
 from .circle import Circle, arc_length, chord_angle, circle_from_three, circle_from_two
 from .convex import convex_hull, is_inside_hull
+from .memo import (
+    CacheStats,
+    Memo,
+    cache_disabled,
+    cache_enabled,
+    cache_stats,
+    clear_caches,
+    points_key,
+    reset_cache_stats,
+    set_cache_enabled,
+)
 from .point import (
     Vec2,
     centroid,
@@ -60,12 +71,21 @@ from .weber import is_weber_point, weber_objective, weber_point
 __all__ = [
     "EPS",
     "SNAP_EPS",
+    "CacheStats",
     "Circle",
+    "Memo",
     "PolarCoord",
     "PolarFrame",
     "Similarity",
     "Vec2",
     "all_approx_eq",
+    "cache_disabled",
+    "cache_enabled",
+    "cache_stats",
+    "clear_caches",
+    "points_key",
+    "reset_cache_stats",
+    "set_cache_enabled",
     "ang",
     "angle_approx_eq",
     "angle_gaps",

@@ -18,9 +18,22 @@ from .point import Vec2
 from .tolerance import EPS, is_zero, norm_angle
 
 
+_TWO_PI = 2.0 * math.pi
+
+
 def direction_angle(center: Vec2, p: Vec2) -> float:
-    """Direction of ``p`` as seen from ``center``, in [0, 2*pi)."""
-    return norm_angle((p - center).angle())
+    """Direction of ``p`` as seen from ``center``, in [0, 2*pi).
+
+    The body is ``norm_angle((p - center).angle())`` with both calls
+    inlined: this runs for every (point, center) pair of every polar
+    table, so the two extra Python frames are measurable.
+    """
+    theta = math.fmod(math.atan2(p.y - center.y, p.x - center.x), _TWO_PI)
+    if theta < 0.0:
+        theta += _TWO_PI
+    if theta >= _TWO_PI:  # fmod rounding can land exactly on 2*pi
+        theta -= _TWO_PI
+    return theta
 
 
 def ang(u: Vec2, v: Vec2, w: Vec2, clockwise: bool = False) -> float:

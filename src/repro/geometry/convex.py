@@ -8,19 +8,32 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .memo import Memo, points_key
 from .point import Vec2
 from .tolerance import EPS
+
+_HULL_MEMO = Memo("geometry.convex_hull")
 
 
 def convex_hull(points: Sequence[Vec2], eps: float = EPS) -> list[Vec2]:
     """Vertices of the convex hull in counterclockwise order.
 
     Collinear boundary points are dropped.  Returns the input (deduplicated)
-    when it has fewer than three distinct points.
+    when it has fewer than three distinct points.  Memoised per bit-exact
+    point tuple; a fresh list is returned on every call.
     """
+    if _HULL_MEMO.active():
+        key = (points_key(points), eps)
+        hit, cached = _HULL_MEMO.lookup(key)
+        if hit:
+            return list(cached)
+    else:
+        key = None
     pts = sorted(set((p.x, p.y) for p in points))
     unique = [Vec2(x, y) for x, y in pts]
     if len(unique) <= 2:
+        if key is not None:
+            _HULL_MEMO.store(key, tuple(unique))
         return unique
 
     def cross(o: Vec2, a: Vec2, b: Vec2) -> float:
@@ -38,7 +51,10 @@ def convex_hull(points: Sequence[Vec2], eps: float = EPS) -> list[Vec2]:
             upper.pop()
         upper.append(p)
 
-    return lower[:-1] + upper[:-1]
+    hull = lower[:-1] + upper[:-1]
+    if key is not None:
+        _HULL_MEMO.store(key, tuple(hull))
+    return hull
 
 
 def is_inside_hull(hull: Sequence[Vec2], p: Vec2, eps: float = EPS) -> bool:

@@ -1,0 +1,232 @@
+"""Exact-key memoisation for hot-path geometry.
+
+The simulator recomputes the same pure geometric quantities constantly:
+one activation of the paper's algorithm derives the smallest enclosing
+circle, local views, the Weber point and symmetry data of the *same*
+normalised point tuple over and over across its predicates, and the
+engine's terminal probe re-runs the whole pipeline for every robot,
+coin bit and chirality over one unchanged configuration.
+
+This module provides the shared cache substrate:
+
+* :class:`Memo` — a bounded LRU map from a *bit-exact* configuration
+  fingerprint to a previously computed value;
+* :func:`points_key` — the canonical fingerprint: the IEEE-754 bit
+  pattern of every coordinate, so ``-0.0`` and ``0.0`` (equal under
+  ``==`` but distinguishable through ``atan2``) never alias;
+* a process-wide enable switch (:func:`set_cache_enabled`, env var
+  ``REPRO_GEOMETRY_CACHE``) mirrored into ``os.environ`` so worker
+  processes of the parallel runner inherit it under any start method;
+* per-cache hit/miss counters (:func:`cache_stats`) surfaced by the
+  profiling layer (:mod:`repro.analysis.profile`).
+
+Because keys are bit-exact and every memoised function is pure, a cache
+hit returns a value computed from bit-identical inputs by the identical
+code path: simulation results with caching enabled are bit-for-bit equal
+to results with caching disabled (pinned by
+``tests/analysis/test_cache_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Sequence
+
+__all__ = [
+    "CacheStats",
+    "Memo",
+    "cache_disabled",
+    "cache_enabled",
+    "cache_stats",
+    "clear_caches",
+    "points_key",
+    "reset_cache_stats",
+    "set_cache_enabled",
+]
+
+_ENV_VAR = "REPRO_GEOMETRY_CACHE"
+
+_enabled = os.environ.get(_ENV_VAR, "1").strip().lower() not in (
+    "0",
+    "off",
+    "false",
+    "no",
+)
+
+#: Default per-cache entry bound.  Configurations are small (tens of
+#: points) so even thousands of entries are a few MB at most.
+DEFAULT_MAXSIZE = 8192
+
+
+#: struct format strings per coordinate count (computed once per length).
+_PACK_FMT: dict[int, str] = {}
+
+
+def points_key(points: Sequence, *extra) -> bytes:
+    """Bit-exact fingerprint of a point sequence (plus optional points).
+
+    Packs the raw IEEE-754 doubles of every coordinate, in order.  Two
+    sequences share a key iff every coordinate is the same bit pattern —
+    stricter than ``==`` (which identifies ``-0.0`` with ``0.0``), which
+    is what makes cache hits bit-for-bit reproducible.
+    """
+    flat: list[float] = []
+    ext = flat.extend
+    for p in points:
+        ext((p.x, p.y))
+    for p in extra:
+        ext((p.x, p.y))
+    n = len(flat)
+    fmt = _PACK_FMT.get(n)
+    if fmt is None:
+        fmt = _PACK_FMT[n] = f"<{n}d"
+    return struct.pack(fmt, *flat)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one named cache (shared by all its users)."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+#: name -> shared counters (several Memo instances may share a name,
+#: e.g. the per-Simulation terminal-probe caches).
+_stats: "OrderedDict[str, CacheStats]" = OrderedDict()
+
+#: module-level (long-lived) memos, for clear_caches().
+_registry: list["Memo"] = []
+
+
+def stats_for(name: str) -> CacheStats:
+    """The shared counter object for ``name`` (created on first use)."""
+    if name not in _stats:
+        _stats[name] = CacheStats(name)
+    return _stats[name]
+
+
+class Memo:
+    """A bounded LRU cache with shared named counters.
+
+    ``lookup``/``store`` are no-ops while caching is disabled, so every
+    call site reads as::
+
+        hit, value = _MEMO.lookup(key)
+        if hit:
+            return value
+        value = ...compute...
+        _MEMO.store(key, value)
+    """
+
+    __slots__ = ("stats", "maxsize", "_data")
+
+    def __init__(
+        self,
+        name: str,
+        maxsize: int = DEFAULT_MAXSIZE,
+        register: bool = True,
+    ) -> None:
+        self.stats = stats_for(name)
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        if register:
+            _registry.append(self)
+
+    def active(self) -> bool:
+        """Whether caching is enabled process-wide.
+
+        Call sites check this before building a key, so a disabled cache
+        costs nothing at all (not even the fingerprint packing).
+        """
+        return _enabled
+
+    def lookup(self, key: Hashable) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise."""
+        if not _enabled:
+            return False, None
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            self.stats.hits += 1
+            return True, data[key]
+        self.stats.misses += 1
+        return False, None
+
+    def store(self, key: Hashable, value: Any) -> None:
+        if not _enabled:
+            return
+        data = self._data
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def cache_enabled() -> bool:
+    """Whether the geometry/terminal-probe caches are active."""
+    return _enabled
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Turn the caches on or off process-wide.
+
+    The setting is mirrored into ``os.environ[REPRO_GEOMETRY_CACHE]`` so
+    worker processes started afterwards (fork *or* spawn) agree with the
+    parent.  Disabling does not drop existing entries; use
+    :func:`clear_caches` for that.
+    """
+    global _enabled
+    _enabled = bool(enabled)
+    os.environ[_ENV_VAR] = "1" if _enabled else "0"
+
+
+@contextmanager
+def cache_disabled():
+    """Context manager: run a block with all caches off."""
+    previous = _enabled
+    set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+def clear_caches() -> None:
+    """Drop every entry of every registered (module-level) cache."""
+    for memo in _registry:
+        memo.clear()
+
+
+def reset_cache_stats() -> None:
+    """Zero all hit/miss counters (entries are kept)."""
+    for stats in _stats.values():
+        stats.hits = 0
+        stats.misses = 0
+
+
+def cache_stats() -> dict[str, CacheStats]:
+    """Snapshot of all named cache counters."""
+    return dict(_stats)

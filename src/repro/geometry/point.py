@@ -11,7 +11,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from .tolerance import EPS, approx_eq, is_zero
+from .tolerance import EPS, is_zero
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,8 +126,10 @@ class Vec2:
     # comparisons
     # ------------------------------------------------------------------
     def approx_eq(self, other: "Vec2", eps: float = EPS) -> bool:
-        """Tolerant equality of two points."""
-        return approx_eq(self.x, other.x, eps) and approx_eq(self.y, other.y, eps)
+        """Tolerant equality of two points (per-coordinate, as in
+        :func:`repro.geometry.tolerance.approx_eq`; inlined — this is the
+        single most called predicate of the simulator)."""
+        return abs(self.x - other.x) <= eps and abs(self.y - other.y) <= eps
 
     def as_tuple(self) -> tuple[float, float]:
         """The point as a plain ``(x, y)`` tuple."""

@@ -13,51 +13,124 @@ import random
 from typing import Sequence
 
 from .circle import Circle, circle_from_three, circle_from_two
+from .memo import Memo, points_key
 from .point import Vec2
 from .tolerance import EPS
 
 _SHUFFLE_SEED = 0x5EC5EC
 
+_SEC_MEMO = Memo("geometry.sec")
+
+#: The deterministic shuffle permutation per point count.  The permutation
+#: ``random.Random(_SHUFFLE_SEED).shuffle`` produces depends only on the
+#: list *length*, so it is computed once per size instead of constructing
+#: a fresh ``Random`` for every call.
+_PERMS: dict[int, list[int]] = {}
+
+
+def _shuffled(points: Sequence[Vec2]) -> list[Vec2]:
+    n = len(points)
+    perm = _PERMS.get(n)
+    if perm is None:
+        perm = list(range(n))
+        random.Random(_SHUFFLE_SEED).shuffle(perm)
+        _PERMS[n] = perm
+    return [points[i] for i in perm]
+
 
 def smallest_enclosing_circle(points: Sequence[Vec2]) -> Circle:
     """The smallest circle containing all ``points``.
+
+    Results are memoised on the bit-exact coordinate fingerprint (see
+    :mod:`repro.geometry.memo`): one activation of the algorithm asks
+    for the SEC of the same point tuple many times over.
 
     Raises:
         ValueError: on an empty input.
     """
     if not points:
         raise ValueError("smallest enclosing circle of an empty set is undefined")
-    pts = list(points)
-    rng = random.Random(_SHUFFLE_SEED)
-    rng.shuffle(pts)
+    if _SEC_MEMO.active():
+        key = points_key(points)
+        hit, circle = _SEC_MEMO.lookup(key)
+        if hit:
+            return circle
+    else:
+        key = None
+    pts = _shuffled(points)
 
+    # ``Circle.contains`` is inlined throughout the Welzl loops as a
+    # squared-distance comparison (``dist^2 <= (radius + EPS)^2``, the
+    # same tolerant predicate without the square root): this runs for
+    # every point at every level of the incremental construction.
     circle = Circle(pts[0], 0.0)
+    cx, cy = circle.center.x, circle.center.y
+    bound = circle.radius + EPS
+    bound_sq = bound * bound
     for i, p in enumerate(pts):
-        if circle.contains(p, EPS):
+        dx, dy = cx - p.x, cy - p.y
+        if dx * dx + dy * dy <= bound_sq:
             continue
         circle = _circle_with_point(pts[: i + 1], p)
+        cx, cy = circle.center.x, circle.center.y
+        bound = circle.radius + EPS
+        bound_sq = bound * bound
+    if key is not None:
+        _SEC_MEMO.store(key, circle)
     return circle
 
 
 def _circle_with_point(pts: Sequence[Vec2], p: Vec2) -> Circle:
     """Smallest circle of ``pts`` with ``p`` known to be on the boundary."""
     circle = Circle(p, 0.0)
+    cx, cy = p.x, p.y
+    bound = circle.radius + EPS
+    bound_sq = bound * bound
     for i, q in enumerate(pts):
-        if q is p or circle.contains(q, EPS):
+        if q is p:
+            continue
+        dx, dy = cx - q.x, cy - q.y
+        if dx * dx + dy * dy <= bound_sq:
             continue
         circle = _circle_with_two_points(pts[: i + 1], p, q)
+        cx, cy = circle.center.x, circle.center.y
+        bound = circle.radius + EPS
+        bound_sq = bound * bound
     return circle
 
 
 def _circle_with_two_points(pts: Sequence[Vec2], p: Vec2, q: Vec2) -> Circle:
-    """Smallest circle of ``pts`` with ``p`` and ``q`` on the boundary."""
+    """Smallest circle of ``pts`` with ``p`` and ``q`` on the boundary.
+
+    The bare "replace with the circumcircle of (p, q, r)" step is only
+    valid under Welzl's invariant: this function is reached with the
+    promise that some circle through ``p`` and ``q`` encloses ``pts``.
+    Circles through p and q form a one-parameter family (centers on the
+    bisector of pq); each point contributes a half-line constraint on
+    that parameter and the radius is convex in it, so when ``r`` falls
+    outside the current optimum, the new optimum has ``r`` on its
+    boundary — exactly the circumcircle taken here.  Without the
+    invariant (adversarial direct calls) the constraints can be
+    infeasible and the returned circle non-enclosing; the brute-force
+    cross-check in ``tests/geometry/test_sec_bruteforce.py`` pins that
+    the full algorithm, which always establishes the invariant before
+    recursing, never hits that case on random, collinear, cocircular or
+    duplicate-point inputs.
+    """
     circle = circle_from_two(p, q)
+    cx, cy = circle.center.x, circle.center.y
+    bound = circle.radius + EPS
+    bound_sq = bound * bound
     for r in pts:
-        if circle.contains(r, EPS):
+        dx, dy = cx - r.x, cy - r.y
+        if dx * dx + dy * dy <= bound_sq:
             continue
         candidate = circle_from_three(p, q, r)
         if candidate is not None:
             circle = candidate
+            cx, cy = circle.center.x, circle.center.y
+            bound = circle.radius + EPS
+            bound_sq = bound * bound
     return circle
 
 

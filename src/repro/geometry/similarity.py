@@ -14,11 +14,15 @@ O(n^2), so the whole test is O(n^3) — ample for robot-swarm sizes.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
+from .memo import Memo, points_key
 from .point import Vec2, centroid
 from .tolerance import EPS, approx_eq
 from .transform import Similarity
+
+_NORM_MEMO = Memo("geometry.normalize")
 
 
 def normalize_points(points: Sequence[Vec2]) -> tuple[list[Vec2], Vec2, float]:
@@ -26,13 +30,31 @@ def normalize_points(points: Sequence[Vec2]) -> tuple[list[Vec2], Vec2, float]:
 
     Returns ``(normalised points, original centroid, original max radius)``.
     A set whose points all coincide gets scale 1 (it stays a single point).
+
+    Memoised per bit-exact input tuple: similarity tests against the
+    (fixed) target pattern renormalise the same pattern-side point list
+    on every single activation.
     """
+    if _NORM_MEMO.active() and points:
+        key = points_key(points)
+        hit, cached = _NORM_MEMO.lookup(key)
+        if hit:
+            return list(cached[0]), cached[1], cached[2]
+    else:
+        key = None
     c = centroid(points)
-    shifted = [p - c for p in points]
-    scale = max((p.norm() for p in shifted), default=0.0)
+    # Scalarized (same arithmetic as ``p - c``, ``p.norm()``, ``p / scale``
+    # on Vec2 operands, without the operator-call overhead).
+    cx, cy = c.x, c.y
+    shifted = [Vec2(p.x - cx, p.y - cy) for p in points]
+    scale = max((math.hypot(p.x, p.y) for p in shifted), default=0.0)
     if scale < 1e-12:
-        return shifted, c, 1.0
-    return [p / scale for p in shifted], c, scale
+        result = shifted, c, 1.0
+    else:
+        result = [Vec2(p.x / scale, p.y / scale) for p in shifted], c, scale
+    if key is not None:
+        _NORM_MEMO.store(key, (tuple(result[0]), result[1], result[2]))
+    return result
 
 
 def _match_multisets(a: Sequence[Vec2], b: Sequence[Vec2], eps: float) -> bool:
@@ -42,6 +64,25 @@ def _match_multisets(a: Sequence[Vec2], b: Sequence[Vec2], eps: float) -> bool:
         found = False
         for j, q in enumerate(b):
             if not used[j] and p.approx_eq(q, eps):
+                used[j] = True
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def _match_coords(
+    a: Sequence[tuple[float, float]],
+    b: Sequence[tuple[float, float]],
+    eps: float,
+) -> bool:
+    """:func:`_match_multisets` on raw coordinate pairs (hot path)."""
+    used = [False] * len(b)
+    for px, py in a:
+        found = False
+        for j, (qx, qy) in enumerate(b):
+            if not used[j] and abs(px - qx) <= eps and abs(py - qy) <= eps:
                 used[j] = True
                 found = True
                 break
@@ -72,9 +113,14 @@ def find_similarity(
     norm_a, cen_a, scale_a = normalize_points(a)
     norm_b, cen_b, scale_b = normalize_points(b)
 
+    # Norms are needed repeatedly (spread, radii multiset, anchor
+    # matching); compute each exactly once.
+    norms_a = [p.norm() for p in norm_a]
+    norms_b = [p.norm() for p in norm_b]
+
     # Degenerate: single location (possibly with multiplicity).
-    spread_a = max(p.norm() for p in norm_a)
-    spread_b = max(p.norm() for p in norm_b)
+    spread_a = max(norms_a)
+    spread_b = max(norms_b)
     if spread_a < eps and spread_b < eps:
         return (
             Similarity.translation_of(cen_b)
@@ -85,24 +131,33 @@ def find_similarity(
         return None
 
     # Radii multisets must agree.
-    radii_a = sorted(p.norm() for p in norm_a)
-    radii_b = sorted(p.norm() for p in norm_b)
+    radii_a = sorted(norms_a)
+    radii_b = sorted(norms_b)
     if any(not approx_eq(ra, rb, eps) for ra, rb in zip(radii_a, radii_b)):
         return None
 
-    anchor = max(norm_a, key=lambda p: p.norm())
-    anchor_r = anchor.norm()
-    anchor_angle = anchor.angle()
+    anchor_i = max(range(len(norm_a)), key=norms_a.__getitem__)
+    anchor_r = norms_a[anchor_i]
+    anchor_angle = norm_a[anchor_i].angle()
 
+    b_coords = [(q.x, q.y) for q in norm_b]
+    match_eps = 4 * eps
     for reflect in (False, True):
-        source = [p.mirrored_x() for p in norm_a] if reflect else norm_a
+        # Reflection and rotation applied to raw coordinate pairs: the
+        # arithmetic matches ``p.mirrored_x()`` / ``p.rotated(theta)``
+        # exactly, with cos/sin hoisted out of the per-point loop.
+        if reflect:
+            source = [(p.x, -p.y) for p in norm_a]
+        else:
+            source = [(p.x, p.y) for p in norm_a]
         src_anchor_angle = -anchor_angle if reflect else anchor_angle
-        for q in norm_b:
-            if not approx_eq(q.norm(), anchor_r, eps):
+        for j, q in enumerate(norm_b):
+            if not abs(norms_b[j] - anchor_r) <= eps:
                 continue
             theta = q.angle() - src_anchor_angle
-            rotated = [p.rotated(theta) for p in source]
-            if _match_multisets(rotated, norm_b, 4 * eps):
+            c, s = math.cos(theta), math.sin(theta)
+            rotated = [(c * x - s * y, s * x + c * y) for x, y in source]
+            if _match_coords(rotated, b_coords, match_eps):
                 inner = Similarity(1.0, theta, reflect, Vec2.zero())
                 transform = (
                     Similarity.translation_of(cen_b)

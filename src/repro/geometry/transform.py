@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from .point import Vec2
 from .tolerance import EPS, approx_eq
@@ -74,19 +75,46 @@ class Similarity:
     # application and composition
     # ------------------------------------------------------------------
     def apply(self, p: Vec2) -> Vec2:
-        """Image of point ``p`` under the transform."""
-        q = p.mirrored_x() if self.reflect else p
-        q = q.rotated(self.rotation)
-        return Vec2(self.scale * q.x + self.translation.x, self.scale * q.y + self.translation.y)
+        """Image of point ``p`` under the transform.
+
+        The reflection/rotation steps are inlined (same arithmetic as
+        ``p.mirrored_x()`` / ``p.rotated(rotation)``): this runs for every
+        point of every snapshot and path the engine builds.
+        """
+        x = p.x
+        y = -p.y if self.reflect else p.y
+        c, s = math.cos(self.rotation), math.sin(self.rotation)
+        scale = self.scale
+        t = self.translation
+        return Vec2(
+            scale * (c * x - s * y) + t.x, scale * (s * x + c * y) + t.y
+        )
 
     def apply_vector(self, v: Vec2) -> Vec2:
         """Image of a *vector* (translation ignored)."""
         q = v.mirrored_x() if self.reflect else v
         return q.rotated(self.rotation) * self.scale
 
-    def apply_all(self, points: list[Vec2]) -> list[Vec2]:
-        """Image of every point in a list."""
-        return [self.apply(p) for p in points]
+    def apply_all(self, points: "Sequence[Vec2]") -> list[Vec2]:
+        """Image of every point in a list (cos/sin hoisted out of the loop)."""
+        c, s = math.cos(self.rotation), math.sin(self.rotation)
+        scale = self.scale
+        tx, ty = self.translation.x, self.translation.y
+        if self.reflect:
+            return [
+                Vec2(
+                    scale * (c * p.x - s * -p.y) + tx,
+                    scale * (s * p.x + c * -p.y) + ty,
+                )
+                for p in points
+            ]
+        return [
+            Vec2(
+                scale * (c * p.x - s * p.y) + tx,
+                scale * (s * p.x + c * p.y) + ty,
+            )
+            for p in points
+        ]
 
     def compose(self, inner: "Similarity") -> "Similarity":
         """The transform ``self o inner`` (apply ``inner`` first)."""

@@ -13,7 +13,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..geometry import Circle, Vec2, smallest_enclosing_circle
+from ..geometry.memo import Memo, points_key
 from .views import _multiset
+
+_DEDUPE_MEMO = Memo("snapshot.dedupe")
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,7 @@ def make_snapshot(
     observer_global: Vec2,
     to_local,
     multiplicity_detection: bool = False,
+    to_local_all=None,
 ) -> Snapshot:
     """Build the snapshot an observer at ``observer_global`` obtains.
 
@@ -74,13 +78,31 @@ def make_snapshot(
         observer_global: the observer's own global position.
         to_local: callable mapping a global point into the local frame.
         multiplicity_detection: whether multiplicities are observable.
+        to_local_all: optional batch form of ``to_local`` (same map, list
+            in, list out) — e.g. :meth:`LocalFrame.observe_all`, which
+            hoists the trig out of the per-point loop.  Purely an
+            optimisation; the result is identical.
     """
+    if to_local_all is None:
+        to_local_all = lambda pts: [to_local(p) for p in pts]
     if multiplicity_detection:
-        local = tuple(to_local(p) for p in global_points)
+        local = tuple(to_local_all(global_points))
     else:
-        seen: list[Vec2] = []
-        for p in global_points:
-            if not any(p.approx_eq(q) for q in seen):
-                seen.append(p)
-        local = tuple(to_local(p) for p in seen)
+        # The dedupe runs in *global* coordinates, so its result is
+        # shared by every observer and every frame over one unchanged
+        # configuration — memoised per bit-exact position tuple.
+        if _DEDUPE_MEMO.active():
+            key = points_key(global_points)
+            hit, seen = _DEDUPE_MEMO.lookup(key)
+        else:
+            key, hit, seen = None, False, None
+        if not hit:
+            seen = []
+            for p in global_points:
+                if not any(p.approx_eq(q) for q in seen):
+                    seen.append(p)
+            seen = tuple(seen)
+            if key is not None:
+                _DEDUPE_MEMO.store(key, seen)
+        local = tuple(to_local_all(seen))
     return Snapshot(local, to_local(observer_global), multiplicity_detection)

@@ -16,8 +16,12 @@ import math
 from typing import Sequence
 
 from ..geometry import Vec2, direction_angle, norm_angle
+from ..geometry.memo import Memo, points_key
 from ..geometry.tolerance import approx_eq
 from .views import VIEW_EPS, _multiset
+
+_RHO_MEMO = Memo("symmetry.rotational")
+_AXES_MEMO = Memo("symmetry.axes")
 
 
 def _rings(
@@ -62,10 +66,19 @@ def rotational_symmetry(
     Points located at the center are rotation-invariant and ignored when
     generating candidates (but a centered point never breaks symmetry).
     """
+    if _RHO_MEMO.active():
+        key = (points_key(points, center), eps)
+        hit, cached = _RHO_MEMO.lookup(key)
+        if hit:
+            return cached
+    else:
+        key = None
     multiset = [
         (p, m) for p, m in _multiset(points) if not p.approx_eq(center, eps)
     ]
     if not multiset:
+        if key is not None:
+            _RHO_MEMO.store(key, 1)
         return 1
     rings = _rings(multiset, center, eps)
     ring0 = rings[0]
@@ -80,17 +93,29 @@ def rotational_symmetry(
         seen.append(theta)
         if _maps_to_self(multiset, lambda p, t=theta: p.rotated(t, center), eps):
             count += 1
-    return max(count, 1)
+    rho = max(count, 1)
+    if key is not None:
+        _RHO_MEMO.store(key, rho)
+    return rho
 
 
 def symmetry_axes(
     points: Sequence[Vec2], center: Vec2, eps: float = VIEW_EPS
 ) -> list[float]:
     """Directions (mod pi, in [0, pi)) of all mirror axes through ``center``."""
+    if _AXES_MEMO.active():
+        key = (points_key(points, center), eps)
+        hit, cached = _AXES_MEMO.lookup(key)
+        if hit:
+            return list(cached)
+    else:
+        key = None
     multiset = [
         (p, m) for p, m in _multiset(points) if not p.approx_eq(center, eps)
     ]
     if not multiset:
+        if key is not None:
+            _AXES_MEMO.store(key, (0.0,))
         return [0.0]
     rings = _rings(multiset, center, eps)
     ring0 = rings[0]
@@ -113,6 +138,8 @@ def symmetry_axes(
         ):
             axes.append(axis)
     axes.sort()
+    if key is not None:
+        _AXES_MEMO.store(key, tuple(axes))
     return axes
 
 

@@ -1,0 +1,59 @@
+"""Lightweight per-phase wall-clock profiling (core).
+
+The engine reports how long each simulation phase takes (LOOK, COMPUTE,
+MOVE, the terminal probe) to a process-global :class:`Profiler`.  The
+profiler is off by default and costs one attribute check per action when
+disabled, so production runs pay nothing.
+
+This module is dependency-free so that :mod:`repro.sim.engine` can use
+it without import cycles; the public, report-producing API (including
+cache-hit counters and the ``on_record`` hook) lives in
+:mod:`repro.analysis.profile`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PROFILER", "Profiler", "disable", "enable", "is_enabled"]
+
+
+class Profiler:
+    """Accumulates wall-clock seconds and call counts per phase."""
+
+    __slots__ = ("enabled", "phase_seconds", "phase_calls")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.phase_seconds: dict[str, float] = {}
+        self.phase_calls: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.phase_seconds.clear()
+        self.phase_calls.clear()
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Record one timed call of ``phase``."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+#: The process-global profiler the engine reports into.
+PROFILER = Profiler()
+
+
+def enable(reset: bool = True) -> None:
+    """Start collecting phase timings (optionally zeroing counters)."""
+    if reset:
+        PROFILER.reset()
+    PROFILER.enabled = True
+
+
+def disable() -> None:
+    """Stop collecting phase timings (accumulated data is kept)."""
+    PROFILER.enabled = False
+
+
+def is_enabled() -> bool:
+    return PROFILER.enabled

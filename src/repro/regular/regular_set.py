@@ -25,6 +25,12 @@ from .optimize import nelder_mead
 #: Maximum admissible gap deviation (radians) for regularity checks.
 ANGLE_TOL = 1e-5
 
+#: Convergence tolerance for the Weiszfeld solves feeding those checks.
+#: A center accurate to 1e-9 perturbs every gap angle by orders of
+#: magnitude less than ``ANGLE_TOL``; solving to the default 1e-12 would
+#: only buy extra iterations of the (hot) Weiszfeld loop.
+WEBER_TOL = 1e-9
+
 
 @dataclass(frozen=True)
 class RegularGeometry:
@@ -198,7 +204,7 @@ def find_regular(
         )
         return check_regular_at(points, mid, tol)
 
-    start = weber_point(points)
+    start = weber_point(points, tol=WEBER_TOL)
     geometry = check_regular_at(points, start, tol)
     if geometry is not None or not polish:
         return geometry

@@ -45,7 +45,7 @@ from ..model.views import view_order
 from ..geometry import point_holds_sec, without_points, contains_point
 from .config_regular import RegularSet, _coherent
 from .optimize import nelder_mead
-from .regular_set import ANGLE_TOL, check_regular_at
+from .regular_set import ANGLE_TOL, WEBER_TOL, check_regular_at
 
 #: Tolerance on radii equalities (configurations are unit-scale).
 RADIUS_TOL = 1e-5
@@ -204,7 +204,7 @@ def _detect_whole(
     points: Sequence[Vec2], tol: float
 ) -> ShiftedRegularSet | None:
     n = len(points)
-    approx_center = weber_point(points)
+    approx_center = weber_point(points, tol=WEBER_TOL)
     d_min = min(p.dist(approx_center) for p in points)
     if d_min <= RADIUS_TOL:
         return None
@@ -216,7 +216,7 @@ def _detect_whole(
         rest = without_point(points, r)
         if not _whole_prefilter(points, rest, r, approx_center, n):
             continue
-        start = weber_point(rest)
+        start = weber_point(rest, tol=WEBER_TOL)
         for residual in (_equiangular_minus_one, _biangular_minus_one):
             best, value = nelder_mead(
                 lambda c: residual(rest, Vec2(c[0], c[1]), n),
@@ -233,7 +233,7 @@ def _detect_whole(
             r_prime = center + Vec2.polar(r.dist(center), theta)
             # Polish: the exact center of the completed set is its Weber
             # point; recompute the missing direction from it once.
-            exact = weber_point(list(rest) + [r_prime])
+            exact = weber_point(list(rest) + [r_prime], tol=WEBER_TOL)
             theta2 = _missing_direction(rest, exact, n)
             if theta2 is not None:
                 r_prime = exact + Vec2.polar(r.dist(exact), theta2)
@@ -371,7 +371,7 @@ def _verify(
 
     # reg(P'): whole-configuration regularity first (its center is the
     # Weber point, exact for truly regular sets), then the subset case.
-    whole_center = weber_point(p_prime)
+    whole_center = weber_point(p_prime, tol=WEBER_TOL)
     geometry = check_regular_at(p_prime, whole_center, 10 * tol)
     if geometry is not None:
         associated = RegularSet(tuple(p_prime), geometry, True)

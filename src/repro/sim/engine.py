@@ -28,10 +28,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from time import monotonic as _monotonic
+from time import perf_counter as _perf_counter
 from typing import Callable, Protocol, Sequence
 
-from ..geometry import Vec2
+from ..geometry import Similarity, Vec2
+from ..geometry.memo import Memo, points_key
 from ..model import Configuration, LocalFrame, Pattern, make_snapshot
+from ..model.snapshot import Snapshot
+from ..profiling import PROFILER as _PROFILER
 from ..scheduler.base import Action, ActionKind, Scheduler
 from ..scheduler.rng import ForcedBits, RandomSource
 from .context import ComputeContext
@@ -181,6 +185,12 @@ class Simulation:
         self._positions_dirty = True
         self._last_movement_step = 0
         self._last_probe_step = -(10**9)
+        # Terminal-probe verdicts keyed by the exact configuration
+        # fingerprint: the probe is pure (forced coins, no shared RNG),
+        # so re-probing an unchanged or revisited configuration is free.
+        # Per-instance because the verdict depends on the algorithm; the
+        # hit/miss counters are shared under one name.
+        self._probe_memo = Memo("engine.terminal_probe", register=False)
         self.scheduler.reset(len(self.robots))
 
     # ------------------------------------------------------------------
@@ -230,11 +240,10 @@ class Simulation:
             else _monotonic() + self.wall_limit
         )
         while self.step_count < self.max_steps:
-            if (
-                deadline is not None
-                and self.step_count % 256 == 0
-                and _monotonic() > deadline
-            ):
+            # Sampled every iteration so the overshoot past the budget
+            # is bounded by a single action plus its checkers, however
+            # slow they are (pinned by tests/sim/test_wall_limit.py).
+            if deadline is not None and _monotonic() > deadline:
                 return self._result(terminated=False, reason="wall_timeout")
             if self._quiescent() and self.is_terminal():
                 return self._result(terminated=True, reason="terminal")
@@ -251,12 +260,16 @@ class Simulation:
         self.metrics.steps += 1
         robot.last_action_step = self.step_count
 
+        profiling = _PROFILER.enabled
+        started = _perf_counter() if profiling else 0.0
         if action.kind is ActionKind.LOOK:
             self._apply_look(robot)
         elif action.kind is ActionKind.COMPUTE:
             self._apply_compute(robot)
         else:
             self._apply_move(robot, action)
+        if profiling:
+            _PROFILER.add(action.kind.name.lower(), _perf_counter() - started)
 
         if self.trace is not None:
             self.trace.record(
@@ -275,6 +288,7 @@ class Simulation:
             robot.position,
             frame.observe,
             self.multiplicity_detection,
+            to_local_all=frame.observe_all,
         )
         robot.phase = Phase.OBSERVED
         self.metrics.looks += 1
@@ -370,26 +384,68 @@ class Simulation:
 
         Probes every robot with both coin outcomes and both chiralities so
         a randomized or chirality-tie-broken decision to move cannot hide.
+
+        The probe is a pure function of the configuration (forced coins,
+        identity frames, no shared RNG), so its verdict is cached per
+        exact configuration fingerprint: re-probing an unchanged or
+        revisited configuration — e.g. the periodic probes of
+        :meth:`_quiescent` while every coin flip loses — costs a cache
+        lookup instead of ``4 n`` algorithm executions.
         """
         self._positions_dirty = False
         self._last_probe_step = self.step_count
         points = self.points()
-        for robot in self.robots:
-            for bit in (0, 1):
-                for mirrored in (False, True):
-                    frame = LocalFrame.identity_at(robot.position)
-                    if mirrored:
-                        from ..geometry import Similarity
+        if self._probe_memo.active():
+            key = points_key(points)
+            hit, verdict = self._probe_memo.lookup(key)
+        else:
+            key, hit, verdict = None, False, False
+        if not hit:
+            profiling = _PROFILER.enabled
+            started = _perf_counter() if profiling else 0.0
+            verdict = self._probe(points)
+            if profiling:
+                _PROFILER.add("terminal_probe", _perf_counter() - started)
+            if key is not None:
+                self._probe_memo.store(key, verdict)
+        return verdict
 
-                        frame = LocalFrame(
-                            Similarity.reflection_x().compose(frame.to_local)
-                        )
-                    snapshot = make_snapshot(
-                        points,
-                        robot.position,
-                        frame.observe,
+    def _probe(self, points: list[Vec2]) -> bool:
+        """Run the full 4n-way probe (every robot, coin bit, chirality).
+
+        All robots are probed in ONE shared frame per chirality (the
+        global axes, resp. their mirror image) rather than in n
+        ego-centered copies: algorithms never rely on ``me`` being at the
+        origin (see :class:`~repro.model.snapshot.Snapshot`), so the
+        verdict is the same, and sharing the frame means the snapshot
+        point tuple — and with it every geometry memo entry — is computed
+        once per chirality instead of once per robot.
+        """
+        for mirrored in (False, True):
+            frame = LocalFrame(
+                Similarity.reflection_x() if mirrored else Similarity.identity()
+            )
+            base = make_snapshot(
+                points,
+                self.robots[0].position,
+                frame.observe,
+                self.multiplicity_detection,
+                to_local_all=frame.observe_all,
+            )
+            observe = frame.observe
+            for robot in self.robots:
+                # The snapshot depends on the frame only: reuse the shared
+                # point tuple, swapping in this robot's own position.
+                snapshot = (
+                    base
+                    if robot is self.robots[0]
+                    else Snapshot(
+                        base.points,
+                        observe(robot.position),
                         self.multiplicity_detection,
                     )
+                )
+                for bit in (0, 1):
                     ctx = ComputeContext(ForcedBits(bit), own_chirality=not mirrored)
                     path = self.algorithm.compute(snapshot, ctx)
                     if path is not None and not path.is_trivial(1e-9):

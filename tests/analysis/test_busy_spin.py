@@ -1,0 +1,59 @@
+"""Regression tests for the harvest-loop wait computation.
+
+The pool's harvest loop blocks in ``connection.wait`` for up to
+``_wait_timeout(...)`` seconds.  A queue entry whose retry wake-up time
+has already passed used to clamp that timeout to zero, which turned the
+loop into a 100% CPU busy-spin for as long as every worker slot stayed
+occupied (a past-due entry waits for a *slot*, and a slot only frees
+via a pipe/sentinel event — which interrupts the wait anyway).  These
+tests fail against the pre-fix implementation.
+"""
+
+from types import SimpleNamespace
+
+from repro.analysis.parallel import _POLL_INTERVAL, _wait_timeout
+
+
+def _task(deadline=None):
+    # _wait_timeout only reads ``.deadline``; no live process needed.
+    return SimpleNamespace(deadline=deadline)
+
+
+class TestWaitTimeout:
+    def test_past_due_queue_entry_does_not_spin(self):
+        """A retry whose wake time has passed must not clamp the wait to 0."""
+        now = 100.0
+        running = [_task(), _task()]  # all slots busy, no kill deadlines
+        queue = [(7, 1, now - 5.0)]  # past-due retry, waiting for a slot
+        assert _wait_timeout(now, running, queue) == _POLL_INTERVAL
+
+    def test_entry_due_exactly_now_does_not_spin(self):
+        now = 100.0
+        assert _wait_timeout(now, [_task()], [(3, 1, now)]) == _POLL_INTERVAL
+
+    def test_future_retry_bounds_the_wait(self):
+        """A future wake-up still shortens the wait below the poll interval."""
+        now = 100.0
+        wake = now + 0.05
+        wait = _wait_timeout(now, [_task()], [(3, 1, wake)])
+        assert abs(wait - 0.05) < 1e-9
+
+    def test_kill_deadline_bounds_the_wait(self):
+        now = 100.0
+        wait = _wait_timeout(now, [_task(deadline=now + 0.1)], [])
+        assert abs(wait - 0.1) < 1e-9
+
+    def test_expired_deadline_yields_zero_wait(self):
+        """A hard-kill deadline in the past is actionable *now*."""
+        now = 100.0
+        assert _wait_timeout(now, [_task(deadline=now - 1.0)], []) == 0.0
+
+    def test_idle_pool_uses_poll_interval(self):
+        assert _wait_timeout(50.0, [], []) == _POLL_INTERVAL
+
+    def test_nearest_event_wins(self):
+        now = 10.0
+        running = [_task(deadline=now + 0.2), _task()]
+        queue = [(1, 1, now + 0.08), (2, 2, now - 3.0)]
+        wait = _wait_timeout(now, running, queue)
+        assert abs(wait - 0.08) < 1e-9

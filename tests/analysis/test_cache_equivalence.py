@@ -1,0 +1,96 @@
+"""Cache-on vs cache-off equivalence: the memoisation contract.
+
+The geometry / terminal-probe caches key on the bit-exact coordinate
+fingerprint and every memoised function is pure, so a cache hit returns
+a value computed from bit-identical inputs by the identical code path.
+The observable consequence — pinned here — is that every field of every
+:class:`RunRecord` is bit-for-bit identical with caching enabled and
+disabled, across scenarios, for the serial runner and the process pool
+alike.
+
+``TestSmoke`` is the quick subset CI runs on every push
+(``pytest tests/analysis/test_cache_equivalence.py -k Smoke``); the
+full matrix below it covers two scenarios, three seeds and both
+runners.
+"""
+
+import pytest
+
+from repro.analysis import run_batch_parallel
+from repro.analysis.scenarios import ScenarioSpec
+from repro.geometry.memo import (
+    cache_enabled,
+    clear_caches,
+    set_cache_enabled,
+)
+
+from .records import assert_records_equal, serial_reference
+
+SPECS = [
+    ScenarioSpec(
+        name="equiv-polygon7",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 7}),
+        pattern=("polygon", {"n": 7}),
+        max_steps=200_000,
+    ),
+    ScenarioSpec(
+        name="equiv-rings9",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 9}),
+        pattern=("rings", {"counts": [5, 4]}),
+        max_steps=200_000,
+    ),
+]
+
+SEEDS = [0, 1, 2]
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache_switch():
+    previous = cache_enabled()
+    yield
+    set_cache_enabled(previous)
+    clear_caches()
+
+
+def _runs(spec, seeds, *, enabled, workers=None):
+    set_cache_enabled(enabled)
+    clear_caches()
+    if workers is None:
+        return serial_reference(spec, seeds).runs
+    return run_batch_parallel(spec, seeds, workers=workers).runs
+
+
+class TestSmoke:
+    """One scenario, one seed, serial: the fast CI gate."""
+
+    def test_serial_single_seed(self):
+        on = _runs(SPECS[0], [0], enabled=True)
+        off = _runs(SPECS[0], [0], enabled=False)
+        assert_records_equal(on, off)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestSerialEquivalence:
+    def test_bit_for_bit(self, spec):
+        on = _runs(spec, SEEDS, enabled=True)
+        off = _runs(spec, SEEDS, enabled=False)
+        assert_records_equal(on, off)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestParallelEquivalence:
+    def test_bit_for_bit(self, spec):
+        on = _runs(spec, SEEDS, enabled=True, workers=2)
+        off = _runs(spec, SEEDS, enabled=False, workers=2)
+        assert_records_equal(on, off)
+
+    def test_parallel_matches_serial_with_caches_on(self, spec):
+        # The pool inherits the cache switch through the environment
+        # mirror; its records must equal the serial reference exactly.
+        parallel = _runs(spec, SEEDS, enabled=True, workers=2)
+        serial = _runs(spec, SEEDS, enabled=True)
+        assert_records_equal(parallel, serial)

@@ -1,0 +1,119 @@
+"""Tests for the profiling layer (core profiler + report records)."""
+
+import math
+
+import pytest
+
+from repro import profiling
+from repro.analysis.profile import (
+    ProfileRecord,
+    emit,
+    format_record,
+    on_record,
+    profile_batch,
+    remove_on_record,
+)
+from repro.analysis.scenarios import ScenarioSpec
+from repro.geometry.memo import reset_cache_stats
+
+
+@pytest.fixture(autouse=True)
+def _profiler_off():
+    """Every test starts and ends with a disabled, empty profiler."""
+    profiling.disable()
+    profiling.PROFILER.reset()
+    yield
+    profiling.disable()
+    profiling.PROFILER.reset()
+
+
+class TestProfilerCore:
+    def test_disabled_by_default(self):
+        assert not profiling.is_enabled()
+
+    def test_enable_disable_roundtrip(self):
+        profiling.enable()
+        assert profiling.is_enabled()
+        profiling.disable()
+        assert not profiling.is_enabled()
+
+    def test_add_accumulates(self):
+        p = profiling.Profiler()
+        p.add("look", 0.25)
+        p.add("look", 0.25)
+        p.add("move", 1.0)
+        assert p.phase_calls == {"look": 2, "move": 1}
+        assert abs(p.phase_seconds["look"] - 0.5) < 1e-12
+        assert abs(p.total_seconds() - 1.5) < 1e-12
+
+    def test_enable_resets_by_default(self):
+        profiling.PROFILER.add("look", 1.0)
+        profiling.enable()
+        assert profiling.PROFILER.phase_seconds == {}
+        profiling.PROFILER.add("look", 1.0)
+        profiling.enable(reset=False)
+        assert profiling.PROFILER.phase_calls == {"look": 1}
+
+
+class TestRecords:
+    def test_emit_fires_registered_hooks(self):
+        seen = []
+        on_record(seen.append)
+        try:
+            record = emit("hook-test", 1.0)
+        finally:
+            remove_on_record(seen.append)
+        assert seen == [record]
+        # Unregistered: a later emit must not reach the callback.
+        emit("hook-test-2", 1.0)
+        assert len(seen) == 1
+
+    def test_record_round_trips_to_dict(self):
+        record = ProfileRecord(
+            label="x",
+            wall_seconds=2.0,
+            phase_seconds={"look": 1.0},
+            phase_calls={"look": 4},
+            caches=[{"name": "c", "hits": 1, "misses": 1, "hit_rate": 0.5}],
+        )
+        d = record.to_dict()
+        assert d["label"] == "x"
+        assert d["phase_seconds"] == {"look": 1.0}
+        assert d["caches"][0]["hits"] == 1
+
+    def test_format_record_mentions_phases_and_caches(self):
+        record = ProfileRecord(
+            label="fmt",
+            wall_seconds=2.0,
+            phase_seconds={"look": 1.5, "move": 0.25},
+            phase_calls={"look": 3, "move": 1},
+            caches=[{"name": "geometry.sec", "hits": 7, "misses": 3, "hit_rate": 0.7}],
+        )
+        text = format_record(record)
+        assert "fmt" in text
+        assert "look" in text and "move" in text
+        assert "geometry.sec" in text
+
+
+class TestProfileBatch:
+    def test_profiles_a_real_batch(self):
+        reset_cache_stats()
+        spec = ScenarioSpec(
+            name="profile-smoke",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 5}),
+            pattern=("polygon", {"n": 5}),
+            max_steps=100_000,
+        )
+        batch, record = profile_batch(spec, [0])
+        assert len(batch.runs) == 1
+        assert record.label == "profile-smoke"
+        assert record.wall_seconds > 0
+        assert not math.isnan(record.wall_seconds)
+        # The engine reported into every instrumented phase.
+        for phase in ("look", "compute", "move", "terminal_probe"):
+            assert record.phase_calls.get(phase, 0) > 0, phase
+        # Profiling is an observation, not a mode: it leaves the
+        # profiler the way profile_batch found it (disabled here).
+        assert not profiling.is_enabled()

@@ -52,6 +52,14 @@ class TestStats:
         assert math.isnan(percentile([], 50))
         assert math.isnan(median([]))
 
+    def test_percentile_nan_input_propagates(self):
+        # A NaN among the values poisons the order statistics; the result
+        # must be NaN rather than an arbitrary sort-dependent number.
+        nan = float("nan")
+        for q in (0, 50, 100):
+            assert math.isnan(percentile([1.0, nan, 3.0], q))
+        assert math.isnan(median([nan, 2.0]))
+
     def test_percentile_single_element(self):
         for q in (0, 37.5, 50, 100):
             assert percentile([4.2], q) == 4.2
@@ -74,6 +82,20 @@ class TestStats:
 
     def test_binomial_ci_empty(self):
         assert binomial_ci(0, 0) == (0.0, 1.0)
+
+    def test_binomial_ci_rejects_invalid_counts(self):
+        with pytest.raises(ValueError):
+            binomial_ci(1, -1)
+        with pytest.raises(ValueError):
+            binomial_ci(-1, 10)
+        with pytest.raises(ValueError):
+            binomial_ci(11, 10)
+
+    def test_binomial_ci_extremes_stay_in_unit_interval(self):
+        lo, hi = binomial_ci(0, 20)
+        assert lo <= 1e-12 and 0.0 < hi < 1.0
+        lo, hi = binomial_ci(20, 20)
+        assert 0.0 < lo < 1.0 and hi >= 1.0 - 1e-12
 
     def test_geometric_mean(self):
         assert abs(geometric_mean([1, 4]) - 2.0) < 1e-12

@@ -1,0 +1,133 @@
+"""Unit tests for the exact-key memoisation substrate."""
+
+import os
+import struct
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.geometry.memo import (
+    Memo,
+    cache_disabled,
+    cache_enabled,
+    clear_caches,
+    points_key,
+    reset_cache_stats,
+    set_cache_enabled,
+    stats_for,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache_switch():
+    """Leave the process-wide cache switch the way we found it."""
+    previous = cache_enabled()
+    yield
+    set_cache_enabled(previous)
+
+
+class TestPointsKey:
+    def test_identical_inputs_share_a_key(self):
+        a = [Vec2(1.0, 2.0), Vec2(-3.5, 0.25)]
+        b = [Vec2(1.0, 2.0), Vec2(-3.5, 0.25)]
+        assert points_key(a) == points_key(b)
+
+    def test_key_is_order_sensitive(self):
+        a, b = Vec2(1.0, 2.0), Vec2(3.0, 4.0)
+        assert points_key([a, b]) != points_key([b, a])
+
+    def test_negative_zero_does_not_alias_zero(self):
+        # -0.0 == 0.0 under ``==`` but atan2 distinguishes them, so the
+        # fingerprint must too.
+        assert points_key([Vec2(-0.0, 0.0)]) != points_key([Vec2(0.0, 0.0)])
+
+    def test_key_is_the_raw_bit_pattern(self):
+        key = points_key([Vec2(1.5, -2.0)])
+        assert key == struct.pack("<2d", 1.5, -2.0)
+
+    def test_extra_points_extend_the_key(self):
+        p, c = Vec2(1.0, 1.0), Vec2(0.0, 0.0)
+        assert points_key([p], c) == points_key([p, c])
+        assert points_key([p], c) != points_key([p])
+
+
+class TestMemo:
+    def test_miss_then_hit(self):
+        set_cache_enabled(True)
+        memo = Memo("test.miss_then_hit", register=False)
+        hit, value = memo.lookup(b"k")
+        assert not hit and value is None
+        memo.store(b"k", 42)
+        hit, value = memo.lookup(b"k")
+        assert hit and value == 42
+
+    def test_lru_eviction_drops_least_recent(self):
+        set_cache_enabled(True)
+        memo = Memo("test.lru", maxsize=2, register=False)
+        memo.store(b"a", 1)
+        memo.store(b"b", 2)
+        assert memo.lookup(b"a")[0]  # touch "a": "b" becomes the LRU
+        memo.store(b"c", 3)
+        assert len(memo) == 2
+        assert memo.lookup(b"a")[0]
+        assert not memo.lookup(b"b")[0]
+        assert memo.lookup(b"c")[0]
+
+    def test_disabled_cache_is_inert(self):
+        set_cache_enabled(False)
+        memo = Memo("test.inert", register=False)
+        assert not memo.active()
+        memo.store(b"k", 1)
+        assert len(memo) == 0
+        hit, value = memo.lookup(b"k")
+        assert not hit and value is None
+
+    def test_counters_are_shared_by_name(self):
+        set_cache_enabled(True)
+        a = Memo("test.shared", register=False)
+        b = Memo("test.shared", register=False)
+        stats = stats_for("test.shared")
+        stats.hits = stats.misses = 0
+        a.lookup(b"x")  # miss
+        a.store(b"x", 1)
+        a.lookup(b"x")  # hit
+        b.lookup(b"y")  # miss on the sibling
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert abs(stats.hit_rate() - 1 / 3) < 1e-12
+
+    def test_reset_cache_stats_keeps_entries(self):
+        set_cache_enabled(True)
+        memo = Memo("test.reset", register=False)
+        memo.store(b"k", 1)
+        memo.lookup(b"k")
+        reset_cache_stats()
+        stats = stats_for("test.reset")
+        assert stats.hits == 0 and stats.misses == 0
+        assert memo.lookup(b"k")[0]  # entry survived the counter reset
+
+
+class TestSwitch:
+    def test_toggle_mirrors_into_environment(self):
+        set_cache_enabled(False)
+        assert os.environ["REPRO_GEOMETRY_CACHE"] == "0"
+        set_cache_enabled(True)
+        assert os.environ["REPRO_GEOMETRY_CACHE"] == "1"
+
+    def test_cache_disabled_context_restores(self):
+        set_cache_enabled(True)
+        with cache_disabled():
+            assert not cache_enabled()
+        assert cache_enabled()
+        set_cache_enabled(False)
+        with cache_disabled():
+            assert not cache_enabled()
+        assert not cache_enabled()
+
+    def test_clear_caches_empties_registered_memos(self):
+        set_cache_enabled(True)
+        memo = Memo("test.clear")  # registered on purpose
+        memo.store(b"k", 1)
+        assert len(memo) == 1
+        clear_caches()
+        assert len(memo) == 0

@@ -1,0 +1,148 @@
+"""Brute-force cross-check of the smallest enclosing circle.
+
+Welzl's ``_circle_with_two_points`` step replaces the current circle by
+the circumcircle of ``(p, q, r)`` whenever ``r`` falls outside — a step
+that is only sound under the algorithm's invariant (some circle through
+``p`` and ``q`` encloses the prefix).  This suite pins that the full
+algorithm, which always establishes the invariant before recursing,
+returns the true minimum circle on every structured input class the
+simulator can produce: random sets, collinear sets, cocircular sets and
+sets with duplicate points.
+
+The oracle is the classical O(n^4) enumeration: the SEC is either the
+diametral circle of two points or the circumcircle of three, so the
+smallest enclosing candidate among all pairs/triples is the answer.
+"""
+
+import math
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.geometry import Vec2, smallest_enclosing_circle
+from repro.geometry.circle import Circle, circle_from_three, circle_from_two
+
+_TOL = 1e-7
+
+
+def _encloses(circle: Circle, pts, tol: float = _TOL) -> bool:
+    return all(p.dist(circle.center) <= circle.radius + tol for p in pts)
+
+
+def _brute_sec(pts) -> Circle:
+    """Minimum enclosing circle by exhaustive pair/triple enumeration."""
+    best = None
+    if len(pts) == 1:
+        return Circle(pts[0], 0.0)
+    for a, b in combinations(pts, 2):
+        c = circle_from_two(a, b)
+        if _encloses(c, pts) and (best is None or c.radius < best.radius):
+            best = c
+    for a, b, c3 in combinations(pts, 3):
+        c = circle_from_three(a, b, c3)
+        if c is not None and _encloses(c, pts) and (
+            best is None or c.radius < best.radius
+        ):
+            best = c
+    assert best is not None, "oracle failed to find any enclosing circle"
+    return best
+
+
+def _check(pts):
+    sec = smallest_enclosing_circle(pts)
+    assert _encloses(sec, pts), f"SEC does not enclose all of {pts}"
+    oracle = _brute_sec(pts)
+    assert sec.radius <= oracle.radius + _TOL, (
+        f"SEC radius {sec.radius} exceeds optimum {oracle.radius} on {pts}"
+    )
+    # Both enclose, and neither is smaller than the optimum: radii agree.
+    assert abs(sec.radius - oracle.radius) <= _TOL
+
+
+class TestRandomSets:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 10)
+        pts = [
+            Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(n)
+        ]
+        _check(pts)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_duplicates(self, seed):
+        rng = random.Random(1000 + seed)
+        base = [
+            Vec2(rng.uniform(-3, 3), rng.uniform(-3, 3))
+            for _ in range(rng.randint(2, 6))
+        ]
+        pts = base + [base[rng.randrange(len(base))] for _ in range(3)]
+        rng.shuffle(pts)
+        _check(pts)
+
+
+class TestDegenerateSets:
+    def test_single_point(self):
+        sec = smallest_enclosing_circle([Vec2(2.0, -1.0)])
+        assert sec.radius <= _TOL
+        assert sec.center.dist(Vec2(2.0, -1.0)) <= _TOL
+
+    def test_all_points_identical(self):
+        pts = [Vec2(1.5, 1.5)] * 5
+        sec = smallest_enclosing_circle(pts)
+        assert sec.radius <= _TOL
+
+    def test_two_points(self):
+        pts = [Vec2(-1.0, 0.0), Vec2(3.0, 0.0)]
+        sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - 2.0) <= _TOL
+        assert sec.center.dist(Vec2(1.0, 0.0)) <= _TOL
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_collinear(self, seed):
+        rng = random.Random(2000 + seed)
+        ax, ay = rng.uniform(-2, 2), rng.uniform(-2, 2)
+        dx, dy = rng.uniform(-1, 1), rng.uniform(-1, 1)
+        if abs(dx) + abs(dy) < 1e-3:
+            dx = 1.0
+        ts = [rng.uniform(-4, 4) for _ in range(rng.randint(2, 8))]
+        pts = [Vec2(ax + t * dx, ay + t * dy) for t in ts]
+        _check(pts)
+        # For collinear points the SEC is the diametral circle of the
+        # extremes.
+        lo, hi = min(ts), max(ts)
+        extent = (hi - lo) * math.hypot(dx, dy)
+        sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - extent / 2.0) <= _TOL
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cocircular(self, seed):
+        rng = random.Random(3000 + seed)
+        cx, cy = rng.uniform(-2, 2), rng.uniform(-2, 2)
+        r = rng.uniform(0.5, 3.0)
+        n = rng.randint(3, 9)
+        angles = sorted(rng.uniform(0, 2 * math.pi) for _ in range(n))
+        pts = [
+            Vec2(cx + r * math.cos(a), cy + r * math.sin(a)) for a in angles
+        ]
+        _check(pts)
+        sec = smallest_enclosing_circle(pts)
+        # Cocircular points: the SEC radius never exceeds the generating
+        # circle's, and it equals it exactly when no open half-circle
+        # contains all the points (max circular gap < pi).
+        assert sec.radius <= r + _TOL
+        gaps = [b - a for a, b in zip(angles, angles[1:])]
+        gaps.append(2 * math.pi - (angles[-1] - angles[0]))
+        if max(gaps) < math.pi - 1e-6:
+            assert abs(sec.radius - r) <= 1e-6
+
+    def test_regular_polygon_is_its_circumcircle(self):
+        n = 7
+        pts = [
+            Vec2(math.cos(2 * math.pi * k / n), math.sin(2 * math.pi * k / n))
+            for k in range(n)
+        ]
+        sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - 1.0) <= _TOL
+        assert sec.center.dist(Vec2(0.0, 0.0)) <= _TOL

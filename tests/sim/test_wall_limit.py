@@ -1,5 +1,7 @@
 """The simulation's soft wall-clock budget."""
 
+import time
+
 from repro import FormPattern, patterns
 from repro.scheduler import RoundRobinScheduler
 from repro.sim import Simulation
@@ -20,6 +22,27 @@ def test_zero_budget_stops_immediately():
     assert not result.terminated
     assert result.reason == "wall_timeout"
     assert result.steps == 0
+
+
+def test_overshoot_is_bounded_by_one_action():
+    """The budget is sampled every scheduler iteration, so the overshoot
+    past the deadline is bounded by a single action plus its checkers —
+    even when a checker is slow.  A coarser sampling (say, only at
+    terminal probes) would overrun by many multiples of the checker
+    cost on a budget this tight."""
+    sleep = 0.05
+    wall_limit = 0.2
+    sim = _sim(wall_limit)
+    sim.checkers.append(lambda _sim, _action: time.sleep(sleep))
+    started = time.monotonic()
+    result = sim.run()
+    elapsed = time.monotonic() - started
+    assert not result.terminated
+    assert result.reason == "wall_timeout"
+    assert result.steps > 0  # the budget allowed real work first
+    # One in-flight action (with its slow checker) plus a generous
+    # scheduling margin for loaded CI hosts.
+    assert elapsed <= wall_limit + 3 * sleep + 0.5
 
 
 def test_generous_budget_changes_nothing():

@@ -91,6 +91,46 @@ class TestCommands:
         ) == 0
         assert capsys.readouterr().out == serial_out
 
+    def test_profile_runs(self, capsys, tmp_path):
+        json_path = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "-n",
+                "6",
+                "--runs",
+                "1",
+                "--scheduler",
+                "round-robin",
+                "--json",
+                str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wall-clock" in out
+        assert "look" in out and "terminal_probe" in out
+        assert json_path.exists()
+        import json
+
+        record = json.loads(json_path.read_text())
+        assert record["wall_seconds"] > 0
+        assert record["phase_calls"]["look"] > 0
+        assert any(c["hits"] or c["misses"] for c in record["caches"])
+
+    def test_profile_no_cache_flag(self, capsys):
+        code = main(
+            ["profile", "-n", "5", "--runs", "1", "--no-cache",
+             "--scheduler", "round-robin"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # With the caches off nothing records hits.
+        from repro.geometry.memo import cache_enabled
+
+        assert cache_enabled()  # the flag is scoped to the command
+        assert "wall-clock" in out
+
     def test_election_runs(self, capsys):
         code = main(
             [
