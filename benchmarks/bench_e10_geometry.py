@@ -1,4 +1,4 @@
-"""E9 — geometry substrate latency scaling.
+"""E10 — geometry substrate latency scaling.
 
 Micro-benchmarks of the primitives every activation relies on: smallest
 enclosing circle, Weber point, local views / view order, symmetricity and
@@ -29,26 +29,26 @@ def random_pts(n, seed=1):
 
 
 @pytest.mark.parametrize("n", [8, 16, 32, 64])
-def test_e9_sec(benchmark, n):
+def test_e10_sec(benchmark, n):
     pts = random_pts(n)
     benchmark(lambda: smallest_enclosing_circle(pts))
 
 
 @pytest.mark.parametrize("n", [8, 16, 32, 64])
-def test_e9_weber(benchmark, n):
+def test_e10_weber(benchmark, n):
     pts = random_pts(n)
     benchmark(lambda: weber_point(pts))
 
 
 @pytest.mark.parametrize("n", [8, 16, 32])
-def test_e9_view_order(benchmark, n):
+def test_e10_view_order(benchmark, n):
     pts = random_pts(n)
     center = smallest_enclosing_circle(pts).center
     benchmark(lambda: view_order(pts, center))
 
 
 @pytest.mark.parametrize("n", [8, 16, 32])
-def test_e9_symmetricity(benchmark, n):
+def test_e10_symmetricity(benchmark, n):
     pts = [Vec2.polar(1.0, 2 * math.pi * i / n) for i in range(n)]
     center = Vec2.zero()
     result = benchmark(lambda: rotational_symmetry(pts, center))
@@ -56,7 +56,7 @@ def test_e9_symmetricity(benchmark, n):
 
 
 @pytest.mark.parametrize("n", [8, 16])
-def test_e9_regular_set_of(benchmark, n):
+def test_e10_regular_set_of(benchmark, n):
     pts = [Vec2.polar(1.0, 2 * math.pi * i / n) for i in range(n)] + [
         Vec2.polar(0.5, 0.3 + 2 * math.pi * i / (n // 2)) for i in range(n // 2)
     ]
@@ -64,9 +64,9 @@ def test_e9_regular_set_of(benchmark, n):
     assert result is not None
 
 
-def test_e9_summary():
+def test_e10_summary():
     write_result(
-        "e9_geometry.txt",
+        "e10_geometry.txt",
         "See the pytest-benchmark table in bench output: SEC and Weber are\n"
         "near-linear in n; views/symmetricity are O(n^2 log n); reg(P) is\n"
         "O(n^3) in the worst case — all comfortably sub-millisecond at the\n"

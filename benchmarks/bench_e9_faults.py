@@ -1,0 +1,145 @@
+"""E9 — fault injection and adversarial scheduling: degradation table.
+
+The paper's Theorem 2 quantifies over *every* ASYNC activation schedule:
+probability-1 convergence may not depend on the scheduler being benign.
+E9 pits the algorithm against the :mod:`repro.faults` subsystem — the
+adversarial activation policies and the engine-level fault models — and
+measures how success probability and cost degrade relative to a benign
+random-activation baseline.
+
+Hypothesis: crash-free adversaries (starvation, stale snapshots, minimal
+non-rigid moves, bounded sensor noise) leave probability-1 convergence
+intact but inflate cycle/step counts by large factors; crash-stop faults
+break pattern formation outright (a frozen robot occupies a point the
+pattern does not forgive).
+
+Every row runs end-to-end through the unified facade — parallel worker
+pool, per-seed wall-clock budget and a JSONL run journal — exactly the
+path ``python -m repro batch --adversary ... --faults ...`` takes.
+
+``REPRO_E9_SMOKE=1`` switches to the CI smoke variant: one adversarial
+scenario, two seeds, written to ``e9_faults_smoke.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.analysis import BatchConfig, RunJournal, ScenarioSpec, format_table, run
+
+from .conftest import BENCH_WORKERS, write_result
+
+SMOKE = os.environ.get("REPRO_E9_SMOKE") == "1"
+
+N = 4
+DELTA = 0.02
+MAX_STEPS = 60_000
+SEEDS = list(range(2)) if SMOKE else list(range(4))
+TIMEOUT = 60.0 if SMOKE else 120.0
+
+#: (label, scheduler component, faults spec).  The adversarial rows
+#: tighten the fairness bound: the starvation bound is the adversary's
+#: leash, and the default 4000 steps lets a starving policy stall
+#: progress for longer than a benchmark budget tolerates.
+_FB = {"fairness_bound": 400}
+MIXES = [
+    ("starve", ("async", {"policy": "starve", **_FB}), None),
+    ("max-pending", ("async", {"policy": "max-pending", **_FB}), None),
+    (
+        "stale + min-d trunc",
+        ("async", {"policy": "stale", **_FB}),
+        {"truncate": {"mode": "min-delta", "factor": 2.0}},
+    ),
+    (
+        "greedy",
+        ("async", {"policy": ("greedy", {"samples": 2}), **_FB}),
+        None,
+    ),
+    ("sensor noise", ("async", {}), {"sensor": {"sigma": 1e-6}}),
+    ("crash 1", ("async", {}), {"crash": {"count": 1, "window": [0, 2000]}}),
+]
+if SMOKE:
+    MIXES = [MIXES[0]]  # one adversarial policy, two seeds
+
+
+def _spec(label: str, scheduler, faults) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=label,
+        algorithm="form-pattern",
+        scheduler=scheduler,
+        initial=("random", {"n": N}),
+        pattern=("polygon", {"n": N}),
+        max_steps=MAX_STEPS,
+        delta=DELTA,
+        faults=faults,
+    )
+
+
+def _row(label: str, batch, baseline_steps: float | None) -> dict:
+    steps = batch.stat("steps")
+    if baseline_steps and steps == steps:  # not NaN
+        inflation = f"{steps / baseline_steps:.1f}x"
+    else:
+        inflation = "-"
+    failures = batch.reason_counts()
+    return {
+        "mix": label,
+        "runs": batch.n_runs(),
+        "success": round(batch.success_rate(), 3),
+        "cycles_mean": round(batch.stat("cycles"), 1),
+        "steps_mean": round(steps, 0),
+        "steps_vs_benign": inflation,
+        "failures": (
+            " ".join(f"{k}={v}" for k, v in failures.items()) or "-"
+        ),
+    }
+
+
+def e9_rows() -> list[dict]:
+    """Benign baseline plus every adversary/fault mix, journalled."""
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="e9-journals-") as tmp:
+        journal_dir = Path(tmp)
+
+        def journalled_run(tag: str, spec: ScenarioSpec):
+            journal = journal_dir / f"{tag}.jsonl"
+            batch = run(
+                spec,
+                SEEDS,
+                BatchConfig(
+                    workers=BENCH_WORKERS,
+                    timeout=TIMEOUT,
+                    journal=journal,
+                ),
+            )
+            # The journal must hold exactly one record per seed — the
+            # integration half of the experiment.
+            state = RunJournal(journal).load()
+            assert len(state.records) == len(SEEDS), (tag, state.records)
+            return batch
+
+        baseline_steps = None
+        if not SMOKE:
+            benign = journalled_run("benign", _spec("benign", "async", None))
+            baseline_steps = benign.stat("steps")
+            rows.append(_row("benign", benign, None))
+        for i, (label, scheduler, faults) in enumerate(MIXES):
+            batch = journalled_run(f"mix{i}", _spec(label, scheduler, faults))
+            rows.append(_row(label, batch, baseline_steps))
+    return rows
+
+
+def test_e9_faults(benchmark):
+    rows = benchmark.pedantic(e9_rows, rounds=1, iterations=1)
+    name = "e9_faults_smoke.txt" if SMOKE else "e9_faults.txt"
+    write_result(name, format_table(rows))
+    by_mix = {row["mix"]: row for row in rows}
+    if not SMOKE:
+        assert by_mix["benign"]["success"] == 1.0, by_mix["benign"]
+        # Crash-stop must actually break formation.
+        assert by_mix["crash 1"]["success"] < 1.0, by_mix["crash 1"]
+    # Every adversarial mix still yields one record per seed.
+    for row in rows:
+        assert row["runs"] == len(SEEDS), row

@@ -39,7 +39,7 @@ from pathlib import Path
 #: JSON blob with the timed wall-clock and the cache counters.
 _RUN = r"""
 import json, os, sys, time
-from repro.analysis import ScenarioSpec, run_batch_parallel
+from repro.analysis import BatchConfig, ScenarioSpec, run
 from repro.geometry.memo import cache_enabled, cache_stats
 
 scenarios = [
@@ -59,10 +59,11 @@ specs = [
     )
     for name, pattern, n in scenarios
 ]
-run_batch_parallel(specs[0], [99], workers=1)  # warm-up: imports, JIT-free
+serial = BatchConfig(workers=1)
+run(specs[0], [99], serial)  # warm-up: imports, JIT-free
 t0 = time.perf_counter()
 for spec in specs:
-    run_batch_parallel(spec, [0, 1, 2], workers=1)
+    run(spec, [0, 1, 2], serial)
 wall = time.perf_counter() - t0
 print(json.dumps({
     "wall_seconds": wall,

@@ -5,9 +5,10 @@ runs the workload under ``pytest-benchmark`` (so regressions in runtime
 are visible) and writes the experiment's result table to
 ``benchmarks/results/`` while also echoing it to stdout.
 
-The batch-driven experiments go through the parallel runner
-(:func:`repro.analysis.run_batch_parallel`) over registry scenario
-specs; parallel execution is bit-for-bit equivalent to serial (pinned by
+The batch-driven experiments go through the unified facade
+(:func:`repro.analysis.run` with a :class:`repro.analysis.BatchConfig`)
+over registry scenario specs; parallel execution is bit-for-bit
+equivalent to serial (pinned by
 ``tests/analysis/test_parallel_equivalence.py``), so the tables are
 unchanged while the wall-clock drops with the worker count.  Set
 ``REPRO_BENCH_WORKERS=1`` to force the serial reference path.
@@ -18,7 +19,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.analysis import BatchResult, ScenarioSpec, run_batch_parallel
+from repro.analysis import BatchConfig, BatchResult, ScenarioSpec, run
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,9 +28,11 @@ BENCH_WORKERS = int(
 )
 
 
-def run_bench_batch(spec: ScenarioSpec, seeds) -> BatchResult:
+def run_bench_batch(
+    spec: ScenarioSpec, seeds, *, timeout: float | None = None
+) -> BatchResult:
     """Run one experiment scenario on the benchmark worker pool."""
-    return run_batch_parallel(spec, seeds, workers=BENCH_WORKERS)
+    return run(spec, seeds, BatchConfig(workers=BENCH_WORKERS, timeout=timeout))
 
 
 def write_result(name: str, text: str) -> None:

@@ -1,6 +1,13 @@
-"""Analysis tooling: invariant checkers, batch runners, statistics."""
+"""Analysis tooling: invariant checkers, batch runners, statistics.
 
-from .batch import BatchResult, RunRecord, format_table, run_batch
+The public batch surface is :func:`run` + :class:`BatchConfig` (the
+facade), :class:`ScenarioSpec` (the workload), and
+:class:`RunRecord` / :class:`BatchResult` (the outcomes); see the
+"Public API" section of DESIGN.md.  ``run_batch`` and
+``run_batch_parallel`` remain importable as deprecated shims.
+"""
+
+from .batch import BatchResult, RunReason, RunRecord, format_table, run_batch
 from .checker import (
     InvariantViolation,
     delta_checker,
@@ -8,12 +15,15 @@ from .checker import (
     no_multiplicity_checker,
     sec_radius_monitor,
 )
+from .facade import BatchConfig, run
 from .journal import RunJournal
 from .parallel import failure_record, run_batch_parallel, run_seed
 from .profile import ProfileRecord, format_record, on_record, profile_batch
 from .scenarios import (
     BuiltScenario,
     ScenarioSpec,
+    build_scheduler,
+    normalize_faults,
     register_algorithm,
     register_frame_policy,
     register_initial,
@@ -31,15 +41,19 @@ from .stats import (
 )
 
 __all__ = [
+    "BatchConfig",
     "BatchResult",
     "BuiltScenario",
     "InvariantViolation",
     "ProfileRecord",
     "RunJournal",
+    "RunReason",
     "RunRecord",
     "ScenarioSpec",
     "binomial_ci",
+    "build_scheduler",
     "format_record",
+    "normalize_faults",
     "on_record",
     "profile_batch",
     "delta_checker",
@@ -56,6 +70,7 @@ __all__ = [
     "register_initial",
     "register_pattern",
     "register_scheduler",
+    "run",
     "run_batch",
     "run_batch_parallel",
     "run_seed",

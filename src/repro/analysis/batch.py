@@ -4,10 +4,16 @@ Runs many seeded simulations of one scenario, collects per-run outcomes,
 and aggregates them into the success-rate / cost statistics the
 experiment tables report.  This is the workhorse behind ``benchmarks/``
 and EXPERIMENTS.md.
+
+The public batch entry point is :func:`repro.analysis.run` (see
+:mod:`repro.analysis.facade`); :func:`run_batch` remains as a deprecated
+factory-based shim.
 """
 
 from __future__ import annotations
 
+import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -15,6 +21,35 @@ from ..model import Configuration, Pattern
 from ..scheduler.base import Scheduler
 from ..sim.engine import FramePolicy, Simulation, SimulationResult
 from .stats import mean, median, percentile
+
+
+class RunReason(enum.Enum):
+    """Why a run ended — the enum behind ``RunRecord.reason``.
+
+    Records carry the reason as a string (free-form detail is allowed
+    after an ``error:`` prefix, and old journals stay readable), but
+    every string classifies into exactly one of these members so journal
+    resume and the E9 degradation tables can aggregate failure causes
+    reliably.
+    """
+
+    TERMINAL = "terminal"
+    MAX_STEPS = "max_steps"
+    WALL_TIMEOUT = "wall_timeout"
+    TIMEOUT = "timeout"
+    WORKER_DIED = "worker_died"
+    ALL_CRASHED = "all_crashed"
+    ERROR = "error"
+    OTHER = "other"
+
+    @classmethod
+    def classify(cls, reason: str) -> "RunReason":
+        """Map a record's reason string (new or legacy) to its member."""
+        head = reason.split(":", 1)[0].strip()
+        try:
+            return cls(head)
+        except ValueError:
+            return cls.OTHER
 
 
 @dataclass
@@ -32,6 +67,11 @@ class RunRecord:
     float_draws: int
     distance: float
     reason: str
+
+    @property
+    def reason_kind(self) -> RunReason:
+        """The enum-backed classification of ``reason``."""
+        return RunReason.classify(self.reason)
 
 
 @dataclass
@@ -79,6 +119,21 @@ class BatchResult:
         total_cycles = sum(r.cycles for r in succ)
         return total_bits / total_cycles if total_cycles else 0.0
 
+    def reason_counts(self, failures_only: bool = True) -> dict[str, int]:
+        """Aggregate run outcomes by :class:`RunReason`.
+
+        With ``failures_only`` (the default) only unsuccessful runs are
+        counted — the failure-cause breakdown the degradation tables
+        report.  Keys are ``RunReason.value`` strings, sorted by count.
+        """
+        counts: dict[str, int] = {}
+        for r in self.runs:
+            if failures_only and r.formed and r.terminated:
+                continue
+            key = r.reason_kind.value
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
     def row(self) -> dict:
         """One table row for the experiment reports."""
         return {
@@ -92,7 +147,7 @@ class BatchResult:
         }
 
 
-def run_batch(
+def _run_batch_factories(
     name: str,
     algorithm_factory: Callable[[], object],
     scheduler_factory: Callable[[int], Scheduler],
@@ -104,17 +159,19 @@ def run_batch(
     max_steps: int = 300_000,
     delta: float = 1e-3,
     wall_limit: float | None = None,
+    faults: dict | None = None,
     on_record: Callable[[RunRecord], None] | None = None,
 ) -> BatchResult:
-    """Run one scenario across ``seeds`` and aggregate the outcomes.
+    """The serial reference loop every batch entry point bottoms out in.
 
     Duplicate seeds are rejected: a repeated seed reruns the identical
     simulation and would silently double-count its outcome in
     ``BatchResult.success_rate``.
 
     ``wall_limit`` bounds each run's wall-clock time (soft, checked
-    inside the simulation loop); ``on_record`` is invoked after every
-    completed run — the run journal hooks in here.
+    inside the simulation loop); ``faults`` is the scenario's fault-plan
+    spec dict (see :mod:`repro.faults`); ``on_record`` is invoked after
+    every completed run — the run journal hooks in here.
     """
     seed_list = list(seeds)
     if len(set(seed_list)) != len(seed_list):
@@ -131,6 +188,7 @@ def run_batch(
             max_steps=max_steps,
             delta=delta,
             wall_limit=wall_limit,
+            faults=faults,
         )
         result = sim.run()
         record = _record(seed, result)
@@ -138,6 +196,23 @@ def run_batch(
         if on_record is not None:
             on_record(record)
     return batch
+
+
+def run_batch(*args, **kwargs) -> BatchResult:
+    """Deprecated factory-based batch runner.
+
+    Use :func:`repro.analysis.run` with a
+    :class:`~repro.analysis.scenarios.ScenarioSpec` and a
+    :class:`~repro.analysis.facade.BatchConfig` instead; this shim only
+    forwards to the internal serial loop.
+    """
+    warnings.warn(
+        "run_batch is deprecated; use repro.analysis.run(spec, seeds, "
+        "BatchConfig(workers=1)) with a ScenarioSpec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_batch_factories(*args, **kwargs)
 
 
 def _record(seed: int, result: SimulationResult) -> RunRecord:

@@ -1,0 +1,149 @@
+"""The unified batch entry point: ``run(spec, seeds, config)``.
+
+Batch execution used to be spread over two entry points with sprawling
+keyword lists (``run_batch`` over live factories, ``run_batch_parallel``
+over specs).  The facade collapses them: a
+:class:`~repro.analysis.scenarios.ScenarioSpec` says *what* to run, a
+:class:`BatchConfig` says *how* (worker count, per-seed timeout, retry
+budget, journal), and :func:`run` dispatches to the serial reference
+loop or the fault-tolerant process pool.  Both old entry points survive
+as thin deprecated shims over this facade, and both paths produce
+bit-for-bit identical :class:`~repro.analysis.batch.RunRecord` lists
+(pinned by the equivalence suite).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .batch import BatchResult, RunRecord
+from .journal import RunJournal
+from .scenarios import ScenarioSpec
+
+__all__ = ["BatchConfig", "run"]
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """How a batch executes — everything that is not the workload itself.
+
+    Args:
+        workers: process count (default: CPUs, capped at 8); ``1`` runs
+            the serial reference loop in-process (no isolation: timeouts
+            are soft-only and a fault that kills the process kills the
+            batch).
+        timeout: per-seed wall-clock budget in seconds.  The simulation
+            gets it as a soft limit (``reason="wall_timeout"``); a hung
+            worker is hard-killed shortly after and recorded as
+            ``reason="timeout"``.
+        retries: how many times a seed is retried after its worker died
+            without reporting a result.
+        backoff: initial delay before a retry, doubled per attempt.
+        backoff_cap: upper bound on the retry delay.
+        journal: path of the append-only JSONL run journal.
+        resume: skip seeds already present in the journal (requires the
+            journal to have been written by the same scenario).
+        mp_context: multiprocessing context override (default: fork
+            where available).
+    """
+
+    workers: int | None = None
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.25
+    backoff_cap: float = 4.0
+    journal: "str | os.PathLike | None" = None
+    resume: bool = False
+    mp_context: Any = field(default=None, compare=False)
+
+    def resolved_workers(self) -> int:
+        if self.workers is None:
+            return max(1, min(os.cpu_count() or 1, 8))
+        return self.workers
+
+    def validate(self) -> None:
+        if self.resolved_workers() < 1:
+            raise ValueError("workers must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+def run(
+    spec: ScenarioSpec,
+    seeds: Sequence[int],
+    config: BatchConfig | None = None,
+) -> BatchResult:
+    """Run ``spec`` across ``seeds`` under ``config``.
+
+    The single public batch entry point: every seed yields exactly one
+    :class:`~repro.analysis.batch.RunRecord` (failures included), runs
+    come back ordered by the input ``seeds`` order independent of
+    completion order, and the records are bit-for-bit independent of the
+    worker count.
+
+    Returns:
+        The aggregated :class:`~repro.analysis.batch.BatchResult`.
+    """
+    from . import parallel as _parallel  # late: parallel imports batch
+
+    config = config or BatchConfig()
+    config.validate()
+    seed_list = [int(s) for s in seeds]
+    if len(set(seed_list)) != len(seed_list):
+        raise ValueError("duplicate seeds in batch")
+    workers = config.resolved_workers()
+
+    results: dict[int, RunRecord] = {}
+    journal_obj = (
+        RunJournal(config.journal) if config.journal is not None else None
+    )
+    if journal_obj is not None:
+        if not journal_obj.is_empty():
+            if not config.resume:
+                raise ValueError(
+                    f"journal {journal_obj.path} already exists; enable "
+                    "resume to continue it or remove the file"
+                )
+            state = journal_obj.load()
+            if state.meta is not None:
+                recorded = state.meta.get("fingerprint")
+                if recorded not in (None, spec.fingerprint()):
+                    raise ValueError(
+                        f"journal {journal_obj.path} was written by a "
+                        f"different scenario (fingerprint {recorded}, "
+                        f"expected {spec.fingerprint()})"
+                    )
+            wanted = set(seed_list)
+            results.update(
+                {s: r for s, r in state.records.items() if s in wanted}
+            )
+        else:
+            journal_obj.start(spec.name, spec.fingerprint(), spec.to_dict())
+
+    pending = [s for s in seed_list if s not in results]
+
+    def commit(record: RunRecord) -> None:
+        results[record.seed] = record
+        if journal_obj is not None:
+            journal_obj.append(record)
+
+    if workers == 1:
+        _parallel._run_serial(spec, pending, config.timeout, commit)
+    else:
+        _parallel._run_pool(
+            spec,
+            pending,
+            workers,
+            config.timeout,
+            config.retries,
+            config.backoff,
+            config.backoff_cap,
+            commit,
+            config.mp_context or _parallel._default_context(),
+        )
+
+    batch = BatchResult(spec.name)
+    batch.runs = [results[s] for s in seed_list]
+    return batch

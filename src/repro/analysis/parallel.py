@@ -36,13 +36,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as _connection_wait
 from typing import Sequence
 
-from .batch import BatchResult, RunRecord, run_batch
-from .journal import RunJournal
+from .batch import BatchResult, RunReason, RunRecord, _run_batch_factories
 from .scenarios import ScenarioSpec
 
 #: A hung worker is hard-killed at ``timeout * factor + grace`` so the
@@ -53,8 +53,23 @@ _HARD_TIMEOUT_GRACE = 0.5
 _POLL_INTERVAL = 0.25
 
 
-def failure_record(seed: int, reason: str) -> RunRecord:
-    """The record emitted when a seed produced no simulation result."""
+def failure_record(
+    seed: int, reason: "RunReason | str", detail: str | None = None
+) -> RunRecord:
+    """The record emitted when a seed produced no simulation result.
+
+    ``reason`` is preferably a :class:`RunReason` member (internal
+    callers pass the enum, so aggregation never depends on string
+    spelling); free-form detail goes into the ``detail`` argument and is
+    appended after a ``": "`` separator, keeping the stored string
+    classifiable by :meth:`RunReason.classify`.
+    """
+    if isinstance(reason, RunReason):
+        reason_str = reason.value
+    else:
+        reason_str = reason
+    if detail:
+        reason_str = f"{reason_str}: {detail}"
     return RunRecord(
         seed=seed,
         formed=False,
@@ -66,7 +81,7 @@ def failure_record(seed: int, reason: str) -> RunRecord:
         coin_flips=0,
         float_draws=0,
         distance=float("nan"),
-        reason=reason,
+        reason=reason_str,
     )
 
 
@@ -75,7 +90,7 @@ def run_seed(
 ) -> RunRecord:
     """Execute one seed of a scenario via the serial reference runner."""
     built = spec.build()
-    batch = run_batch(
+    batch = _run_batch_factories(
         built.name,
         built.algorithm_factory,
         built.scheduler_factory,
@@ -85,6 +100,7 @@ def run_seed(
         max_steps=built.max_steps,
         delta=built.delta,
         wall_limit=wall_limit,
+        faults=built.faults,
     )
     return batch.runs[0]
 
@@ -139,93 +155,39 @@ def run_batch_parallel(
     resume: bool = False,
     mp_context: "mp.context.BaseContext | None" = None,
 ) -> BatchResult:
-    """Run ``spec`` across ``seeds`` on a pool of worker processes.
+    """Deprecated: use :func:`repro.analysis.run` with a
+    :class:`~repro.analysis.facade.BatchConfig`.
 
-    Args:
-        spec: the registry scenario to execute.
-        seeds: the seeds to run; duplicates are rejected.
-        workers: process count (default: CPUs, capped at 8); ``1`` runs
-            the serial reference loop in-process.
-        timeout: per-seed wall-clock budget in seconds.
-        retries: how many times a seed is retried after its worker died
-            without reporting a result.
-        backoff: initial delay before a retry, doubled per attempt.
-        backoff_cap: upper bound on the retry delay.
-        journal: path of the append-only JSONL run journal.
-        resume: skip seeds already present in the journal (requires the
-            journal to have been written by the same scenario).
-        mp_context: multiprocessing context override (default: fork
-            where available).
-
-    Returns:
-        A :class:`BatchResult` whose ``runs`` are ordered by the input
-        ``seeds`` order, independent of completion order.
+    This shim forwards its keyword sprawl into a ``BatchConfig`` and
+    dispatches through the facade; results are identical.
     """
-    seed_list = [int(s) for s in seeds]
-    if len(set(seed_list)) != len(seed_list):
-        raise ValueError("duplicate seeds in batch")
-    if workers is None:
-        workers = max(1, min(os.cpu_count() or 1, 8))
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if retries < 0:
-        raise ValueError("retries must be >= 0")
+    warnings.warn(
+        "run_batch_parallel is deprecated; use repro.analysis.run(spec, "
+        "seeds, BatchConfig(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .facade import BatchConfig, run
 
-    results: dict[int, RunRecord] = {}
-    journal_obj = RunJournal(journal) if journal is not None else None
-    if journal_obj is not None:
-        if not journal_obj.is_empty():
-            if not resume:
-                raise ValueError(
-                    f"journal {journal_obj.path} already exists; enable "
-                    "resume to continue it or remove the file"
-                )
-            state = journal_obj.load()
-            if state.meta is not None:
-                recorded = state.meta.get("fingerprint")
-                if recorded not in (None, spec.fingerprint()):
-                    raise ValueError(
-                        f"journal {journal_obj.path} was written by a "
-                        f"different scenario (fingerprint {recorded}, "
-                        f"expected {spec.fingerprint()})"
-                    )
-            wanted = set(seed_list)
-            results.update(
-                {s: r for s, r in state.records.items() if s in wanted}
-            )
-        else:
-            journal_obj.start(spec.name, spec.fingerprint(), spec.to_dict())
-
-    pending = [s for s in seed_list if s not in results]
-
-    def commit(record: RunRecord) -> None:
-        results[record.seed] = record
-        if journal_obj is not None:
-            journal_obj.append(record)
-
-    if workers == 1:
-        _run_serial(spec, pending, timeout, commit)
-    else:
-        _run_pool(
-            spec,
-            pending,
-            workers,
-            timeout,
-            retries,
-            backoff,
-            backoff_cap,
-            commit,
-            mp_context or _default_context(),
-        )
-
-    batch = BatchResult(spec.name)
-    batch.runs = [results[s] for s in seed_list]
-    return batch
+    return run(
+        spec,
+        seeds,
+        BatchConfig(
+            workers=workers,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            backoff_cap=backoff_cap,
+            journal=journal,
+            resume=resume,
+            mp_context=mp_context,
+        ),
+    )
 
 
 def _run_serial(spec, pending, timeout, commit) -> None:
     built = spec.build()
-    run_batch(
+    _run_batch_factories(
         built.name,
         built.algorithm_factory,
         built.scheduler_factory,
@@ -235,6 +197,7 @@ def _run_serial(spec, pending, timeout, commit) -> None:
         max_steps=built.max_steps,
         delta=built.delta,
         wall_limit=timeout,
+        faults=built.faults,
         on_record=commit,
     )
 
@@ -334,18 +297,18 @@ def _run_pool(
                 if kind == "ok":
                     commit(payload)
                 else:
-                    commit(failure_record(task.seed, f"error: {payload}"))
+                    commit(failure_record(task.seed, RunReason.ERROR, payload))
             elif not alive:
                 reap(task)
                 if task.attempt < retries:
                     delay = min(backoff * (2.0 ** task.attempt), backoff_cap)
                     queue.append((task.seed, task.attempt + 1, now + delay))
                 else:
-                    commit(failure_record(task.seed, "worker_died"))
+                    commit(failure_record(task.seed, RunReason.WORKER_DIED))
             elif task.deadline is not None and now >= task.deadline:
                 task.proc.terminate()
                 reap(task)
-                commit(failure_record(task.seed, "timeout"))
+                commit(failure_record(task.seed, RunReason.TIMEOUT))
             else:
                 still_running.append(task)
         running[:] = still_running

@@ -102,7 +102,7 @@ def profile_batch(
     observable.  ``fresh_caches`` clears cache contents and counters
     first so the record describes exactly this batch.
     """
-    from .parallel import run_batch_parallel
+    from .facade import BatchConfig, run
 
     if fresh_caches:
         clear_caches()
@@ -111,7 +111,7 @@ def profile_batch(
     enable(reset=True)
     started = perf_counter()
     try:
-        batch = run_batch_parallel(spec, seeds, workers=1)
+        batch = run(spec, seeds, BatchConfig(workers=1))
     finally:
         if not was_enabled:
             disable()

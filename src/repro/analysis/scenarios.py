@@ -193,6 +193,15 @@ def _ssync(seed: int, **params) -> Scheduler:
 
 @register_scheduler("async")
 def _async(seed: int, **params) -> Scheduler:
+    policy = params.pop("policy", None)
+    if policy is not None:
+        from ..faults.policies import build_policy
+
+        # Accept "starve", ("greedy", {"samples": 4}), or ["greedy", {...}]
+        # (the JSON round-trip of a journal spec turns tuples into lists).
+        if isinstance(policy, list):
+            policy = tuple(policy)
+        params["policy"] = build_policy(policy)
     return AsyncScheduler(seed=seed, **params)
 
 
@@ -302,9 +311,35 @@ def build_pattern(spec) -> Pattern | None:
     return builder(**params)
 
 
+def build_scheduler(spec, seed: int) -> Scheduler:
+    """Build a live scheduler from a component spec and a seed.
+
+    The single construction path for schedulers (the CLI's demo/election
+    commands use it too, so no live-object registry is duplicated next
+    to this one).
+    """
+    component = normalize_component(spec)
+    if component is None:
+        raise ValueError("a scheduler spec is required")
+    kind, params = component
+    return _lookup(SCHEDULER_BUILDERS, kind, "scheduler")(seed, **params)
+
+
+def normalize_faults(spec) -> dict | None:
+    """Validate and normalise a fault spec dict (``None``/``{}`` → ``None``)."""
+    if spec is None:
+        return None
+    from ..faults.models import FaultPlan
+
+    plan = FaultPlan.from_spec(spec)
+    if plan is None:
+        return None
+    return plan.to_spec()
+
+
 @dataclass
 class BuiltScenario:
-    """The factories :func:`repro.analysis.run_batch` consumes."""
+    """The live factories the serial reference loop consumes."""
 
     name: str
     algorithm_factory: Callable[[], object]
@@ -313,6 +348,7 @@ class BuiltScenario:
     frame_policy: FramePolicy | None
     max_steps: int
     delta: float
+    faults: dict | None = None
 
 
 @dataclass
@@ -333,6 +369,9 @@ class ScenarioSpec:
     frame_policy: Any = None
     max_steps: int = 300_000
     delta: float = 1e-3
+    #: Fault-plan spec dict (see :mod:`repro.faults.models`), e.g.
+    #: ``{"crash": {"count": 1}, "sensor": {"sigma": 1e-6}}``.
+    faults: Any = None
 
     def __post_init__(self) -> None:
         self.algorithm = normalize_component(self.algorithm)
@@ -340,12 +379,13 @@ class ScenarioSpec:
         self.initial = normalize_component(self.initial)
         self.pattern = normalize_component(self.pattern)
         self.frame_policy = normalize_component(self.frame_policy)
+        self.faults = normalize_faults(self.faults)
         if self.algorithm is None or self.scheduler is None or self.initial is None:
             raise ValueError("algorithm, scheduler and initial are required")
 
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "algorithm": list(self.algorithm),
             "scheduler": list(self.scheduler),
@@ -357,6 +397,11 @@ class ScenarioSpec:
             "max_steps": self.max_steps,
             "delta": self.delta,
         }
+        # Only present when set, so fingerprints of fault-free scenarios
+        # (and resume against their pre-existing journals) are unchanged.
+        if self.faults is not None:
+            data["faults"] = self.faults
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
@@ -391,6 +436,7 @@ class ScenarioSpec:
             frame_policy=frame_policy,
             max_steps=self.max_steps,
             delta=self.delta,
+            faults=self.faults,
         )
 
 

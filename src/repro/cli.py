@@ -8,6 +8,11 @@ Commands:
 * ``profile``     — run a batch under the profiler, print phase timings
   and cache-hit counters (optionally as JSON);
 * ``version``     — print the package version.
+
+``batch`` additionally speaks the fault-injection surface: pick an
+adversarial activation policy with ``--adversary`` and add engine-level
+fault models with repeated ``--faults name:key=val,...`` flags (see
+:mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -17,37 +22,24 @@ import json
 import math
 import sys
 
-from . import __version__, patterns
+from . import __version__
 from .algorithms import FormPattern
-from .analysis import ScenarioSpec, format_table, run_batch_parallel
+from .analysis import BatchConfig, ScenarioSpec, format_table, run
 from .analysis.profile import format_record, profile_batch
-from .geometry import Vec2, cache_enabled, set_cache_enabled
-from .scheduler import (
-    AsyncScheduler,
-    FsyncScheduler,
-    RoundRobinScheduler,
-    SsyncScheduler,
+from .analysis.scenarios import (
+    SCHEDULER_BUILDERS,
+    build_pattern,
+    build_scheduler,
 )
+from .faults import POLICY_BUILDERS, parse_fault_specs
+from .geometry import Vec2, cache_enabled, set_cache_enabled
 from .sim import Simulation
 from .viz import render
 
-SCHEDULERS = {
-    "fsync": lambda seed: FsyncScheduler(),
-    "ssync": lambda seed: SsyncScheduler(seed=seed),
-    "async": lambda seed: AsyncScheduler(seed=seed),
-    "async-aggressive": lambda seed: AsyncScheduler.aggressive(seed),
-    "round-robin": lambda seed: RoundRobinScheduler(),
-}
-
-PATTERNS = {
-    "polygon": lambda n: patterns.regular_polygon(n),
-    "star": lambda n: patterns.star_pattern(max(n // 2, 2)),
-    "rings": lambda n: patterns.nested_rings([n - n // 2, n // 2]),
-    "random": lambda n: patterns.random_pattern(n, seed=42),
-}
-
-#: Registry pattern specs mirroring ``PATTERNS`` (same shapes, but as
-#: plain data so the batch command can cross process boundaries).
+#: CLI pattern name → registry component spec.  The single source for
+#: pattern construction in every command: live patterns (demo/election)
+#: are built from the same specs via :func:`build_pattern`, so no
+#: parallel live-object registry exists to drift out of sync.
 PATTERN_SPECS = {
     "polygon": lambda n: ("polygon", {"n": n}),
     "star": lambda n: ("star", {"spikes": max(n // 2, 2)}),
@@ -97,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retries per seed after transient worker death",
     )
+    _fault_flags(batch)
 
     election = sub.add_parser(
         "election", help="run from a perfectly symmetric start"
@@ -120,26 +113,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the profile record to this JSON file",
     )
+    _fault_flags(profile)
 
     sub.add_parser("version", help="print the version")
     return parser
 
 
+def _fault_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--adversary",
+        choices=sorted(POLICY_BUILDERS),
+        default=None,
+        help="adversarial activation policy for the async scheduler",
+    )
+    p.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="NAME[:KEY=VAL,...]",
+        help="fault model to inject (repeatable), e.g. "
+        "'crash:count=1,window=0..500' or 'truncate:mode=min-delta' "
+        "or 'sensor:sigma=1e-6'",
+    )
+
+
 def _common(p: argparse.ArgumentParser) -> None:
     p.add_argument("-n", type=int, default=8, help="number of robots")
-    p.add_argument("--pattern", choices=sorted(PATTERNS), default="polygon")
-    p.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="async")
+    p.add_argument(
+        "--pattern", choices=sorted(PATTERN_SPECS), default="polygon"
+    )
+    p.add_argument(
+        "--scheduler", choices=sorted(SCHEDULER_BUILDERS), default="async"
+    )
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--delta", type=float, default=1e-3)
     p.add_argument("--max-steps", type=int, default=400_000)
 
 
+def _batch_spec(args) -> ScenarioSpec:
+    """Build the ScenarioSpec shared by the ``batch`` and ``profile``
+    commands, including their ``--adversary`` / ``--faults`` flags."""
+    scheduler = (args.scheduler, {})
+    adversary = getattr(args, "adversary", None)
+    if adversary is not None:
+        if args.scheduler != "async":
+            raise ValueError(
+                "--adversary requires --scheduler async (adversarial "
+                "activation policies plug into the ASYNC scheduler)"
+            )
+        scheduler = ("async", {"policy": adversary})
+    faults = None
+    fault_args = getattr(args, "faults", None)
+    if fault_args:
+        faults = parse_fault_specs(fault_args)
+    label = f"{args.pattern} n={args.n} {args.scheduler}"
+    if adversary is not None:
+        label += f" adv={adversary}"
+    if faults is not None:
+        label += " faults=" + ",".join(sorted(faults))
+    return ScenarioSpec(
+        name=label,
+        algorithm="form-pattern",
+        scheduler=scheduler,
+        initial=("random", {"n": args.n}),
+        pattern=PATTERN_SPECS[args.pattern](args.n),
+        max_steps=args.max_steps,
+        delta=args.delta,
+        faults=faults,
+    )
+
+
 def cmd_demo(args) -> int:
-    pattern = PATTERNS[args.pattern](args.n)
+    pattern = build_pattern(PATTERN_SPECS[args.pattern](args.n))
     sim = Simulation.random(
         args.n,
         FormPattern(pattern),
-        SCHEDULERS[args.scheduler](args.seed),
+        build_scheduler(args.scheduler, args.seed),
         seed=args.seed,
         delta=args.delta,
         max_steps=args.max_steps,
@@ -155,42 +204,32 @@ def cmd_demo(args) -> int:
 
 
 def cmd_batch(args) -> int:
-    spec = ScenarioSpec(
-        name=f"{args.pattern} n={args.n} {args.scheduler}",
-        algorithm="form-pattern",
-        scheduler=args.scheduler,
-        initial=("random", {"n": args.n}),
-        pattern=PATTERN_SPECS[args.pattern](args.n),
-        max_steps=args.max_steps,
-        delta=args.delta,
-    )
     try:
-        batch = run_batch_parallel(
+        spec = _batch_spec(args)
+        batch = run(
             spec,
             range(args.seed, args.seed + args.runs),
-            workers=args.workers,
-            timeout=args.timeout,
-            retries=args.retries,
-            journal=args.journal,
-            resume=args.resume,
+            BatchConfig(
+                workers=args.workers,
+                timeout=args.timeout,
+                retries=args.retries,
+                journal=args.journal,
+                resume=args.resume,
+            ),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_table([batch.row()]))
+    failures = batch.reason_counts()
+    if failures:
+        breakdown = "  ".join(f"{k}={v}" for k, v in failures.items())
+        print(f"failures: {breakdown}")
     return 0 if batch.success_rate() == 1.0 else 1
 
 
 def cmd_profile(args) -> int:
-    spec = ScenarioSpec(
-        name=f"{args.pattern} n={args.n} {args.scheduler}",
-        algorithm="form-pattern",
-        scheduler=args.scheduler,
-        initial=("random", {"n": args.n}),
-        pattern=PATTERN_SPECS[args.pattern](args.n),
-        max_steps=args.max_steps,
-        delta=args.delta,
-    )
+    spec = _batch_spec(args)
     was_enabled = cache_enabled()
     if args.no_cache:
         set_cache_enabled(False)
@@ -212,14 +251,14 @@ def cmd_profile(args) -> int:
 
 
 def cmd_election(args) -> int:
-    pattern = PATTERNS[args.pattern](args.n)
+    pattern = build_pattern(PATTERN_SPECS[args.pattern](args.n))
     initial = [
         Vec2.polar(1.0, 0.1 + 2 * math.pi * i / args.n) for i in range(args.n)
     ]
     sim = Simulation(
         initial,
         FormPattern(pattern),
-        SCHEDULERS[args.scheduler](args.seed),
+        build_scheduler(args.scheduler, args.seed),
         seed=args.seed,
         delta=args.delta,
         max_steps=args.max_steps,

@@ -1,0 +1,49 @@
+"""Fault injection and adversarial scheduling (``repro.faults``).
+
+The composable robustness layer: adversarial activation policies for the
+ASYNC scheduler (:mod:`repro.faults.policies`) and engine-level fault
+models — crash-stop robots, adversarial non-rigid move truncation,
+bounded sensor noise (:mod:`repro.faults.models`).  Both plug into the
+existing batch surface: policies ride in a scenario's scheduler
+component (``("async", {"policy": "starve"})``), fault models in its
+``faults=`` field, so fault scenarios run unchanged through the parallel
+pool, the journal, the profiler and the CLI.
+"""
+
+from .models import (
+    BoundFaults,
+    CrashStop,
+    FaultPlan,
+    MotionTruncation,
+    SensorNoise,
+    parse_fault_specs,
+)
+from .policies import (
+    POLICY_BUILDERS,
+    ActivationPolicy,
+    GreedyAdversary,
+    MaximizePendingMoves,
+    RandomActivation,
+    StaleSnapshotMaximizer,
+    StarveSelected,
+    build_policy,
+    register_policy,
+)
+
+__all__ = [
+    "ActivationPolicy",
+    "BoundFaults",
+    "CrashStop",
+    "FaultPlan",
+    "GreedyAdversary",
+    "MaximizePendingMoves",
+    "MotionTruncation",
+    "POLICY_BUILDERS",
+    "RandomActivation",
+    "SensorNoise",
+    "StaleSnapshotMaximizer",
+    "StarveSelected",
+    "build_policy",
+    "parse_fault_specs",
+    "register_policy",
+]

@@ -1,0 +1,336 @@
+"""Engine-level fault models and the serializable fault plan.
+
+Three fault models, matching the variants the related APF literature
+treats as first-class (crash faults, non-rigid movement, inaccurate
+sensors):
+
+* :class:`CrashStop` — a seeded subset of robots halts forever after a
+  seeded trigger step (crash-stop failures);
+* :class:`MotionTruncation` — the adversary stops every movement at the
+  harshest point the model permits: exactly δ of progress per committed
+  move (or uniformly inside the permitted range in ``random`` mode);
+* :class:`SensorNoise` — bounded Gaussian or fixed-offset perturbation
+  of every *other* robot's observed position during Look, exercising the
+  tolerant geometry predicates (the observer still sees itself exactly,
+  so computed paths start at the true position).
+
+A :class:`FaultPlan` bundles the models and is described purely by plain
+data (``FaultPlan.from_spec({"crash": {"count": 1}})``), so it rides
+inside a :class:`~repro.analysis.scenarios.ScenarioSpec` across process
+boundaries and into the run journal's metadata.  Binding a plan to a run
+(:meth:`FaultPlan.bind`) derives every random draw — victims, trigger
+steps, noise — from the run seed plus the plan salt, independently of
+the robot/frame/scheduler RNG streams, so enabling a fault model never
+perturbs the underlying simulation randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..geometry import Vec2
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulation
+
+__all__ = [
+    "BoundFaults",
+    "CrashStop",
+    "FaultPlan",
+    "MotionTruncation",
+    "SensorNoise",
+    "parse_fault_specs",
+]
+
+
+@dataclass(frozen=True)
+class CrashStop:
+    """``count`` robots halt forever at seeded steps inside ``window``."""
+
+    count: int = 1
+    window: tuple[int, int] = (0, 20_000)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("crash count must be >= 1")
+        lo, hi = self.window
+        if lo < 0 or hi < lo:
+            raise ValueError("crash window must satisfy 0 <= lo <= hi")
+
+
+@dataclass(frozen=True)
+class MotionTruncation:
+    """Adversarial stop-points for non-rigid movement.
+
+    ``min-delta`` ends every committed move at exactly the δ floor the
+    engine enforces (the harshest permitted adversary); ``random`` stops
+    uniformly between the floor and the destination.  ``factor`` scales
+    the stop point in ``min-delta`` mode (still clamped to ≥ δ by the
+    engine, so values below 1 cannot violate the model).
+    """
+
+    mode: str = "min-delta"
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("min-delta", "random"):
+            raise ValueError("truncation mode must be 'min-delta' or 'random'")
+        if self.factor <= 0.0:
+            raise ValueError("truncation factor must be > 0")
+
+
+@dataclass(frozen=True)
+class SensorNoise:
+    """Bounded perturbation of observed positions during Look.
+
+    ``gaussian`` draws an isotropic normal offset with std ``sigma``;
+    ``offset`` draws a fixed-magnitude ``sigma`` offset in a random
+    direction.  Either way the perturbation norm is clipped to ``bound``
+    (default ``3 * sigma``), keeping the noise bounded as the tolerant
+    predicates assume.
+    """
+
+    kind: str = "gaussian"
+    sigma: float = 1e-6
+    bound: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gaussian", "offset"):
+            raise ValueError("sensor-noise kind must be 'gaussian' or 'offset'")
+        if self.sigma < 0.0:
+            raise ValueError("sensor-noise sigma must be >= 0")
+        if self.bound is not None and self.bound < 0.0:
+            raise ValueError("sensor-noise bound must be >= 0")
+
+    def effective_bound(self) -> float:
+        return 3.0 * self.sigma if self.bound is None else self.bound
+
+
+#: Spec-dict key → model dataclass.
+FAULT_MODELS = {
+    "crash": CrashStop,
+    "truncate": MotionTruncation,
+    "sensor": SensorNoise,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The fault models active for a scenario, as shareable plain data."""
+
+    crash: CrashStop | None = None
+    truncation: MotionTruncation | None = None
+    sensor: SensorNoise | None = None
+    salt: int = 0
+
+    def is_empty(self) -> bool:
+        return self.crash is None and self.truncation is None and self.sensor is None
+
+    # -- serialisation --------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: "dict | FaultPlan | None") -> "FaultPlan | None":
+        """Build a plan from a ``{model-name: params}`` dict (or pass
+        through an existing plan).  ``None`` and ``{}`` mean no faults."""
+        if spec is None:
+            return None
+        if isinstance(spec, FaultPlan):
+            return None if spec.is_empty() else spec
+        if not isinstance(spec, dict):
+            raise ValueError(f"fault spec must be a dict, got {type(spec).__name__}")
+        if not spec:
+            return None
+        known = set(FAULT_MODELS) | {"salt"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault model(s) {sorted(unknown)}; known: "
+                f"{sorted(FAULT_MODELS)}"
+            )
+        kwargs: dict = {"salt": int(spec.get("salt", 0))}
+        for key, model_cls in FAULT_MODELS.items():
+            if key not in spec:
+                continue
+            params = dict(spec[key] or {})
+            if "window" in params:
+                params["window"] = tuple(int(v) for v in params["window"])
+            field = "truncation" if key == "truncate" else key
+            kwargs[field] = model_cls(**params)
+        return cls(**kwargs)
+
+    def to_spec(self) -> dict:
+        """The plain-data form accepted by :meth:`from_spec`."""
+        spec: dict = {}
+        if self.crash is not None:
+            spec["crash"] = {
+                "count": self.crash.count,
+                "window": list(self.crash.window),
+            }
+        if self.truncation is not None:
+            spec["truncate"] = {
+                "mode": self.truncation.mode,
+                "factor": self.truncation.factor,
+            }
+        if self.sensor is not None:
+            spec["sensor"] = {
+                "kind": self.sensor.kind,
+                "sigma": self.sensor.sigma,
+                "bound": self.sensor.bound,
+            }
+        if self.salt:
+            spec["salt"] = self.salt
+        return spec
+
+    # -- binding --------------------------------------------------------
+    def bind(self, n: int, seed: int) -> "BoundFaults":
+        """Per-run state: crash schedule and noise RNG for ``seed``."""
+        return BoundFaults(self, n, seed)
+
+
+class BoundFaults:
+    """A :class:`FaultPlan` bound to one run's robot count and seed."""
+
+    def __init__(self, plan: FaultPlan, n: int, seed: int) -> None:
+        self.plan = plan
+        # Seeding with a string hashes it through SHA-512, which is
+        # deterministic across processes (unlike PYTHONHASHSEED-dependent
+        # object hashing) — required for parallel == serial equivalence.
+        rng = random.Random(f"repro.faults:{plan.salt}:{seed}")
+        self.crash_steps: dict[int, int] = {}
+        if plan.crash is not None:
+            lo, hi = plan.crash.window
+            victims = rng.sample(range(n), min(plan.crash.count, n))
+            self.crash_steps = {v: rng.randint(lo, hi) for v in sorted(victims)}
+        self._noise_rng = random.Random(rng.getrandbits(63))
+        self._trunc_rng = random.Random(rng.getrandbits(63))
+
+    # -- crash-stop -----------------------------------------------------
+    def tick(self, sim: "Simulation") -> None:
+        """Trigger any crashes whose step has arrived; freeze the victims."""
+        if not self.crash_steps:
+            return
+        from ..sim.robot import Phase  # local import to avoid cycles
+
+        for robot_id, crash_step in self.crash_steps.items():
+            robot = sim.robots[robot_id]
+            if robot.crashed or sim.step_count < crash_step:
+                continue
+            # The robot halts forever wherever it stands: any committed
+            # path and pending snapshot die with it, and it reads as a
+            # permanently static (idle) point to the termination check.
+            robot.crashed = True
+            robot.phase = Phase.IDLE
+            robot.path = None
+            robot.snapshot = None
+            robot.frame = None
+            robot.progress = 0.0
+            robot.move_chunks = 0
+
+    # -- sensor noise ---------------------------------------------------
+    def observe(self, observer_id: int, points: list[Vec2]) -> list[Vec2]:
+        """Perturb every *other* robot's observed position, bounded."""
+        sensor = self.plan.sensor
+        if sensor is None or sensor.sigma == 0.0:
+            return points
+        rng = self._noise_rng
+        bound = sensor.effective_bound()
+        noisy = list(points)
+        for i, p in enumerate(noisy):
+            if i == observer_id:
+                continue  # a robot always locates itself exactly
+            if sensor.kind == "gaussian":
+                dx, dy = rng.gauss(0.0, sensor.sigma), rng.gauss(0.0, sensor.sigma)
+            else:
+                angle = rng.uniform(0.0, 2.0 * math.pi)
+                dx, dy = sensor.sigma * math.cos(angle), sensor.sigma * math.sin(angle)
+            norm = math.hypot(dx, dy)
+            if norm > bound > 0.0:
+                scale = bound / norm
+                dx, dy = dx * scale, dy * scale
+            elif bound == 0.0:
+                dx = dy = 0.0
+            noisy[i] = Vec2(p.x + dx, p.y + dy)
+        return noisy
+
+    # -- adversarial truncation -----------------------------------------
+    def truncate_move(
+        self,
+        delta: float,
+        progress: float,
+        total: float,
+        new_progress: float,
+        finishing: bool,
+    ) -> tuple[float, bool]:
+        """Adversarial stop-point for one movement advance.
+
+        Returns the (possibly reduced) target progress and the finishing
+        flag.  The returned progress may sit below the δ floor — the
+        engine clamps it afterwards, so the model's "at least δ unless
+        the destination is closer" guarantee is enforced in exactly one
+        place.
+        """
+        trunc = self.plan.truncation
+        if trunc is None:
+            return new_progress, finishing
+        if trunc.mode == "min-delta":
+            # Stop as early as permitted: the engine's floor lifts this
+            # to min(δ * factor capped at δ…total, destination).
+            target = min(total, max(progress, delta * trunc.factor))
+            return min(new_progress, target), True
+        floor = min(delta, total)
+        stop = self._trunc_rng.uniform(min(floor, total), total)
+        return min(new_progress, max(progress, stop)), True
+
+
+# ----------------------------------------------------------------------
+# CLI parsing
+# ----------------------------------------------------------------------
+def _parse_value(raw: str):
+    """``"3"`` → 3, ``"1e-6"`` → 1e-6, ``"10..500"`` → (10, 500), else str."""
+    if ".." in raw:
+        lo, _, hi = raw.partition("..")
+        return [int(lo), int(hi)]
+    for conv in (int, float):
+        try:
+            return conv(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def parse_fault_specs(items: "list[str] | tuple[str, ...]") -> dict:
+    """Parse CLI ``--faults`` items into a :meth:`FaultPlan.from_spec` dict.
+
+    Each item is ``name`` or ``name:key=value[,key=value...]``, e.g.
+    ``crash``, ``crash:count=2,window=100..5000``, ``sensor:sigma=1e-6``.
+    The result is validated by building the plan, so a bad model name or
+    parameter fails here rather than deep inside a worker process.
+    """
+    spec: dict = {}
+    for item in items:
+        name, _, rest = item.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"empty fault name in {item!r}")
+        if name in spec:
+            raise ValueError(f"duplicate fault model {name!r}")
+        params: dict = {}
+        if rest:
+            for pair in rest.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(
+                        f"bad fault parameter {pair!r} in {item!r} "
+                        "(expected key=value)"
+                    )
+                params[key.strip()] = _parse_value(value.strip())
+        spec[name] = params
+    try:
+        FaultPlan.from_spec(spec)  # validate eagerly
+    except TypeError as exc:
+        # An unknown parameter name surfaces as the dataclass TypeError;
+        # normalise to ValueError so CLI error handling stays uniform.
+        raise ValueError(str(exc)) from None
+    return spec

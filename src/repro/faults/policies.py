@@ -1,0 +1,284 @@
+"""Adversarial activation policies for the ASYNC scheduler.
+
+The paper's theorems quantify over a *fully adversarial* ASYNC scheduler,
+but the stock :class:`~repro.scheduler.asynchronous.AsyncScheduler` only
+samples benign random activations.  An :class:`ActivationPolicy` replaces
+the random robot choice with a strategy that actively works against
+convergence while staying inside the model:
+
+* it may only choose *which* robot performs its next phase-appropriate
+  atomic action (the engine enforces legality and the δ floor);
+* fairness is still guaranteed — the scheduler's starvation bound
+  overrides the policy, so every robot acts infinitely often;
+* termination must stay *detectable*: a policy that re-activates robots
+  forever would keep the configuration from ever being simultaneously
+  idle, hiding a terminal configuration from the engine's probe.  The
+  base class therefore drains in-flight cycles once nothing has moved
+  for a long window (see :meth:`ActivationPolicy.maybe_drain`).
+
+Policies are registered by name so scenario specs and the CLI can refer
+to them as plain data (``("async", {"policy": "starve"})``,
+``--adversary starve``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..geometry import smallest_enclosing_circle
+from ..sim.robot import Phase, RobotBody
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scheduler.asynchronous import AsyncScheduler
+
+#: ``choose`` returns the robot to advance plus a *force* flag: forced
+#: robots finish their move in one chunk (the scheduler's laggard path).
+Choice = "tuple[RobotBody, bool]"
+
+POLICY_BUILDERS: dict[str, Callable[..., "ActivationPolicy"]] = {}
+
+
+def register_policy(name: str):
+    """Register an activation-policy builder ``fn(**params) -> policy``."""
+
+    def decorator(fn):
+        if name in POLICY_BUILDERS:
+            raise ValueError(f"policy {name!r} is already registered")
+        POLICY_BUILDERS[name] = fn
+        return fn
+
+    return decorator
+
+
+def build_policy(spec) -> "ActivationPolicy":
+    """Build a policy from ``"name"`` or ``("name", params)``."""
+    if isinstance(spec, ActivationPolicy):
+        return spec
+    if isinstance(spec, str):
+        name, params = spec, {}
+    else:
+        name, params = spec
+        params = dict(params or {})
+    try:
+        builder = POLICY_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation policy {name!r}; known: {sorted(POLICY_BUILDERS)}"
+        ) from None
+    return builder(**params)
+
+
+class ActivationPolicy:
+    """Chooses which robot the ASYNC adversary advances next.
+
+    Subclasses implement :meth:`pick`; the public :meth:`choose` first
+    consults the quiescence drain so terminal configurations remain
+    detectable under every policy.
+    """
+
+    name = "policy"
+
+    #: Drain in-flight cycles after ``max(32, factor * n)`` consecutive
+    #: choices during which no robot was moving.
+    drain_after_factor = 8
+
+    def __init__(self) -> None:
+        self._static_choices = 0
+
+    def reset(self, n: int) -> None:
+        """Prepare for a fresh run over ``n`` robots."""
+        self._static_choices = 0
+
+    # ------------------------------------------------------------------
+    def choose(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        drained = self.maybe_drain(robots, sched.rng)
+        if drained is not None:
+            return drained, False
+        return self.pick(robots, step, sched)
+
+    def pick(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def maybe_drain(
+        self, robots: Sequence[RobotBody], rng: random.Random
+    ) -> RobotBody | None:
+        """A pending robot to drain once the configuration has gone quiet.
+
+        The engine only detects a terminal configuration when *every*
+        robot is idle at once.  An adversary that immediately re-observes
+        idle robots would keep some robot mid-cycle forever, turning
+        every terminated run into a ``max_steps`` failure — behaviour the
+        model does not grant it (termination is a property of the
+        configuration, not of the schedule).  Once no robot has been
+        moving for a long window the policy therefore stops opening new
+        cycles and computes pending snapshots until everyone is idle; any
+        resulting movement resets the window and re-arms the adversary.
+        """
+        if any(r.phase is Phase.MOVING for r in robots):
+            self._static_choices = 0
+            return None
+        self._static_choices += 1
+        if self._static_choices <= max(32, self.drain_after_factor * len(robots)):
+            return None
+        observed = [r for r in robots if r.phase is Phase.OBSERVED]
+        if observed:
+            return rng.choice(observed)
+        return None
+
+
+@register_policy("random")
+class RandomActivation(ActivationPolicy):
+    """The benign random policy — bit-for-bit the scheduler's default.
+
+    Replicates :meth:`AsyncScheduler.next_action`'s stock loop with the
+    identical RNG call sequence, so ``AsyncScheduler(seed, policy=
+    RandomActivation())`` produces the exact action stream of
+    ``AsyncScheduler(seed)`` (pinned by the equivalence tests).
+    """
+
+    name = "random"
+
+    def choose(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        # No drain: random activation reaches all-idle states by itself,
+        # and draining would consume extra RNG draws.
+        return self.pick(robots, step, sched)
+
+    def pick(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        rng = sched.rng
+        for _ in range(64):
+            robot = rng.choice(list(robots))
+            if robot.phase is Phase.OBSERVED and (
+                rng.random() < sched.compute_delay_prob
+            ):
+                continue  # let the snapshot go stale
+            if robot.phase is Phase.MOVING and rng.random() < sched.pause_prob:
+                continue  # pause mid-move
+            return robot, False
+        # Everybody got skipped by the random knobs — just act somewhere.
+        return rng.choice(list(robots)), True
+
+
+@register_policy("starve")
+class StarveSelected(ActivationPolicy):
+    """Starve the robot the algorithm most depends on.
+
+    ψ_RSB funnels progress through a single *selected* robot that dives
+    toward the centre of the enclosing circle; the policy's proxy for it
+    is the robot currently closest to the SEC centre.  That robot is
+    never activated voluntarily — it moves only when the scheduler's
+    fairness bound forces it — while everyone else is activated randomly
+    and keeps acting on a world whose linchpin robot is frozen.
+    """
+
+    name = "starve"
+
+    def pick(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        center = smallest_enclosing_circle([r.position for r in robots]).center
+        victim = min(robots, key=lambda r: r.position.dist(center))
+        others = [r for r in robots if r is not victim]
+        if not others:
+            return victim, False
+        return sched.rng.choice(others), False
+
+
+@register_policy("max-pending")
+class MaximizePendingMoves(ActivationPolicy):
+    """Keep as many robots as possible mid-move simultaneously.
+
+    Snapshots taken while many robots are between their committed paths'
+    endpoints are the hardest inputs the model allows: commit every
+    observed robot to a path first, open new cycles second, and only
+    advance a moving robot when nobody can be newly committed.
+    """
+
+    name = "max-pending"
+
+    def pick(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        observed = [r for r in robots if r.phase is Phase.OBSERVED]
+        if observed:
+            return sched.rng.choice(observed), False
+        idle = [r for r in robots if r.phase is Phase.IDLE]
+        if idle:
+            return sched.rng.choice(idle), False
+        return sched.rng.choice(list(robots)), False
+
+
+@register_policy("stale")
+class StaleSnapshotMaximizer(ActivationPolicy):
+    """Maximise the staleness of every snapshot that reaches a Compute.
+
+    First make every idle robot take its snapshot, then advance all
+    movement — invalidating those snapshots as far as the interleaving
+    allows — and only then let robots compute, oldest snapshot first.
+    """
+
+    name = "stale"
+
+    def pick(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        idle = [r for r in robots if r.phase is Phase.IDLE]
+        if idle:
+            return sched.rng.choice(idle), False
+        moving = [r for r in robots if r.phase is Phase.MOVING]
+        if moving:
+            return sched.rng.choice(moving), False
+        observed = [r for r in robots if r.phase is Phase.OBSERVED]
+        return min(observed, key=lambda r: r.last_action_step), False
+
+
+@register_policy("greedy")
+class GreedyAdversary(ActivationPolicy):
+    """Seeded greedy adversary: score every legal choice, pick the worst.
+
+    Each step the policy scores the damage of advancing each robot —
+    observing amid motion, computing on maximally stale data — with a
+    small seeded jitter for tie-breaking, and takes the highest-scoring
+    robot.  ``samples`` restricts scoring to a random subset, trading
+    viciousness for speed on large swarms.
+    """
+
+    name = "greedy"
+
+    def __init__(self, samples: int | None = None) -> None:
+        super().__init__()
+        if samples is not None and samples < 1:
+            raise ValueError("samples must be >= 1")
+        self.samples = samples
+
+    def pick(
+        self, robots: Sequence[RobotBody], step: int, sched: "AsyncScheduler"
+    ) -> Choice:
+        rng = sched.rng
+        pool = list(robots)
+        if self.samples is not None and self.samples < len(pool):
+            pool = rng.sample(pool, self.samples)
+        moving_now = sum(1 for r in robots if r.phase is Phase.MOVING)
+
+        def damage(robot: RobotBody) -> float:
+            jitter = 0.1 * rng.random()
+            if robot.phase is Phase.IDLE:
+                # A snapshot taken while others are mid-move is poison.
+                return 1.0 + 0.5 * moving_now + jitter
+            if robot.phase is Phase.OBSERVED:
+                staleness = step - robot.last_action_step
+                return 2.0 + 0.01 * staleness + jitter
+            # Advancing a move tends to help convergence: lowest priority,
+            # and prefer the robot already closest to finishing its move.
+            return 0.5 - 0.01 * robot.move_chunks + jitter
+
+        return max(pool, key=damage), False

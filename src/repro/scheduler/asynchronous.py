@@ -13,10 +13,13 @@ This scheduler is the paper's adversary; presets tune how vicious it is.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..sim.robot import Phase, RobotBody
 from .base import Action, ActionKind, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.policies import ActivationPolicy
 
 
 class AsyncScheduler(Scheduler):
@@ -36,6 +39,10 @@ class AsyncScheduler(Scheduler):
         compute_delay_prob: probability a robot with a pending snapshot is
             skipped in favour of someone else (staleness knob).
         fairness_bound: hard starvation bound in engine steps.
+        policy: pluggable :class:`~repro.faults.policies.ActivationPolicy`
+            replacing the default random robot choice with an adversarial
+            strategy (``None`` keeps the stock behaviour bit-for-bit; the
+            fairness bound overrides any policy).
     """
 
     name = "ASYNC"
@@ -50,6 +57,7 @@ class AsyncScheduler(Scheduler):
         max_move_chunks: int = 8,
         compute_delay_prob: float = 0.3,
         fairness_bound: int = 4000,
+        policy: "ActivationPolicy | None" = None,
     ) -> None:
         self._rng = random.Random(seed)
         self._truncate_prob = truncate_prob
@@ -59,6 +67,25 @@ class AsyncScheduler(Scheduler):
         self._max_move_chunks = max_move_chunks
         self._compute_delay_prob = compute_delay_prob
         self._fairness_bound = fairness_bound
+        self._policy = policy
+
+    # -- read access for activation policies ---------------------------
+    @property
+    def rng(self) -> random.Random:
+        """The adversary's RNG stream (shared with activation policies)."""
+        return self._rng
+
+    @property
+    def pause_prob(self) -> float:
+        return self._pause_prob
+
+    @property
+    def compute_delay_prob(self) -> float:
+        return self._compute_delay_prob
+
+    @property
+    def policy(self) -> "ActivationPolicy | None":
+        return self._policy
 
     # ------------------------------------------------------------------
     # presets
@@ -90,10 +117,17 @@ class AsyncScheduler(Scheduler):
         )
 
     # ------------------------------------------------------------------
+    def reset(self, n: int) -> None:
+        if self._policy is not None:
+            self._policy.reset(n)
+
     def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
         laggard = self.find_laggard(robots, step, self._fairness_bound)
         if laggard is not None:
             return self._advance(laggard, force=True)
+        if self._policy is not None:
+            robot, force = self._policy.choose(robots, step, self)
+            return self._advance(robot, force=force)
         for _ in range(64):
             robot = self._rng.choice(list(robots))
             if robot.phase is Phase.OBSERVED and (

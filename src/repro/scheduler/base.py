@@ -72,6 +72,24 @@ class Scheduler(abc.ABC):
         return worst
 
     @staticmethod
+    def robot_by_id(
+        robots: Sequence[RobotBody], robot_id: int
+    ) -> RobotBody | None:
+        """Find a robot by id in a possibly *filtered* robot list.
+
+        With fault injection enabled the engine hides crashed robots from
+        the scheduler, so ``robots[i]`` no longer always has ``robot_id
+        == i``.  The aligned fast path stays O(1); the scan only runs on
+        filtered lists, and ``None`` means the robot is gone (crashed).
+        """
+        if robot_id < len(robots) and robots[robot_id].robot_id == robot_id:
+            return robots[robot_id]
+        for robot in robots:
+            if robot.robot_id == robot_id:
+                return robot
+        return None
+
+    @staticmethod
     def natural_action(robot: RobotBody) -> Action:
         """The phase-appropriate action advancing ``robot`` one step."""
         if robot.phase is Phase.IDLE:

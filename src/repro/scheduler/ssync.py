@@ -82,7 +82,10 @@ class SsyncScheduler(Scheduler):
 
     @staticmethod
     def _legal(action: Action, robots: Sequence[RobotBody]) -> bool:
-        phase = robots[action.robot_id].phase
+        robot = Scheduler.robot_by_id(robots, action.robot_id)
+        if robot is None:
+            return False  # robot crashed after this action was queued
+        phase = robot.phase
         if action.kind is ActionKind.LOOK:
             return phase is Phase.IDLE
         if action.kind is ActionKind.COMPUTE:

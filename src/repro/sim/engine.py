@@ -131,6 +131,10 @@ class Simulation:
             inside the loop, so it cannot interrupt a single action).
         seed: master seed for robot coins and frame draws (the scheduler
             has its own seed).
+        faults: a :class:`~repro.faults.models.FaultPlan` (or its spec
+            dict) injecting crash-stop robots, adversarial move
+            truncation and sensor noise into this run; ``None`` leaves
+            every code path bit-for-bit identical to a fault-free engine.
         record_trace: keep a :class:`Trace` of the run.
         checkers: callables ``(simulation, action) -> None`` invoked after
             every applied action; raise to fail the run (used for
@@ -150,6 +154,7 @@ class Simulation:
         max_steps: int = 500_000,
         wall_limit: float | None = None,
         seed: int = 0,
+        faults: "object | None" = None,
         record_trace: bool = False,
         trace_sample_every: int = 1,
         checkers: Sequence[Callable[["Simulation", Action], None]] = (),
@@ -191,6 +196,13 @@ class Simulation:
         # Per-instance because the verdict depends on the algorithm; the
         # hit/miss counters are shared under one name.
         self._probe_memo = Memo("engine.terminal_probe", register=False)
+        self.faults = None
+        if faults is not None:
+            from ..faults.models import FaultPlan
+
+            plan = FaultPlan.from_spec(faults)
+            if plan is not None:
+                self.faults = plan.bind(len(self.robots), seed)
         self.scheduler.reset(len(self.robots))
 
     # ------------------------------------------------------------------
@@ -245,9 +257,16 @@ class Simulation:
             # slow they are (pinned by tests/sim/test_wall_limit.py).
             if deadline is not None and _monotonic() > deadline:
                 return self._result(terminated=False, reason="wall_timeout")
+            if self.faults is not None:
+                self.faults.tick(self)
+                pool = [r for r in self.robots if not r.crashed]
+                if not pool:
+                    return self._result(terminated=False, reason="all_crashed")
+            else:
+                pool = self.robots
             if self._quiescent() and self.is_terminal():
                 return self._result(terminated=True, reason="terminal")
-            action = self.scheduler.next_action(self.robots, self.step_count)
+            action = self.scheduler.next_action(pool, self.step_count)
             self.apply(action)
             for checker in self.checkers:
                 checker(self, action)
@@ -283,8 +302,11 @@ class Simulation:
             )
         frame = self.frame_policy(robot.robot_id, robot.position, self._frame_rng)
         robot.frame = frame
+        observed = self.points()
+        if self.faults is not None:
+            observed = self.faults.observe(robot.robot_id, observed)
         robot.snapshot = make_snapshot(
-            self.points(),
+            observed,
             robot.position,
             frame.observe,
             self.multiplicity_detection,
@@ -339,6 +361,12 @@ class Simulation:
         advance = max(0.0, min(action.fraction, 1.0)) * remaining
         new_progress = robot.progress + advance
         finishing = action.end_move or new_progress >= total - 1e-12
+        if self.faults is not None:
+            # Adversarial stop-points may undercut the δ floor; the floor
+            # clamp below restores the model's guarantee in one place.
+            new_progress, finishing = self.faults.truncate_move(
+                self.delta, robot.progress, total, new_progress, finishing
+            )
 
         if finishing and new_progress < total - 1e-12:
             # The adversary may not stop the robot before δ (or the
@@ -397,6 +425,12 @@ class Simulation:
         points = self.points()
         if self._probe_memo.active():
             key = points_key(points)
+            if self.faults is not None:
+                # The verdict also depends on who can still move: crashed
+                # robots are exempt from the probe, so their ids join the
+                # key (sensor noise never reaches the probe — terminality
+                # is a property of the true configuration).
+                key = (key, tuple(r.robot_id for r in self.robots if r.crashed))
             hit, verdict = self._probe_memo.lookup(key)
         else:
             key, hit, verdict = None, False, False
@@ -434,6 +468,8 @@ class Simulation:
             )
             observe = frame.observe
             for robot in self.robots:
+                if robot.crashed:
+                    continue  # a crashed robot can never move again
                 # The snapshot depends on the frame only: reuse the shared
                 # point tuple, swapping in this robot's own position.
                 snapshot = (

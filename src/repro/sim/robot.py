@@ -40,6 +40,9 @@ class RobotBody:
     last_action_step: int = 0
     distance_travelled: float = 0.0
     pending_extras: dict = field(default_factory=dict)
+    #: Crash-stop fault: a crashed robot is frozen forever — it takes no
+    #: further actions and reads as a permanently static point.
+    crashed: bool = False
 
     def is_idle(self) -> bool:
         return self.phase is Phase.IDLE

@@ -3,13 +3,14 @@
 import math
 from dataclasses import astuple
 
-from repro.analysis import RunRecord, run_batch
+from repro.analysis import RunRecord
+from repro.analysis.batch import _run_batch_factories
 
 
 def serial_reference(spec, seeds):
     """Run a scenario through the serial reference runner."""
     built = spec.build()
-    return run_batch(
+    return _run_batch_factories(
         built.name,
         built.algorithm_factory,
         built.scheduler_factory,
@@ -18,6 +19,7 @@ def serial_reference(spec, seeds):
         frame_policy=built.frame_policy,
         max_steps=built.max_steps,
         delta=built.delta,
+        faults=built.faults,
     )
 
 

@@ -16,7 +16,7 @@ runners.
 
 import pytest
 
-from repro.analysis import run_batch_parallel
+from repro.analysis import BatchConfig, run
 from repro.analysis.scenarios import ScenarioSpec
 from repro.geometry.memo import (
     cache_enabled,
@@ -61,7 +61,7 @@ def _runs(spec, seeds, *, enabled, workers=None):
     clear_caches()
     if workers is None:
         return serial_reference(spec, seeds).runs
-    return run_batch_parallel(spec, seeds, workers=workers).runs
+    return run(spec, seeds, BatchConfig(workers=workers)).runs
 
 
 class TestSmoke:

@@ -1,0 +1,111 @@
+"""The unified batch facade and its deprecated shims."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import BatchConfig, ScenarioSpec, run
+from repro.analysis.batch import RunReason, run_batch
+from repro.analysis.parallel import run_batch_parallel
+
+from .records import assert_records_equal, serial_reference
+
+SPEC = ScenarioSpec(
+    name="facade-scn",
+    algorithm="form-pattern",
+    scheduler="round-robin",
+    initial=("random", {"n": 5}),
+    pattern=("polygon", {"n": 5}),
+    max_steps=5_000,
+)
+SEEDS = [0, 1, 2]
+
+
+class TestBatchConfig:
+    def test_defaults_resolve(self):
+        config = BatchConfig()
+        assert config.resolved_workers() >= 1
+        config.validate()
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run(SPEC, SEEDS, BatchConfig(workers=0))
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            run(SPEC, SEEDS, BatchConfig(retries=-1))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BatchConfig().workers = 3
+
+
+class TestFacade:
+    def test_none_config_is_default(self):
+        batch = run(SPEC, [0])
+        assert [r.seed for r in batch.runs] == [0]
+
+    def test_serial_equals_pool(self):
+        reference = serial_reference(SPEC, SEEDS)
+        serial = run(SPEC, SEEDS, BatchConfig(workers=1))
+        pooled = run(SPEC, SEEDS, BatchConfig(workers=2))
+        assert_records_equal(serial.runs, reference.runs)
+        assert_records_equal(pooled.runs, reference.runs)
+
+
+class TestDeprecatedShims:
+    def test_run_batch_parallel_warns_exactly_once_and_forwards(self):
+        facade = run(SPEC, SEEDS, BatchConfig(workers=2))
+        with pytest.warns(DeprecationWarning, match="run_batch_parallel") as rec:
+            shimmed = run_batch_parallel(SPEC, SEEDS, workers=2)
+        assert len(rec) == 1
+        assert_records_equal(shimmed.runs, facade.runs)
+
+    def test_run_batch_warns_exactly_once_and_forwards(self):
+        built = SPEC.build()
+        args = (
+            built.name,
+            built.algorithm_factory,
+            built.scheduler_factory,
+            built.initial_factory,
+            SEEDS,
+        )
+        kwargs = dict(max_steps=built.max_steps, delta=built.delta)
+        with pytest.warns(DeprecationWarning, match="run_batch") as rec:
+            shimmed = run_batch(*args, **kwargs)
+        assert len(rec) == 1
+        assert_records_equal(shimmed.runs, serial_reference(SPEC, SEEDS).runs)
+
+    def test_shims_stay_importable_from_package_root(self):
+        from repro.analysis import run_batch as a, run_batch_parallel as b
+
+        assert callable(a) and callable(b)
+
+    def test_first_party_code_is_shim_free(self):
+        """The facade path itself must not trip the deprecation gate."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run(SPEC, [0, 1], BatchConfig(workers=2))
+
+
+class TestRunReason:
+    def test_classify_new_and_legacy_strings(self):
+        assert RunReason.classify("terminal") is RunReason.TERMINAL
+        assert RunReason.classify("max_steps") is RunReason.MAX_STEPS
+        assert RunReason.classify("error: RuntimeError: boom") is RunReason.ERROR
+        assert RunReason.classify("worker_died") is RunReason.WORKER_DIED
+        assert RunReason.classify("all_crashed") is RunReason.ALL_CRASHED
+        assert RunReason.classify("δ-stalled ✓") is RunReason.OTHER
+
+    def test_record_reason_kind_and_counts(self):
+        from repro.analysis import failure_record
+
+        batch = run(SPEC, SEEDS, BatchConfig(workers=1))
+        assert all(r.reason_kind is RunReason.TERMINAL for r in batch.runs)
+        assert batch.reason_counts() == {}
+        batch.runs.append(failure_record(99, RunReason.TIMEOUT))
+        batch.runs.append(
+            failure_record(100, RunReason.ERROR, "RuntimeError: boom")
+        )
+        assert batch.runs[-1].reason == "error: RuntimeError: boom"
+        assert batch.reason_counts() == {"error": 1, "timeout": 1}

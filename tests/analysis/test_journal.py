@@ -6,11 +6,12 @@ import math
 import pytest
 
 from repro.analysis import (
+    BatchConfig,
     RunJournal,
     RunRecord,
     ScenarioSpec,
     failure_record,
-    run_batch_parallel,
+    run,
 )
 from repro.analysis.journal import decode_record, encode_record
 
@@ -144,13 +145,15 @@ class TestResume:
 
         # An "interrupted" batch: only the first half of the seeds got
         # journaled before the process died.
-        first = run_batch_parallel(
-            spec, self.SEEDS[:6], workers=2, journal=journal
+        first = run(
+            spec, self.SEEDS[:6], BatchConfig(workers=2, journal=journal)
         )
         assert sorted(_attempts(log)) == self.SEEDS[:6]
 
-        resumed = run_batch_parallel(
-            spec, self.SEEDS, workers=2, journal=journal, resume=True
+        resumed = run(
+            spec,
+            self.SEEDS,
+            BatchConfig(workers=2, journal=journal, resume=True),
         )
         # No seed ran twice: the journaled half was loaded, not re-run.
         assert sorted(_attempts(log)) == self.SEEDS
@@ -165,7 +168,7 @@ class TestResume:
     def test_journal_written_during_interrupted_half(self, tmp_path):
         journal = tmp_path / "batch.jsonl"
         spec = _spec()
-        run_batch_parallel(spec, [0, 1, 2], workers=2, journal=journal)
+        run(spec, [0, 1, 2], BatchConfig(workers=2, journal=journal))
         state = RunJournal(journal).load()
         assert state.seeds() == {0, 1, 2}
         assert state.meta["fingerprint"] == spec.fingerprint()
@@ -173,23 +176,27 @@ class TestResume:
     def test_existing_journal_without_resume_refused(self, tmp_path):
         journal = tmp_path / "batch.jsonl"
         spec = _spec()
-        run_batch_parallel(spec, [0], workers=1, journal=journal)
+        run(spec, [0], BatchConfig(workers=1, journal=journal))
         with pytest.raises(ValueError, match="resume"):
-            run_batch_parallel(spec, [0, 1], workers=1, journal=journal)
+            run(spec, [0, 1], BatchConfig(workers=1, journal=journal))
 
     def test_foreign_journal_refused(self, tmp_path):
         journal = tmp_path / "batch.jsonl"
-        run_batch_parallel(_spec(), [0], workers=1, journal=journal)
+        run(_spec(), [0], BatchConfig(workers=1, journal=journal))
         other = _spec(n=6)
         with pytest.raises(ValueError, match="different scenario"):
-            run_batch_parallel(
-                other, [0, 1], workers=1, journal=journal, resume=True
+            run(
+                other,
+                [0, 1],
+                BatchConfig(workers=1, journal=journal, resume=True),
             )
 
     def test_resume_with_fresh_journal_is_plain_run(self, tmp_path):
         journal = tmp_path / "new.jsonl"
-        batch = run_batch_parallel(
-            _spec(), [0, 1], workers=1, journal=journal, resume=True
+        batch = run(
+            _spec(),
+            [0, 1],
+            BatchConfig(workers=1, journal=journal, resume=True),
         )
         assert [r.seed for r in batch.runs] == [0, 1]
         assert RunJournal(journal).load().seeds() == {0, 1}

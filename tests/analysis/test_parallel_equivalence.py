@@ -2,18 +2,18 @@
 
 Every theorem-level claim is measured through batches of seeded runs, so
 the parallel runner is only trustworthy if it is *bit-for-bit* the
-serial reference: for each scenario and seed set, ``run_batch_parallel``
-must yield ``RunRecord`` lists identical field by field (including
-``random_bits`` and exact float equality on ``distance``) to
-``run_batch``, independent of worker count and of seed submission
-order.
+serial reference: for each scenario and seed set, the facade
+(:func:`repro.analysis.run`) must yield ``RunRecord`` lists identical
+field by field (including ``random_bits`` and exact float equality on
+``distance``) to the serial reference loop, independent of worker count
+and of seed submission order.
 """
 
 import random
 
 import pytest
 
-from repro.analysis import ScenarioSpec, run_batch, run_batch_parallel
+from repro.analysis import BatchConfig, ScenarioSpec, run
 
 from .records import assert_records_equal, serial_reference
 
@@ -44,6 +44,30 @@ SCENARIOS = [
     ),
 ]
 
+#: Fault-free scenarios that exercise the new subsystem code paths with
+#: everything switched off: an explicit random activation policy must
+#: reuse the stock scheduler loop bit-for-bit, and an empty fault spec
+#: must normalise away entirely.
+NOOP_FAULT_SCENARIOS = [
+    ScenarioSpec(
+        name="async + explicit random policy",
+        algorithm="form-pattern",
+        scheduler=("async", {"policy": "random"}),
+        initial=("random", {"n": 6}),
+        pattern=("star", {"spikes": 3}),
+        max_steps=5_000,
+    ),
+    ScenarioSpec(
+        name="async + empty fault plan",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 6}),
+        pattern=("star", {"spikes": 3}),
+        max_steps=5_000,
+        faults={},
+    ),
+]
+
 SEEDS = list(range(20))
 
 
@@ -52,7 +76,7 @@ def test_parallel_matches_serial_across_worker_counts(spec):
     serial = serial_reference(spec, SEEDS)
     assert len(serial.runs) == len(SEEDS)
     for workers in (1, 2, 4):
-        parallel = run_batch_parallel(spec, SEEDS, workers=workers)
+        parallel = run(spec, SEEDS, BatchConfig(workers=workers))
         assert_records_equal(parallel.runs, serial.runs)
         assert parallel.name == serial.name
 
@@ -63,7 +87,7 @@ def test_results_independent_of_submission_order():
     by_seed = {r.seed: r for r in serial.runs}
     shuffled = SEEDS[:]
     random.Random(7).shuffle(shuffled)
-    parallel = run_batch_parallel(spec, shuffled, workers=4)
+    parallel = run(spec, shuffled, BatchConfig(workers=4))
     # Runs come back in submission order; each record must equal the
     # serial record of the same seed.
     assert [r.seed for r in parallel.runs] == shuffled
@@ -75,19 +99,44 @@ def test_results_independent_of_submission_order():
 def test_aggregates_match_serial():
     spec = SCENARIOS[0]
     serial = serial_reference(spec, SEEDS)
-    parallel = run_batch_parallel(spec, SEEDS, workers=4)
+    parallel = run(spec, SEEDS, BatchConfig(workers=4))
     assert parallel.success_rate() == serial.success_rate()
     assert parallel.row() == serial.row()
 
 
 def test_parallel_rejects_duplicate_seeds():
     with pytest.raises(ValueError, match="duplicate"):
-        run_batch_parallel(SCENARIOS[0], [1, 2, 1], workers=2)
+        run(SCENARIOS[0], [1, 2, 1], BatchConfig(workers=2))
 
 
 def test_parallel_rejects_bad_worker_count():
     with pytest.raises(ValueError):
-        run_batch_parallel(SCENARIOS[0], [1], workers=0)
+        run(SCENARIOS[0], [1], BatchConfig(workers=0))
+
+
+@pytest.mark.parametrize(
+    "spec", NOOP_FAULT_SCENARIOS, ids=lambda s: s.name
+)
+def test_disabled_faults_are_bit_identical_to_stock(spec):
+    """Fault machinery switched off == fault machinery absent.
+
+    The acceptance bar for the faults subsystem: with all faults
+    disabled and the random activation policy, the new engine/scheduler
+    code paths must produce bit-for-bit identical RunRecords to the
+    stock scenario across serial and parallel execution.
+    """
+    stock = ScenarioSpec(
+        name=spec.name,
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 6}),
+        pattern=("star", {"spikes": 3}),
+        max_steps=5_000,
+    )
+    reference = serial_reference(stock, SEEDS)
+    for workers in (1, 2):
+        batch = run(spec, SEEDS, BatchConfig(workers=workers))
+        assert_records_equal(batch.runs, reference.runs)
 
 
 @pytest.mark.slow
@@ -97,5 +146,5 @@ def test_equivalence_long_matrix(spec):
     seeds = list(range(60))
     serial = serial_reference(spec, seeds)
     for workers in (2, 4, 8):
-        parallel = run_batch_parallel(spec, seeds, workers=workers)
+        parallel = run(spec, seeds, BatchConfig(workers=workers))
         assert_records_equal(parallel.runs, serial.runs)

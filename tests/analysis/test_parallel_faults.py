@@ -8,7 +8,7 @@ to a log file so retry counts are observable.
 
 import pytest
 
-from repro.analysis import ScenarioSpec, run_batch_parallel
+from repro.analysis import BatchConfig, ScenarioSpec, run
 
 from .records import assert_records_equal, serial_reference
 
@@ -48,7 +48,7 @@ def _clean_reference(seeds):
 
 def test_hanging_seed_times_out_others_survive(tmp_path):
     spec, _ = _spec(tmp_path, hang_seeds=[3], hang_time=60.0)
-    batch = run_batch_parallel(spec, SEEDS, workers=2, timeout=0.5)
+    batch = run(spec, SEEDS, BatchConfig(workers=2, timeout=0.5))
     by_seed = {r.seed: r for r in batch.runs}
     assert by_seed[3].reason == "timeout"
     assert not by_seed[3].formed and not by_seed[3].terminated
@@ -59,8 +59,8 @@ def test_hanging_seed_times_out_others_survive(tmp_path):
 
 def test_worker_death_retries_then_records_failure(tmp_path):
     spec, log = _spec(tmp_path, crash_seeds=[2])
-    batch = run_batch_parallel(
-        spec, SEEDS, workers=2, retries=2, backoff=0.0
+    batch = run(
+        spec, SEEDS, BatchConfig(workers=2, retries=2, backoff=0.0)
     )
     by_seed = {r.seed: r for r in batch.runs}
     assert by_seed[2].reason == "worker_died"
@@ -74,7 +74,7 @@ def test_worker_death_retries_then_records_failure(tmp_path):
 
 def test_worker_death_zero_retries(tmp_path):
     spec, log = _spec(tmp_path, crash_seeds=[1])
-    batch = run_batch_parallel(spec, [0, 1], workers=2, retries=0)
+    batch = run(spec, [0, 1], BatchConfig(workers=2, retries=0))
     by_seed = {r.seed: r for r in batch.runs}
     assert by_seed[1].reason == "worker_died"
     assert _attempts(log).count(1) == 1
@@ -82,7 +82,7 @@ def test_worker_death_zero_retries(tmp_path):
 
 def test_raising_seed_becomes_error_record_without_retry(tmp_path):
     spec, log = _spec(tmp_path, error_seeds=[1])
-    batch = run_batch_parallel(spec, SEEDS, workers=2, retries=3)
+    batch = run(spec, SEEDS, BatchConfig(workers=2, retries=3))
     by_seed = {r.seed: r for r in batch.runs}
     assert by_seed[1].reason == "error: RuntimeError: injected fault for seed 1"
     # A deterministic exception is not retried.
@@ -95,8 +95,10 @@ def test_every_seed_yields_exactly_one_record(tmp_path):
         tmp_path, crash_seeds=[0], error_seeds=[4], hang_seeds=[5],
         hang_time=60.0,
     )
-    batch = run_batch_parallel(
-        spec, SEEDS, workers=3, timeout=0.5, retries=1, backoff=0.0
+    batch = run(
+        spec,
+        SEEDS,
+        BatchConfig(workers=3, timeout=0.5, retries=1, backoff=0.0),
     )
     assert [r.seed for r in batch.runs] == SEEDS
     reasons = {r.seed: r.reason for r in batch.runs}
@@ -109,4 +111,4 @@ def test_every_seed_yields_exactly_one_record(tmp_path):
 def test_negative_retries_rejected(tmp_path):
     spec, _ = _spec(tmp_path)
     with pytest.raises(ValueError):
-        run_batch_parallel(spec, SEEDS, workers=2, retries=-1)
+        run(spec, SEEDS, BatchConfig(workers=2, retries=-1))

@@ -15,10 +15,10 @@ from repro.analysis import (
     mean,
     median,
     percentile,
-    run_batch,
     stddev,
     variance,
 )
+from repro.analysis.batch import _run_batch_factories
 from repro.scheduler import RoundRobinScheduler
 
 
@@ -161,7 +161,7 @@ class TestRunBatch:
         # silently double-count its outcome in success_rate.
         pat = patterns.regular_polygon(7)
         with pytest.raises(ValueError, match="duplicate"):
-            run_batch(
+            _run_batch_factories(
                 "dup",
                 lambda: FormPattern(pat),
                 lambda seed: RoundRobinScheduler(),
@@ -172,7 +172,7 @@ class TestRunBatch:
     def test_on_record_sees_every_run(self):
         pat = patterns.regular_polygon(7)
         seen = []
-        batch = run_batch(
+        batch = _run_batch_factories(
             "cb",
             lambda: FormPattern(pat),
             lambda seed: RoundRobinScheduler(),
@@ -185,7 +185,7 @@ class TestRunBatch:
 
     def test_small_batch(self):
         pat = patterns.regular_polygon(7)
-        batch = run_batch(
+        batch = _run_batch_factories(
             "e2e",
             lambda: FormPattern(pat),
             lambda seed: RoundRobinScheduler(),

@@ -1,0 +1,130 @@
+"""Adversarial activation policies: legality, termination, equivalence."""
+
+import pytest
+
+from repro.analysis import BatchConfig, ScenarioSpec, run
+from repro.faults import (
+    POLICY_BUILDERS,
+    ActivationPolicy,
+    RandomActivation,
+    StarveSelected,
+    build_policy,
+)
+from repro.geometry import Vec2
+from repro.scheduler import AsyncScheduler
+from repro.sim.robot import Phase, RobotBody
+
+ADVERSARIAL = sorted(set(POLICY_BUILDERS) - {"random"})
+
+
+class TestRegistry:
+    def test_build_from_name(self):
+        assert isinstance(build_policy("starve"), StarveSelected)
+
+    def test_build_from_pair(self):
+        policy = build_policy(("greedy", {"samples": 3}))
+        assert policy.samples == 3
+
+    def test_build_passes_instances_through(self):
+        policy = StarveSelected()
+        assert build_policy(policy) is policy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown activation policy"):
+            build_policy("bogus")
+
+    def test_all_registered_policies_build(self):
+        for name in POLICY_BUILDERS:
+            assert isinstance(build_policy(name), ActivationPolicy)
+
+
+class TestRandomEquivalence:
+    """The explicit random policy replays the stock scheduler exactly."""
+
+    def _robots(self, n=5):
+        return [
+            RobotBody(robot_id=i, position=Vec2(float(i), 0.0))
+            for i in range(n)
+        ]
+
+    def test_action_stream_matches_stock(self):
+        stock = AsyncScheduler(seed=11)
+        via_policy = AsyncScheduler(seed=11, policy=RandomActivation())
+        stock.reset(5)
+        via_policy.reset(5)
+        a_robots, b_robots = self._robots(), self._robots()
+        for step in range(200):
+            a = stock.next_action(a_robots, step)
+            b = via_policy.next_action(b_robots, step)
+            assert (a.robot_id, a.kind, a.fraction, a.end_move) == (
+                b.robot_id,
+                b.kind,
+                b.fraction,
+                b.end_move,
+            ), f"diverged at step {step}"
+
+
+def _spec(policy, n=4):
+    return ScenarioSpec(
+        name=f"policy-{policy}",
+        algorithm="form-pattern",
+        scheduler=(
+            "async",
+            {"policy": policy, "fairness_bound": 300},
+        ),
+        initial=("random", {"n": n}),
+        pattern=("polygon", {"n": n}),
+        max_steps=60_000,
+        delta=0.05,
+    )
+
+
+@pytest.mark.parametrize("policy", ADVERSARIAL)
+class TestAdversarialPolicies:
+    def test_terminates_and_forms(self, policy):
+        """No adversarial policy may hide a terminal configuration.
+
+        The drain mechanism guarantees the all-idle state is reachable,
+        so runs end with ``reason="terminal"`` — inflated step counts
+        are the only permitted damage for crash-free adversaries.
+        """
+        batch = run(_spec(policy), [0, 1], BatchConfig(workers=1))
+        for record in batch.runs:
+            assert record.reason == "terminal", (policy, record)
+            assert record.formed, (policy, record)
+
+    def test_deterministic_across_processes(self, policy):
+        """Policy randomness rides the scheduler RNG: pool == serial."""
+        spec = _spec(policy)
+        serial = run(spec, [0, 1], BatchConfig(workers=1))
+        pooled = run(spec, [0, 1], BatchConfig(workers=2))
+        assert serial.runs == pooled.runs
+
+
+class TestDrain:
+    def test_quiet_window_releases_pending_robots(self):
+        """After a long no-movement window the policy drains OBSERVED."""
+
+        class Hoarder(ActivationPolicy):
+            # Always re-observes idle robots and never lets a pending
+            # compute through — without the drain this hides terminal
+            # configurations forever.
+            def pick(self, robots, step, sched):
+                idle = [r for r in robots if r.phase is Phase.IDLE]
+                if idle:
+                    return idle[0], False
+                return robots[0], False
+
+        policy = Hoarder()
+        policy.reset(2)
+        robots = [
+            RobotBody(robot_id=i, position=Vec2(float(i), 0.0), phase=Phase.OBSERVED)
+            for i in range(2)
+        ]
+        sched = AsyncScheduler(seed=0, policy=policy)
+        drained = None
+        for _ in range(200):
+            drained = policy.maybe_drain(robots, sched.rng)
+            if drained is not None:
+                break
+        assert drained in robots

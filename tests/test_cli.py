@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _batch_spec, build_parser, main
 
 
 class TestParser:
@@ -48,6 +48,90 @@ class TestParser:
         assert args.resume is True
         assert args.timeout == 2.5
         assert args.retries == 1
+
+
+class TestFaultFlags:
+    """``--adversary`` / ``--faults`` parse into the scenario spec."""
+
+    def test_defaults_off(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.adversary is None
+        assert args.faults is None
+        spec = _batch_spec(args)
+        assert spec.scheduler == ("async", {})
+        assert spec.faults is None
+
+    def test_adversary_round_trip(self):
+        args = build_parser().parse_args(["batch", "--adversary", "starve"])
+        spec = _batch_spec(args)
+        assert spec.scheduler == ("async", {"policy": "starve"})
+        # The spec survives serialisation with the adversary intact.
+        from repro.analysis import ScenarioSpec
+
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.scheduler == spec.scheduler
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_faults_round_trip(self):
+        args = build_parser().parse_args(
+            [
+                "batch",
+                "--faults", "crash:count=1,window=0..500",
+                "--faults", "sensor:sigma=1e-6",
+            ]
+        )
+        spec = _batch_spec(args)
+        assert spec.faults is not None
+        assert spec.faults["crash"]["count"] == 1
+        assert spec.faults["crash"]["window"] == [0, 500]
+        assert spec.faults["sensor"]["sigma"] == 1e-6
+        from repro.analysis import ScenarioSpec
+
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.faults == spec.faults
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--adversary", "bogus"])
+
+    def test_adversary_requires_async(self):
+        args = build_parser().parse_args(
+            ["batch", "--adversary", "starve", "--scheduler", "fsync"]
+        )
+        with pytest.raises(ValueError, match="async"):
+            _batch_spec(args)
+
+    def test_malformed_faults_exit_code(self, capsys):
+        code = main(["batch", "--faults", "bogus:zap=1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_adversary_with_nonasync_exit_code(self, capsys):
+        code = main(
+            ["batch", "--adversary", "starve", "--scheduler", "fsync"]
+        )
+        assert code == 2
+        assert "async" in capsys.readouterr().err
+
+    def test_batch_runs_with_adversary_and_faults(self, capsys):
+        code = main(
+            [
+                "batch",
+                "-n", "4",
+                "--runs", "1",
+                "--delta", "0.05",
+                "--max-steps", "30000",
+                "--adversary", "max-pending",
+                "--faults", "crash:count=1,window=0..200",
+            ]
+        )
+        out = capsys.readouterr().out
+        # A crashed robot is expected to break formation: exit code 1,
+        # but the table and the failure breakdown must still render.
+        assert code in (0, 1)
+        assert "adv=max-pending" in out
+        assert "faults=crash" in out
 
 
 class TestCommands:
