@@ -12,6 +12,13 @@ equivalent to serial (pinned by
 ``tests/analysis/test_parallel_equivalence.py``), so the tables are
 unchanged while the wall-clock drops with the worker count.  Set
 ``REPRO_BENCH_WORKERS=1`` to force the serial reference path.
+
+Set ``REPRO_BENCH_STORE=/path/to/store.sqlite`` to attach the
+persistent experiment store (:mod:`repro.store`): a re-run of the same
+experiment then serves already-stored seeds from disk instead of
+re-simulating, and every new record is written through for the next
+run.  Cache hits are bit-exact, so the regenerated tables are
+byte-identical with or without the store.
 """
 
 from __future__ import annotations
@@ -27,12 +34,19 @@ BENCH_WORKERS = int(
     os.environ.get("REPRO_BENCH_WORKERS", str(min(4, os.cpu_count() or 1)))
 )
 
+#: Optional experiment store shared by every benchmark batch.
+BENCH_STORE = os.environ.get("REPRO_BENCH_STORE") or None
+
 
 def run_bench_batch(
     spec: ScenarioSpec, seeds, *, timeout: float | None = None
 ) -> BatchResult:
     """Run one experiment scenario on the benchmark worker pool."""
-    return run(spec, seeds, BatchConfig(workers=BENCH_WORKERS, timeout=timeout))
+    return run(
+        spec,
+        seeds,
+        BatchConfig(workers=BENCH_WORKERS, timeout=timeout, store=BENCH_STORE),
+    )
 
 
 def write_result(name: str, text: str) -> None:

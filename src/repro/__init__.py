@@ -22,7 +22,18 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, geometry, model, patterns, regular, scheduler, sim, viz
+from . import (
+    analysis,
+    geometry,
+    model,
+    patterns,
+    regular,
+    scheduler,
+    service,
+    sim,
+    store,
+    viz,
+)
 from .algorithms import (
     Algorithm,
     FormPattern,
@@ -56,6 +67,8 @@ __all__ = [
     "patterns",
     "regular",
     "scheduler",
+    "service",
     "sim",
+    "store",
     "viz",
 ]

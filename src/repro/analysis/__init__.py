@@ -23,12 +23,14 @@ from .scenarios import (
     BuiltScenario,
     ScenarioSpec,
     build_scheduler,
+    canonical_spec_json,
     normalize_faults,
     register_algorithm,
     register_frame_policy,
     register_initial,
     register_pattern,
     register_scheduler,
+    spec_fingerprint,
 )
 from .stats import (
     binomial_ci,
@@ -52,6 +54,7 @@ __all__ = [
     "ScenarioSpec",
     "binomial_ci",
     "build_scheduler",
+    "canonical_spec_json",
     "format_record",
     "normalize_faults",
     "on_record",
@@ -75,6 +78,7 @@ __all__ = [
     "run_batch_parallel",
     "run_seed",
     "sec_radius_monitor",
+    "spec_fingerprint",
     "stddev",
     "variance",
 ]

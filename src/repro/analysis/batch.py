@@ -76,10 +76,18 @@ class RunRecord:
 
 @dataclass
 class BatchResult:
-    """Aggregate over a batch of runs."""
+    """Aggregate over a batch of runs.
+
+    ``store_hits`` / ``store_misses`` report the experiment-store
+    read-through split when a batch ran with ``BatchConfig.store`` set
+    (hits were served from disk, misses were simulated); both stay 0
+    for store-less batches and do not participate in :meth:`row`.
+    """
 
     name: str
     runs: list[RunRecord] = field(default_factory=list)
+    store_hits: int = 0
+    store_misses: int = 0
 
     def n_runs(self) -> int:
         return len(self.runs)

@@ -10,13 +10,21 @@ loop or the fault-tolerant process pool.  Both old entry points survive
 as thin deprecated shims over this facade, and both paths produce
 bit-for-bit identical :class:`~repro.analysis.batch.RunRecord` lists
 (pinned by the equivalence suite).
+
+With an experiment store attached (``BatchConfig.store``), the facade
+additionally becomes a cross-run cache: seeds whose records the store
+already holds under this workload's canonical fingerprint are served
+from disk (counted in ``BatchResult.store_hits``) and only the
+remainder is simulated, each completed record written through to the
+store as it commits.  With the store unset, behaviour is bit-identical
+to pre-store builds.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from .batch import BatchResult, RunRecord
 from .journal import RunJournal
@@ -45,6 +53,14 @@ class BatchConfig:
         journal: path of the append-only JSONL run journal.
         resume: skip seeds already present in the journal (requires the
             journal to have been written by the same scenario).
+        store: path of a persistent experiment store
+            (:class:`repro.store.ExperimentStore`).  Seeds the store
+            already holds for this workload are served from disk
+            without executing; every newly completed record is written
+            through.  Unlike the journal (one batch, one file), the
+            store deduplicates across runs, scenarios and processes.
+        on_record: callback invoked with every record as it commits
+            (store hits included) — progress reporting hooks in here.
         mp_context: multiprocessing context override (default: fork
             where available).
     """
@@ -56,6 +72,10 @@ class BatchConfig:
     backoff_cap: float = 4.0
     journal: "str | os.PathLike | None" = None
     resume: bool = False
+    store: "str | os.PathLike | None" = None
+    on_record: "Callable[[RunRecord], None] | None" = field(
+        default=None, compare=False
+    )
     mp_context: Any = field(default=None, compare=False)
 
     def resolved_workers(self) -> int:
@@ -122,12 +142,36 @@ def run(
         else:
             journal_obj.start(spec.name, spec.fingerprint(), spec.to_dict())
 
+    store_obj = None
+    store_fingerprint = None
+    store_hits = 0
+    if config.store is not None:
+        from ..store import ExperimentStore  # late: repro.store imports analysis
+
+        store_obj = ExperimentStore(config.store)
+        store_fingerprint = store_obj.register(spec)
+        cached = store_obj.query(
+            store_fingerprint,
+            seeds=[s for s in seed_list if s not in results],
+        )
+        store_hits = len(cached)
+        for seed in seed_list:
+            if seed in cached:
+                results[seed] = cached[seed]
+                if config.on_record is not None:
+                    config.on_record(cached[seed])
+
     pending = [s for s in seed_list if s not in results]
+    store_misses = len(pending) if store_obj is not None else 0
 
     def commit(record: RunRecord) -> None:
         results[record.seed] = record
         if journal_obj is not None:
             journal_obj.append(record)
+        if store_obj is not None:
+            store_obj.put(store_fingerprint, record)
+        if config.on_record is not None:
+            config.on_record(record)
 
     if workers == 1:
         _parallel._run_serial(spec, pending, config.timeout, commit)
@@ -146,4 +190,6 @@ def run(
 
     batch = BatchResult(spec.name)
     batch.runs = [results[s] for s in seed_list]
+    batch.store_hits = store_hits
+    batch.store_misses = store_misses
     return batch

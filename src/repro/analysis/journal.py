@@ -19,6 +19,14 @@ Non-finite floats (a failure record's ``distance`` is NaN) are encoded
 as the strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` so every
 line stays standard JSON.  A truncated final line — the signature of a
 killed process — is tolerated on load; corruption anywhere else raises.
+
+The ``fingerprint`` in the metadata line is the canonical workload
+digest (:func:`repro.analysis.scenarios.spec_fingerprint`) shared with
+the experiment store and the job service; journals written before that
+promotion carry byte-identical digests and keep loading unchanged.
+This encoding is also the persistence format of
+:class:`repro.store.ExperimentStore` row payloads, and
+``python -m repro store import`` ingests journal files wholesale.
 """
 
 from __future__ import annotations

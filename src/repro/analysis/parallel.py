@@ -24,7 +24,11 @@ Robustness around each run:
 
 With a journal attached, every completed record is appended to an
 append-only JSONL file (:mod:`repro.analysis.journal`); a batch
-restarted with ``resume=True`` skips journaled seeds.
+restarted with ``resume=True`` skips journaled seeds.  Journal and
+experiment-store write-through both happen in the facade's commit
+callback, which only ever runs in the parent process — workers never
+touch the journal file or the sqlite store, so neither needs to be
+fork-safe across the pool.
 
 ``workers=1`` delegates to the serial :func:`run_batch` loop in-process
 and is the reference implementation (no process isolation: timeouts are

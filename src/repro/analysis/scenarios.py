@@ -286,6 +286,33 @@ def _global_frames() -> FramePolicy:
 # ----------------------------------------------------------------------
 # the spec
 # ----------------------------------------------------------------------
+def canonical_spec_json(data: dict) -> str:
+    """The canonical JSON encoding a spec dict is fingerprinted under.
+
+    Key-sorted, tuple-tolerant (``default=list``) — byte-identical to
+    what :meth:`ScenarioSpec.fingerprint` has always hashed, so digests
+    recorded in old journal metadata lines stay valid.
+    """
+    return json.dumps(data, sort_keys=True, default=list)
+
+
+def spec_fingerprint(data: dict) -> str:
+    """Canonical workload fingerprint of a plain spec dict.
+
+    The single fingerprint scheme shared by the run journal, the
+    experiment store and the job service: the dict is normalised through
+    :class:`ScenarioSpec` (so ``"async"`` and ``("async", {})`` hash the
+    same) and digested from its canonical JSON form.
+    """
+    return ScenarioSpec.from_dict(data).fingerprint()
+
+
+def _fingerprint_payload(data: dict) -> str:
+    return hashlib.sha256(
+        canonical_spec_json(data).encode("utf-8")
+    ).hexdigest()[:16]
+
+
 def normalize_component(spec) -> tuple[str, dict] | None:
     """Normalise ``None | "name" | (name, params)`` to ``(name, params)``."""
     if spec is None:
@@ -408,9 +435,14 @@ class ScenarioSpec:
         return cls(**data)
 
     def fingerprint(self) -> str:
-        """Stable digest identifying the workload (for journal resume)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, default=list)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        """Stable digest identifying the workload.
+
+        The canonical identity used everywhere a workload is keyed:
+        journal resume, the experiment store's content addressing and
+        the job service's deduplication all share this one scheme (see
+        :func:`spec_fingerprint` for the dict-level entry point).
+        """
+        return _fingerprint_payload(self.to_dict())
 
     # -- construction ---------------------------------------------------
     def build(self) -> BuiltScenario:

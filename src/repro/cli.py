@@ -7,12 +7,19 @@ Commands:
 * ``election``    — run from a perfectly symmetric start (forces coins);
 * ``profile``     — run a batch under the profiler, print phase timings
   and cache-hit counters (optionally as JSON);
+* ``serve``       — start the JSON-over-HTTP simulation job service;
+* ``submit``      — submit a batch to a running service and watch it;
+* ``store``       — inspect (``store query``) or migrate journals into
+  (``store import``) a persistent experiment store;
 * ``version``     — print the package version.
 
 ``batch`` additionally speaks the fault-injection surface: pick an
 adversarial activation policy with ``--adversary`` and add engine-level
 fault models with repeated ``--faults name:key=val,...`` flags (see
-:mod:`repro.faults`).
+:mod:`repro.faults`).  With ``--store PATH`` a batch reads previously
+stored records instead of re-simulating (printing a
+``store: N hits / M misses`` summary) and writes every new record
+through for the next run.
 """
 
 from __future__ import annotations
@@ -89,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="retries per seed after transient worker death",
     )
+    batch.add_argument(
+        "--store",
+        default=None,
+        help="persistent experiment store: serve already-stored seeds "
+        "from disk, write new records through",
+    )
     _fault_flags(batch)
 
     election = sub.add_parser(
@@ -114,6 +127,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the profile record to this JSON file",
     )
     _fault_flags(profile)
+
+    serve = sub.add_parser(
+        "serve", help="start the JSON-over-HTTP simulation job service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--store", required=True, help="experiment store backing the service"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="worker processes per batch"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="admission bound on waiting jobs (past it: HTTP 429)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-seed wall-clock budget in seconds",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a batch to a running service"
+    )
+    _common(submit)
+    submit.add_argument("--runs", type=int, default=5)
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and return without polling",
+    )
+    _fault_flags(submit)
+
+    store = sub.add_parser(
+        "store", help="inspect or populate a persistent experiment store"
+    )
+    store_sub = store.add_subparsers(dest="store_command")
+    store_query = store_sub.add_parser(
+        "query", help="print per-scenario aggregates from a store"
+    )
+    store_query.add_argument("--store", required=True)
+    store_query.add_argument(
+        "--fingerprint",
+        default=None,
+        help="show one workload's aggregate instead of the inventory",
+    )
+    store_import = store_sub.add_parser(
+        "import", help="ingest a JSONL run journal into a store (idempotent)"
+    )
+    store_import.add_argument("journal", help="journal file to ingest")
+    store_import.add_argument("--store", required=True)
 
     sub.add_parser("version", help="print the version")
     return parser
@@ -215,6 +288,7 @@ def cmd_batch(args) -> int:
                 retries=args.retries,
                 journal=args.journal,
                 resume=args.resume,
+                store=args.store,
             ),
         )
     except ValueError as exc:
@@ -225,6 +299,10 @@ def cmd_batch(args) -> int:
     if failures:
         breakdown = "  ".join(f"{k}={v}" for k, v in failures.items())
         print(f"failures: {breakdown}")
+    if args.store is not None:
+        print(
+            f"store: {batch.store_hits} hits / {batch.store_misses} misses"
+        )
     return 0 if batch.success_rate() == 1.0 else 1
 
 
@@ -248,6 +326,104 @@ def cmd_profile(args) -> int:
             fh.write("\n")
         print(f"\nwrote {args.json_path}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .service import JobService, make_server
+
+    service = JobService(
+        args.store,
+        workers=args.workers,
+        timeout=args.timeout,
+        max_queue=args.max_queue,
+    )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} store={args.store}", flush=True)
+
+    def _shutdown(signum, frame):
+        # shutdown() must run off the serve_forever thread or it
+        # deadlocks waiting for a loop the handler has suspended.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        # Drain: the in-flight job finishes and its records are already
+        # committed to the store per seed, so a restart resumes losslessly.
+        service.stop(wait=True)
+        server.server_close()
+        print("drained; store is consistent", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service import ServiceError, submit_job, wait_for_job
+
+    try:
+        spec = _batch_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    seeds = range(args.seed, args.seed + args.runs)
+    try:
+        job = submit_job(args.url, spec.to_dict(), seeds)
+        print(f"job {job['id']} accepted ({job['total']} seeds)")
+        if args.no_wait:
+            return 0
+        final = wait_for_job(args.url, job["id"])
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if final["status"] == "failed":
+        print(f"error: job failed: {final['error']}", file=sys.stderr)
+        return 2
+    print(format_table([final["aggregate"]]))
+    print(f"store: {final['hits']} hits / {final['misses']} misses")
+    return 0 if final["aggregate"]["success"] == 1.0 else 1
+
+
+def cmd_store(args) -> int:
+    from .store import ExperimentStore
+
+    if args.store_command == "import":
+        try:
+            store = ExperimentStore(args.store)
+            added, total = store.import_journal(args.journal)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"imported {added} new / {total} journaled records into "
+            f"{args.store}"
+        )
+        return 0
+    if args.store_command == "query":
+        store = ExperimentStore(args.store)
+        if args.fingerprint is not None:
+            batch = store.aggregate(args.fingerprint)
+            if not batch.runs:
+                print(
+                    f"error: no records for fingerprint {args.fingerprint}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(format_table([batch.row()]))
+            return 0
+        rows = []
+        for scenario in store.scenarios():
+            row = {"fingerprint": scenario.fingerprint}
+            row.update(store.aggregate(scenario.fingerprint).row())
+            rows.append(row)
+        print(format_table(rows) if rows else "(empty store)")
+        return 0
+    print("error: expected 'store query' or 'store import'", file=sys.stderr)
+    return 2
 
 
 def cmd_election(args) -> int:
@@ -281,6 +457,12 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_election(args)
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "store":
+        return cmd_store(args)
     if args.command == "version":
         print(__version__)
         return 0

@@ -1,0 +1,32 @@
+"""Simulation job service: JSON-over-HTTP batches over the store.
+
+``python -m repro serve`` starts it; ``python -m repro submit`` talks
+to it.  Architecture (all stdlib):
+
+* :mod:`repro.service.jobs` — bounded submission queue + dispatcher
+  thread executing jobs through :func:`repro.analysis.run` with the
+  experiment store attached (admission control, live progress,
+  kill-tolerant per-seed write-through);
+* :mod:`repro.service.http` — ``ThreadingHTTPServer`` routes
+  (``POST /jobs``, ``GET /jobs[/<id>]``, ``GET /results``,
+  ``GET /healthz``);
+* :mod:`repro.service.client` — ``urllib`` helpers used by the CLI and
+  tests.
+"""
+
+from .client import ServiceError, get_json, post_json, submit_job, wait_for_job
+from .http import ServiceServer, make_server
+from .jobs import Job, JobService, QueueFull
+
+__all__ = [
+    "Job",
+    "JobService",
+    "QueueFull",
+    "ServiceError",
+    "ServiceServer",
+    "get_json",
+    "make_server",
+    "post_json",
+    "submit_job",
+    "wait_for_job",
+]

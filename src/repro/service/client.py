@@ -1,0 +1,88 @@
+"""Tiny stdlib HTTP client for the job service.
+
+``urllib.request`` only — the same no-new-dependencies constraint the
+server obeys.  Used by ``python -m repro submit`` and the service test
+suite; error responses surface as :class:`ServiceError` carrying the
+HTTP status so callers can distinguish admission rejection (429) from
+a malformed spec (400).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceError", "get_json", "post_json", "submit_job", "wait_for_job"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error reply from the service, with its status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _request(url: str, data: bytes | None, timeout: float) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 — error body is best-effort
+            detail = exc.reason
+        raise ServiceError(exc.code, detail) from None
+
+
+def get_json(url: str, timeout: float = 30.0) -> dict:
+    """GET a JSON document."""
+    return _request(url, None, timeout)
+
+
+def post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
+    """POST a JSON document, return the parsed JSON reply."""
+    data = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    return _request(url, data, timeout)
+
+
+def submit_job(base_url: str, spec: dict, seeds) -> dict:
+    """``POST /jobs`` and return the accepted job snapshot."""
+    return post_json(
+        f"{base_url.rstrip('/')}/jobs",
+        {"spec": spec, "seeds": [int(s) for s in seeds]},
+    )
+
+
+def wait_for_job(
+    base_url: str,
+    job_id: str,
+    *,
+    poll: float = 0.2,
+    timeout: float = 600.0,
+) -> dict:
+    """Poll ``GET /jobs/<id>`` until the job leaves the queue/run states.
+
+    Returns the final snapshot; raises :class:`TimeoutError` if the job
+    is still pending when the budget runs out.
+    """
+    deadline = time.monotonic() + timeout
+    url = f"{base_url.rstrip('/')}/jobs/{job_id}"
+    while True:
+        snapshot = get_json(url)
+        if snapshot["status"] in ("done", "failed"):
+            return snapshot
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"job {job_id} still {snapshot['status']} after {timeout}s"
+            )
+        time.sleep(poll)

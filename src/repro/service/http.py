@@ -1,0 +1,181 @@
+"""JSON-over-HTTP front end for the job service (stdlib only).
+
+Built on :class:`http.server.ThreadingHTTPServer` — no third-party web
+framework.  Routes:
+
+``POST /jobs``
+    Submit a workload.  Body: ``{"spec": {...}, "seeds": [...]}`` or
+    ``{"spec": {...}, "seed_start": 0, "runs": 16}``.  Replies 202 with
+    the job snapshot, 400 on a malformed spec, 429 once the admission
+    queue is full, 503 while shutting down.
+``GET /jobs``
+    Snapshots of every known job, submission-ordered.
+``GET /jobs/<id>``
+    One job's live progress: status, done/total, store hits/misses and
+    a partial aggregate over the records committed so far.
+``GET /results``
+    The store's scenario inventory; with ``?fingerprint=<fp>`` the
+    aggregate row for that workload, plus per-seed records when
+    ``&records=1``.
+``GET /healthz``
+    Liveness probe.
+
+Responses are strict JSON: non-finite floats (an aggregate over zero
+successes is NaN) are encoded as the same ``"NaN"`` / ``"Infinity"``
+string sentinels the run journal uses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..analysis.journal import encode_record
+from ..store import ExperimentStore
+from .jobs import JobService, QueueFull
+
+__all__ = ["ServiceServer", "make_server"]
+
+
+def _json_safe(value):
+    """Recursively replace non-finite floats with string sentinels."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service + store for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: JobService) -> None:
+        self.service = service
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer  # narrowed for the route helpers
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # polling GET /jobs/<id> would flood stderr
+
+    # -- plumbing -------------------------------------------------------
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(
+            _json_safe(payload), ensure_ascii=False, allow_nan=False
+        ).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["healthz"]:
+            self._reply(200, {"ok": True, "store": self.server.service.store})
+        elif parts == ["jobs"]:
+            self._reply(
+                200,
+                {"jobs": [j.snapshot() for j in self.server.service.jobs()]},
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self.server.service.get(parts[1])
+            if job is None:
+                self._reply(404, {"error": f"no such job {parts[1]!r}"})
+            else:
+                self._reply(200, job.snapshot())
+        elif parts == ["results"]:
+            self._get_results(parse_qs(url.query))
+        else:
+            self._reply(404, {"error": f"no route {url.path!r}"})
+
+    def _get_results(self, query: dict) -> None:
+        store = ExperimentStore(self.server.service.store)
+        fingerprint = query.get("fingerprint", [None])[0]
+        if fingerprint is None:
+            self._reply(
+                200,
+                {
+                    "scenarios": [
+                        {
+                            "fingerprint": s.fingerprint,
+                            "name": s.name,
+                            "runs": s.runs,
+                        }
+                        for s in store.scenarios()
+                    ]
+                },
+            )
+            return
+        batch = store.aggregate(fingerprint)
+        payload: dict = {
+            "fingerprint": fingerprint,
+            "runs": batch.n_runs(),
+            "aggregate": batch.row() if batch.runs else None,
+        }
+        if query.get("records", ["0"])[0] not in ("0", ""):
+            payload["records"] = [
+                json.loads(encode_record(r)) for r in batch.runs
+            ]
+        self._reply(200, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        url = urlparse(self.path)
+        if url.path.rstrip("/") != "/jobs":
+            self._reply(404, {"error": f"no route {url.path!r}"})
+            return
+        try:
+            body = self._read_body()
+            spec = body["spec"]
+            if "seeds" in body:
+                seeds = body["seeds"]
+            else:
+                start = int(body.get("seed_start", 0))
+                seeds = range(start, start + int(body["runs"]))
+            job = self.server.service.submit(spec, seeds)
+        except QueueFull as exc:
+            self._reply(429, {"error": str(exc)})
+            return
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+            return
+        except RuntimeError as exc:  # shutting down
+            self._reply(503, {"error": str(exc)})
+            return
+        self._reply(202, job.snapshot())
+
+
+def make_server(
+    service: JobService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer`; ``port=0`` picks a free port.
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` (from another thread or a signal handler) to stop
+    accepting, then ``service.stop()`` to drain the dispatcher.
+    """
+    return ServiceServer((host, port), service)

@@ -1,0 +1,236 @@
+"""Job management behind the simulation service.
+
+A :class:`JobService` owns a bounded submission queue and a single
+dispatcher thread.  Submitting a job validates its spec, assigns an id
+and enqueues it; the dispatcher pulls jobs in order and executes each
+through the unified batch facade (:func:`repro.analysis.run`) with the
+experiment store attached, so
+
+* seeds the store already holds complete instantly as cache hits,
+* every newly simulated seed is written through to the store the
+  moment it commits — a killed service (even SIGKILL) loses at most
+  the seeds that were in flight, and a restart + resubmit finishes the
+  remainder without re-running anything committed.
+
+Admission control is the queue bound: :meth:`JobService.submit` raises
+:class:`QueueFull` once ``max_queue`` jobs are waiting (the HTTP layer
+maps that to 429), so a flood of submissions degrades into fast
+rejections instead of unbounded memory growth.
+
+Progress is observable while a job runs: the facade's ``on_record``
+hook appends each committed record to the job under its lock, and
+:meth:`Job.snapshot` serves done/total counts plus a partial aggregate
+over the records committed so far.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from ..analysis import BatchConfig, BatchResult, ScenarioSpec, run
+from ..analysis.batch import RunRecord
+
+__all__ = ["Job", "JobService", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised when the submission queue is at its admission bound."""
+
+
+_SENTINEL = object()
+
+
+@dataclass
+class Job:
+    """One submitted ``(spec, seeds)`` workload and its live progress."""
+
+    id: str
+    spec: dict
+    seeds: list[int]
+    status: str = "queued"  # queued | running | done | failed
+    hits: int = 0
+    misses: int = 0
+    error: str | None = None
+    records: list[RunRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def total(self) -> int:
+        return len(self.seeds)
+
+    def add_record(self, record: RunRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def partial_result(self) -> BatchResult:
+        """Aggregate over the records committed so far (seed-ordered)."""
+        with self._lock:
+            committed = list(self.records)
+        batch = BatchResult(self.spec.get("name", self.id))
+        batch.runs = sorted(committed, key=lambda r: r.seed)
+        batch.store_hits = self.hits
+        batch.store_misses = self.misses
+        return batch
+
+    def snapshot(self) -> dict:
+        """A JSON-ready progress view (what ``GET /jobs/<id>`` serves)."""
+        partial = self.partial_result()
+        return {
+            "id": self.id,
+            "status": self.status,
+            "done": partial.n_runs(),
+            "total": self.total,
+            "hits": self.hits,
+            "misses": self.misses,
+            "error": self.error,
+            "aggregate": partial.row() if partial.runs else None,
+        }
+
+
+class JobService:
+    """Bounded job queue + dispatcher over the batch facade and store.
+
+    Args:
+        store: path of the experiment store every job reads and writes
+            through (required — the store is what makes the service
+            kill-tolerant and deduplicating).
+        workers: worker processes per batch (``BatchConfig.workers``).
+        timeout: per-seed wall-clock budget forwarded to the batch.
+        max_queue: admission bound on *waiting* jobs.
+        auto_start: start the dispatcher thread immediately (tests pass
+            ``False`` to inspect queue behaviour deterministically).
+    """
+
+    def __init__(
+        self,
+        store: str,
+        *,
+        workers: int | None = None,
+        timeout: float | None = None,
+        max_queue: int = 8,
+        auto_start: bool = True,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.store = str(store)
+        self.workers = workers
+        self.timeout = timeout
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._dispatch, name="repro-dispatcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Graceful shutdown: refuse new jobs, drain the running one.
+
+        The currently executing job runs to completion (its records
+        were being written through to the store per seed anyway, so
+        nothing committed is ever at risk); jobs still queued stay
+        ``queued`` and can simply be resubmitted after a restart — the
+        store turns their finished portion into instant hits.
+        """
+        self._stopping.set()
+        try:
+            self._queue.put_nowait(_SENTINEL)  # fast wake-up, best-effort
+        except queue.Full:
+            pass  # the dispatcher polls _stopping between jobs anyway
+        if wait and self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, spec_data: dict, seeds) -> Job:
+        """Validate, enqueue and return a new job.
+
+        Raises:
+            QueueFull: the admission bound is reached.
+            ValueError: the spec or seed list is malformed.
+            RuntimeError: the service is shutting down.
+        """
+        if self._stopping.is_set():
+            raise RuntimeError("service is shutting down")
+        spec = ScenarioSpec.from_dict(dict(spec_data))
+        seed_list = [int(s) for s in seeds]
+        if not seed_list:
+            raise ValueError("a job needs at least one seed")
+        if len(set(seed_list)) != len(seed_list):
+            raise ValueError("duplicate seeds in job")
+        job = Job(
+            id=f"j{next(self._ids)}", spec=spec.to_dict(), seeds=seed_list
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+                self._order.remove(job.id)
+            raise QueueFull(
+                f"job queue is full ({self._queue.maxsize} waiting)"
+            ) from None
+        return job
+
+    # -- inspection -----------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[jid] for jid in self._order]
+
+    # -- execution ------------------------------------------------------
+    def _dispatch(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    break
+                continue
+            if item is _SENTINEL:
+                break
+            self._run_job(item)
+
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        try:
+            batch = run(
+                ScenarioSpec.from_dict(job.spec),
+                job.seeds,
+                BatchConfig(
+                    workers=self.workers,
+                    timeout=self.timeout,
+                    store=self.store,
+                    on_record=job.add_record,
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 — a bad job must not kill the loop
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = "failed"
+            return
+        job.hits = batch.store_hits
+        job.misses = batch.store_misses
+        job.status = "done"

@@ -1,0 +1,27 @@
+"""Persistent, content-addressed experiment store.
+
+A sqlite-backed archive of completed :class:`~repro.analysis.batch.RunRecord`
+rows, keyed by the canonical :meth:`ScenarioSpec.fingerprint`, the run
+seed and the code-schema version.  Resubmitting work the store already
+holds is served bit-for-bit from disk instead of re-simulated — the
+cross-run memoisation behind ``repro batch --store``, the job service
+and the incremental experiment reruns.
+
+See :mod:`repro.store.store` for the full contract.
+"""
+
+from .store import (
+    CODE_SCHEMA,
+    STORE_VERSION,
+    ExperimentStore,
+    StoredScenario,
+    code_schema,
+)
+
+__all__ = [
+    "CODE_SCHEMA",
+    "STORE_VERSION",
+    "ExperimentStore",
+    "StoredScenario",
+    "code_schema",
+]

@@ -1,0 +1,375 @@
+"""Sqlite-backed experiment store with content-addressed run records.
+
+Identity
+--------
+A stored run is keyed by three things:
+
+* the **workload fingerprint** — the canonical
+  :func:`repro.analysis.scenarios.spec_fingerprint` digest of the
+  :class:`~repro.analysis.scenarios.ScenarioSpec` (pattern, algorithm,
+  scheduler, frame policy, tuning parameters and the ``FaultPlan``
+  spec all participate);
+* the **seed**;
+* the **code schema** — a digest over the :class:`RunRecord` field list
+  and the journal encoding version, so records written by an
+  incompatible earlier layout are never served as hits for current
+  code (they stay in the file, invisible to lookups).
+
+Bit-exactness
+-------------
+Records are persisted as their journal JSON encoding
+(:func:`repro.analysis.journal.encode_record`): floats round-trip via
+``repr`` and NaN/Inf are encoded as the same string sentinels the
+journal uses, so a record read back from the store compares equal
+field-for-field with the record that was written — the property the
+``repro batch --store`` resubmission guarantee rests on.
+
+Concurrency & durability
+------------------------
+The database runs in WAL mode with a busy timeout, and every operation
+opens its own short-lived connection (never held across a fork, never
+shared between threads), so the process pool's parent writer, the job
+service's dispatcher thread and any number of CLI readers can touch one
+store file concurrently.  Each ``put`` is its own committed
+transaction: a SIGKILL loses at most rows that had not yet committed,
+and WAL recovery on the next open preserves everything that had.
+Writes are ``INSERT OR IGNORE`` — re-inserting an existing
+``(fingerprint, seed, schema)`` key is a no-op, which makes journal
+imports and resubmissions idempotent by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..analysis.batch import BatchResult, RunRecord
+from ..analysis.journal import JOURNAL_VERSION, decode_record, encode_record
+from ..analysis.scenarios import ScenarioSpec, canonical_spec_json, spec_fingerprint
+
+__all__ = [
+    "CODE_SCHEMA",
+    "STORE_VERSION",
+    "ExperimentStore",
+    "StoredScenario",
+    "code_schema",
+]
+
+#: Version of the sqlite layout itself (tables/columns), recorded in
+#: ``meta`` and checked on open.
+STORE_VERSION = 1
+
+_BUSY_TIMEOUT_S = 30.0
+
+
+def code_schema() -> str:
+    """Digest of the run-record layout current code produces.
+
+    Changes whenever :class:`RunRecord` gains/loses/renames a field or
+    the journal encoding version moves, invalidating stored rows as
+    cache hits without any manual migration step.
+    """
+    layout = ",".join(f.name for f in fields(RunRecord))
+    basis = f"v{JOURNAL_VERSION}:{layout}"
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]
+
+
+#: The digest for the interpreter's current RunRecord layout.
+CODE_SCHEMA = code_schema()
+
+
+@dataclass(frozen=True)
+class StoredScenario:
+    """One scenario row: identity, human name, spec and run count."""
+
+    fingerprint: str
+    name: str
+    spec: dict
+    runs: int
+
+
+def _fingerprint_of(spec: "ScenarioSpec | dict | str") -> str:
+    if isinstance(spec, str):
+        return spec
+    if isinstance(spec, ScenarioSpec):
+        return spec.fingerprint()
+    return spec_fingerprint(spec)
+
+
+class ExperimentStore:
+    """A durable, deduplicating archive of run records.
+
+    Args:
+        path: the sqlite file (created, WAL-mode, on first use).
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = Path(path)
+        self._init_db()
+
+    # -- connection management -----------------------------------------
+    @contextmanager
+    def _connect(self):
+        """One short-lived connection per operation, committed and closed.
+
+        ``sqlite3``'s own context manager only scopes the transaction;
+        closing explicitly keeps the per-operation discipline honest
+        (no handle survives into a forked worker or another thread).
+        """
+        conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    def _init_db(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            # WAL is a persistent database property: set once, every
+            # later connection (any process) inherits it.
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS scenarios ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " name TEXT NOT NULL,"
+                " spec TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS runs ("
+                " fingerprint TEXT NOT NULL,"
+                " seed INTEGER NOT NULL,"
+                " schema TEXT NOT NULL,"
+                " formed INTEGER NOT NULL,"
+                " terminated INTEGER NOT NULL,"
+                " reason TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " PRIMARY KEY (fingerprint, seed, schema))"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='store_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta(key, value) VALUES ('store_version', ?)",
+                    (str(STORE_VERSION),),
+                )
+            elif int(row[0]) != STORE_VERSION:
+                raise ValueError(
+                    f"store {self.path} has layout version {row[0]}, "
+                    f"this code expects {STORE_VERSION}"
+                )
+
+    # -- writing --------------------------------------------------------
+    def register(self, spec: "ScenarioSpec | dict") -> str:
+        """Ensure the scenario row exists; return its fingerprint."""
+        if isinstance(spec, ScenarioSpec):
+            data, name = spec.to_dict(), spec.name
+        else:
+            normalised = ScenarioSpec.from_dict(spec)
+            data, name = normalised.to_dict(), normalised.name
+        fingerprint = _fingerprint_of(data)
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO scenarios(fingerprint, name, spec) "
+                "VALUES (?, ?, ?)",
+                (fingerprint, name, canonical_spec_json(data)),
+            )
+        return fingerprint
+
+    def put(self, spec: "ScenarioSpec | dict | str", record: RunRecord) -> bool:
+        """Persist one record; return True if it was new.
+
+        Idempotent: an existing ``(fingerprint, seed, schema)`` row is
+        left untouched (first write wins — identical content anyway,
+        since the key pins the workload, the seed and the code schema).
+        """
+        return self.put_many(spec, [record]) == 1
+
+    def put_many(
+        self, spec: "ScenarioSpec | dict | str", records: Iterable[RunRecord]
+    ) -> int:
+        """Persist many records in one transaction; return the new-row count.
+
+        Passing a full spec (rather than a bare fingerprint) also
+        registers the scenario row, so records are always reachable
+        from the inventory.
+        """
+        if isinstance(spec, str):
+            fingerprint = spec
+        else:
+            fingerprint = self.register(spec)
+        rows = [
+            (
+                fingerprint,
+                record.seed,
+                CODE_SCHEMA,
+                int(record.formed),
+                int(record.terminated),
+                record.reason,
+                encode_record(record),
+            )
+            for record in records
+        ]
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT OR IGNORE INTO runs"
+                " (fingerprint, seed, schema, formed, terminated, reason,"
+                "  payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            return conn.total_changes - before
+
+    # -- reading --------------------------------------------------------
+    def get(self, spec: "ScenarioSpec | dict | str", seed: int) -> RunRecord | None:
+        """The stored record for ``(spec, seed)``, or ``None``."""
+        fingerprint = _fingerprint_of(spec)
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM runs WHERE fingerprint=? AND seed=?"
+                " AND schema=?",
+                (fingerprint, int(seed), CODE_SCHEMA),
+            ).fetchone()
+        if row is None:
+            return None
+        return decode_record(json.loads(row[0]))
+
+    def query(
+        self,
+        spec: "ScenarioSpec | dict | str",
+        seeds: "Sequence[int] | None" = None,
+    ) -> dict[int, RunRecord]:
+        """All stored records of a workload, optionally seed-filtered.
+
+        Returns a ``seed -> RunRecord`` mapping; records decode
+        bit-for-bit equal to the ones originally committed.
+        """
+        fingerprint = _fingerprint_of(spec)
+        sql = (
+            "SELECT seed, payload FROM runs"
+            " WHERE fingerprint=? AND schema=?"
+        )
+        params: list = [fingerprint, CODE_SCHEMA]
+        if seeds is not None:
+            wanted = [int(s) for s in seeds]
+            if not wanted:
+                return {}
+            sql += f" AND seed IN ({','.join('?' * len(wanted))})"
+            params.extend(wanted)
+        with self._connect() as conn:
+            rows = conn.execute(sql, params).fetchall()
+        return {seed: decode_record(json.loads(payload)) for seed, payload in rows}
+
+    def seeds(self, spec: "ScenarioSpec | dict | str") -> set[int]:
+        """The seeds a workload already has committed records for."""
+        fingerprint = _fingerprint_of(spec)
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT seed FROM runs WHERE fingerprint=? AND schema=?",
+                (fingerprint, CODE_SCHEMA),
+            ).fetchall()
+        return {row[0] for row in rows}
+
+    def aggregate(self, spec: "ScenarioSpec | dict | str") -> BatchResult:
+        """A :class:`BatchResult` over every stored record of a workload.
+
+        Runs come back seed-ordered, so the aggregate of a fully stored
+        batch equals the live batch's aggregate bit-for-bit.
+        """
+        records = self.query(spec)
+        name = None
+        if isinstance(spec, ScenarioSpec):
+            name = spec.name
+        elif isinstance(spec, dict):
+            name = spec.get("name")
+        else:
+            scenario = self.scenario(spec)
+            name = scenario.name if scenario else spec
+        batch = BatchResult(name or "stored")
+        batch.runs = [records[s] for s in sorted(records)]
+        return batch
+
+    def scenario(self, fingerprint: str) -> StoredScenario | None:
+        """Look one scenario row up by fingerprint."""
+        for scenario in self.scenarios():
+            if scenario.fingerprint == fingerprint:
+                return scenario
+        return None
+
+    def scenarios(self) -> list[StoredScenario]:
+        """Every registered scenario with its stored-run count."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT s.fingerprint, s.name, s.spec,"
+                " (SELECT COUNT(*) FROM runs r"
+                "   WHERE r.fingerprint = s.fingerprint AND r.schema = ?)"
+                " FROM scenarios s ORDER BY s.name, s.fingerprint",
+                (CODE_SCHEMA,),
+            ).fetchall()
+        return [
+            StoredScenario(
+                fingerprint=fp, name=name, spec=json.loads(spec), runs=count
+            )
+            for fp, name, spec, count in rows
+        ]
+
+    def count(self) -> int:
+        """Total stored run rows for the current code schema."""
+        with self._connect() as conn:
+            (n,) = conn.execute(
+                "SELECT COUNT(*) FROM runs WHERE schema=?", (CODE_SCHEMA,)
+            ).fetchone()
+        return n
+
+    # -- migration ------------------------------------------------------
+    def import_journal(self, path: "str | os.PathLike") -> tuple[int, int]:
+        """Ingest a JSONL run journal; return ``(new_rows, total_rows)``.
+
+        Idempotent: re-importing the same journal adds zero rows.  The
+        journal's own loader semantics apply — a truncated final line
+        (killed writer) is tolerated, corruption anywhere else raises.
+        The scenario identity is re-derived canonically from the
+        metadata line's embedded spec when present, falling back to the
+        recorded fingerprint for old journals without one.
+        """
+        from ..analysis.journal import RunJournal
+
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no such journal: {path}")
+        state = RunJournal(path).load()
+        if state.meta is None:
+            raise ValueError(f"journal {path} has no metadata line")
+        spec_data = state.meta.get("spec")
+        if spec_data is not None:
+            fingerprint = self.register(spec_data)
+        else:
+            fingerprint = state.meta.get("fingerprint")
+            if not fingerprint:
+                raise ValueError(
+                    f"journal {path} metadata carries neither a spec "
+                    "nor a fingerprint"
+                )
+            with self._connect() as conn:
+                conn.execute(
+                    "INSERT OR IGNORE INTO scenarios(fingerprint, name, spec)"
+                    " VALUES (?, ?, ?)",
+                    (
+                        fingerprint,
+                        state.meta.get("scenario", "imported"),
+                        json.dumps(None),
+                    ),
+                )
+        records = [state.records[s] for s in sorted(state.records)]
+        added = self.put_many(fingerprint, records)
+        return added, len(records)

@@ -1,0 +1,149 @@
+"""The canonical workload fingerprint is one scheme, everywhere.
+
+``ScenarioSpec.fingerprint()`` (what the journal records),
+``spec_fingerprint(dict)`` (what the store and the service compute from
+plain data) and the value read back out of a journal metadata line must
+agree — for every registered pattern, algorithm, scheduler, initial
+builder and frame policy.  The parameter tables below are checked for
+exhaustiveness against the live registries, so registering a new
+component without extending the cross-check fails loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import RunJournal, ScenarioSpec, spec_fingerprint
+from repro.analysis.scenarios import (
+    ALGORITHM_BUILDERS,
+    FRAME_POLICY_BUILDERS,
+    INITIAL_BUILDERS,
+    PATTERN_BUILDERS,
+    SCHEDULER_BUILDERS,
+    canonical_spec_json,
+)
+
+#: Minimal valid parameters per registered component name.
+PATTERN_PARAMS = {
+    "polygon": {"n": 6},
+    "line": {"n": 5},
+    "grid": {"rows": 2, "cols": 3},
+    "star": {"spikes": 3},
+    "rings": {"counts": [4, 3]},
+    "random": {"n": 6, "seed": 1},
+    "center-multiplicity": {"n_outer": 5, "center_count": 2},
+    "multiplicity": {"base": ["polygon", {"n": 5}], "doubled_indices": [0]},
+}
+ALGORITHM_PARAMS = {
+    "form-pattern": {},
+    "multiplicity-form-pattern": {},
+    "yamauchi-yamashita": {},
+    "global-frame": {},
+}
+SCHEDULER_PARAMS = {
+    "fsync": {},
+    "round-robin": {},
+    "ssync": {},
+    "async": {},
+    "async-aggressive": {},
+}
+INITIAL_PARAMS = {
+    "random": {"n": 5},
+    "ngon": {"n": 5},
+    "faulty-random": {"n": 5},
+}
+FRAME_POLICY_PARAMS = {
+    "random": {},
+    "chirality": {},
+    "global": {},
+}
+FAULT_VARIANTS = [
+    None,
+    {"sensor": {"sigma": 1e-6}},
+    {"crash": {"count": 1, "window": [0, 500]}},
+]
+
+
+def _specs():
+    """One spec per registered component (plus fault variants)."""
+    specs = []
+    for pattern, params in PATTERN_PARAMS.items():
+        specs.append(
+            ScenarioSpec(
+                name=f"pattern-{pattern}",
+                initial=("random", {"n": 6}),
+                pattern=(pattern, params),
+            )
+        )
+    for algorithm, params in ALGORITHM_PARAMS.items():
+        specs.append(
+            ScenarioSpec(
+                name=f"algo-{algorithm}", algorithm=(algorithm, params)
+            )
+        )
+    for scheduler, params in SCHEDULER_PARAMS.items():
+        specs.append(
+            ScenarioSpec(
+                name=f"sched-{scheduler}", scheduler=(scheduler, params)
+            )
+        )
+    specs.append(
+        ScenarioSpec(
+            name="sched-async-adversarial",
+            scheduler=("async", {"policy": "starve"}),
+        )
+    )
+    for initial, params in INITIAL_PARAMS.items():
+        specs.append(
+            ScenarioSpec(name=f"init-{initial}", initial=(initial, params))
+        )
+    for policy, params in FRAME_POLICY_PARAMS.items():
+        specs.append(
+            ScenarioSpec(name=f"frames-{policy}", frame_policy=(policy, params))
+        )
+    for faults in FAULT_VARIANTS:
+        specs.append(ScenarioSpec(name="faulted", faults=faults))
+    return specs
+
+
+def test_parameter_tables_cover_every_registered_component():
+    assert set(PATTERN_PARAMS) == set(PATTERN_BUILDERS)
+    assert set(ALGORITHM_PARAMS) == set(ALGORITHM_BUILDERS)
+    assert set(SCHEDULER_PARAMS) == set(SCHEDULER_BUILDERS)
+    assert set(INITIAL_PARAMS) == set(INITIAL_BUILDERS)
+    assert set(FRAME_POLICY_PARAMS) == set(FRAME_POLICY_BUILDERS)
+
+
+@pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
+def test_dict_scheme_agrees_with_method(spec):
+    """spec_fingerprint over plain (JSON round-tripped) data == method."""
+    as_plain = json.loads(json.dumps(spec.to_dict()))
+    assert spec_fingerprint(as_plain) == spec.fingerprint()
+
+
+@pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
+def test_journal_metadata_agrees_with_canonical_scheme(spec, tmp_path):
+    """What a journal records is what the store/service would compute."""
+    journal = RunJournal(tmp_path / "j.jsonl")
+    journal.start(spec.name, spec.fingerprint(), spec.to_dict())
+    meta = journal.load().meta
+    assert meta["fingerprint"] == spec.fingerprint()
+    assert spec_fingerprint(meta["spec"]) == meta["fingerprint"]
+
+
+def test_canonical_json_is_normalisation_stable():
+    spec = ScenarioSpec(name="n", scheduler="async")  # shorthand component
+    explicit = ScenarioSpec(name="n", scheduler=("async", {}))
+    assert canonical_spec_json(spec.to_dict()) == canonical_spec_json(
+        explicit.to_dict()
+    )
+    assert spec.fingerprint() == explicit.fingerprint()
+
+
+def test_distinct_workloads_distinct_fingerprints():
+    base = ScenarioSpec(name="n")
+    assert (
+        ScenarioSpec(name="n", faults={"sensor": {"sigma": 1e-6}}).fingerprint()
+        != base.fingerprint()
+    )
+    assert ScenarioSpec(name="n", max_steps=1).fingerprint() != base.fingerprint()

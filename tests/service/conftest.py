@@ -1,0 +1,53 @@
+"""Fixtures for the job-service suite: an in-process HTTP service."""
+
+import threading
+
+import pytest
+
+from repro.service import JobService, make_server
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Build (service, base_url) pairs; everything torn down on exit."""
+    started = []
+
+    def factory(store_name="store.sqlite", **kwargs):
+        kwargs.setdefault("workers", 1)
+        service = JobService(str(tmp_path / store_name), **kwargs)
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((service, server, thread))
+        host, port = server.server_address[:2]
+        return service, f"http://{host}:{port}"
+
+    yield factory
+
+    for service, server, thread in started:
+        server.shutdown()
+        server.server_close()
+        if service._thread is not None:
+            service.stop(wait=True, timeout=30)
+        thread.join(timeout=10)
+
+
+@pytest.fixture
+def live_service(service_factory):
+    """One running service and its base URL."""
+    return service_factory()
+
+
+def small_spec(n=5, **overrides):
+    """A fast round-robin polygon workload as a plain spec dict."""
+    spec = {
+        "name": f"svc polygon n={n}",
+        "algorithm": "form-pattern",
+        "scheduler": "round-robin",
+        "initial": ["random", {"n": n}],
+        "pattern": ["polygon", {"n": n}],
+        "max_steps": 5_000,
+        "delta": 1e-3,
+    }
+    spec.update(overrides)
+    return spec

@@ -1,0 +1,180 @@
+"""HTTP job service: submission, progress, admission control, results."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.analysis import ScenarioSpec
+from repro.service import (
+    JobService,
+    QueueFull,
+    ServiceError,
+    get_json,
+    post_json,
+    submit_job,
+    wait_for_job,
+)
+from repro.store import ExperimentStore
+
+from ..analysis.records import assert_records_equal, serial_reference
+from .conftest import small_spec
+
+
+class TestHTTPSurface:
+    def test_healthz(self, live_service):
+        _, base = live_service
+        assert get_json(f"{base}/healthz")["ok"] is True
+
+    def test_unknown_route_404(self, live_service):
+        _, base = live_service
+        with pytest.raises(ServiceError) as excinfo:
+            get_json(f"{base}/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, live_service):
+        _, base = live_service
+        with pytest.raises(ServiceError) as excinfo:
+            get_json(f"{base}/jobs/j999")
+        assert excinfo.value.status == 404
+
+    def test_malformed_spec_400(self, live_service):
+        _, base = live_service
+        with pytest.raises(ServiceError) as excinfo:
+            post_json(f"{base}/jobs", {"spec": {"name": "x"}, "seeds": []})
+        assert excinfo.value.status == 400
+
+    def test_missing_body_400(self, live_service):
+        _, base = live_service
+        with pytest.raises(ServiceError) as excinfo:
+            post_json(f"{base}/jobs", {"seeds": [1]})
+        assert excinfo.value.status == 400
+
+    def test_seed_range_submission(self, live_service):
+        _, base = live_service
+        job = post_json(
+            f"{base}/jobs",
+            {"spec": small_spec(), "seed_start": 4, "runs": 2},
+        )
+        final = wait_for_job(base, job["id"])
+        assert final["status"] == "done"
+        assert final["total"] == 2
+
+
+class TestJobExecution:
+    def test_submit_runs_and_aggregates(self, live_service):
+        service, base = live_service
+        job = submit_job(base, small_spec(), range(3))
+        assert job["status"] in ("queued", "running", "done")
+        final = wait_for_job(base, job["id"])
+        assert final["status"] == "done"
+        assert (final["done"], final["total"]) == (3, 3)
+        assert (final["hits"], final["misses"]) == (0, 3)
+
+        # The service's records equal the serial reference bit-for-bit.
+        reference = serial_reference(
+            ScenarioSpec.from_dict(small_spec()), list(range(3))
+        )
+        stored = ExperimentStore(service.store).aggregate(
+            ScenarioSpec.from_dict(small_spec())
+        )
+        assert_records_equal(stored.runs, reference.runs)
+        assert final["aggregate"] == reference.row()
+
+    def test_resubmission_is_pure_cache_hit(self, live_service):
+        _, base = live_service
+        first = wait_for_job(
+            base, submit_job(base, small_spec(), range(3))["id"]
+        )
+        second = wait_for_job(
+            base, submit_job(base, small_spec(), range(3))["id"]
+        )
+        assert (second["hits"], second["misses"]) == (3, 0)
+        assert second["aggregate"] == first["aggregate"]
+
+    def test_jobs_listing(self, live_service):
+        _, base = live_service
+        submitted = submit_job(base, small_spec(), range(2))
+        wait_for_job(base, submitted["id"])
+        listing = get_json(f"{base}/jobs")["jobs"]
+        assert [j["id"] for j in listing] == [submitted["id"]]
+
+    def test_failed_job_reports_error(self, live_service):
+        _, base = live_service
+        bad = small_spec(algorithm="no-such-algorithm")
+        final = wait_for_job(base, submit_job(base, bad, [0])["id"])
+        assert final["status"] == "failed"
+        assert "no-such-algorithm" in final["error"]
+
+    def test_results_inventory_and_records(self, live_service):
+        _, base = live_service
+        wait_for_job(base, submit_job(base, small_spec(), range(2))["id"])
+        inventory = get_json(f"{base}/results")["scenarios"]
+        assert len(inventory) == 1 and inventory[0]["runs"] == 2
+        fp = inventory[0]["fingerprint"]
+        detail = get_json(f"{base}/results?fingerprint={fp}&records=1")
+        assert detail["runs"] == 2
+        assert {r["seed"] for r in detail["records"]} == {0, 1}
+
+    def test_nonfinite_aggregates_stay_strict_json(self, live_service):
+        """Zero successes → NaN stats; the wire stays standard JSON."""
+        _, base = live_service
+        hopeless = small_spec(max_steps=10)  # cannot form in 10 steps
+        final = wait_for_job(base, submit_job(base, hopeless, [0])["id"])
+        assert final["aggregate"]["success"] == 0.0
+        assert final["aggregate"]["cycles_mean"] == "NaN"
+        # Raw body parses under a strict (constant-rejecting) parser.
+        with urllib.request.urlopen(f"{base}/jobs/{final['id']}") as response:
+            json.loads(
+                response.read().decode("utf-8"),
+                parse_constant=pytest.fail,
+            )
+
+
+class TestAdmissionControl:
+    def test_queue_full_maps_to_429(self, service_factory):
+        # Dispatcher not started: jobs stay queued, the bound is hit
+        # deterministically.
+        service, base = service_factory(
+            store_name="admission.sqlite", max_queue=2, auto_start=False
+        )
+        assert submit_job(base, small_spec(), [0])["status"] == "queued"
+        assert submit_job(base, small_spec(), [1])["status"] == "queued"
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, small_spec(), [2])
+        assert excinfo.value.status == 429
+        # The rejected job left no ghost entry behind.
+        assert len(get_json(f"{base}/jobs")["jobs"]) == 2
+        service.start()  # let the fixture drain and stop cleanly
+
+    def test_submit_after_stop_maps_to_503(self, service_factory):
+        service, base = service_factory(store_name="stopping.sqlite")
+        service.stop(wait=True)
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, small_spec(), [0])
+        assert excinfo.value.status == 503
+
+
+class TestJobServiceDirect:
+    def test_duplicate_seeds_rejected(self, tmp_path):
+        service = JobService(str(tmp_path / "s.sqlite"), auto_start=False)
+        with pytest.raises(ValueError, match="duplicate"):
+            service.submit(small_spec(), [1, 1])
+
+    def test_empty_seed_list_rejected(self, tmp_path):
+        service = JobService(str(tmp_path / "s.sqlite"), auto_start=False)
+        with pytest.raises(ValueError, match="at least one seed"):
+            service.submit(small_spec(), [])
+
+    def test_queue_full_raises(self, tmp_path):
+        service = JobService(
+            str(tmp_path / "s.sqlite"), max_queue=1, auto_start=False
+        )
+        service.submit(small_spec(), [0])
+        with pytest.raises(QueueFull):
+            service.submit(small_spec(), [1])
+        assert [j.id for j in service.jobs()] == ["j1"]
+
+    def test_bad_max_queue_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_queue"):
+            JobService(str(tmp_path / "s.sqlite"), max_queue=0)

@@ -1,0 +1,138 @@
+"""SIGKILL tolerance: a murdered service loses at most in-flight seeds.
+
+Runs ``python -m repro serve`` as a real subprocess, kills it with
+SIGKILL mid-batch, restarts it on the same store and resubmits the
+identical job.  The store's per-seed write-through must make the second
+pass complete the remainder without re-running anything committed — and
+the final records must equal an uninterrupted serial reference
+bit-for-bit.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis import ScenarioSpec
+from repro.service import submit_job, wait_for_job
+from repro.store import ExperimentStore
+
+from ..analysis.records import assert_records_equal, serial_reference
+
+SEEDS = list(range(10))
+
+
+def _spec_dict(attempts_log):
+    # hang_seeds paces every seed at ~0.25 s, so the SIGKILL reliably
+    # lands mid-batch with several seeds committed and several not.
+    return {
+        "name": "kill-scn",
+        "algorithm": "form-pattern",
+        "scheduler": "round-robin",
+        "initial": [
+            "faulty-random",
+            {
+                "n": 5,
+                "attempts_log": str(attempts_log),
+                "hang_seeds": SEEDS,
+                "hang_time": 0.25,
+            },
+        ],
+        "pattern": ["polygon", {"n": 5}],
+        "max_steps": 5_000,
+        "delta": 1e-3,
+    }
+
+
+def _attempts(path):
+    if not path.exists():
+        return []
+    return [int(line) for line in path.read_text().split()]
+
+
+def _start_server(store):
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store",
+            str(store),
+            "--port",
+            "0",
+            "--workers",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[^:]+:(\d+)", banner)
+    assert match, f"no service banner, got {banner!r}"
+    return proc, f"http://127.0.0.1:{match.group(1)}"
+
+
+def test_sigkill_mid_batch_resumes_losslessly(tmp_path):
+    store_path = tmp_path / "store.sqlite"
+    attempts_log = tmp_path / "attempts.log"
+    spec_data = _spec_dict(attempts_log)
+    spec = ScenarioSpec.from_dict(spec_data)
+
+    proc, base = _start_server(store_path)
+    try:
+        submit_job(base, spec_data, SEEDS)
+        # Let some (not all) seeds commit, then murder the service.
+        store = ExperimentStore(store_path)
+        deadline = time.monotonic() + 60.0
+        while store.count() < 2:
+            assert time.monotonic() < deadline, "no seed committed in time"
+            assert proc.poll() is None, "service died on its own"
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    committed = ExperimentStore(store_path).seeds(spec)
+    assert committed, "kill landed before any commit"
+    # Every committed seed had executed exactly once before the kill.
+    for seed in committed:
+        assert _attempts(attempts_log).count(seed) == 1
+
+    # Restart on the same store, resubmit the identical job.
+    proc, base = _start_server(store_path)
+    try:
+        job = submit_job(base, spec_data, SEEDS)
+        final = wait_for_job(base, job["id"], timeout=90.0)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    assert final["status"] == "done"
+    assert (final["done"], final["total"]) == (len(SEEDS), len(SEEDS))
+    # Committed seeds were served from the store, not re-run...
+    assert final["hits"] >= len(committed)
+    for seed in committed:
+        assert _attempts(attempts_log).count(seed) == 1
+    # ...at most the one in-flight seed ran twice.
+    rerun = [s for s in SEEDS if _attempts(attempts_log).count(s) > 1]
+    assert len(rerun) <= 1, rerun
+
+    # And the surviving store equals an uninterrupted run bit-for-bit.
+    stored = ExperimentStore(store_path).aggregate(spec)
+    assert [r.seed for r in stored.runs] == SEEDS
+    reference = serial_reference(
+        ScenarioSpec.from_dict(_spec_dict(tmp_path / "ref.log")), SEEDS
+    )
+    assert_records_equal(stored.runs, reference.runs)

@@ -1,0 +1,111 @@
+"""Journal → store migration (``python -m repro store import``)."""
+
+import json
+
+import pytest
+
+from repro.analysis import BatchConfig, RunJournal, ScenarioSpec, run
+from repro.analysis.scenarios import spec_fingerprint
+from repro.store import ExperimentStore
+
+from ..analysis.records import assert_records_equal
+
+
+def _spec(n=5):
+    return ScenarioSpec(
+        name="import-scn",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("random", {"n": n}),
+        pattern=("polygon", {"n": n}),
+        max_steps=5_000,
+    )
+
+
+@pytest.fixture
+def journal(tmp_path):
+    """A real three-seed journal written by the facade."""
+    path = tmp_path / "batch.jsonl"
+    run(_spec(), [0, 1, 2], BatchConfig(workers=1, journal=path))
+    return path
+
+
+class TestImport:
+    def test_round_trip_bit_identical(self, tmp_path, journal):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        added, total = store.import_journal(journal)
+        assert (added, total) == (3, 3)
+
+        journaled = RunJournal(journal).load()
+        stored = store.query(_spec())
+        assert stored.keys() == journaled.seeds()
+        assert_records_equal(
+            [stored[s] for s in sorted(stored)],
+            [journaled.records[s] for s in sorted(journaled.records)],
+        )
+
+    def test_reimport_is_noop(self, tmp_path, journal):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        store.import_journal(journal)
+        assert store.import_journal(journal) == (0, 3)
+        assert store.count() == 3
+
+    def test_imported_rows_serve_batch_hits(self, tmp_path, journal):
+        """Migration makes old journal work available as cache hits."""
+        store_path = tmp_path / "s.sqlite"
+        ExperimentStore(store_path).import_journal(journal)
+        batch = run(
+            _spec(), [0, 1, 2], BatchConfig(workers=1, store=store_path)
+        )
+        assert (batch.store_hits, batch.store_misses) == (3, 0)
+
+    def test_identity_rederived_canonically(self, tmp_path, journal):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        store.import_journal(journal)
+        meta = RunJournal(journal).load().meta
+        scenario = store.scenarios()[0]
+        assert scenario.fingerprint == meta["fingerprint"]
+        assert scenario.fingerprint == spec_fingerprint(meta["spec"])
+
+    def test_truncated_final_line_tolerated(self, tmp_path, journal):
+        # A killed writer's torn last line imports as if absent.
+        with open(journal, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "run", "seed": 3, "for')
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        assert store.import_journal(journal) == (3, 3)
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "meta", "version": 1, "scenario": "x", '
+            '"fingerprint": "f"}\n'
+            "garbage\n"
+            '{"kind": "run", "seed": 0}\n',
+            encoding="utf-8",
+        )
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        with pytest.raises(ValueError, match="corrupt journal line 2"):
+            store.import_journal(path)
+
+    def test_journal_without_meta_rejected(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text("", encoding="utf-8")
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        with pytest.raises(ValueError, match="no metadata"):
+            store.import_journal(path)
+
+    def test_old_journal_without_spec_uses_recorded_fingerprint(
+        self, tmp_path, journal
+    ):
+        """Pre-spec metadata lines (old journals) keep importing."""
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        meta = json.loads(lines[0])
+        fingerprint = meta["fingerprint"]
+        del meta["spec"]
+        old = tmp_path / "old.jsonl"
+        old.write_text(
+            "\n".join([json.dumps(meta)] + lines[1:]) + "\n", encoding="utf-8"
+        )
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        assert store.import_journal(old) == (3, 3)
+        assert store.seeds(fingerprint) == {0, 1, 2}

@@ -1,0 +1,215 @@
+"""Experiment-store contract: identity, bit-exactness, durability."""
+
+import json
+import math
+import sqlite3
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.analysis import RunRecord, ScenarioSpec, failure_record
+from repro.store import CODE_SCHEMA, ExperimentStore, code_schema
+from repro.store import store as store_module
+
+from ..analysis.records import assert_record_equal, assert_records_equal
+
+
+def _spec(name="store-scn", n=5, **overrides):
+    params = {
+        "name": name,
+        "algorithm": "form-pattern",
+        "scheduler": "round-robin",
+        "initial": ("random", {"n": n}),
+        "pattern": ("polygon", {"n": n}),
+        "max_steps": 5_000,
+    }
+    params.update(overrides)
+    return ScenarioSpec(**params)
+
+
+def _record(seed, distance=1.5, reason="terminal"):
+    return RunRecord(
+        seed=seed,
+        formed=True,
+        terminated=True,
+        steps=120,
+        cycles=40,
+        epochs=6,
+        random_bits=3,
+        coin_flips=3,
+        float_draws=0,
+        distance=distance,
+        reason=reason,
+    )
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        rec = _record(7)
+        assert store.put(spec, rec)
+        assert_record_equal(store.get(spec, 7), rec)
+        assert store.get(spec, 8) is None
+
+    @pytest.mark.parametrize(
+        "distance", [float("nan"), float("inf"), float("-inf"), 0.1 + 0.2]
+    )
+    def test_distance_bit_exact(self, tmp_path, distance):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        store.put(spec, _record(0, distance=distance))
+        out = store.get(spec, 0)
+        if math.isnan(distance):
+            assert math.isnan(out.distance)
+        else:
+            assert out.distance == distance
+
+    def test_failure_record_round_trip(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        rec = failure_record(3, "error: RuntimeError: boom")
+        store.put(spec, rec)
+        assert_record_equal(store.get(spec, 3), rec)
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        assert store.put(spec, _record(0)) is True
+        assert store.put(spec, _record(0)) is False
+        assert store.count() == 1
+
+    def test_query_and_aggregate_seed_ordered(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        records = [_record(2), _record(0), _record(1)]
+        assert store.put_many(spec, records) == 3
+        got = store.query(spec)
+        assert set(got) == {0, 1, 2}
+        assert store.query(spec, seeds=[1, 5]).keys() == {1}
+        batch = store.aggregate(spec)
+        assert [r.seed for r in batch.runs] == [0, 1, 2]
+        assert_records_equal(batch.runs, sorted(records, key=lambda r: r.seed))
+
+    def test_seeds(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        store.put_many(spec, [_record(4), _record(9)])
+        assert store.seeds(spec) == {4, 9}
+
+
+class TestIdentity:
+    def test_specs_keyed_by_canonical_fingerprint(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        store.put(spec, _record(0))
+        # The same workload expressed as a round-tripped dict hits...
+        as_dict = json.loads(json.dumps(spec.to_dict()))
+        assert store.get(as_dict, 0) is not None
+        # ...a different workload does not.
+        assert store.get(_spec(n=6), 0) is None
+
+    def test_faults_participate_in_identity(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        plain = _spec()
+        faulty = _spec(faults={"sensor": {"sigma": 1e-6}})
+        store.put(plain, _record(0))
+        assert store.get(faulty, 0) is None
+
+    def test_foreign_code_schema_rows_invisible(self, tmp_path, monkeypatch):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        spec = _spec()
+        store.put(spec, _record(0))
+        monkeypatch.setattr(store_module, "CODE_SCHEMA", "0" * 12)
+        assert store.get(spec, 0) is None
+        assert store.query(spec) == {}
+        assert store.count() == 0
+        monkeypatch.undo()
+        assert store.get(spec, 0) is not None
+
+    def test_code_schema_tracks_record_layout(self):
+        assert code_schema() == CODE_SCHEMA
+        assert len(CODE_SCHEMA) == 12
+
+    def test_scenarios_inventory(self, tmp_path):
+        store = ExperimentStore(tmp_path / "s.sqlite")
+        a, b = _spec("a"), _spec("b", n=6)
+        store.register(a)
+        store.put_many(b, [_record(0), _record(1)])
+        inventory = {s.name: s.runs for s in store.scenarios()}
+        assert inventory == {"a": 0, "b": 2}
+        scen = store.scenario(b.fingerprint())
+        assert scen.spec == b.to_dict()
+
+    def test_store_layout_version_checked(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        ExperimentStore(path)
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "UPDATE meta SET value='999' WHERE key='store_version'"
+            )
+        with pytest.raises(ValueError, match="layout version 999"):
+            ExperimentStore(path)
+
+
+class TestDurability:
+    def test_wal_mode_persistent(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        ExperimentStore(path)
+        with sqlite3.connect(path) as conn:
+            (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+    def test_concurrent_writers(self, tmp_path):
+        """Many threads, each its own per-op connection, one store file."""
+        path = tmp_path / "s.sqlite"
+        store = ExperimentStore(path)
+        spec = _spec()
+        fingerprint = store.register(spec)
+
+        def write(base):
+            for i in range(10):
+                store.put(fingerprint, _record(base * 100 + i))
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(write, range(4)))
+        assert store.count() == 40
+
+    def test_torn_write_recovers_via_wal(self, tmp_path):
+        """A writer killed mid-transaction loses only the torn write.
+
+        The child commits one row, then dies (``os._exit``) inside an
+        open transaction holding a second row.  On reopen, WAL recovery
+        must serve the committed row and the store must stay writable.
+        """
+        path = tmp_path / "s.sqlite"
+        store = ExperimentStore(path)
+        spec = _spec()
+        fingerprint = store.register(spec)
+        store.put(fingerprint, _record(0))
+
+        child = (
+            "import os, sqlite3, sys\n"
+            "conn = sqlite3.connect(sys.argv[1])\n"
+            "conn.execute('BEGIN IMMEDIATE')\n"
+            "conn.execute(\n"
+            "    'INSERT INTO runs (fingerprint, seed, schema, formed,'\n"
+            "    ' terminated, reason, payload)'\n"
+            "    ' VALUES (?, 1, ?, 1, 1, ?, ?)',\n"
+            "    (sys.argv[2], sys.argv[3], 'terminal', '{}'),\n"
+            ")\n"
+            "os._exit(9)  # die without committing\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", child, str(path), fingerprint, CODE_SCHEMA],
+            capture_output=True,
+        )
+        assert result.returncode == 9
+
+        reopened = ExperimentStore(path)
+        assert reopened.seeds(fingerprint) == {0}  # torn row gone
+        assert_record_equal(reopened.get(fingerprint, 0), _record(0))
+        assert reopened.put(fingerprint, _record(2))  # still writable
+        assert reopened.seeds(fingerprint) == {0, 2}

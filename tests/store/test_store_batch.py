@@ -1,0 +1,145 @@
+"""Store read/write-through on the batch facade.
+
+The headline guarantee: resubmitting an identical ``(spec, seeds)``
+workload against a populated store executes **zero** simulation seeds
+(proven with the faulty-random attempts log) and returns aggregates
+bit-for-bit equal to the first run's — serial and parallel, faults on
+and off.
+"""
+
+import pytest
+
+from repro.analysis import BatchConfig, ScenarioSpec, run
+from repro.store import ExperimentStore
+
+from ..analysis.records import assert_records_equal, serial_reference
+
+SEEDS = list(range(6))
+
+FAULT_VARIANTS = [None, {"sensor": {"sigma": 1e-6}}]
+
+
+def _spec(attempts_log=None, faults=None, n=5):
+    initial_params = {"n": n}
+    if attempts_log is not None:
+        initial_params["attempts_log"] = str(attempts_log)
+    return ScenarioSpec(
+        name="store-eq",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("faulty-random", initial_params),
+        pattern=("polygon", {"n": n}),
+        max_steps=5_000,
+        faults=faults,
+    )
+
+
+def _attempts(path):
+    if not path.exists():
+        return []
+    return [int(line) for line in path.read_text().split()]
+
+
+class TestResubmission:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize(
+        "faults", FAULT_VARIANTS, ids=["no-faults", "sensor-faults"]
+    )
+    def test_identical_resubmission_executes_zero_seeds(
+        self, tmp_path, workers, faults
+    ):
+        log = tmp_path / "attempts.log"
+        store = tmp_path / "store.sqlite"
+        spec = _spec(attempts_log=log, faults=faults)
+
+        first = run(spec, SEEDS, BatchConfig(workers=workers, store=store))
+        assert (first.store_hits, first.store_misses) == (0, len(SEEDS))
+        assert sorted(_attempts(log)) == SEEDS
+
+        second = run(spec, SEEDS, BatchConfig(workers=workers, store=store))
+        assert (second.store_hits, second.store_misses) == (len(SEEDS), 0)
+        # Zero seeds executed: the attempts log did not grow.
+        assert sorted(_attempts(log)) == SEEDS
+
+        assert_records_equal(second.runs, first.runs)
+        assert second.row() == first.row()
+
+        # And both equal the store-less serial reference bit-for-bit.
+        reference = serial_reference(
+            _spec(attempts_log=tmp_path / "ref.log", faults=faults), SEEDS
+        )
+        assert_records_equal(first.runs, reference.runs)
+
+    def test_partial_store_runs_only_the_remainder(self, tmp_path):
+        log = tmp_path / "attempts.log"
+        store = tmp_path / "store.sqlite"
+        spec = _spec(attempts_log=log)
+
+        run(spec, SEEDS[:3], BatchConfig(workers=1, store=store))
+        grown = run(spec, SEEDS, BatchConfig(workers=1, store=store))
+        assert (grown.store_hits, grown.store_misses) == (3, 3)
+        # Each seed executed exactly once across both batches.
+        assert sorted(_attempts(log)) == SEEDS
+        assert [r.seed for r in grown.runs] == SEEDS
+
+    def test_parallel_write_serial_read(self, tmp_path):
+        """Records stored by the pool serve a later serial batch."""
+        store = tmp_path / "store.sqlite"
+        log = tmp_path / "attempts.log"
+        spec = _spec(attempts_log=log)
+        first = run(spec, SEEDS, BatchConfig(workers=2, store=store))
+        second = run(spec, SEEDS, BatchConfig(workers=1, store=store))
+        assert second.store_hits == len(SEEDS)
+        assert sorted(_attempts(log)) == SEEDS
+        assert_records_equal(second.runs, first.runs)
+
+    def test_store_disabled_counters_stay_zero(self, tmp_path):
+        log = tmp_path / "attempts.log"
+        batch = run(_spec(attempts_log=log), SEEDS[:2], BatchConfig(workers=1))
+        assert (batch.store_hits, batch.store_misses) == (0, 0)
+
+    def test_on_record_sees_hits_and_misses(self, tmp_path):
+        store = tmp_path / "store.sqlite"
+        spec = _spec()
+        seen = []
+        run(
+            spec,
+            SEEDS[:3],
+            BatchConfig(workers=1, store=store, on_record=seen.append),
+        )
+        assert sorted(r.seed for r in seen) == SEEDS[:3]
+        seen.clear()
+        run(
+            spec,
+            SEEDS[:3],
+            BatchConfig(workers=1, store=store, on_record=seen.append),
+        )
+        # Store hits are reported through the same hook.
+        assert sorted(r.seed for r in seen) == SEEDS[:3]
+
+
+class TestStoreWithJournal:
+    def test_journal_and_store_compose(self, tmp_path):
+        """Journal resume and store read-through stack cleanly."""
+        store = tmp_path / "store.sqlite"
+        journal = tmp_path / "batch.jsonl"
+        log = tmp_path / "attempts.log"
+        spec = _spec(attempts_log=log)
+
+        first = run(
+            spec, SEEDS[:4], BatchConfig(workers=1, journal=journal, store=store)
+        )
+        resumed = run(
+            spec,
+            SEEDS,
+            BatchConfig(workers=1, journal=journal, resume=True, store=store),
+        )
+        # Journal satisfied the first four seeds, the store none of the
+        # remainder; only the last two executed.
+        assert (resumed.store_hits, resumed.store_misses) == (0, 2)
+        assert sorted(_attempts(log)) == SEEDS
+        assert_records_equal(resumed.runs[:4], first.runs)
+
+        stored = ExperimentStore(store).aggregate(spec)
+        assert [r.seed for r in stored.runs] == SEEDS
+        assert_records_equal(stored.runs, resumed.runs)

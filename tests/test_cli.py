@@ -134,6 +134,150 @@ class TestFaultFlags:
         assert "faults=crash" in out
 
 
+class TestStoreServiceParsers:
+    def test_batch_store_flag(self):
+        assert build_parser().parse_args(["batch"]).store is None
+        args = build_parser().parse_args(["batch", "--store", "runs.sqlite"])
+        assert args.store == "runs.sqlite"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "db.sqlite"])
+        assert (args.host, args.port) == ("127.0.0.1", 8765)
+        assert args.max_queue == 8
+        assert args.workers is None
+        assert args.timeout is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--store", "db.sqlite",
+                "--port", "0",
+                "--workers", "2",
+                "--max-queue", "3",
+                "--timeout", "1.5",
+            ]
+        )
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.max_queue == 3
+        assert args.timeout == 1.5
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.url == "http://127.0.0.1:8765"
+        assert args.runs == 5
+        assert args.no_wait is False
+        assert args.adversary is None and args.faults is None
+
+    def test_store_subcommands(self):
+        args = build_parser().parse_args(["store", "query", "--store", "db"])
+        assert args.store_command == "query"
+        assert args.fingerprint is None
+        args = build_parser().parse_args(
+            ["store", "import", "j.jsonl", "--store", "db"]
+        )
+        assert args.store_command == "import"
+        assert args.journal == "j.jsonl"
+
+
+class TestStoreCommands:
+    def test_batch_store_second_invocation_is_all_hits(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Identical re-invocation: same table, zero seeds executed."""
+        from repro.analysis import parallel
+
+        executed = []
+        real = parallel._run_serial
+
+        def spy(spec, pending, timeout, commit):
+            executed.append(list(pending))
+            return real(spec, pending, timeout, commit)
+
+        monkeypatch.setattr(parallel, "_run_serial", spy)
+        argv = [
+            "batch", "-n", "6", "--runs", "3",
+            "--scheduler", "round-robin",
+            "--store", str(tmp_path / "store.sqlite"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "store: 0 hits / 3 misses" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "store: 3 hits / 0 misses" in second
+        # The statistics tables are identical; only the store line moved.
+        table = lambda out: [
+            line for line in out.splitlines() if not line.startswith("store:")
+        ]
+        assert table(second) == table(first)
+        # The second invocation handed the engine nothing to run.
+        assert executed == [[1, 2, 3], []]
+
+    def test_store_import_and_query_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "runs.jsonl"
+        store = tmp_path / "store.sqlite"
+        argv = [
+            "batch", "-n", "6", "--runs", "2",
+            "--scheduler", "round-robin", "--journal", str(journal),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        assert main(["store", "import", str(journal), "--store", str(store)]) == 0
+        assert "imported 2 new / 2 journaled" in capsys.readouterr().out
+        # Idempotent: a second import adds nothing.
+        assert main(["store", "import", str(journal), "--store", str(store)]) == 0
+        assert "imported 0 new / 2 journaled" in capsys.readouterr().out
+
+        assert main(["store", "query", "--store", str(store)]) == 0
+        inventory = capsys.readouterr().out
+        assert "fingerprint" in inventory
+
+        from repro.store import ExperimentStore
+
+        fp = ExperimentStore(store).scenarios()[0].fingerprint
+        assert fp in inventory
+        assert main(
+            ["store", "query", "--store", str(store), "--fingerprint", fp]
+        ) == 0
+        assert "success" in capsys.readouterr().out
+
+    def test_store_query_unknown_fingerprint_exit_code(self, capsys, tmp_path):
+        store = tmp_path / "store.sqlite"
+        code = main(
+            ["store", "query", "--store", str(store), "--fingerprint", "feed"]
+        )
+        assert code == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_store_import_missing_journal_exit_code(self, capsys, tmp_path):
+        code = main(
+            [
+                "store", "import", str(tmp_path / "nope.jsonl"),
+                "--store", str(tmp_path / "store.sqlite"),
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_store_without_subcommand_exit_code(self, capsys):
+        assert main(["store"]) == 2
+        assert "store query" in capsys.readouterr().err
+
+    def test_submit_unreachable_service_exit_code(self, capsys):
+        code = main(
+            ["submit", "--runs", "1", "--url", "http://127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_demo_runs(self, capsys):
         code = main(
