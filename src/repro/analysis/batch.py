@@ -39,6 +39,7 @@ class RunReason(enum.Enum):
     TIMEOUT = "timeout"
     WORKER_DIED = "worker_died"
     ALL_CRASHED = "all_crashed"
+    INVARIANT = "invariant"
     ERROR = "error"
     OTHER = "other"
 
@@ -168,6 +169,7 @@ def _run_batch_factories(
     delta: float = 1e-3,
     wall_limit: float | None = None,
     faults: dict | None = None,
+    strict_invariants: bool = False,
     on_record: Callable[[RunRecord], None] | None = None,
 ) -> BatchResult:
     """The serial reference loop every batch entry point bottoms out in.
@@ -197,6 +199,7 @@ def _run_batch_factories(
             delta=delta,
             wall_limit=wall_limit,
             faults=faults,
+            strict_invariants=strict_invariants,
         )
         result = sim.run()
         record = _record(seed, result)

@@ -10,11 +10,19 @@ from __future__ import annotations
 
 from ..geometry import EPS, smallest_enclosing_circle
 from ..scheduler.base import Action
-from ..sim.engine import Simulation
 
+# InvariantViolation lives in the engine now (the strict_invariants
+# mode raises it from inside Moves); re-exported here because the
+# checkers raise it and this was its historical import path.
+from ..sim.engine import InvariantViolation, Simulation
 
-class InvariantViolation(AssertionError):
-    """An algorithm-level safety property was violated during a run."""
+__all__ = [
+    "InvariantViolation",
+    "delta_checker",
+    "fairness_checker",
+    "no_multiplicity_checker",
+    "sec_radius_monitor",
+]
 
 
 def no_multiplicity_checker(allow_at_end: bool = False):

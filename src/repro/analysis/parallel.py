@@ -105,6 +105,7 @@ def run_seed(
         delta=built.delta,
         wall_limit=wall_limit,
         faults=built.faults,
+        strict_invariants=built.strict_invariants,
     )
     return batch.runs[0]
 
@@ -202,6 +203,7 @@ def _run_serial(spec, pending, timeout, commit) -> None:
         delta=built.delta,
         wall_limit=timeout,
         faults=built.faults,
+        strict_invariants=built.strict_invariants,
         on_record=commit,
     )
 

@@ -376,6 +376,7 @@ class BuiltScenario:
     max_steps: int
     delta: float
     faults: dict | None = None
+    strict_invariants: bool = False
 
 
 @dataclass
@@ -399,6 +400,11 @@ class ScenarioSpec:
     #: Fault-plan spec dict (see :mod:`repro.faults.models`), e.g.
     #: ``{"crash": {"count": 1}, "sensor": {"sigma": 1e-6}}``.
     faults: Any = None
+    #: Opt-in engine-level runtime verification (see
+    #: ``Simulation(strict_invariants=...)``): a Move that creates a
+    #: multiplicity point — or, with faults disabled, finishes under
+    #: the δ floor — ends the run with ``reason="invariant: ..."``.
+    strict_invariants: bool = False
 
     def __post_init__(self) -> None:
         self.algorithm = normalize_component(self.algorithm)
@@ -407,6 +413,7 @@ class ScenarioSpec:
         self.pattern = normalize_component(self.pattern)
         self.frame_policy = normalize_component(self.frame_policy)
         self.faults = normalize_faults(self.faults)
+        self.strict_invariants = bool(self.strict_invariants)
         if self.algorithm is None or self.scheduler is None or self.initial is None:
             raise ValueError("algorithm, scheduler and initial are required")
 
@@ -428,6 +435,11 @@ class ScenarioSpec:
         # (and resume against their pre-existing journals) are unchanged.
         if self.faults is not None:
             data["faults"] = self.faults
+        # Same only-when-set rule: strict mode changes run outcomes, so
+        # it participates in the fingerprint, but default specs keep
+        # their historical digests.
+        if self.strict_invariants:
+            data["strict_invariants"] = True
         return data
 
     @classmethod
@@ -469,6 +481,7 @@ class ScenarioSpec:
             max_steps=self.max_steps,
             delta=self.delta,
             faults=self.faults,
+            strict_invariants=self.strict_invariants,
         )
 
 

@@ -7,8 +7,11 @@ Commands:
 * ``election``    — run from a perfectly symmetric start (forces coins);
 * ``profile``     — run a batch under the profiler, print phase timings
   and cache-hit counters (optionally as JSON);
-* ``serve``       — start the JSON-over-HTTP simulation job service;
+* ``serve``       — start the JSON-over-HTTP simulation job service
+  (with a durable job ledger; ``--recover`` re-enqueues unfinished
+  jobs from a previous process);
 * ``submit``      — submit a batch to a running service and watch it;
+* ``jobs``        — inspect the durable job ledger (``jobs list``);
 * ``store``       — inspect (``store query``) or migrate journals into
   (``store import``) a persistent experiment store;
 * ``version``     — print the package version.
@@ -153,6 +156,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-seed wall-clock budget in seconds",
     )
+    serve.add_argument(
+        "--ledger",
+        default=None,
+        help="durable job ledger path (default: <store>.ledger); "
+        "'none' disables the ledger",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="re-enqueue the ledger's unfinished (queued/running) jobs",
+    )
+    serve.add_argument(
+        "--job-budget",
+        type=float,
+        default=None,
+        help="watchdog wall budget per job attempt in seconds "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="execution attempts per job before terminal failure",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a batch to a running service"
@@ -167,7 +194,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the job id and return without polling",
     )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="HTTP retries (idempotent calls; backoff with seeded jitter)",
+    )
+    submit.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        help="TCP connect timeout in seconds",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=600.0,
+        help="overall deadline for polling the job to completion",
+    )
     _fault_flags(submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="inspect the durable job ledger"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command")
+    jobs_list = jobs_sub.add_parser(
+        "list", help="print every ledger row in submission order"
+    )
+    jobs_list.add_argument("--ledger", required=True)
+    jobs_list.add_argument(
+        "--status",
+        choices=["queued", "running", "done", "failed"],
+        default=None,
+        help="only rows with this status",
+    )
 
     store = sub.add_parser(
         "store", help="inspect or populate a persistent experiment store"
@@ -208,6 +268,13 @@ def _fault_flags(p: argparse.ArgumentParser) -> None:
         "'crash:count=1,window=0..500' or 'truncate:mode=min-delta' "
         "or 'sensor:sigma=1e-6'",
     )
+    p.add_argument(
+        "--strict-invariants",
+        action="store_true",
+        help="engine-level runtime verification: end a run with "
+        "reason='invariant: ...' if a Move creates a multiplicity "
+        "point or undercuts the delta floor",
+    )
 
 
 def _common(p: argparse.ArgumentParser) -> None:
@@ -239,11 +306,14 @@ def _batch_spec(args) -> ScenarioSpec:
     fault_args = getattr(args, "faults", None)
     if fault_args:
         faults = parse_fault_specs(fault_args)
+    strict = bool(getattr(args, "strict_invariants", False))
     label = f"{args.pattern} n={args.n} {args.scheduler}"
     if adversary is not None:
         label += f" adv={adversary}"
     if faults is not None:
         label += " faults=" + ",".join(sorted(faults))
+    if strict:
+        label += " strict"
     return ScenarioSpec(
         name=label,
         algorithm="form-pattern",
@@ -253,6 +323,7 @@ def _batch_spec(args) -> ScenarioSpec:
         max_steps=args.max_steps,
         delta=args.delta,
         faults=faults,
+        strict_invariants=strict,
     )
 
 
@@ -334,15 +405,36 @@ def cmd_serve(args) -> int:
 
     from .service import JobService, make_server
 
+    ledger = args.ledger
+    if ledger is None:
+        ledger = f"{args.store}.ledger"
+    elif ledger.lower() == "none":
+        ledger = None
+    if args.recover and ledger is None:
+        print("error: --recover requires a ledger", file=sys.stderr)
+        return 2
     service = JobService(
         args.store,
         workers=args.workers,
         timeout=args.timeout,
         max_queue=args.max_queue,
+        ledger=ledger,
+        recover=args.recover,
+        job_budget=args.job_budget,
+        max_attempts=args.max_attempts,
     )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
-    print(f"serving on http://{host}:{port} store={args.store}", flush=True)
+    banner = f"serving on http://{host}:{port} store={args.store}"
+    if ledger is not None:
+        banner += f" ledger={ledger}"
+    print(banner, flush=True)
+    if service.recovered:
+        print(
+            f"recovered {len(service.recovered)} job(s) from the ledger: "
+            + ", ".join(service.recovered),
+            flush=True,
+        )
 
     def _shutdown(signum, frame):
         # shutdown() must run off the serve_forever thread or it
@@ -363,7 +455,7 @@ def cmd_serve(args) -> int:
 
 
 def cmd_submit(args) -> int:
-    from .service import ServiceError, submit_job, wait_for_job
+    from .service import RetryPolicy, ServiceClient, ServiceError
 
     try:
         spec = _batch_spec(args)
@@ -371,13 +463,22 @@ def cmd_submit(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     seeds = range(args.seed, args.seed + args.runs)
+    client = ServiceClient(
+        args.url,
+        policy=RetryPolicy(
+            retries=args.retries, connect_timeout=args.connect_timeout
+        ),
+    )
     try:
-        job = submit_job(args.url, spec.to_dict(), seeds)
+        job = client.submit(spec.to_dict(), seeds)
         print(f"job {job['id']} accepted ({job['total']} seeds)")
         if args.no_wait:
             return 0
-        final = wait_for_job(args.url, job["id"])
+        final = client.wait(job["id"], timeout=args.wait_timeout)
     except (ServiceError, OSError, TimeoutError) as exc:
+        # CircuitOpen (ConnectionError) and JobTimeout (TimeoutError)
+        # land here too — the taxonomy keeps them distinguishable in
+        # the message without extra clauses.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if final["status"] == "failed":
@@ -386,6 +487,43 @@ def cmd_submit(args) -> int:
     print(format_table([final["aggregate"]]))
     print(f"store: {final['hits']} hits / {final['misses']} misses")
     return 0 if final["aggregate"]["success"] == 1.0 else 1
+
+
+def cmd_jobs(args) -> int:
+    import os
+
+    if args.jobs_command != "list":
+        print("error: expected 'jobs list'", file=sys.stderr)
+        return 2
+    if not os.path.exists(args.ledger):
+        print(f"error: no such ledger: {args.ledger}", file=sys.stderr)
+        return 2
+    from .store import JobLedger
+
+    try:
+        entries = JobLedger(args.ledger).jobs(status=args.status)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print("(no jobs)")
+        return 0
+    rows = [
+        {
+            "id": e.id,
+            "status": e.status,
+            "attempts": e.attempts,
+            "seeds": len(e.seeds),
+            "name": e.name,
+            "fingerprint": e.fingerprint,
+            "error": (
+                f"[{e.error_code}] {e.error_message}" if e.error_code else ""
+            ),
+        }
+        for e in entries
+    ]
+    print(format_table(rows))
+    return 0
 
 
 def cmd_store(args) -> int:
@@ -461,6 +599,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_serve(args)
     if args.command == "submit":
         return cmd_submit(args)
+    if args.command == "jobs":
+        return cmd_jobs(args)
     if args.command == "store":
         return cmd_store(args)
     if args.command == "version":

@@ -6,22 +6,44 @@ to it.  Architecture (all stdlib):
 * :mod:`repro.service.jobs` — bounded submission queue + dispatcher
   thread executing jobs through :func:`repro.analysis.run` with the
   experiment store attached (admission control, live progress,
-  kill-tolerant per-seed write-through);
+  kill-tolerant per-seed write-through), a durable
+  :class:`~repro.store.ledger.JobLedger` with ``--recover`` startup
+  replay, and a watchdog (per-job wall budgets, bounded re-dispatch of
+  hung attempts);
 * :mod:`repro.service.http` — ``ThreadingHTTPServer`` routes
   (``POST /jobs``, ``GET /jobs[/<id>]``, ``GET /results``,
-  ``GET /healthz``);
-* :mod:`repro.service.client` — ``urllib`` helpers used by the CLI and
-  tests.
+  ``GET /healthz`` liveness, ``GET /readyz`` readiness);
+* :mod:`repro.service.client` — resilient stdlib client
+  (:class:`ServiceClient` with split timeouts, seeded-jitter retry
+  backoff and a circuit breaker);
+* :mod:`repro.service.errors` — the structured error taxonomy
+  (:class:`ErrorCode`) shared by ledger rows, HTTP error payloads and
+  client exceptions.
 """
 
-from .client import ServiceError, get_json, post_json, submit_job, wait_for_job
+from .client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    get_json,
+    post_json,
+    submit_job,
+    wait_for_job,
+)
+from .errors import CircuitOpen, ErrorCode, JobTimeout, ServiceError
 from .http import ServiceServer, make_server
 from .jobs import Job, JobService, QueueFull
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "ErrorCode",
     "Job",
     "JobService",
+    "JobTimeout",
     "QueueFull",
+    "RetryPolicy",
+    "ServiceClient",
     "ServiceError",
     "ServiceServer",
     "get_json",

@@ -1,65 +1,369 @@
-"""Tiny stdlib HTTP client for the job service.
+"""Resilient stdlib HTTP client for the job service.
 
-``urllib.request`` only — the same no-new-dependencies constraint the
-server obeys.  Used by ``python -m repro submit`` and the service test
-suite; error responses surface as :class:`ServiceError` carrying the
-HTTP status so callers can distinguish admission rejection (429) from
-a malformed spec (400).
+``http.client`` only — the same no-new-dependencies constraint the
+server obeys.  Three layers:
+
+* :class:`RetryPolicy` — split connect/read timeouts plus retries with
+  capped exponential backoff and *deterministic seeded jitter*: two
+  clients built with the same ``seed`` sleep the same schedule, so
+  resilience behaviour is reproducible in tests the same way the
+  simulations themselves are.
+* :class:`CircuitBreaker` — a consecutive-failure counter; after
+  ``failure_threshold`` transport failures in a row the breaker opens
+  and calls fail fast with :class:`CircuitOpen` (no network touched)
+  until ``reset_after`` elapses, when one half-open trial is let
+  through.
+* :class:`ServiceClient` — ties both together and offers ``get`` /
+  ``post`` / ``submit`` / ``wait``.
+
+Retry semantics are verb-aware: a GET is idempotent and retries on
+connect failures, read timeouts and retryable HTTP statuses (429/5xx);
+a POST retries **only** when the connection itself could not be
+established (nothing was sent, so a retry cannot double-submit).
+
+The module-level helpers (:func:`get_json`, :func:`post_json`,
+:func:`submit_job`, :func:`wait_for_job`) keep their historical
+signatures and now route through the same machinery.
+:func:`wait_for_job` polls with jittered exponential backoff under an
+overall deadline and raises the typed
+:class:`~repro.service.errors.JobTimeout` (a ``TimeoutError``
+subclass) instead of spinning at a fixed interval forever.
+
+Error replies surface as :class:`ServiceError` carrying the HTTP
+status *and* the structured ``code`` from the shared taxonomy, so
+callers can branch on admission rejection (``queue-full``) versus a
+malformed spec (``spec-invalid``) without string matching.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import socket
 import time
-import urllib.error
-import urllib.request
+from dataclasses import dataclass
+from http.client import HTTPConnection, HTTPException, HTTPSConnection
+from urllib.parse import urlsplit
 
-__all__ = ["ServiceError", "get_json", "post_json", "submit_job", "wait_for_job"]
+from .errors import CircuitOpen, ErrorCode, JobTimeout, ServiceError
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "JobTimeout",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceError",
+    "get_json",
+    "post_json",
+    "submit_job",
+    "wait_for_job",
+]
+
+#: HTTP statuses worth retrying for idempotent requests: admission
+#: pressure and transient server-side failures.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
 
 
-class ServiceError(RuntimeError):
-    """An HTTP error reply from the service, with its status code."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeouts, retry count and backoff schedule for one client.
 
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(f"HTTP {status}: {message}")
-        self.status = status
-        self.message = message
+    ``seed`` makes the jitter deterministic; ``None`` seeds from the
+    system RNG (still bounded, just not reproducible).
+    """
+
+    connect_timeout: float = 5.0
+    read_timeout: float = 30.0
+    retries: int = 3
+    backoff: float = 0.2
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    seed: "int | None" = None
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered.
+
+        Exponential (``backoff * 2**(attempt-1)``), capped at
+        ``backoff_cap``, then scaled by a jitter factor drawn from
+        ``[1 - jitter, 1 + jitter]``.
+        """
+        base = min(self.backoff * (2.0 ** (attempt - 1)), self.backoff_cap)
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
 
 
-def _request(url: str, data: bytes | None, timeout: float) -> dict:
-    request = urllib.request.Request(
-        url,
-        data=data,
-        headers={"Content-Type": "application/json"} if data else {},
-        method="POST" if data is not None else "GET",
+class _ConnectFailed(ConnectionError):
+    """The TCP connection could not be established (nothing was sent)."""
+
+
+def _raw_request(
+    url: str, method: str, data: "bytes | None", policy: RetryPolicy
+) -> tuple[int, bytes]:
+    """One HTTP exchange with split connect/read timeouts.
+
+    The connection is opened under ``connect_timeout``; once the socket
+    exists, the deadline is widened to ``read_timeout`` for the
+    request/response exchange.  A fresh connection per call keeps the
+    client fork- and thread-safe, matching the store's discipline.
+    """
+    parts = urlsplit(url)
+    conn_cls = HTTPSConnection if parts.scheme == "https" else HTTPConnection
+    conn = conn_cls(
+        parts.hostname or "127.0.0.1",
+        parts.port,
+        timeout=policy.connect_timeout,
     )
     try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as exc:
         try:
-            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            conn.connect()
+        except OSError as exc:
+            raise _ConnectFailed(str(exc) or type(exc).__name__) from exc
+        if conn.sock is not None:
+            conn.sock.settimeout(policy.read_timeout)
+        path = parts.path or "/"
+        if parts.query:
+            path = f"{path}?{parts.query}"
+        headers = {"Content-Type": "application/json"} if data else {}
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _parse_reply(status: int, body: bytes) -> dict:
+    if status >= 400:
+        message, code = "", None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            message = payload.get("error", "")
+            code = payload.get("code")
         except Exception:  # noqa: BLE001 — error body is best-effort
-            detail = exc.reason
-        raise ServiceError(exc.code, detail) from None
+            message = body.decode("utf-8", "replace").strip()
+        raise ServiceError(status, message, code)
+    return json.loads(body.decode("utf-8"))
 
 
-def get_json(url: str, timeout: float = 30.0) -> dict:
-    """GET a JSON document."""
-    return _request(url, None, timeout)
+def _request_json(
+    url: str,
+    method: str,
+    payload: "dict | None",
+    policy: RetryPolicy,
+    rng: random.Random,
+) -> dict:
+    """The retry loop: verb-aware, capped-backoff, seeded jitter."""
+    data = None
+    if payload is not None:
+        data = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    idempotent = method == "GET"
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            status, body = _raw_request(url, method, data, policy)
+            return _parse_reply(status, body)
+        except ServiceError as exc:
+            retryable = idempotent and exc.status in RETRYABLE_STATUSES
+            if not retryable or attempt > policy.retries:
+                raise
+        except _ConnectFailed as exc:
+            # Nothing reached the server — safe to retry any verb.
+            if attempt > policy.retries:
+                raise ConnectionError(
+                    f"[{ErrorCode.UNREACHABLE}] {url}: {exc}"
+                ) from exc
+        except (socket.timeout, HTTPException, OSError) as exc:
+            # The request may have been received; only idempotent
+            # calls are safe to re-send.
+            if not idempotent or attempt > policy.retries:
+                raise
+        time.sleep(policy.delay(attempt, rng))
 
 
-def post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (thread-safe).
+
+    Closed: calls pass through.  After ``failure_threshold``
+    consecutive transport failures the breaker opens: calls raise
+    :class:`CircuitOpen` without touching the network until
+    ``reset_after`` seconds pass, when a single half-open trial is
+    allowed — success closes the breaker, failure re-opens it for
+    another cooldown.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 5, reset_after: float = 30.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        import threading
+
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._failures = 0
+        self._opened_at: "float | None" = None
+        self._lock = threading.Lock()
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    @property
+    def open(self) -> bool:
+        with self._lock:
+            return self._opened_at is not None
+
+    def before_call(self) -> None:
+        """Gate a call: raise :class:`CircuitOpen` or admit a trial."""
+        with self._lock:
+            if self._opened_at is None:
+                return
+            elapsed = time.monotonic() - self._opened_at
+            if elapsed >= self.reset_after:
+                # Half-open: let this one call probe the server.  The
+                # window slides forward so concurrent callers don't
+                # stampede.
+                self._opened_at = time.monotonic()
+                return
+            raise CircuitOpen(self._failures, self.reset_after - elapsed)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()
+
+
+class ServiceClient:
+    """A job-service client with retries, backoff and a circuit breaker.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8765``.
+        policy: timeouts/retry schedule (default :class:`RetryPolicy`).
+        breaker: circuit breaker; pass ``None`` for a fresh default one.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        policy: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._rng = random.Random(self.policy.seed)
+
+    # -- transport ------------------------------------------------------
+    def _call(self, method: str, path: str, payload: "dict | None") -> dict:
+        self.breaker.before_call()
+        url = f"{self.base_url}{path}"
+        try:
+            result = _request_json(url, method, payload, self.policy, self._rng)
+        except ServiceError as exc:
+            # The server answered: transport is healthy.  Only
+            # retryable (server-side/overload) statuses count against
+            # the breaker; a 404 or 400 is the caller's problem.
+            if exc.status in RETRYABLE_STATUSES:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+            raise
+        except (ConnectionError, OSError):
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
+
+    def get(self, path: str) -> dict:
+        """GET a service path (idempotent: full retry schedule)."""
+        return self._call("GET", path, None)
+
+    def post(self, path: str, payload: dict) -> dict:
+        """POST a JSON document (retried only on connect failures)."""
+        return self._call("POST", path, payload)
+
+    # -- job workflow ---------------------------------------------------
+    def submit(self, spec: dict, seeds) -> dict:
+        """``POST /jobs`` and return the accepted job snapshot."""
+        return self.post(
+            "/jobs", {"spec": spec, "seeds": [int(s) for s in seeds]}
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+        poll_cap: float = 2.0,
+    ) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job goes terminal.
+
+        The poll interval starts at ``poll`` and doubles (jittered by
+        the policy, capped at ``poll_cap``) so a long-running job is
+        not hammered; raises :class:`JobTimeout` when the overall
+        deadline passes with the job still pending.
+        """
+        deadline = time.monotonic() + timeout
+        interval = poll
+        last_status: "str | None" = None
+        while True:
+            snapshot = self.get(f"/jobs/{job_id}")
+            last_status = snapshot.get("status")
+            if last_status in ("done", "failed"):
+                return snapshot
+            now = time.monotonic()
+            if now >= deadline:
+                raise JobTimeout(job_id, timeout, last_status)
+            jittered = interval
+            if self.policy.jitter > 0:
+                jittered *= 1.0 + self.policy.jitter * self._rng.uniform(
+                    -1.0, 1.0
+                )
+            time.sleep(max(0.0, min(jittered, deadline - now)))
+            interval = min(interval * 2.0, poll_cap)
+
+
+# -- module-level helpers (historical surface) --------------------------
+def get_json(
+    url: str, timeout: float = 30.0, *, policy: "RetryPolicy | None" = None
+) -> dict:
+    """GET a JSON document (retries per ``policy``)."""
+    policy = policy or RetryPolicy(read_timeout=timeout)
+    return _request_json(url, "GET", None, policy, random.Random(policy.seed))
+
+
+def post_json(
+    url: str,
+    payload: dict,
+    timeout: float = 30.0,
+    *,
+    policy: "RetryPolicy | None" = None,
+) -> dict:
     """POST a JSON document, return the parsed JSON reply."""
-    data = json.dumps(payload, ensure_ascii=False).encode("utf-8")
-    return _request(url, data, timeout)
+    policy = policy or RetryPolicy(read_timeout=timeout)
+    return _request_json(
+        url, "POST", payload, policy, random.Random(policy.seed)
+    )
 
 
-def submit_job(base_url: str, spec: dict, seeds) -> dict:
+def submit_job(
+    base_url: str, spec: dict, seeds, *, policy: "RetryPolicy | None" = None
+) -> dict:
     """``POST /jobs`` and return the accepted job snapshot."""
     return post_json(
         f"{base_url.rstrip('/')}/jobs",
         {"spec": spec, "seeds": [int(s) for s in seeds]},
+        policy=policy,
     )
 
 
@@ -69,20 +373,13 @@ def wait_for_job(
     *,
     poll: float = 0.2,
     timeout: float = 600.0,
+    poll_cap: float = 2.0,
+    policy: "RetryPolicy | None" = None,
 ) -> dict:
-    """Poll ``GET /jobs/<id>`` until the job leaves the queue/run states.
+    """Poll a job to completion with backoff; raises :class:`JobTimeout`.
 
-    Returns the final snapshot; raises :class:`TimeoutError` if the job
-    is still pending when the budget runs out.
+    Kept as a convenience wrapper over :meth:`ServiceClient.wait` for
+    callers that don't hold a client.
     """
-    deadline = time.monotonic() + timeout
-    url = f"{base_url.rstrip('/')}/jobs/{job_id}"
-    while True:
-        snapshot = get_json(url)
-        if snapshot["status"] in ("done", "failed"):
-            return snapshot
-        if time.monotonic() >= deadline:
-            raise TimeoutError(
-                f"job {job_id} still {snapshot['status']} after {timeout}s"
-            )
-        time.sleep(poll)
+    client = ServiceClient(base_url, policy=policy)
+    return client.wait(job_id, timeout=timeout, poll=poll, poll_cap=poll_cap)

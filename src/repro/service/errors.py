@@ -1,0 +1,104 @@
+"""Structured error taxonomy shared by the ledger, HTTP layer, and client.
+
+Every failure that crosses a process boundary — a row in the job
+ledger, an HTTP error payload, an exception raised by the client —
+carries one of the :class:`ErrorCode` values below, so callers can
+branch on a stable machine-readable code instead of parsing prose.
+
+This module is deliberately dependency-free (pure stdlib, no imports
+from the rest of ``repro``) so that both ``repro.store.ledger`` and
+``repro.service.client`` can share it without layering cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "CircuitOpen",
+    "ErrorCode",
+    "JobTimeout",
+    "ServiceError",
+]
+
+
+class ErrorCode(str, enum.Enum):
+    """Machine-readable failure codes.
+
+    The string values are the wire format: they appear verbatim in the
+    ledger's ``error_code`` column, in HTTP error payloads under
+    ``"code"``, and on client exceptions as ``.code``.
+    """
+
+    # Admission / validation (maps to HTTP 4xx).
+    SPEC_INVALID = "spec-invalid"
+    QUEUE_FULL = "queue-full"
+    NOT_FOUND = "not-found"
+
+    # Service lifecycle (maps to HTTP 503).
+    SHUTTING_DOWN = "shutting-down"
+
+    # Execution failures recorded in the ledger.
+    EXEC_ERROR = "exec-error"
+    ATTEMPTS_EXHAUSTED = "attempts-exhausted"
+
+    # Client-side failures (never stored in the ledger).
+    UNREACHABLE = "unreachable"
+    CIRCUIT_OPEN = "circuit-open"
+    JOB_TIMEOUT = "job-timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ServiceError(Exception):
+    """An HTTP error response from the job service.
+
+    ``code`` is the structured :class:`ErrorCode` value from the
+    response payload when the server provided one (older servers or
+    non-JSON error bodies yield ``None``).
+    """
+
+    def __init__(self, status: int, message: str, code: str | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.code = code
+
+
+class JobTimeout(TimeoutError):
+    """Raised when :func:`wait_for_job` exhausts its overall deadline.
+
+    Subclasses :class:`TimeoutError` so existing ``except TimeoutError``
+    call sites (e.g. the ``submit`` CLI) keep working.
+    """
+
+    code = ErrorCode.JOB_TIMEOUT.value
+
+    def __init__(self, job_id: str, timeout: float, last_status: str | None = None):
+        detail = f" (last status: {last_status})" if last_status else ""
+        super().__init__(
+            f"job {job_id} did not finish within {timeout:g}s{detail}"
+        )
+        self.job_id = job_id
+        self.timeout = timeout
+        self.last_status = last_status
+
+
+class CircuitOpen(ConnectionError):
+    """Raised when the client's circuit breaker is open.
+
+    The breaker trips after a run of consecutive transport failures;
+    while open, calls fail fast without touching the network until the
+    cooldown elapses.
+    """
+
+    code = ErrorCode.CIRCUIT_OPEN.value
+
+    def __init__(self, failures: int, retry_in: float):
+        super().__init__(
+            f"circuit breaker open after {failures} consecutive failures; "
+            f"next attempt allowed in {retry_in:.1f}s"
+        )
+        self.failures = failures
+        self.retry_in = retry_in

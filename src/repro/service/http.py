@@ -12,13 +12,22 @@ framework.  Routes:
     Snapshots of every known job, submission-ordered.
 ``GET /jobs/<id>``
     One job's live progress: status, done/total, store hits/misses and
-    a partial aggregate over the records committed so far.
+    a partial aggregate over the records committed so far.  Jobs that
+    finished before a restart are answered from the durable ledger
+    (aggregate re-derived from the store).
 ``GET /results``
     The store's scenario inventory; with ``?fingerprint=<fp>`` the
     aggregate row for that workload, plus per-seed records when
     ``&records=1``.
 ``GET /healthz``
-    Liveness probe.
+    Liveness probe: 200 as long as the process can serve requests.
+``GET /readyz``
+    Readiness probe: 200 with the drain/queue/ledger-backlog view
+    while accepting work, 503 (same payload) once draining.
+
+Error responses carry a structured ``"code"`` from the shared taxonomy
+(:class:`repro.service.errors.ErrorCode`) next to the human-readable
+``"error"`` message.
 
 Responses are strict JSON: non-finite floats (an aggregate over zero
 successes is NaN) are encoded as the same ``"NaN"`` / ``"Infinity"``
@@ -34,6 +43,7 @@ from urllib.parse import parse_qs, urlparse
 
 from ..analysis.journal import encode_record
 from ..store import ExperimentStore
+from .errors import ErrorCode
 from .jobs import JobService, QueueFull
 
 __all__ = ["ServiceServer", "make_server"]
@@ -81,6 +91,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _error(self, status: int, code: ErrorCode, message: str) -> None:
+        self._reply(status, {"error": message, "code": code.value})
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         raw = self.rfile.read(length) if length else b""
@@ -97,21 +110,26 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         if parts == ["healthz"]:
             self._reply(200, {"ok": True, "store": self.server.service.store})
+        elif parts == ["readyz"]:
+            info = self.server.service.health()
+            self._reply(200 if info["ready"] else 503, info)
         elif parts == ["jobs"]:
             self._reply(
                 200,
                 {"jobs": [j.snapshot() for j in self.server.service.jobs()]},
             )
         elif len(parts) == 2 and parts[0] == "jobs":
-            job = self.server.service.get(parts[1])
-            if job is None:
-                self._reply(404, {"error": f"no such job {parts[1]!r}"})
+            snapshot = self.server.service.lookup(parts[1])
+            if snapshot is None:
+                self._error(
+                    404, ErrorCode.NOT_FOUND, f"no such job {parts[1]!r}"
+                )
             else:
-                self._reply(200, job.snapshot())
+                self._reply(200, snapshot)
         elif parts == ["results"]:
             self._get_results(parse_qs(url.query))
         else:
-            self._reply(404, {"error": f"no route {url.path!r}"})
+            self._error(404, ErrorCode.NOT_FOUND, f"no route {url.path!r}")
 
     def _get_results(self, query: dict) -> None:
         store = ExperimentStore(self.server.service.store)
@@ -146,7 +164,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         url = urlparse(self.path)
         if url.path.rstrip("/") != "/jobs":
-            self._reply(404, {"error": f"no route {url.path!r}"})
+            self._error(404, ErrorCode.NOT_FOUND, f"no route {url.path!r}")
             return
         try:
             body = self._read_body()
@@ -158,13 +176,13 @@ class _Handler(BaseHTTPRequestHandler):
                 seeds = range(start, start + int(body["runs"]))
             job = self.server.service.submit(spec, seeds)
         except QueueFull as exc:
-            self._reply(429, {"error": str(exc)})
+            self._error(429, ErrorCode.QUEUE_FULL, str(exc))
             return
         except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
-            self._reply(400, {"error": f"bad request: {exc}"})
+            self._error(400, ErrorCode.SPEC_INVALID, f"bad request: {exc}")
             return
         except RuntimeError as exc:  # shutting down
-            self._reply(503, {"error": str(exc)})
+            self._error(503, ErrorCode.SHUTTING_DOWN, str(exc))
             return
         self._reply(202, job.snapshot())
 

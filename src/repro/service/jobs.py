@@ -9,16 +9,36 @@ experiment store attached, so
 * seeds the store already holds complete instantly as cache hits,
 * every newly simulated seed is written through to the store the
   moment it commits — a killed service (even SIGKILL) loses at most
-  the seeds that were in flight, and a restart + resubmit finishes the
-  remainder without re-running anything committed.
+  the seeds that were in flight.
+
+Durability (the job ledger)
+---------------------------
+With a :class:`~repro.store.ledger.JobLedger` attached, every job is
+persisted — canonical spec, seeds, status, attempts — *before* submit
+returns, and every status transition is written through.  A service
+constructed with ``recover=True`` re-enqueues the ledger's
+``queued``/``running`` jobs ahead of new submissions; recovered jobs
+keep their original ids and complete via store read-through, so a
+SIGKILL mid-campaign costs at most the in-flight seeds.
+
+Watchdog supervision
+--------------------
+When ``job_budget`` is set, each execution attempt runs on its own
+runner thread and the dispatcher waits at most ``job_budget`` seconds
+for it.  A hung attempt is abandoned (the daemon thread is left to
+die with the process; an attempt token keeps its late results from
+corrupting the job) and the job is re-dispatched up to
+``max_attempts`` times, after which it goes terminal ``failed`` with
+the ``attempts-exhausted`` code from the shared error taxonomy.
 
 Admission control is the queue bound: :meth:`JobService.submit` raises
 :class:`QueueFull` once ``max_queue`` jobs are waiting (the HTTP layer
-maps that to 429), so a flood of submissions degrades into fast
-rejections instead of unbounded memory growth.
+maps that to 429).  Recovered jobs bypass the bound — they were
+admitted by a previous incarnation and sit in an internal backlog that
+drains first.
 
 Progress is observable while a job runs: the facade's ``on_record``
-hook appends each committed record to the job under its lock, and
+hook records each committed seed under the job's lock, and
 :meth:`Job.snapshot` serves done/total counts plus a partial aggregate
 over the records committed so far.
 """
@@ -28,10 +48,13 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..analysis import BatchConfig, BatchResult, ScenarioSpec, run
 from ..analysis.batch import RunRecord
+from ..store.ledger import JobLedger
+from .errors import ErrorCode
 
 __all__ = ["Job", "JobService", "QueueFull"]
 
@@ -51,24 +74,67 @@ class Job:
     spec: dict
     seeds: list[int]
     status: str = "queued"  # queued | running | done | failed
+    attempts: int = 0
     hits: int = 0
     misses: int = 0
     error: str | None = None
-    records: list[RunRecord] = field(default_factory=list)
+    error_code: str | None = None
+    records: dict[int, RunRecord] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def total(self) -> int:
         return len(self.seeds)
 
-    def add_record(self, record: RunRecord) -> None:
+    def begin_attempt(self) -> int:
+        """Mark the start of an execution attempt; return its token.
+
+        The token is checked by :meth:`add_record` and the completion
+        methods so that a previously abandoned (hung) attempt that
+        wakes up late cannot touch the job's state anymore.
+        """
         with self._lock:
-            self.records.append(record)
+            self.attempts += 1
+            self.status = "running"
+            return self.attempts
+
+    def add_record(self, record: RunRecord, token: "int | None" = None) -> None:
+        with self._lock:
+            if token is not None and token != self.attempts:
+                return  # stale attempt; the store has the record anyway
+            self.records[record.seed] = record
+
+    def complete_success(self, token: int, batch: BatchResult) -> bool:
+        """Finish the attempt as ``done``; False if the token is stale."""
+        with self._lock:
+            if token != self.attempts or self.status not in ("running",):
+                return False
+            self.hits = batch.store_hits
+            self.misses = batch.store_misses
+            self.status = "done"
+            return True
+
+    def complete_failure(self, token: int, code: str, message: str) -> bool:
+        """Finish the attempt as ``failed``; False if the token is stale."""
+        with self._lock:
+            if token != self.attempts or self.status not in ("running",):
+                return False
+            self.error_code = code
+            self.error = message
+            self.status = "failed"
+            return True
+
+    def fail(self, code: str, message: str) -> None:
+        """Force the job terminal ``failed`` (watchdog/recovery path)."""
+        with self._lock:
+            self.error_code = code
+            self.error = message
+            self.status = "failed"
 
     def partial_result(self) -> BatchResult:
         """Aggregate over the records committed so far (seed-ordered)."""
         with self._lock:
-            committed = list(self.records)
+            committed = list(self.records.values())
         batch = BatchResult(self.spec.get("name", self.id))
         batch.runs = sorted(committed, key=lambda r: r.seed)
         batch.store_hits = self.hits
@@ -83,9 +149,11 @@ class Job:
             "status": self.status,
             "done": partial.n_runs(),
             "total": self.total,
+            "attempts": self.attempts,
             "hits": self.hits,
             "misses": self.misses,
             "error": self.error,
+            "error_code": self.error_code,
             "aggregate": partial.row() if partial.runs else None,
         }
 
@@ -102,6 +170,14 @@ class JobService:
         max_queue: admission bound on *waiting* jobs.
         auto_start: start the dispatcher thread immediately (tests pass
             ``False`` to inspect queue behaviour deterministically).
+        ledger: path of the durable job ledger; ``None`` keeps the
+            pre-ledger in-memory-only behaviour.
+        recover: re-enqueue the ledger's unfinished jobs at startup
+            (requires ``ledger``).
+        job_budget: per-attempt wall budget in seconds; ``None``
+            disables the watchdog.
+        max_attempts: execution attempts per job before it goes
+            terminal ``failed`` with ``attempts-exhausted``.
     """
 
     def __init__(
@@ -112,19 +188,40 @@ class JobService:
         timeout: float | None = None,
         max_queue: int = 8,
         auto_start: bool = True,
+        ledger: "str | None" = None,
+        recover: bool = False,
+        job_budget: "float | None" = None,
+        max_attempts: int = 3,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if job_budget is not None and job_budget <= 0:
+            raise ValueError("job_budget must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if recover and ledger is None:
+            raise ValueError("recover=True requires a ledger path")
         self.store = str(store)
         self.workers = workers
         self.timeout = timeout
+        self.job_budget = job_budget
+        self.max_attempts = max_attempts
+        self.ledger: JobLedger | None = (
+            JobLedger(ledger) if ledger is not None else None
+        )
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self._backlog: "deque[Job]" = deque()  # recovered jobs, run first
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
+        start_id = 1 if self.ledger is None else self.ledger.next_job_number()
+        self._ids = itertools.count(start_id)
         self._stopping = threading.Event()
         self._thread: threading.Thread | None = None
+        self._current: Job | None = None
+        self.recovered: list[str] = []
+        if recover:
+            self._recover()
         if auto_start:
             self.start()
 
@@ -143,8 +240,8 @@ class JobService:
         The currently executing job runs to completion (its records
         were being written through to the store per seed anyway, so
         nothing committed is ever at risk); jobs still queued stay
-        ``queued`` and can simply be resubmitted after a restart — the
-        store turns their finished portion into instant hits.
+        ``queued`` — with a ledger attached they are already durable
+        and the next ``serve --recover`` picks them up verbatim.
         """
         self._stopping.set()
         try:
@@ -158,9 +255,56 @@ class JobService:
     def stopping(self) -> bool:
         return self._stopping.is_set()
 
+    # -- recovery -------------------------------------------------------
+    def _recover(self) -> None:
+        """Re-enqueue the ledger's unfinished jobs (startup, pre-dispatch).
+
+        Jobs come back in original submission order with their original
+        ids; ones that already burned ``max_attempts`` go terminal
+        instead of looping forever, and ones whose stored spec no
+        longer validates (code drift) go terminal ``spec-invalid``.
+        """
+        assert self.ledger is not None
+        for entry in self.ledger.recoverable():
+            job = Job(
+                id=entry.id,
+                spec=dict(entry.spec),
+                seeds=list(entry.seeds),
+                attempts=entry.attempts,
+            )
+            with self._lock:
+                self._jobs[job.id] = job
+                self._order.append(job.id)
+            try:
+                ScenarioSpec.from_dict(dict(entry.spec))
+            except Exception as exc:  # noqa: BLE001 — classify, don't crash startup
+                message = f"{type(exc).__name__}: {exc}"
+                job.fail(ErrorCode.SPEC_INVALID.value, message)
+                self._ledger_sync(job)
+                continue
+            if entry.attempts >= self.max_attempts:
+                job.fail(
+                    ErrorCode.ATTEMPTS_EXHAUSTED.value,
+                    f"gave up after {entry.attempts} attempt(s) "
+                    "across previous service runs",
+                )
+                self._ledger_sync(job)
+                continue
+            job.status = "queued"
+            self.ledger.set_status(
+                entry.id, "queued", attempts=entry.attempts
+            )
+            self.recovered.append(job.id)
+            self._backlog.append(job)
+
     # -- submission -----------------------------------------------------
     def submit(self, spec_data: dict, seeds) -> Job:
-        """Validate, enqueue and return a new job.
+        """Validate, persist (ledger), enqueue and return a new job.
+
+        The ledger row is written *before* the job is acknowledged or
+        enqueued — a crash in the enqueue window leaves a ``queued``
+        row that the next ``--recover`` run picks up.  A queue-full
+        rejection rolls the row back.
 
         Raises:
             QueueFull: the admission bound is reached.
@@ -178,6 +322,8 @@ class JobService:
         job = Job(
             id=f"j{next(self._ids)}", spec=spec.to_dict(), seeds=seed_list
         )
+        if self.ledger is not None:
+            self.ledger.append(job.id, spec, seed_list)
         with self._lock:
             self._jobs[job.id] = job
             self._order.append(job.id)
@@ -187,6 +333,8 @@ class JobService:
             with self._lock:
                 del self._jobs[job.id]
                 self._order.remove(job.id)
+            if self.ledger is not None:
+                self.ledger.remove(job.id)
             raise QueueFull(
                 f"job queue is full ({self._queue.maxsize} waiting)"
             ) from None
@@ -201,21 +349,115 @@ class JobService:
         with self._lock:
             return [self._jobs[jid] for jid in self._order]
 
+    def lookup(self, job_id: str) -> dict | None:
+        """A snapshot for any known job, live or ledger-only.
+
+        Jobs that finished before a restart are gone from memory but
+        still in the ledger; this synthesises a snapshot for them
+        (done-count and aggregate re-derived from the store) so
+        ``GET /jobs/<id>`` stays answerable across restarts.
+        """
+        job = self.get(job_id)
+        if job is not None:
+            return job.snapshot()
+        if self.ledger is None:
+            return None
+        entry = self.ledger.get(job_id)
+        if entry is None:
+            return None
+        from ..store import ExperimentStore
+
+        stored = ExperimentStore(self.store).query(
+            entry.fingerprint, entry.seeds
+        )
+        batch = BatchResult(entry.name)
+        batch.runs = [stored[s] for s in sorted(stored)]
+        return {
+            "id": entry.id,
+            "status": entry.status,
+            "done": len(stored),
+            "total": len(entry.seeds),
+            "attempts": entry.attempts,
+            "hits": None,
+            "misses": None,
+            "error": entry.error_message,
+            "error_code": entry.error_code,
+            "aggregate": batch.row() if batch.runs else None,
+        }
+
+    def health(self) -> dict:
+        """The readiness view: drain state, queue depth, ledger backlog."""
+        with self._lock:
+            queued = sum(
+                1 for jid in self._order if self._jobs[jid].status == "queued"
+            )
+            running = self._current.id if self._current is not None else None
+        info: dict = {
+            "ready": not self._stopping.is_set(),
+            "draining": self._stopping.is_set(),
+            "queued": queued,
+            "running": running,
+        }
+        if self.ledger is not None:
+            info["ledger"] = {
+                "path": str(self.ledger.path),
+                "backlog": self.ledger.backlog(),
+            }
+        return info
+
     # -- execution ------------------------------------------------------
     def _dispatch(self) -> None:
         while True:
+            if self._stopping.is_set():
+                break
+            if self._backlog:
+                self._run_job(self._backlog.popleft())
+                continue
             try:
                 item = self._queue.get(timeout=0.2)
             except queue.Empty:
-                if self._stopping.is_set():
-                    break
                 continue
             if item is _SENTINEL:
+                break
+            if self._stopping.is_set():
+                # Drain: leave the job queued — it is durable in the
+                # ledger and the next --recover run picks it up.
                 break
             self._run_job(item)
 
     def _run_job(self, job: Job) -> None:
-        job.status = "running"
+        self._current = job
+        try:
+            while True:
+                token = job.begin_attempt()
+                self._ledger_sync(job)
+                done = threading.Event()
+                runner = threading.Thread(
+                    target=self._execute,
+                    args=(job, token, done),
+                    name=f"repro-job-{job.id}-a{token}",
+                    daemon=True,
+                )
+                runner.start()
+                if self.job_budget is None:
+                    done.wait()
+                elif not done.wait(self.job_budget):
+                    # Hung attempt: abandon the runner thread (its
+                    # token is now stale) and either re-dispatch or
+                    # give up for good.
+                    if job.attempts < self.max_attempts:
+                        continue
+                    job.fail(
+                        ErrorCode.ATTEMPTS_EXHAUSTED.value,
+                        f"hung: {job.attempts} attempt(s) exceeded the "
+                        f"{self.job_budget:g}s job budget",
+                    )
+                self._ledger_sync(job)
+                return
+        finally:
+            self._current = None
+
+    def _execute(self, job: Job, token: int, done: threading.Event) -> None:
         try:
             batch = run(
                 ScenarioSpec.from_dict(job.spec),
@@ -224,13 +466,34 @@ class JobService:
                     workers=self.workers,
                     timeout=self.timeout,
                     store=self.store,
-                    on_record=job.add_record,
+                    on_record=lambda record: job.add_record(record, token),
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — a bad job must not kill the loop
-            job.error = f"{type(exc).__name__}: {exc}"
-            job.status = "failed"
+            job.complete_failure(
+                token, ErrorCode.EXEC_ERROR.value, f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            job.complete_success(token, batch)
+        finally:
+            done.set()
+
+    def _ledger_sync(self, job: Job) -> None:
+        """Write the job's current status through to the ledger."""
+        if self.ledger is None:
             return
-        job.hits = batch.store_hits
-        job.misses = batch.store_misses
-        job.status = "done"
+        with job._lock:
+            status = job.status
+            attempts = job.attempts
+            code = job.error_code
+            message = job.error
+        try:
+            self.ledger.set_status(
+                job.id,
+                status,
+                attempts=attempts,
+                error_code=code,
+                error_message=message,
+            )
+        except KeyError:
+            pass  # ledger row vanished (manual surgery); job still runs

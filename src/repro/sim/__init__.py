@@ -6,6 +6,7 @@ from .robot import Phase, RobotBody
 from .metrics import Metrics
 from .trace import Trace, TraceEvent
 from .engine import (
+    InvariantViolation,
     Simulation,
     SimulationResult,
     chirality_frames,
@@ -16,6 +17,7 @@ from .engine import (
 __all__ = [
     "ArcSegment",
     "ComputeContext",
+    "InvariantViolation",
     "LineSegment",
     "Metrics",
     "Path",

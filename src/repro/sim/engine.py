@@ -45,6 +45,30 @@ from .robot import Phase, RobotBody
 from .trace import Trace
 
 
+class InvariantViolation(AssertionError):
+    """A safety property the model guarantees was violated during a run.
+
+    Structured: ``kind`` names the broken invariant (``"multiplicity"``,
+    ``"delta"``, or ``"generic"`` for ad-hoc checker raises), and
+    ``robot_id``/``step`` locate it.  Subclasses ``AssertionError`` for
+    backwards compatibility with the checker-based tests that predate
+    the engine's own ``strict_invariants`` mode.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "generic",
+        robot_id: "int | None" = None,
+        step: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.robot_id = robot_id
+        self.step = step
+
+
 class AlgorithmLike(Protocol):
     """Duck type for algorithms (see :class:`repro.algorithms.Algorithm`)."""
 
@@ -135,6 +159,17 @@ class Simulation:
             dict) injecting crash-stop robots, adversarial move
             truncation and sensor noise into this run; ``None`` leaves
             every code path bit-for-bit identical to a fault-free engine.
+        strict_invariants: opt-in runtime verification.  After every
+            applied Move the engine checks that no multiplicity point
+            was created and — with faults disabled — that a finished
+            move covered at least ``min(delta, path length)``; a breach
+            raises a structured :class:`InvariantViolation`, which
+            :meth:`run` converts into a ``reason="invariant: ..."``
+            result instead of silently continuing with a wrong
+            configuration.  Off by default: the checks are O(n) per
+            move and the invariants are guaranteed by construction —
+            this is a tripwire for engine/algorithm regressions and
+            hostile fault plans, not a correctness requirement.
         record_trace: keep a :class:`Trace` of the run.
         checkers: callables ``(simulation, action) -> None`` invoked after
             every applied action; raise to fail the run (used for
@@ -155,6 +190,7 @@ class Simulation:
         wall_limit: float | None = None,
         seed: int = 0,
         faults: "object | None" = None,
+        strict_invariants: bool = False,
         record_trace: bool = False,
         trace_sample_every: int = 1,
         checkers: Sequence[Callable[["Simulation", Action], None]] = (),
@@ -174,6 +210,7 @@ class Simulation:
         self.pattern = pattern or algorithm.target_pattern
         self.max_steps = max_steps
         self.wall_limit = wall_limit
+        self.strict_invariants = strict_invariants
         self.checkers = list(checkers)
         self.metrics = Metrics()
         self.metrics.start(len(self.robots))
@@ -267,7 +304,16 @@ class Simulation:
             if self._quiescent() and self.is_terminal():
                 return self._result(terminated=True, reason="terminal")
             action = self.scheduler.next_action(pool, self.step_count)
-            self.apply(action)
+            try:
+                self.apply(action)
+            except InvariantViolation as exc:
+                # Strict-mode tripwire: surface the breach as a distinct
+                # run outcome instead of a silently wrong configuration.
+                # Checker raises (below) still propagate — they are the
+                # test suite's assertion mechanism.
+                return self._result(
+                    terminated=False, reason=f"invariant: [{exc.kind}] {exc}"
+                )
             for checker in self.checkers:
                 checker(self, action)
         return self._result(terminated=False, reason="max_steps")
@@ -386,12 +432,65 @@ class Simulation:
         robot.progress = new_progress
         robot.move_chunks += 1
 
+        if self.strict_invariants:
+            self._check_move_invariants(robot, travelled, new_progress, total, finishing)
+
         if finishing:
             robot.path = None
             robot.progress = 0.0
             robot.move_chunks = 0
             robot.phase = Phase.IDLE
             self.metrics.record_cycle(robot.robot_id)
+
+    def _check_move_invariants(
+        self,
+        robot: RobotBody,
+        travelled: float,
+        new_progress: float,
+        total: float,
+        finishing: bool,
+    ) -> None:
+        """Strict-mode post-Move verification (see ``strict_invariants``).
+
+        * **multiplicity** — a robot that actually moved must not have
+          landed on another robot's exact position (within the same
+          1e-9 tolerance the multiplicity checker uses);
+        * **delta** — with faults disabled, a *finished* move must have
+          covered at least ``min(delta, total)`` of its path.  The
+          floor clamp in :meth:`_apply_move` enforces this by
+          construction, so a raise here means an engine regression (a
+          code path around the clamp), which is exactly what a tripwire
+          is for.  Fault plans may legitimately stop short (adversarial
+          truncation is re-floored, crash mid-move is not a finish), so
+          the check is skipped when faults are active.
+        """
+        if travelled > 1e-15:
+            position = robot.position
+            for other in self.robots:
+                if other is robot:
+                    continue
+                if position.approx_eq(other.position, 1e-9):
+                    raise InvariantViolation(
+                        f"robot {robot.robot_id} moved onto robot "
+                        f"{other.robot_id} at {position!r} "
+                        f"(step {self.step_count})",
+                        kind="multiplicity",
+                        robot_id=robot.robot_id,
+                        step=self.step_count,
+                    )
+        if (
+            finishing
+            and self.faults is None
+            and new_progress + 1e-12 < min(self.delta, total)
+        ):
+            raise InvariantViolation(
+                f"robot {robot.robot_id} finished a move after "
+                f"{new_progress!r} < min(delta={self.delta!r}, "
+                f"length={total!r}) (step {self.step_count})",
+                kind="delta",
+                robot_id=robot.robot_id,
+                step=self.step_count,
+            )
 
     # ------------------------------------------------------------------
     # termination

@@ -7,9 +7,16 @@ holds is served bit-for-bit from disk instead of re-simulated — the
 cross-run memoisation behind ``repro batch --store``, the job service
 and the incremental experiment reruns.
 
-See :mod:`repro.store.store` for the full contract.
+The package also houses the durable :class:`~repro.store.ledger.JobLedger`
+— the same WAL/short-lived-connection discipline applied to submitted
+*jobs* rather than run records, so the job service can recover its
+queue after a crash.
+
+See :mod:`repro.store.store` and :mod:`repro.store.ledger` for the
+full contracts.
 """
 
+from .ledger import LEDGER_VERSION, JobLedger, LedgerEntry
 from .store import (
     CODE_SCHEMA,
     STORE_VERSION,
@@ -20,8 +27,11 @@ from .store import (
 
 __all__ = [
     "CODE_SCHEMA",
+    "LEDGER_VERSION",
     "STORE_VERSION",
     "ExperimentStore",
+    "JobLedger",
+    "LedgerEntry",
     "StoredScenario",
     "code_schema",
 ]

@@ -1,0 +1,322 @@
+"""Sqlite-backed durable job ledger for the simulation service.
+
+The experiment store (:mod:`repro.store.store`) makes individual run
+*records* durable; the ledger makes submitted *jobs* durable.  Every
+job accepted by :class:`repro.service.jobs.JobService` is written here
+— canonical spec, seed list, status, attempt count — **before** the
+submission is acknowledged, so a service process can die at any point
+(SIGKILL included) and the next ``serve --recover`` process finds the
+queued/running jobs and re-enqueues them.  Re-running a recovered job
+is cheap because execution goes through the store's read-through:
+seeds that committed before the crash come back as hits and only the
+in-flight remainder executes.
+
+Durability discipline mirrors the store: WAL mode, busy timeout, one
+short-lived connection per operation, every status transition its own
+committed transaction.
+
+Status lifecycle::
+
+    queued -> running -> done
+                     \\-> failed   (terminal; carries an error code)
+
+``error_code`` values come from the shared taxonomy in
+:mod:`repro.service.errors` (the ledger itself stores plain strings to
+stay free of service-layer imports).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..analysis.scenarios import ScenarioSpec, canonical_spec_json
+
+__all__ = [
+    "LEDGER_VERSION",
+    "JobLedger",
+    "LedgerEntry",
+]
+
+#: Version of the ledger's sqlite layout, recorded in ``meta`` and
+#: checked on open (same scheme as the store's ``store_version``).
+LEDGER_VERSION = 1
+
+_BUSY_TIMEOUT_S = 30.0
+
+_STATUSES = ("queued", "running", "done", "failed")
+
+#: Statuses that mean "work was accepted but never finished" — the
+#: recovery set.
+_RECOVERABLE = ("queued", "running")
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One ledger row, decoded."""
+
+    id: str
+    name: str
+    fingerprint: str
+    spec: dict
+    seeds: tuple[int, ...]
+    status: str
+    attempts: int
+    error_code: str | None
+    error_message: str | None
+    created_at: float
+    updated_at: float
+
+
+def _decode_row(row: tuple) -> LedgerEntry:
+    (
+        job_id,
+        name,
+        fingerprint,
+        spec_json,
+        seeds_json,
+        status,
+        attempts,
+        error_code,
+        error_message,
+        created_at,
+        updated_at,
+    ) = row
+    return LedgerEntry(
+        id=job_id,
+        name=name,
+        fingerprint=fingerprint,
+        spec=json.loads(spec_json),
+        seeds=tuple(json.loads(seeds_json)),
+        status=status,
+        attempts=attempts,
+        error_code=error_code,
+        error_message=error_message,
+        created_at=created_at,
+        updated_at=updated_at,
+    )
+
+
+_COLUMNS = (
+    "id, name, fingerprint, spec, seeds, status, attempts,"
+    " error_code, error_message, created_at, updated_at"
+)
+
+
+class JobLedger:
+    """A durable record of every job the service ever accepted.
+
+    Args:
+        path: the sqlite file (created, WAL-mode, on first use).
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = Path(path)
+        self._init_db()
+
+    # -- connection management -----------------------------------------
+    @contextmanager
+    def _connect(self):
+        """One short-lived connection per operation, committed and closed."""
+        conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    def _init_db(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            # ``seq`` preserves submission order across restarts; ``id``
+            # is the service-visible handle ("j1", "j2", ...).
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS jobs ("
+                " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " id TEXT NOT NULL UNIQUE,"
+                " name TEXT NOT NULL,"
+                " fingerprint TEXT NOT NULL,"
+                " spec TEXT NOT NULL,"
+                " seeds TEXT NOT NULL,"
+                " status TEXT NOT NULL,"
+                " attempts INTEGER NOT NULL DEFAULT 0,"
+                " error_code TEXT,"
+                " error_message TEXT,"
+                " created_at REAL NOT NULL,"
+                " updated_at REAL NOT NULL)"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='ledger_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta(key, value) VALUES ('ledger_version', ?)",
+                    (str(LEDGER_VERSION),),
+                )
+            elif int(row[0]) != LEDGER_VERSION:
+                raise ValueError(
+                    f"ledger {self.path} has layout version {row[0]}, "
+                    f"this code expects {LEDGER_VERSION}"
+                )
+
+    # -- writing --------------------------------------------------------
+    def append(
+        self, job_id: str, spec: "ScenarioSpec | dict", seeds: Iterable[int]
+    ) -> LedgerEntry:
+        """Persist a newly submitted job as ``queued``; return the entry.
+
+        The spec is normalised through :class:`ScenarioSpec` so the
+        stored form is canonical (same bytes a recovered service will
+        re-submit).  Raises ``ValueError`` on a duplicate job id.
+        """
+        if isinstance(spec, ScenarioSpec):
+            normalised = spec
+        else:
+            normalised = ScenarioSpec.from_dict(dict(spec))
+        data = normalised.to_dict()
+        seed_list = [int(s) for s in seeds]
+        now = time.time()
+        try:
+            with self._connect() as conn:
+                conn.execute(
+                    "INSERT INTO jobs"
+                    " (id, name, fingerprint, spec, seeds, status, attempts,"
+                    "  created_at, updated_at)"
+                    " VALUES (?, ?, ?, ?, ?, 'queued', 0, ?, ?)",
+                    (
+                        job_id,
+                        normalised.name,
+                        normalised.fingerprint(),
+                        canonical_spec_json(data),
+                        json.dumps(seed_list),
+                        now,
+                        now,
+                    ),
+                )
+        except sqlite3.IntegrityError as exc:
+            raise ValueError(f"job id already in ledger: {job_id}") from exc
+        entry = self.get(job_id)
+        assert entry is not None
+        return entry
+
+    def remove(self, job_id: str) -> bool:
+        """Delete a ledger row (submit rollback); True if it existed."""
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.execute("DELETE FROM jobs WHERE id=?", (job_id,))
+            return conn.total_changes - before > 0
+
+    def set_status(
+        self,
+        job_id: str,
+        status: str,
+        *,
+        attempts: "int | None" = None,
+        error_code: "str | None" = None,
+        error_message: "str | None" = None,
+    ) -> None:
+        """Record a status transition (its own committed transaction).
+
+        ``attempts`` overwrites the attempt counter when given;
+        ``error_code``/``error_message`` are written as-is (pass values
+        from :class:`repro.service.errors.ErrorCode`).  Raises
+        ``KeyError`` for an unknown job id.
+        """
+        if status not in _STATUSES:
+            raise ValueError(f"unknown job status: {status!r}")
+        sets = ["status=?", "updated_at=?"]
+        params: list = [status, time.time()]
+        if attempts is not None:
+            sets.append("attempts=?")
+            params.append(int(attempts))
+        if error_code is not None or status in ("done", "queued", "running"):
+            # Terminal failures set a code; any forward transition
+            # clears stale error fields from a prior failed attempt.
+            sets.append("error_code=?")
+            sets.append("error_message=?")
+            params.extend([error_code, error_message])
+        params.append(job_id)
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE id=?", params
+            )
+            if conn.total_changes - before == 0:
+                raise KeyError(f"no such job in ledger: {job_id}")
+
+    # -- reading --------------------------------------------------------
+    def get(self, job_id: str) -> LedgerEntry | None:
+        """Look one job up by id, or ``None``."""
+        with self._connect() as conn:
+            row = conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE id=?", (job_id,)
+            ).fetchone()
+        return _decode_row(row) if row is not None else None
+
+    def jobs(self, status: "str | None" = None) -> list[LedgerEntry]:
+        """All ledger entries in submission order, optionally filtered."""
+        sql = f"SELECT {_COLUMNS} FROM jobs"
+        params: Sequence = ()
+        if status is not None:
+            if status not in _STATUSES:
+                raise ValueError(f"unknown job status: {status!r}")
+            sql += " WHERE status=?"
+            params = (status,)
+        sql += " ORDER BY seq"
+        with self._connect() as conn:
+            rows = conn.execute(sql, params).fetchall()
+        return [_decode_row(row) for row in rows]
+
+    def recoverable(self) -> list[LedgerEntry]:
+        """Jobs that were accepted but never finished, submission order."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT {_COLUMNS} FROM jobs"
+                f" WHERE status IN ({','.join('?' * len(_RECOVERABLE))})"
+                " ORDER BY seq",
+                _RECOVERABLE,
+            ).fetchall()
+        return [_decode_row(row) for row in rows]
+
+    def backlog(self) -> dict[str, int]:
+        """Per-status row counts (the readiness endpoint's backlog view)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT status, COUNT(*) FROM jobs GROUP BY status"
+            ).fetchall()
+        counts = {status: 0 for status in _STATUSES}
+        counts.update(dict(rows))
+        return counts
+
+    def count(self) -> int:
+        """Total ledger rows."""
+        with self._connect() as conn:
+            (n,) = conn.execute("SELECT COUNT(*) FROM jobs").fetchone()
+        return n
+
+    def next_job_number(self) -> int:
+        """First free number for the service's ``j<N>`` id sequence.
+
+        Scans existing ids of that shape so a recovered service keeps
+        counting where the dead one stopped (no id reuse, ever).
+        """
+        with self._connect() as conn:
+            rows = conn.execute("SELECT id FROM jobs").fetchall()
+        highest = 0
+        for (job_id,) in rows:
+            match = re.fullmatch(r"j(\d+)", job_id)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return highest + 1

@@ -20,6 +20,7 @@ def serial_reference(spec, seeds):
         max_steps=built.max_steps,
         delta=built.delta,
         faults=built.faults,
+        strict_invariants=built.strict_invariants,
     )
 
 

@@ -1,0 +1,283 @@
+"""The resilient HTTP client: retries, backoff, breaker, wait deadline.
+
+Stub ``BaseHTTPRequestHandler`` servers simulate the failure modes
+(5xx bursts, refused connections, a job that never finishes) so every
+behaviour is pinned without a real job service in the loop.
+"""
+
+import json
+import random
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import (
+    CircuitBreaker,
+    CircuitOpen,
+    ErrorCode,
+    JobTimeout,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    get_json,
+    wait_for_job,
+)
+
+#: Fast schedule shared by the tests: generous retry count, tiny sleeps.
+FAST = RetryPolicy(
+    connect_timeout=2.0, read_timeout=5.0, retries=4, backoff=0.01,
+    backoff_cap=0.05, seed=7,
+)
+
+
+class _Script(ThreadingHTTPServer):
+    """Serves a scripted list of (status, payload) replies, then 200s."""
+
+    daemon_threads = True
+
+    def __init__(self, replies, port=0):
+        self.replies = list(replies)
+        self.requests = []  # (method, path) log
+        self._lock = threading.Lock()
+        super().__init__(("127.0.0.1", port), _ScriptHandler)
+
+    @classmethod
+    def on_port(cls, replies, port):
+        return cls(replies, port=port)
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _ScriptHandler(BaseHTTPRequestHandler):
+    server: _Script
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    def _serve(self):
+        with self.server._lock:
+            self.server.requests.append((self.command, self.path))
+            if self.server.replies:
+                status, payload = self.server.replies.pop(0)
+            else:
+                status, payload = 200, {"ok": True}
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _serve
+    do_POST = _serve
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def factory(replies):
+        server = _Script(replies)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestRetries:
+    def test_get_retries_transient_5xx_to_success(self, scripted):
+        server = scripted(
+            [(500, {"error": "x"}), (503, {"error": "y"})]
+        )
+        client = ServiceClient(server.url, policy=FAST)
+        assert client.get("/anything")["ok"] is True
+        assert len(server.requests) == 3
+
+    def test_get_gives_up_after_retry_budget(self, scripted):
+        server = scripted([(500, {"error": "x"})] * 10)
+        client = ServiceClient(
+            server.url, policy=RetryPolicy(retries=2, backoff=0.01, seed=1)
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.get("/anything")
+        assert excinfo.value.status == 500
+        assert len(server.requests) == 3  # initial try + 2 retries
+
+    def test_post_is_never_retried_on_5xx(self, scripted):
+        server = scripted([(500, {"error": "x"})] * 10)
+        client = ServiceClient(server.url, policy=FAST)
+        with pytest.raises(ServiceError):
+            client.post("/jobs", {"spec": {}})
+        assert len(server.requests) == 1  # a retry could double-submit
+
+    def test_non_retryable_status_fails_immediately(self, scripted):
+        server = scripted([(404, {"error": "gone", "code": "not-found"})])
+        client = ServiceClient(server.url, policy=FAST)
+        with pytest.raises(ServiceError) as excinfo:
+            client.get("/jobs/j9")
+        assert len(server.requests) == 1
+        # The structured code from the error body survives the trip.
+        assert excinfo.value.code == ErrorCode.NOT_FOUND.value
+
+    def test_client_survives_transiently_unreachable_server(self):
+        # Nothing listens yet; the server comes up mid retry-schedule.
+        port = _free_port()
+        server_box = []
+
+        def come_up_late():
+            time.sleep(0.4)
+            server = _Script.on_port([], port)
+            server_box.append(server)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+
+        try:
+            threading.Thread(target=come_up_late, daemon=True).start()
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                policy=RetryPolicy(
+                    retries=8, backoff=0.1, backoff_cap=0.2, seed=3
+                ),
+            )
+            assert client.get("/healthz")["ok"] is True
+        finally:
+            for server in server_box:
+                server.shutdown()
+                server.server_close()
+
+    def test_unreachable_after_budget_raises_tagged_connection_error(self):
+        client = ServiceClient(
+            f"http://127.0.0.1:{_free_port()}",
+            policy=RetryPolicy(retries=1, backoff=0.01, seed=1),
+        )
+        with pytest.raises(ConnectionError, match=str(ErrorCode.UNREACHABLE)):
+            client.get("/healthz")
+
+
+class TestBackoffSchedule:
+    def test_seeded_jitter_is_deterministic(self):
+        policy = RetryPolicy(seed=42)
+        a = [policy.delay(i, random.Random(42)) for i in (1, 2, 3)]
+        rng = random.Random(42)
+        b = [policy.delay(i, rng) for i in (1, 2, 3)]
+        assert a[0] == b[0]  # same seed, same first draw
+        two = [
+            RetryPolicy(seed=9).delay(2, random.Random(9)) for _ in range(2)
+        ]
+        assert two[0] == two[1]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff=0.2, backoff_cap=1.0, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(i, rng) for i in (1, 2, 3, 4, 5)]
+        assert delays == [0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_jitter_stays_bounded(self):
+        policy = RetryPolicy(backoff=0.2, backoff_cap=1.0, jitter=0.25, seed=5)
+        rng = random.Random(5)
+        for attempt in range(1, 8):
+            base = min(0.2 * 2 ** (attempt - 1), 1.0)
+            assert base * 0.75 <= policy.delay(attempt, rng) <= base * 1.25
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        port = _free_port()  # nothing listens: every call fails
+        breaker = CircuitBreaker(failure_threshold=2, reset_after=60.0)
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            policy=RetryPolicy(retries=0, backoff=0.01, seed=1),
+            breaker=breaker,
+        )
+        for _ in range(2):
+            with pytest.raises(ConnectionError):
+                client.get("/healthz")
+        assert breaker.open
+        started = time.monotonic()
+        with pytest.raises(CircuitOpen) as excinfo:
+            client.get("/healthz")
+        assert time.monotonic() - started < 0.5  # no network, no retries
+        assert excinfo.value.failures == 2
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_half_open_trial_closes_on_success(self, scripted):
+        server = scripted([])
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=0.1)
+        client = ServiceClient(
+            server.url,
+            policy=RetryPolicy(retries=0, backoff=0.01, seed=1),
+            breaker=breaker,
+        )
+        breaker.record_failure()  # trip it
+        assert breaker.open
+        with pytest.raises(CircuitOpen):
+            client.get("/healthz")
+        time.sleep(0.15)  # past reset_after: one trial call goes through
+        assert client.get("/healthz")["ok"] is True
+        assert not breaker.open
+        assert breaker.failures == 0
+
+    def test_4xx_counts_as_breaker_success(self, scripted):
+        server = scripted([(404, {"error": "x", "code": "not-found"})] * 3)
+        breaker = CircuitBreaker(failure_threshold=1)
+        client = ServiceClient(server.url, policy=FAST, breaker=breaker)
+        with pytest.raises(ServiceError):
+            client.get("/jobs/j9")
+        assert not breaker.open  # the server answered; transport is fine
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestWaitForJob:
+    def test_wait_times_out_with_typed_exception(self, scripted):
+        forever = {"id": "j1", "status": "queued", "done": 0, "total": 1}
+        server = scripted([(200, forever)] * 1000)
+        client = ServiceClient(server.url, policy=FAST)
+        started = time.monotonic()
+        with pytest.raises(JobTimeout) as excinfo:
+            client.wait("j1", timeout=0.5, poll=0.05, poll_cap=0.2)
+        elapsed = time.monotonic() - started
+        assert 0.4 <= elapsed < 5.0
+        assert excinfo.value.job_id == "j1"
+        assert excinfo.value.last_status == "queued"
+        assert isinstance(excinfo.value, TimeoutError)  # CLI catches this
+
+    def test_wait_backs_off_instead_of_hammering(self, scripted):
+        forever = {"id": "j1", "status": "running", "done": 0, "total": 1}
+        server = scripted([(200, forever)] * 1000)
+        client = ServiceClient(
+            server.url, policy=RetryPolicy(jitter=0.0, seed=1)
+        )
+        with pytest.raises(JobTimeout):
+            client.wait("j1", timeout=1.5, poll=0.1, poll_cap=10.0)
+        # Doubling from 0.1 s: polls at 0, .1, .3, .7, 1.5 → ~5 requests;
+        # fixed-interval polling at 0.1 s would need ~15.
+        assert len(server.requests) <= 7
+
+    def test_module_helper_delegates(self, scripted):
+        done = {"id": "j1", "status": "done", "done": 1, "total": 1}
+        server = scripted([(200, done)])
+        result = wait_for_job(server.url, "j1", timeout=5.0, policy=FAST)
+        assert result["status"] == "done"
+
+    def test_get_json_helper_retries_too(self, scripted):
+        server = scripted([(502, {"error": "x"})])
+        assert get_json(f"{server.url}/x", policy=FAST)["ok"] is True
+        assert len(server.requests) == 2

@@ -1,0 +1,154 @@
+"""Unit tests for the durable job ledger (:mod:`repro.store.ledger`)."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.analysis import ScenarioSpec
+from repro.store import LEDGER_VERSION, JobLedger
+
+from .conftest import small_spec
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return JobLedger(tmp_path / "jobs.ledger")
+
+
+def test_append_get_roundtrip(ledger):
+    spec = small_spec()
+    entry = ledger.append("j1", spec, [3, 1, 2])
+    assert entry.id == "j1"
+    assert entry.status == "queued"
+    assert entry.attempts == 0
+    assert entry.error_code is None
+    assert entry.seeds == (3, 1, 2)
+    canonical = ScenarioSpec.from_dict(spec)
+    assert entry.spec == canonical.to_dict()
+    assert entry.fingerprint == canonical.fingerprint()
+    assert entry.name == canonical.name
+    assert ledger.get("j1") == entry
+    assert ledger.get("j999") is None
+
+
+def test_append_accepts_spec_instances_and_dicts(ledger):
+    spec = small_spec()
+    a = ledger.append("j1", spec, [1])
+    b = ledger.append("j2", ScenarioSpec.from_dict(spec), [1])
+    assert a.spec == b.spec
+    assert a.fingerprint == b.fingerprint
+
+
+def test_duplicate_id_rejected(ledger):
+    ledger.append("j1", small_spec(), [1])
+    with pytest.raises(ValueError, match="already in ledger"):
+        ledger.append("j1", small_spec(), [2])
+
+
+def test_status_transitions_and_error_fields(ledger):
+    ledger.append("j1", small_spec(), [1, 2])
+    ledger.set_status("j1", "running", attempts=1)
+    entry = ledger.get("j1")
+    assert (entry.status, entry.attempts) == ("running", 1)
+
+    ledger.set_status(
+        "j1", "failed", attempts=1, error_code="exec-error",
+        error_message="boom",
+    )
+    entry = ledger.get("j1")
+    assert entry.status == "failed"
+    assert entry.error_code == "exec-error"
+    assert entry.error_message == "boom"
+
+    # A forward transition (re-dispatch) clears the stale error fields.
+    ledger.set_status("j1", "running", attempts=2)
+    entry = ledger.get("j1")
+    assert entry.error_code is None
+    assert entry.error_message is None
+
+    ledger.set_status("j1", "done")
+    assert ledger.get("j1").status == "done"
+    assert ledger.get("j1").attempts == 2  # untouched when not passed
+
+
+def test_set_status_validates_input(ledger):
+    ledger.append("j1", small_spec(), [1])
+    with pytest.raises(KeyError):
+        ledger.set_status("j42", "done")
+    with pytest.raises(ValueError, match="unknown job status"):
+        ledger.set_status("j1", "exploded")
+    with pytest.raises(ValueError, match="unknown job status"):
+        ledger.jobs(status="exploded")
+
+
+def test_listing_filters_and_preserves_submission_order(ledger):
+    for i in (1, 2, 3):
+        ledger.append(f"j{i}", small_spec(), [i])
+    ledger.set_status("j2", "done")
+    assert [e.id for e in ledger.jobs()] == ["j1", "j2", "j3"]
+    assert [e.id for e in ledger.jobs(status="queued")] == ["j1", "j3"]
+    assert [e.id for e in ledger.jobs(status="done")] == ["j2"]
+    assert ledger.count() == 3
+
+
+def test_recoverable_and_backlog(ledger):
+    for i in (1, 2, 3, 4):
+        ledger.append(f"j{i}", small_spec(), [i])
+    ledger.set_status("j1", "done")
+    ledger.set_status("j2", "running", attempts=1)
+    ledger.set_status("j3", "failed", error_code="attempts-exhausted")
+    assert [e.id for e in ledger.recoverable()] == ["j2", "j4"]
+    assert ledger.backlog() == {
+        "queued": 1,
+        "running": 1,
+        "done": 1,
+        "failed": 1,
+    }
+    empty = JobLedger(ledger.path.parent / "empty.ledger")
+    assert empty.backlog() == {
+        "queued": 0,
+        "running": 0,
+        "done": 0,
+        "failed": 0,
+    }
+
+
+def test_remove(ledger):
+    ledger.append("j1", small_spec(), [1])
+    assert ledger.remove("j1") is True
+    assert ledger.get("j1") is None
+    assert ledger.remove("j1") is False
+
+
+def test_next_job_number(ledger):
+    assert ledger.next_job_number() == 1
+    ledger.append("j1", small_spec(), [1])
+    ledger.append("j7", small_spec(), [1])
+    ledger.append("custom-id", small_spec(), [1])  # ignored by the scan
+    assert ledger.next_job_number() == 8
+
+
+def test_stored_spec_is_canonical_json(ledger):
+    # The on-disk spec column must be the canonical (key-sorted) JSON so
+    # fingerprints recomputed from disk match the stored one.
+    ledger.append("j1", small_spec(), [1])
+    with sqlite3.connect(ledger.path) as conn:
+        (spec_json,) = conn.execute(
+            "SELECT spec FROM jobs WHERE id='j1'"
+        ).fetchone()
+    data = json.loads(spec_json)
+    assert spec_json == json.dumps(data, sort_keys=True, default=list)
+
+
+def test_reopen_keeps_rows_and_checks_version(tmp_path):
+    path = tmp_path / "jobs.ledger"
+    JobLedger(path).append("j1", small_spec(), [1])
+    assert JobLedger(path).get("j1").id == "j1"  # reopen sees the row
+    with sqlite3.connect(path) as conn:
+        conn.execute(
+            "UPDATE meta SET value=? WHERE key='ledger_version'",
+            (str(LEDGER_VERSION + 1),),
+        )
+    with pytest.raises(ValueError, match="layout version"):
+        JobLedger(path)

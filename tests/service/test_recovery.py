@@ -1,0 +1,208 @@
+"""Crash recovery through the durable job ledger.
+
+Real ``python -m repro serve`` subprocesses, murdered (SIGKILL) or
+drained (SIGTERM) mid-campaign, then restarted with ``--recover`` on
+the same store + ledger.  The contract under test is the tentpole
+guarantee: an interrupted job is picked up *by job id* on restart and
+completes with zero re-execution of store-committed seeds.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis import ScenarioSpec
+from repro.service import submit_job, wait_for_job
+from repro.store import ExperimentStore, JobLedger
+
+from ..analysis.records import assert_records_equal, serial_reference
+
+SEEDS = list(range(10))
+
+
+def _spec_dict(attempts_log, name="recover-scn", seeds=SEEDS, pace=0.25):
+    # hang_seeds paces every seed, so a signal reliably lands mid-batch
+    # with several seeds committed and several not.
+    return {
+        "name": name,
+        "algorithm": "form-pattern",
+        "scheduler": "round-robin",
+        "initial": [
+            "faulty-random",
+            {
+                "n": 5,
+                "attempts_log": str(attempts_log),
+                "hang_seeds": list(seeds),
+                "hang_time": pace,
+            },
+        ],
+        "pattern": ["polygon", {"n": 5}],
+        "max_steps": 5_000,
+        "delta": 1e-3,
+    }
+
+
+def _attempts(path):
+    if not path.exists():
+        return []
+    return [int(line) for line in path.read_text().split()]
+
+
+def _start_server(store, ledger, *, recover=False):
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--store",
+        str(store),
+        "--ledger",
+        str(ledger),
+        "--port",
+        "0",
+        "--workers",
+        "1",
+    ]
+    if recover:
+        argv.append("--recover")
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"http://[^:]+:(\d+)", banner)
+    assert match, f"no service banner, got {banner!r}"
+    return proc, f"http://127.0.0.1:{match.group(1)}"
+
+
+def test_sigkill_then_recover_completes_the_original_job(tmp_path):
+    store_path = tmp_path / "store.sqlite"
+    ledger_path = tmp_path / "jobs.ledger"
+    attempts_log = tmp_path / "attempts.log"
+    spec_data = _spec_dict(attempts_log)
+    spec = ScenarioSpec.from_dict(spec_data)
+
+    proc, base = _start_server(store_path, ledger_path)
+    try:
+        job = submit_job(base, spec_data, SEEDS)
+        assert job["id"] == "j1"
+        store = ExperimentStore(store_path)
+        deadline = time.monotonic() + 60.0
+        while store.count() < 2:
+            assert time.monotonic() < deadline, "no seed committed in time"
+            assert proc.poll() is None, "service died on its own"
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    committed = ExperimentStore(store_path).seeds(spec)
+    assert committed, "kill landed before any commit"
+    for seed in committed:
+        assert _attempts(attempts_log).count(seed) == 1
+    # The murdered service left the job mid-flight in the ledger.
+    entry = JobLedger(ledger_path).get("j1")
+    assert entry.status == "running"
+    assert entry.seeds == tuple(SEEDS)
+
+    # Restart with --recover: the job is re-enqueued by id, NOT
+    # resubmitted by the client.
+    proc, base = _start_server(store_path, ledger_path, recover=True)
+    try:
+        final = wait_for_job(base, "j1", timeout=120.0)
+        # A brand-new submission keeps counting past the recovered id.
+        fresh = submit_job(
+            base, _spec_dict(tmp_path / "other.log", name="fresh"), [0]
+        )
+        assert fresh["id"] == "j2"
+        wait_for_job(base, "j2", timeout=60.0)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    assert final["status"] == "done"
+    assert (final["done"], final["total"]) == (len(SEEDS), len(SEEDS))
+    # Zero re-execution of committed seeds: the recovered pass served
+    # them from the store...
+    assert final["hits"] >= len(committed)
+    for seed in committed:
+        assert _attempts(attempts_log).count(seed) == 1
+    # ...and at most the one in-flight seed ran twice.
+    rerun = [s for s in SEEDS if _attempts(attempts_log).count(s) > 1]
+    assert len(rerun) <= 1, rerun
+
+    entry = JobLedger(ledger_path).get("j1")
+    assert (entry.status, entry.error_code) == ("done", None)
+
+    # The recovered store equals an uninterrupted run bit-for-bit.
+    stored = ExperimentStore(store_path).aggregate(spec)
+    assert [r.seed for r in stored.runs] == SEEDS
+    reference = serial_reference(
+        ScenarioSpec.from_dict(_spec_dict(tmp_path / "ref.log")), SEEDS
+    )
+    assert_records_equal(stored.runs, reference.runs)
+
+
+def test_sigterm_drain_leaves_queued_jobs_recoverable(tmp_path):
+    store_path = tmp_path / "store.sqlite"
+    ledger_path = tmp_path / "jobs.ledger"
+    slow_spec = _spec_dict(
+        tmp_path / "slow.log", name="drain-slow", seeds=range(6), pace=0.3
+    )
+    fast_b = _spec_dict(tmp_path / "b.log", name="drain-b", seeds=[0], pace=0)
+    fast_c = _spec_dict(tmp_path / "c.log", name="drain-c", seeds=[0], pace=0)
+
+    proc, base = _start_server(store_path, ledger_path)
+    try:
+        submit_job(base, slow_spec, list(range(6)))  # j1, runs ~1.8 s
+        submit_job(base, fast_b, [0])  # j2, stays queued behind j1
+        submit_job(base, fast_c, [0])  # j3
+        # Let j1 actually start before draining.
+        store = ExperimentStore(store_path)
+        deadline = time.monotonic() + 60.0
+        while store.count() < 1:
+            assert time.monotonic() < deadline, "j1 never started"
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "drained; store is consistent" in out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    # The drain finished the running job and left the queued ones
+    # durable and untouched.
+    ledger = JobLedger(ledger_path)
+    assert ledger.get("j1").status == "done"
+    for job_id, spec_data in (("j2", fast_b), ("j3", fast_c)):
+        entry = ledger.get(job_id)
+        assert entry.status == "queued", job_id
+        assert entry.attempts == 0
+        assert entry.spec == ScenarioSpec.from_dict(spec_data).to_dict()
+        assert entry.seeds == (0,)
+    assert not (tmp_path / "b.log").exists()  # j2 never executed
+
+    # The next --recover run picks them up verbatim and completes them.
+    proc, base = _start_server(store_path, ledger_path, recover=True)
+    try:
+        assert wait_for_job(base, "j2", timeout=60.0)["status"] == "done"
+        assert wait_for_job(base, "j3", timeout=60.0)["status"] == "done"
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    assert _attempts(tmp_path / "b.log") == [0]
+    assert _attempts(tmp_path / "c.log") == [0]

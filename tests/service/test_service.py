@@ -178,3 +178,79 @@ class TestJobServiceDirect:
     def test_bad_max_queue_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="max_queue"):
             JobService(str(tmp_path / "s.sqlite"), max_queue=0)
+
+
+class TestHealthAndErrorTaxonomy:
+    def test_readyz_reports_ready(self, service_factory, tmp_path):
+        _, base = service_factory(
+            store_name="ready.sqlite", ledger=str(tmp_path / "r.ledger")
+        )
+        info = get_json(f"{base}/readyz")
+        assert info["ready"] is True and info["draining"] is False
+        assert info["ledger"]["backlog"] == {
+            "queued": 0, "running": 0, "done": 0, "failed": 0,
+        }
+
+    def test_readyz_503_while_draining_liveness_stays_200(
+        self, service_factory
+    ):
+        service, base = service_factory(store_name="drain.sqlite")
+        service.stop(wait=True)
+        assert get_json(f"{base}/healthz")["ok"] is True  # still alive
+        with pytest.raises(ServiceError) as excinfo:
+            get_json(f"{base}/readyz")
+        assert excinfo.value.status == 503
+
+    def test_error_codes_on_the_wire(self, service_factory):
+        service, base = service_factory(
+            store_name="codes.sqlite", max_queue=1, auto_start=False
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            get_json(f"{base}/jobs/j404")
+        assert excinfo.value.code == "not-found"
+        with pytest.raises(ServiceError) as excinfo:
+            post_json(
+                f"{base}/jobs",
+                {"spec": {"name": "x", "bogus_field": 1}, "seeds": [1]},
+            )
+        assert excinfo.value.code == "spec-invalid"
+        submit_job(base, small_spec(), [0])
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, small_spec(), [1])
+        assert excinfo.value.code == "queue-full"
+        service.start()
+
+    def test_shutting_down_code_on_submit(self, service_factory):
+        service, base = service_factory(store_name="down.sqlite")
+        service.stop(wait=True)
+        with pytest.raises(ServiceError) as excinfo:
+            submit_job(base, small_spec(), [0])
+        assert (excinfo.value.status, excinfo.value.code) == (
+            503, "shutting-down",
+        )
+
+
+class TestLedgerFallbackLookup:
+    def test_finished_job_answerable_after_restart(
+        self, service_factory, tmp_path
+    ):
+        ledger = str(tmp_path / "shared.ledger")
+        service_a, base_a = service_factory(
+            store_name="shared.sqlite", ledger=ledger
+        )
+        first = wait_for_job(
+            base_a, submit_job(base_a, small_spec(), range(3))["id"]
+        )
+        assert first["status"] == "done"
+        service_a.stop(wait=True)
+
+        # A fresh service on the same store + ledger has never seen j1
+        # in memory, yet still answers for it.
+        _, base_b = service_factory(
+            store_name="shared.sqlite", ledger=ledger
+        )
+        snapshot = get_json(f"{base_b}/jobs/{first['id']}")
+        assert snapshot["status"] == "done"
+        assert (snapshot["done"], snapshot["total"]) == (3, 3)
+        assert snapshot["hits"] is None and snapshot["misses"] is None
+        assert snapshot["aggregate"] == first["aggregate"]

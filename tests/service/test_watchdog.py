@@ -1,0 +1,166 @@
+"""Dispatcher watchdog: job budgets, re-dispatch, terminal failure."""
+
+import time
+
+import pytest
+
+from repro.analysis import register_initial
+from repro.patterns.library import random_configuration
+from repro.service import ErrorCode, JobService
+from repro.store import JobLedger
+
+from .conftest import small_spec
+
+
+def _hang_first_attempt(seed, n, log, hang_seed=0, hang_time=120.0):
+    """Hangs ``hang_seed``'s first execution, runs normally after.
+
+    ``log`` gets one appended line per execution (the same side-channel
+    scheme as ``faulty-random``), and doubles as the attempt counter.
+    """
+    with open(log, "a", encoding="utf-8") as fh:
+        fh.write(f"{seed}\n")
+    with open(log, encoding="utf-8") as fh:
+        executions = sum(1 for line in fh if line.strip() == str(seed))
+    if seed == hang_seed and executions == 1:
+        time.sleep(hang_time)
+    return random_configuration(n, seed=seed)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _test_components():
+    # Registered per-module (and unregistered again) so the test-only
+    # builder never leaks into the registry-coverage checks of
+    # tests/analysis/test_fingerprint.py.
+    from repro.analysis.scenarios import INITIAL_BUILDERS
+
+    register_initial("hang-first-attempt")(_hang_first_attempt)
+    yield
+    INITIAL_BUILDERS.pop("hang-first-attempt", None)
+
+
+def _wait_terminal(job, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while job.status not in ("done", "failed"):
+        assert time.monotonic() < deadline, f"job stuck in {job.status}"
+        time.sleep(0.02)
+    return job
+
+
+def _ledger_entry(ledger_path, job_id, timeout=10.0):
+    """The job's ledger row once it has gone terminal.
+
+    The in-memory status flips just before the ledger transaction
+    commits, so an observer racing the dispatcher polls briefly.
+    """
+    ledger = JobLedger(ledger_path)
+    deadline = time.monotonic() + timeout
+    while True:
+        entry = ledger.get(job_id)
+        if entry.status in ("done", "failed") or time.monotonic() > deadline:
+            return entry
+        time.sleep(0.02)
+
+
+def _hang_spec(attempts_log, hang_time=120.0):
+    return small_spec(
+        initial=[
+            "faulty-random",
+            {
+                "n": 5,
+                "hang_seeds": [0],
+                "hang_time": hang_time,
+                "attempts_log": str(attempts_log),
+            },
+        ],
+    )
+
+
+def test_hung_job_exhausts_attempts_and_fails(tmp_path):
+    ledger_path = tmp_path / "jobs.ledger"
+    service = JobService(
+        str(tmp_path / "store.sqlite"),
+        workers=1,
+        ledger=str(ledger_path),
+        job_budget=0.3,
+        max_attempts=2,
+    )
+    try:
+        job = service.submit(_hang_spec(tmp_path / "attempts.log"), [0])
+        _wait_terminal(job)
+        assert job.status == "failed"
+        assert job.attempts == 2
+        assert job.error_code == ErrorCode.ATTEMPTS_EXHAUSTED.value
+        assert "job budget" in job.error
+
+        entry = _ledger_entry(ledger_path, job.id)
+        assert entry.status == "failed"
+        assert entry.attempts == 2
+        assert entry.error_code == ErrorCode.ATTEMPTS_EXHAUSTED.value
+    finally:
+        service.stop(wait=True, timeout=30)
+
+
+def test_transient_hang_recovers_on_redispatch(tmp_path):
+    log = tmp_path / "attempts.log"
+    ledger_path = tmp_path / "jobs.ledger"
+    service = JobService(
+        str(tmp_path / "store.sqlite"),
+        workers=1,
+        ledger=str(ledger_path),
+        job_budget=2.0,
+        max_attempts=3,
+    )
+    try:
+        spec = small_spec(
+            initial=["hang-first-attempt", {"n": 5, "log": str(log)}]
+        )
+        job = service.submit(spec, [0, 1])
+        _wait_terminal(job)
+        assert job.status == "done"
+        assert job.attempts == 2  # one hung attempt + one clean one
+        assert job.error is None and job.error_code is None
+        assert len(job.records) == 2  # no duplicates across attempts
+
+        entry = _ledger_entry(ledger_path, job.id)
+        assert (entry.status, entry.attempts) == ("done", 2)
+        assert entry.error_code is None
+    finally:
+        service.stop(wait=True, timeout=30)
+
+
+def test_execution_error_carries_exec_error_code(tmp_path):
+    ledger_path = tmp_path / "jobs.ledger"
+    service = JobService(
+        str(tmp_path / "store.sqlite"), workers=1, ledger=str(ledger_path)
+    )
+    try:
+        job = service.submit(small_spec(algorithm="no-such-algorithm"), [0])
+        _wait_terminal(job)
+        assert job.status == "failed"
+        assert job.error_code == ErrorCode.EXEC_ERROR.value
+        assert "no-such-algorithm" in job.error
+        assert _ledger_entry(ledger_path, job.id).error_code == (
+            ErrorCode.EXEC_ERROR.value
+        )
+    finally:
+        service.stop(wait=True, timeout=30)
+
+
+def test_no_budget_means_no_watchdog(tmp_path):
+    service = JobService(str(tmp_path / "store.sqlite"), workers=1)
+    try:
+        job = service.submit(small_spec(), [0])
+        _wait_terminal(job)
+        assert (job.status, job.attempts) == ("done", 1)
+    finally:
+        service.stop(wait=True, timeout=30)
+
+
+def test_watchdog_parameters_validated(tmp_path):
+    with pytest.raises(ValueError, match="job_budget"):
+        JobService(str(tmp_path / "s.sqlite"), job_budget=0.0)
+    with pytest.raises(ValueError, match="max_attempts"):
+        JobService(str(tmp_path / "s.sqlite"), max_attempts=0)
+    with pytest.raises(ValueError, match="requires a ledger"):
+        JobService(str(tmp_path / "s.sqlite"), recover=True)

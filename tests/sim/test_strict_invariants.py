@@ -1,0 +1,247 @@
+"""The engine's opt-in strict-invariant mode.
+
+``Simulation(strict_invariants=True)`` verifies two safety properties
+after every applied Move:
+
+* no multiplicity point is created (a robot never lands on another);
+* with faults disabled, a finished move covered at least
+  ``min(delta, path length)``.
+
+A breach raises a structured :class:`InvariantViolation`, which the run
+loop converts into a ``reason="invariant: ..."`` outcome — surfaced as
+the distinct :attr:`RunReason.INVARIANT` instead of a silently wrong
+result.  The violating run here is produced by a deliberately hostile
+fault plan whose ``truncate_move`` parks a robot exactly on top of
+another one (something the stock models can never do: the engine
+re-floors adversarial truncation at δ, and δ ≪ the robot spacing).
+"""
+
+import pytest
+
+from repro.analysis import (
+    BatchConfig,
+    RunReason,
+    ScenarioSpec,
+    run,
+    register_algorithm,
+    register_initial,
+)
+from repro.faults.models import FaultPlan
+from repro.geometry import Vec2
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import InvariantViolation, Simulation, global_frames
+from repro.sim.paths import Path
+
+from ..analysis.records import assert_records_equal, serial_reference
+
+# Three robots: (0,0), (2,0), (0,3).  Exactly one robot sees the other
+# two at distance ratio far/near == 1.5 — the mover.  All decisions are
+# made on distances within the snapshot, so the algorithm is covariant
+# under any similarity frame (probe frames included).
+_RATIO = 1.5
+_POINTS = (Vec2(0.0, 0.0), Vec2(2.0, 0.0), Vec2(0.0, 3.0))
+
+
+class _RatioMover:
+    """Moves the ratio-1.5 robot along the line towards its nearest
+    neighbour, overshooting it by ``factor`` of the separation."""
+
+    requires_multiplicity_detection = False
+    target_pattern = None
+
+    def __init__(self, factor: float):
+        self.factor = factor
+        self.name = f"ratio-mover-{factor}"
+
+    def compute(self, snapshot, ctx):
+        others = snapshot.others()
+        if len(others) != 2:
+            return None
+        near, far = sorted(others, key=lambda p: (p - snapshot.me).norm())
+        d_near = (near - snapshot.me).norm()
+        d_far = (far - snapshot.me).norm()
+        if d_near <= 0 or abs(d_far / d_near - _RATIO) > 1e-9:
+            return None
+        end = snapshot.me + (near - snapshot.me) * self.factor
+        return Path.line(snapshot.me, end)
+
+
+class _StopOnTop:
+    """Test double for BoundFaults: ends any move at path length 2.0 —
+    exactly the position of the robot at (2, 0)."""
+
+    def tick(self, sim):
+        pass
+
+    def observe(self, robot_id, points):
+        return points
+
+    def truncate_move(self, delta, progress, total, new_progress, finishing):
+        return min(2.0, total), True
+
+
+class _StopOnTopPlan(FaultPlan):
+    """A deliberately violating fault plan (not expressible as a spec:
+    the stock truncation model is re-floored at δ by the engine)."""
+
+    def is_empty(self) -> bool:
+        return False
+
+    def bind(self, n: int, seed: int) -> _StopOnTop:
+        return _StopOnTop()
+
+
+def _sim(**kwargs) -> Simulation:
+    kwargs.setdefault("frame_policy", global_frames())
+    kwargs.setdefault("max_steps", 200)
+    return Simulation(
+        list(_POINTS),
+        kwargs.pop("algorithm", _RatioMover(factor=1.5)),
+        RoundRobinScheduler(),
+        seed=0,
+        **kwargs,
+    )
+
+
+def test_violating_fault_plan_trips_multiplicity_invariant():
+    result = _sim(strict_invariants=True, faults=_StopOnTopPlan()).run()
+    assert not result.terminated
+    assert result.reason.startswith("invariant: [multiplicity]")
+    assert RunReason.classify(result.reason) is RunReason.INVARIANT
+
+
+def test_without_strict_mode_the_same_run_is_silently_wrong():
+    # The exact failure mode strict mode exists to surface: the robot is
+    # parked on top of another and the run just carries on.
+    result = _sim(strict_invariants=False, faults=_StopOnTopPlan()).run()
+    assert not result.reason.startswith("invariant")
+    positions = result.final_configuration.points()
+    stacked = [p for p in positions if p.approx_eq(Vec2(2.0, 0.0), 1e-9)]
+    assert len(stacked) == 2
+
+
+def test_clean_run_is_unaffected_by_strict_mode():
+    plain = _sim(strict_invariants=False).run()
+    strict = _sim(strict_invariants=True).run()
+    # factor 1.5 overshoots the neighbour: no multiplicity, both runs
+    # terminate identically.
+    assert plain.terminated and strict.terminated
+    assert plain.reason == strict.reason == "terminal"
+    assert (
+        strict.final_configuration.points()
+        == plain.final_configuration.points()
+    )
+
+
+def test_landing_exactly_on_a_robot_trips_without_any_faults():
+    result = _sim(
+        algorithm=_RatioMover(factor=1.0), strict_invariants=True
+    ).run()
+    assert result.reason.startswith("invariant: [multiplicity]")
+
+
+def test_violation_exception_is_structured():
+    sim = _sim(strict_invariants=True, faults=_StopOnTopPlan())
+    with pytest.raises(InvariantViolation) as info:
+        while True:
+            sim.apply(sim.scheduler.next_action(sim.robots, sim.step_count))
+    assert info.value.kind == "multiplicity"
+    assert info.value.robot_id == 0
+    assert info.value.step == sim.step_count
+    assert isinstance(info.value, AssertionError)  # historical contract
+
+
+def test_delta_floor_tripwire_is_armed():
+    # The δ floor is enforced by construction in _apply_move, so the
+    # check cannot fire through the public surface; verify the tripwire
+    # itself (the guard a future engine regression would hit).
+    sim = _sim(strict_invariants=True, delta=1e-3)
+    robot = sim.robots[0]
+    with pytest.raises(InvariantViolation) as info:
+        sim._check_move_invariants(
+            robot, travelled=1e-4, new_progress=1e-4, total=2.0, finishing=True
+        )
+    assert info.value.kind == "delta"
+    # With faults active the adversary may legitimately stop short.
+    sim_faulty = _sim(strict_invariants=True, faults=_StopOnTopPlan())
+    sim_faulty._check_move_invariants(
+        sim_faulty.robots[0],
+        travelled=1e-4,
+        new_progress=1e-4,
+        total=2.0,
+        finishing=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# spec-level surfacing through the batch facade
+# ----------------------------------------------------------------------
+def _build_collider(pattern):
+    return _RatioMover(factor=1.0)
+
+
+def _build_points(seed):
+    return list(_POINTS)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _test_components():
+    # Registered per-module (and unregistered again) so the test-only
+    # builders never leak into the registry-coverage checks of
+    # tests/analysis/test_fingerprint.py.
+    from repro.analysis.scenarios import ALGORITHM_BUILDERS, INITIAL_BUILDERS
+
+    register_algorithm("strict-test-collider")(_build_collider)
+    register_initial("strict-test-points")(_build_points)
+    yield
+    ALGORITHM_BUILDERS.pop("strict-test-collider", None)
+    INITIAL_BUILDERS.pop("strict-test-points", None)
+
+
+def _collider_spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="strict collider",
+        algorithm="strict-test-collider",
+        scheduler="round-robin",
+        initial="strict-test-points",
+        frame_policy="global",
+        max_steps=200,
+        strict_invariants=True,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def test_facade_surfaces_invariant_as_distinct_run_reason():
+    batch = run(_collider_spec(), [0, 1], BatchConfig(workers=1))
+    assert [r.reason_kind for r in batch.runs] == [RunReason.INVARIANT] * 2
+    assert all(not r.formed and not r.terminated for r in batch.runs)
+    assert batch.reason_counts() == {"invariant": 2}
+
+
+def test_strict_flag_changes_fingerprint_only_when_set():
+    strict = _collider_spec()
+    plain = _collider_spec(strict_invariants=False)
+    assert strict.fingerprint() != plain.fingerprint()
+    assert "strict_invariants" not in plain.to_dict()
+    roundtrip = ScenarioSpec.from_dict(strict.to_dict())
+    assert roundtrip.strict_invariants
+    assert roundtrip.fingerprint() == strict.fingerprint()
+
+
+def test_strict_mode_keeps_stock_workload_records_bit_identical():
+    seeds = [1, 2]
+    base = dict(
+        name="strict stock",
+        algorithm="form-pattern",
+        scheduler="round-robin",
+        initial=("random", {"n": 4}),
+        pattern=("polygon", {"n": 4}),
+        max_steps=20_000,
+    )
+    plain = serial_reference(ScenarioSpec(**base), seeds)
+    strict = serial_reference(
+        ScenarioSpec(**base, strict_invariants=True), seeds
+    )
+    assert all(r.reason == "terminal" for r in strict.runs)
+    assert_records_equal(strict.runs, plain.runs)
