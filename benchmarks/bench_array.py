@@ -1,0 +1,154 @@
+"""Engine A/B benchmark: scalar reference vs numpy-backed array engine.
+
+Measures the wall-clock of an E1-style batch (the four Theorem-2
+scenarios of ``bench_e1_formation.py`` plus a 12-robot star, three
+seeds each, serial) under both execution engines and reports the
+speedup.  The checked-in measurement lives in ``BENCH_array.json`` at
+the repository root.
+
+Methodology (same harness discipline as ``bench_hotpath.py``): each
+measurement is a fresh subprocess (cold caches and kernel state, no
+cross-contamination of process-global memos), one warm-up batch before
+the timed section (imports, numpy initialisation), and the two engines
+are interleaved within each repetition so that host noise hits both
+sides equally.  The headline number is the median of per-rep
+full-batch ratios — robust against a single slow rep on a loaded host —
+alongside the best-of ratio (least-noise estimate).
+
+Run it directly::
+
+    python benchmarks/bench_array.py --reps 5 --json BENCH_array.json
+
+Not a pytest benchmark on purpose: a paired subprocess A/B takes
+minutes and would dwarf the rest of the suite; the differential
+equivalence tests (``tests/fastsim/``) are the correctness gate, this
+script is the performance evidence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+#: One measurement subprocess: run the E1-style batch serially under
+#: the engine named by ``REPRO_ENGINE``, print a JSON blob with the
+#: timed wall-clock.
+_RUN = r"""
+import json, os, sys, time
+from repro.analysis import BatchConfig, ScenarioSpec, run
+
+scenarios = [
+    ("n=7 polygon", ("polygon", {"n": 7}), 7),
+    ("n=7 random", ("random", {"n": 7, "seed": 5}), 7),
+    ("n=9 rings", ("rings", {"counts": [5, 4]}), 9),
+    ("n=10 random", ("random", {"n": 10, "seed": 6}), 10),
+    ("n=12 star", ("star", {"spikes": 6}), 12),
+]
+specs = [
+    ScenarioSpec(
+        name=name,
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": n}),
+        pattern=pattern,
+        max_steps=400_000,
+    )
+    for name, pattern, n in scenarios
+]
+serial = BatchConfig(workers=1)
+run(specs[0], [99], serial)  # warm-up: imports, numpy init
+t0 = time.perf_counter()
+per_scenario = {}
+for spec in specs:
+    s0 = time.perf_counter()
+    run(spec, [0, 1, 2], serial)
+    per_scenario[spec.name] = time.perf_counter() - s0
+wall = time.perf_counter() - t0
+print(json.dumps({
+    "wall_seconds": wall,
+    "per_scenario_seconds": per_scenario,
+    "engine": os.environ.get("REPRO_ENGINE", "scalar"),
+}))
+"""
+
+
+def measure(engine: str) -> dict:
+    """One fresh-process measurement under the named engine."""
+    env = dict(os.environ)
+    env["REPRO_ENGINE"] = engine
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    out = subprocess.run(
+        [sys.executable, "-c", _RUN],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the measurement record to this file",
+    )
+    args = parser.parse_args(argv)
+
+    scalar_times: list[float] = []
+    array_times: list[float] = []
+    per_scenario: dict[str, dict[str, list[float]]] = {}
+    for rep in range(args.reps):
+        scalar = measure("scalar")
+        array = measure("array")
+        assert scalar["engine"] == "scalar" and array["engine"] == "array"
+        scalar_times.append(scalar["wall_seconds"])
+        array_times.append(array["wall_seconds"])
+        for name in scalar["per_scenario_seconds"]:
+            slot = per_scenario.setdefault(name, {"scalar": [], "array": []})
+            slot["scalar"].append(scalar["per_scenario_seconds"][name])
+            slot["array"].append(array["per_scenario_seconds"][name])
+        print(
+            f"rep {rep}: scalar={scalar_times[-1]:.2f}s "
+            f"array={array_times[-1]:.2f}s "
+            f"ratio={scalar_times[-1] / array_times[-1]:.2f}",
+            flush=True,
+        )
+
+    ratios = [s / a for s, a in zip(scalar_times, array_times)]
+    record = {
+        "workload": "E1-style batch: 5 scenarios x 3 seeds, serial",
+        "reps": args.reps,
+        "scalar_seconds": scalar_times,
+        "array_seconds": array_times,
+        "median_ratio": statistics.median(ratios),
+        "best_ratio": min(scalar_times) / min(array_times),
+        "per_scenario_median_ratio": {
+            name: statistics.median(
+                s / a for s, a in zip(slot["scalar"], slot["array"])
+            )
+            for name, slot in per_scenario.items()
+        },
+    }
+    print(f"median scalar / array ratio: {record['median_ratio']:.2f}")
+    print(f"best-of ratio: {record['best_ratio']:.2f}")
+    for name, ratio in record["per_scenario_median_ratio"].items():
+        print(f"  {name:<16} {ratio:.2f}x")
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

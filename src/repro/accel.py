@@ -1,0 +1,133 @@
+"""Engine selection and the kernel dispatch table.
+
+The simulator has two execution engines:
+
+* ``scalar`` — the pure-Python reference engine.  Always available,
+  bit-exact, and the default; nothing in this module changes its
+  behaviour in any way.
+* ``array`` — the numpy-backed fast engine (:mod:`repro.fastsim`).
+  Tolerance-equivalent to the scalar engine (see DESIGN.md, "Engine
+  selection & numeric contract"), selected per batch through
+  ``BatchConfig(engine="array")`` or the ``REPRO_ENGINE`` environment
+  variable.
+
+This module is deliberately stdlib-only and import-light: the geometry
+hot paths consult :data:`KERNELS` on every call, so importing it must
+never pull in numpy (or anything else heavy), and the scalar engine must
+import cleanly on interpreters without numpy installed.
+
+``KERNELS`` is a table of optional drop-in replacements for the scalar
+geometry primitives.  Every slot is ``None`` by default; the scalar call
+sites read::
+
+    if _K.view_order is not None:
+        return _K.view_order(points, center)
+    ...scalar body...
+
+so with no kernels installed the overhead is one attribute load per
+call and the scalar code path is untouched.  The array engine installs
+its kernels for the duration of a batch
+(:func:`repro.fastsim.backend.kernel_scope`) and removes them after.
+
+The engine choice travels to pool workers the same way the geometry
+cache switch does: mirrored into ``os.environ`` so fork and spawn both
+inherit it (:func:`engine_scope`).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_ENV",
+    "KERNELS",
+    "KernelTable",
+    "engine_scope",
+    "resolved_engine",
+]
+
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: The recognised engine names, in preference order of documentation.
+ENGINES = ("scalar", "array")
+
+
+class KernelTable:
+    """Optional accelerated implementations of the geometry primitives.
+
+    One mutable, process-wide instance (:data:`KERNELS`).  A slot holds
+    either ``None`` (use the scalar body) or a callable with the exact
+    signature and return contract of the scalar function it replaces —
+    including returning the same immutable value types, since callers
+    and memo layers share the results freely.
+    """
+
+    __slots__ = (
+        "sec",
+        "weber",
+        "view_order",
+        "find_similarity",
+        "find_regular",
+        "find_shifted_regular",
+    )
+
+    def __init__(self) -> None:
+        self.sec: "Callable | None" = None
+        self.weber: "Callable | None" = None
+        self.view_order: "Callable | None" = None
+        self.find_similarity: "Callable | None" = None
+        self.find_regular: "Callable | None" = None
+        self.find_shifted_regular: "Callable | None" = None
+
+    def clear(self) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, None)
+
+    def installed(self) -> list[str]:
+        """Names of the slots currently holding a kernel."""
+        return [s for s in self.__slots__ if getattr(self, s) is not None]
+
+
+KERNELS = KernelTable()
+
+
+def resolved_engine(explicit: "str | None" = None) -> str:
+    """The effective engine name.
+
+    Precedence: ``explicit`` argument, then ``REPRO_ENGINE`` in the
+    environment, then ``"scalar"``.
+
+    Raises:
+        ValueError: on an unrecognised engine name.
+    """
+    engine = explicit or os.environ.get(ENGINE_ENV, "").strip() or "scalar"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {', '.join(ENGINES)})"
+        )
+    return engine
+
+
+@contextmanager
+def engine_scope(engine: str):
+    """Pin ``REPRO_ENGINE`` for the duration of a block.
+
+    Mirrored into the environment (like ``REPRO_GEOMETRY_CACHE``) so
+    worker processes started inside the block inherit the choice under
+    any multiprocessing start method; the previous value is restored on
+    exit.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}")
+    previous = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous

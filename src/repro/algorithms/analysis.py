@@ -23,6 +23,7 @@ from ..geometry import (
     Vec2,
     smallest_enclosing_circle,
 )
+from ..geometry.memo import Memo, points_key
 from ..geometry.tolerance import approx_le, approx_lt
 from ..model import Snapshot
 from ..regular import (
@@ -36,21 +37,46 @@ from ..regular import (
 #: Tolerance for "strictly closer" radius comparisons in the algorithm.
 RTOL = 1e-6
 
+#: Configuration-level normalisation memo: raw point key -> (norm,
+#: denorm, normalised points).  The normalisation is a pure function of
+#: the observed points alone (not of ``me``), and both the engine's
+#: terminal probe (shared frames) and the array engine (canonical
+#: frames) hand every robot of one configuration bit-identical raw
+#: points — so the SEC solve and the transform applications are shared
+#: work.  Under the scalar engine's per-robot random frames the keys
+#: rarely collide outside the probe, matching the other geometry memos.
+_NORM_MEMO = Memo("analysis.normalize")
+
 
 class Analysis:
     """Normalised view of one snapshot plus cached derived structures."""
 
     def __init__(self, snapshot: Snapshot, l_f: float) -> None:
         raw_points = list(snapshot.points)
-        sec = smallest_enclosing_circle(raw_points)
-        if sec.radius <= 1e-12:
-            raise ValueError("degenerate configuration: all robots gathered")
-        #: raw local frame -> normalised coordinates
-        self.norm = Similarity.scaling(1.0 / sec.radius).compose(
-            Similarity.translation_of(-sec.center)
-        )
-        self.denorm = self.norm.inverse()
-        self.points: list[Vec2] = self.norm.apply_all(raw_points)
+        if _NORM_MEMO.active():
+            key = points_key(raw_points)
+            hit, cached = _NORM_MEMO.lookup(key)
+        else:
+            key, hit, cached = None, False, None
+        if hit:
+            self.norm, self.denorm, pts = cached
+            self.points: list[Vec2] = list(pts)
+        else:
+            sec = smallest_enclosing_circle(raw_points)
+            if sec.radius <= 1e-12:
+                raise ValueError(
+                    "degenerate configuration: all robots gathered"
+                )
+            #: raw local frame -> normalised coordinates
+            self.norm = Similarity.scaling(1.0 / sec.radius).compose(
+                Similarity.translation_of(-sec.center)
+            )
+            self.denorm = self.norm.inverse()
+            self.points = self.norm.apply_all(raw_points)
+            if key is not None:
+                _NORM_MEMO.store(
+                    key, (self.norm, self.denorm, tuple(self.points))
+                )
         self.me: Vec2 = self.norm.apply(snapshot.me)
         self.multiplicity_detection = snapshot.multiplicity_detection
         self.l_f = l_f

@@ -1,6 +1,6 @@
 """ψ_DPF — deterministic pattern formation without chirality."""
 
-from .dpf import dpf_compute
+from .dpf import dpf_compute, dpf_decision
 from .frame import FrameResult, build_frame, find_rmax, pattern_angle_guard, phase1
 from .rotation import is_pattern_prime_formed, paired_targets, rotation_phase
 from .state import DpfState
@@ -10,6 +10,7 @@ __all__ = [
     "FrameResult",
     "build_frame",
     "dpf_compute",
+    "dpf_decision",
     "find_rmax",
     "is_pattern_prime_formed",
     "paired_targets",

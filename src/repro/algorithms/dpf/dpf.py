@@ -38,20 +38,32 @@ def dpf_compute(
     an: Analysis, pg: PatternGeometry, rs: Vec2, ctx: ComputeContext
 ) -> Path | None:
     """One ψ_DPF step for the observing robot (r_s is selected)."""
+    return _my_move(an, dpf_decision(an, pg, rs))
+
+
+def dpf_decision(
+    an: Analysis, pg: PatternGeometry, rs: Vec2
+) -> "tuple[tuple[Vec2, Path], ...]":
+    """The configuration-level ψ_DPF decision: who moves, and where.
+
+    Pure function of the analysed configuration (never touches the
+    compute context): the phase chain nominates movers with their paths
+    in normalised coordinates, and each robot merely checks whether it
+    is one of them.  Exposed separately so the observer-independent part
+    can be memoised per configuration (see ``FormPattern.compute``)."""
     result = phase1(an, pg, rs)
     if result.move is not None:
-        mover, path = result.move
-        return path if an.i_am(mover) else None
+        return (result.move,)
     if result.frame is None or result.rmax is None:
-        return None
+        return ()
 
     state = DpfState(an, pg, rs, result.rmax, result.frame)
 
     for moves in _phase_chain(state):
         if moves is None:
             continue
-        return _my_move(an, moves)
-    return None
+        return tuple(moves)
+    return ()
 
 
 def _phase_chain(state: DpfState):

@@ -20,13 +20,14 @@ from __future__ import annotations
 from functools import cmp_to_key
 
 from ..geometry import Vec2, find_similarity, point_holds_sec, similar, without_point
+from ..geometry.memo import cache_enabled, points_key
 from ..model import Pattern, Snapshot
 from ..model.views import compare_views, local_view, max_view_points
 from ..sim.context import ComputeContext
 from ..sim.paths import Path
 from .analysis import Analysis
 from .base import Algorithm
-from .dpf import dpf_compute
+from .dpf import dpf_decision
 from .pattern_geometry import PatternGeometry
 from .rsb import rsb_compute
 from .tuning import DEFAULT_TUNING, Tuning
@@ -37,6 +38,7 @@ from .tuning import DEFAULT_TUNING, Tuning
 #: formation checks must be an order of magnitude looser than that while
 #: staying far below every geometric feature of the algorithm.
 FORMATION_EPS = 2e-5
+
 
 
 class FormPattern(Algorithm):
@@ -65,6 +67,18 @@ class FormPattern(Algorithm):
         self.target_pattern = self.pg.pattern
         #: the maximal-view non-holding points of F (the paper's ClosestF).
         self.closest_f = self._closest_f()
+        #: Configuration-level decision memo: normalised point key ->
+        #: tuple of (mover, path) in normalised coordinates.  Lines 1-3
+        #: and ψ_DPF are deterministic functions of the configuration
+        #: alone — each robot only checks whether it is a nominated
+        #: mover — so the decision is shared by every observer whose
+        #: normalised points are bit-identical.  Under per-robot random
+        #: frames the keys never collide (each robot's coordinates carry
+        #: its own frame's rounding), so this is inert for the scalar
+        #: engine; under the array engine's canonical frames (and the
+        #: terminal probe's shared frames) same-chirality robots hit the
+        #: same entry.  ψ_RSB consumes randomness and is never cached.
+        self._decisions: dict = {}
 
     def _closest_f(self) -> list[Vec2]:
         pts = self.pg.points
@@ -96,19 +110,43 @@ class FormPattern(Algorithm):
             )
         an = Analysis(snapshot, self.pg.l_f)
 
-        if similar(an.points, self.pg.points, FORMATION_EPS):
-            return None  # pattern formed: stay put forever
+        key = points_key(tuple(an.points)) if cache_enabled() else None
+        if key is not None:
+            cached = self._decisions.get(key)
+            if cached is not None:
+                return self._my_path(an, cached)
 
+        moves = self._decide(an)
+        if moves is None:
+            # ψ_RSB flips coins: every activation must draw them live.
+            return self._denormalize(an, rsb_compute(an, self.pg, ctx, self.tuning))
+        if key is not None:
+            self._decisions[key] = moves
+        return self._my_path(an, moves)
+
+    def _decide(self, an: Analysis):
+        """Lines 1-3 + ψ_DPF: the configuration-level decision.
+
+        Returns the (mover, path) tuple shared by every observer of this
+        configuration, or ``None`` when no robot is selected and the
+        randomized ψ_RSB must run live.
+        """
+        if similar(an.points, self.pg.points, FORMATION_EPS):
+            return ()  # pattern formed: stay put forever
         join = self._final_join(an)
         if join is not None:
-            mover, path = join
-            result = path if an.i_am(mover) else None
-            return self._denormalize(an, result)
-
+            return (join,)
         rs = an.selected_robot
         if rs is not None:
-            return self._denormalize(an, dpf_compute(an, self.pg, rs, ctx))
-        return self._denormalize(an, rsb_compute(an, self.pg, ctx, self.tuning))
+            return dpf_decision(an, self.pg, rs)
+        return None
+
+    def _my_path(self, an: Analysis, moves) -> Path | None:
+        """The observer's share of a configuration-level decision."""
+        for mover, path in moves:
+            if an.i_am(mover):
+                return self._denormalize(an, path)
+        return None
 
     # ------------------------------------------------------------------
     def _final_join(self, an: Analysis) -> tuple[Vec2, Path] | None:

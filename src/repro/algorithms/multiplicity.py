@@ -60,6 +60,7 @@ class MultiplicityFormPattern(FormPattern):
         self.tuning = DEFAULT_TUNING
         self.target_pattern = self.full_pattern
         self.closest_f = self._closest_f()
+        self._decisions = {}
 
     def compute(self, snapshot: Snapshot, ctx: ComputeContext) -> Path | None:
         from .form_pattern import FORMATION_EPS

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -182,31 +183,51 @@ def _run_batch_factories(
     inside the simulation loop); ``faults`` is the scenario's fault-plan
     spec dict (see :mod:`repro.faults`); ``on_record`` is invoked after
     every completed run — the run journal hooks in here.
+
+    The execution engine is read from ``REPRO_ENGINE`` (exported by the
+    facade's engine scope, inherited by pool workers): ``array`` swaps
+    in :class:`repro.fastsim.engine.ArraySimulation` and activates the
+    vectorized geometry kernels for the duration of the loop; anything
+    else runs the scalar reference engine untouched.
     """
     seed_list = list(seeds)
     if len(set(seed_list)) != len(seed_list):
         raise ValueError("duplicate seeds in batch")
+    sim_class, scope = _engine_setup()
     batch = BatchResult(name)
-    for seed in seed_list:
-        sim = Simulation(
-            initial_factory(seed),
-            algorithm_factory(),
-            scheduler_factory(seed),
-            seed=seed,
-            pattern=pattern,
-            frame_policy=frame_policy,
-            max_steps=max_steps,
-            delta=delta,
-            wall_limit=wall_limit,
-            faults=faults,
-            strict_invariants=strict_invariants,
-        )
-        result = sim.run()
-        record = _record(seed, result)
-        batch.runs.append(record)
-        if on_record is not None:
-            on_record(record)
+    with scope:
+        for seed in seed_list:
+            sim = sim_class(
+                initial_factory(seed),
+                algorithm_factory(),
+                scheduler_factory(seed),
+                seed=seed,
+                pattern=pattern,
+                frame_policy=frame_policy,
+                max_steps=max_steps,
+                delta=delta,
+                wall_limit=wall_limit,
+                faults=faults,
+                strict_invariants=strict_invariants,
+            )
+            result = sim.run()
+            record = _record(seed, result)
+            batch.runs.append(record)
+            if on_record is not None:
+                on_record(record)
     return batch
+
+
+def _engine_setup():
+    """Simulation class + kernel scope for the environment's engine."""
+    from ..accel import resolved_engine
+
+    if resolved_engine() == "array":
+        from ..fastsim.backend import kernel_scope
+        from ..fastsim.engine import ArraySimulation
+
+        return ArraySimulation, kernel_scope()
+    return Simulation, nullcontext()
 
 
 def run_batch(*args, **kwargs) -> BatchResult:

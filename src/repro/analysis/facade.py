@@ -63,6 +63,14 @@ class BatchConfig:
             (store hits included) — progress reporting hooks in here.
         mp_context: multiprocessing context override (default: fork
             where available).
+        engine: execution engine — ``"scalar"`` (the bit-exact
+            reference), ``"array"`` (the numpy-backed fast engine,
+            tolerance-equivalent; see DESIGN.md), or ``None`` to
+            follow the ``REPRO_ENGINE`` environment variable
+            (defaulting to scalar).  Journal and store records of an
+            array batch are namespaced under the workload fingerprint
+            plus an ``-array`` suffix, so the scalar store/journal
+            contents keep their bit-exactness contract.
     """
 
     workers: int | None = None
@@ -77,17 +85,25 @@ class BatchConfig:
         default=None, compare=False
     )
     mp_context: Any = field(default=None, compare=False)
+    engine: str | None = None
 
     def resolved_workers(self) -> int:
         if self.workers is None:
             return max(1, min(os.cpu_count() or 1, 8))
         return self.workers
 
+    def resolved_engine(self) -> str:
+        """The effective engine (explicit > ``REPRO_ENGINE`` > scalar)."""
+        from ..accel import resolved_engine
+
+        return resolved_engine(self.engine)
+
     def validate(self) -> None:
         if self.resolved_workers() < 1:
             raise ValueError("workers must be >= 1")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        self.resolved_engine()  # raises on an unknown engine name
 
 
 def run(
@@ -107,9 +123,19 @@ def run(
         The aggregated :class:`~repro.analysis.batch.BatchResult`.
     """
     from . import parallel as _parallel  # late: parallel imports batch
+    from ..accel import engine_scope
 
     config = config or BatchConfig()
     config.validate()
+    engine = config.resolved_engine()
+    if engine == "array":
+        from ..fastsim import require_numpy
+
+        require_numpy()
+    # Array-engine records are tolerance-equivalent, not bit-identical,
+    # to scalar ones — journal and store rows are namespaced apart so a
+    # scalar batch can never be served an array record (or vice versa).
+    workload_fp = spec.fingerprint() + ("-array" if engine == "array" else "")
     seed_list = [int(s) for s in seeds]
     if len(set(seed_list)) != len(seed_list):
         raise ValueError("duplicate seeds in batch")
@@ -129,18 +155,18 @@ def run(
             state = journal_obj.load()
             if state.meta is not None:
                 recorded = state.meta.get("fingerprint")
-                if recorded not in (None, spec.fingerprint()):
+                if recorded not in (None, workload_fp):
                     raise ValueError(
                         f"journal {journal_obj.path} was written by a "
                         f"different scenario (fingerprint {recorded}, "
-                        f"expected {spec.fingerprint()})"
+                        f"expected {workload_fp})"
                     )
             wanted = set(seed_list)
             results.update(
                 {s: r for s, r in state.records.items() if s in wanted}
             )
         else:
-            journal_obj.start(spec.name, spec.fingerprint(), spec.to_dict())
+            journal_obj.start(spec.name, workload_fp, spec.to_dict())
 
     store_obj = None
     store_fingerprint = None
@@ -149,7 +175,8 @@ def run(
         from ..store import ExperimentStore  # late: repro.store imports analysis
 
         store_obj = ExperimentStore(config.store)
-        store_fingerprint = store_obj.register(spec)
+        store_obj.register(spec)  # keep the scenario reachable in inventory
+        store_fingerprint = workload_fp
         cached = store_obj.query(
             store_fingerprint,
             seeds=[s for s in seed_list if s not in results],
@@ -173,20 +200,24 @@ def run(
         if config.on_record is not None:
             config.on_record(record)
 
-    if workers == 1:
-        _parallel._run_serial(spec, pending, config.timeout, commit)
-    else:
-        _parallel._run_pool(
-            spec,
-            pending,
-            workers,
-            config.timeout,
-            config.retries,
-            config.backoff,
-            config.backoff_cap,
-            commit,
-            config.mp_context or _parallel._default_context(),
-        )
+    # engine_scope exports REPRO_ENGINE for the duration of the batch so
+    # pool workers (fork or spawn) inherit the engine choice through the
+    # environment — the same transport REPRO_GEOMETRY_CACHE uses.
+    with engine_scope(engine):
+        if workers == 1:
+            _parallel._run_serial(spec, pending, config.timeout, commit)
+        else:
+            _parallel._run_pool(
+                spec,
+                pending,
+                workers,
+                config.timeout,
+                config.retries,
+                config.backoff,
+                config.backoff_cap,
+                commit,
+                config.mp_context or _parallel._default_context(),
+            )
 
     batch = BatchResult(spec.name)
     batch.runs = [results[s] for s in seed_list]

@@ -94,13 +94,15 @@ def profile_batch(
     *,
     label: str | None = None,
     fresh_caches: bool = True,
+    engine: str | None = None,
 ) -> tuple["object", ProfileRecord]:
     """Run ``spec`` serially under the profiler; return (batch, record).
 
     Serial on purpose: the profiler and the cache counters are
     process-global, so the run must happen in this process to be
     observable.  ``fresh_caches`` clears cache contents and counters
-    first so the record describes exactly this batch.
+    first so the record describes exactly this batch.  ``engine``
+    selects the execution engine as in :class:`BatchConfig`.
     """
     from .facade import BatchConfig, run
 
@@ -111,7 +113,7 @@ def profile_batch(
     enable(reset=True)
     started = perf_counter()
     try:
-        batch = run(spec, seeds, BatchConfig(workers=1))
+        batch = run(spec, seeds, BatchConfig(workers=1, engine=engine))
     finally:
         if not was_enabled:
             disable()

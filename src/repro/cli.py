@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent experiment store: serve already-stored seeds "
         "from disk, write new records through",
     )
+    batch.add_argument(
+        "--engine",
+        choices=("scalar", "array"),
+        default=None,
+        help="execution engine: scalar (bit-exact reference, default) "
+        "or array (numpy-backed fast engine; needs 'pip install .[fast]')",
+    )
     _fault_flags(batch)
 
     election = sub.add_parser(
@@ -128,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         default=None,
         help="also write the profile record to this JSON file",
+    )
+    profile.add_argument(
+        "--engine",
+        choices=("scalar", "array"),
+        default=None,
+        help="execution engine to profile (scalar default, array = numpy)",
     )
     _fault_flags(profile)
 
@@ -360,6 +373,7 @@ def cmd_batch(args) -> int:
                 journal=args.journal,
                 resume=args.resume,
                 store=args.store,
+                engine=args.engine,
             ),
         )
     except ValueError as exc:
@@ -384,7 +398,9 @@ def cmd_profile(args) -> int:
         set_cache_enabled(False)
     try:
         batch, record = profile_batch(
-            spec, range(args.seed, args.seed + args.runs)
+            spec,
+            range(args.seed, args.seed + args.runs),
+            engine=args.engine,
         )
     finally:
         set_cache_enabled(was_enabled)

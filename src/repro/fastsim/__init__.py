@@ -1,0 +1,58 @@
+"""The numpy-backed fast engine (``engine="array"``).
+
+``repro.fastsim`` accelerates the batch pipeline two ways:
+
+* **vectorized kernels** (:mod:`repro.fastsim.kernels`) — SEC by
+  support-set refinement over an ``(n, 2)`` coordinate array, batched
+  Weiszfeld iteration, and a vectorized polar-table / view-ordering
+  pipeline, installed into :data:`repro.accel.KERNELS` for the duration
+  of a batch;
+* **canonical observation frames**
+  (:class:`repro.fastsim.engine.ArraySimulation`) — every Look is
+  evaluated in the identity frame (or its mirror image, preserving the
+  drawn chirality), which the algorithms' similarity-invariance permits
+  — exactly the transformation the scalar engine's terminal probe
+  already performs.  Canonically-framed snapshots make the geometry
+  memo keys collapse across robots, so one configuration is analysed
+  about twice per step instead of once per robot.
+
+The scalar engine stays the default and is bit-identical to its
+pre-fastsim behaviour; the array engine is *tolerance-equivalent* (same
+verdicts, steps and randomness accounting; float aggregates equal to
+~1e-9 relative).  The differential harness in :mod:`repro.fastsim.diff`
+and ``tests/fastsim/`` pins that contract over the scenario registry.
+
+numpy is an optional dependency (``pip install .[fast]``): importing
+:mod:`repro.fastsim` itself stays cheap and safe without it, and
+:func:`require_numpy` raises a actionable error when the array engine
+is requested on an interpreter that lacks it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "numpy_available",
+    "require_numpy",
+]
+
+
+def numpy_available() -> bool:
+    """Whether numpy can be imported (without importing it eagerly)."""
+    try:
+        import numpy  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def require_numpy():
+    """Import and return numpy, or raise with an installation hint."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise ImportError(
+            "the array engine needs numpy; install it with "
+            "'pip install repro[fast]' (or select engine='scalar')"
+        ) from exc
+    return numpy

@@ -1,0 +1,61 @@
+"""Kernel installation: wiring :mod:`repro.fastsim.kernels` into
+:data:`repro.accel.KERNELS`.
+
+The kernel table is process-global (the geometry call sites consult it
+unconditionally), so installation is scoped and reference-counted:
+:func:`kernel_scope` activates on first entry, deactivates on last
+exit, and nests safely.  Batch code wraps each array-engine batch in a
+scope; the scalar engine never activates anything, so its behaviour
+stays bit-identical whether or not numpy is even installed.
+
+Activation is idempotent and cheap; the kernels' memo contents survive
+deactivation (they are keyed bit-exactly and hold pure values, so
+reuse across scopes is sound) and are dropped by the ordinary
+:func:`repro.geometry.memo.clear_caches`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..accel import KERNELS
+
+__all__ = ["activate_kernels", "deactivate_kernels", "kernel_scope"]
+
+_lock = threading.Lock()
+_depth = 0
+
+
+def activate_kernels() -> None:
+    """Install every fastsim kernel into the dispatch table."""
+    from . import kernels as _k
+
+    KERNELS.sec = _k.sec_array
+    KERNELS.weber = _k.weber_array
+    KERNELS.view_order = _k.view_order_array
+    KERNELS.find_similarity = _k.find_similarity_array
+    KERNELS.find_regular = _k.find_regular_array
+    KERNELS.find_shifted_regular = _k.find_shifted_regular_array
+
+
+def deactivate_kernels() -> None:
+    """Clear the dispatch table (back to pure scalar execution)."""
+    KERNELS.clear()
+
+
+@contextmanager
+def kernel_scope():
+    """Reference-counted kernel activation for one batch."""
+    global _depth
+    with _lock:
+        _depth += 1
+        if _depth == 1:
+            activate_kernels()
+    try:
+        yield
+    finally:
+        with _lock:
+            _depth -= 1
+            if _depth == 0:
+                deactivate_kernels()

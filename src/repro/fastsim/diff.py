@@ -1,0 +1,326 @@
+"""Differential equivalence harness: scalar engine vs array engine.
+
+The array engine (:mod:`repro.fastsim.engine`) trades bit-identical
+replay for speed: canonical observation frames and vectorized kernels
+produce the *same decisions* through *different float round-off*.  The
+contract it must honour — pinned here and exercised by
+``tests/fastsim/`` — is:
+
+* **exact** agreement on the run verdict: ``formed``, ``terminated``
+  and the :class:`~repro.analysis.batch.RunReason` classification of
+  ``reason``;
+* **tolerant** agreement on every progress counter (steps, cycles,
+  epochs, randomness accounting) and on the distance aggregate, within
+  the documented bounds below.
+
+Default tolerances.  Verdict-equal runs occasionally diverge in length
+when a tolerance comparison lands within one rounding of its threshold
+and the two engines schedule a handful of extra cycles apart (the
+pinned example: ``random n=10`` seed 0, 10694 vs 10679 steps — 0.14%).
+``COUNT_RTOL = 0.02`` plus a small absolute floor covers that class
+with an order of magnitude of headroom while still failing loudly on
+any real behavioural split (a wrong decision changes counts by whole
+phases, not fractions of a percent).
+
+Exclusions (documented, deliberate):
+
+* ``sensor`` fault plans — noisy snapshots are resampled per Look, so
+  the two engines observe genuinely different configurations and only
+  the statistical behaviour is comparable, not per-seed counts;
+* the ``faulty-random`` initial builder — it exists to kill worker
+  processes and hang runs (fault-injection tests), not to simulate.
+
+Helpers here are import-safe without numpy; running the array side of
+a differential obviously still needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis import BatchConfig, ScenarioSpec, run
+from ..analysis.batch import RunRecord
+
+__all__ = [
+    "COUNT_ABS",
+    "COUNT_FIELDS",
+    "COUNT_RTOL",
+    "DISTANCE_RTOL",
+    "DiffReport",
+    "compare_records",
+    "format_reports",
+    "run_differential",
+    "scenario_matrix",
+]
+
+#: Integer progress counters compared under the relative tolerance.
+COUNT_FIELDS = (
+    "steps",
+    "cycles",
+    "epochs",
+    "random_bits",
+    "coin_flips",
+    "float_draws",
+)
+
+#: Relative tolerance on count fields (see module docstring).
+COUNT_RTOL = 0.02
+#: Absolute slack on count fields: short runs (tens of steps) may
+#: differ by a couple of scheduler picks without any real divergence.
+COUNT_ABS = 16
+#: Relative tolerance on the travelled-distance aggregate.
+DISTANCE_RTOL = 0.01
+
+
+def compare_records(
+    scalar: RunRecord,
+    array: RunRecord,
+    *,
+    count_rtol: float = COUNT_RTOL,
+    count_abs: int = COUNT_ABS,
+    distance_rtol: float = DISTANCE_RTOL,
+) -> list[str]:
+    """Mismatches between one scalar and one array run of the same seed.
+
+    Returns human-readable descriptions; an empty list means the records
+    agree under the differential contract.
+    """
+    problems: list[str] = []
+    if scalar.seed != array.seed:
+        raise ValueError(
+            f"comparing different seeds: {scalar.seed} vs {array.seed}"
+        )
+    if scalar.formed != array.formed:
+        problems.append(
+            f"formed: scalar={scalar.formed} array={array.formed}"
+        )
+    if scalar.terminated != array.terminated:
+        problems.append(
+            f"terminated: scalar={scalar.terminated} array={array.terminated}"
+        )
+    if scalar.reason_kind != array.reason_kind:
+        problems.append(
+            f"reason: scalar={scalar.reason!r} array={array.reason!r}"
+        )
+    for name in COUNT_FIELDS:
+        s, a = getattr(scalar, name), getattr(array, name)
+        if abs(s - a) > count_abs + count_rtol * max(abs(s), abs(a)):
+            problems.append(f"{name}: scalar={s} array={a}")
+    s, a = scalar.distance, array.distance
+    if abs(s - a) > 1e-9 + distance_rtol * max(abs(s), abs(a)):
+        problems.append(f"distance: scalar={s!r} array={a!r}")
+    return problems
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one spec's differential run across its seeds."""
+
+    spec: ScenarioSpec
+    seeds: tuple[int, ...]
+    #: seed -> mismatch descriptions (only seeds that disagreed).
+    mismatches: dict[int, list[str]] = field(default_factory=dict)
+    #: seed -> (scalar reason, array reason) for verdict context.
+    reasons: dict[int, tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def verdict_mismatches(self) -> dict[int, list[str]]:
+        """The subset of mismatches that breach *exact* fields."""
+        exact = ("formed:", "terminated:", "reason:")
+        out: dict[int, list[str]] = {}
+        for seed, problems in self.mismatches.items():
+            hard = [p for p in problems if p.startswith(exact)]
+            if hard:
+                out[seed] = hard
+        return out
+
+
+def run_differential(
+    spec: ScenarioSpec,
+    seeds: Sequence[int],
+    *,
+    count_rtol: float = COUNT_RTOL,
+    count_abs: int = COUNT_ABS,
+    distance_rtol: float = DISTANCE_RTOL,
+) -> DiffReport:
+    """Run ``spec`` through both engines and compare seed by seed.
+
+    Both batches run serially (``workers=1``) so records are attributed
+    deterministically; the facade already guarantees worker-count
+    independence, so this loses nothing but wall-clock.
+    """
+    scalar = run(spec, seeds, BatchConfig(workers=1, engine="scalar"))
+    array = run(spec, seeds, BatchConfig(workers=1, engine="array"))
+    report = DiffReport(spec=spec, seeds=tuple(int(s) for s in seeds))
+    for s_rec, a_rec in zip(scalar.runs, array.runs):
+        problems = compare_records(
+            s_rec,
+            a_rec,
+            count_rtol=count_rtol,
+            count_abs=count_abs,
+            distance_rtol=distance_rtol,
+        )
+        report.reasons[s_rec.seed] = (s_rec.reason, a_rec.reason)
+        if problems:
+            report.mismatches[s_rec.seed] = problems
+    return report
+
+
+def format_reports(reports: Sequence[DiffReport]) -> str:
+    """One line per spec, with per-seed mismatch details on failures."""
+    lines: list[str] = []
+    for report in reports:
+        status = "OK " if report.ok else "DIFF"
+        lines.append(
+            f"{status} {report.spec.name} seeds={list(report.seeds)}"
+        )
+        for seed, problems in sorted(report.mismatches.items()):
+            for problem in problems:
+                lines.append(f"     seed {seed}: {problem}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the registry-spanning matrix
+# ----------------------------------------------------------------------
+def scenario_matrix() -> list[ScenarioSpec]:
+    """Differential scenarios spanning every registry dimension.
+
+    Every registered algorithm, scheduler, frame policy and pattern
+    family appears in at least one spec, and the crash / truncation
+    fault models are each exercised (the sensor model and the
+    ``faulty-random`` initial are excluded — see the module docstring).
+    Sizes stay at n <= 10 so the full matrix runs in CI time.
+    """
+    specs = [
+        # -- schedulers x the main algorithm -------------------------
+        ScenarioSpec(
+            name="diff-async-polygon7",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 7}),
+            pattern=("polygon", {"n": 7}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-async-aggressive-random7",
+            algorithm="form-pattern",
+            scheduler="async-aggressive",
+            initial=("random", {"n": 7}),
+            pattern=("random", {"n": 7, "seed": 5}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-ssync-line7",
+            algorithm="form-pattern",
+            scheduler="ssync",
+            initial=("random", {"n": 7}),
+            pattern=("line", {"n": 7, "jitter": 0.2, "seed": 3}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-fsync-star8",
+            algorithm="form-pattern",
+            scheduler="fsync",
+            initial=("random", {"n": 8}),
+            pattern=("star", {"spikes": 4}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-round-robin-grid8",
+            algorithm="form-pattern",
+            scheduler="round-robin",
+            initial=("random", {"n": 8}),
+            pattern=("grid", {"rows": 2, "cols": 4}),
+            max_steps=200_000,
+        ),
+        # -- frame policies ------------------------------------------
+        ScenarioSpec(
+            name="diff-chirality-rings9",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 9}),
+            pattern=("rings", {"counts": [5, 4]}),
+            frame_policy="chirality",
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-global-frames-polygon8",
+            algorithm="global-frame",
+            scheduler="async",
+            initial=("random", {"n": 8}),
+            pattern=("polygon", {"n": 8}),
+            frame_policy="global",
+            max_steps=200_000,
+        ),
+        # -- remaining algorithms ------------------------------------
+        ScenarioSpec(
+            name="diff-yamauchi-random8",
+            algorithm="yamauchi-yamashita",
+            scheduler="ssync",
+            initial=("random", {"n": 8}),
+            pattern=("polygon", {"n": 8}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-ngon-initial-polygon8",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("ngon", {"n": 8, "phase": 0.3}),
+            pattern=("polygon", {"n": 8}),
+            max_steps=5_000,
+        ),
+        ScenarioSpec(
+            name="diff-multiplicity-center8",
+            algorithm="multiplicity-form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 8}),
+            pattern=("center-multiplicity", {"n_outer": 6, "center_count": 2}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-multiplicity-doubled7",
+            algorithm="multiplicity-form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 7}),
+            pattern=(
+                "multiplicity",
+                {"base": ("polygon", {"n": 6}), "doubled_indices": [0]},
+            ),
+            max_steps=200_000,
+        ),
+        # -- fault models (crash, truncation; sensor excluded) -------
+        ScenarioSpec(
+            name="diff-crash-polygon8",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 8}),
+            pattern=("polygon", {"n": 8}),
+            faults={"crash": {"count": 1, "window": [50, 200]}},
+            max_steps=60_000,
+        ),
+        ScenarioSpec(
+            name="diff-truncate-random8",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 8}),
+            pattern=("random", {"n": 8, "seed": 4}),
+            faults={"truncate": {"mode": "random"}},
+            max_steps=200_000,
+        ),
+        # -- 10-robot stress (the documented drift example) ----------
+        ScenarioSpec(
+            name="diff-async-random10",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("random", {"n": 10}),
+            pattern=("random", {"n": 10, "seed": 6}),
+            max_steps=400_000,
+        ),
+    ]
+    return specs

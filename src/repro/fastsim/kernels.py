@@ -1,0 +1,528 @@
+"""numpy kernels for the geometry hot paths (the array engine's core).
+
+Each kernel is a drop-in replacement for one scalar primitive, installed
+into :data:`repro.accel.KERNELS` by :mod:`repro.fastsim.backend` for the
+duration of an array-engine batch:
+
+* :func:`sec_array` — smallest enclosing circle by vectorized
+  support-set refinement: the O(n) farthest-point scans run on ``(n,)``
+  coordinate arrays, the O(1) support subproblem (at most four points)
+  reuses the scalar circle constructors bit-for-bit.
+* :func:`weber_array` — Weiszfeld iteration with Vardi-Zhang
+  correction over an ``(n, 2)`` array (small inputs delegate to the
+  scalar solve, which is faster below ``WEBER_ARRAY_MIN_N`` because a
+  numpy call costs more than a seven-element Python loop), memoised per
+  bit-exact input.
+* :func:`view_order_array` — the polar tables of *all* robots at once:
+  one ``(R, m)`` angle/ratio grid per orientation, a single flattened
+  ``lexsort`` replacing the per-robot comparator sorts, a vectorized
+  tolerant-order verification mirroring the scalar exact-sort fast
+  path (ambiguous rows fall back to the scalar comparator sort), and
+  the same final ``compare_views`` ordering.  Memoised per
+  (points, center); inputs below ``VIEW_ORDER_ARRAY_MIN_N`` delegate
+  to the scalar construction, which wins at small sizes.
+* :func:`find_similarity_array` — a memoising wrapper over the scalar
+  candidate scan (the early-exit greedy matcher outran every
+  vectorized variant at swarm sizes; the canonical-frame memo is the
+  entire win).  Memoised per (a, b, eps).
+* :func:`find_regular_array` / :func:`find_shifted_regular_array` —
+  memoising wrappers over the scalar detectors (their inner geometry —
+  Weber solves, view orders, SECs — dispatches back into the kernels
+  above).
+
+The memos exist because the array engine observes through canonical
+frames (:mod:`repro.fastsim.engine`): every robot of one configuration
+sees bit-identical snapshot coordinates per chirality, so per-robot
+recomputation collapses into cache hits.  Under the scalar engine's
+random frames the same caches would be nearly useless (measured hit
+rates under 10%, which is why the scalar engine deliberately does not
+memoise these functions).
+
+All memos honour the global cache switch (``REPRO_GEOMETRY_CACHE``) and
+are dropped by :func:`repro.geometry.memo.clear_caches`.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cmp_to_key
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.circle import Circle, circle_from_three, circle_from_two
+from ..geometry.memo import Memo, points_key
+from ..geometry.point import Vec2
+from ..geometry.sec import _welzl
+from ..geometry.similarity import _find_similarity_scalar, _NO_SIMILARITY
+from ..geometry.tolerance import EPS
+from ..geometry.weber import _weiszfeld_solve
+from ..model import views as _views
+from ..model.views import VIEW_EPS, LocalView, compare_views
+from ..regular.regular_set import _find_regular_impl
+from ..regular.shifted import _find_shifted_regular_impl
+
+__all__ = [
+    "VIEW_ORDER_ARRAY_MIN_N",
+    "WEBER_ARRAY_MIN_N",
+    "find_regular_array",
+    "find_shifted_regular_array",
+    "find_similarity_array",
+    "polar_arrays",
+    "sec_array",
+    "view_order_array",
+    "weber_array",
+    "weiszfeld_array",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+_WEBER_MEMO = Memo("fastsim.weber")
+_VIEW_ORDER_MEMO = Memo("fastsim.view_order")
+_SIMILARITY_MEMO = Memo("fastsim.similarity")
+_REGULAR_MEMO = Memo("fastsim.regular")
+_SHIFTED_MEMO = Memo("fastsim.shifted")
+
+
+def _coords_array(points: Sequence[Vec2]) -> np.ndarray:
+    """``(n, 2)`` float64 array of a point sequence."""
+    n = len(points)
+    out = np.empty((n, 2), dtype=np.float64)
+    for i, p in enumerate(points):
+        out[i, 0] = p.x
+        out[i, 1] = p.y
+    return out
+
+
+# ----------------------------------------------------------------------
+# smallest enclosing circle
+# ----------------------------------------------------------------------
+#: Below this size scalar Welzl wins outright *and* is required for
+#: bit-identical SEC circles (see :func:`sec_array`).
+SEC_ARRAY_MIN_N = 48
+
+
+def _contains_all(circle: Circle, pts: Sequence[Vec2]) -> bool:
+    bound = circle.radius + EPS
+    bound_sq = bound * bound
+    cx, cy = circle.center.x, circle.center.y
+    for p in pts:
+        dx, dy = cx - p.x, cy - p.y
+        if dx * dx + dy * dy > bound_sq:
+            return False
+    return True
+
+
+def _min_circle_of(cands: list[Vec2]) -> "tuple[Circle, list[Vec2]] | None":
+    """Smallest enclosing circle of at most four points, brute force.
+
+    Tries every 2-point (diameter) and 3-point (circumcircle) candidate,
+    keeps the smallest one that EPS-contains all points — the same
+    tolerant containment predicate as the scalar Welzl loops, and the
+    same :func:`circle_from_two` / :func:`circle_from_three`
+    constructors, so when the refinement settles on the same support set
+    as Welzl the resulting circle is bit-identical.
+    """
+    best: "tuple[Circle, list[Vec2]] | None" = None
+    k = len(cands)
+    for i in range(k):
+        for j in range(i + 1, k):
+            c = circle_from_two(cands[i], cands[j])
+            if _contains_all(c, cands) and (
+                best is None or c.radius < best[0].radius
+            ):
+                best = (c, [cands[i], cands[j]])
+    for i in range(k):
+        for j in range(i + 1, k):
+            for l in range(j + 1, k):
+                c = circle_from_three(cands[i], cands[j], cands[l])
+                if (
+                    c is not None
+                    and _contains_all(c, cands)
+                    and (best is None or c.radius < best[0].radius)
+                ):
+                    best = (c, [cands[i], cands[j], cands[l]])
+    return best
+
+
+def sec_array(points: Sequence[Vec2]) -> Circle:
+    """Smallest enclosing circle by vectorized support-set refinement.
+
+    Start from the diametral circle of a farthest-point pair; while some
+    point escapes the current circle (found by one vectorized distance
+    scan), re-solve the at-most-four-point subproblem of the current
+    support set plus the escapee.  The radius grows strictly each round,
+    so the loop terminates; a bounded round budget with a scalar-Welzl
+    fallback guards degenerate (massively cocircular) inputs.
+
+    The caller (:func:`repro.geometry.smallest_enclosing_circle`) owns
+    the memo, exactly as for the scalar body.
+
+    Below :data:`SEC_ARRAY_MIN_N` points the scalar Welzl solver runs
+    instead.  That is both the faster choice (numpy setup dominates at
+    robot-sized inputs) and the stricter one: the refinement may settle
+    on a different — equally valid — support subset of a cocircular
+    tie than Welzl does, and the last-bit center drift between the two
+    circle constructions is observable through exact tie-breaks
+    downstream.  Keeping simulation-sized inputs on the scalar path
+    makes the array engine's SEC bit-identical where step-count
+    equivalence is asserted; the vectorized path serves large
+    analysis-scale inputs, where the tolerance contract applies.
+    """
+    n = len(points)
+    if n < SEC_ARRAY_MIN_N:
+        return _welzl(points)
+    xs = np.fromiter((p.x for p in points), dtype=np.float64, count=n)
+    ys = np.fromiter((p.y for p in points), dtype=np.float64, count=n)
+    dx0, dy0 = xs - xs.mean(), ys - ys.mean()
+    i0 = int(np.argmax(dx0 * dx0 + dy0 * dy0))
+    dx1, dy1 = xs - xs[i0], ys - ys[i0]
+    i1 = int(np.argmax(dx1 * dx1 + dy1 * dy1))
+    if i1 == i0:  # all points coincide
+        return Circle(points[i0], 0.0)
+    support = [points[i0], points[i1]]
+    circle = circle_from_two(points[i0], points[i1])
+    for _ in range(max(32, 4 * n)):
+        cx, cy = circle.center.x, circle.center.y
+        bound = circle.radius + EPS
+        ddx, ddy = xs - cx, ys - cy
+        d2 = ddx * ddx + ddy * ddy
+        far = int(np.argmax(d2))
+        if d2[far] <= bound * bound:
+            return circle
+        p = points[far]
+        cands = [q for q in support if q is not p] + [p]
+        picked = _min_circle_of(cands)
+        if picked is None or picked[0].radius <= circle.radius:
+            break  # no strict progress: bail to the exact solver
+        circle, support = picked
+    return _welzl(points)
+
+
+# ----------------------------------------------------------------------
+# Weber point
+# ----------------------------------------------------------------------
+#: Below this size the scalar Weiszfeld loop beats the numpy one (the
+#: per-iteration numpy dispatch overhead exceeds a short Python loop).
+WEBER_ARRAY_MIN_N = 24
+
+
+def weiszfeld_array(
+    coords: np.ndarray, tol: float = 1e-12, max_iter: int = 10_000
+) -> tuple[float, float]:
+    """Damped Weiszfeld iteration over an ``(n, 2)`` coordinate array.
+
+    Same iteration as the scalar solve — plain Weiszfeld step with the
+    Vardi-Zhang correction when the iterate lands on a data point, and
+    convergence on the squared step length — with the per-point loop
+    vectorized.  The summation order differs from the scalar engine
+    (pairwise numpy reduction vs sequential Python adds), so results
+    agree to solver tolerance, not bit-for-bit.
+    """
+    y = coords.mean(axis=0)
+    tol_sq = tol * tol
+    for _ in range(max_iter):
+        diff = coords - y
+        d = np.hypot(diff[:, 0], diff[:, 1])
+        mask = d >= 1e-14
+        coincident = not bool(mask.all())
+        w = np.zeros_like(d)
+        np.divide(1.0, d, out=w, where=mask)
+        denom = float(w.sum())
+        if denom == 0.0:
+            ny = y
+        else:
+            num = (coords * w[:, None]).sum(axis=0)
+            t = num / denom
+            if not coincident:
+                ny = t
+            else:
+                r = math.hypot(
+                    float(num[0]) - y[0] * denom, float(num[1]) - y[1] * denom
+                )
+                if r < 1e-14:
+                    ny = y
+                else:
+                    step = min(1.0, 1.0 / r)
+                    ny = y + step * (t - y)
+        delta = ny - y
+        done = float(delta[0]) ** 2 + float(delta[1]) ** 2 <= tol_sq
+        y = ny
+        if done:
+            break
+    return float(y[0]), float(y[1])
+
+
+def weber_array(
+    points: Sequence[Vec2], tol: float = 1e-12, max_iter: int = 10_000
+) -> Vec2:
+    """Geometric median: memoised, vectorized above ``WEBER_ARRAY_MIN_N``.
+
+    The memo is consulted twice: under the direct key, then under the
+    key of the x-axis reflection of the input.  Weiszfeld iteration is
+    *exactly* flip-covariant — distances and the denominator are even in
+    the sign of y, the coordinate sums odd, every branch tests an even
+    quantity, and floating-point negation is exact — so the median of
+    the mirrored points is the bit-exact mirror of the cached one.  The
+    array engine evaluates every configuration through both canonical
+    chiralities, which makes the second chirality's solve a guaranteed
+    mirror hit.
+    """
+    if len(points) <= 2:
+        return _weiszfeld_solve(points, tol, max_iter)
+    if _WEBER_MEMO.active():
+        key = (points_key(points), tol, max_iter)
+        hit, cached = _WEBER_MEMO.lookup(key)
+        if hit:
+            return cached
+        mirror_key = (
+            points_key(tuple(Vec2(p.x, -p.y) for p in points)),
+            tol,
+            max_iter,
+        )
+        hit, cached = _WEBER_MEMO.lookup(mirror_key)
+        if hit:
+            result = Vec2(cached.x, -cached.y)
+            _WEBER_MEMO.store(key, result)
+            return result
+    else:
+        key = None
+    if len(points) < WEBER_ARRAY_MIN_N:
+        result = _weiszfeld_solve(points, tol, max_iter)
+    else:
+        yx, yy = weiszfeld_array(_coords_array(points), tol, max_iter)
+        result = Vec2(yx, yy)
+    if key is not None:
+        _WEBER_MEMO.store(key, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# polar tables and the view order
+# ----------------------------------------------------------------------
+def polar_arrays(
+    coords: np.ndarray, cx: float, cy: float, eps: float = VIEW_EPS
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched polar table of an ``(m, 2)`` coordinate array.
+
+    Returns ``(at_center, theta, dist)``: the per-row center-coincidence
+    mask (the scalar engine's per-coordinate ``approx_eq``), direction
+    angles normalised into [0, 2*pi) exactly as
+    :func:`repro.geometry.angles.direction_angle`, and distances from
+    the center.  Rows flagged ``at_center`` carry zeros.
+    """
+    dx = coords[:, 0] - cx
+    dy = coords[:, 1] - cy
+    at_center = (np.abs(dx) <= eps) & (np.abs(dy) <= eps)
+    theta = np.fmod(np.arctan2(dy, dx), _TWO_PI)
+    theta[theta < 0.0] += _TWO_PI
+    theta[theta >= _TWO_PI] -= _TWO_PI
+    dist = np.hypot(dx, dy)
+    theta[at_center] = 0.0
+    dist[at_center] = 0.0
+    return at_center, theta, dist
+
+
+def _sorted_rows(
+    angle: np.ndarray, ratio: np.ndarray, mult: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row exact sort by (angle, ratio, mult) via one flat lexsort.
+
+    Returns the sorted grids plus a per-row "ambiguous" flag mirroring
+    the scalar fast path's verification: a row is ambiguous when some
+    adjacent pair is out of strict tolerant order, or tolerant-equal
+    without being identical — exactly the cases where the scalar
+    comparator sort could order differently than the exact sort.
+    """
+    r, m = angle.shape
+    rows = np.repeat(np.arange(r), m)
+    mult_grid = np.tile(mult, r)
+    order = np.lexsort((mult_grid, ratio.ravel(), angle.ravel(), rows))
+    sa = angle.ravel()[order].reshape(r, m)
+    sr = ratio.ravel()[order].reshape(r, m)
+    sm = mult_grid[order].reshape(r, m)
+
+    if m < 2:
+        return sa, sr, sm, np.zeros(r, dtype=bool)
+    au, av = sa[:, :-1], sa[:, 1:]
+    ru, rv = sr[:, :-1], sr[:, 1:]
+    mu, mv = sm[:, :-1], sm[:, 1:]
+    close_a = np.abs(au - av) <= VIEW_EPS
+    close_r = np.abs(ru - rv) <= VIEW_EPS
+    # Exact sort already guarantees (au, ru, mu) <= (av, rv, mv)
+    # lexicographically; a violation of the *tolerant* order needs the
+    # coarser comparator to look past an exactly-smaller angle (or
+    # ratio) and find a larger later component.
+    bad = (close_a & ~close_r & (ru > rv)) | (close_a & close_r & (mu > mv))
+    tie = close_a & close_r & (mu == mv) & ((au != av) | (ru != rv))
+    return sa, sr, sm, np.any(bad | tie, axis=1)
+
+
+#: Below this many points the scalar per-owner construction beats the
+#: batched lexsort (measured cold crossover: 170µs vs 280µs at n=7,
+#: 478µs vs 527µs at n=12, 682µs vs 427µs at n=14 — numpy call overhead
+#: dominates small tables).  The kernel still memoises either way.
+VIEW_ORDER_ARRAY_MIN_N = 13
+
+
+def view_order_array(
+    points: Sequence[Vec2], center: Vec2
+) -> list[tuple[Vec2, LocalView]]:
+    """All robots with their views, sorted by decreasing view.
+
+    Semantics of :func:`repro.model.views.view_order`, computed for all
+    owners at once, memoised per bit-exact (points, center).  Small
+    inputs delegate to the scalar construction (identical output, see
+    :data:`VIEW_ORDER_ARRAY_MIN_N`).
+    """
+    if _VIEW_ORDER_MEMO.active():
+        key = points_key(points, center)
+        hit, cached = _VIEW_ORDER_MEMO.lookup(key)
+        if hit:
+            return list(cached)
+    else:
+        key = None
+    if len(points) < VIEW_ORDER_ARRAY_MIN_N:
+        entries = _views._view_order_scalar(points, center)
+    else:
+        entries = _compute_view_order(points, center)
+    if key is not None:
+        _VIEW_ORDER_MEMO.store(key, tuple(entries))
+    return entries
+
+
+def _compute_view_order(
+    points: Sequence[Vec2], center: Vec2
+) -> list[tuple[Vec2, LocalView]]:
+    multiset = _views._multiset(points)
+    owners_all = [p for p, _ in multiset]
+    mult = np.fromiter(
+        (m for _, m in multiset), dtype=np.int64, count=len(multiset)
+    )
+    coords = _coords_array(owners_all)
+    at_center, theta, dist = polar_arrays(coords, center.x, center.y)
+    own = np.flatnonzero(~at_center)
+    R = int(own.size)
+    if R == 0:
+        return []
+    owners = [owners_all[i] for i in own]
+
+    # Both orientations in one (2R, m) batch — rows [0, R) are the
+    # owners' counterclockwise views, rows [R, 2R) their clockwise
+    # twins — so the whole table sorts in a single flat lexsort.
+    raw = theta[None, :] - theta[own][:, None]
+    raw = np.concatenate((raw, -raw), axis=0)
+    angle = np.fmod(raw, _TWO_PI)
+    angle[angle < 0.0] += _TWO_PI
+    angle[angle >= _TWO_PI] -= _TWO_PI
+    angle[angle > _TWO_PI - VIEW_EPS] = 0.0
+    ratio = dist[None, :] / dist[own][:, None]
+    ratio = np.concatenate((ratio, ratio), axis=0)
+    angle[:, at_center] = 0.0
+    ratio[:, at_center] = 0.0
+    sa, sr, sm, ambiguous = _sorted_rows(angle, ratio, mult)
+
+    # Orientation choice, vectorized: the sign of the first tolerant
+    # difference between each ccw row and its cw twin (angle before
+    # ratio before exact multiplicity — compare_coord_seqs on rows of
+    # equal length).  Only meaningful where neither row is ambiguous;
+    # ambiguous owners defer to the scalar path below.
+    da = sa[:R] - sa[R:]
+    dr = sr[:R] - sr[R:]
+    dm = sm[:R] - sm[R:]
+    sig = np.where(
+        np.abs(da) > VIEW_EPS,
+        np.sign(da),
+        np.where(np.abs(dr) > VIEW_EPS, np.sign(dr), np.sign(dm)),
+    )
+    nonzero = sig != 0
+    first = nonzero.argmax(axis=1)
+    cmp_rows = np.where(nonzero.any(axis=1), sig[np.arange(R), first], 0.0)
+
+    la, lr, lm = sa.tolist(), sr.tolist(), sm.tolist()
+    amb = ambiguous.tolist()
+    entries: list[tuple[Vec2, LocalView]] = []
+    for i, owner in enumerate(owners):
+        if amb[i] or amb[R + i]:
+            # eps-straddling tie in a row sort: defer to the scalar
+            # comparator path, which defines the order in that case
+            # (identical to the exact sort for the unambiguous twin).
+            entries.append((owner, _views.local_view(points, center, owner)))
+            continue
+        c = cmp_rows[i]
+        if c > 0:
+            view = LocalView(tuple(zip(la[i], lr[i], lm[i])), True, False)
+        elif c < 0:
+            j = R + i
+            view = LocalView(tuple(zip(la[j], lr[j], lm[j])), False, False)
+        else:
+            view = LocalView(tuple(zip(la[i], lr[i], lm[i])), True, True)
+        entries.append((owner, view))
+    entries.sort(
+        key=cmp_to_key(lambda x, y: compare_views(x[1], y[1])), reverse=True
+    )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# similarity
+# ----------------------------------------------------------------------
+def find_similarity_array(
+    a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS
+) -> "Similarity | None":
+    """Witness similarity: the scalar candidate scan, memoised.
+
+    The kernel is a pure memo over :func:`_find_similarity_scalar` — a
+    vectorized all-pairs feasibility pre-check was measured slower than
+    the scalar early-exit greedy matcher at every size up to n=64 (the
+    greedy scan bails on the first unmatched point; the (n, n) numpy
+    reject pays its full cost on every candidate).  What the canonical
+    frames buy here is the memo: same-chirality robots present
+    bit-identical (a, b) pairs every activation.
+    """
+    if _SIMILARITY_MEMO.active():
+        key = (len(a), points_key(tuple(a) + tuple(b)), eps)
+        hit, cached = _SIMILARITY_MEMO.lookup(key)
+        if hit:
+            return None if cached is _NO_SIMILARITY else cached
+    else:
+        key = None
+    result = _find_similarity_scalar(a, b, eps)
+    if key is not None:
+        _SIMILARITY_MEMO.store(
+            key, _NO_SIMILARITY if result is None else result
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# regular-set detection
+# ----------------------------------------------------------------------
+def find_regular_array(points, tol, polish):
+    """Memoising wrapper over the scalar regular-set detector."""
+    if _REGULAR_MEMO.active():
+        key = (points_key(points), tol, polish)
+        hit, cached = _REGULAR_MEMO.lookup(key)
+        if hit:
+            return cached
+    else:
+        key = None
+    result = _find_regular_impl(points, tol, polish)
+    if key is not None:
+        _REGULAR_MEMO.store(key, result)
+    return result
+
+
+def find_shifted_regular_array(points, tol):
+    """Memoising wrapper over the scalar shifted-regular detector."""
+    if _SHIFTED_MEMO.active():
+        key = (points_key(points), tol)
+        hit, cached = _SHIFTED_MEMO.lookup(key)
+        if hit:
+            return cached
+    else:
+        key = None
+    result = _find_shifted_regular_impl(points, tol)
+    if key is not None:
+        _SHIFTED_MEMO.store(key, result)
+    return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from ..accel import KERNELS as _KERNELS
 from .circle import Circle, circle_from_three, circle_from_two
 from .memo import Memo, points_key
 from .point import Vec2
@@ -57,6 +58,15 @@ def smallest_enclosing_circle(points: Sequence[Vec2]) -> Circle:
             return circle
     else:
         key = None
+    kernel = _KERNELS.sec
+    circle = _welzl(points) if kernel is None else kernel(points)
+    if key is not None:
+        _SEC_MEMO.store(key, circle)
+    return circle
+
+
+def _welzl(points: Sequence[Vec2]) -> Circle:
+    """The scalar Welzl solve (memo and kernel dispatch live above)."""
     pts = _shuffled(points)
 
     # ``Circle.contains`` is inlined throughout the Welzl loops as a
@@ -75,8 +85,6 @@ def smallest_enclosing_circle(points: Sequence[Vec2]) -> Circle:
         cx, cy = circle.center.x, circle.center.y
         bound = circle.radius + EPS
         bound_sq = bound * bound
-    if key is not None:
-        _SEC_MEMO.store(key, circle)
     return circle
 
 

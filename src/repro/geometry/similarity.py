@@ -17,12 +17,17 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from ..accel import KERNELS as _KERNELS
 from .memo import Memo, points_key
 from .point import Vec2, centroid
 from .tolerance import EPS, approx_eq
 from .transform import Similarity
 
 _NORM_MEMO = Memo("geometry.normalize")
+
+#: Sentinel distinguishing a cached "no similarity exists" verdict from
+#: a cache miss in the array engine's memo (which stores both outcomes).
+_NO_SIMILARITY = object()
 
 
 def normalize_points(points: Sequence[Vec2]) -> tuple[list[Vec2], Vec2, float]:
@@ -96,14 +101,16 @@ def similar(a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS) -> bool:
     return find_similarity(a, b, eps) is not None
 
 
-def find_similarity(
-    a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS
-) -> Similarity | None:
-    """A witness similarity mapping ``a`` onto ``b``, or None.
+def _similarity_candidates(a: Sequence[Vec2], b: Sequence[Vec2], eps: float):
+    """The shared pre-candidate stage of the similarity decision.
 
-    The returned transform satisfies ``transform.apply_all(a)`` being a
-    permutation of ``b`` up to ``eps`` (after accounting for the relative
-    scale of the two sets).
+    Runs the cheap gates (size, degenerate single-location, radii
+    multiset) and the anchor selection.  Returns a decided result —
+    a :class:`Similarity` or ``None`` — when a gate settles the answer,
+    otherwise the tuple ``(norm_a, norm_b, cen_a, cen_b, scale_a,
+    scale_b, anchor_r, anchor_angle, norms_b)`` for the candidate scan.
+    Shared verbatim by the scalar scan below and the vectorized one in
+    :mod:`repro.fastsim.kernels`, so both walk identical candidates.
     """
     if len(a) != len(b):
         return None
@@ -139,6 +146,58 @@ def find_similarity(
     anchor_i = max(range(len(norm_a)), key=norms_a.__getitem__)
     anchor_r = norms_a[anchor_i]
     anchor_angle = norm_a[anchor_i].angle()
+    return (
+        norm_a,
+        norm_b,
+        cen_a,
+        cen_b,
+        scale_a,
+        scale_b,
+        anchor_r,
+        anchor_angle,
+        norms_b,
+    )
+
+
+def find_similarity(
+    a: Sequence[Vec2], b: Sequence[Vec2], eps: float = EPS
+) -> Similarity | None:
+    """A witness similarity mapping ``a`` onto ``b``, or None.
+
+    The returned transform satisfies ``transform.apply_all(a)`` being a
+    permutation of ``b`` up to ``eps`` (after accounting for the relative
+    scale of the two sets).
+    """
+    kernel = _KERNELS.find_similarity
+    if kernel is not None:
+        return kernel(a, b, eps)
+    return _find_similarity_scalar(a, b, eps)
+
+
+def _find_similarity_scalar(
+    a: Sequence[Vec2], b: Sequence[Vec2], eps: float
+) -> Similarity | None:
+    """The candidate scan itself, bypassing kernel dispatch.
+
+    Split out so installed kernels can reuse the scalar search (the
+    array engine's kernel adds memoisation on top of this exact body:
+    the early-exit greedy matcher beat a vectorized all-pairs
+    feasibility scan at every measured size up to n=64).
+    """
+    prepared = _similarity_candidates(a, b, eps)
+    if not isinstance(prepared, tuple):
+        return prepared
+    (
+        norm_a,
+        norm_b,
+        cen_a,
+        cen_b,
+        scale_a,
+        scale_b,
+        anchor_r,
+        anchor_angle,
+        norms_b,
+    ) = prepared
 
     b_coords = [(q.x, q.y) for q in norm_b]
     match_eps = 4 * eps

@@ -17,6 +17,7 @@ from __future__ import annotations
 from math import hypot
 from typing import Sequence
 
+from ..accel import KERNELS as _KERNELS
 from .point import Vec2, centroid
 from .tolerance import EPS
 
@@ -37,11 +38,26 @@ def weber_point(
     hits save now that the solve itself runs on raw coordinates with a
     relaxed caller-side tolerance (``repro.regular.WEBER_TOL``).
 
+    The array engine installs a kernel here (memoised + vectorized for
+    large inputs; see :mod:`repro.fastsim.kernels`) — under its
+    canonical frames the memo hit rate is high, which is what makes the
+    memo worthwhile there and not here.
+
     Raises:
         ValueError: on an empty input.
     """
     if not points:
         raise ValueError("Weber point of an empty set is undefined")
+    kernel = _KERNELS.weber
+    if kernel is not None:
+        return kernel(points, tol, max_iter)
+    return _weiszfeld_solve(points, tol, max_iter)
+
+
+def _weiszfeld_solve(
+    points: Sequence[Vec2], tol: float, max_iter: int
+) -> Vec2:
+    """The scalar Weiszfeld solve (kernel dispatch lives above)."""
     if len(points) == 1:
         return points[0]
     if len(points) == 2:

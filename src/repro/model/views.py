@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..accel import KERNELS as _KERNELS
 from ..geometry import Vec2, direction_angle, point_holds_sec
 from ..geometry.memo import Memo, points_key
 
@@ -276,6 +277,25 @@ def view_order(points: Sequence[Vec2], center: Vec2) -> list[tuple[Vec2, LocalVi
     this cache costing more wall-clock than every other cache saves.
     The shared redundancy is captured one level down by the polar-table
     memo.
+
+    The array engine installs a kernel here (one lexsort over all
+    owners at once, memoised — worthwhile there because its canonical
+    frames make the key recur; see :mod:`repro.fastsim.kernels`).
+    """
+    kernel = _KERNELS.view_order
+    if kernel is not None:
+        return kernel(points, center)
+    return _view_order_scalar(points, center)
+
+
+def _view_order_scalar(
+    points: Sequence[Vec2], center: Vec2
+) -> list[tuple[Vec2, LocalView]]:
+    """The per-owner view construction itself, bypassing kernel dispatch.
+
+    Split out so installed kernels can delegate back to it below their
+    profitable size (the lexsort kernel's numpy overhead only amortises
+    from roughly a dozen robots up).
     """
     entries = [
         (p, local_view(points, center, p))

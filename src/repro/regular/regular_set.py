@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..accel import KERNELS as _KERNELS
 from ..geometry import Vec2, direction_angle, norm_angle, weber_point
 from ..geometry.tolerance import approx_eq
 from .optimize import nelder_mead
@@ -194,6 +195,16 @@ def find_regular(
     gap residuals from the Weber start (useful for noisy external data;
     never needed for configurations this library's algorithms produce).
     """
+    kernel = _KERNELS.find_regular
+    if kernel is not None:
+        return kernel(points, tol, polish)
+    return _find_regular_impl(points, tol, polish)
+
+
+def _find_regular_impl(
+    points: Sequence[Vec2], tol: float, polish: bool
+) -> RegularGeometry | None:
+    """The scalar detector body (kernel dispatch lives above)."""
     if len(points) < 2:
         return None
     if len(points) == 2:

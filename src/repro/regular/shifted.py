@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..accel import KERNELS as _KERNELS
 from ..geometry import (
     Vec2,
     angmin,
@@ -116,6 +117,16 @@ def find_shifted_regular(
     points: Sequence[Vec2], tol: float = ANGLE_TOL
 ) -> ShiftedRegularSet | None:
     """Detect an ε-shifted regular set in the configuration (Definition 3)."""
+    kernel = _KERNELS.find_shifted_regular
+    if kernel is not None:
+        return kernel(points, tol)
+    return _find_shifted_regular_impl(points, tol)
+
+
+def _find_shifted_regular_impl(
+    points: Sequence[Vec2], tol: float
+) -> ShiftedRegularSet | None:
+    """The scalar detector body (kernel dispatch lives above)."""
     n = len(points)
     if n < 3:
         return None

@@ -68,6 +68,11 @@ class AsyncScheduler(Scheduler):
         self._compute_delay_prob = compute_delay_prob
         self._fairness_bound = fairness_bound
         self._policy = policy
+        # Earliest step at which a starvation breach is possible: no
+        # robot can lag by more than the bound before
+        # min(last_action_step) + bound, and last_action_step only
+        # grows, so the laggard scan can sleep until this horizon.
+        self._laggard_horizon = 0
 
     # -- read access for activation policies ---------------------------
     @property
@@ -118,18 +123,31 @@ class AsyncScheduler(Scheduler):
 
     # ------------------------------------------------------------------
     def reset(self, n: int) -> None:
+        self._laggard_horizon = 0
         if self._policy is not None:
             self._policy.reset(n)
 
     def next_action(self, robots: Sequence[RobotBody], step: int) -> Action:
-        laggard = self.find_laggard(robots, step, self._fairness_bound)
-        if laggard is not None:
-            return self._advance(laggard, force=True)
+        if step >= self._laggard_horizon:
+            # Single scan finding the most starved robot (first-found on
+            # ties, matching find_laggard); when it is within the bound,
+            # nobody breaches fairness before its horizon.  Crashed
+            # robots leaving the pool only raise the minimum, so the
+            # cached horizon stays conservative.
+            oldest = robots[0]
+            for robot in robots:
+                if robot.last_action_step < oldest.last_action_step:
+                    oldest = robot
+            if step - oldest.last_action_step > self._fairness_bound:
+                return self._advance(oldest, force=True)
+            self._laggard_horizon = (
+                oldest.last_action_step + self._fairness_bound + 1
+            )
         if self._policy is not None:
             robot, force = self._policy.choose(robots, step, self)
             return self._advance(robot, force=force)
         for _ in range(64):
-            robot = self._rng.choice(list(robots))
+            robot = self._rng.choice(robots)
             if robot.phase is Phase.OBSERVED and (
                 self._rng.random() < self._compute_delay_prob
             ):
@@ -138,7 +156,7 @@ class AsyncScheduler(Scheduler):
                 continue  # pause mid-move
             return self._advance(robot, force=False)
         # Everybody got skipped by the random knobs — just act somewhere.
-        return self._advance(self._rng.choice(list(robots)), force=True)
+        return self._advance(self._rng.choice(robots), force=True)
 
     def _advance(self, robot: RobotBody, force: bool) -> Action:
         if robot.phase is Phase.IDLE:

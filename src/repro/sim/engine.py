@@ -102,6 +102,10 @@ def random_frames(
             max_scale=max_scale,
         )
 
+    # Declarative description of the draw, for engines that only need the
+    # frame's chirality and scale (the array engine's canonical-frame
+    # Look replays the exact RNG draws without building the frame).
+    policy.draw_spec = (allow_reflection, min_scale, max_scale)
     return policy
 
 
@@ -224,6 +228,11 @@ class Simulation:
             RandomSource(master.getrandbits(63)) for _ in self.robots
         ]
         self.step_count = 0
+        # Number of robots currently outside their cycle, maintained by
+        # :meth:`apply` so fault-free runs answer :meth:`all_idle` in
+        # O(1).  Fault injection can flip phases outside apply (crash
+        # handling), so faulty runs fall back to the full scan.
+        self._idle_count = len(self.robots)
         self._positions_dirty = True
         self._last_movement_step = 0
         self._last_probe_step = -(10**9)
@@ -276,6 +285,8 @@ class Simulation:
 
     def all_idle(self) -> bool:
         """Whether every robot is outside its cycle (static configuration)."""
+        if self.faults is None:
+            return self._idle_count == len(self.robots)
         return all(r.phase is Phase.IDLE for r in self.robots)
 
     # ------------------------------------------------------------------
@@ -329,10 +340,15 @@ class Simulation:
         started = _perf_counter() if profiling else 0.0
         if action.kind is ActionKind.LOOK:
             self._apply_look(robot)
+            self._idle_count -= 1  # LOOK is strictly IDLE -> OBSERVED
         elif action.kind is ActionKind.COMPUTE:
             self._apply_compute(robot)
+            if robot.phase is Phase.IDLE:  # trivial path: cycle over
+                self._idle_count += 1
         else:
             self._apply_move(robot, action)
+            if robot.phase is Phase.IDLE:  # move completed
+                self._idle_count += 1
         if profiling:
             _PROFILER.add(action.kind.name.lower(), _perf_counter() - started)
 
@@ -378,7 +394,13 @@ class Simulation:
         self.metrics.coin_flips += rng.bit_calls - flips_before
         self.metrics.float_draws += rng.float_calls - floats_before
         self.metrics.computes += 1
+        self._commit_compute(robot, local_path)
 
+    def _commit_compute(self, robot: RobotBody, local_path) -> None:
+        """Install one Compute result: idle on a trivial path, else arm
+        the Move.  Shared by the scalar engine and the array engine's
+        compute-memo replay path (the result of a memo hit is installed
+        through exactly this code)."""
         robot.snapshot = None
         if local_path is None or local_path.is_trivial():
             robot.phase = Phase.IDLE

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..geometry import Circle, Similarity, Vec2, direction_angle
+from ..geometry import Circle, Similarity, Vec2, direction_angle, norm_angle
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,16 @@ class LineSegment:
     def transformed(self, transform: Similarity) -> "LineSegment":
         """The segment mapped through a similarity."""
         return LineSegment(transform.apply(self.start), transform.apply(self.end))
+
+    def mirrored(self) -> "LineSegment":
+        """The segment reflected across the x axis — *exactly*.
+
+        Floating-point negation is exact, so every query on the mirrored
+        segment returns the exact reflection of the original's answer
+        (lengths are bit-identical).
+        """
+        s, e = self.start, self.end
+        return LineSegment(Vec2(s.x, -s.y), Vec2(e.x, -e.y))
 
 
 @dataclass(frozen=True)
@@ -87,6 +97,25 @@ class ArcSegment:
         new_start_angle = direction_angle(new_center, new_start)
         new_sweep = -self.sweep if transform.reflect else self.sweep
         return ArcSegment(new_center, new_radius, new_start_angle, new_sweep)
+
+    def mirrored(self) -> "ArcSegment":
+        """The arc reflected across the x axis.
+
+        Reflection maps polar angle ``a`` to ``-a`` (an exact negation)
+        and reverses the sweep direction.  The start angle is
+        renormalised into [0, 2*pi) to match ``direction_angle``'s
+        convention, which costs one rounding: sampled points agree with
+        the exact reflection — and with an arc built live from the
+        reflected inputs — to within one ulp of the angle.  Radius and
+        sweep magnitude are untouched, so the length is bit-identical.
+        """
+        c = self.center
+        return ArcSegment(
+            Vec2(c.x, -c.y),
+            self.radius,
+            norm_angle(-self.start_angle),
+            -self.sweep,
+        )
 
 
 Segment = LineSegment | ArcSegment
@@ -165,3 +194,14 @@ class Path:
     def transformed(self, transform: Similarity) -> "Path":
         """The path mapped through a similarity transform."""
         return Path(tuple(seg.transformed(transform) for seg in self.segments))
+
+    def mirrored(self) -> "Path":
+        """The path reflected across the x axis, segment by segment.
+
+        Unlike :meth:`transformed` with a reflection similarity (which
+        re-derives arc angles through ``atan2``), this reflects at the
+        bit level: lengths are bit-identical, line segments are exact
+        reflections, and arc angles deviate by at most one rounding
+        (see :meth:`ArcSegment.mirrored`).
+        """
+        return Path(tuple(seg.mirrored() for seg in self.segments))

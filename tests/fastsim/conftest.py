@@ -1,0 +1,15 @@
+"""Shared fixtures for the fastsim differential suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.memo import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Process-global memos must not leak bit-exact entries across tests."""
+    clear_caches()
+    yield
+    clear_caches()

@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.fastsim.diff` (no engine runs, no numpy).
+
+These run even when numpy is absent: the diff helpers themselves are
+plain-Python record comparison, and the no-numpy CI leg uses them to
+prove the module imports cleanly alongside the scalar engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.batch import RunRecord
+from repro.fastsim.diff import (
+    COUNT_FIELDS,
+    DiffReport,
+    compare_records,
+    format_reports,
+    scenario_matrix,
+)
+
+
+def _record(**overrides) -> RunRecord:
+    base = dict(
+        seed=0,
+        formed=True,
+        terminated=True,
+        steps=1000,
+        cycles=500,
+        epochs=40,
+        random_bits=200,
+        coin_flips=200,
+        float_draws=900,
+        distance=12.5,
+        reason="terminal",
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestCompareRecords:
+    def test_identical_records_agree(self):
+        assert compare_records(_record(), _record()) == []
+
+    def test_counts_within_tolerance_agree(self):
+        a = _record()
+        b = _record(steps=1015, cycles=508, float_draws=912)
+        assert compare_records(a, b) == []
+
+    def test_count_drift_beyond_tolerance_reported(self):
+        a = _record()
+        b = _record(steps=1100)
+        problems = compare_records(a, b)
+        assert problems == ["steps: scalar=1000 array=1100"]
+
+    def test_small_absolute_slack_on_short_runs(self):
+        a = _record(steps=10, cycles=5)
+        b = _record(steps=22, cycles=9)
+        assert compare_records(a, b) == []
+
+    def test_verdict_mismatch_reported(self):
+        problems = compare_records(_record(), _record(formed=False))
+        assert any(p.startswith("formed:") for p in problems)
+
+    def test_reason_kind_not_text_compared(self):
+        # Different reason strings of the same kind agree...
+        a = _record(reason="error: worker died", terminated=False)
+        b = _record(reason="error: worker hung", terminated=False)
+        assert compare_records(a, b) == []
+        # ...different kinds do not.
+        c = _record(reason="max_steps", terminated=False)
+        assert any(
+            p.startswith("reason:") for p in compare_records(a, c)
+        )
+
+    def test_distance_tolerance(self):
+        assert compare_records(_record(), _record(distance=12.55)) == []
+        problems = compare_records(_record(), _record(distance=14.0))
+        assert any(p.startswith("distance:") for p in problems)
+
+    def test_different_seeds_rejected(self):
+        try:
+            compare_records(_record(seed=0), _record(seed=1))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_count_fields_cover_record(self):
+        field_names = {f.name for f in dataclasses.fields(RunRecord)}
+        assert set(COUNT_FIELDS) <= field_names
+
+
+class TestDiffReport:
+    def test_ok_and_verdict_split(self):
+        spec = scenario_matrix()[0]
+        report = DiffReport(spec=spec, seeds=(0, 1))
+        assert report.ok
+        report.mismatches[0] = ["steps: scalar=10 array=100"]
+        report.mismatches[1] = ["formed: scalar=True array=False"]
+        assert not report.ok
+        assert list(report.verdict_mismatches) == [1]
+
+    def test_format_reports(self):
+        spec = scenario_matrix()[0]
+        good = DiffReport(spec=spec, seeds=(0,))
+        bad = DiffReport(
+            spec=spec,
+            seeds=(0,),
+            mismatches={0: ["steps: scalar=10 array=100"]},
+        )
+        text = format_reports([good, bad])
+        assert text.startswith("OK ")
+        assert "DIFF" in text
+        assert "seed 0: steps" in text
+
+
+class TestScenarioMatrix:
+    def test_specs_are_valid_and_unique(self):
+        matrix = scenario_matrix()
+        names = [spec.name for spec in matrix]
+        assert len(names) == len(set(names))
+        for spec in matrix:
+            assert spec.max_steps > 0
+            assert spec.fingerprint()  # serialisable
+
+    def test_exclusions_hold(self):
+        for spec in scenario_matrix():
+            assert spec.initial[0] != "faulty-random"
+            if spec.faults:
+                assert "sensor" not in spec.faults

@@ -1,0 +1,81 @@
+"""Registry-exhaustive scalar-vs-array engine equivalence.
+
+Replays :func:`repro.fastsim.diff.scenario_matrix` — every registered
+algorithm, scheduler, frame policy and pattern family, plus the crash
+and truncation fault models — through both engines and asserts the
+differential contract: exact verdict agreement (formed / terminated /
+reason kind) and tolerance-bounded agreement on every progress counter
+(see :mod:`repro.fastsim.diff` for the documented bounds and
+exclusions).
+
+``TestSmoke`` is the quick subset CI runs on every push
+(``pytest tests/fastsim -k Smoke``); the full matrix below it is part
+of the regular suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.fastsim.diff import (
+    format_reports,
+    run_differential,
+    scenario_matrix,
+)
+
+MATRIX = scenario_matrix()
+_BY_NAME = {spec.name: spec for spec in MATRIX}
+
+SEEDS = [0, 1]
+
+#: Cheap, structurally diverse subset for the per-push CI smoke job.
+SMOKE_NAMES = [
+    "diff-async-polygon7",
+    "diff-ssync-line7",
+    "diff-multiplicity-center8",
+]
+
+
+def _assert_agrees(spec, seeds):
+    report = run_differential(spec, seeds)
+    assert report.ok, "\n" + format_reports([report])
+
+
+class TestSmoke:
+    @pytest.mark.parametrize("name", SMOKE_NAMES)
+    def test_engines_agree(self, name):
+        _assert_agrees(_BY_NAME[name], [0])
+
+
+class TestFullMatrix:
+    @pytest.mark.parametrize("name", sorted(_BY_NAME))
+    def test_engines_agree(self, name):
+        _assert_agrees(_BY_NAME[name], SEEDS)
+
+    def test_matrix_spans_registries(self):
+        """The matrix really is registry-exhaustive (minus exclusions)."""
+        from repro.analysis import scenarios as S
+
+        algorithms = {spec.algorithm[0] for spec in MATRIX}
+        schedulers = {spec.scheduler[0] for spec in MATRIX}
+        patterns = {spec.pattern[0] for spec in MATRIX if spec.pattern}
+        initials = {spec.initial[0] for spec in MATRIX}
+        frames = {
+            spec.frame_policy[0] for spec in MATRIX if spec.frame_policy
+        }
+        fault_kinds = {
+            kind for spec in MATRIX if spec.faults for kind in spec.faults
+        }
+
+        assert algorithms == set(S.ALGORITHM_BUILDERS)
+        assert schedulers == set(S.SCHEDULER_BUILDERS)
+        assert patterns == set(S.PATTERN_BUILDERS)
+        # faulty-random exists to kill workers, not to simulate.
+        assert initials == set(S.INITIAL_BUILDERS) - {"faulty-random"}
+        # the default (random) policy is exercised by every other spec.
+        assert frames == set(S.FRAME_POLICY_BUILDERS) - {"random"}
+        # sensor noise resamples per Look: statistically comparable
+        # only, so it is deliberately excluded from the strict matrix.
+        assert fault_kinds == {"crash", "truncate"}

@@ -1,0 +1,120 @@
+"""Seed-sweep golden test: pinned per-seed outcomes for both engines.
+
+Runs a small fixed workload (two Theorem-2 scenarios, five seeds)
+through the scalar and the array engine and compares every record
+against ``golden_seeds.json``:
+
+* **scalar**: every field must match the golden file exactly — the
+  scalar engine is the bit-exact reference and must stay bit-identical
+  to the behaviour pinned at PR time;
+* **array**: verdict fields exactly, counters within the differential
+  tolerances (the array engine promises tolerance-equivalence, and its
+  bit-level results may legitimately shift when kernel internals are
+  retuned).
+
+Regenerate after an intentional behaviour change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/fastsim/test_golden_seeds.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.analysis import BatchConfig, ScenarioSpec, run
+from repro.fastsim.diff import COUNT_FIELDS
+
+GOLDEN_PATH = Path(__file__).parent / "golden_seeds.json"
+SEEDS = [0, 1, 2, 3, 4]
+
+SPECS = [
+    ScenarioSpec(
+        name="golden-polygon7",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 7}),
+        pattern=("polygon", {"n": 7}),
+        max_steps=200_000,
+    ),
+    ScenarioSpec(
+        name="golden-rings9",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 9}),
+        pattern=("rings", {"counts": [5, 4]}),
+        max_steps=200_000,
+    ),
+]
+
+
+def _record_dict(rec) -> dict:
+    return {
+        "seed": rec.seed,
+        "formed": rec.formed,
+        "terminated": rec.terminated,
+        "reason_kind": rec.reason_kind.value,
+        **{name: getattr(rec, name) for name in COUNT_FIELDS},
+        "distance": rec.distance,
+    }
+
+
+def _sweep() -> dict:
+    out: dict = {}
+    for engine in ("scalar", "array"):
+        cfg = BatchConfig(workers=1, engine=engine)
+        out[engine] = {
+            spec.name: [_record_dict(r) for r in run(spec, SEEDS, cfg).runs]
+            for spec in SPECS
+        }
+    return out
+
+
+def _regen_requested() -> bool:
+    return os.environ.get("REPRO_REGEN_GOLDEN", "").strip() not in ("", "0")
+
+
+def test_golden_seed_sweep():
+    actual = _sweep()
+    if _regen_requested() or not GOLDEN_PATH.exists():
+        GOLDEN_PATH.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        if not _regen_requested():
+            pytest.fail(
+                f"golden file {GOLDEN_PATH} was missing; wrote it — "
+                "inspect and commit it, then re-run"
+            )
+        return
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    # Scalar engine: bit-exact against the pinned records.
+    assert actual["scalar"] == golden["scalar"], (
+        "scalar engine diverged from its pinned golden records; if the "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+    # Array engine: exact verdicts, tolerance-bounded counters.
+    for spec_name, golden_runs in golden["array"].items():
+        for got, want in zip(actual["array"][spec_name], golden_runs):
+            context = f"{spec_name} seed {want['seed']}"
+            for field in ("seed", "formed", "terminated", "reason_kind"):
+                assert got[field] == want[field], (
+                    f"{context}: {field} {got[field]!r} != {want[field]!r}"
+                )
+            for field in COUNT_FIELDS:
+                s, a = want[field], got[field]
+                assert abs(s - a) <= 16 + 0.02 * max(abs(s), abs(a)), (
+                    f"{context}: {field} {a} vs golden {s}"
+                )
+            s, a = want["distance"], got["distance"]
+            assert abs(s - a) <= 1e-9 + 0.01 * max(abs(s), abs(a)), (
+                f"{context}: distance {a!r} vs golden {s!r}"
+            )

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the fastsim kernels.
+
+These pin the *mathematical* contract of each vectorized kernel against
+brute force or against the scalar reference, over randomly generated
+configurations rather than the handful of fixtures in
+``tests/fastsim/test_kernels.py``:
+
+* SEC: containment, and minimality against the brute-force enumeration
+  of all two-point (diametral) and three-point (circumscribed)
+  candidate circles;
+* Weiszfeld: the returned point minimises the Weber objective locally
+  and matches the scalar solver through the objective;
+* view order: the polar-table ordering is invariant under global
+  rotation + translation of the configuration (the robot-frame
+  canonicalisation the array engine relies on).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("numpy")
+
+from repro.fastsim import kernels as K
+from repro.geometry import Vec2, weber_objective
+from repro.geometry.circle import circle_from_three, circle_from_two
+from repro.geometry.memo import clear_caches
+from repro.geometry.weber import _weiszfeld_solve
+from repro.model.views import _view_order_scalar, compare_views
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, width=32)
+points = st.builds(Vec2, coords, coords)
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def point_lists(min_size, max_size):
+    return st.lists(
+        points, min_size=min_size, max_size=max_size, unique_by=lambda p: (p.x, p.y)
+    )
+
+
+def _brute_force_sec_radius(pts):
+    """Minimum radius over every enclosing 2- and 3-point candidate."""
+    best = math.inf
+    n = len(pts)
+    for i in range(n):
+        for j in range(i + 1, n):
+            for circle in [circle_from_two(pts[i], pts[j])] + [
+                circle_from_three(pts[i], pts[j], pts[k])
+                for k in range(j + 1, n)
+            ]:
+                if circle is None:
+                    continue
+                if all(circle.contains(p, 1e-9) for p in pts):
+                    best = min(best, circle.radius)
+    return best
+
+
+class TestSecKernelProperties:
+    @given(point_lists(3, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_containment(self, pts):
+        circle = K.sec_array(pts)
+        for p in pts:
+            assert p.dist(circle.center) <= circle.radius + 1e-7
+
+    @given(point_lists(3, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_minimality_vs_brute_force(self, pts):
+        circle = K.sec_array(pts)
+        brute = _brute_force_sec_radius(pts)
+        assert brute < math.inf
+        assert circle.radius <= brute + 1e-6
+        # and it cannot beat the true optimum either
+        assert circle.radius >= brute - 1e-6
+
+
+class TestWeberKernelProperties:
+    @given(point_lists(3, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_local_minimum(self, pts):
+        w = K.weber_array(tuple(pts))
+        base = weber_objective(pts, w)
+        step = 1e-3
+        for dx, dy in [(step, 0), (-step, 0), (0, step), (0, -step)]:
+            assert weber_objective(pts, w + Vec2(dx, dy)) >= base - 1e-6
+
+    @given(point_lists(3, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_objective_matches_scalar_solver(self, pts):
+        frozen = tuple(pts)
+        array = K.weber_array(frozen)
+        scalar = _weiszfeld_solve(frozen, 1e-12, 10_000)
+        assert abs(
+            weber_objective(pts, array) - weber_objective(pts, scalar)
+        ) <= 1e-7
+
+
+class TestViewOrderProperties:
+    @given(point_lists(3, 14), angles, points)
+    @settings(max_examples=40, deadline=None)
+    def test_rigid_motion_invariance(self, pts, theta, offset):
+        """The polar table is a frame-free object: rotating and
+        translating the whole configuration (points *and* center) must
+        leave the ordering and every per-point view unchanged."""
+        center = Vec2(
+            sum(p.x for p in pts) / len(pts), sum(p.y for p in pts) / len(pts)
+        )
+        assume(all(p.dist(center) > 1e-6 for p in pts))
+        moved = [p.rotated(theta) + offset for p in pts]
+        moved_center = center.rotated(theta) + offset
+        assume(all(p.dist(moved_center) > 1e-6 for p in moved))
+
+        base = K.view_order_array(pts, center)
+        transformed = K.view_order_array(moved, moved_center)
+        assert len(base) == len(transformed)
+        for (pb, vb), (pt_, vt) in zip(base, transformed):
+            # corresponding original points, in the same rank order
+            assert pt_.dist(pb.rotated(theta) + offset) <= 1e-5
+            assert compare_views(vb, vt) == 0
+            assert vb.direct == vt.direct
+
+    @given(point_lists(3, 14))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_reference(self, pts):
+        center = Vec2.zero()
+        assume(all(p.dist(center) > 1e-9 for p in pts))
+        scalar = _view_order_scalar(pts, center)
+        array = K.view_order_array(pts, center)
+        assert [(p.x, p.y) for p, _ in scalar] == [
+            (p.x, p.y) for p, _ in array
+        ]
+        for (_, vs), (_, va) in zip(scalar, array):
+            assert compare_views(vs, va) == 0

@@ -1,0 +1,143 @@
+"""Boundary-epsilon behaviour of the terminal probe, on both engines.
+
+``Simulation._probe`` declares a robot quiescent when every forced-coin,
+forced-chirality Compute returns a path with ``is_trivial(1e-9)``.  That
+threshold is part of the engine contract (the array engine must draw the
+same idle-vs-move line or the differential suite diverges), so these
+tests pin its edges exactly: path length at/below 1e-9 is terminal,
+just above is not — on the scalar and the array engine alike.
+
+Also pinned here: the formation epsilon (``pattern.matches(..., 2e-5)``
+in ``_result``) and that the probe path through
+``MultiplicityFormPattern`` works (the probe runs Compute with forced
+bits outside a normal cycle, which is exactly where a missing
+``_decisions`` table would explode).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import Algorithm
+from repro.geometry import Vec2
+from repro.model import Pattern
+from repro.scheduler import RoundRobinScheduler
+from repro.sim import Path, Simulation, global_frames
+
+from ..conftest import polygon
+
+
+def _engines():
+    params = [pytest.param(Simulation, id="scalar")]
+    try:
+        from repro.fastsim.engine import ArraySimulation
+    except ImportError:  # numpy missing: scalar-only leg still runs
+        params.append(
+            pytest.param(None, id="array", marks=pytest.mark.skip("no numpy"))
+        )
+    else:
+        params.append(pytest.param(ArraySimulation, id="array"))
+    return params
+
+
+@pytest.fixture(params=_engines())
+def engine_cls(request):
+    return request.param
+
+
+class FixedStep(Algorithm):
+    """Every robot always proposes an eastward step of fixed length.
+
+    Oblivious and deterministic, so the probe's forced coins and
+    chirality sweeps all see the same proposal — the probe verdict is
+    purely a function of whether ``delta`` clears the 1e-9 triviality
+    threshold.
+    """
+
+    name = "fixed-step"
+
+    def __init__(self, delta: float):
+        self.delta = delta
+
+    def compute(self, snapshot, ctx):
+        return Path.line(snapshot.me, snapshot.me + Vec2(self.delta, 0.0))
+
+
+class NeverMove(Algorithm):
+    name = "never-move"
+
+    def compute(self, snapshot, ctx):
+        return None
+
+
+def _sim(engine_cls, alg, points=None, **kwargs):
+    kwargs.setdefault("frame_policy", global_frames())
+    return engine_cls(
+        points if points is not None else polygon(4),
+        alg,
+        RoundRobinScheduler(),
+        **kwargs,
+    )
+
+
+class TestProbeTriviality:
+    # not delta == 1e-9 exactly: adding the offset to coordinates of
+    # magnitude ~1 rounds the realised path length a few ulp either way
+    @pytest.mark.parametrize("delta", [0.0, 1e-12, 0.5e-9, 0.98e-9])
+    def test_sub_epsilon_paths_read_as_terminal(self, engine_cls, delta):
+        sim = _sim(engine_cls, FixedStep(delta))
+        assert sim.is_terminal()
+
+    @pytest.mark.parametrize("delta", [1.02e-9, 2e-9, 1e-6, 0.1])
+    def test_supra_epsilon_paths_read_as_live(self, engine_cls, delta):
+        sim = _sim(engine_cls, FixedStep(delta))
+        assert not sim.is_terminal()
+
+    def test_probe_verdict_is_memoised_per_configuration(self, engine_cls):
+        sim = _sim(engine_cls, FixedStep(0.0))
+        assert sim.is_terminal()
+        # same configuration, second call answers from the probe memo
+        assert sim.is_terminal()
+
+
+class TestFormationEpsilon:
+    def _formed(self, engine_cls, jitter):
+        target = polygon(4)
+        # perturb one vertex radially; SEC radius stays ~1, so the
+        # perturbation survives normalization at the same scale
+        points = [target[0] + Vec2(jitter, 0.0)] + target[1:]
+        sim = _sim(
+            engine_cls,
+            NeverMove(),
+            points=points,
+            pattern=Pattern.from_points(target),
+        )
+        res = sim.run()
+        assert res.terminated
+        return res.pattern_formed
+
+    def test_jitter_well_inside_epsilon_forms(self, engine_cls):
+        assert self._formed(engine_cls, 1e-7)
+
+    def test_jitter_well_outside_epsilon_does_not_form(self, engine_cls):
+        assert not self._formed(engine_cls, 1e-2)
+
+
+class TestMultiplicityProbePath:
+    def test_probe_runs_multiplicity_algorithm(self, engine_cls):
+        # The probe executes Compute with ForcedBits outside any cycle;
+        # MultiplicityFormPattern must survive that path (its decision
+        # memo is consulted before any regular cycle populated it).
+        from repro.algorithms import MultiplicityFormPattern
+
+        target = polygon(6) + [Vec2.zero()]
+        alg = MultiplicityFormPattern(Pattern.from_points(target))
+        sim = _sim(
+            engine_cls,
+            alg,
+            points=polygon(7),
+            pattern=alg.target_pattern,
+            multiplicity_detection=True,
+        )
+        verdict = sim.is_terminal()
+        assert verdict in (True, False)
