@@ -1,0 +1,253 @@
+"""Worker-fabric benchmark: throughput, latency, and crash recovery.
+
+Measures the distributed execution fabric end to end — a stateless
+``serve --no-dispatch`` front-end, N ``repro worker`` subprocesses, one
+shared ledger + store — and records three things:
+
+* **throughput** — jobs/sec over a stream of small unique-seed jobs
+  submitted through HTTP and drained by the worker pool;
+* **latency** — p50/p99 of submit→done per job (client-observed, so
+  it includes claim latency, execution and the final ledger write);
+* **recovery** — SIGKILL one worker while it holds a shard of a paced
+  job and time how long until the survivors reclaim the lease (expiry
+  + re-claim + re-execution through store read-through) and the job
+  completes.
+
+The checked-in measurement lives in ``BENCH_service.json`` at the
+repository root.
+
+Run it directly::
+
+    python benchmarks/bench_service.py --workers 3 --jobs 24 \
+        --json BENCH_service.json
+
+Not a pytest benchmark on purpose (same policy as ``bench_array.py``):
+it spawns real worker subprocesses and takes tens of seconds; the
+functional guarantees are pinned by ``tests/service/`` instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC)
+
+from repro.analysis.stats import percentile  # noqa: E402
+from repro.service import JobService, ServiceClient, make_server  # noqa: E402
+from repro.store import JobLedger  # noqa: E402
+
+
+def _spec(name, n=5, seeds_paced=(), pace=0.0):
+    initial = ["random", {"n": n}]
+    if seeds_paced:
+        initial = [
+            "faulty-random",
+            {"n": n, "hang_seeds": list(seeds_paced), "hang_time": pace},
+        ]
+    return {
+        "name": name,
+        "algorithm": "form-pattern",
+        "scheduler": "round-robin",
+        "initial": initial,
+        "pattern": ["polygon", {"n": n}],
+        "max_steps": 5_000,
+        "delta": 1e-3,
+    }
+
+
+def _spawn_worker(ledger, store, worker_id, *, lease):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--ledger", str(ledger), "--store", str(store),
+            "--id", worker_id, "--lease", str(lease), "--poll", "0.05",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class Fabric:
+    """One front-end + N worker subprocesses on a throwaway ledger/store."""
+
+    def __init__(self, root: Path, n_workers: int, *, lease: float = 10.0):
+        self.ledger = root / "bench.ledger"
+        self.store = root / "bench.store"
+        self.lease = lease
+        self.service = JobService(
+            str(self.store), ledger=str(self.ledger), dispatch=False,
+            max_queue=1024,
+        )
+        self.server = make_server(self.service)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.client = ServiceClient(f"http://{host}:{port}")
+        self.workers = [
+            _spawn_worker(self.ledger, self.store, f"bench-w{i}", lease=lease)
+            for i in range(n_workers)
+        ]
+
+    def close(self):
+        for proc in self.workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.workers:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(10)
+
+
+def bench_throughput(root: Path, n_workers: int, n_jobs: int, seeds_per_job: int):
+    """Submit a stream of unique-seed jobs; measure drain rate + latency."""
+    fabric = Fabric(root / "throughput", n_workers)
+    try:
+        started = time.perf_counter()
+        submit_times = {}
+        job_ids = []
+        for index in range(n_jobs):
+            base = index * seeds_per_job
+            seeds = list(range(base, base + seeds_per_job))
+            ack = fabric.client.submit(
+                _spec(f"bench-job-{index}"), seeds, shards=1
+            )
+            submit_times[ack["id"]] = time.perf_counter()
+            job_ids.append(ack["id"])
+        latencies = []
+        for job_id in job_ids:
+            final = fabric.client.wait(job_id, timeout=600.0, poll=0.05)
+            assert final["status"] == "done", (job_id, final)
+            latencies.append(time.perf_counter() - submit_times[job_id])
+        wall = time.perf_counter() - started
+    finally:
+        fabric.close()
+    return {
+        "jobs": n_jobs,
+        "seeds_per_job": seeds_per_job,
+        "workers": n_workers,
+        "wall_seconds": wall,
+        "jobs_per_second": n_jobs / wall,
+        "latency_p50_seconds": percentile(latencies, 50.0),
+        "latency_p99_seconds": percentile(latencies, 99.0),
+    }
+
+
+def bench_recovery(root: Path, n_workers: int, *, lease: float = 1.0):
+    """SIGKILL a worker holding a shard; time until the job completes."""
+    fabric = Fabric(root / "recovery", n_workers, lease=lease)
+    try:
+        seeds = list(range(12))
+        # Pace every seed so the victim is reliably mid-shard when shot.
+        ack = fabric.client.submit(
+            _spec("bench-recovery", seeds_paced=seeds, pace=0.15),
+            seeds,
+            shards=n_workers,
+        )
+        ledger = JobLedger(fabric.ledger)
+        victim = fabric.workers[0]
+        victim_id = "bench-w0"
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            held = [
+                s for s in ledger.shards(ack["id"])
+                if s.claimed_by == victim_id and s.status == "running"
+            ]
+            if held:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError("victim never claimed a shard")
+        victim.kill()
+        killed_at = time.perf_counter()
+        victim.wait(timeout=30)
+        final = fabric.client.wait(ack["id"], timeout=600.0, poll=0.05)
+        recovery = time.perf_counter() - killed_at
+        assert final["status"] == "done", final
+        assert final["done"] == len(seeds)
+        attempts = max(s.attempts for s in ledger.shards(ack["id"]))
+    finally:
+        fabric.close()
+    return {
+        "workers": n_workers,
+        "lease_seconds": lease,
+        "paced_seconds_per_seed": 0.15,
+        "seeds": len(seeds),
+        "kill_to_done_seconds": recovery,
+        "max_shard_attempts": attempts,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=24)
+    parser.add_argument("--seeds-per-job", type=int, default=3)
+    parser.add_argument("--lease", type=float, default=1.0,
+                        help="lease seconds for the recovery phase")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the measurement record to this file")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        root = Path(tmp)
+        print(
+            f"throughput: {args.jobs} jobs x {args.seeds_per_job} seeds "
+            f"over {args.workers} workers ...", flush=True,
+        )
+        throughput = bench_throughput(
+            root, args.workers, args.jobs, args.seeds_per_job
+        )
+        print(
+            f"  {throughput['jobs_per_second']:.2f} jobs/s  "
+            f"p50={throughput['latency_p50_seconds']:.3f}s  "
+            f"p99={throughput['latency_p99_seconds']:.3f}s",
+            flush=True,
+        )
+        print(
+            f"recovery: SIGKILL 1 of {args.workers} workers mid-shard "
+            f"(lease {args.lease:g}s) ...", flush=True,
+        )
+        recovery = bench_recovery(root, args.workers, lease=args.lease)
+        print(
+            f"  kill->done {recovery['kill_to_done_seconds']:.2f}s "
+            f"(max shard attempts {recovery['max_shard_attempts']})",
+            flush=True,
+        )
+
+    record = {
+        "workload": "fabric front-end + worker subprocesses, shared "
+        "sqlite ledger/store",
+        "throughput": throughput,
+        "recovery": recovery,
+    }
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,12 @@ Commands:
   and cache-hit counters (optionally as JSON);
 * ``serve``       — start the JSON-over-HTTP simulation job service
   (with a durable job ledger; ``--recover`` re-enqueues unfinished
-  jobs from a previous process);
-* ``submit``      — submit a batch to a running service and watch it;
+  jobs from a previous process; ``--no-dispatch`` runs it as a
+  stateless fabric front-end that only enqueues shards for workers);
+* ``worker``      — run one fabric worker: lease shards from a shared
+  ledger, execute them, write results through the shared store;
+* ``submit``      — submit a batch to a running service and watch it
+  (``--shards N`` splits it across the worker fabric);
 * ``jobs``        — inspect the durable job ledger (``jobs list``);
 * ``store``       — inspect (``store query``) or migrate journals into
   (``store import``) a persistent experiment store;
@@ -193,6 +197,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="execution attempts per job before terminal failure",
     )
+    serve.add_argument(
+        "--no-dispatch",
+        action="store_true",
+        help="fabric front-end mode: enqueue submissions as ledger "
+        "shards for 'repro worker' processes instead of executing "
+        "them in-process",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run one worker of the distributed fabric"
+    )
+    worker.add_argument(
+        "--ledger", required=True, help="shared job ledger (the work queue)"
+    )
+    worker.add_argument(
+        "--store", required=True, help="shared experiment store"
+    )
+    worker.add_argument(
+        "--id",
+        dest="worker_id",
+        default=None,
+        help="worker identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease",
+        type=float,
+        default=15.0,
+        help="lease seconds per claim (heartbeats renew at lease/3)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="idle sleep between empty claim attempts",
+    )
+    worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="shard attempts before terminal failure",
+    )
+    worker.add_argument(
+        "--batch-workers",
+        type=int,
+        default=1,
+        help="process count inside this worker's batches",
+    )
+    worker.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-seed wall-clock budget in seconds",
+    )
+    worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once no shard is claimable instead of idling",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a batch to a running service"
@@ -224,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=600.0,
         help="overall deadline for polling the job to completion",
+    )
+    submit.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split the job into N worker-fabric shards (requires a "
+        "front-end started with 'serve --no-dispatch')",
     )
     _fault_flags(submit)
 
@@ -429,6 +498,16 @@ def cmd_serve(args) -> int:
     if args.recover and ledger is None:
         print("error: --recover requires a ledger", file=sys.stderr)
         return 2
+    if args.no_dispatch and ledger is None:
+        print("error: --no-dispatch requires a ledger", file=sys.stderr)
+        return 2
+    if args.no_dispatch and args.recover:
+        print(
+            "error: --recover is a dispatcher feature; in --no-dispatch "
+            "mode workers re-claim unfinished shards on their own",
+            file=sys.stderr,
+        )
+        return 2
     service = JobService(
         args.store,
         workers=args.workers,
@@ -438,12 +517,15 @@ def cmd_serve(args) -> int:
         recover=args.recover,
         job_budget=args.job_budget,
         max_attempts=args.max_attempts,
+        dispatch=not args.no_dispatch,
     )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     banner = f"serving on http://{host}:{port} store={args.store}"
     if ledger is not None:
         banner += f" ledger={ledger}"
+    if args.no_dispatch:
+        banner += " mode=fabric"
     print(banner, flush=True)
     if service.recovered:
         print(
@@ -486,7 +568,7 @@ def cmd_submit(args) -> int:
         ),
     )
     try:
-        job = client.submit(spec.to_dict(), seeds)
+        job = client.submit(spec.to_dict(), seeds, shards=args.shards)
         print(f"job {job['id']} accepted ({job['total']} seeds)")
         if args.no_wait:
             return 0
@@ -501,8 +583,50 @@ def cmd_submit(args) -> int:
         print(f"error: job failed: {final['error']}", file=sys.stderr)
         return 2
     print(format_table([final["aggregate"]]))
-    print(f"store: {final['hits']} hits / {final['misses']} misses")
+    if final.get("hits") is not None:
+        # The fabric front-end answers from ledger + store and does not
+        # track per-job hit counts, so the line is dispatch-mode only.
+        print(f"store: {final['hits']} hits / {final['misses']} misses")
     return 0 if final["aggregate"]["success"] == 1.0 else 1
+
+
+def cmd_worker(args) -> int:
+    import signal
+
+    from .service import Worker
+
+    try:
+        worker = Worker(
+            args.ledger,
+            args.store,
+            worker_id=args.worker_id,
+            lease=args.lease,
+            poll=args.poll,
+            max_attempts=args.max_attempts,
+            batch_workers=args.batch_workers,
+            timeout=args.timeout,
+            log=lambda line: print(line, flush=True),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _stop(signum, frame):
+        # Finish the current shard, then exit; SIGKILL is the
+        # crash-recovery path (lease expiry re-queues the shard).
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(
+        f"worker {worker.worker_id} on ledger={args.ledger} "
+        f"store={args.store}",
+        flush=True,
+    )
+    processed = worker.run_forever(drain=args.drain)
+    print(f"worker {worker.worker_id} exiting ({processed} shard(s))",
+          flush=True)
+    return 0
 
 
 def cmd_jobs(args) -> int:
@@ -613,6 +737,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_profile(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "worker":
+        return cmd_worker(args)
     if args.command == "submit":
         return cmd_submit(args)
     if args.command == "jobs":

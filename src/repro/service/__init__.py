@@ -13,6 +13,12 @@ to it.  Architecture (all stdlib):
 * :mod:`repro.service.http` — ``ThreadingHTTPServer`` routes
   (``POST /jobs``, ``GET /jobs[/<id>]``, ``GET /results``,
   ``GET /healthz`` liveness, ``GET /readyz`` readiness);
+* :mod:`repro.service.worker` — the distributed fabric: N
+  :class:`Worker` processes (``python -m repro worker``) lease shards
+  from the ledger's work queue (atomic claims, heartbeats, attempt-
+  token fencing) and execute them through the batch facade, while a
+  stateless front-end (``serve --no-dispatch``) answers reads purely
+  from ledger + store;
 * :mod:`repro.service.client` — resilient stdlib client
   (:class:`ServiceClient` with split timeouts, seeded-jitter retry
   backoff and a circuit breaker);
@@ -33,6 +39,7 @@ from .client import (
 from .errors import CircuitOpen, ErrorCode, JobTimeout, ServiceError
 from .http import ServiceServer, make_server
 from .jobs import Job, JobService, QueueFull
+from .worker import Worker, default_worker_id
 
 __all__ = [
     "CircuitBreaker",
@@ -46,6 +53,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "Worker",
+    "default_worker_id",
     "get_json",
     "make_server",
     "post_json",

@@ -292,11 +292,17 @@ class ServiceClient:
         return self._call("POST", path, payload)
 
     # -- job workflow ---------------------------------------------------
-    def submit(self, spec: dict, seeds) -> dict:
-        """``POST /jobs`` and return the accepted job snapshot."""
-        return self.post(
-            "/jobs", {"spec": spec, "seeds": [int(s) for s in seeds]}
-        )
+    def submit(self, spec: dict, seeds, *, shards: "int | None" = None) -> dict:
+        """``POST /jobs`` and return the accepted job snapshot.
+
+        ``shards`` asks a fabric front-end to split the seed list into
+        that many leasable ranges for the worker pool; leave it ``None``
+        against a classic dispatcher.
+        """
+        payload: dict = {"spec": spec, "seeds": [int(s) for s in seeds]}
+        if shards is not None:
+            payload["shards"] = int(shards)
+        return self.post("/jobs", payload)
 
     def wait(
         self,
@@ -357,14 +363,18 @@ def post_json(
 
 
 def submit_job(
-    base_url: str, spec: dict, seeds, *, policy: "RetryPolicy | None" = None
+    base_url: str,
+    spec: dict,
+    seeds,
+    *,
+    shards: "int | None" = None,
+    policy: "RetryPolicy | None" = None,
 ) -> dict:
     """``POST /jobs`` and return the accepted job snapshot."""
-    return post_json(
-        f"{base_url.rstrip('/')}/jobs",
-        {"spec": spec, "seeds": [int(s) for s in seeds]},
-        policy=policy,
-    )
+    payload: dict = {"spec": spec, "seeds": [int(s) for s in seeds]}
+    if shards is not None:
+        payload["shards"] = int(shards)
+    return post_json(f"{base_url.rstrip('/')}/jobs", payload, policy=policy)
 
 
 def wait_for_job(

@@ -42,6 +42,10 @@ class ErrorCode(str, enum.Enum):
     EXEC_ERROR = "exec-error"
     ATTEMPTS_EXHAUSTED = "attempts-exhausted"
 
+    # Worker-fabric outcomes (logged, never terminal on their own: a
+    # lost lease means another worker owns the shard now).
+    LEASE_LOST = "lease-lost"
+
     # Client-side failures (never stored in the ledger).
     UNREACHABLE = "unreachable"
     CIRCUIT_OPEN = "circuit-open"

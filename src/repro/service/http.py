@@ -5,9 +5,13 @@ framework.  Routes:
 
 ``POST /jobs``
     Submit a workload.  Body: ``{"spec": {...}, "seeds": [...]}`` or
-    ``{"spec": {...}, "seed_start": 0, "runs": 16}``.  Replies 202 with
-    the job snapshot, 400 on a malformed spec, 429 once the admission
-    queue is full, 503 while shutting down.
+    ``{"spec": {...}, "seed_start": 0, "runs": 16}``, plus an optional
+    ``"shards": N`` (fabric front-ends only) that splits the seed list
+    into N leasable ranges executed concurrently by ``repro worker``
+    processes.  Replies 202 with the job snapshot, 400 on a malformed
+    spec, 429 once the admission queue is full, 503 while shutting
+    down.  Error replies drain (or close) the request stream, so a
+    persistent connection never desyncs on an unread body.
 ``GET /jobs``
     Snapshots of every known job, submission-ordered.
 ``GET /jobs/<id>``
@@ -95,14 +99,49 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(status, {"error": message, "code": code.value})
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        raw = self.rfile.read(length) if length else b""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            # Unknown body length: it cannot be drained, so the 400
+            # reply must not keep this connection alive.
+            self.close_connection = True
+            raise ValueError("bad Content-Length header") from None
+        raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
             raise ValueError("empty request body")
         payload = json.loads(raw)
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")
         return payload
+
+    def _drain_body(self) -> None:
+        """Consume an unread request body before replying on an error path.
+
+        HTTP/1.1 connections are persistent: replying without reading
+        the body leaves its bytes in the stream, and the *next*
+        request parse on the same connection would start mid-body —
+        a keep-alive desync that turns one bad request into garbage
+        responses for every request after it.  Bodies we cannot cheaply
+        drain (chunked, oversized) close the connection instead.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if length <= 0:
+            if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+                self.close_connection = True
+            return
+        if length > 16 * 1024 * 1024:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                self.close_connection = True
+                return
+            remaining -= len(chunk)
 
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
@@ -114,10 +153,7 @@ class _Handler(BaseHTTPRequestHandler):
             info = self.server.service.health()
             self._reply(200 if info["ready"] else 503, info)
         elif parts == ["jobs"]:
-            self._reply(
-                200,
-                {"jobs": [j.snapshot() for j in self.server.service.jobs()]},
-            )
+            self._reply(200, {"jobs": self.server.service.snapshots()})
         elif len(parts) == 2 and parts[0] == "jobs":
             snapshot = self.server.service.lookup(parts[1])
             if snapshot is None:
@@ -164,6 +200,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         url = urlparse(self.path)
         if url.path.rstrip("/") != "/jobs":
+            # Error replies must still drain the request body, or the
+            # unread bytes desync the next request on this connection.
+            self._drain_body()
             self._error(404, ErrorCode.NOT_FOUND, f"no route {url.path!r}")
             return
         try:
@@ -174,7 +213,10 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 start = int(body.get("seed_start", 0))
                 seeds = range(start, start + int(body["runs"]))
-            job = self.server.service.submit(spec, seeds)
+            shards = body.get("shards")
+            job = self.server.service.submit(
+                spec, seeds, shards=None if shards is None else int(shards)
+            )
         except QueueFull as exc:
             self._error(429, ErrorCode.QUEUE_FULL, str(exc))
             return

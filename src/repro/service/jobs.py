@@ -41,6 +41,15 @@ Progress is observable while a job runs: the facade's ``on_record``
 hook records each committed seed under the job's lock, and
 :meth:`Job.snapshot` serves done/total counts plus a partial aggregate
 over the records committed so far.
+
+Fabric front-end mode
+---------------------
+Constructed with ``dispatch=False`` (CLI: ``serve --no-dispatch``) the
+service stops executing anything itself: submissions become leasable
+ledger shards for external :mod:`repro.service.worker` processes, and
+every read is answered purely from ledger + store.  See
+:mod:`repro.service.worker` for the fabric's claim/heartbeat/fencing
+protocol.
 """
 
 from __future__ import annotations
@@ -86,14 +95,19 @@ class Job:
     def total(self) -> int:
         return len(self.seeds)
 
-    def begin_attempt(self) -> int:
+    def begin_attempt(self) -> "int | None":
         """Mark the start of an execution attempt; return its token.
 
         The token is checked by :meth:`add_record` and the completion
         methods so that a previously abandoned (hung) attempt that
-        wakes up late cannot touch the job's state anymore.
+        wakes up late cannot touch the job's state anymore.  Returns
+        ``None`` without side effects when the job is already terminal
+        — a re-dispatch that raced a late completion must not resurrect
+        a finished job.
         """
         with self._lock:
+            if self.status not in ("queued", "running"):
+                return None
             self.attempts += 1
             self.status = "running"
             return self.attempts
@@ -124,36 +138,65 @@ class Job:
             self.status = "failed"
             return True
 
-    def fail(self, code: str, message: str) -> None:
-        """Force the job terminal ``failed`` (watchdog/recovery path)."""
+    def fail(self, code: str, message: str, token: "int | None" = None) -> bool:
+        """Force the job terminal ``failed`` (watchdog/recovery path).
+
+        Status-aware: a job that already went terminal (the runner won
+        the race against the watchdog's ``done.wait`` timeout) is left
+        untouched.  With ``token`` given the call additionally applies
+        only while that attempt is the current one, so an abandoned
+        watchdog cannot fail a job a newer attempt owns.  Returns
+        whether the transition applied.
+        """
         with self._lock:
+            if self.status not in ("queued", "running"):
+                return False
+            if token is not None and token != self.attempts:
+                return False
             self.error_code = code
             self.error = message
             self.status = "failed"
+            return True
 
-    def partial_result(self) -> BatchResult:
-        """Aggregate over the records committed so far (seed-ordered)."""
-        with self._lock:
-            committed = list(self.records.values())
+    def _partial_locked(self) -> BatchResult:
+        """Build the partial aggregate; caller must hold ``_lock``."""
         batch = BatchResult(self.spec.get("name", self.id))
-        batch.runs = sorted(committed, key=lambda r: r.seed)
+        batch.runs = sorted(self.records.values(), key=lambda r: r.seed)
         batch.store_hits = self.hits
         batch.store_misses = self.misses
         return batch
 
+    def partial_result(self) -> BatchResult:
+        """Aggregate over the records committed so far (seed-ordered)."""
+        with self._lock:
+            return self._partial_locked()
+
     def snapshot(self) -> dict:
-        """A JSON-ready progress view (what ``GET /jobs/<id>`` serves)."""
-        partial = self.partial_result()
+        """A JSON-ready progress view (what ``GET /jobs/<id>`` serves).
+
+        All fields are read in one critical section, so the view is
+        internally consistent: a snapshot can never pair
+        ``status="done"`` with the counters or records of an earlier
+        moment (the torn read the per-field reads used to allow).
+        """
+        with self._lock:
+            partial = self._partial_locked()
+            status = self.status
+            attempts = self.attempts
+            hits = self.hits
+            misses = self.misses
+            error = self.error
+            error_code = self.error_code
         return {
             "id": self.id,
-            "status": self.status,
+            "status": status,
             "done": partial.n_runs(),
             "total": self.total,
-            "attempts": self.attempts,
-            "hits": self.hits,
-            "misses": self.misses,
-            "error": self.error,
-            "error_code": self.error_code,
+            "attempts": attempts,
+            "hits": hits,
+            "misses": misses,
+            "error": error,
+            "error_code": error_code,
             "aggregate": partial.row() if partial.runs else None,
         }
 
@@ -178,6 +221,14 @@ class JobService:
             disables the watchdog.
         max_attempts: execution attempts per job before it goes
             terminal ``failed`` with ``attempts-exhausted``.
+        dispatch: ``True`` (default) runs the classic in-process
+            dispatcher thread.  ``False`` turns the service into a
+            pure **fabric front-end**: submissions are persisted to
+            the ledger as leasable shards and picked up by external
+            ``repro worker`` processes; every read
+            (``GET /jobs/<id>``, listings) is answered purely from
+            ledger + store, so the front-end itself is stateless and
+            restartable at will.  Requires ``ledger``.
     """
 
     def __init__(
@@ -192,6 +243,7 @@ class JobService:
         recover: bool = False,
         job_budget: "float | None" = None,
         max_attempts: int = 3,
+        dispatch: bool = True,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -201,6 +253,14 @@ class JobService:
             raise ValueError("max_attempts must be >= 1")
         if recover and ledger is None:
             raise ValueError("recover=True requires a ledger path")
+        if not dispatch and ledger is None:
+            raise ValueError("dispatch=False (fabric mode) requires a ledger")
+        if not dispatch and recover:
+            raise ValueError(
+                "recover is a dispatcher feature; fabric workers lease "
+                "unfinished shards from the ledger on their own"
+            )
+        self.dispatch = dispatch
         self.store = str(store)
         self.workers = workers
         self.timeout = timeout
@@ -227,6 +287,8 @@ class JobService:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
+        if not self.dispatch:
+            return  # fabric mode: external workers execute, nothing to start
         if self._thread is not None:
             return
         self._thread = threading.Thread(
@@ -298,7 +360,7 @@ class JobService:
             self._backlog.append(job)
 
     # -- submission -----------------------------------------------------
-    def submit(self, spec_data: dict, seeds) -> Job:
+    def submit(self, spec_data: dict, seeds, *, shards: "int | None" = None) -> Job:
         """Validate, persist (ledger), enqueue and return a new job.
 
         The ledger row is written *before* the job is acknowledged or
@@ -306,9 +368,14 @@ class JobService:
         row that the next ``--recover`` run picks up.  A queue-full
         rejection rolls the row back.
 
+        ``shards`` (fabric mode only) splits the seed list into that
+        many contiguous leasable ranges, so several workers execute
+        one job concurrently; the in-process dispatcher runs whole
+        jobs and rejects ``shards > 1``.
+
         Raises:
             QueueFull: the admission bound is reached.
-            ValueError: the spec or seed list is malformed.
+            ValueError: the spec, seed list or shard count is malformed.
             RuntimeError: the service is shutting down.
         """
         if self._stopping.is_set():
@@ -319,6 +386,14 @@ class JobService:
             raise ValueError("a job needs at least one seed")
         if len(set(seed_list)) != len(seed_list):
             raise ValueError("duplicate seeds in job")
+        n_shards = 1 if shards is None else int(shards)
+        if self.dispatch and n_shards != 1:
+            raise ValueError(
+                "sharded jobs need the worker fabric "
+                "(serve --no-dispatch + repro worker)"
+            )
+        if not self.dispatch:
+            return self._submit_fabric(spec, seed_list, n_shards)
         job = Job(
             id=f"j{next(self._ids)}", spec=spec.to_dict(), seeds=seed_list
         )
@@ -340,6 +415,26 @@ class JobService:
             ) from None
         return job
 
+    def _submit_fabric(self, spec, seed_list: list[int], shards: int) -> Job:
+        """Fabric-mode submission: ledger row + shards, no in-memory job.
+
+        The returned :class:`Job` is only the 202 acknowledgment body;
+        it is *not* registered in ``_jobs``, so every subsequent read
+        resolves through :meth:`lookup`'s ledger + store path — the
+        single source of truth the workers write to.
+        """
+        assert self.ledger is not None
+        backlog = self.ledger.backlog()
+        if backlog["queued"] >= self._queue.maxsize:
+            raise QueueFull(
+                f"job queue is full ({self._queue.maxsize} waiting)"
+            )
+        job = Job(
+            id=f"j{next(self._ids)}", spec=spec.to_dict(), seeds=seed_list
+        )
+        self.ledger.append(job.id, spec, seed_list, shards=shards)
+        return job
+
     # -- inspection -----------------------------------------------------
     def get(self, job_id: str) -> Job | None:
         with self._lock:
@@ -348,6 +443,22 @@ class JobService:
     def jobs(self) -> list[Job]:
         with self._lock:
             return [self._jobs[jid] for jid in self._order]
+
+    def snapshots(self) -> list[dict]:
+        """Submission-ordered snapshots of every known job.
+
+        Dispatch mode serves the in-memory jobs; fabric mode derives
+        everything from the ledger (+ store), because the front-end
+        keeps no execution state of its own.
+        """
+        if self.dispatch or self.ledger is None:
+            return [job.snapshot() for job in self.jobs()]
+        snapshots = []
+        for entry in self.ledger.jobs():
+            snapshot = self.lookup(entry.id)
+            if snapshot is not None:
+                snapshots.append(snapshot)
+        return snapshots
 
     def lookup(self, job_id: str) -> dict | None:
         """A snapshot for any known job, live or ledger-only.
@@ -372,7 +483,7 @@ class JobService:
         )
         batch = BatchResult(entry.name)
         batch.runs = [stored[s] for s in sorted(stored)]
-        return {
+        snapshot = {
             "id": entry.id,
             "status": entry.status,
             "done": len(stored),
@@ -384,17 +495,30 @@ class JobService:
             "error_code": entry.error_code,
             "aggregate": batch.row() if batch.runs else None,
         }
+        progress = self.ledger.shard_progress(entry.id)
+        if progress["total"]:
+            snapshot["shards"] = progress
+        return snapshot
 
     def health(self) -> dict:
         """The readiness view: drain state, queue depth, ledger backlog."""
-        with self._lock:
-            queued = sum(
-                1 for jid in self._order if self._jobs[jid].status == "queued"
-            )
-            running = self._current.id if self._current is not None else None
+        if self.dispatch:
+            with self._lock:
+                queued = sum(
+                    1
+                    for jid in self._order
+                    if self._jobs[jid].status == "queued"
+                )
+                running = (
+                    self._current.id if self._current is not None else None
+                )
+        else:
+            backlog = self.ledger.backlog()  # type: ignore[union-attr]
+            queued, running = backlog["queued"], None
         info: dict = {
             "ready": not self._stopping.is_set(),
             "draining": self._stopping.is_set(),
+            "mode": "dispatch" if self.dispatch else "fabric",
             "queued": queued,
             "running": running,
         }
@@ -403,6 +527,8 @@ class JobService:
                 "path": str(self.ledger.path),
                 "backlog": self.ledger.backlog(),
             }
+            if not self.dispatch:
+                info["workers"] = self.ledger.active_workers()
         return info
 
     # -- execution ------------------------------------------------------
@@ -426,10 +552,19 @@ class JobService:
             self._run_job(item)
 
     def _run_job(self, job: Job) -> None:
-        self._current = job
+        with self._lock:
+            # Under the same lock health() reads it with, so /readyz
+            # can never report a stale running-job id.
+            self._current = job
         try:
             while True:
                 token = job.begin_attempt()
+                if token is None:
+                    # A previous attempt went terminal in the window
+                    # between the watchdog timeout and this re-dispatch
+                    # — the job is finished, not hung.
+                    self._ledger_sync(job)
+                    return
                 self._ledger_sync(job)
                 done = threading.Event()
                 runner = threading.Thread(
@@ -442,20 +577,26 @@ class JobService:
                 if self.job_budget is None:
                     done.wait()
                 elif not done.wait(self.job_budget):
-                    # Hung attempt: abandon the runner thread (its
-                    # token is now stale) and either re-dispatch or
-                    # give up for good.
-                    if job.attempts < self.max_attempts:
-                        continue
-                    job.fail(
-                        ErrorCode.ATTEMPTS_EXHAUSTED.value,
-                        f"hung: {job.attempts} attempt(s) exceeded the "
-                        f"{self.job_budget:g}s job budget",
-                    )
+                    # The runner may have finished in the instant the
+                    # wait timed out; completion always wins over the
+                    # watchdog — never re-run or fail a finished job.
+                    if not done.is_set():
+                        if job.attempts < self.max_attempts:
+                            continue
+                        # fail() is token/status-aware: if the runner
+                        # completed the attempt after the is_set()
+                        # check above, this is a no-op.
+                        job.fail(
+                            ErrorCode.ATTEMPTS_EXHAUSTED.value,
+                            f"hung: {job.attempts} attempt(s) exceeded the "
+                            f"{self.job_budget:g}s job budget",
+                            token=token,
+                        )
                 self._ledger_sync(job)
                 return
         finally:
-            self._current = None
+            with self._lock:
+                self._current = None
 
     def _execute(self, job: Job, token: int, done: threading.Event) -> None:
         try:

@@ -1,0 +1,234 @@
+"""Lease-based worker process for the distributed execution fabric.
+
+A :class:`Worker` turns the job ledger (:mod:`repro.store.ledger`)
+into a work queue: it claims one shard at a time with
+:meth:`~repro.store.ledger.JobLedger.claim_next`, executes the shard's
+seed range through the unified batch facade with the experiment store
+attached, and reports the outcome back with the claim's lease token.
+N workers against one ledger + one store form the fabric:
+
+* every claim is atomic in sqlite, so two workers never run the same
+  shard attempt;
+* a background heartbeat thread extends the lease while the shard
+  executes, so a *slow* shard is never stolen while its worker lives;
+* a *dead* worker (SIGKILL included) simply stops heartbeating — the
+  lease expires and :meth:`~repro.store.ledger.JobLedger.expire_stale`
+  (run by every worker before claiming) returns the shard to the
+  queue.  Per-seed store write-through makes the recovery cheap: the
+  seeds the dead worker committed come back as cache hits and only
+  the remainder re-executes, bit-identically;
+* a worker that lost its lease anyway (e.g. a stop-the-world pause
+  longer than the lease) is fenced by the attempt token: its late
+  ``complete_shard`` / ``fail_shard`` are no-ops, and the records it
+  wrote to the store are idempotent duplicates of the reclaiming
+  worker's.
+
+``python -m repro worker --ledger L --store S`` runs one; start as
+many as you like, on as many hosts as can see the two sqlite files.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import traceback
+
+from ..analysis import BatchConfig, ScenarioSpec, run
+from ..store.ledger import JobLedger, ShardClaim
+from .errors import ErrorCode
+
+__all__ = ["Worker", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique per live process, stable within one."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Worker:
+    """One worker process of the fabric: claim, execute, report, repeat.
+
+    Args:
+        ledger: path of the shared job ledger (the work queue).
+        store: path of the shared experiment store (results +
+            read-through memoisation).
+        worker_id: identity written into claims; defaults to
+            ``<hostname>-<pid>``.
+        lease: seconds a claim stays fenced without a heartbeat.  The
+            heartbeat thread renews at ``lease / 3``, so only a dead
+            or badly stalled worker ever loses one.
+        poll: idle sleep between empty claim attempts.
+        max_attempts: shard attempts before the queue declares the
+            shard (and its job) terminally failed.
+        batch_workers: process count for the batch facade *inside*
+            this worker (default 1 — fabric parallelism comes from
+            running more workers).
+        timeout: per-seed wall-clock budget forwarded to the batch.
+        log: callable for one-line progress events (``None`` = silent).
+    """
+
+    def __init__(
+        self,
+        ledger: str,
+        store: str,
+        *,
+        worker_id: "str | None" = None,
+        lease: float = 15.0,
+        poll: float = 0.5,
+        max_attempts: int = 3,
+        batch_workers: int = 1,
+        timeout: "float | None" = None,
+        log=None,
+    ) -> None:
+        if lease <= 0:
+            raise ValueError("lease must be positive")
+        if poll <= 0:
+            raise ValueError("poll must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.ledger = JobLedger(ledger)
+        self.store = str(store)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease = lease
+        self.poll = poll
+        self.max_attempts = max_attempts
+        self.batch_workers = batch_workers
+        self.timeout = timeout
+        self._log = log
+        self._stop = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the loop to exit after the current shard (signal-safe)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def run_forever(self, *, drain: bool = False) -> int:
+        """Claim-and-execute until stopped; returns shards processed.
+
+        ``drain=True`` exits as soon as no shard is claimable instead
+        of idling — the mode tests and one-shot CLI invocations use to
+        empty a queue deterministically.
+        """
+        processed = 0
+        while not self._stop.is_set():
+            if self.run_once():
+                processed += 1
+                continue
+            if drain:
+                break
+            self._stop.wait(self.poll)
+        return processed
+
+    def run_once(self) -> bool:
+        """Reap stale leases, then claim and execute at most one shard."""
+        self.ledger.expire_stale(max_attempts=self.max_attempts)
+        claim = self.ledger.claim_next(
+            self.worker_id, lease=self.lease, max_attempts=self.max_attempts
+        )
+        if claim is None:
+            return False
+        self._execute(claim)
+        return True
+
+    # -- shard execution ------------------------------------------------
+    def _execute(self, claim: ShardClaim) -> None:
+        self._emit(
+            f"claimed {claim.job_id}/{claim.shard}"
+            f" ({len(claim.seeds)} seeds, attempt {claim.token})"
+        )
+        hb_stop = threading.Event()
+        heartbeats = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(claim, hb_stop),
+            name=f"repro-hb-{claim.job_id}-{claim.shard}",
+            daemon=True,
+        )
+        heartbeats.start()
+        try:
+            batch = run(
+                ScenarioSpec.from_dict(dict(claim.spec)),
+                list(claim.seeds),
+                BatchConfig(
+                    workers=self.batch_workers,
+                    timeout=self.timeout,
+                    store=self.store,
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 — a bad shard must not kill the loop
+            hb_stop.set()
+            heartbeats.join()
+            self._report_failure(claim, exc)
+            return
+        hb_stop.set()
+        heartbeats.join()
+        if self.ledger.complete_shard(
+            claim.job_id, claim.shard, self.worker_id, claim.token
+        ):
+            self._emit(
+                f"done {claim.job_id}/{claim.shard}"
+                f" ({batch.store_hits} hits / {batch.store_misses} misses)"
+            )
+        else:
+            # Fenced: the lease expired and another worker reclaimed
+            # the shard.  Our records are already in the store (write-
+            # through is idempotent), so nothing is lost — only this
+            # report is discarded.
+            self._emit(
+                f"[{ErrorCode.LEASE_LOST}] {claim.job_id}/{claim.shard}:"
+                " completed after losing the lease; results kept in store"
+            )
+
+    def _report_failure(self, claim: ShardClaim, exc: Exception) -> None:
+        message = f"{type(exc).__name__}: {exc}"
+        requeue = claim.token < self.max_attempts
+        if requeue:
+            applied = self.ledger.fail_shard(
+                claim.job_id,
+                claim.shard,
+                self.worker_id,
+                claim.token,
+                ErrorCode.EXEC_ERROR.value,
+                message,
+                requeue=True,
+            )
+            outcome = "requeued" if applied else "fenced"
+        else:
+            applied = self.ledger.fail_shard(
+                claim.job_id,
+                claim.shard,
+                self.worker_id,
+                claim.token,
+                ErrorCode.ATTEMPTS_EXHAUSTED.value,
+                f"gave up after {claim.token} attempt(s); last: {message}",
+                requeue=False,
+            )
+            outcome = "failed" if applied else "fenced"
+        self._emit(f"{outcome} {claim.job_id}/{claim.shard}: {message}")
+        if self._log is None and not requeue:
+            # Terminal shard failures should not vanish silently in
+            # embedded (log-less) workers either; keep the traceback
+            # reachable for debugging.
+            traceback.clear_frames(exc.__traceback__)
+
+    def _heartbeat_loop(self, claim: ShardClaim, stop: threading.Event) -> None:
+        interval = self.lease / 3.0
+        while not stop.wait(interval):
+            if not self.ledger.heartbeat(
+                claim.job_id,
+                claim.shard,
+                self.worker_id,
+                claim.token,
+                lease=self.lease,
+            ):
+                # Lease lost; the token guard already fences our final
+                # report, so just stop renewing.
+                return
+
+    def _emit(self, message: str) -> None:
+        if self._log is not None:
+            self._log(f"worker {self.worker_id}: {message}")

@@ -10,13 +10,21 @@ and the incremental experiment reruns.
 The package also houses the durable :class:`~repro.store.ledger.JobLedger`
 — the same WAL/short-lived-connection discipline applied to submitted
 *jobs* rather than run records, so the job service can recover its
-queue after a crash.
+queue after a crash.  Since layout version 2 the ledger doubles as the
+worker fabric's lease-based work queue (atomic shard claims,
+heartbeats, attempt-token fencing; see :mod:`repro.service.worker`).
 
 See :mod:`repro.store.store` and :mod:`repro.store.ledger` for the
 full contracts.
 """
 
-from .ledger import LEDGER_VERSION, JobLedger, LedgerEntry
+from .ledger import (
+    LEDGER_VERSION,
+    JobLedger,
+    LedgerEntry,
+    ShardClaim,
+    ShardEntry,
+)
 from .store import (
     CODE_SCHEMA,
     STORE_VERSION,
@@ -32,6 +40,8 @@ __all__ = [
     "ExperimentStore",
     "JobLedger",
     "LedgerEntry",
+    "ShardClaim",
+    "ShardEntry",
     "StoredScenario",
     "code_schema",
 ]

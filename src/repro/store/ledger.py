@@ -1,4 +1,4 @@
-"""Sqlite-backed durable job ledger for the simulation service.
+"""Sqlite-backed durable job ledger and lease-based work queue.
 
 The experiment store (:mod:`repro.store.store`) makes individual run
 *records* durable; the ledger makes submitted *jobs* durable.  Every
@@ -11,11 +11,35 @@ is cheap because execution goes through the store's read-through:
 seeds that committed before the crash come back as hits and only the
 in-flight remainder executes.
 
+Leases: the distributed work queue
+----------------------------------
+Since layout version 2 the ledger is also the coordination point of
+the worker fabric (:mod:`repro.service.worker`).  Each job is split at
+submission into one or more **shards** — contiguous seed ranges that
+independent worker processes lease and execute:
+
+* :meth:`JobLedger.claim_next` — atomically claim the oldest claimable
+  shard (``queued``, or ``running`` with an expired lease) for a
+  worker id, bumping the shard's attempt counter.  The attempt count
+  doubles as the **lease token**: every later write about the shard
+  must present it, so a worker that lost its lease (expired, shard
+  reclaimed) cannot corrupt the reclaiming worker's state — the same
+  attempt-token guard the dispatcher watchdog uses in-process.
+* :meth:`JobLedger.heartbeat` — extend a held lease (token-checked).
+* :meth:`JobLedger.complete_shard` / :meth:`JobLedger.fail_shard` —
+  token-checked terminal transitions; the parent job's status is
+  recomputed from its shards in the same transaction.
+* :meth:`JobLedger.expire_stale` — return expired-lease shards to
+  ``queued`` and terminally fail shards that burned their attempt
+  budget, so the death of a worker (SIGKILL included) costs at most
+  one lease interval before another worker takes over.
+
 Durability discipline mirrors the store: WAL mode, busy timeout, one
 short-lived connection per operation, every status transition its own
-committed transaction.
+committed transaction.  A claim is a single atomic ``UPDATE ...
+RETURNING`` — two racing workers can never claim the same shard.
 
-Status lifecycle::
+Status lifecycle (jobs and shards alike)::
 
     queued -> running -> done
                      \\-> failed   (terminal; carries an error code)
@@ -43,11 +67,15 @@ __all__ = [
     "LEDGER_VERSION",
     "JobLedger",
     "LedgerEntry",
+    "ShardClaim",
+    "ShardEntry",
 ]
 
 #: Version of the ledger's sqlite layout, recorded in ``meta`` and
-#: checked on open (same scheme as the store's ``store_version``).
-LEDGER_VERSION = 1
+#: checked on open.  Version 2 added the ``shards`` work-queue table
+#: (lease columns ``claimed_by`` / ``lease_expires`` and the per-shard
+#: attempt token); version-1 files are migrated in place on open.
+LEDGER_VERSION = 2
 
 _BUSY_TIMEOUT_S = 30.0
 
@@ -73,6 +101,43 @@ class LedgerEntry:
     error_message: str | None
     created_at: float
     updated_at: float
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard row, decoded: a leasable seed range of a job."""
+
+    job_id: str
+    shard: int
+    seeds: tuple[int, ...]
+    status: str
+    attempts: int
+    claimed_by: str | None
+    lease_expires: float | None
+    error_code: str | None
+    error_message: str | None
+    updated_at: float
+
+
+@dataclass(frozen=True)
+class ShardClaim:
+    """A successfully claimed shard: everything a worker needs to run it.
+
+    ``token`` is the shard's attempt counter after the claim — present
+    it to :meth:`JobLedger.heartbeat`, :meth:`JobLedger.complete_shard`
+    and :meth:`JobLedger.fail_shard`; a stale token (the shard was
+    reclaimed after a lease expiry) makes those calls no-ops.
+    """
+
+    job_id: str
+    shard: int
+    seeds: tuple[int, ...]
+    spec: dict
+    name: str
+    fingerprint: str
+    token: int
+    worker_id: str
+    lease_expires: float
 
 
 def _decode_row(row: tuple) -> LedgerEntry:
@@ -104,17 +169,73 @@ def _decode_row(row: tuple) -> LedgerEntry:
     )
 
 
+def _decode_shard(row: tuple) -> ShardEntry:
+    (
+        job_id,
+        shard,
+        seeds_json,
+        status,
+        attempts,
+        claimed_by,
+        lease_expires,
+        error_code,
+        error_message,
+        updated_at,
+    ) = row
+    return ShardEntry(
+        job_id=job_id,
+        shard=shard,
+        seeds=tuple(json.loads(seeds_json)),
+        status=status,
+        attempts=attempts,
+        claimed_by=claimed_by,
+        lease_expires=lease_expires,
+        error_code=error_code,
+        error_message=error_message,
+        updated_at=updated_at,
+    )
+
+
 _COLUMNS = (
     "id, name, fingerprint, spec, seeds, status, attempts,"
     " error_code, error_message, created_at, updated_at"
 )
+
+_SHARD_COLUMNS = (
+    "job_id, shard, seeds, status, attempts, claimed_by, lease_expires,"
+    " error_code, error_message, updated_at"
+)
+
+
+def shard_seeds(seeds: Sequence[int], shards: int) -> list[list[int]]:
+    """Split ``seeds`` into ``shards`` contiguous, near-equal ranges.
+
+    The first ``len(seeds) % shards`` ranges get one extra seed, so the
+    split is deterministic and balanced; every seed lands in exactly
+    one range, in the original order.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards > len(seeds):
+        raise ValueError(
+            f"cannot split {len(seeds)} seed(s) into {shards} shards"
+        )
+    base, extra = divmod(len(seeds), shards)
+    out: list[list[int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(list(seeds[start : start + size]))
+        start += size
+    return out
 
 
 class JobLedger:
     """A durable record of every job the service ever accepted.
 
     Args:
-        path: the sqlite file (created, WAL-mode, on first use).
+        path: the sqlite file (created, WAL-mode, on first use;
+            version-1 files are migrated to the lease-capable layout).
     """
 
     def __init__(self, path: "str | os.PathLike") -> None:
@@ -157,29 +278,91 @@ class JobLedger:
                 " created_at REAL NOT NULL,"
                 " updated_at REAL NOT NULL)"
             )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS shards ("
+                " job_id TEXT NOT NULL,"
+                " shard INTEGER NOT NULL,"
+                " seeds TEXT NOT NULL,"
+                " status TEXT NOT NULL,"
+                " attempts INTEGER NOT NULL DEFAULT 0,"
+                " claimed_by TEXT,"
+                " lease_expires REAL,"
+                " error_code TEXT,"
+                " error_message TEXT,"
+                " updated_at REAL NOT NULL,"
+                " PRIMARY KEY (job_id, shard))"
+            )
+            # INSERT OR IGNORE, not check-then-insert: concurrent first
+            # opens (N workers on a fresh ledger) must not race to a
+            # UNIQUE-constraint failure.  A pre-existing row survives the
+            # IGNORE, so version checks see the original value.
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value)"
+                " VALUES ('ledger_version', ?)",
+                (str(LEDGER_VERSION),),
+            )
             row = conn.execute(
                 "SELECT value FROM meta WHERE key='ledger_version'"
             ).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO meta(key, value) VALUES ('ledger_version', ?)",
-                    (str(LEDGER_VERSION),),
-                )
+            if int(row[0]) == 1:
+                self._migrate_v1(conn)
             elif int(row[0]) != LEDGER_VERSION:
                 raise ValueError(
                     f"ledger {self.path} has layout version {row[0]}, "
                     f"this code expects {LEDGER_VERSION}"
                 )
 
+    def _migrate_v1(self, conn: sqlite3.Connection) -> None:
+        """In-place v1 -> v2: backfill one shard per existing job.
+
+        Terminal jobs get a matching terminal shard (error fields
+        copied); unfinished jobs get a ``queued`` shard covering their
+        full seed list, immediately claimable by the worker fabric.
+        """
+        now = time.time()
+        for job_id, seeds_json, status, error_code, error_message in (
+            conn.execute(
+                "SELECT id, seeds, status, error_code, error_message"
+                " FROM jobs ORDER BY seq"
+            ).fetchall()
+        ):
+            shard_status = status if status in ("done", "failed") else "queued"
+            conn.execute(
+                "INSERT OR IGNORE INTO shards"
+                " (job_id, shard, seeds, status, attempts, error_code,"
+                "  error_message, updated_at)"
+                " VALUES (?, 0, ?, ?, 0, ?, ?, ?)",
+                (
+                    job_id,
+                    seeds_json,
+                    shard_status,
+                    error_code if shard_status == "failed" else None,
+                    error_message if shard_status == "failed" else None,
+                    now,
+                ),
+            )
+        conn.execute(
+            "UPDATE meta SET value=? WHERE key='ledger_version'",
+            (str(LEDGER_VERSION),),
+        )
+
     # -- writing --------------------------------------------------------
     def append(
-        self, job_id: str, spec: "ScenarioSpec | dict", seeds: Iterable[int]
+        self,
+        job_id: str,
+        spec: "ScenarioSpec | dict",
+        seeds: Iterable[int],
+        *,
+        shards: int = 1,
     ) -> LedgerEntry:
         """Persist a newly submitted job as ``queued``; return the entry.
 
         The spec is normalised through :class:`ScenarioSpec` so the
         stored form is canonical (same bytes a recovered service will
-        re-submit).  Raises ``ValueError`` on a duplicate job id.
+        re-submit).  ``shards`` splits the seed list into that many
+        contiguous leasable ranges (see :func:`shard_seeds`) — one
+        shard keeps the pre-fabric behaviour.  Raises ``ValueError``
+        on a duplicate job id or an impossible shard count.
         """
         if isinstance(spec, ScenarioSpec):
             normalised = spec
@@ -187,6 +370,7 @@ class JobLedger:
             normalised = ScenarioSpec.from_dict(dict(spec))
         data = normalised.to_dict()
         seed_list = [int(s) for s in seeds]
+        ranges = shard_seeds(seed_list, shards)
         now = time.time()
         try:
             with self._connect() as conn:
@@ -205,6 +389,15 @@ class JobLedger:
                         now,
                     ),
                 )
+                conn.executemany(
+                    "INSERT INTO shards"
+                    " (job_id, shard, seeds, status, attempts, updated_at)"
+                    " VALUES (?, ?, ?, 'queued', 0, ?)",
+                    [
+                        (job_id, index, json.dumps(chunk), now)
+                        for index, chunk in enumerate(ranges)
+                    ],
+                )
         except sqlite3.IntegrityError as exc:
             raise ValueError(f"job id already in ledger: {job_id}") from exc
         entry = self.get(job_id)
@@ -212,11 +405,13 @@ class JobLedger:
         return entry
 
     def remove(self, job_id: str) -> bool:
-        """Delete a ledger row (submit rollback); True if it existed."""
+        """Delete a ledger row and its shards (submit rollback)."""
         with self._connect() as conn:
             before = conn.total_changes
             conn.execute("DELETE FROM jobs WHERE id=?", (job_id,))
-            return conn.total_changes - before > 0
+            existed = conn.total_changes - before > 0
+            conn.execute("DELETE FROM shards WHERE job_id=?", (job_id,))
+            return existed
 
     def set_status(
         self,
@@ -229,24 +424,23 @@ class JobLedger:
     ) -> None:
         """Record a status transition (its own committed transaction).
 
-        ``attempts`` overwrites the attempt counter when given;
-        ``error_code``/``error_message`` are written as-is (pass values
-        from :class:`repro.service.errors.ErrorCode`).  Raises
-        ``KeyError`` for an unknown job id.
+        ``attempts`` overwrites the attempt counter when given.  The
+        error fields always reflect *this* transition: passing
+        ``error_code=None`` clears whatever a prior failed attempt left
+        behind, so a job can never report a stale error pair for a
+        newer, different failure.  Shard rows follow the job: a
+        terminal status cascades to every unfinished shard, and
+        ``queued`` (recovery) resets the shards, dropping any leases.
+        Raises ``KeyError`` for an unknown job id.
         """
         if status not in _STATUSES:
             raise ValueError(f"unknown job status: {status!r}")
-        sets = ["status=?", "updated_at=?"]
-        params: list = [status, time.time()]
+        now = time.time()
+        sets = ["status=?", "updated_at=?", "error_code=?", "error_message=?"]
+        params: list = [status, now, error_code, error_message]
         if attempts is not None:
             sets.append("attempts=?")
             params.append(int(attempts))
-        if error_code is not None or status in ("done", "queued", "running"):
-            # Terminal failures set a code; any forward transition
-            # clears stale error fields from a prior failed attempt.
-            sets.append("error_code=?")
-            sets.append("error_message=?")
-            params.extend([error_code, error_message])
         params.append(job_id)
         with self._connect() as conn:
             before = conn.total_changes
@@ -255,6 +449,272 @@ class JobLedger:
             )
             if conn.total_changes - before == 0:
                 raise KeyError(f"no such job in ledger: {job_id}")
+            if status in ("done", "failed"):
+                conn.execute(
+                    "UPDATE shards SET status=?, claimed_by=NULL,"
+                    " lease_expires=NULL, error_code=?, error_message=?,"
+                    " updated_at=? WHERE job_id=?"
+                    " AND status NOT IN ('done', 'failed')",
+                    (status, error_code, error_message, now, job_id),
+                )
+            elif status == "queued":
+                conn.execute(
+                    "UPDATE shards SET status='queued', claimed_by=NULL,"
+                    " lease_expires=NULL, error_code=NULL,"
+                    " error_message=NULL, updated_at=? WHERE job_id=?"
+                    " AND status NOT IN ('done', 'failed')",
+                    (now, job_id),
+                )
+            elif status == "running":
+                # The in-process dispatcher owns the job: mark its
+                # queued shards running *without* a lease, which makes
+                # them invisible to claim_next (a NULL lease never
+                # counts as expired).
+                conn.execute(
+                    "UPDATE shards SET status='running', updated_at=?"
+                    " WHERE job_id=? AND status='queued'",
+                    (now, job_id),
+                )
+
+    # -- the lease-based work queue -------------------------------------
+    def claim_next(
+        self,
+        worker_id: str,
+        *,
+        lease: float = 30.0,
+        max_attempts: "int | None" = None,
+    ) -> ShardClaim | None:
+        """Atomically lease the oldest claimable shard, or ``None``.
+
+        Claimable: a ``queued`` shard, or a ``running`` shard whose
+        lease expired (its worker died or hung past the lease), on a
+        job that is not terminal.  The claim bumps the shard's attempt
+        counter — the returned :attr:`ShardClaim.token` — and marks
+        the parent job ``running``.  With ``max_attempts`` set, shards
+        that already burned that many attempts are skipped (see
+        :meth:`expire_stale` for their terminal failure).
+
+        The whole claim is one ``UPDATE ... RETURNING`` statement:
+        concurrent workers on one ledger can never lease the same
+        shard attempt.
+        """
+        if lease <= 0:
+            raise ValueError("lease must be positive")
+        now = time.time()
+        with self._connect() as conn:
+            row = conn.execute(
+                "UPDATE shards SET status='running', attempts=attempts+1,"
+                " claimed_by=?, lease_expires=?, updated_at=?"
+                " WHERE (job_id, shard) = ("
+                "  SELECT s.job_id, s.shard FROM shards s"
+                "  JOIN jobs j ON j.id = s.job_id"
+                "  WHERE j.status IN ('queued', 'running')"
+                "   AND (s.status='queued'"
+                "        OR (s.status='running'"
+                "            AND s.lease_expires IS NOT NULL"
+                "            AND s.lease_expires <= ?))"
+                "   AND (? IS NULL OR s.attempts < ?)"
+                "  ORDER BY s.rowid LIMIT 1)"
+                " RETURNING job_id, shard, seeds, attempts, lease_expires",
+                (worker_id, now + lease, now, now, max_attempts, max_attempts),
+            ).fetchone()
+            if row is None:
+                return None
+            job_id, shard, seeds_json, attempts, lease_expires = row
+            conn.execute(
+                "UPDATE jobs SET status='running', error_code=NULL,"
+                " error_message=NULL, updated_at=?"
+                " WHERE id=? AND status='queued'",
+                (now, job_id),
+            )
+            name, fingerprint, spec_json = conn.execute(
+                "SELECT name, fingerprint, spec FROM jobs WHERE id=?",
+                (job_id,),
+            ).fetchone()
+        return ShardClaim(
+            job_id=job_id,
+            shard=shard,
+            seeds=tuple(json.loads(seeds_json)),
+            spec=json.loads(spec_json),
+            name=name,
+            fingerprint=fingerprint,
+            token=attempts,
+            worker_id=worker_id,
+            lease_expires=lease_expires,
+        )
+
+    def heartbeat(
+        self,
+        job_id: str,
+        shard: int,
+        worker_id: str,
+        token: int,
+        *,
+        lease: float = 30.0,
+    ) -> bool:
+        """Extend a held lease; ``False`` means the lease was lost.
+
+        Token-checked: a worker whose shard was reclaimed (lease
+        expired, another worker bumped the attempt counter) gets
+        ``False`` and must stop reporting about the shard.
+        """
+        now = time.time()
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.execute(
+                "UPDATE shards SET lease_expires=?, updated_at=?"
+                " WHERE job_id=? AND shard=? AND claimed_by=? AND attempts=?"
+                " AND status='running'",
+                (now + lease, now, job_id, shard, worker_id, token),
+            )
+            return conn.total_changes - before > 0
+
+    def complete_shard(
+        self, job_id: str, shard: int, worker_id: str, token: int
+    ) -> bool:
+        """Mark a leased shard ``done``; ``False`` if the lease was lost.
+
+        When this was the job's last unfinished shard the job itself
+        goes ``done`` in the same transaction, so readers never observe
+        an all-shards-done job still ``running``.
+        """
+        now = time.time()
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.execute(
+                "UPDATE shards SET status='done', claimed_by=NULL,"
+                " lease_expires=NULL, error_code=NULL, error_message=NULL,"
+                " updated_at=?"
+                " WHERE job_id=? AND shard=? AND claimed_by=? AND attempts=?"
+                " AND status='running'",
+                (now, job_id, shard, worker_id, token),
+            )
+            if conn.total_changes - before == 0:
+                return False
+            self._refresh_job_status(conn, job_id, now)
+            return True
+
+    def fail_shard(
+        self,
+        job_id: str,
+        shard: int,
+        worker_id: str,
+        token: int,
+        code: "str | None",
+        message: "str | None",
+        *,
+        requeue: bool,
+    ) -> bool:
+        """Finish a leased shard attempt as failed (token-checked).
+
+        ``requeue=True`` returns the shard to ``queued`` for another
+        worker (the error pair is kept on the row for observability);
+        ``requeue=False`` is terminal — the shard goes ``failed`` and
+        the parent job follows in the same transaction.
+        """
+        status = "queued" if requeue else "failed"
+        now = time.time()
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.execute(
+                "UPDATE shards SET status=?, claimed_by=NULL,"
+                " lease_expires=NULL, error_code=?, error_message=?,"
+                " updated_at=?"
+                " WHERE job_id=? AND shard=? AND claimed_by=? AND attempts=?"
+                " AND status='running'",
+                (status, code, message, now, job_id, shard, worker_id, token),
+            )
+            if conn.total_changes - before == 0:
+                return False
+            if not requeue:
+                self._refresh_job_status(conn, job_id, now)
+            return True
+
+    def expire_stale(self, *, max_attempts: "int | None" = None) -> tuple[int, int]:
+        """Reap dead leases; returns ``(requeued, failed)`` shard counts.
+
+        Expired-lease shards go back to ``queued`` (their worker died
+        or hung; the attempt counter is kept, so the token guard stays
+        intact).  With ``max_attempts`` set, claimable shards that
+        already burned the budget go terminal ``failed`` with the
+        ``attempts-exhausted`` taxonomy code, failing their job.
+        Workers call this before claiming; any process may.
+        """
+        now = time.time()
+        requeued = failed = 0
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.execute(
+                "UPDATE shards SET status='queued', claimed_by=NULL,"
+                " lease_expires=NULL, updated_at=?"
+                " WHERE status='running' AND lease_expires IS NOT NULL"
+                " AND lease_expires <= ?"
+                + (" AND attempts < ?" if max_attempts is not None else ""),
+                (now, now, max_attempts)
+                if max_attempts is not None
+                else (now, now),
+            )
+            requeued = conn.total_changes - before
+            if max_attempts is not None:
+                rows = conn.execute(
+                    "SELECT job_id, shard FROM shards"
+                    " WHERE attempts >= ?"
+                    " AND (status='queued'"
+                    "      OR (status='running'"
+                    "          AND lease_expires IS NOT NULL"
+                    "          AND lease_expires <= ?))",
+                    (max_attempts, now),
+                ).fetchall()
+                for job_id, shard in rows:
+                    conn.execute(
+                        "UPDATE shards SET status='failed', claimed_by=NULL,"
+                        " lease_expires=NULL, error_code=?, error_message=?,"
+                        " updated_at=? WHERE job_id=? AND shard=?",
+                        (
+                            "attempts-exhausted",
+                            f"gave up after {max_attempts} lease(s)",
+                            now,
+                            job_id,
+                            shard,
+                        ),
+                    )
+                    self._refresh_job_status(conn, job_id, now)
+                failed = len(rows)
+        return requeued, failed
+
+    def _refresh_job_status(
+        self, conn: sqlite3.Connection, job_id: str, now: float
+    ) -> None:
+        """Recompute a job's status from its shards (same transaction).
+
+        Any failed shard fails the job (first shard's error pair wins);
+        all-done completes it; otherwise the job stays ``running``.
+        """
+        rows = conn.execute(
+            "SELECT status, error_code, error_message FROM shards"
+            " WHERE job_id=? ORDER BY shard",
+            (job_id,),
+        ).fetchall()
+        if not rows:
+            return
+        statuses = [row[0] for row in rows]
+        if "failed" in statuses:
+            code, message = next(
+                (row[1], row[2]) for row in rows if row[0] == "failed"
+            )
+            conn.execute(
+                "UPDATE jobs SET status='failed', error_code=?,"
+                " error_message=?, updated_at=? WHERE id=?"
+                " AND status NOT IN ('done', 'failed')",
+                (code, message, now, job_id),
+            )
+        elif all(status == "done" for status in statuses):
+            conn.execute(
+                "UPDATE jobs SET status='done', error_code=NULL,"
+                " error_message=NULL, updated_at=? WHERE id=?"
+                " AND status NOT IN ('done', 'failed')",
+                (now, job_id),
+            )
 
     # -- reading --------------------------------------------------------
     def get(self, job_id: str) -> LedgerEntry | None:
@@ -278,6 +738,41 @@ class JobLedger:
         with self._connect() as conn:
             rows = conn.execute(sql, params).fetchall()
         return [_decode_row(row) for row in rows]
+
+    def shards(self, job_id: str) -> list[ShardEntry]:
+        """A job's shard rows in shard order."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT {_SHARD_COLUMNS} FROM shards WHERE job_id=?"
+                " ORDER BY shard",
+                (job_id,),
+            ).fetchall()
+        return [_decode_shard(row) for row in rows]
+
+    def shard_progress(self, job_id: str) -> dict[str, int]:
+        """Per-status shard counts for one job (plus ``total``)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT status, COUNT(*) FROM shards WHERE job_id=?"
+                " GROUP BY status",
+                (job_id,),
+            ).fetchall()
+        counts = {status: 0 for status in _STATUSES}
+        counts.update(dict(rows))
+        counts["total"] = sum(n for _, n in rows)
+        return counts
+
+    def active_workers(self) -> list[str]:
+        """Distinct worker ids currently holding a live lease."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT DISTINCT claimed_by FROM shards"
+                " WHERE status='running' AND claimed_by IS NOT NULL"
+                " AND lease_expires IS NOT NULL AND lease_expires > ?"
+                " ORDER BY claimed_by",
+                (time.time(),),
+            ).fetchall()
+        return [row[0] for row in rows]
 
     def recoverable(self) -> list[LedgerEntry]:
         """Jobs that were accepted but never finished, submission order."""

@@ -156,15 +156,19 @@ class ExperimentStore:
                 " payload TEXT NOT NULL,"
                 " PRIMARY KEY (fingerprint, seed, schema))"
             )
+            # INSERT OR IGNORE, not check-then-insert: concurrent first
+            # opens of the same fresh store (N fabric workers) must not
+            # race to a UNIQUE-constraint failure.  A pre-existing row
+            # survives the IGNORE, so the version check still sees it.
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value)"
+                " VALUES ('store_version', ?)",
+                (str(STORE_VERSION),),
+            )
             row = conn.execute(
                 "SELECT value FROM meta WHERE key='store_version'"
             ).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO meta(key, value) VALUES ('store_version', ?)",
-                    (str(STORE_VERSION),),
-                )
-            elif int(row[0]) != STORE_VERSION:
+            if int(row[0]) != STORE_VERSION:
                 raise ValueError(
                     f"store {self.path} has layout version {row[0]}, "
                     f"this code expects {STORE_VERSION}"

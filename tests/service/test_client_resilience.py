@@ -245,6 +245,139 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
 
 
+class _FakeTime:
+    """Deterministic stand-in for the client module's ``time``.
+
+    ``sleep`` records the request and advances the clock by exactly
+    that much, so backoff/cooldown behaviour is pinned without real
+    waiting (or real-clock flakiness).
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_time(monkeypatch):
+    fake = _FakeTime()
+    monkeypatch.setattr("repro.service.client.time", fake)
+    return fake
+
+
+class TestBreakerHalfOpen:
+    def test_failed_trial_reopens_for_a_full_cooldown(self, fake_time):
+        """The half-open probe failing must buy the server another whole
+        ``reset_after`` of quiet, not fall through to a closed breaker."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=30.0)
+        breaker.record_failure()  # trip at t=0
+        assert breaker.open
+
+        fake_time.advance(31.0)
+        breaker.before_call()  # the one half-open trial is admitted
+        breaker.record_failure()  # ...and the probe fails
+
+        # Fully open again: the next call is rejected with the whole
+        # cooldown ahead of it.
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_in == pytest.approx(30.0, abs=0.2)
+
+        fake_time.advance(15.0)
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_in == pytest.approx(15.0, abs=0.2)
+
+        # A successful probe after the second cooldown closes it.
+        fake_time.advance(16.0)
+        breaker.before_call()
+        breaker.record_success()
+        assert not breaker.open
+        assert breaker.failures == 0
+
+    def test_half_open_admits_exactly_one_caller(self, fake_time):
+        """The sliding window: once the cooldown elapses, the first
+        caller through becomes the probe and everyone else keeps
+        failing fast — no thundering herd onto a struggling server."""
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        fake_time.advance(11.0)
+
+        breaker.before_call()  # the probe slot
+        with pytest.raises(CircuitOpen):
+            breaker.before_call()  # immediately re-blocked
+
+    def test_half_open_no_stampede_under_concurrency(self, fake_time):
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker.record_failure()
+        fake_time.advance(11.0)
+
+        admitted, rejected = [], []
+        barrier = threading.Barrier(8)
+
+        def contend(i):
+            barrier.wait()
+            try:
+                breaker.before_call()
+                admitted.append(i)
+            except CircuitOpen:
+                rejected.append(i)
+
+        threads = [
+            threading.Thread(target=contend, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert len(admitted) == 1
+        assert len(rejected) == 7
+
+
+class TestWaitDeadlineClamp:
+    class _AlwaysRunning(ServiceClient):
+        def __init__(self, **kwargs):
+            super().__init__("http://stub.invalid", **kwargs)
+            self.polls = 0
+
+        def get(self, path):
+            self.polls += 1
+            return {"id": "j1", "status": "running", "done": 0, "total": 1}
+
+    def test_final_sleep_is_clamped_to_the_remaining_deadline(
+        self, fake_time
+    ):
+        """wait() never sleeps past its own deadline: the last backoff
+        interval is truncated to exactly the time left, so the timeout
+        fires at ``timeout`` — not at ``timeout + poll_cap``."""
+        client = self._AlwaysRunning(policy=RetryPolicy(jitter=0.0, seed=1))
+        with pytest.raises(JobTimeout) as excinfo:
+            client.wait("j1", timeout=1.0, poll=0.4, poll_cap=10.0)
+        # Doubling schedule 0.4, 0.8, ... but the second sleep is
+        # clamped to the 0.6 s remaining; then the deadline check trips.
+        assert fake_time.sleeps == [0.4, pytest.approx(0.6)]
+        assert fake_time.now == pytest.approx(1.0)
+        assert client.polls == 3
+        assert excinfo.value.last_status == "running"
+
+    def test_zero_remaining_never_sleeps_negative(self, fake_time):
+        client = self._AlwaysRunning(policy=RetryPolicy(jitter=0.0, seed=1))
+        with pytest.raises(JobTimeout):
+            client.wait("j1", timeout=0.0, poll=0.5, poll_cap=1.0)
+        assert fake_time.sleeps == []  # deadline already passed: no sleep
+        assert client.polls == 1  # but the job was checked once
+
+
 class TestWaitForJob:
     def test_wait_times_out_with_typed_exception(self, scripted):
         forever = {"id": "j1", "status": "queued", "done": 0, "total": 1}

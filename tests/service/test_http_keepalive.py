@@ -1,0 +1,83 @@
+"""Regression tests for HTTP/1.1 keep-alive body handling.
+
+The server speaks HTTP/1.1, so connections persist across requests.
+Replying to a POST without reading its body leaves the body bytes in
+the stream — the next request parse on the same connection starts
+mid-body and every subsequent exchange returns garbage.  These tests
+drive a raw ``http.client.HTTPConnection`` (which reuses the socket)
+through the error paths that used to desync.
+"""
+
+import json
+from http.client import HTTPConnection
+
+import pytest
+
+from .conftest import small_spec
+
+
+@pytest.fixture
+def connection(live_service):
+    _, base_url = live_service
+    host, port = base_url.removeprefix("http://").split(":")
+    conn = HTTPConnection(host, int(port), timeout=10)
+    yield conn
+    conn.close()
+
+
+def _post(conn, path, payload):
+    conn.request(
+        "POST",
+        path,
+        body=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def _get(conn, path):
+    conn.request("GET", path)
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def test_unknown_post_route_drains_body_keeping_connection_usable(connection):
+    """Regression: POST to an unknown route replied 404 without reading
+    the request body, desyncing every later request on the connection."""
+    status, payload = _post(
+        connection, "/nope", {"filler": "x" * 4096, "spec": small_spec()}
+    )
+    assert status == 404
+    assert payload["code"] == "not-found"
+
+    # The same connection must still parse the next request cleanly.
+    status, payload = _get(connection, "/healthz")
+    assert status == 200
+    assert payload["ok"] is True
+
+
+def test_second_submit_on_same_connection_after_404(connection):
+    """Two requests, one connection: a rejected POST then a real submit."""
+    status, _ = _post(connection, "/no/such/route", {"pad": "y" * 1024})
+    assert status == 404
+    status, job = _post(
+        connection, "/jobs", {"spec": small_spec(), "seeds": [1, 2]}
+    )
+    assert status == 202
+    assert job["status"] in ("queued", "running", "done")
+    status, snapshot = _get(connection, f"/jobs/{job['id']}")
+    assert status == 200
+    assert snapshot["id"] == job["id"]
+
+
+def test_multiple_error_posts_never_desync(connection):
+    """A burst of bodied 404s on one connection stays in lockstep."""
+    for index in range(5):
+        status, payload = _post(
+            connection, f"/bogus/{index}", {"i": index, "pad": "z" * 512}
+        )
+        assert status == 404, f"request {index} desynced"
+    status, payload = _get(connection, "/readyz")
+    assert status == 200
+    assert payload["ready"] is True

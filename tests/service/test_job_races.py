@@ -1,0 +1,237 @@
+"""Deterministic regression tests for the service-layer races.
+
+Each test reproduces, without any sleeps-and-hope, a race that used to
+corrupt job state:
+
+* the **watchdog race** — the runner finishing in the instant
+  ``done.wait(job_budget)`` times out used to get its ``done`` job
+  unconditionally overwritten with ``failed`` (or re-executed);
+* **torn snapshots** — ``Job.snapshot`` used to read its fields
+  outside the lock, so a concurrent completion could yield a view
+  pairing ``status="done"`` with an earlier moment's counters;
+* the **unlocked ``_current``** — the dispatcher wrote
+  ``JobService._current`` without ``self._lock`` while ``health()``
+  read it under the lock.
+
+The technique: inject instrumented ``threading`` primitives (an Event
+whose timed ``wait`` deterministically lands in the race window, locks
+that run a callback or count acquisitions) so the interleaving that is
+normally a one-in-a-million scheduling accident happens on every run.
+"""
+
+import threading
+import types
+
+import pytest
+
+from repro.analysis.batch import BatchResult, RunRecord
+from repro.service import JobService
+from repro.service.jobs import Job
+
+from .conftest import small_spec
+
+
+def _record(seed):
+    return RunRecord(
+        seed=seed, formed=True, terminated=True, steps=10, cycles=5,
+        epochs=1, random_bits=8, coin_flips=2, float_draws=1,
+        distance=0.0, reason="pattern formed",
+    )
+
+
+def _batch(name, seeds):
+    batch = BatchResult(name)
+    batch.runs = [_record(s) for s in seeds]
+    return batch
+
+
+# -- the watchdog race --------------------------------------------------
+class _RacyEvent(threading.Event):
+    """An Event whose *timed* wait loses the race on purpose.
+
+    ``wait(timeout)`` blocks until the event is genuinely set (the
+    runner really finished) and then reports ``False`` — exactly the
+    window where the watchdog believes the attempt hung while the job
+    is already ``done``.
+    """
+
+    def wait(self, timeout=None):
+        if timeout is None:
+            return super().wait()
+        super().wait(30)
+        return False
+
+
+def test_watchdog_timeout_never_overwrites_finished_job(tmp_path):
+    """Regression: the watchdog used to ``fail()`` (or re-run) a job
+    whose runner completed just as ``done.wait(job_budget)`` timed out."""
+    service = JobService(
+        str(tmp_path / "store.sqlite"),
+        workers=1,
+        auto_start=False,
+        job_budget=5.0,
+        max_attempts=1,
+    )
+    job = service.submit(small_spec(), [1, 2])
+    import repro.service.jobs as jobs_module
+
+    real = jobs_module.threading
+    jobs_module.threading = types.SimpleNamespace(
+        Thread=real.Thread, Event=_RacyEvent, Lock=real.Lock
+    )
+    try:
+        service._run_job(job)
+    finally:
+        jobs_module.threading = real
+    snapshot = job.snapshot()
+    assert snapshot["status"] == "done", snapshot
+    assert snapshot["attempts"] == 1  # never re-dispatched
+    assert snapshot["error"] is None and snapshot["error_code"] is None
+    assert snapshot["done"] == snapshot["total"] == 2
+
+
+def test_fail_refuses_terminal_jobs_and_stale_tokens():
+    """``Job.fail`` is status- and token-aware: a finished job stays
+    finished, and an abandoned watchdog's token cannot fail a newer
+    attempt."""
+    job = Job(id="j1", spec={"name": "x"}, seeds=[1])
+    token = job.begin_attempt()
+    assert job.complete_success(token, _batch("x", [1]))
+    assert job.fail("attempts-exhausted", "hung", token=token) is False
+    assert job.status == "done"
+    assert job.error is None and job.error_code is None
+
+    # A stale token on a live job is refused too; the current one works.
+    other = Job(id="j2", spec={"name": "x"}, seeds=[1])
+    first = other.begin_attempt()
+    second = other.begin_attempt()
+    assert other.fail("attempts-exhausted", "old watchdog", token=first) is False
+    assert other.status == "running"
+    assert other.fail("attempts-exhausted", "hung", token=second) is True
+    assert other.status == "failed"
+
+
+def test_begin_attempt_refuses_terminal_jobs():
+    """A re-dispatch that raced a completion must not resurrect the job."""
+    job = Job(id="j1", spec={"name": "x"}, seeds=[1])
+    token = job.begin_attempt()
+    assert job.complete_success(token, _batch("x", [1]))
+    assert job.begin_attempt() is None
+    assert job.status == "done"
+    assert job.attempts == 1
+
+
+# -- torn snapshots -----------------------------------------------------
+class _InterleavingLock:
+    """A lock that mutates the job the instant it is first released.
+
+    Simulates the worst-case interleaving for a reader that takes the
+    lock more than once (or not at all): the job transitions between
+    the reader's two looks at it.
+    """
+
+    def __init__(self, job):
+        self._lock = threading.Lock()
+        self._job = job
+        self._fired = False
+        self._in_callback = False
+
+    def __enter__(self):
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._lock.release()
+        if self._fired or self._in_callback:
+            return False
+        self._fired = True
+        self._in_callback = True
+        try:
+            token = self._job.begin_attempt()
+            for seed in self._job.seeds:
+                self._job.add_record(_record(seed), token)
+            self._job.complete_success(token, _batch("x", self._job.seeds))
+        finally:
+            self._in_callback = False
+        return False
+
+    def acquire(self, *args, **kwargs):
+        return self._lock.acquire(*args, **kwargs)
+
+    def release(self):
+        self._lock.release()
+
+
+def test_snapshot_is_internally_consistent():
+    """Regression: snapshot() used to read status/attempts/hits outside
+    the lock, so a completion racing it produced ``status="done"`` with
+    the record count of an earlier moment."""
+    job = Job(id="j1", spec={"name": "x"}, seeds=[1, 2, 3])
+    job._lock = _InterleavingLock(job)
+    snapshot = job.snapshot()
+    if snapshot["status"] == "done":
+        assert snapshot["done"] == snapshot["total"], snapshot
+        assert snapshot["aggregate"] is not None, snapshot
+    else:
+        # The equally consistent pre-completion view.
+        assert snapshot["status"] == "queued"
+        assert snapshot["done"] == 0
+
+
+def test_partial_result_sees_one_consistent_record_set():
+    """partial_result under the same interleaving: either all records
+    or none, never a half-written mix with mismatched hit counters."""
+    job = Job(id="j1", spec={"name": "x"}, seeds=[1, 2])
+    job._lock = _InterleavingLock(job)
+    partial = job.partial_result()
+    assert partial.n_runs() in (0, 2)
+
+
+# -- the unlocked _current ----------------------------------------------
+class _CountingLock:
+    """A context-manager lock that counts acquisitions."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self._lock.acquire()
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc):
+        self._lock.release()
+        return False
+
+    def acquire(self, *args, **kwargs):
+        got = self._lock.acquire(*args, **kwargs)
+        if got:
+            self.acquisitions += 1
+        return got
+
+    def release(self):
+        self._lock.release()
+
+
+def test_run_job_updates_current_under_service_lock(tmp_path):
+    """Regression: ``_run_job`` wrote ``self._current`` without
+    ``self._lock`` while ``health()`` read it under the lock — a data
+    race (and a stale running-id on /readyz) by inspection."""
+    service = JobService(
+        str(tmp_path / "store.sqlite"), workers=1, auto_start=False
+    )
+    job = Job(id="j1", spec=small_spec(), seeds=[1])
+
+    def fake_execute(job, token, done):
+        job.complete_success(token, _batch("x", job.seeds))
+        done.set()
+
+    service._execute = fake_execute
+    lock = _CountingLock()
+    service._lock = lock
+    service._run_job(job)
+    assert job.status == "done"
+    # Set under the lock on entry, cleared under it on exit.
+    assert lock.acquisitions >= 2
+    assert service._current is None

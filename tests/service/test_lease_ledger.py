@@ -1,0 +1,329 @@
+"""Unit tests for the ledger's lease-based work queue (layout v2).
+
+Covers the fabric coordination primitives — atomic claims, heartbeats,
+attempt-token fencing, stale-lease reaping, shard/job status coupling —
+plus the v1 -> v2 migration and the ``set_status`` stale-error fix.
+"""
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.store import LEDGER_VERSION, JobLedger
+from repro.store.ledger import shard_seeds
+
+from .conftest import small_spec
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return JobLedger(tmp_path / "jobs.ledger")
+
+
+# -- seed sharding ------------------------------------------------------
+def test_shard_seeds_contiguous_and_balanced():
+    assert shard_seeds([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+    assert shard_seeds([1, 2, 3], 3) == [[1], [2], [3]]
+    assert shard_seeds([7], 1) == [[7]]
+    # Order preserved, every seed exactly once.
+    ranges = shard_seeds(list(range(10, 33)), 4)
+    flat = [s for r in ranges for s in r]
+    assert flat == list(range(10, 33))
+    assert max(len(r) for r in ranges) - min(len(r) for r in ranges) <= 1
+
+
+def test_shard_seeds_rejects_impossible_splits():
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        shard_seeds([1, 2], 0)
+    with pytest.raises(ValueError, match="cannot split"):
+        shard_seeds([1, 2], 3)
+
+
+def test_append_creates_shard_rows(ledger):
+    ledger.append("j1", small_spec(), [1, 2, 3, 4, 5], shards=2)
+    shards = ledger.shards("j1")
+    assert [s.shard for s in shards] == [0, 1]
+    assert [list(s.seeds) for s in shards] == [[1, 2, 3], [4, 5]]
+    assert all(s.status == "queued" and s.attempts == 0 for s in shards)
+    progress = ledger.shard_progress("j1")
+    assert progress["queued"] == 2 and progress["total"] == 2
+
+
+# -- claiming -----------------------------------------------------------
+def test_claim_next_leases_oldest_shard(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    claim = ledger.claim_next("w1", lease=30.0)
+    assert claim is not None
+    assert (claim.job_id, claim.shard) == ("j1", 0)
+    assert claim.seeds == (1,)
+    assert claim.token == 1
+    assert claim.worker_id == "w1"
+    assert claim.lease_expires > time.time()
+    assert claim.name and claim.fingerprint and claim.spec
+    # The parent job went running.
+    assert ledger.get("j1").status == "running"
+    # Next claim gets the other shard; a third finds nothing.
+    second = ledger.claim_next("w2")
+    assert (second.job_id, second.shard) == ("j1", 1)
+    assert ledger.claim_next("w3") is None
+
+
+def test_claim_never_duplicates_across_workers(ledger):
+    ledger.append("j1", small_spec(), list(range(8)), shards=4)
+    claims = [ledger.claim_next(f"w{i}") for i in range(6)]
+    got = [(c.job_id, c.shard) for c in claims if c is not None]
+    assert sorted(got) == [("j1", 0), ("j1", 1), ("j1", 2), ("j1", 3)]
+    assert claims[4] is None and claims[5] is None
+
+
+def test_claim_skips_live_leases_but_takes_expired_ones(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    first = ledger.claim_next("w1", lease=0.05)
+    assert first.token == 1
+    assert ledger.claim_next("w2") is None  # lease still live
+    time.sleep(0.06)
+    stolen = ledger.claim_next("w2")  # expired: claimable again
+    assert stolen is not None
+    assert stolen.token == 2
+    assert ledger.shards("j1")[0].claimed_by == "w2"
+
+
+def test_claim_respects_max_attempts(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    claim = ledger.claim_next("w1", lease=0.01, max_attempts=1)
+    assert claim.token == 1
+    time.sleep(0.02)
+    # The single allowed attempt is burned: unclaimable even expired.
+    assert ledger.claim_next("w2", max_attempts=1) is None
+
+
+def test_claim_ignores_terminal_jobs(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    ledger.set_status("j1", "failed", error_code="exec-error",
+                      error_message="boom")
+    assert ledger.claim_next("w1") is None
+
+
+# -- heartbeats and token fencing ---------------------------------------
+def test_heartbeat_extends_live_lease(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    claim = ledger.claim_next("w1", lease=30.0)
+    before = ledger.shards("j1")[0].lease_expires
+    assert ledger.heartbeat("j1", 0, "w1", claim.token, lease=120.0)
+    after = ledger.shards("j1")[0].lease_expires
+    assert after > before
+
+
+def test_heartbeat_fenced_after_reclaim(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    old = ledger.claim_next("w1", lease=0.01)
+    time.sleep(0.02)
+    new = ledger.claim_next("w2", lease=30.0)
+    assert new.token == old.token + 1
+    # The dispossessed worker's writes are all no-ops now.
+    assert not ledger.heartbeat("j1", 0, "w1", old.token)
+    assert not ledger.complete_shard("j1", 0, "w1", old.token)
+    assert not ledger.fail_shard("j1", 0, "w1", old.token,
+                                 "exec-error", "late", requeue=True)
+    # The rightful owner is untouched.
+    shard = ledger.shards("j1")[0]
+    assert (shard.status, shard.claimed_by) == ("running", "w2")
+    assert ledger.complete_shard("j1", 0, "w2", new.token)
+
+
+def test_complete_last_shard_completes_job(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    a = ledger.claim_next("w1")
+    b = ledger.claim_next("w2")
+    assert ledger.complete_shard("j1", a.shard, "w1", a.token)
+    assert ledger.get("j1").status == "running"  # one shard left
+    assert ledger.complete_shard("j1", b.shard, "w2", b.token)
+    entry = ledger.get("j1")
+    assert entry.status == "done"
+    assert entry.error_code is None and entry.error_message is None
+
+
+def test_fail_shard_requeue_keeps_error_for_observability(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    claim = ledger.claim_next("w1")
+    assert ledger.fail_shard("j1", 0, "w1", claim.token,
+                             "exec-error", "flaky", requeue=True)
+    shard = ledger.shards("j1")[0]
+    assert shard.status == "queued"
+    assert (shard.error_code, shard.error_message) == ("exec-error", "flaky")
+    assert ledger.get("j1").status == "running"  # job not failed
+    retry = ledger.claim_next("w2")
+    assert retry.token == claim.token + 1
+
+
+def test_fail_shard_terminal_fails_job(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    claim = ledger.claim_next("w1")
+    assert ledger.fail_shard("j1", claim.shard, "w1", claim.token,
+                             "attempts-exhausted", "gave up", requeue=False)
+    entry = ledger.get("j1")
+    assert entry.status == "failed"
+    assert entry.error_code == "attempts-exhausted"
+    assert entry.error_message == "gave up"
+    # A terminally failed job's remaining shards are unclaimable.
+    assert ledger.claim_next("w2") is None
+
+
+# -- stale-lease reaping ------------------------------------------------
+def test_expire_stale_requeues_dead_workers_shards(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    ledger.claim_next("w1", lease=0.01)
+    live = ledger.claim_next("w2", lease=60.0)
+    time.sleep(0.02)
+    requeued, failed = ledger.expire_stale()
+    assert (requeued, failed) == (1, 0)
+    shards = {s.shard: s for s in ledger.shards("j1")}
+    assert shards[0].status == "queued"
+    assert shards[0].claimed_by is None
+    assert shards[0].attempts == 1  # token history preserved
+    assert shards[1].status == "running"
+    assert shards[1].claimed_by == "w2"
+    assert live.token == 1
+
+
+def test_expire_stale_terminally_fails_exhausted_shards(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    ledger.claim_next("w1", lease=0.01, max_attempts=1)
+    time.sleep(0.02)
+    requeued, failed = ledger.expire_stale(max_attempts=1)
+    assert (requeued, failed) == (0, 1)
+    shard = ledger.shards("j1")[0]
+    assert shard.status == "failed"
+    assert shard.error_code == "attempts-exhausted"
+    entry = ledger.get("j1")
+    assert entry.status == "failed"
+    assert entry.error_code == "attempts-exhausted"
+
+
+def test_expire_stale_spares_live_leases_even_at_max_attempts(ledger):
+    ledger.append("j1", small_spec(), [1], shards=1)
+    ledger.claim_next("w1", lease=60.0, max_attempts=1)
+    requeued, failed = ledger.expire_stale(max_attempts=1)
+    # The final attempt is still running within its lease: it may yet
+    # succeed, so nothing is reaped.
+    assert (requeued, failed) == (0, 0)
+    assert ledger.shards("j1")[0].status == "running"
+
+
+def test_active_workers_lists_live_leases_only(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    ledger.claim_next("wa", lease=60.0)
+    ledger.claim_next("wb", lease=0.01)
+    time.sleep(0.02)
+    assert ledger.active_workers() == ["wa"]
+
+
+# -- dispatcher / fabric coexistence ------------------------------------
+def test_dispatcher_running_jobs_are_invisible_to_claim_next(ledger):
+    """set_status('running') marks shards running with NO lease — the
+    in-process dispatcher owns them and workers must not steal them."""
+    ledger.append("j1", small_spec(), [1], shards=1)
+    ledger.set_status("j1", "running", attempts=1)
+    assert ledger.shards("j1")[0].status == "running"
+    assert ledger.shards("j1")[0].lease_expires is None
+    assert ledger.claim_next("w1") is None
+    requeued, failed = ledger.expire_stale(max_attempts=3)
+    assert (requeued, failed) == (0, 0)
+
+
+def test_terminal_set_status_cascades_to_shards(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    claim = ledger.claim_next("w1")
+    ledger.complete_shard("j1", claim.shard, "w1", claim.token)
+    ledger.set_status("j1", "failed", error_code="exec-error",
+                      error_message="boom")
+    shards = {s.shard: s for s in ledger.shards("j1")}
+    assert shards[claim.shard].status == "done"  # finished work kept
+    other = shards[1 - claim.shard]
+    assert other.status == "failed"
+    assert other.error_code == "exec-error"
+
+
+def test_requeue_set_status_resets_unfinished_shards(ledger):
+    ledger.append("j1", small_spec(), [1, 2], shards=2)
+    claim = ledger.claim_next("w1", lease=60.0)
+    ledger.set_status("j1", "queued")
+    shard = {s.shard: s for s in ledger.shards("j1")}[claim.shard]
+    assert shard.status == "queued"
+    assert shard.claimed_by is None and shard.lease_expires is None
+
+
+# -- the set_status stale-error regression ------------------------------
+def test_set_status_failed_with_no_code_clears_stale_error(ledger):
+    """Regression: failed -> failed with error_code=None used to keep
+    the previous failure's error pair, misattributing the new one."""
+    ledger.append("j1", small_spec(), [1])
+    ledger.set_status("j1", "failed", error_code="exec-error",
+                      error_message="first failure")
+    ledger.set_status("j1", "failed", error_code=None, error_message=None)
+    entry = ledger.get("j1")
+    assert entry.status == "failed"
+    assert entry.error_code is None
+    assert entry.error_message is None
+
+
+# -- v1 migration -------------------------------------------------------
+def _make_v1_ledger(path):
+    """Hand-build a version-1 file (no shards table) with three jobs."""
+    conn = sqlite3.connect(path)
+    with conn:
+        conn.execute(
+            "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute("INSERT INTO meta VALUES ('ledger_version', '1')")
+        conn.execute(
+            "CREATE TABLE jobs ("
+            " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " id TEXT NOT NULL UNIQUE, name TEXT NOT NULL,"
+            " fingerprint TEXT NOT NULL, spec TEXT NOT NULL,"
+            " seeds TEXT NOT NULL, status TEXT NOT NULL,"
+            " attempts INTEGER NOT NULL DEFAULT 0,"
+            " error_code TEXT, error_message TEXT,"
+            " created_at REAL NOT NULL, updated_at REAL NOT NULL)"
+        )
+        for jid, status, code, msg in [
+            ("j1", "done", None, None),
+            ("j2", "failed", "exec-error", "boom"),
+            ("j3", "running", None, None),
+        ]:
+            conn.execute(
+                "INSERT INTO jobs (id, name, fingerprint, spec, seeds,"
+                " status, attempts, error_code, error_message,"
+                " created_at, updated_at)"
+                " VALUES (?, 'n', 'fp', '{}', '[1, 2]', ?, 1, ?, ?, 0, 0)",
+                (jid, status, code, msg),
+            )
+    conn.close()
+
+
+def test_v1_ledger_migrates_in_place(tmp_path):
+    path = tmp_path / "old.ledger"
+    _make_v1_ledger(path)
+    ledger = JobLedger(path)  # opening migrates
+    # Terminal jobs got matching terminal shards (error fields copied).
+    done = ledger.shards("j1")
+    assert [s.status for s in done] == ["done"]
+    failed = ledger.shards("j2")[0]
+    assert failed.status == "failed"
+    assert (failed.error_code, failed.error_message) == ("exec-error", "boom")
+    # The unfinished job's shard is immediately claimable by a worker.
+    queued = ledger.shards("j3")[0]
+    assert queued.status == "queued"
+    assert list(queued.seeds) == [1, 2]
+    claim = ledger.claim_next("w1")
+    assert (claim.job_id, claim.shard) == ("j3", 0)
+    # Version bumped; reopening does not re-migrate.
+    conn = sqlite3.connect(path)
+    (version,) = conn.execute(
+        "SELECT value FROM meta WHERE key='ledger_version'"
+    ).fetchone()
+    conn.close()
+    assert int(version) == LEDGER_VERSION
+    JobLedger(path)
+    assert len(ledger.shards("j3")) == 1

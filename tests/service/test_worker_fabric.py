@@ -1,0 +1,277 @@
+"""Integration tests for the distributed worker fabric.
+
+N workers against one ledger + one store must produce exactly the
+records a single-process ``run`` would, survive the death of a worker
+mid-shard (lease expiry + store read-through), and expose progress
+through the stateless fabric front-end.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.analysis import BatchConfig, ScenarioSpec, run
+from repro.service import JobService, ServiceClient, Worker
+from repro.service.errors import ErrorCode
+from repro.store import ExperimentStore, JobLedger
+
+from .conftest import small_spec
+
+SEEDS = list(range(1, 10))
+
+
+def _drain_with_workers(ledger_path, store_path, n_workers, **kwargs):
+    """Run ``n_workers`` in-process workers to drain the queue."""
+    kwargs.setdefault("lease", 10.0)
+    kwargs.setdefault("poll", 0.05)
+    workers = [
+        Worker(str(ledger_path), str(store_path),
+               worker_id=f"w{i}", **kwargs)
+        for i in range(n_workers)
+    ]
+    counts = [0] * n_workers
+    def _run(i):
+        counts[i] = workers[i].run_forever(drain=True)
+    threads = [
+        threading.Thread(target=_run, args=(i,)) for i in range(n_workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    return counts
+
+
+def _records(store_path, spec, seeds):
+    fingerprint = ScenarioSpec.from_dict(spec).fingerprint()
+    return ExperimentStore(str(store_path)).query(fingerprint, seeds)
+
+
+def test_sharded_job_matches_single_process_reference(tmp_path):
+    """The acceptance criterion: N workers on a sharded job produce a
+    store bit-identical to the classic single-dispatcher path."""
+    spec = small_spec()
+    ledger = JobLedger(tmp_path / "fab.ledger")
+    ledger.append("j1", spec, SEEDS, shards=3)
+    # A lease far beyond the test's runtime: a slow machine must never
+    # make a live worker's shard look expired (that would double-count).
+    counts = _drain_with_workers(
+        tmp_path / "fab.ledger", tmp_path / "fab.store", 3, lease=300.0
+    )
+    assert sum(counts) == 3  # every shard executed exactly once
+    assert ledger.get("j1").status == "done"
+
+    reference = run(
+        ScenarioSpec.from_dict(spec),
+        SEEDS,
+        BatchConfig(workers=1, store=str(tmp_path / "ref.store")),
+    )
+    assert reference.n_runs() == len(SEEDS)
+    fab = _records(tmp_path / "fab.store", spec, SEEDS)
+    ref = _records(tmp_path / "ref.store", spec, SEEDS)
+    assert sorted(fab) == sorted(ref) == SEEDS
+    for seed in SEEDS:
+        assert fab[seed] == ref[seed]
+
+
+def test_worker_death_recovers_via_lease_expiry(tmp_path):
+    """SIGKILL a subprocess worker mid-shard: the lease expires, a
+    survivor reclaims the shard, and the aggregate is still complete
+    and identical to the reference."""
+    spec = small_spec()
+    ledger_path = tmp_path / "fab.ledger"
+    store_path = tmp_path / "fab.store"
+    JobLedger(ledger_path).append("j1", spec, SEEDS, shards=3)
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    victim = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--ledger", str(ledger_path), "--store", str(store_path),
+            "--id", "victim", "--lease", "0.8", "--poll", "0.05",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            ledger = JobLedger(ledger_path)
+            if any(s.claimed_by == "victim" for s in ledger.shards("j1")):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("victim never claimed a shard")
+        victim.kill()
+        victim.wait(10)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(10)
+
+    # Wait out the dead worker's lease: once it expires the shard is
+    # requeued and the survivors can drain everything deterministically.
+    ledger = JobLedger(ledger_path)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        ledger.expire_stale()
+        if not any(s.claimed_by == "victim" for s in ledger.shards("j1")):
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail("victim's lease never expired")
+
+    _drain_with_workers(ledger_path, store_path, 2, lease=0.8)
+    entry = ledger.get("j1")
+    assert entry.status == "done"
+    # At least one shard needed a second lease (the reclaimed one).
+    assert max(s.attempts for s in ledger.shards("j1")) >= 2
+
+    run(
+        ScenarioSpec.from_dict(spec),
+        SEEDS,
+        BatchConfig(workers=1, store=str(tmp_path / "ref.store")),
+    )
+    fab = _records(store_path, spec, SEEDS)
+    ref = _records(tmp_path / "ref.store", spec, SEEDS)
+    assert sorted(fab) == SEEDS
+    for seed in SEEDS:
+        assert fab[seed] == ref[seed]
+
+
+def test_failing_spec_exhausts_attempts_and_fails_job(tmp_path):
+    """A shard that raises on every attempt burns max_attempts leases
+    and goes terminal with the attempts-exhausted taxonomy code."""
+    ledger = JobLedger(tmp_path / "fab.ledger")
+    spec = small_spec(pattern=["polygon", {"n": 4}])  # n mismatch: raises
+    ledger.append("j1", spec, [1, 2], shards=1)
+    counts = _drain_with_workers(
+        tmp_path / "fab.ledger", tmp_path / "fab.store", 1, max_attempts=2
+    )
+    assert counts[0] == 2
+    entry = ledger.get("j1")
+    assert entry.status == "failed"
+    assert entry.error_code == ErrorCode.ATTEMPTS_EXHAUSTED.value
+    shard = ledger.shards("j1")[0]
+    assert shard.attempts == 2
+
+
+def test_fabric_frontend_serves_reads_from_ledger_and_store(tmp_path):
+    """serve --no-dispatch: submissions become shards, reads come from
+    ledger + store, and a worker drains them to completion."""
+    from repro.service import make_server
+
+    service = JobService(
+        str(tmp_path / "fab.store"),
+        ledger=str(tmp_path / "fab.ledger"),
+        dispatch=False,
+    )
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        ack = client.submit(small_spec(), SEEDS, shards=3)
+        assert ack["status"] == "queued"
+
+        snapshot = client.get(f"/jobs/{ack['id']}")
+        assert snapshot["status"] == "queued"
+        assert snapshot["shards"]["queued"] == 3
+        assert snapshot["done"] == 0
+
+        health = client.get("/readyz")
+        assert health["mode"] == "fabric"
+        assert health["queued"] == 1
+        assert health["workers"] == []
+
+        _drain_with_workers(tmp_path / "fab.ledger", tmp_path / "fab.store", 2)
+        final = client.wait(ack["id"], timeout=60)
+        assert final["status"] == "done"
+        assert final["done"] == len(SEEDS)
+        assert final["shards"]["done"] == 3
+        assert final["aggregate"] is not None
+
+        listing = client.get("/jobs")
+        assert [j["id"] for j in listing["jobs"]] == [ack["id"]]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(10)
+
+
+def test_fabric_frontend_applies_admission_bound(tmp_path):
+    service = JobService(
+        str(tmp_path / "fab.store"),
+        ledger=str(tmp_path / "fab.ledger"),
+        dispatch=False,
+        max_queue=1,
+    )
+    service.submit(small_spec(), [1, 2])
+    from repro.service.jobs import QueueFull
+
+    with pytest.raises(QueueFull):
+        service.submit(small_spec(), [3, 4])
+
+
+def test_dispatch_mode_rejects_sharded_jobs(tmp_path):
+    service = JobService(
+        str(tmp_path / "store.sqlite"), auto_start=False, workers=1
+    )
+    with pytest.raises(ValueError, match="worker fabric"):
+        service.submit(small_spec(), [1, 2], shards=2)
+
+
+def test_fabric_mode_requires_ledger(tmp_path):
+    with pytest.raises(ValueError, match="requires a ledger"):
+        JobService(str(tmp_path / "store.sqlite"), dispatch=False)
+    with pytest.raises(ValueError, match="dispatcher feature"):
+        JobService(
+            str(tmp_path / "store.sqlite"),
+            ledger=str(tmp_path / "l"),
+            dispatch=False,
+            recover=True,
+        )
+
+
+def test_worker_validates_configuration(tmp_path):
+    with pytest.raises(ValueError, match="lease must be positive"):
+        Worker(str(tmp_path / "l"), str(tmp_path / "s"), lease=0)
+    with pytest.raises(ValueError, match="poll must be positive"):
+        Worker(str(tmp_path / "l"), str(tmp_path / "s"), poll=0)
+    with pytest.raises(ValueError, match="max_attempts"):
+        Worker(str(tmp_path / "l"), str(tmp_path / "s"), max_attempts=0)
+
+
+def test_worker_cli_drains_queue(tmp_path):
+    """`repro worker --drain` empties the queue and exits 0."""
+    spec = small_spec()
+    ledger_path = tmp_path / "fab.ledger"
+    store_path = tmp_path / "fab.store"
+    JobLedger(ledger_path).append("j1", spec, [1, 2, 3], shards=1)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--ledger", str(ledger_path), "--store", str(store_path),
+            "--id", "cli-worker", "--drain", "--poll", "0.05",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "1 shard(s)" in proc.stdout
+    assert JobLedger(ledger_path).get("j1").status == "done"
+    assert sorted(_records(store_path, spec, [1, 2, 3])) == [1, 2, 3]

@@ -1,0 +1,57 @@
+"""Regression tests for concurrent first-open of store and ledger.
+
+Both sqlite files initialise their ``meta`` version row on open.  The
+original code did check-then-insert, so N processes opening the same
+*fresh* file simultaneously — exactly what N fabric workers do on a new
+deployment — raced to ``IntegrityError: UNIQUE constraint failed:
+meta.key`` (observed as spurious shard requeues).  The init must be
+idempotent under concurrency.
+"""
+
+import threading
+
+from repro.store import ExperimentStore, JobLedger
+
+THREADS = 8
+ROUNDS = 10
+
+
+def _hammer(tmp_path, open_one):
+    """Open the same fresh path from THREADS threads, ROUNDS times."""
+    for round_index in range(ROUNDS):
+        target = tmp_path / f"round-{round_index}"
+        target.mkdir()
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def attempt():
+            barrier.wait()
+            try:
+                open_one(target)
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=attempt) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors, f"round {round_index}: {errors[:3]}"
+
+
+def test_store_first_open_is_concurrency_safe(tmp_path):
+    _hammer(tmp_path, lambda root: ExperimentStore(str(root / "s.sqlite")))
+
+
+def test_ledger_first_open_is_concurrency_safe(tmp_path):
+    _hammer(tmp_path, lambda root: JobLedger(str(root / "l.sqlite")))
+
+
+def test_simultaneous_store_and_ledger_open(tmp_path):
+    """The fabric worker's exact startup: both files opened together."""
+
+    def open_both(root):
+        ExperimentStore(str(root / "s.sqlite"))
+        JobLedger(str(root / "l.sqlite"))
+
+    _hammer(tmp_path, open_both)
