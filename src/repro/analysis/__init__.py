@@ -18,7 +18,14 @@ from .checker import (
 from .facade import BatchConfig, run
 from .journal import RunJournal
 from .parallel import failure_record, run_batch_parallel, run_seed
-from .profile import ProfileRecord, format_record, on_record, profile_batch
+from .profile import (
+    ProfileRecord,
+    add_sink,
+    format_record,
+    on_record,  # deprecated: add_sink(hooks.FunctionSink(on_profile=...))
+    profile_batch,
+    remove_sink,
+)
 from .scenarios import (
     BuiltScenario,
     ScenarioSpec,
@@ -52,6 +59,7 @@ __all__ = [
     "RunReason",
     "RunRecord",
     "ScenarioSpec",
+    "add_sink",
     "binomial_ci",
     "build_scheduler",
     "canonical_spec_json",
@@ -73,6 +81,7 @@ __all__ = [
     "register_initial",
     "register_pattern",
     "register_scheduler",
+    "remove_sink",
     "run",
     "run_batch",
     "run_batch_parallel",

@@ -172,6 +172,7 @@ def _run_batch_factories(
     faults: dict | None = None,
     strict_invariants: bool = False,
     on_record: Callable[[RunRecord], None] | None = None,
+    on_frame: Callable[..., None] | None = None,
 ) -> BatchResult:
     """The serial reference loop every batch entry point bottoms out in.
 
@@ -182,7 +183,9 @@ def _run_batch_factories(
     ``wall_limit`` bounds each run's wall-clock time (soft, checked
     inside the simulation loop); ``faults`` is the scenario's fault-plan
     spec dict (see :mod:`repro.faults`); ``on_record`` is invoked after
-    every completed run — the run journal hooks in here.
+    every completed run — the run journal hooks in here; ``on_frame``
+    is handed to each simulation as its per-step telemetry hook (see
+    :class:`repro.sim.engine.Simulation`) and is observe-only.
 
     The execution engine is read from ``REPRO_ENGINE`` (exported by the
     facade's engine scope, inherited by pool workers): ``array`` swaps
@@ -209,6 +212,7 @@ def _run_batch_factories(
                 wall_limit=wall_limit,
                 faults=faults,
                 strict_invariants=strict_invariants,
+                on_frame=on_frame,
             )
             result = sim.run()
             record = _record(seed, result)

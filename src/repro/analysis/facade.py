@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from .. import hooks as _hooks
 from .batch import BatchResult, RunRecord
 from .journal import RunJournal
 from .scenarios import ScenarioSpec
@@ -59,8 +60,20 @@ class BatchConfig:
             without executing; every newly completed record is written
             through.  Unlike the journal (one batch, one file), the
             store deduplicates across runs, scenarios and processes.
-        on_record: callback invoked with every record as it commits
-            (store hits included) — progress reporting hooks in here.
+        on_record: deprecated — pass a sink via ``telemetry=`` instead
+            (``hooks.FunctionSink(on_record=...)`` adapts a bare
+            callable).  Still honored, with a one-shot
+            :class:`DeprecationWarning`.
+        on_frame: callback invoked with every
+            :class:`~repro.telemetry.frames.TraceFrame` (one per
+            applied scheduler action, across all seeds of the batch).
+            Observe-only: enabling it never changes a record.
+        telemetry: a sink object per the :mod:`repro.hooks` protocol —
+            any subset of ``on_record(record)`` / ``on_frame(frame)``
+            methods.  Composes with the callable keywords; whenever the
+            resolved sink listens for frames *and* a store is attached,
+            frames are additionally spooled into the store for replay
+            (``GET /v1/runs/<fingerprint>/<seed>/replay``).
         mp_context: multiprocessing context override (default: fork
             where available).
         engine: execution engine — ``"scalar"`` (the bit-exact
@@ -84,8 +97,28 @@ class BatchConfig:
     on_record: "Callable[[RunRecord], None] | None" = field(
         default=None, compare=False
     )
+    on_frame: "Callable[[Any], None] | None" = field(
+        default=None, compare=False
+    )
+    telemetry: Any = field(default=None, compare=False)
     mp_context: Any = field(default=None, compare=False)
     engine: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.on_record is not None:
+            _hooks.warn_once(
+                "batchconfig-on-record",
+                "BatchConfig(on_record=...) is deprecated; pass "
+                "telemetry=repro.hooks.FunctionSink(on_record=...) (or any "
+                "repro.hooks sink) instead",
+                stacklevel=4,  # warn_once -> __post_init__ -> __init__ -> caller
+            )
+
+    def sink(self):
+        """The resolved :mod:`repro.hooks` sink (or ``None``)."""
+        return _hooks.as_sink(
+            self.telemetry, on_record=self.on_record, on_frame=self.on_frame
+        )
 
     def resolved_workers(self) -> int:
         if self.workers is None:
@@ -127,6 +160,9 @@ def run(
 
     config = config or BatchConfig()
     config.validate()
+    sink = config.sink()
+    record_cb = _hooks.record_hook(sink)
+    frame_cb = _hooks.frame_hook(sink)
     engine = config.resolved_engine()
     if engine == "array":
         from ..fastsim import require_numpy
@@ -185,27 +221,49 @@ def run(
         for seed in seed_list:
             if seed in cached:
                 results[seed] = cached[seed]
-                if config.on_record is not None:
-                    config.on_record(cached[seed])
+                if record_cb is not None:
+                    record_cb(cached[seed])
 
     pending = [s for s in seed_list if s not in results]
     store_misses = len(pending) if store_obj is not None else 0
 
+    # Frame pipeline: only built when the sink listens for frames, so a
+    # frame-less batch pays nothing per step.  With a store attached,
+    # frames are additionally spooled for replay; both paths run in the
+    # parent process only (workers stream frames through their result
+    # pipe), mirroring the journal/store commit discipline.
+    spool = None
+    on_frame = frame_cb
+    on_seed_restart = None
+    if frame_cb is not None and store_obj is not None:
+        from ..telemetry.spool import FrameSpool
+
+        spool = FrameSpool(store_obj, workload_fp)
+        on_seed_restart = spool.reset_seed
+
+        def on_frame(frame, _spool=spool, _cb=frame_cb):
+            _spool.add(frame)
+            _cb(frame)
+
     def commit(record: RunRecord) -> None:
         results[record.seed] = record
+        if spool is not None:
+            spool.flush_seed(record.seed)
         if journal_obj is not None:
             journal_obj.append(record)
         if store_obj is not None:
             store_obj.put(store_fingerprint, record)
-        if config.on_record is not None:
-            config.on_record(record)
+        if record_cb is not None:
+            record_cb(record)
 
     # engine_scope exports REPRO_ENGINE for the duration of the batch so
     # pool workers (fork or spawn) inherit the engine choice through the
     # environment — the same transport REPRO_GEOMETRY_CACHE uses.
     with engine_scope(engine):
         if workers == 1:
-            _parallel._run_serial(spec, pending, config.timeout, commit)
+            _parallel._run_serial(
+                spec, pending, config.timeout, commit, on_frame=on_frame
+            )
         else:
             _parallel._run_pool(
                 spec,
@@ -217,7 +275,11 @@ def run(
                 config.backoff_cap,
                 commit,
                 config.mp_context or _parallel._default_context(),
+                on_frame=on_frame,
+                on_seed_restart=on_seed_restart,
             )
+    if spool is not None:
+        spool.flush_all()
 
     batch = BatchResult(spec.name)
     batch.runs = [results[s] for s in seed_list]

@@ -90,7 +90,10 @@ def failure_record(
 
 
 def run_seed(
-    spec: ScenarioSpec, seed: int, wall_limit: float | None = None
+    spec: ScenarioSpec,
+    seed: int,
+    wall_limit: float | None = None,
+    on_frame=None,
 ) -> RunRecord:
     """Execute one seed of a scenario via the serial reference runner."""
     built = spec.build()
@@ -106,16 +109,35 @@ def run_seed(
         wall_limit=wall_limit,
         faults=built.faults,
         strict_invariants=built.strict_invariants,
+        on_frame=on_frame,
     )
     return batch.runs[0]
 
 
 def _worker_entry(
-    conn: Connection, spec: ScenarioSpec, seed: int, wall_limit: float | None
+    conn: Connection,
+    spec: ScenarioSpec,
+    seed: int,
+    wall_limit: float | None,
+    stream_frames: bool = False,
 ) -> None:
-    """Worker process body: run one seed, report through the pipe."""
+    """Worker process body: run one seed, report through the pipe.
+
+    With ``stream_frames`` every telemetry frame is sent as an
+    incremental ``("frame", frame)`` message ahead of the terminal
+    ``("ok", record)`` / ``("error", msg)``.  The parent's harvest loop
+    drains the pipe every wake-up, so a producer outrunning the pipe
+    buffer is throttled to the harvest cadence rather than deadlocked —
+    and only when telemetry was requested at all.
+    """
+    on_frame = None
+    if stream_frames:
+
+        def on_frame(frame):
+            conn.send(("frame", frame))
+
     try:
-        record = run_seed(spec, seed, wall_limit=wall_limit)
+        record = run_seed(spec, seed, wall_limit=wall_limit, on_frame=on_frame)
         conn.send(("ok", record))
     except BaseException as exc:  # noqa: BLE001 — any failure becomes a record
         try:
@@ -190,7 +212,7 @@ def run_batch_parallel(
     )
 
 
-def _run_serial(spec, pending, timeout, commit) -> None:
+def _run_serial(spec, pending, timeout, commit, on_frame=None) -> None:
     built = spec.build()
     _run_batch_factories(
         built.name,
@@ -205,6 +227,7 @@ def _run_serial(spec, pending, timeout, commit) -> None:
         faults=built.faults,
         strict_invariants=built.strict_invariants,
         on_record=commit,
+        on_frame=on_frame,
     )
 
 
@@ -232,7 +255,17 @@ def _wait_timeout(
 
 
 def _run_pool(
-    spec, pending, workers, timeout, retries, backoff, backoff_cap, commit, ctx
+    spec,
+    pending,
+    workers,
+    timeout,
+    retries,
+    backoff,
+    backoff_cap,
+    commit,
+    ctx,
+    on_frame=None,
+    on_seed_restart=None,
 ) -> None:
     # (seed, attempt, not_before): retries re-enter the queue with a
     # capped-backoff earliest start time.
@@ -245,7 +278,7 @@ def _run_pool(
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_entry,
-            args=(send_conn, spec, seed, timeout),
+            args=(send_conn, spec, seed, timeout, on_frame is not None),
             daemon=True,
         )
         proc.start()
@@ -291,12 +324,22 @@ def _run_pool(
             # process with an empty pipe is genuinely resultless — it
             # cannot send anything after exiting.
             alive = task.proc.is_alive()
+            # Drain the pipe: with telemetry on, a worker interleaves
+            # ("frame", ...) messages ahead of its terminal outcome —
+            # forward each to the parent-side frame hook and keep
+            # reading until the outcome or an empty pipe.
             outcome = None
-            if task.conn.poll():
+            while task.conn.poll():
                 try:
-                    outcome = task.conn.recv()
+                    message = task.conn.recv()
                 except (EOFError, OSError):
-                    outcome = None
+                    break
+                if message[0] == "frame":
+                    if on_frame is not None:
+                        on_frame(message[1])
+                    continue
+                outcome = message
+                break
             if outcome is not None:
                 reap(task)
                 kind, payload = outcome
@@ -307,6 +350,11 @@ def _run_pool(
             elif not alive:
                 reap(task)
                 if task.attempt < retries:
+                    # The retry re-streams the seed's frames from step
+                    # one; rewind any parent-side frame consumer so the
+                    # spooled sequence stays exact.
+                    if on_seed_restart is not None:
+                        on_seed_restart(task.seed)
                     delay = min(backoff * (2.0 ** task.attempt), backoff_cap)
                     queue.append((task.seed, task.attempt + 1, now + delay))
                 else:

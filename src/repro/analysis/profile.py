@@ -10,10 +10,14 @@ Built on two always-available substrates:
 
 :func:`profile_batch` runs a scenario batch under the profiler and
 emits a :class:`ProfileRecord`; every record produced (by it or by
-:func:`emit`) is also passed to callbacks registered with
-:func:`on_record`, so experiment harnesses can stream profiling data
-wherever they stream run records.  ``python -m repro profile`` is the
-CLI front end.
+:func:`emit`) is also delivered to every sink registered with
+:func:`add_sink` — any :mod:`repro.hooks` sink exposing
+``on_profile(record)`` — so experiment harnesses can stream profiling
+data through the same sink they stream run records and frames.  The
+pre-consolidation callback registry (:func:`on_record` /
+:func:`remove_on_record`) keeps working through an adapter with a
+one-shot :class:`DeprecationWarning`.  ``python -m repro profile`` is
+the CLI front end.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Sequence
 
+from .. import hooks as _hooks
 from ..geometry.memo import cache_stats, clear_caches, reset_cache_stats
 from ..profiling import PROFILER, disable, enable, is_enabled
 from .batch import format_table
@@ -30,6 +35,7 @@ from .scenarios import ScenarioSpec
 __all__ = [
     "PROFILER",
     "ProfileRecord",
+    "add_sink",
     "disable",
     "emit",
     "enable",
@@ -38,6 +44,7 @@ __all__ = [
     "on_record",
     "profile_batch",
     "remove_on_record",
+    "remove_sink",
 ]
 
 
@@ -61,21 +68,46 @@ class ProfileRecord:
         }
 
 
-_on_record: list[Callable[[ProfileRecord], None]] = []
+_sinks: list = []
+#: callback -> adapter sink, so ``remove_on_record`` keeps working for
+#: callers that registered through the deprecated function form.
+_legacy_sinks: dict = {}
+
+
+def add_sink(sink) -> None:
+    """Register a :mod:`repro.hooks` sink for emitted ProfileRecords.
+
+    Only the sink's ``on_profile`` method is used here; the same sink
+    object can simultaneously observe run records and frames through
+    ``BatchConfig(telemetry=...)``.
+    """
+    _sinks.append(sink)
+
+
+def remove_sink(sink) -> None:
+    """Unregister a sink registered with :func:`add_sink`."""
+    _sinks.remove(sink)
 
 
 def on_record(callback: Callable[[ProfileRecord], None]) -> None:
-    """Register a callback invoked with every emitted ProfileRecord."""
-    _on_record.append(callback)
+    """Deprecated: use ``add_sink(hooks.FunctionSink(on_profile=...))``."""
+    _hooks.warn_once(
+        "profile-on-record",
+        "repro.analysis.profile.on_record(cb) is deprecated; use "
+        "add_sink(repro.hooks.FunctionSink(on_profile=cb))",
+    )
+    sink = _hooks.FunctionSink(on_profile=callback)
+    _legacy_sinks[callback] = sink
+    add_sink(sink)
 
 
 def remove_on_record(callback: Callable[[ProfileRecord], None]) -> None:
     """Unregister a callback registered with :func:`on_record`."""
-    _on_record.remove(callback)
+    remove_sink(_legacy_sinks.pop(callback))
 
 
 def emit(label: str, wall_seconds: float) -> ProfileRecord:
-    """Snapshot the profiler + cache counters into a record and fire hooks."""
+    """Snapshot the profiler + cache counters into a record and fire sinks."""
     record = ProfileRecord(
         label=label,
         wall_seconds=wall_seconds,
@@ -83,8 +115,10 @@ def emit(label: str, wall_seconds: float) -> ProfileRecord:
         phase_calls=dict(PROFILER.phase_calls),
         caches=[s.as_dict() for s in cache_stats().values()],
     )
-    for callback in list(_on_record):
-        callback(record)
+    for sink in list(_sinks):
+        hook = _hooks.profile_hook(sink)
+        if hook is not None:
+            hook(record)
     return record
 
 

@@ -18,7 +18,16 @@ Commands:
 * ``jobs``        — inspect the durable job ledger (``jobs list``);
 * ``store``       — inspect (``store query``) or migrate journals into
   (``store import``) a persistent experiment store;
+* ``replay``      — dump a finished run's spooled telemetry frames
+  from a store (``--list`` shows which runs have frames); the offline
+  sibling of ``GET /v1/runs/<fingerprint>/<seed>/replay``;
 * ``version``     — print the package version.
+
+``serve --telemetry`` / ``worker --telemetry`` switch per-step trace
+frames on: the service streams them over
+``GET /v1/jobs/<id>/events`` (SSE; viewer at ``/v1/ui``) and spools
+them into the store for later ``replay``.  Telemetry is observe-only —
+records and the determinism guarantee are unaffected.
 
 ``batch`` additionally speaks the fault-injection surface: pick an
 adversarial activation policy with ``--adversary`` and add engine-level
@@ -204,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
         "shards for 'repro worker' processes instead of executing "
         "them in-process",
     )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="emit per-step trace frames: streamed over "
+        "GET /v1/jobs/<id>/events (viewer at /v1/ui) and spooled "
+        "into the store for replay; observe-only",
+    )
 
     worker = sub.add_parser(
         "worker", help="run one worker of the distributed fabric"
@@ -249,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-seed wall-clock budget in seconds",
+    )
+    worker.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="spool per-step trace frames into the shared store while "
+        "executing (a fabric front-end serves them over SSE)",
     )
     worker.add_argument(
         "--drain",
@@ -329,6 +351,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_import.add_argument("journal", help="journal file to ingest")
     store_import.add_argument("--store", required=True)
+
+    replay = sub.add_parser(
+        "replay",
+        help="dump a run's spooled telemetry frames from a store",
+    )
+    replay.add_argument("--store", required=True)
+    replay.add_argument(
+        "--fingerprint",
+        default=None,
+        help="workload fingerprint (as shown by 'store query' / --list)",
+    )
+    replay.add_argument(
+        "--seed", type=int, default=None, help="seed of the run to replay"
+    )
+    replay.add_argument(
+        "--list",
+        dest="list_runs",
+        action="store_true",
+        help="list the runs that have spooled frames instead of replaying",
+    )
 
     sub.add_parser("version", help="print the version")
     return parser
@@ -518,6 +560,7 @@ def cmd_serve(args) -> int:
         job_budget=args.job_budget,
         max_attempts=args.max_attempts,
         dispatch=not args.no_dispatch,
+        telemetry=args.telemetry,
     )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
@@ -526,6 +569,8 @@ def cmd_serve(args) -> int:
         banner += f" ledger={ledger}"
     if args.no_dispatch:
         banner += " mode=fabric"
+    if args.telemetry:
+        banner += f" telemetry=on ui=http://{host}:{port}/v1/ui"
     print(banner, flush=True)
     if service.recovered:
         print(
@@ -605,6 +650,7 @@ def cmd_worker(args) -> int:
             max_attempts=args.max_attempts,
             batch_workers=args.batch_workers,
             timeout=args.timeout,
+            telemetry=args.telemetry,
             log=lambda line: print(line, flush=True),
         )
     except ValueError as exc:
@@ -704,6 +750,47 @@ def cmd_store(args) -> int:
     return 2
 
 
+def cmd_replay(args) -> int:
+    from .store import ExperimentStore
+
+    store = ExperimentStore(args.store)
+    if args.list_runs:
+        rows = []
+        fingerprints = (
+            [args.fingerprint]
+            if args.fingerprint is not None
+            else [s.fingerprint for s in store.scenarios()]
+        )
+        for fingerprint in fingerprints:
+            for seed, count in store.frame_seeds(fingerprint).items():
+                rows.append(
+                    {"fingerprint": fingerprint, "seed": seed, "frames": count}
+                )
+        from .analysis import format_table
+
+        print(format_table(rows) if rows else "(no spooled frames)")
+        return 0
+    if args.fingerprint is None or args.seed is None:
+        print(
+            "error: replay needs --fingerprint and --seed "
+            "(or --list to see what is spooled)",
+            file=sys.stderr,
+        )
+        return 2
+    payloads = store.frames(args.fingerprint, args.seed)
+    if not payloads:
+        print(
+            f"error: no spooled frames for ({args.fingerprint}, "
+            f"{args.seed}); run the batch under a telemetry-enabled "
+            "service or worker first",
+            file=sys.stderr,
+        )
+        return 2
+    for payload in payloads:
+        print(payload)
+    return 0
+
+
 def cmd_election(args) -> int:
     pattern = build_pattern(PATTERN_SPECS[args.pattern](args.n))
     initial = [
@@ -745,6 +832,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_jobs(args)
     if args.command == "store":
         return cmd_store(args)
+    if args.command == "replay":
+        return cmd_replay(args)
     if args.command == "version":
         print(__version__)
         return 0

@@ -1,0 +1,226 @@
+"""The unified observation-hook protocol (``repro.hooks``).
+
+Three hook shapes grew independently across the codebase:
+
+* ``BatchConfig(on_record=...)`` — a bare callable fired per committed
+  :class:`~repro.analysis.batch.RunRecord`;
+* :func:`repro.analysis.profile.on_record` — a module-global registry
+  of callables fired per :class:`ProfileRecord`;
+* the per-step frame hook the telemetry layer adds.
+
+This module consolidates them behind one documented *sink* protocol.
+A sink is any object exposing a subset of three methods::
+
+    class MySink:
+        def on_record(self, record): ...    # per committed RunRecord
+        def on_frame(self, frame): ...      # per TraceFrame (per step)
+        def on_profile(self, record): ...   # per ProfileRecord
+
+All methods are optional and presence-checked (duck typing, not
+``isinstance``): a sink that lacks ``on_frame`` never pays the
+per-step cost — the engine only emits frames when someone listens.
+:class:`FunctionSink` adapts bare callables, :class:`CompositeSink`
+fans one event out to several sinks, and :func:`as_sink` is the
+resolver the facade uses to merge the new ``telemetry=`` argument with
+the legacy keyword forms.
+
+Legacy keyword forms keep working through these adapters but warn
+**once per process** with a :class:`DeprecationWarning` (CI runs with
+``-W error::DeprecationWarning``, so in-tree callers are migrated).
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Any, Callable, Protocol
+
+__all__ = [
+    "CompositeSink",
+    "FrameHook",
+    "FunctionSink",
+    "ProfileHook",
+    "RecordHook",
+    "TelemetrySink",
+    "as_sink",
+    "frame_hook",
+    "profile_hook",
+    "record_hook",
+    "reset_deprecation_warnings",
+    "spool_only_sink",
+    "warn_once",
+]
+
+#: Per committed RunRecord (store hits included).
+RecordHook = Callable[[Any], None]
+#: Per applied scheduler action (a TraceFrame).
+FrameHook = Callable[[Any], None]
+#: Per emitted ProfileRecord.
+ProfileHook = Callable[[Any], None]
+
+
+class TelemetrySink(Protocol):
+    """Documentation protocol for sinks — every method is optional.
+
+    Consumers never ``isinstance``-check against this: they probe with
+    :func:`record_hook` / :func:`frame_hook` / :func:`profile_hook`,
+    which return the bound method when present and ``None`` otherwise.
+    """
+
+    def on_record(self, record) -> None: ...
+
+    def on_frame(self, frame) -> None: ...
+
+    def on_profile(self, record) -> None: ...
+
+
+def _hook(sink, name: str) -> "Callable | None":
+    if sink is None:
+        return None
+    candidate = getattr(sink, name, None)
+    return candidate if callable(candidate) else None
+
+
+def record_hook(sink) -> "RecordHook | None":
+    """The sink's ``on_record`` method, or ``None`` if it has none."""
+    return _hook(sink, "on_record")
+
+
+def frame_hook(sink) -> "FrameHook | None":
+    """The sink's ``on_frame`` method, or ``None`` if it has none."""
+    return _hook(sink, "on_frame")
+
+
+def profile_hook(sink) -> "ProfileHook | None":
+    """The sink's ``on_profile`` method, or ``None`` if it has none."""
+    return _hook(sink, "on_profile")
+
+
+class FunctionSink:
+    """Adapt bare callables into a sink.
+
+    Only the hooks actually provided become attributes, so a
+    ``FunctionSink(on_record=...)`` does *not* advertise ``on_frame``
+    and therefore does not switch per-step frame emission on.
+    """
+
+    def __init__(
+        self,
+        *,
+        on_record: "RecordHook | None" = None,
+        on_frame: "FrameHook | None" = None,
+        on_profile: "ProfileHook | None" = None,
+    ) -> None:
+        if on_record is not None:
+            self.on_record = on_record
+        if on_frame is not None:
+            self.on_frame = on_frame
+        if on_profile is not None:
+            self.on_profile = on_profile
+
+    def __repr__(self) -> str:
+        hooks = [
+            name
+            for name in ("on_record", "on_frame", "on_profile")
+            if hasattr(self, name)
+        ]
+        return f"FunctionSink({', '.join(hooks) or 'empty'})"
+
+
+class CompositeSink:
+    """Fan one event out to several sinks, in registration order.
+
+    Advertises a hook only when at least one child does, preserving the
+    "no listener, no cost" property of the probe helpers.
+    """
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = tuple(s for s in sinks if s is not None)
+        for name in ("on_record", "on_frame", "on_profile"):
+            hooks = [_hook(s, name) for s in self.sinks]
+            hooks = [h for h in hooks if h is not None]
+            if hooks:
+                setattr(self, name, _fan_out(hooks))
+
+
+def _fan_out(hooks):
+    if len(hooks) == 1:
+        return hooks[0]
+
+    def dispatch(event, _hooks=tuple(hooks)):
+        for hook in _hooks:
+            hook(event)
+
+    return dispatch
+
+
+def as_sink(
+    telemetry=None,
+    *,
+    on_record: "RecordHook | None" = None,
+    on_frame: "FrameHook | None" = None,
+    on_profile: "ProfileHook | None" = None,
+):
+    """Merge a sink object with loose callables into one sink (or None).
+
+    This is the facade's resolver: ``telemetry=`` (a sink) and the
+    callable keywords compose — every provided part observes every
+    event.  Returns ``None`` when nothing was provided, so callers can
+    skip the hook path entirely.
+    """
+    loose = {}
+    if on_record is not None:
+        loose["on_record"] = on_record
+    if on_frame is not None:
+        loose["on_frame"] = on_frame
+    if on_profile is not None:
+        loose["on_profile"] = on_profile
+    parts = []
+    if telemetry is not None:
+        parts.append(telemetry)
+    if loose:
+        parts.append(FunctionSink(**loose))
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return CompositeSink(*parts)
+
+
+def _discard_frame(frame) -> None:
+    """Advertise frame interest without observing frames."""
+
+
+def spool_only_sink() -> FunctionSink:
+    """A sink that turns frame emission on without consuming frames.
+
+    Fabric workers use it: the facade spools frames to the shared store
+    whenever the sink advertises ``on_frame`` and a store is attached,
+    and the worker has no live subscriber of its own.
+    """
+    return FunctionSink(on_frame=_discard_frame)
+
+
+# -- one-shot deprecation warnings --------------------------------------
+_WARNED_LOCK = threading.Lock()
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process.
+
+    The legacy keyword adapters funnel through here so a tight loop
+    constructing configs does not flood stderr, while CI's
+    ``-W error::DeprecationWarning`` still fails fast on the first use.
+    """
+    with _WARNED_LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which one-shot warnings fired (test isolation hook)."""
+    with _WARNED_LOCK:
+        _WARNED.clear()

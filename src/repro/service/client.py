@@ -293,7 +293,7 @@ class ServiceClient:
 
     # -- job workflow ---------------------------------------------------
     def submit(self, spec: dict, seeds, *, shards: "int | None" = None) -> dict:
-        """``POST /jobs`` and return the accepted job snapshot.
+        """``POST /v1/jobs`` and return the accepted job snapshot.
 
         ``shards`` asks a fabric front-end to split the seed list into
         that many leasable ranges for the worker pool; leave it ``None``
@@ -302,7 +302,7 @@ class ServiceClient:
         payload: dict = {"spec": spec, "seeds": [int(s) for s in seeds]}
         if shards is not None:
             payload["shards"] = int(shards)
-        return self.post("/jobs", payload)
+        return self.post("/v1/jobs", payload)
 
     def wait(
         self,
@@ -312,7 +312,7 @@ class ServiceClient:
         poll: float = 0.2,
         poll_cap: float = 2.0,
     ) -> dict:
-        """Poll ``GET /jobs/<id>`` until the job goes terminal.
+        """Poll ``GET /v1/jobs/<id>`` until the job goes terminal.
 
         The poll interval starts at ``poll`` and doubles (jittered by
         the policy, capped at ``poll_cap``) so a long-running job is
@@ -323,7 +323,7 @@ class ServiceClient:
         interval = poll
         last_status: "str | None" = None
         while True:
-            snapshot = self.get(f"/jobs/{job_id}")
+            snapshot = self.get(f"/v1/jobs/{job_id}")
             last_status = snapshot.get("status")
             if last_status in ("done", "failed"):
                 return snapshot
@@ -370,11 +370,11 @@ def submit_job(
     shards: "int | None" = None,
     policy: "RetryPolicy | None" = None,
 ) -> dict:
-    """``POST /jobs`` and return the accepted job snapshot."""
+    """``POST /v1/jobs`` and return the accepted job snapshot."""
     payload: dict = {"spec": spec, "seeds": [int(s) for s in seeds]}
     if shards is not None:
         payload["shards"] = int(shards)
-    return post_json(f"{base_url.rstrip('/')}/jobs", payload, policy=policy)
+    return post_json(f"{base_url.rstrip('/')}/v1/jobs", payload, policy=policy)
 
 
 def wait_for_job(

@@ -1,9 +1,15 @@
 """JSON-over-HTTP front end for the job service (stdlib only).
 
 Built on :class:`http.server.ThreadingHTTPServer` — no third-party web
-framework.  Routes:
+framework.  The wire surface is **versioned**: every route lives under
+``/v1/`` and is matched against the single :data:`ROUTES` table below
+(one place, no per-handler string matching).  The historical unprefixed
+paths remain as deprecated aliases that answer byte-identically but
+carry a ``Deprecation: true`` response header (plus a ``Link``
+``successor-version`` pointer), so existing clients keep working while
+new ones migrate.  See DESIGN.md "Wire API v1" for the full contract.
 
-``POST /jobs``
+``POST /v1/jobs``
     Submit a workload.  Body: ``{"spec": {...}, "seeds": [...]}`` or
     ``{"spec": {...}, "seed_start": 0, "runs": 16}``, plus an optional
     ``"shards": N`` (fabric front-ends only) that splits the seed list
@@ -12,22 +18,32 @@ framework.  Routes:
     spec, 429 once the admission queue is full, 503 while shutting
     down.  Error replies drain (or close) the request stream, so a
     persistent connection never desyncs on an unread body.
-``GET /jobs``
+``GET /v1/jobs``
     Snapshots of every known job, submission-ordered.
-``GET /jobs/<id>``
+``GET /v1/jobs/<id>``
     One job's live progress: status, done/total, store hits/misses and
-    a partial aggregate over the records committed so far.  Jobs that
-    finished before a restart are answered from the durable ledger
-    (aggregate re-derived from the store).
-``GET /results``
+    a partial aggregate over the records committed so far.  Fabric
+    jobs additionally carry per-shard detail (``shards.states``).
+``GET /v1/jobs/<id>/events``
+    Server-Sent Events stream of the job's telemetry: ``frame`` events
+    (one per applied scheduler action, when the service runs with
+    telemetry enabled), ``record`` / ``aggregate`` rolling progress,
+    ``status`` transitions, and a terminal ``end`` event.  A running
+    dispatch-mode job streams live off the in-process bus; fabric jobs
+    and finished jobs stream from the store's frame spool.
+``GET /v1/runs/<fingerprint>/<seed>/replay``
+    SSE replay of one finished run's spooled frames — byte-identical
+    ``data:`` payloads to what the live stream emitted for the same
+    ``(fingerprint, seed)``.
+``GET /v1/results``
     The store's scenario inventory; with ``?fingerprint=<fp>`` the
     aggregate row for that workload, plus per-seed records when
     ``&records=1``.
-``GET /healthz``
-    Liveness probe: 200 as long as the process can serve requests.
-``GET /readyz``
-    Readiness probe: 200 with the drain/queue/ledger-backlog view
-    while accepting work, 503 (same payload) once draining.
+``GET /v1/ui``
+    The static HTML telemetry viewer (canvas + stats panel).
+``GET /v1/healthz`` / ``GET /v1/readyz``
+    Liveness / readiness probes; ``readyz`` carries the telemetry bus
+    and frame-spool counters.
 
 Error responses carry a structured ``"code"`` from the shared taxonomy
 (:class:`repro.service.errors.ErrorCode`) next to the human-readable
@@ -42,15 +58,62 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from ..analysis.journal import encode_record
 from ..store import ExperimentStore
+from ..telemetry.viewer import VIEWER_HTML
 from .errors import ErrorCode
 from .jobs import JobService, QueueFull
 
-__all__ = ["ServiceServer", "make_server"]
+__all__ = ["API_VERSION", "ROUTES", "ServiceServer", "make_server", "match_route"]
+
+#: The current wire API version — the path prefix of every route.
+API_VERSION = "v1"
+
+#: The route table: ``(method, path pattern, handler method name)``.
+#: ``*`` segments are wildcards whose values are passed to the handler
+#: in order.  This is the *only* place routes are defined; the legacy
+#: unprefixed aliases are derived (same table, minus the version
+#: segment, plus a ``Deprecation`` header).
+ROUTES: tuple[tuple[str, tuple[str, ...], str], ...] = (
+    ("GET", ("healthz",), "_get_healthz"),
+    ("GET", ("readyz",), "_get_readyz"),
+    ("GET", ("jobs",), "_get_jobs"),
+    ("GET", ("jobs", "*"), "_get_job"),
+    ("GET", ("jobs", "*", "events"), "_get_job_events"),
+    ("GET", ("runs", "*", "*", "replay"), "_get_replay"),
+    ("GET", ("results",), "_get_results"),
+    ("GET", ("ui",), "_get_ui"),
+    ("POST", ("jobs",), "_post_jobs"),
+)
+
+#: How long an SSE wait on the bus may block before the handler probes
+#: the connection (disconnect detection) and the job's terminal state.
+_SSE_POLL_S = 0.5
+#: Fabric-mode spool tailing interval while no new frames arrive.
+_SSE_TAIL_IDLE_S = 0.25
+
+
+def match_route(
+    method: str, parts: "tuple[str, ...]"
+) -> "tuple[str, list[str]] | None":
+    """Resolve ``(method, path segments)`` against :data:`ROUTES`.
+
+    Returns ``(handler name, wildcard values)`` or ``None``.  The
+    caller strips the ``/v1`` prefix first; this function is agnostic
+    of versioning by design (aliases answer identically).
+    """
+    for route_method, pattern, handler in ROUTES:
+        if route_method != method or len(pattern) != len(parts):
+            continue
+        if all(p == "*" or p == seg for p, seg in zip(pattern, parts)):
+            return handler, [
+                seg for p, seg in zip(pattern, parts) if p == "*"
+            ]
+    return None
 
 
 def _json_safe(value):
@@ -64,6 +127,10 @@ def _json_safe(value):
     if isinstance(value, (list, tuple)):
         return [_json_safe(v) for v in value]
     return value
+
+
+def _encode_json(payload: dict) -> str:
+    return json.dumps(_json_safe(payload), ensure_ascii=False, allow_nan=False)
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -81,17 +148,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
 
+    #: Set per request by :meth:`_dispatch`: the request arrived on a
+    #: legacy unversioned path, so every reply (success *and* error)
+    #: must carry the deprecation headers.
+    _deprecated = False
+
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
         pass  # polling GET /jobs/<id> would flood stderr
 
     # -- plumbing -------------------------------------------------------
+    def _deprecation_headers(self) -> None:
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link",
+                f"</{API_VERSION}{urlparse(self.path).path}>; "
+                'rel="successor-version"',
+            )
+
     def _reply(self, code: int, payload: dict) -> None:
-        body = json.dumps(
-            _json_safe(payload), ensure_ascii=False, allow_nan=False
-        ).encode("utf-8")
+        body = _encode_json(payload).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._deprecation_headers()
         self.end_headers()
         self.wfile.write(body)
 
@@ -143,31 +223,55 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             remaining -= len(chunk)
 
-    # -- routes ---------------------------------------------------------
+    # -- dispatch -------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
-        if parts == ["healthz"]:
-            self._reply(200, {"ok": True, "store": self.server.service.store})
-        elif parts == ["readyz"]:
-            info = self.server.service.health()
-            self._reply(200 if info["ready"] else 503, info)
-        elif parts == ["jobs"]:
-            self._reply(200, {"jobs": self.server.service.snapshots()})
-        elif len(parts) == 2 and parts[0] == "jobs":
-            snapshot = self.server.service.lookup(parts[1])
-            if snapshot is None:
-                self._error(
-                    404, ErrorCode.NOT_FOUND, f"no such job {parts[1]!r}"
-                )
-            else:
-                self._reply(200, snapshot)
-        elif parts == ["results"]:
-            self._get_results(parse_qs(url.query))
-        else:
+        versioned = bool(parts) and parts[0] == API_VERSION
+        if versioned:
+            parts = parts[1:]
+        # Any unversioned request is on the deprecated surface — error
+        # replies included, so a legacy client's monitoring sees the
+        # header too.
+        self._deprecated = not versioned
+        matched = match_route(method, tuple(parts))
+        if matched is None:
+            if method == "POST":
+                # Error replies must still drain the request body, or
+                # the unread bytes desync the next request on this
+                # connection.
+                self._drain_body()
             self._error(404, ErrorCode.NOT_FOUND, f"no route {url.path!r}")
+            return
+        handler, params = matched
+        getattr(self, handler)(params, parse_qs(url.query))
 
-    def _get_results(self, query: dict) -> None:
+    # -- plain JSON routes ----------------------------------------------
+    def _get_healthz(self, params, query) -> None:
+        self._reply(200, {"ok": True, "store": self.server.service.store})
+
+    def _get_readyz(self, params, query) -> None:
+        info = self.server.service.health()
+        self._reply(200 if info["ready"] else 503, info)
+
+    def _get_jobs(self, params, query) -> None:
+        self._reply(200, {"jobs": self.server.service.snapshots()})
+
+    def _get_job(self, params, query) -> None:
+        (job_id,) = params
+        snapshot = self.server.service.lookup(job_id)
+        if snapshot is None:
+            self._error(404, ErrorCode.NOT_FOUND, f"no such job {job_id!r}")
+        else:
+            self._reply(200, snapshot)
+
+    def _get_results(self, params, query) -> None:
         store = ExperimentStore(self.server.service.store)
         fingerprint = query.get("fingerprint", [None])[0]
         if fingerprint is None:
@@ -197,14 +301,16 @@ class _Handler(BaseHTTPRequestHandler):
             ]
         self._reply(200, payload)
 
-    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
-        url = urlparse(self.path)
-        if url.path.rstrip("/") != "/jobs":
-            # Error replies must still drain the request body, or the
-            # unread bytes desync the next request on this connection.
-            self._drain_body()
-            self._error(404, ErrorCode.NOT_FOUND, f"no route {url.path!r}")
-            return
+    def _get_ui(self, params, query) -> None:
+        body = VIEWER_HTML.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self._deprecation_headers()
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _post_jobs(self, params, query) -> None:
         try:
             body = self._read_body()
             spec = body["spec"]
@@ -227,6 +333,166 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(503, ErrorCode.SHUTTING_DOWN, str(exc))
             return
         self._reply(202, job.snapshot())
+
+    # -- SSE streaming routes -------------------------------------------
+    def _sse_start(self) -> None:
+        # No Content-Length: the stream ends when the handler closes
+        # the connection, so keep-alive must be off for this exchange.
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self._deprecation_headers()
+        self.end_headers()
+
+    def _sse_emit(self, event: str, data: str) -> None:
+        self.wfile.write(f"event: {event}\ndata: {data}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+    def _sse_json(self, event: str, payload: dict) -> None:
+        self._sse_emit(event, _encode_json(payload))
+
+    def _sse_ping(self) -> None:
+        """SSE comment line: ignored by clients, detects dead sockets.
+
+        A disconnected client does not interrupt a blocked read on the
+        server side — only a *write* raises.  Pinging on every idle
+        poll bounds how long a vanished subscriber can pin its handler
+        thread and bus subscription.
+        """
+        self.wfile.write(b": ping\n\n")
+        self.wfile.flush()
+
+    @staticmethod
+    def _terminal(snapshot: "dict | None") -> bool:
+        return snapshot is None or snapshot.get("status") in ("done", "failed")
+
+    def _get_job_events(self, params, query) -> None:
+        (job_id,) = params
+        service = self.server.service
+        snapshot = service.lookup(job_id)
+        if snapshot is None:
+            self._error(404, ErrorCode.NOT_FOUND, f"no such job {job_id!r}")
+            return
+        if service.dispatch and not self._terminal(snapshot):
+            self._stream_live(service, job_id)
+        else:
+            # Fabric front-ends have no in-process bus to the workers,
+            # and finished jobs have no live events left — both stream
+            # from the store's frame spool (tailing it while a fabric
+            # job still runs).
+            self._stream_spool(service, job_id, snapshot)
+
+    def _stream_live(self, service: JobService, job_id: str) -> None:
+        """Live SSE off the telemetry bus (dispatch mode, job running)."""
+        subscription = service.bus.subscribe()
+        try:
+            self._sse_start()
+            self._sse_json("status", service.lookup(job_id) or {})
+            while True:
+                event = subscription.get(timeout=_SSE_POLL_S)
+                if event is not None:
+                    if event.get("job") != job_id:
+                        continue
+                    self._emit_bus_event(event)
+                    continue
+                # Idle: probe the socket, then the job's state.
+                self._sse_ping()
+                current = service.lookup(job_id)
+                if self._terminal(current) or service.stopping:
+                    # Drain what the bus already queued before closing
+                    # (the terminal status event races the poll).
+                    while True:
+                        event = subscription.get(timeout=0.05)
+                        if event is None:
+                            break
+                        if event.get("job") == job_id:
+                            self._emit_bus_event(event)
+                    self._sse_json("status", current or {})
+                    self._sse_emit("end", "{}")
+                    return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away; unsubscribe below
+        finally:
+            service.bus.unsubscribe(subscription)
+
+    def _emit_bus_event(self, event: dict) -> None:
+        data = event.get("data")
+        if isinstance(data, str):
+            # Frames arrive pre-encoded (the byte-exact spool payload);
+            # re-serializing would be a second, divergent encoder.
+            self._sse_emit(event["event"], data)
+        else:
+            self._sse_json(event["event"], data or {})
+
+    def _stream_spool(
+        self, service: JobService, job_id: str, snapshot: dict
+    ) -> None:
+        """SSE from the store's frame spool (fabric mode / finished jobs).
+
+        Tails ``frames_after`` with a rowid cursor, filtered to the
+        job's seed set (several jobs may share one workload
+        fingerprint), until the job goes terminal and the spool is
+        drained.
+        """
+        workload = service.job_workload(job_id)
+        if workload is None:
+            self._error(404, ErrorCode.NOT_FOUND, f"no such job {job_id!r}")
+            return
+        spec, seeds = workload
+        wanted = set(seeds)
+        fingerprint = service.workload_fingerprint(spec)
+        store = ExperimentStore(service.store)
+        cursor = 0
+        last_done = None
+        self._sse_start()
+        try:
+            self._sse_json("status", snapshot)
+            while True:
+                rows = store.frames_after(fingerprint, cursor)
+                for rowid, seed, _idx, payload in rows:
+                    cursor = rowid
+                    if seed in wanted:
+                        self._sse_emit("frame", payload)
+                current = service.lookup(job_id)
+                if current is not None and current.get("done") != last_done:
+                    last_done = current.get("done")
+                    self._sse_json("aggregate", current)
+                if not rows:
+                    if self._terminal(current) or service.stopping:
+                        self._sse_json("status", current or {})
+                        self._sse_emit("end", "{}")
+                        return
+                    self._sse_ping()
+                    time.sleep(_SSE_TAIL_IDLE_S)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away
+
+    def _get_replay(self, params, query) -> None:
+        fingerprint, seed_text = params
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            self._error(
+                400, ErrorCode.SPEC_INVALID, f"bad seed {seed_text!r}"
+            )
+            return
+        store = ExperimentStore(self.server.service.store)
+        payloads = store.frames(fingerprint, seed)
+        if not payloads:
+            self._error(
+                404,
+                ErrorCode.NOT_FOUND,
+                f"no spooled frames for ({fingerprint!r}, {seed})",
+            )
+            return
+        self._sse_start()
+        try:
+            for payload in payloads:
+                self._sse_emit("frame", payload)
+            self._sse_emit("end", "{}")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away mid-replay
 
 
 def make_server(

@@ -55,14 +55,19 @@ protocol.
 from __future__ import annotations
 
 import itertools
+import json
 import queue
 import threading
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import hooks as _hooks
 from ..analysis import BatchConfig, BatchResult, ScenarioSpec, run
 from ..analysis.batch import RunRecord
+from ..analysis.journal import encode_record
 from ..store.ledger import JobLedger
+from ..telemetry import TelemetryBus, encode_frame
+from ..telemetry.spool import spool_stats
 from .errors import ErrorCode
 
 __all__ = ["Job", "JobService", "QueueFull"]
@@ -229,6 +234,14 @@ class JobService:
             (``GET /jobs/<id>``, listings) is answered purely from
             ledger + store, so the front-end itself is stateless and
             restartable at will.  Requires ``ledger``.
+        telemetry: enable per-step frame telemetry for dispatched jobs
+            (``repro serve --telemetry``).  Frames flow through the
+            in-process :class:`~repro.telemetry.TelemetryBus` to SSE
+            subscribers and are spooled into the store for replay.
+            Observe-only: records and determinism are unaffected.  The
+            bus itself always exists — record/aggregate/status events
+            are published for every dispatched job regardless — the
+            flag only switches the (per-step, higher-volume) frames on.
     """
 
     def __init__(
@@ -244,6 +257,7 @@ class JobService:
         job_budget: "float | None" = None,
         max_attempts: int = 3,
         dispatch: bool = True,
+        telemetry: bool = False,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -261,6 +275,8 @@ class JobService:
                 "unfinished shards from the ledger on their own"
             )
         self.dispatch = dispatch
+        self.telemetry = bool(telemetry)
+        self.bus = TelemetryBus()
         self.store = str(store)
         self.workers = workers
         self.timeout = timeout
@@ -497,8 +513,54 @@ class JobService:
         }
         progress = self.ledger.shard_progress(entry.id)
         if progress["total"]:
+            # Per-shard detail next to the counts: which worker holds
+            # which seed range, in what state, after how many attempts
+            # (documented in DESIGN.md "Wire API v1").
+            progress = dict(progress)
+            progress["states"] = [
+                {
+                    "shard": s.shard,
+                    "status": s.status,
+                    "seeds": len(s.seeds),
+                    "attempts": s.attempts,
+                    "worker": s.claimed_by,
+                    "error_code": s.error_code,
+                }
+                for s in self.ledger.shards(entry.id)
+            ]
             snapshot["shards"] = progress
         return snapshot
+
+    def job_workload(self, job_id: str) -> "tuple[dict, list[int]] | None":
+        """The ``(spec, seeds)`` a job was submitted with, or ``None``.
+
+        Resolves live jobs from memory and everything else from the
+        ledger — the SSE spool-replay path needs both to locate a
+        job's frames in the store.
+        """
+        job = self.get(job_id)
+        if job is not None:
+            return dict(job.spec), list(job.seeds)
+        if self.ledger is None:
+            return None
+        entry = self.ledger.get(job_id)
+        if entry is None:
+            return None
+        return dict(entry.spec), list(entry.seeds)
+
+    def workload_fingerprint(self, spec_data: dict) -> str:
+        """The store fingerprint a job's records and frames live under.
+
+        Matches the facade's namespacing: the canonical spec digest
+        plus an ``-array`` suffix when the environment's engine is the
+        array engine (``REPRO_ENGINE``), so telemetry reads hit the
+        same rows the executing batch wrote.
+        """
+        from ..accel import resolved_engine
+
+        spec = ScenarioSpec.from_dict(dict(spec_data))
+        suffix = "-array" if resolved_engine(None) == "array" else ""
+        return spec.fingerprint() + suffix
 
     def health(self) -> dict:
         """The readiness view: drain state, queue depth, ledger backlog."""
@@ -529,6 +591,14 @@ class JobService:
             }
             if not self.dispatch:
                 info["workers"] = self.ledger.active_workers()
+        bus = self.bus.stats()
+        info["telemetry"] = {
+            "enabled": self.telemetry,
+            "subscribers": bus["subscribers"],
+            "published": bus["published"],
+            "dropped": bus["dropped"],
+            "spool": spool_stats(),
+        }
         return info
 
     # -- execution ------------------------------------------------------
@@ -607,7 +677,7 @@ class JobService:
                     workers=self.workers,
                     timeout=self.timeout,
                     store=self.store,
-                    on_record=lambda record: job.add_record(record, token),
+                    telemetry=self._job_sink(job, token),
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — a bad job must not kill the loop
@@ -617,7 +687,43 @@ class JobService:
         else:
             job.complete_success(token, batch)
         finally:
+            self._publish(job, "status", job.snapshot())
             done.set()
+
+    # -- telemetry ------------------------------------------------------
+    def _job_sink(self, job: Job, token: int) -> "_hooks.FunctionSink":
+        """The :mod:`repro.hooks` sink one execution attempt runs under.
+
+        ``on_record`` keeps the pre-telemetry behaviour (progress under
+        the job lock, token-fenced) and additionally publishes a
+        ``record`` plus a rolling ``aggregate`` event.  ``on_frame`` is
+        only attached when telemetry is enabled — its mere presence is
+        what switches the engine's per-step frame emission (and the
+        facade's store spooling) on.
+        """
+
+        def on_record(record: RunRecord) -> None:
+            job.add_record(record, token)
+            self._publish(
+                job, "record", json.loads(encode_record(record))
+            )
+            self._publish(job, "aggregate", job.snapshot())
+
+        hooks = {"on_record": on_record}
+        if self.telemetry:
+            hooks["on_frame"] = lambda frame: self._publish(
+                job, "frame", encode_frame(frame)
+            )
+        return _hooks.FunctionSink(**hooks)
+
+    def _publish(self, job: Job, event: str, data) -> None:
+        """Fan one telemetry event out to the bus (never blocks).
+
+        ``data`` is either an already-encoded JSON string (frames — the
+        byte-exact payload the spool stores and replay re-serves) or a
+        JSON-ready dict the HTTP layer serializes.
+        """
+        self.bus.publish({"event": event, "job": job.id, "data": data})
 
     def _ledger_sync(self, job: Job) -> None:
         """Write the job's current status through to the ledger."""

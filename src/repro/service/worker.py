@@ -34,6 +34,7 @@ import socket
 import threading
 import traceback
 
+from .. import hooks as _hooks
 from ..analysis import BatchConfig, ScenarioSpec, run
 from ..store.ledger import JobLedger, ShardClaim
 from .errors import ErrorCode
@@ -65,6 +66,11 @@ class Worker:
             this worker (default 1 — fabric parallelism comes from
             running more workers).
         timeout: per-seed wall-clock budget forwarded to the batch.
+        telemetry: spool per-step trace frames into the shared store
+            while executing (``repro worker --telemetry``).  A fabric
+            front-end tails that spool to serve
+            ``GET /v1/jobs/<id>/events``; observe-only, records are
+            bit-identical either way.
         log: callable for one-line progress events (``None`` = silent).
     """
 
@@ -79,6 +85,7 @@ class Worker:
         max_attempts: int = 3,
         batch_workers: int = 1,
         timeout: "float | None" = None,
+        telemetry: bool = False,
         log=None,
     ) -> None:
         if lease <= 0:
@@ -95,6 +102,7 @@ class Worker:
         self.max_attempts = max_attempts
         self.batch_workers = batch_workers
         self.timeout = timeout
+        self.telemetry = bool(telemetry)
         self._log = log
         self._stop = threading.Event()
 
@@ -157,6 +165,13 @@ class Worker:
                     workers=self.batch_workers,
                     timeout=self.timeout,
                     store=self.store,
+                    # A frame-listening sink switches the facade's store
+                    # spooling on; workers have no live subscribers, so
+                    # the sink itself discards — the front-end tails
+                    # the spool over SSE instead.
+                    telemetry=_hooks.spool_only_sink()
+                    if self.telemetry
+                    else None,
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — a bad shard must not kill the loop

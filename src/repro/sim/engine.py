@@ -38,11 +38,15 @@ from ..model.snapshot import Snapshot
 from ..profiling import PROFILER as _PROFILER
 from ..scheduler.base import Action, ActionKind, Scheduler
 from ..scheduler.rng import ForcedBits, RandomSource
+from ..telemetry.frames import TraceFrame
 from .context import ComputeContext
 from .metrics import Metrics
 from .paths import Path
 from .robot import Phase, RobotBody
 from .trace import Trace
+
+#: Compact per-robot phase encoding used in telemetry frames.
+_PHASE_CHAR = {Phase.IDLE: "i", Phase.OBSERVED: "o", Phase.MOVING: "m"}
 
 
 class InvariantViolation(AssertionError):
@@ -178,6 +182,12 @@ class Simulation:
         checkers: callables ``(simulation, action) -> None`` invoked after
             every applied action; raise to fail the run (used for
             invariant checking in tests).
+        on_frame: telemetry hook invoked with a
+            :class:`~repro.telemetry.frames.TraceFrame` after every
+            applied action.  Strictly observational — building the
+            frame reads positions and phases only, never an RNG, so a
+            hooked run is bit-for-bit identical to an unhooked one.
+            ``None`` (the default) skips frame construction entirely.
     """
 
     def __init__(
@@ -198,6 +208,7 @@ class Simulation:
         record_trace: bool = False,
         trace_sample_every: int = 1,
         checkers: Sequence[Callable[["Simulation", Action], None]] = (),
+        on_frame: "Callable[[TraceFrame], None] | None" = None,
     ) -> None:
         if not isinstance(initial, Configuration):
             initial = Configuration.from_points(initial)
@@ -216,6 +227,8 @@ class Simulation:
         self.wall_limit = wall_limit
         self.strict_invariants = strict_invariants
         self.checkers = list(checkers)
+        self.seed = seed
+        self.on_frame = on_frame
         self.metrics = Metrics()
         self.metrics.start(len(self.robots))
         self.trace = (
@@ -355,6 +368,23 @@ class Simulation:
         if self.trace is not None:
             self.trace.record(
                 self.step_count, action.kind, robot.robot_id, self.configuration()
+            )
+        if self.on_frame is not None:
+            # Observe-only: positions and phases are read, no RNG is
+            # touched, so telemetry cannot perturb the run.
+            self.on_frame(
+                TraceFrame(
+                    seed=self.seed,
+                    step=self.step_count,
+                    action=action.kind.value,
+                    robot=robot.robot_id,
+                    positions=tuple(
+                        (r.position.x, r.position.y) for r in self.robots
+                    ),
+                    phases="".join(
+                        _PHASE_CHAR[r.phase] for r in self.robots
+                    ),
+                )
             )
 
     def _apply_look(self, robot: RobotBody) -> None:

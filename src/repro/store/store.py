@@ -52,6 +52,7 @@ from typing import Iterable, Sequence
 from ..analysis.batch import BatchResult, RunRecord
 from ..analysis.journal import JOURNAL_VERSION, decode_record, encode_record
 from ..analysis.scenarios import ScenarioSpec, canonical_spec_json, spec_fingerprint
+from ..telemetry.frames import FRAME_SCHEMA_VERSION
 
 __all__ = [
     "CODE_SCHEMA",
@@ -156,6 +157,21 @@ class ExperimentStore:
                 " payload TEXT NOT NULL,"
                 " PRIMARY KEY (fingerprint, seed, schema))"
             )
+            # Telemetry frame spool (PR 8).  Additive: an old reader
+            # simply never touches the table, so STORE_VERSION stays 1.
+            # ``version`` is the frame schema version, keying payload
+            # shape the same way ``schema`` keys run payloads; rowid
+            # stays implicit and monotonic, which is what the fabric
+            # front-end's SSE tailing cursors over.
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS frames ("
+                " fingerprint TEXT NOT NULL,"
+                " seed INTEGER NOT NULL,"
+                " version INTEGER NOT NULL,"
+                " idx INTEGER NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " PRIMARY KEY (fingerprint, seed, version, idx))"
+            )
             # INSERT OR IGNORE, not check-then-insert: concurrent first
             # opens of the same fresh store (N fabric workers) must not
             # race to a UNIQUE-constraint failure.  A pre-existing row
@@ -234,6 +250,106 @@ class ExperimentStore:
                 rows,
             )
             return conn.total_changes - before
+
+    # -- frame spool ----------------------------------------------------
+    def put_frames(
+        self,
+        spec: "ScenarioSpec | dict | str",
+        seed: int,
+        payloads: Sequence[str],
+        *,
+        start_idx: int = 0,
+        version: int = FRAME_SCHEMA_VERSION,
+    ) -> int:
+        """Spool encoded telemetry frames; return the new-row count.
+
+        ``payloads`` are :func:`repro.telemetry.frames.encode_frame`
+        strings stored verbatim — replay serves the exact bytes the
+        live stream emitted.  ``INSERT OR IGNORE`` on the
+        ``(fingerprint, seed, version, idx)`` key makes worker retries
+        and resubmissions no-ops (frames are deterministic, so the
+        ignored duplicates are byte-identical to the kept rows).
+        """
+        fingerprint = _fingerprint_of(spec)
+        rows = [
+            (fingerprint, int(seed), int(version), start_idx + offset, payload)
+            for offset, payload in enumerate(payloads)
+        ]
+        with self._connect() as conn:
+            before = conn.total_changes
+            conn.executemany(
+                "INSERT OR IGNORE INTO frames"
+                " (fingerprint, seed, version, idx, payload)"
+                " VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+            return conn.total_changes - before
+
+    def frames(
+        self,
+        spec: "ScenarioSpec | dict | str",
+        seed: int,
+        *,
+        start_idx: int = 0,
+        limit: "int | None" = None,
+        version: int = FRAME_SCHEMA_VERSION,
+    ) -> list[str]:
+        """A run's spooled frame payloads, in emission order."""
+        fingerprint = _fingerprint_of(spec)
+        sql = (
+            "SELECT payload FROM frames"
+            " WHERE fingerprint=? AND seed=? AND version=? AND idx>=?"
+            " ORDER BY idx"
+        )
+        params: list = [fingerprint, int(seed), int(version), int(start_idx)]
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._connect() as conn:
+            rows = conn.execute(sql, params).fetchall()
+        return [row[0] for row in rows]
+
+    def frame_seeds(
+        self,
+        spec: "ScenarioSpec | dict | str",
+        *,
+        version: int = FRAME_SCHEMA_VERSION,
+    ) -> dict[int, int]:
+        """``seed -> frame count`` for every spooled run of a workload."""
+        fingerprint = _fingerprint_of(spec)
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT seed, COUNT(*) FROM frames"
+                " WHERE fingerprint=? AND version=?"
+                " GROUP BY seed ORDER BY seed",
+                (fingerprint, int(version)),
+            ).fetchall()
+        return {seed: count for seed, count in rows}
+
+    def frames_after(
+        self,
+        spec: "ScenarioSpec | dict | str",
+        cursor: int = 0,
+        *,
+        limit: int = 1024,
+        version: int = FRAME_SCHEMA_VERSION,
+    ) -> list[tuple[int, int, int, str]]:
+        """Spool rows past a rowid cursor: ``(rowid, seed, idx, payload)``.
+
+        The tailing primitive behind fabric-mode SSE: the front-end
+        holds the last rowid it forwarded and polls for what workers
+        appended since.  Rowids are monotonic per insert, so the cursor
+        never re-serves a row and never skips one.
+        """
+        fingerprint = _fingerprint_of(spec)
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT rowid, seed, idx, payload FROM frames"
+                " WHERE fingerprint=? AND version=? AND rowid>?"
+                " ORDER BY rowid LIMIT ?",
+                (fingerprint, int(version), int(cursor), int(limit)),
+            ).fetchall()
+        return [(rowid, seed, idx, payload) for rowid, seed, idx, payload in rows]
 
     # -- reading --------------------------------------------------------
     def get(self, spec: "ScenarioSpec | dict | str", seed: int) -> RunRecord | None:

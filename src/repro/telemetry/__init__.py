@@ -1,0 +1,44 @@
+"""Live telemetry: trace frames, the fan-out bus, spooling, the viewer.
+
+The observability layer over the batch/service stack (ROADMAP item 5).
+Strictly observe-only: enabling telemetry never consumes simulation
+randomness and never changes a :class:`~repro.analysis.batch.RunRecord`
+— the bit-for-bit equivalence suites run with it on and off.  Frames
+are excluded from workload fingerprints; they are a *view* of a run,
+not part of its identity.
+
+Layers, bottom up:
+
+* :mod:`repro.telemetry.frames` — the versioned frame schema and its
+  single JSON serialization point (journal NaN/±inf sentinels);
+* :mod:`repro.telemetry.bus` — bounded drop-oldest pub/sub between the
+  job service and its SSE handler threads;
+* :mod:`repro.telemetry.spool` — store-backed frame persistence for
+  replay and fabric-mode streaming;
+* :mod:`repro.telemetry.viewer` — the static HTML canvas viewer served
+  at ``/v1/ui``.
+
+Hook plumbing (how frames get *out* of the engine) lives in
+:mod:`repro.hooks`; the wire surface lives in
+:mod:`repro.service.http`.
+"""
+
+from .bus import Subscription, TelemetryBus
+from .frames import (
+    FRAME_SCHEMA_VERSION,
+    TraceFrame,
+    decode_frame,
+    encode_frame,
+)
+from .spool import FrameSpool, spool_stats
+
+__all__ = [
+    "FRAME_SCHEMA_VERSION",
+    "FrameSpool",
+    "Subscription",
+    "TelemetryBus",
+    "TraceFrame",
+    "decode_frame",
+    "encode_frame",
+    "spool_stats",
+]

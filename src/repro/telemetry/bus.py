@@ -1,0 +1,122 @@
+"""Bounded in-process pub/sub fan-out for telemetry events.
+
+The :class:`TelemetryBus` sits between the job service (publisher) and
+its SSE handler threads (subscribers).  Every subscriber owns a bounded
+queue; a publish never blocks and never back-pressures the simulation —
+when a subscriber's queue is full its *oldest* event is dropped to make
+room (a live viewer wants the newest state, not a faithful backlog) and
+the drop is counted, per subscriber and bus-wide.  The counters are
+surfaced on ``GET /v1/readyz`` so a viewer that silently fell behind is
+observable.
+
+Events are plain dicts (``{"event": ..., "job": ..., "data": ...}``);
+the bus does not interpret them.  Thread-safe throughout: publishers
+and subscribers may run on any thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+__all__ = ["Subscription", "TelemetryBus"]
+
+#: Default per-subscriber queue bound.  Sized for a viewer that polls
+#: every few hundred milliseconds against a publisher emitting one
+#: event per simulation step.
+DEFAULT_QUEUE_SIZE = 1024
+
+
+class Subscription:
+    """One subscriber's bounded event queue (created by the bus)."""
+
+    def __init__(self, maxlen: int) -> None:
+        self._queue: "queue.Queue[dict]" = queue.Queue(maxsize=maxlen)
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    @property
+    def dropped(self) -> int:
+        """Events dropped from *this* subscriber's queue (oldest-first)."""
+        with self._lock:
+            return self._dropped
+
+    def get(self, timeout: "float | None" = None) -> "dict | None":
+        """Next event, or ``None`` when ``timeout`` elapses empty."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    # Called only by the bus, under no external lock: the drop-oldest
+    # dance tolerates races (a concurrent get just means less to drop).
+    def _offer(self, event: dict) -> bool:
+        try:
+            self._queue.put_nowait(event)
+            return True
+        except queue.Full:
+            pass
+        try:
+            self._queue.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            self._dropped += 1
+        try:
+            self._queue.put_nowait(event)
+        except queue.Full:
+            pass
+        return False
+
+
+class TelemetryBus:
+    """Drop-oldest fan-out of telemetry events to bounded subscribers."""
+
+    def __init__(self, maxlen: int = DEFAULT_QUEUE_SIZE) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._subscribers: list[Subscription] = []
+        self._published = 0
+        self._dropped = 0
+
+    def subscribe(self) -> Subscription:
+        """Register a new subscriber; pair with :meth:`unsubscribe`."""
+        sub = Subscription(self.maxlen)
+        with self._lock:
+            self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a subscriber; unknown subscriptions are ignored."""
+        with self._lock:
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
+
+    def publish(self, event: dict) -> None:
+        """Fan an event out to every subscriber without ever blocking."""
+        with self._lock:
+            subscribers = list(self._subscribers)
+            self._published += 1
+        dropped = 0
+        for sub in subscribers:
+            if not sub._offer(event):
+                dropped += 1
+        if dropped:
+            with self._lock:
+                self._dropped += dropped
+
+    def stats(self) -> dict:
+        """Counters for the readiness endpoint."""
+        with self._lock:
+            return {
+                "subscribers": len(self._subscribers),
+                "published": self._published,
+                "dropped": self._dropped,
+            }

@@ -1,0 +1,118 @@
+"""Versioned, JSON-encodable per-step trace frames.
+
+A :class:`TraceFrame` is the telemetry unit of the live observability
+layer: one frame per applied scheduler action, carrying the acting
+robot, the action kind and the full global configuration *after* the
+action.  Frames are observational only — building one never touches a
+simulation RNG, so a run with frames enabled is bit-for-bit identical
+to the same run without (pinned by the telemetry equivalence tests).
+
+The wire encoding is one standard-JSON line per frame with the exact
+non-finite-float convention of the run journal
+(:mod:`repro.analysis.journal`): ``NaN`` / ``±inf`` coordinates become
+the string sentinels ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``.
+The sentinel encoder is deliberately duplicated here rather than
+imported — the journal module pulls in the batch/engine stack while
+frames must stay importable from the engine itself — and a test pins
+the two encoders to agree byte-for-byte.
+
+``encode_frame`` is the *single* serialization point: the live SSE
+stream, the store frame spool and the replay endpoint all emit its
+output verbatim, which is what makes live-vs-replay byte equivalence a
+structural property instead of a test-time coincidence.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "FRAME_SCHEMA_VERSION",
+    "TraceFrame",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: Bump when the frame wire schema changes shape; spooled frames are
+#: keyed by this version so old and new readers never mix payloads.
+FRAME_SCHEMA_VERSION = 1
+
+
+def _encode_float(value: float) -> "float | str":
+    # Same sentinels as repro.analysis.journal._encode_float (pinned by
+    # tests/telemetry/test_frames.py::test_sentinels_match_journal).
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def _decode_float(value) -> float:
+    return float(value)
+
+
+@dataclass(frozen=True)
+class TraceFrame:
+    """One applied scheduler action and the configuration it produced.
+
+    Attributes:
+        seed: the run's master seed (frames of one batch interleave on
+            the wire; the seed is the demultiplexing key).
+        step: the engine step counter after the action.
+        action: ``"look"`` / ``"compute"`` / ``"move"``.
+        robot: id of the robot the action was applied to.
+        positions: global ``(x, y)`` of every robot, index-aligned with
+            robot ids, after the action.
+        phases: one character per robot — ``i`` idle, ``o`` observed,
+            ``m`` moving — the LCM phase vector after the action.
+        version: :data:`FRAME_SCHEMA_VERSION` of this frame's shape.
+    """
+
+    seed: int
+    step: int
+    action: str
+    robot: int
+    positions: tuple
+    phases: str
+    version: int = FRAME_SCHEMA_VERSION
+
+
+def encode_frame(frame: TraceFrame) -> str:
+    """One standard-JSON line for a frame (deterministic key order)."""
+    payload = {
+        "kind": "frame",
+        "v": frame.version,
+        "seed": frame.seed,
+        "step": frame.step,
+        "action": frame.action,
+        "robot": frame.robot,
+        "phases": frame.phases,
+        "positions": [
+            [_encode_float(float(x)), _encode_float(float(y))]
+            for x, y in frame.positions
+        ],
+    }
+    return json.dumps(payload, ensure_ascii=False, allow_nan=False)
+
+
+def decode_frame(payload: "str | dict") -> TraceFrame:
+    """Rebuild a frame from its JSON line (or already-parsed dict)."""
+    if isinstance(payload, str):
+        payload = json.loads(payload)
+    if payload.get("kind") != "frame":
+        raise ValueError(f"not a frame payload: kind={payload.get('kind')!r}")
+    return TraceFrame(
+        seed=int(payload["seed"]),
+        step=int(payload["step"]),
+        action=str(payload["action"]),
+        robot=int(payload["robot"]),
+        positions=tuple(
+            (_decode_float(x), _decode_float(y))
+            for x, y in payload["positions"]
+        ),
+        phases=str(payload["phases"]),
+        version=int(payload.get("v", FRAME_SCHEMA_VERSION)),
+    )

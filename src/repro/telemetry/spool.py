@@ -1,0 +1,122 @@
+"""Store-backed frame spooling for replay and fabric-mode streaming.
+
+The :class:`FrameSpool` buffers encoded frames per seed and flushes
+them in batches into the experiment store's ``frames`` table (see
+:meth:`repro.store.ExperimentStore.put_frames`).  It is the bridge
+between live telemetry and everything that happens *later*:
+
+* ``GET /v1/runs/<fingerprint>/<seed>/replay`` streams the spooled
+  payloads verbatim — byte-identical to the live SSE ``data:`` lines,
+  because both sides serialize through
+  :func:`repro.telemetry.frames.encode_frame` exactly once;
+* in fabric mode the ledger-polling front-end has no in-process bus to
+  the workers, so its SSE handler tails the spool instead.
+
+Frames are deterministic (same code, same seed, same bytes), which
+makes the spool naturally idempotent: the table's
+``(fingerprint, seed, version, idx)`` primary key plus
+``INSERT OR IGNORE`` means a retried worker attempt or a resubmitted
+job re-writes identical rows and changes nothing.  A per-seed cap
+bounds disk growth on pathological runs; capped-off frames are counted,
+not silently lost (surfaced on ``/v1/readyz``).
+
+Single-threaded by design: each spool instance lives inside one batch's
+commit path (the facade's parent process), which is serial.  The
+process-wide counters below are lock-guarded because several batches
+may run on different threads of one service process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .frames import TraceFrame, encode_frame
+
+__all__ = ["FrameSpool", "spool_stats"]
+
+#: Per-seed frame cap: a 300k-step run at ~60 bytes of JSON per robot
+#: per frame is already tens of MB; beyond the cap frames are dropped
+#: (counted) and the replay is a prefix.
+DEFAULT_SEED_CAP = 100_000
+
+#: Flush granularity: small enough that fabric-mode tailing sees frames
+#: while the run is still going, large enough to amortize the insert.
+DEFAULT_FLUSH_EVERY = 256
+
+_STATS_LOCK = threading.Lock()
+_STATS = {"spooled": 0, "dropped": 0}
+
+
+def spool_stats() -> dict:
+    """Process-wide spool counters (for the readiness endpoint)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def _count(key: str, amount: int) -> None:
+    with _STATS_LOCK:
+        _STATS[key] += amount
+
+
+class FrameSpool:
+    """Buffer frames per seed; flush encoded batches into a store."""
+
+    def __init__(
+        self,
+        store,
+        fingerprint: str,
+        *,
+        seed_cap: int = DEFAULT_SEED_CAP,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        self._store = store
+        self._fingerprint = fingerprint
+        self._seed_cap = seed_cap
+        self._flush_every = max(1, flush_every)
+        self._buffers: dict[int, list[str]] = {}
+        self._counts: dict[int, int] = {}
+        self._next_idx: dict[int, int] = {}
+        self.spooled = 0
+        self.dropped = 0
+
+    def add(self, frame: TraceFrame) -> None:
+        """Accept one frame; flush its seed's batch when full."""
+        seed = frame.seed
+        count = self._counts.get(seed, 0)
+        if count >= self._seed_cap:
+            self.dropped += 1
+            _count("dropped", 1)
+            return
+        self._counts[seed] = count + 1
+        buffer = self._buffers.setdefault(seed, [])
+        buffer.append(encode_frame(frame))
+        if len(buffer) >= self._flush_every:
+            self.flush_seed(seed)
+
+    def flush_seed(self, seed: int) -> None:
+        """Write the seed's buffered frames through to the store."""
+        buffer = self._buffers.pop(seed, None)
+        if not buffer:
+            return
+        start = self._next_idx.get(seed, 0)
+        self._store.put_frames(
+            self._fingerprint, seed, buffer, start_idx=start
+        )
+        self._next_idx[seed] = start + len(buffer)
+        self.spooled += len(buffer)
+        _count("spooled", len(buffer))
+
+    def flush_all(self) -> None:
+        for seed in list(self._buffers):
+            self.flush_seed(seed)
+
+    def reset_seed(self, seed: int) -> None:
+        """Restart a seed's spool (a pool worker died and is retried).
+
+        Frames are deterministic, so the retry re-produces the flushed
+        prefix byte-for-byte and ``INSERT OR IGNORE`` makes re-writing
+        it a no-op — only the parent-side cursor has to rewind.
+        """
+        self._buffers.pop(seed, None)
+        self._counts[seed] = 0
+        self._next_idx[seed] = 0

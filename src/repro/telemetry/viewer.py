@@ -1,0 +1,189 @@
+"""Static HTML viewer served at ``GET /v1/ui``.
+
+One self-contained page, no external assets (the service is stdlib-only
+and often runs air-gapped): a canvas rendering the robots of one seed
+with zoom (wheel) and pan (drag), plus a stats panel fed by the same
+SSE stream.  The page consumes the two streaming endpoints:
+
+* ``/v1/jobs/<id>/events`` — live frames + rolling aggregates;
+* ``/v1/runs/<fingerprint>/<seed>/replay`` — spooled replay.
+
+It intentionally knows nothing the wire schema does not state: frames
+are decoded per :data:`repro.telemetry.frames.FRAME_SCHEMA_VERSION`
+and unknown event types are ignored, so viewer and service can evolve
+independently under the /v1 contract.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VIEWER_HTML"]
+
+VIEWER_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro telemetry viewer</title>
+<style>
+  body { margin: 0; font: 13px/1.4 system-ui, sans-serif; background: #11151a; color: #d8dee6; }
+  #top { display: flex; gap: .5em; align-items: center; padding: .5em .75em; background: #1a2027; }
+  #top input { background: #11151a; color: #d8dee6; border: 1px solid #3a4450; padding: .3em .5em; }
+  #top button { background: #2a6db0; color: #fff; border: 0; padding: .35em .8em; cursor: pointer; }
+  #wrap { display: flex; height: calc(100vh - 3em); }
+  #canvas { flex: 1; cursor: grab; background: #11151a; }
+  #stats { width: 19em; padding: .75em; background: #161b21; overflow-y: auto; }
+  #stats h3 { margin: .2em 0 .5em; font-size: 1em; color: #8fb4d8; }
+  #stats table { width: 100%; border-collapse: collapse; }
+  #stats td { padding: .15em 0; border-bottom: 1px solid #242c35; }
+  #stats td:last-child { text-align: right; font-variant-numeric: tabular-nums; }
+  #status { color: #9aa7b4; margin-left: auto; }
+</style>
+</head>
+<body>
+<div id="top">
+  <label>job <input id="job" size="8" placeholder="j1"></label>
+  <button id="watch">watch</button>
+  <label>replay <input id="fp" size="14" placeholder="fingerprint">
+  <input id="seed" size="4" placeholder="seed"></label>
+  <button id="replay">replay</button>
+  <span id="status">idle</span>
+</div>
+<div id="wrap">
+  <canvas id="canvas"></canvas>
+  <div id="stats">
+    <h3>frame</h3>
+    <table>
+      <tr><td>seed</td><td id="s-seed">-</td></tr>
+      <tr><td>step</td><td id="s-step">-</td></tr>
+      <tr><td>action</td><td id="s-action">-</td></tr>
+      <tr><td>robot</td><td id="s-robot">-</td></tr>
+      <tr><td>frames seen</td><td id="s-frames">0</td></tr>
+    </table>
+    <h3>batch</h3>
+    <table>
+      <tr><td>done / total</td><td id="s-done">-</td></tr>
+      <tr><td>success</td><td id="s-success">-</td></tr>
+      <tr><td>status</td><td id="s-jstatus">-</td></tr>
+    </table>
+  </div>
+</div>
+<script>
+"use strict";
+const canvas = document.getElementById("canvas");
+const ctx = canvas.getContext("2d");
+const FRAME_SCHEMA_VERSION = 1;
+let view = { scale: 80, ox: 0, oy: 0 };
+let frame = null, frames = 0, source = null, viewSeed = null;
+const PHASE_COLOR = { i: "#5d6b7a", o: "#e7c45a", m: "#57c7ff" };
+
+function resize() {
+  canvas.width = canvas.clientWidth * devicePixelRatio;
+  canvas.height = canvas.clientHeight * devicePixelRatio;
+  draw();
+}
+window.addEventListener("resize", resize);
+
+function toScreen(x, y) {
+  return [
+    canvas.width / 2 + (x + view.ox) * view.scale * devicePixelRatio,
+    canvas.height / 2 - (y + view.oy) * view.scale * devicePixelRatio,
+  ];
+}
+
+function num(v) { return typeof v === "string" ? NaN : v; }
+
+function draw() {
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  if (!frame) return;
+  frame.positions.forEach((p, i) => {
+    const x = num(p[0]), y = num(p[1]);
+    if (!isFinite(x) || !isFinite(y)) return;
+    const [sx, sy] = toScreen(x, y);
+    ctx.beginPath();
+    ctx.arc(sx, sy, 5 * devicePixelRatio, 0, 2 * Math.PI);
+    ctx.fillStyle = PHASE_COLOR[frame.phases[i]] || "#d8dee6";
+    ctx.fill();
+    if (i === frame.robot) {
+      ctx.strokeStyle = "#ff6d6d";
+      ctx.lineWidth = 2 * devicePixelRatio;
+      ctx.stroke();
+    }
+    ctx.fillStyle = "#9aa7b4";
+    ctx.fillText(String(i), sx + 7 * devicePixelRatio, sy - 7 * devicePixelRatio);
+  });
+}
+
+canvas.addEventListener("wheel", (e) => {
+  e.preventDefault();
+  view.scale *= e.deltaY < 0 ? 1.15 : 1 / 1.15;
+  draw();
+}, { passive: false });
+let drag = null;
+canvas.addEventListener("mousedown", (e) => { drag = [e.clientX, e.clientY]; });
+window.addEventListener("mouseup", () => { drag = null; });
+window.addEventListener("mousemove", (e) => {
+  if (!drag) return;
+  view.ox += (e.clientX - drag[0]) / view.scale;
+  view.oy -= (e.clientY - drag[1]) / view.scale;
+  drag = [e.clientX, e.clientY];
+  draw();
+});
+
+function setStatus(text) { document.getElementById("status").textContent = text; }
+function cell(id, value) { document.getElementById(id).textContent = value; }
+
+function onFrame(payload) {
+  const f = JSON.parse(payload);
+  if (f.v !== FRAME_SCHEMA_VERSION) return;
+  if (viewSeed === null) viewSeed = f.seed;
+  if (f.seed !== viewSeed) return;  // render one seed; others pass by
+  frame = f;
+  frames += 1;
+  cell("s-seed", f.seed); cell("s-step", f.step);
+  cell("s-action", f.action); cell("s-robot", f.robot);
+  cell("s-frames", frames);
+  draw();
+}
+
+function onAggregate(payload) {
+  const a = JSON.parse(payload);
+  cell("s-done", (a.done ?? "-") + " / " + (a.total ?? "-"));
+  if (a.aggregate && a.aggregate.success !== undefined)
+    cell("s-success", a.aggregate.success);
+}
+
+function onStatus(payload) {
+  const s = JSON.parse(payload);
+  if (s.status) cell("s-jstatus", s.status);
+  if (s.done !== undefined) onAggregate(payload);
+}
+
+function connect(url, label) {
+  if (source) source.close();
+  frame = null; frames = 0; viewSeed = null;
+  source = new EventSource(url);
+  setStatus("connecting: " + label);
+  source.onopen = () => setStatus("streaming: " + label);
+  source.onerror = () => setStatus("disconnected: " + label);
+  source.addEventListener("frame", (e) => onFrame(e.data));
+  source.addEventListener("aggregate", (e) => onAggregate(e.data));
+  source.addEventListener("record", (e) => onAggregate(e.data));
+  source.addEventListener("status", (e) => onStatus(e.data));
+  source.addEventListener("end", () => { setStatus("ended: " + label); source.close(); });
+}
+
+document.getElementById("watch").onclick = () => {
+  const job = document.getElementById("job").value.trim();
+  if (job) connect("/v1/jobs/" + encodeURIComponent(job) + "/events", "job " + job);
+};
+document.getElementById("replay").onclick = () => {
+  const fp = document.getElementById("fp").value.trim();
+  const seed = document.getElementById("seed").value.trim();
+  if (fp && seed !== "")
+    connect("/v1/runs/" + encodeURIComponent(fp) + "/" + encodeURIComponent(seed) + "/replay",
+            "replay " + fp.slice(0, 8) + "/" + seed);
+};
+resize();
+</script>
+</body>
+</html>
+"""

@@ -7,12 +7,13 @@ import pytest
 from repro import profiling
 from repro.analysis.profile import (
     ProfileRecord,
+    add_sink,
     emit,
     format_record,
-    on_record,
     profile_batch,
-    remove_on_record,
+    remove_sink,
 )
+from repro.hooks import FunctionSink
 from repro.analysis.scenarios import ScenarioSpec
 from repro.geometry.memo import reset_cache_stats
 
@@ -56,15 +57,16 @@ class TestProfilerCore:
 
 
 class TestRecords:
-    def test_emit_fires_registered_hooks(self):
+    def test_emit_fires_registered_sinks(self):
         seen = []
-        on_record(seen.append)
+        sink = FunctionSink(on_profile=seen.append)
+        add_sink(sink)
         try:
             record = emit("hook-test", 1.0)
         finally:
-            remove_on_record(seen.append)
+            remove_sink(sink)
         assert seen == [record]
-        # Unregistered: a later emit must not reach the callback.
+        # Unregistered: a later emit must not reach the sink.
         emit("hook-test-2", 1.0)
         assert len(seen) == 1
 

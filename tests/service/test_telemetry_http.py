@@ -1,0 +1,351 @@
+"""The /v1 wire surface: versioned routes, SSE telemetry, replay, viewer.
+
+Covers the API-versioning contract (legacy aliases answer identically
+plus a ``Deprecation`` header), the live SSE event stream and its
+disconnect hygiene (no leaked handler thread, subscriber unregistered,
+drop counters on ``/v1/readyz``), and the replay guarantee: replayed
+frame payloads are byte-identical to the live-streamed ones for the
+same ``(fingerprint, seed)``.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+import pytest
+
+from repro.service import Worker
+from repro.store import JobLedger
+
+from .conftest import small_spec
+
+
+# -- plain-HTTP helpers (urllib: we need to see response headers) --------
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, dict(resp.headers), json.loads(resp.read())
+
+
+def _get_error(url):
+    try:
+        urllib.request.urlopen(url, timeout=10)
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+    raise AssertionError(f"{url} unexpectedly succeeded")
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, dict(resp.headers), json.loads(resp.read())
+
+
+def _submit(base, spec, seeds):
+    status, _, job = _post(
+        f"{base}/v1/jobs", {"spec": spec, "seeds": list(seeds)}
+    )
+    assert status == 202
+    return job
+
+
+def _wait_done(base, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, snapshot = _get(f"{base}/v1/jobs/{job_id}")
+        if snapshot["status"] in ("done", "failed"):
+            return snapshot
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+# -- SSE helpers ---------------------------------------------------------
+def _sse_connect(base, path):
+    """Open an SSE stream; returns (connection, response file)."""
+    parts = urlsplit(base)
+    conn = HTTPConnection(parts.hostname, parts.port, timeout=30)
+    conn.request("GET", path)
+    response = conn.getresponse()
+    return conn, response
+
+
+def _sse_read(response, *, until="end", max_events=100_000):
+    """Parse SSE events until the ``until`` event (inclusive)."""
+    events = []
+    event, data = None, []
+    for raw in response:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if line.startswith(":"):
+            continue  # heartbeat comment
+        if line == "":
+            if event is not None:
+                events.append((event, "\n".join(data)))
+                if event == until or len(events) >= max_events:
+                    return events
+            event, data = None, []
+            continue
+        if line.startswith("event:"):
+            event = line.split(":", 1)[1].strip()
+        elif line.startswith("data:"):
+            data.append(line.split(":", 1)[1].lstrip())
+    return events
+
+
+class TestVersionedRoutes:
+    def test_v1_routes_answer_without_deprecation_header(
+        self, live_service
+    ):
+        _, base = live_service
+        for path in ("/v1/healthz", "/v1/readyz", "/v1/jobs", "/v1/results"):
+            status, headers, _ = _get(f"{base}{path}")
+            assert status == 200, path
+            assert "Deprecation" not in headers, path
+
+    def test_legacy_aliases_answer_identically_plus_header(
+        self, live_service
+    ):
+        _, base = live_service
+        for path in ("/healthz", "/readyz", "/jobs", "/results"):
+            status, headers, legacy_body = _get(f"{base}{path}")
+            assert status == 200, path
+            assert headers.get("Deprecation") == "true", path
+            assert f"/v1{path}" in headers.get("Link", ""), path
+            _, _, v1_body = _get(f"{base}/v1{path}")
+            assert legacy_body == v1_body, path
+
+    def test_legacy_post_and_job_lookup_carry_the_header(
+        self, live_service
+    ):
+        service, base = live_service
+        status, headers, job = _post(
+            f"{base}/jobs", {"spec": small_spec(), "seeds": [0]}
+        )
+        assert status == 202
+        assert headers.get("Deprecation") == "true"
+        status, headers, _ = _get(f"{base}/jobs/{job['id']}")
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        _wait_done(base, job["id"])
+
+    def test_error_replies_are_versioned_too(self, live_service):
+        _, base = live_service
+        status, headers, body = _get_error(f"{base}/v1/jobs/nope")
+        assert status == 404
+        assert body["code"] == "not-found"
+        assert "Deprecation" not in headers
+        status, headers, _ = _get_error(f"{base}/jobs/nope")
+        assert status == 404
+        assert headers.get("Deprecation") == "true"
+
+    def test_unknown_route_is_404(self, live_service):
+        _, base = live_service
+        status, _, body = _get_error(f"{base}/v1/definitely/not/a/route")
+        assert status == 404
+        assert body["code"] == "not-found"
+
+    def test_ui_serves_the_viewer(self, live_service):
+        _, base = live_service
+        with urllib.request.urlopen(f"{base}/v1/ui", timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/html")
+            page = resp.read().decode("utf-8")
+        assert "<canvas" in page
+        assert "/v1/jobs/" in page  # wired to the versioned API
+
+
+class TestLiveEvents:
+    def test_sse_streams_frames_and_ends(self, service_factory):
+        service, base = service_factory(auto_start=False, telemetry=True)
+        job = _submit(base, small_spec(), [0, 1])
+        # Connect before the dispatcher starts so every frame of the
+        # run is observed live, not replayed.
+        conn, response = _sse_connect(base, f"/v1/jobs/{job['id']}/events")
+        first = _sse_read(response, until="status", max_events=1)
+        assert first[0][0] == "status"
+        service.start()
+        events = _sse_read(response, until="end")
+        conn.close()
+        kinds = {kind for kind, _ in events}
+        assert "frame" in kinds
+        assert "record" in kinds
+        assert "aggregate" in kinds
+        assert events[-1][0] == "end"
+        frames = [json.loads(d) for kind, d in events if kind == "frame"]
+        assert {f["seed"] for f in frames} == {0, 1}
+        statuses = [json.loads(d) for kind, d in events if kind == "status"]
+        assert statuses[-1]["status"] == "done"
+
+    def test_events_for_finished_job_replay_the_spool(
+        self, service_factory
+    ):
+        service, base = service_factory(telemetry=True)
+        job = _submit(base, small_spec(), [0])
+        _wait_done(base, job["id"])
+        conn, response = _sse_connect(base, f"/v1/jobs/{job['id']}/events")
+        events = _sse_read(response, until="end")
+        conn.close()
+        frames = [d for kind, d in events if kind == "frame"]
+        assert frames
+        assert events[-1][0] == "end"
+
+    def test_events_unknown_job_is_404(self, live_service):
+        _, base = live_service
+        status, _, body = _get_error(f"{base}/v1/jobs/nope/events")
+        assert status == 404
+        assert body["code"] == "not-found"
+
+    def test_telemetry_off_streams_progress_but_no_frames(
+        self, service_factory
+    ):
+        service, base = service_factory(auto_start=False)
+        job = _submit(base, small_spec(), [0])
+        conn, response = _sse_connect(base, f"/v1/jobs/{job['id']}/events")
+        service.start()
+        events = _sse_read(response, until="end")
+        conn.close()
+        kinds = {kind for kind, _ in events}
+        assert "record" in kinds
+        assert "frame" not in kinds
+
+
+class TestDisconnect:
+    def test_disconnect_unsubscribes_and_frees_the_thread(
+        self, service_factory
+    ):
+        service, base = service_factory(auto_start=False, telemetry=True)
+        job = _submit(base, small_spec(), [0])
+        baseline = threading.active_count()
+        conn, response = _sse_connect(base, f"/v1/jobs/{job['id']}/events")
+        _sse_read(response, until="status", max_events=1)
+        assert service.bus.stats()["subscribers"] == 1
+        # Vanish mid-stream: once the client socket is gone, the
+        # handler's next heartbeat write raises and it must release
+        # both the subscription and its thread.
+        response.close()
+        conn.close()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if (
+                service.bus.stats()["subscribers"] == 0
+                and threading.active_count() <= baseline
+            ):
+                break
+            time.sleep(0.1)
+        assert service.bus.stats()["subscribers"] == 0
+        assert threading.active_count() <= baseline
+        # The job was never started; the service still drains cleanly
+        # (conftest teardown) and readiness keeps serving counters.
+        _, _, ready = _get(f"{base}/v1/readyz")
+        assert ready["telemetry"]["enabled"] is True
+        assert ready["telemetry"]["subscribers"] == 0
+
+    def test_readyz_surfaces_bus_and_spool_counters(self, service_factory):
+        service, base = service_factory(telemetry=True)
+        job = _submit(base, small_spec(), [0])
+        _wait_done(base, job["id"])
+        _, _, ready = _get(f"{base}/v1/readyz")
+        telemetry = ready["telemetry"]
+        assert telemetry["enabled"] is True
+        assert telemetry["published"] > 0
+        assert set(telemetry["spool"]) == {"spooled", "dropped"}
+
+
+class TestReplay:
+    def test_replay_is_byte_identical_to_the_live_stream(
+        self, service_factory
+    ):
+        service, base = service_factory(auto_start=False, telemetry=True)
+        spec = small_spec()
+        job = _submit(base, spec, [0, 1])
+        conn, response = _sse_connect(base, f"/v1/jobs/{job['id']}/events")
+        service.start()
+        events = _sse_read(response, until="end")
+        conn.close()
+        fingerprint = service.workload_fingerprint(spec)
+        for seed in (0, 1):
+            live = [
+                d
+                for kind, d in events
+                if kind == "frame" and json.loads(d)["seed"] == seed
+            ]
+            assert live
+            conn, response = _sse_connect(
+                base, f"/v1/runs/{fingerprint}/{seed}/replay"
+            )
+            replayed = _sse_read(response, until="end")
+            conn.close()
+            assert replayed[-1][0] == "end"
+            assert [d for kind, d in replayed if kind == "frame"] == live
+
+    def test_replay_unknown_run_is_404(self, live_service):
+        _, base = live_service
+        status, _, body = _get_error(f"{base}/v1/runs/nofp/0/replay")
+        assert status == 404
+        assert body["code"] == "not-found"
+
+    def test_replay_bad_seed_is_400(self, live_service):
+        _, base = live_service
+        status, _, body = _get_error(f"{base}/v1/runs/fp/banana/replay")
+        assert status == 400
+        assert body["code"] == "spec-invalid"
+
+
+class TestFabricTelemetry:
+    def test_shard_states_and_spool_backed_events(self, tmp_path):
+        """A fabric job exposes per-shard detail on /v1/jobs/<id> and
+        its SSE events stream from the store spool the (telemetry-
+        enabled) workers wrote."""
+        from repro.service import JobService, make_server
+
+        ledger = tmp_path / "fab.ledger"
+        store = tmp_path / "fab.store"
+        service = JobService(
+            str(store), ledger=str(ledger), dispatch=False
+        )
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            spec = small_spec()
+            status, _, job = _post(
+                f"{base}/v1/jobs",
+                {"spec": spec, "seeds": [0, 1], "shards": 2},
+            )
+            assert status == 202
+            worker = Worker(
+                str(ledger),
+                str(store),
+                worker_id="w0",
+                lease=300.0,
+                telemetry=True,
+            )
+            assert worker.run_forever(drain=True) == 2
+            snapshot = _wait_done(base, job["id"])
+            states = snapshot["shards"]["states"]
+            assert [s["shard"] for s in states] == [0, 1]
+            assert all(s["status"] == "done" for s in states)
+            assert all(s["attempts"] == 1 for s in states)
+            # The lease is released on completion, so no worker holds
+            # a finished shard — but the field is always present.
+            assert all(s["worker"] is None for s in states)
+
+            conn, response = _sse_connect(
+                base, f"/v1/jobs/{job['id']}/events"
+            )
+            events = _sse_read(response, until="end")
+            conn.close()
+            frames = [json.loads(d) for kind, d in events if kind == "frame"]
+            assert {f["seed"] for f in frames} == {0, 1}
+            assert events[-1][0] == "end"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop(wait=False)

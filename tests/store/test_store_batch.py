@@ -99,20 +99,23 @@ class TestResubmission:
         assert (batch.store_hits, batch.store_misses) == (0, 0)
 
     def test_on_record_sees_hits_and_misses(self, tmp_path):
+        from repro.hooks import FunctionSink
+
         store = tmp_path / "store.sqlite"
         spec = _spec()
         seen = []
+        sink = FunctionSink(on_record=seen.append)
         run(
             spec,
             SEEDS[:3],
-            BatchConfig(workers=1, store=store, on_record=seen.append),
+            BatchConfig(workers=1, store=store, telemetry=sink),
         )
         assert sorted(r.seed for r in seen) == SEEDS[:3]
         seen.clear()
         run(
             spec,
             SEEDS[:3],
-            BatchConfig(workers=1, store=store, on_record=seen.append),
+            BatchConfig(workers=1, store=store, telemetry=sink),
         )
         # Store hits are reported through the same hook.
         assert sorted(r.seed for r in seen) == SEEDS[:3]

@@ -1,0 +1,1 @@
+"""Tests for the live telemetry layer (frames, bus, hooks, spool)."""

@@ -1,0 +1,60 @@
+"""TelemetryBus: bounded per-subscriber queues, drop-oldest, counters."""
+
+from repro.telemetry import TelemetryBus
+
+
+class TestSubscribe:
+    def test_publish_reaches_every_subscriber(self):
+        bus = TelemetryBus()
+        a, b = bus.subscribe(), bus.subscribe()
+        bus.publish({"event": "x"})
+        assert a.get(timeout=0) == {"event": "x"}
+        assert b.get(timeout=0) == {"event": "x"}
+
+    def test_get_times_out_with_none(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        assert sub.get(timeout=0.01) is None
+
+    def test_unsubscribed_queue_stops_filling(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.publish({"event": "x"})
+        assert sub.pending() == 0
+        assert bus.stats()["subscribers"] == 0
+
+    def test_unsubscribe_unknown_is_a_noop(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.unsubscribe(sub)  # second time: already gone, no error
+
+
+class TestBackpressure:
+    def test_publish_never_blocks_and_drops_oldest(self):
+        bus = TelemetryBus(maxlen=4)
+        sub = bus.subscribe()
+        for i in range(10):
+            bus.publish({"i": i})
+        # The four newest events survive; the six oldest were dropped.
+        assert sub.dropped == 6
+        kept = [sub.get(timeout=0)["i"] for _ in range(sub.pending())]
+        assert kept == [6, 7, 8, 9]
+
+    def test_slow_subscriber_does_not_affect_fast_one(self):
+        bus = TelemetryBus(maxlen=2)
+        slow, fast = bus.subscribe(), bus.subscribe()
+        for i in range(5):
+            bus.publish({"i": i})
+            assert fast.get(timeout=0) == {"i": i}  # drained immediately
+        assert fast.dropped == 0
+        assert slow.dropped == 3
+
+    def test_stats_aggregate_published_and_dropped(self):
+        bus = TelemetryBus(maxlen=2)
+        bus.subscribe()
+        for i in range(5):
+            bus.publish({"i": i})
+        stats = bus.stats()
+        assert stats == {"subscribers": 1, "published": 5, "dropped": 3}

@@ -1,0 +1,89 @@
+"""Frame schema: encoding, decoding, and the journal sentinel contract."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.frames import (
+    FRAME_SCHEMA_VERSION,
+    TraceFrame,
+    _encode_float,
+    decode_frame,
+    encode_frame,
+)
+
+
+def _frame(**overrides):
+    base = dict(
+        seed=7,
+        step=42,
+        action="move",
+        robot=2,
+        positions=((0.0, 1.5), (-2.25, 3.0), (0.125, -0.5)),
+        phases="iom",
+    )
+    base.update(overrides)
+    return TraceFrame(**base)
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        frame = _frame()
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_round_trip_from_parsed_dict(self):
+        frame = _frame()
+        assert decode_frame(json.loads(encode_frame(frame))) == frame
+
+    def test_is_one_standard_json_line(self):
+        line = encode_frame(_frame())
+        assert "\n" not in line
+        payload = json.loads(line)  # strict JSON: would reject bare NaN
+        assert payload["kind"] == "frame"
+        assert payload["v"] == FRAME_SCHEMA_VERSION
+        assert payload["phases"] == "iom"
+
+    def test_encoding_is_deterministic(self):
+        assert encode_frame(_frame()) == encode_frame(_frame())
+
+    def test_non_finite_positions_use_sentinels(self):
+        frame = _frame(
+            positions=((math.nan, math.inf), (-math.inf, 0.0))
+        )
+        payload = json.loads(encode_frame(frame))
+        assert payload["positions"][0] == ["NaN", "Infinity"]
+        assert payload["positions"][1][0] == "-Infinity"
+        decoded = decode_frame(encode_frame(frame))
+        assert math.isnan(decoded.positions[0][0])
+        assert decoded.positions[0][1] == math.inf
+        assert decoded.positions[1][0] == -math.inf
+
+    def test_rejects_non_frame_payload(self):
+        with pytest.raises(ValueError, match="not a frame"):
+            decode_frame('{"kind": "record"}')
+
+
+class TestJournalContract:
+    def test_sentinels_match_journal(self):
+        """The frame encoder is a deliberate duplicate of the journal's
+        (importing it would drag the batch stack into the engine); this
+        pins the two to agree on every float class."""
+        from repro.analysis.journal import _encode_float as journal_encode
+
+        for value in (
+            0.0,
+            -0.0,
+            1.5,
+            -2.25,
+            math.nan,
+            math.inf,
+            -math.inf,
+            1e308,
+        ):
+            ours = _encode_float(value)
+            theirs = journal_encode(value)
+            if isinstance(ours, float) and math.isnan(ours):
+                assert isinstance(theirs, float) and math.isnan(theirs)
+            else:
+                assert ours == theirs, value

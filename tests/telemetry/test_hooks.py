@@ -1,0 +1,112 @@
+"""The repro.hooks sink protocol and its deprecation adapters."""
+
+import warnings
+
+import pytest
+
+from repro import hooks
+from repro.analysis import profile
+from repro.analysis.facade import BatchConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    """One-shot warnings must be observable in every test."""
+    hooks.reset_deprecation_warnings()
+    yield
+    hooks.reset_deprecation_warnings()
+
+
+class TestFunctionSink:
+    def test_only_provided_hooks_are_advertised(self):
+        sink = hooks.FunctionSink(on_record=lambda r: None)
+        assert hooks.record_hook(sink) is not None
+        assert hooks.frame_hook(sink) is None
+        assert hooks.profile_hook(sink) is None
+
+    def test_spool_only_sink_advertises_frames_only(self):
+        sink = hooks.spool_only_sink()
+        assert hooks.frame_hook(sink) is not None
+        assert hooks.record_hook(sink) is None
+
+
+class TestCompositeSink:
+    def test_fans_out_in_registration_order(self):
+        order = []
+        sink = hooks.CompositeSink(
+            hooks.FunctionSink(on_record=lambda r: order.append(("a", r))),
+            hooks.FunctionSink(on_record=lambda r: order.append(("b", r))),
+        )
+        hooks.record_hook(sink)("rec")
+        assert order == [("a", "rec"), ("b", "rec")]
+
+    def test_advertises_only_hooks_a_child_has(self):
+        sink = hooks.CompositeSink(
+            hooks.FunctionSink(on_record=lambda r: None), None
+        )
+        assert hooks.record_hook(sink) is not None
+        assert hooks.frame_hook(sink) is None
+
+
+class TestAsSink:
+    def test_nothing_resolves_to_none(self):
+        assert hooks.as_sink(None) is None
+
+    def test_sink_object_passes_through(self):
+        sink = hooks.FunctionSink(on_frame=lambda f: None)
+        assert hooks.as_sink(sink) is sink
+
+    def test_sink_and_loose_callables_compose(self):
+        seen = []
+        sink = hooks.as_sink(
+            hooks.FunctionSink(on_record=lambda r: seen.append(("sink", r))),
+            on_record=lambda r: seen.append(("loose", r)),
+        )
+        hooks.record_hook(sink)("rec")
+        assert seen == [("sink", "rec"), ("loose", "rec")]
+
+
+class TestWarnOnce:
+    def test_fires_once_per_key(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            hooks.warn_once("k1", "first")
+            hooks.warn_once("k1", "again")
+            hooks.warn_once("k2", "other")
+        assert [str(w.message) for w in caught] == ["first", "other"]
+
+    def test_reset_rearms(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            hooks.warn_once("k", "m")
+            hooks.reset_deprecation_warnings()
+            hooks.warn_once("k", "m")
+        assert len(caught) == 2
+
+
+class TestDeprecatedForms:
+    def test_batchconfig_on_record_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="on_record"):
+            config = BatchConfig(workers=1, on_record=lambda r: None)
+        assert hooks.record_hook(config.sink()) is not None
+
+    def test_batchconfig_telemetry_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = BatchConfig(
+                workers=1,
+                telemetry=hooks.FunctionSink(on_record=lambda r: None),
+            )
+        assert hooks.record_hook(config.sink()) is not None
+
+    def test_profile_on_record_warns_and_remove_still_works(self):
+        seen = []
+        with pytest.warns(DeprecationWarning, match="add_sink"):
+            profile.on_record(seen.append)
+        try:
+            record = profile.emit("deprecated-path", 1.0)
+        finally:
+            profile.remove_on_record(seen.append)
+        assert seen == [record]
+        profile.emit("after-removal", 1.0)
+        assert len(seen) == 1

@@ -195,9 +195,9 @@ class TestStoreCommands:
         executed = []
         real = parallel._run_serial
 
-        def spy(spec, pending, timeout, commit):
+        def spy(spec, pending, timeout, commit, **kwargs):
             executed.append(list(pending))
-            return real(spec, pending, timeout, commit)
+            return real(spec, pending, timeout, commit, **kwargs)
 
         monkeypatch.setattr(parallel, "_run_serial", spy)
         argv = [
