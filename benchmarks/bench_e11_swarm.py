@@ -1,0 +1,261 @@
+"""E11 — swarm scaling study: spatial index vs brute force, n = 10 … 5000.
+
+Two measurement families, both recorded in ``BENCH_swarm.json`` at the
+repository root:
+
+* **Query microbenchmarks** — the primitives the engines lean on at
+  swarm sizes (visibility-disc gathering, nearest-neighbour lookup,
+  snapshot dedupe, multiplicity box checks), timed through the
+  :class:`~repro.spatial.PositionGrid` and through the brute-force scans
+  it replaces, on identical configurations.  Each pair also asserts the
+  results are bit-identical (the house invariant, measured — not just
+  pinned by the test suite).
+* **Engine runs** — full scattering runs on multiplicity-stacked swarms
+  (FSYNC, the Section-5 SSYNC-style workload) per n: steps, cycles,
+  random bits and wall time, with the index on vs off, plus a
+  limited-visibility variant.  Index on/off records are asserted
+  bit-identical under full visibility.
+
+Methodology follows ``bench_array.py``: standalone script (a paired
+sweep to n = 5000 would dwarf the pytest-benchmark suite), per-size
+repetitions with the best-of kept for the ratio (least-noise estimate),
+query closures warmed once before timing.
+
+Run it directly::
+
+    python benchmarks/bench_e11_swarm.py --json BENCH_swarm.json
+
+``REPRO_E11_SMOKE=1`` (or ``--smoke``) shrinks the sweep to
+n = 10/100/500 with fewer repetitions — the CI ``swarm-smoke`` slice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.parallel import run_seed  # noqa: E402
+from repro.analysis.scenarios import ScenarioSpec  # noqa: E402
+from repro.geometry.point import Vec2  # noqa: E402
+from repro.patterns import library as patterns  # noqa: E402
+from repro.spatial import PositionGrid, dedupe_indexed, index_scope  # noqa: E402
+
+FULL_SIZES = (10, 100, 1000, 5000)
+SMOKE_SIZES = (10, 100, 500)
+
+#: Visibility radius for disc queries, in units of the configuration's
+#: ~unit spacing: large enough to see a neighbourhood, far below the
+#: global extent — the limited-visibility regime the index targets.
+DISC_RADIUS = 3.0
+
+
+def _config(n: int) -> list[Vec2]:
+    """The query-benchmark configuration: jittered swarm grid + stacks.
+
+    A quarter of the robots are dealt onto multiplicity stacks so the
+    dedupe and box primitives exercise their duplicate paths.
+    """
+    base = patterns.swarm_grid_configuration(n - n // 4, jitter=0.25, seed=7)
+    stacks = patterns.stacked_configuration(max(n // 4, 1), stack_size=4)
+    shift = Vec2(0.37, 0.29)
+    pts = list(base.points()) + [p + shift for p in stacks.points()]
+    return pts[:n]
+
+
+def _time_best(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time of ``fn()`` (least-noise estimate)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _query_bench(n: int, reps: int) -> dict:
+    """Index vs brute-force timings for the query primitives at size n."""
+    pts = _config(n)
+    grid = PositionGrid(pts)  # auto cell, as the engines build it
+    box_grid = grid
+    r2 = DISC_RADIUS * DISC_RADIUS
+    # Probe from every 16th robot: enough samples to swamp per-call
+    # overhead, cheap enough to repeat at n = 5000.
+    probes = pts[:: max(1, len(pts) // 64)]
+
+    def disc_grid():
+        return [grid.disc(c, DISC_RADIUS) for c in probes]
+
+    def disc_brute():
+        return [
+            [i for i, p in enumerate(pts) if p.dist_sq(c) <= r2]
+            for c in probes
+        ]
+
+    def nearest_grid():
+        return [box_grid.nearest(c, exclude=0) for c in probes]
+
+    def nearest_brute():
+        out = []
+        for c in probes:
+            best = min(
+                ((p.dist_sq(c), i) for i, p in enumerate(pts) if i != 0),
+            )
+            out.append(best[1])
+        return out
+
+    def dedupe_grid():
+        return dedupe_indexed(pts)
+
+    def dedupe_brute():
+        seen = []
+        for p in pts:
+            if not any(p.approx_eq(q) for q in seen):
+                seen.append(p)
+        return tuple(seen)
+
+    record = {"n": n, "probes": len(probes)}
+    for name, fast, slow in (
+        ("disc", disc_grid, disc_brute),
+        ("nearest", nearest_grid, nearest_brute),
+        ("dedupe", dedupe_grid, dedupe_brute),
+    ):
+        if fast() != slow():  # warm-up doubles as the bit-identity check
+            raise AssertionError(f"{name} mismatch at n={n}")
+        t_fast = _time_best(fast, reps)
+        t_slow = _time_best(slow, reps)
+        record[name] = {
+            "index_seconds": t_fast,
+            "brute_seconds": t_slow,
+            "speedup": t_slow / t_fast if t_fast > 0 else float("inf"),
+        }
+    return record
+
+
+def _engine_spec(n: int, sensing: dict | None = None) -> ScenarioSpec:
+    spec = {
+        "name": f"e11-scatter-n{n}",
+        "algorithm": "scattering",
+        "scheduler": "fsync",
+        "initial": ("stacked", {"n": n, "stack_size": 4}),
+        "max_steps": 400 * n,
+    }
+    if sensing is not None:
+        spec["sensing"] = sensing
+    return ScenarioSpec(**spec)
+
+
+def _engine_bench(n: int, seed: int = 1) -> dict:
+    """Full scattering runs at size n: index on vs off, plus limited-V."""
+    spec = _engine_spec(n)
+    t0 = time.perf_counter()
+    with index_scope("on"):
+        on = run_seed(spec, seed)
+    wall_on = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    with index_scope("off"):
+        off = run_seed(spec, seed)
+    wall_off = time.perf_counter() - t0
+    if on != off:
+        raise AssertionError(f"index on/off records diverge at n={n}")
+    limited = _engine_spec(n, sensing={"kind": "limited", "radius": 6.0})
+    t0 = time.perf_counter()
+    with index_scope("on"):
+        lim = run_seed(limited, seed)
+    wall_lim = time.perf_counter() - t0
+    return {
+        "n": n,
+        "steps": on.steps,
+        "cycles": on.cycles,
+        "random_bits": on.random_bits,
+        "terminated": on.terminated,
+        "reason": on.reason,
+        "wall_seconds_index_on": wall_on,
+        "wall_seconds_index_off": wall_off,
+        "records_identical": True,
+        "limited_visibility": {
+            "radius": 6.0,
+            "steps": lim.steps,
+            "random_bits": lim.random_bits,
+            "terminated": lim.terminated,
+            "wall_seconds": wall_lim,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI slice (n = 10/100/500)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="query-benchmark repetitions per size")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the measurement record to this file")
+    args = parser.parse_args(argv)
+
+    smoke = args.smoke or os.environ.get("REPRO_E11_SMOKE", "") not in ("", "0")
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    reps = args.reps if args.reps is not None else (3 if smoke else 7)
+
+    queries = []
+    engines = []
+    for n in sizes:
+        q = _query_bench(n, reps)
+        queries.append(q)
+        print(
+            f"n={n:>5}: disc {q['disc']['speedup']:.1f}x  "
+            f"nearest {q['nearest']['speedup']:.1f}x  "
+            f"dedupe {q['dedupe']['speedup']:.1f}x",
+            flush=True,
+        )
+        e = _engine_bench(n)
+        engines.append(e)
+        print(
+            f"         scattering: {e['steps']} steps, "
+            f"{e['random_bits']} bits, "
+            f"on {e['wall_seconds_index_on']:.2f}s / "
+            f"off {e['wall_seconds_index_off']:.2f}s, identical",
+            flush=True,
+        )
+
+    big = [q for q in queries if q["n"] >= 1000]
+    record = {
+        "experiment": "E11",
+        "workload": (
+            "query primitives (disc/nearest/dedupe, index vs brute) and "
+            "FSYNC scattering runs on stacked swarms, index on vs off"
+        ),
+        "smoke": smoke,
+        "sizes": list(sizes),
+        "reps": reps,
+        "queries": queries,
+        "engine_runs": engines,
+        "median_speedup_at_1000_plus": (
+            statistics.median(
+                q[k]["speedup"] for q in big for k in ("disc", "nearest", "dedupe")
+            )
+            if big
+            else None
+        ),
+    }
+    if record["median_speedup_at_1000_plus"] is not None:
+        print(
+            "median query speedup at n >= 1000: "
+            f"{record['median_speedup_at_1000_plus']:.1f}x"
+        )
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

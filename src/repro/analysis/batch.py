@@ -171,6 +171,7 @@ def _run_batch_factories(
     wall_limit: float | None = None,
     faults: dict | None = None,
     strict_invariants: bool = False,
+    sensing: dict | None = None,
     on_record: Callable[[RunRecord], None] | None = None,
     on_frame: Callable[..., None] | None = None,
 ) -> BatchResult:
@@ -212,6 +213,7 @@ def _run_batch_factories(
                 wall_limit=wall_limit,
                 faults=faults,
                 strict_invariants=strict_invariants,
+                sensing=sensing,
                 on_frame=on_frame,
             )
             result = sim.run()

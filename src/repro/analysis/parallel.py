@@ -109,6 +109,7 @@ def run_seed(
         wall_limit=wall_limit,
         faults=built.faults,
         strict_invariants=built.strict_invariants,
+        sensing=built.sensing,
         on_frame=on_frame,
     )
     return batch.runs[0]
@@ -226,6 +227,7 @@ def _run_serial(spec, pending, timeout, commit, on_frame=None) -> None:
         wall_limit=timeout,
         faults=built.faults,
         strict_invariants=built.strict_invariants,
+        sensing=built.sensing,
         on_record=commit,
         on_frame=on_frame,
     )

@@ -173,6 +173,15 @@ def _global_frame(pattern: Pattern):
     return GlobalFrameFormation(pattern)
 
 
+@register_algorithm("scattering")
+def _scattering(pattern: Pattern, bits: int = 3, step_fraction: float = 0.2):
+    # Pattern-free: scattering only splits multiplicity stacks (the E11
+    # swarm workload); the registry's pattern slot is ignored.
+    from ..algorithms import Scattering
+
+    return Scattering(bits=bits, step_fraction=step_fraction)
+
+
 # ----------------------------------------------------------------------
 # schedulers
 # ----------------------------------------------------------------------
@@ -233,6 +242,46 @@ def _ngon_initial(
     return [
         Vec2.polar(radius, phase + 2.0 * math.pi * i / n) for i in range(n)
     ]
+
+
+@register_initial("swarm-grid")
+def _swarm_grid_initial(
+    seed: int, n: int, spacing: float = 1.0, jitter: float = 0.25
+) -> Configuration:
+    return _patterns.swarm_grid_configuration(
+        n, spacing=spacing, jitter=jitter, seed=seed
+    )
+
+
+@register_initial("swarm-ring")
+def _swarm_ring_initial(
+    seed: int, n: int, spacing: float = 1.0
+) -> Configuration:
+    # Deterministic layout; the seed only enters through the scheduler
+    # and the robots' coins.
+    return _patterns.swarm_ring_configuration(n, spacing=spacing)
+
+
+@register_initial("swarm-cluster")
+def _swarm_cluster_initial(
+    seed: int,
+    n: int,
+    clusters: int = 8,
+    cluster_radius: float = 1.0,
+    seed_offset: int = 0,
+) -> Configuration:
+    return _patterns.swarm_cluster_configuration(
+        n, clusters=clusters, cluster_radius=cluster_radius, seed=seed + seed_offset
+    )
+
+
+@register_initial("stacked")
+def _stacked_initial(
+    seed: int, n: int, stack_size: int = 4, spacing: float = 1.0
+) -> Configuration:
+    return _patterns.stacked_configuration(
+        n, stack_size=stack_size, spacing=spacing
+    )
 
 
 @register_initial("faulty-random")
@@ -364,6 +413,13 @@ def normalize_faults(spec) -> dict | None:
     return plan.to_spec()
 
 
+def normalize_sensing(spec) -> dict | None:
+    """Validate and normalise a sensing spec (full visibility → ``None``)."""
+    from ..spatial import normalize_sensing as _normalize
+
+    return _normalize(spec)
+
+
 @dataclass
 class BuiltScenario:
     """The live factories the serial reference loop consumes."""
@@ -377,6 +433,7 @@ class BuiltScenario:
     delta: float
     faults: dict | None = None
     strict_invariants: bool = False
+    sensing: dict | None = None
 
 
 @dataclass
@@ -405,6 +462,10 @@ class ScenarioSpec:
     #: multiplicity point — or, with faults disabled, finishes under
     #: the δ floor — ends the run with ``reason="invariant: ..."``.
     strict_invariants: bool = False
+    #: Sensing-model spec (see :mod:`repro.spatial.sensing`), e.g.
+    #: ``{"kind": "limited", "radius": 2.0}``.  ``None`` (and ``"full"``)
+    #: is the paper's unlimited-visibility model.
+    sensing: Any = None
 
     def __post_init__(self) -> None:
         self.algorithm = normalize_component(self.algorithm)
@@ -414,6 +475,7 @@ class ScenarioSpec:
         self.frame_policy = normalize_component(self.frame_policy)
         self.faults = normalize_faults(self.faults)
         self.strict_invariants = bool(self.strict_invariants)
+        self.sensing = normalize_sensing(self.sensing)
         if self.algorithm is None or self.scheduler is None or self.initial is None:
             raise ValueError("algorithm, scheduler and initial are required")
 
@@ -440,6 +502,10 @@ class ScenarioSpec:
         # their historical digests.
         if self.strict_invariants:
             data["strict_invariants"] = True
+        # Sensing follows the same convention: full visibility (the
+        # historical model) is absent, so old fingerprints survive.
+        if self.sensing is not None:
+            data["sensing"] = self.sensing
         return data
 
     @classmethod
@@ -482,6 +548,7 @@ class ScenarioSpec:
             delta=self.delta,
             faults=self.faults,
             strict_invariants=self.strict_invariants,
+            sensing=self.sensing,
         )
 
 

@@ -399,6 +399,15 @@ def _fault_flags(p: argparse.ArgumentParser) -> None:
         "reason='invariant: ...' if a Move creates a multiplicity "
         "point or undercuts the delta floor",
     )
+    p.add_argument(
+        "--visibility",
+        default=None,
+        metavar="full|RADIUS",
+        help="sensing model: 'full' (the paper's unlimited visibility, "
+        "the default) or a positive radius V for limited(radius=V) "
+        "sensing — each Look then observes only the robots within "
+        "distance V",
+    )
 
 
 def _common(p: argparse.ArgumentParser) -> None:
@@ -431,6 +440,7 @@ def _batch_spec(args) -> ScenarioSpec:
     if fault_args:
         faults = parse_fault_specs(fault_args)
     strict = bool(getattr(args, "strict_invariants", False))
+    sensing = parse_visibility(getattr(args, "visibility", None))
     label = f"{args.pattern} n={args.n} {args.scheduler}"
     if adversary is not None:
         label += f" adv={adversary}"
@@ -438,6 +448,8 @@ def _batch_spec(args) -> ScenarioSpec:
         label += " faults=" + ",".join(sorted(faults))
     if strict:
         label += " strict"
+    if sensing is not None:
+        label += f" visibility={sensing['radius']:g}"
     return ScenarioSpec(
         name=label,
         algorithm="form-pattern",
@@ -448,7 +460,24 @@ def _batch_spec(args) -> ScenarioSpec:
         delta=args.delta,
         faults=faults,
         strict_invariants=strict,
+        sensing=sensing,
     )
+
+
+def parse_visibility(raw: "str | None") -> "dict | None":
+    """``--visibility`` value to sensing spec: 'full'/None → None,
+    a number → ``{"kind": "limited", "radius": V}``."""
+    if raw is None or raw == "full":
+        return None
+    try:
+        radius = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"--visibility expects 'full' or a positive radius, got {raw!r}"
+        ) from None
+    if not radius > 0.0:
+        raise ValueError(f"--visibility radius must be positive, got {radius!r}")
+    return {"kind": "limited", "radius": radius}
 
 
 def cmd_demo(args) -> int:

@@ -28,7 +28,14 @@ Exclusions (documented, deliberate):
   the two engines observe genuinely different configurations and only
   the statistical behaviour is comparable, not per-seed counts;
 * the ``faulty-random`` initial builder — it exists to kill worker
-  processes and hang runs (fault-injection tests), not to simulate.
+  processes and hang runs (fault-injection tests), not to simulate;
+* per-seed counters and distance for ``scattering`` — the hop
+  direction composes the robot's random bits with the drawn frame
+  *orientation*, so the array engine's canonical frames walk
+  different (equally valid) trajectories from the same bits; how many
+  cycles the stacks take to separate is trajectory-dependent.  Only
+  the verdict contract (formed / terminated / reason kind) is compared
+  (:data:`VERDICT_ONLY_ALGORITHMS`).
 
 Helpers here are import-safe without numpy; running the array side of
 a differential obviously still needs it.
@@ -48,6 +55,7 @@ __all__ = [
     "COUNT_RTOL",
     "DISTANCE_RTOL",
     "DiffReport",
+    "VERDICT_ONLY_ALGORITHMS",
     "compare_records",
     "format_reports",
     "run_differential",
@@ -71,6 +79,12 @@ COUNT_RTOL = 0.02
 COUNT_ABS = 16
 #: Relative tolerance on the travelled-distance aggregate.
 DISTANCE_RTOL = 0.01
+#: Algorithms whose trajectories are frame-orientation-dependent by
+#: design (random bits choose a direction *in the drawn frame*): the
+#: canonical-frame array engine draws different (equally valid) paths
+#: from the same bits, so counters and distance are trajectory noise
+#: and only the verdict contract is compared.
+VERDICT_ONLY_ALGORITHMS = ("scattering",)
 
 
 def compare_records(
@@ -156,6 +170,8 @@ def run_differential(
     """
     scalar = run(spec, seeds, BatchConfig(workers=1, engine="scalar"))
     array = run(spec, seeds, BatchConfig(workers=1, engine="array"))
+    if spec.algorithm[0] in VERDICT_ONLY_ALGORITHMS:
+        count_rtol = distance_rtol = float("inf")
     report = DiffReport(spec=spec, seeds=tuple(int(s) for s in seeds))
     for s_rec, a_rec in zip(scalar.runs, array.runs):
         problems = compare_records(
@@ -311,6 +327,40 @@ def scenario_matrix() -> list[ScenarioSpec]:
             initial=("random", {"n": 8}),
             pattern=("random", {"n": 8, "seed": 4}),
             faults={"truncate": {"mode": "random"}},
+            max_steps=200_000,
+        ),
+        # -- scattering + the large-swarm initials (small n: the
+        #    layouts are what's under test, not the swarm scale) ------
+        ScenarioSpec(
+            name="diff-scattering-stacked8",
+            algorithm=("scattering", {"bits": 2}),
+            scheduler="fsync",
+            initial=("stacked", {"n": 8, "stack_size": 4}),
+            pattern=("polygon", {"n": 8}),
+            max_steps=10_000,
+        ),
+        ScenarioSpec(
+            name="diff-swarm-grid9",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("swarm-grid", {"n": 9, "jitter": 0.25}),
+            pattern=("polygon", {"n": 9}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-swarm-ring9",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("swarm-ring", {"n": 9}),
+            pattern=("rings", {"counts": [5, 4]}),
+            max_steps=200_000,
+        ),
+        ScenarioSpec(
+            name="diff-swarm-cluster9",
+            algorithm="form-pattern",
+            scheduler="async",
+            initial=("swarm-cluster", {"n": 9, "clusters": 3}),
+            pattern=("random", {"n": 9, "seed": 8}),
             max_steps=200_000,
         ),
         # -- 10-robot stress (the documented drift example) ----------

@@ -40,6 +40,7 @@ from ..model import LocalFrame, make_snapshot
 from ..model.snapshot import Snapshot
 from ..sim.engine import ComputeContext, Simulation
 from ..sim.robot import Phase, RobotBody
+from ..spatial import dedupe_indexed, index_enabled
 
 __all__ = ["ArraySimulation"]
 
@@ -105,12 +106,13 @@ class ArraySimulation(Simulation):
         # its exact y-flip (mirror frame), so the deduped point tuples —
         # and their bit-exact fingerprints — are built once per
         # configuration and invalidated by a version counter bumped on
-        # every applied Move.  Only sound when observation is exact,
-        # i.e. there is no sensor-noise fault model perturbing points
-        # per observer.
+        # every applied Move.  Only sound when observation is exact and
+        # shared, i.e. no sensor-noise fault model perturbing points per
+        # observer and no limited-visibility model giving each observer
+        # its own subset.
         self._pure_looks = (
             self.faults is None or self.faults.plan.sensor is None
-        )
+        ) and self.sensing is None
         self._config_version = 0
         self._snap_version = -1
         self._snap_points: tuple = (None, None)
@@ -189,7 +191,9 @@ class ArraySimulation(Simulation):
             robot.snap_key = key
             robot.snap_tag = tag
         else:
-            observed = self.faults.observe(robot.robot_id, self.points())
+            observed = self._observed_points(robot.position)
+            if self.faults is not None:
+                observed = self.faults.observe(robot.robot_id, observed)
             robot.snapshot = make_snapshot(
                 observed,
                 robot.position,
@@ -213,6 +217,8 @@ class ArraySimulation(Simulation):
             pts = self.points()
             if self.multiplicity_detection:
                 seen = tuple(pts)
+            elif index_enabled(len(pts)):
+                seen = dedupe_indexed(pts)
             else:
                 kept: list[Vec2] = []
                 for p in pts:

@@ -14,6 +14,7 @@ from typing import Sequence
 
 from ..geometry import Circle, Vec2, smallest_enclosing_circle
 from ..geometry.memo import Memo, points_key
+from ..spatial import dedupe_indexed, index_enabled
 from .views import _multiset
 
 _DEDUPE_MEMO = Memo("snapshot.dedupe")
@@ -97,11 +98,16 @@ def make_snapshot(
         else:
             key, hit, seen = None, False, None
         if not hit:
-            seen = []
-            for p in global_points:
-                if not any(p.approx_eq(q) for q in seen):
-                    seen.append(p)
-            seen = tuple(seen)
+            if index_enabled(len(global_points)):
+                # Grid-accelerated first-occurrence dedupe; bit-identical
+                # to the quadratic scan below (pinned by tests/spatial/).
+                seen = dedupe_indexed(global_points)
+            else:
+                seen = []
+                for p in global_points:
+                    if not any(p.approx_eq(q) for q in seen):
+                        seen.append(p)
+                seen = tuple(seen)
             if key is not None:
                 _DEDUPE_MEMO.store(key, seen)
         local = tuple(to_local_all(seen))

@@ -120,6 +120,125 @@ def random_configuration(
     )
 
 
+# ----------------------------------------------------------------------
+# large-swarm configurations
+# ----------------------------------------------------------------------
+# Generators for the E11 scaling study: all O(n), no rejection sampling
+# (``_random_points`` is quadratic in n and stalls outright once a few
+# hundred points compete for the same disc), with extents that grow like
+# sqrt(n) so the local density — and with it the work per neighbour
+# query — stays constant as the swarm scales.
+
+
+def swarm_grid_configuration(
+    n: int, spacing: float = 1.0, jitter: float = 0.0, seed: int = 0
+) -> Configuration:
+    """``n`` robots on a near-square grid, optionally jittered.
+
+    ``jitter`` (a fraction of ``spacing``, < 0.5 to preserve general
+    position) perturbs every site uniformly; with jitter 0 the grid is
+    exact, which is the worst case for tie-heavy geometry code.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if not 0.0 <= jitter < 0.5:
+        raise ValueError("jitter must be in [0, 0.5)")
+    cols = math.ceil(math.sqrt(n))
+    rng = random.Random(seed)
+    pts = []
+    for i in range(n):
+        r, c = divmod(i, cols)
+        dx = dy = 0.0
+        if jitter:
+            dx = jitter * spacing * rng.uniform(-1.0, 1.0)
+            dy = jitter * spacing * rng.uniform(-1.0, 1.0)
+        pts.append(Vec2(c * spacing + dx, r * spacing + dy))
+    return Configuration.from_points(pts)
+
+
+def swarm_ring_configuration(
+    n: int, spacing: float = 1.0, phase: float = 0.1
+) -> Configuration:
+    """``n`` robots on concentric rings with ~``spacing`` arc gaps.
+
+    Ring ``k`` sits at radius ``k * spacing`` and carries as many robots
+    as keep neighbouring robots about one ``spacing`` apart, so density
+    is uniform and the extent grows like ``sqrt(n)``.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    pts = [Vec2.zero()]
+    ring = 1
+    while len(pts) < n:
+        radius = ring * spacing
+        count = max(1, math.floor(2.0 * math.pi * radius / spacing))
+        offset = phase * ring  # avoid accidental global symmetry
+        for i in range(count):
+            if len(pts) >= n:
+                break
+            pts.append(Vec2.polar(radius, offset + 2.0 * math.pi * i / count))
+        ring += 1
+    return Configuration.from_points(pts)
+
+
+def swarm_cluster_configuration(
+    n: int,
+    clusters: int = 8,
+    cluster_radius: float = 1.0,
+    seed: int = 0,
+) -> Configuration:
+    """``n`` robots split over well-separated dense clusters.
+
+    Cluster centres sit on a ring whose radius scales with
+    ``sqrt(n / clusters)`` (each cluster's population), keeping clusters
+    dense internally and sparse mutually — the adversarial case for a
+    bucketed index, since occupancy is far from uniform.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    clusters = min(clusters, n)
+    rng = random.Random(seed)
+    per = n / clusters
+    ring_radius = max(4.0 * cluster_radius, cluster_radius * math.sqrt(per)) * clusters / math.pi
+    centers = [
+        Vec2.polar(ring_radius, 0.05 + 2.0 * math.pi * k / clusters)
+        for k in range(clusters)
+    ]
+    pts = []
+    for i in range(n):
+        center = centers[i % clusters]
+        r = cluster_radius * math.sqrt(rng.random())
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        pts.append(center + Vec2.polar(r, theta))
+    return Configuration.from_points(pts)
+
+
+def stacked_configuration(
+    n: int, stack_size: int = 4, spacing: float = 1.0
+) -> Configuration:
+    """``n`` robots piled into multiplicity stacks on a sparse grid.
+
+    ``ceil(n / stack_size)`` grid sites with the robots dealt round-robin
+    (every site hosts ``stack_size`` or ``stack_size - 1`` co-located
+    robots) — the scattering workload: every Look must resolve
+    multiplicities, and runs terminate once every stack has split.
+    """
+    if n < 1:
+        raise ValueError("need at least one robot")
+    if stack_size < 1:
+        raise ValueError("stack_size must be positive")
+    sites = math.ceil(n / stack_size)
+    cols = math.ceil(math.sqrt(sites))
+    pts = []
+    for i in range(n):
+        site = i % sites
+        r, c = divmod(site, cols)
+        pts.append(Vec2(c * spacing, r * spacing))
+    return Configuration.from_points(pts)
+
+
 def _random_points(
     n: int, seed: int, spread: float, min_separation: float
 ) -> list[Vec2]:

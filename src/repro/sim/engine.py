@@ -38,6 +38,7 @@ from ..model.snapshot import Snapshot
 from ..profiling import PROFILER as _PROFILER
 from ..scheduler.base import Action, ActionKind, Scheduler
 from ..scheduler.rng import ForcedBits, RandomSource
+from ..spatial import PositionGrid, SensingModel, index_enabled
 from ..telemetry.frames import TraceFrame
 from .context import ComputeContext
 from .metrics import Metrics
@@ -167,6 +168,17 @@ class Simulation:
             dict) injecting crash-stop robots, adversarial move
             truncation and sensor noise into this run; ``None`` leaves
             every code path bit-for-bit identical to a fault-free engine.
+        sensing: a :class:`~repro.spatial.SensingModel` (or its spec
+            dict, e.g. ``{"kind": "limited", "radius": 2.0}``)
+            restricting every Look — and the terminal probe — to the
+            robots within the visibility radius of the observer.
+            ``None`` (full visibility, the paper's model) leaves every
+            code path bit-for-bit identical to earlier builds.  The
+            spatial index (:class:`~repro.spatial.PositionGrid`,
+            switched by ``REPRO_SPATIAL_INDEX``) accelerates the
+            visibility queries and the large-n bookkeeping; it is a
+            pure accelerator — runs with the index on are bit-for-bit
+            identical to runs with it off.
         strict_invariants: opt-in runtime verification.  After every
             applied Move the engine checks that no multiplicity point
             was created and — with faults disabled — that a finished
@@ -204,6 +216,7 @@ class Simulation:
         wall_limit: float | None = None,
         seed: int = 0,
         faults: "object | None" = None,
+        sensing: "object | None" = None,
         strict_invariants: bool = False,
         record_trace: bool = False,
         trace_sample_every: int = 1,
@@ -262,6 +275,17 @@ class Simulation:
             plan = FaultPlan.from_spec(faults)
             if plan is not None:
                 self.faults = plan.bind(len(self.robots), seed)
+        self.sensing = SensingModel.from_spec(sensing)
+        # The spatial index mirrors robot positions for sublinear
+        # neighbour queries (visibility discs, the strict-invariant
+        # multiplicity check).  Purely an accelerator: every grid query
+        # is bit-identical to the brute-force scan it replaces.
+        self._grid = None
+        if index_enabled(len(self.robots)):
+            # Auto cell (~one point per cell on uniform swarms): better
+            # pruning than cell = visibility radius whenever the disc
+            # covers many robots, and any cell size is correct.
+            self._grid = PositionGrid([r.position for r in self.robots])
         self.scheduler.reset(len(self.robots))
 
     # ------------------------------------------------------------------
@@ -301,6 +325,21 @@ class Simulation:
         if self.faults is None:
             return self._idle_count == len(self.robots)
         return all(r.phase is Phase.IDLE for r in self.robots)
+
+    def _observed_points(self, observer: Vec2) -> list[Vec2]:
+        """What a Look at ``observer`` sees, before sensor noise.
+
+        Full visibility returns every position (the historical path,
+        untouched).  Limited visibility filters to the sensing disc —
+        through the spatial index when active, by brute force otherwise;
+        both evaluate the identical ``dist_sq <= radius * radius``
+        predicate in robot-id order, so the results are bit-identical.
+        """
+        if self.sensing is None:
+            return self.points()
+        if self._grid is not None:
+            return self._grid.disc_points(observer, self.sensing.radius)
+        return self.sensing.visible(self.points(), observer)
 
     # ------------------------------------------------------------------
     # execution
@@ -394,7 +433,7 @@ class Simulation:
             )
         frame = self.frame_policy(robot.robot_id, robot.position, self._frame_rng)
         robot.frame = frame
-        observed = self.points()
+        observed = self._observed_points(robot.position)
         if self.faults is not None:
             observed = self.faults.observe(robot.robot_id, observed)
         robot.snapshot = make_snapshot(
@@ -483,6 +522,8 @@ class Simulation:
         robot.position = new_position
         robot.progress = new_progress
         robot.move_chunks += 1
+        if self._grid is not None:
+            self._grid.move(robot.robot_id, new_position)
 
         if self.strict_invariants:
             self._check_move_invariants(robot, travelled, new_progress, total, finishing)
@@ -518,18 +559,31 @@ class Simulation:
         """
         if travelled > 1e-15:
             position = robot.position
-            for other in self.robots:
-                if other is robot:
-                    continue
-                if position.approx_eq(other.position, 1e-9):
-                    raise InvariantViolation(
-                        f"robot {robot.robot_id} moved onto robot "
-                        f"{other.robot_id} at {position!r} "
-                        f"(step {self.step_count})",
-                        kind="multiplicity",
-                        robot_id=robot.robot_id,
-                        step=self.step_count,
-                    )
+            # The index answers the same approx_eq(1e-9) box predicate
+            # in ascending id order, so the reported collision partner
+            # matches the brute-force scan exactly.
+            if self._grid is not None:
+                near = [
+                    i
+                    for i in self._grid.near_box(position, 1e-9)
+                    if i != robot.robot_id
+                ]
+            else:
+                near = [
+                    other.robot_id
+                    for other in self.robots
+                    if other is not robot
+                    and position.approx_eq(other.position, 1e-9)
+                ]
+            if near:
+                raise InvariantViolation(
+                    f"robot {robot.robot_id} moved onto robot "
+                    f"{near[0]} at {position!r} "
+                    f"(step {self.step_count})",
+                    kind="multiplicity",
+                    robot_id=robot.robot_id,
+                    step=self.step_count,
+                )
         if (
             finishing
             and self.faults is None
@@ -605,7 +659,14 @@ class Simulation:
         verdict is the same, and sharing the frame means the snapshot
         point tuple — and with it every geometry memo entry — is computed
         once per chirality instead of once per robot.
+
+        Under limited visibility each robot observes its own subset, so
+        the probe dispatches to :meth:`_probe_limited` (per-robot
+        visibility discs; the shared-frame trick still applies per
+        chirality, but the point tuples differ per robot).
         """
+        if self.sensing is not None:
+            return self._probe_limited()
         for mirrored in (False, True):
             frame = LocalFrame(
                 Similarity.reflection_x() if mirrored else Similarity.identity()
@@ -631,6 +692,39 @@ class Simulation:
                         observe(robot.position),
                         self.multiplicity_detection,
                     )
+                )
+                for bit in (0, 1):
+                    ctx = ComputeContext(ForcedBits(bit), own_chirality=not mirrored)
+                    path = self.algorithm.compute(snapshot, ctx)
+                    if path is not None and not path.is_trivial(1e-9):
+                        return False
+        return True
+
+    def _probe_limited(self) -> bool:
+        """The 4n-way probe under limited visibility.
+
+        Identical decision rule to :meth:`_probe`, but every robot is
+        probed on the snapshot its own sensing disc yields.  Visible
+        sets are gathered once per robot (index-accelerated when the
+        grid is active, bit-identical either way) and reused across the
+        two chiralities and both coin outcomes.
+        """
+        visible: list[tuple[RobotBody, list[Vec2]]] = [
+            (robot, self._observed_points(robot.position))
+            for robot in self.robots
+            if not robot.crashed
+        ]
+        for mirrored in (False, True):
+            frame = LocalFrame(
+                Similarity.reflection_x() if mirrored else Similarity.identity()
+            )
+            for robot, seen in visible:
+                snapshot = make_snapshot(
+                    seen,
+                    robot.position,
+                    frame.observe,
+                    self.multiplicity_detection,
+                    to_local_all=frame.observe_all,
                 )
                 for bit in (0, 1):
                     ctx = ComputeContext(ForcedBits(bit), own_chirality=not mirrored)

@@ -1,0 +1,92 @@
+"""Spatial indexing and sensing models (the large-swarm subsystem).
+
+Two orthogonal pieces:
+
+* :class:`PositionGrid` — a deterministic bucketed index over exact
+  coordinates answering disc / kNN / nearest / tolerance-box queries
+  with bit-exact, order-stable results, maintained incrementally as
+  robots move.  A pure accelerator: with the index on, full-visibility
+  runs are bit-for-bit identical to the brute-force path (pinned by
+  ``tests/spatial/test_index_equivalence.py``).
+* :class:`SensingModel` — full vs. ``limited(radius=V)`` visibility,
+  carried as plain data on ``ScenarioSpec`` and threaded through the
+  Look phase and the terminal probe of both engines.  The only
+  *semantic* extension of this subsystem.
+
+The index switch follows the geometry-cache convention: the
+``REPRO_SPATIAL_INDEX`` environment variable is ``auto`` (on from
+:data:`INDEX_AUTO_THRESHOLD` robots), ``on``/``1`` (always) or
+``off``/``0`` (never), mirrored into ``os.environ`` by
+:func:`index_scope` so pool workers inherit it under any start method.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .grid import PositionGrid, dedupe_indexed
+from .sensing import SensingModel, normalize_sensing
+
+__all__ = [
+    "INDEX_AUTO_THRESHOLD",
+    "INDEX_ENV",
+    "PositionGrid",
+    "SensingModel",
+    "dedupe_indexed",
+    "index_enabled",
+    "index_mode",
+    "index_scope",
+    "normalize_sensing",
+]
+
+INDEX_ENV = "REPRO_SPATIAL_INDEX"
+
+#: In ``auto`` mode the index activates from this many robots up: below
+#: it the brute-force scans win outright and (more importantly) the
+#: historical small-n code path stays byte-for-byte untouched.
+INDEX_AUTO_THRESHOLD = 64
+
+_ON = ("1", "on", "true", "yes")
+_OFF = ("0", "off", "false", "no")
+
+
+def index_mode() -> str:
+    """The effective switch value: ``"auto"``, ``"on"`` or ``"off"``."""
+    raw = os.environ.get(INDEX_ENV, "auto").strip().lower()
+    if raw in _ON:
+        return "on"
+    if raw in _OFF:
+        return "off"
+    return "auto"
+
+
+def index_enabled(n: int) -> bool:
+    """Whether the spatial index should serve a population of ``n``."""
+    mode = index_mode()
+    if mode == "on":
+        return True
+    if mode == "off":
+        return False
+    return n >= INDEX_AUTO_THRESHOLD
+
+
+@contextmanager
+def index_scope(mode: str):
+    """Pin ``REPRO_SPATIAL_INDEX`` for a block (environment-mirrored).
+
+    The same transport ``REPRO_GEOMETRY_CACHE`` and ``REPRO_ENGINE``
+    use, so worker processes started inside the block inherit the
+    choice under fork and spawn alike.
+    """
+    if mode not in ("auto", "on", "off"):
+        raise ValueError(f"unknown index mode {mode!r}")
+    previous = os.environ.get(INDEX_ENV)
+    os.environ[INDEX_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(INDEX_ENV, None)
+        else:
+            os.environ[INDEX_ENV] = previous

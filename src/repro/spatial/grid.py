@@ -1,0 +1,389 @@
+"""Deterministic bucketed spatial index over exact coordinates.
+
+:class:`PositionGrid` hashes points into square cells (``floor(x/cell)``,
+``floor(y/cell)``) and answers disc / k-nearest-neighbour / tolerance-box
+queries by scanning only the cells that can contain a match.  It exists
+to make per-robot neighbour queries sublinear at swarm sizes — the LOOK
+phase under limited visibility, the terminal probe's per-robot visible
+sets, snapshot dedupe and the strict-invariant multiplicity check all
+degenerate to O(n) scans per robot without it.
+
+The house invariant applies: the grid is a *pure accelerator*.  Every
+query evaluates the exact same floating-point predicate the brute-force
+scan it replaces evaluates (``Vec2.dist_sq(center) <= radius * radius``
+for discs, :meth:`Vec2.approx_eq` for tolerance boxes), and results come
+back sorted ascending by point id — the order a brute-force loop over
+``points[0..n)`` produces.  Cell coverage is conservative (the candidate
+cell range is widened by one cell on every side), so pruning can never
+drop a point the predicate accepts.  Consequently a grid-backed query is
+bit-for-bit identical to its brute-force reference, which is what lets
+the engines adopt the index with zero behavioural drift (pinned by
+``tests/spatial/``).
+
+Duplicate points (multiplicity stacks) are first-class: ids are stable
+insertion indices, and co-located points simply share a bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..geometry.point import Vec2
+from ..geometry.tolerance import EPS
+
+__all__ = ["PositionGrid", "dedupe_indexed"]
+
+
+def _auto_cell(points: Sequence[Vec2]) -> float:
+    """Default cell size: bounding-box scale over ``sqrt(n)``.
+
+    Targets O(1) points per cell for roughly uniform configurations;
+    any positive finite value is *correct* (only performance changes).
+    """
+    n = len(points)
+    if n < 2:
+        return 1.0
+    min_x = min(p.x for p in points)
+    max_x = max(p.x for p in points)
+    min_y = min(p.y for p in points)
+    max_y = max(p.y for p in points)
+    span = max(max_x - min_x, max_y - min_y)
+    if not math.isfinite(span) or span <= 0.0:
+        return 1.0
+    return max(span / math.sqrt(n), 1e-9)
+
+
+class PositionGrid:
+    """Bucketed index over a mutable set of points (see module doc).
+
+    Args:
+        points: initial points; their ids are ``0..len(points)-1`` in
+            order.
+        cell: cell edge length.  Defaults to a bounding-box heuristic;
+            when the grid mainly serves disc queries of one radius
+            (limited visibility), passing that radius keeps every query
+            inside a 5x5 cell neighbourhood.
+    """
+
+    __slots__ = ("cell", "_inv", "_pts", "_rows", "_ncells", "_cell_of")
+
+    def __init__(
+        self,
+        points: "Iterable[Vec2] | None" = None,
+        cell: "float | None" = None,
+    ) -> None:
+        pts = list(points) if points is not None else []
+        if cell is None:
+            cell = _auto_cell(pts)
+        if not (cell > 0.0) or not math.isfinite(cell):
+            raise ValueError(f"cell size must be positive and finite, got {cell!r}")
+        self.cell = float(cell)
+        self._inv = 1.0 / self.cell
+        self._pts: list[Vec2] = []
+        # Cell table as nested int-keyed dicts (row index -> column
+        # index -> bucket): int hashing and no per-probe tuple
+        # allocation make box scans ~2x cheaper than a flat
+        # (ix, iy)-keyed dict, and box scans are the query hot path.
+        self._rows: dict[int, dict[int, list[int]]] = {}
+        self._ncells = 0
+        self._cell_of: list[tuple[int, int]] = []
+        for p in pts:
+            self.insert(p)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (math.floor(x * self._inv), math.floor(y * self._inv))
+
+    def insert(self, p: Vec2) -> int:
+        """Add a point; returns its (stable) id."""
+        pid = len(self._pts)
+        self._pts.append(p)
+        key = self._key(p.x, p.y)
+        self._cell_of.append(key)
+        row = self._rows.setdefault(key[0], {})
+        bucket = row.get(key[1])
+        if bucket is None:
+            row[key[1]] = [pid]
+            self._ncells += 1
+        else:
+            bucket.append(pid)
+        return pid
+
+    def move(self, pid: int, p: Vec2) -> None:
+        """Update point ``pid`` to a new position (incremental)."""
+        old = self._cell_of[pid]
+        self._pts[pid] = p
+        key = self._key(p.x, p.y)
+        if key != old:
+            row = self._rows[old[0]]
+            bucket = row[old[1]]
+            bucket.remove(pid)
+            if not bucket:
+                del row[old[1]]
+                self._ncells -= 1
+                if not row:
+                    del self._rows[old[0]]
+            row = self._rows.setdefault(key[0], {})
+            bucket = row.get(key[1])
+            if bucket is None:
+                row[key[1]] = [pid]
+                self._ncells += 1
+            else:
+                bucket.append(pid)
+            self._cell_of[pid] = key
+
+    def __len__(self) -> int:
+        return len(self._pts)
+
+    def point(self, pid: int) -> Vec2:
+        """The current position of point ``pid``."""
+        return self._pts[pid]
+
+    def points(self) -> list[Vec2]:
+        """All points, in id order."""
+        return list(self._pts)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _box_cells(
+        self, min_x: float, max_x: float, min_y: float, max_y: float
+    ) -> Iterable[list[int]]:
+        """Buckets of every cell overlapping the box, widened by one cell.
+
+        The +-1 widening absorbs any floating-point slack in the
+        ``x * inv`` mapping, keeping coverage strictly conservative
+        without per-boundary ulp reasoning.
+        """
+        ix_lo = math.floor(min_x * self._inv) - 1
+        ix_hi = math.floor(max_x * self._inv) + 1
+        iy_lo = math.floor(min_y * self._inv) - 1
+        iy_hi = math.floor(max_y * self._inv) + 1
+        # Degenerate guard: a box wider than the whole population is
+        # cheaper as a full scan than as an empty-cell sweep.
+        if (ix_hi - ix_lo + 1) * (iy_hi - iy_lo + 1) >= 4 * (self._ncells + 1):
+            for row in self._rows.values():
+                yield from row.values()
+            return
+        rows = self._rows
+        for ix in range(ix_lo, ix_hi + 1):
+            row = rows.get(ix)
+            if not row:
+                continue
+            for iy in range(iy_lo, iy_hi + 1):
+                bucket = row.get(iy)
+                if bucket:
+                    yield bucket
+
+    def disc(self, center: Vec2, radius: float) -> list[int]:
+        """Ids of points with ``dist_sq(center) <= radius * radius``.
+
+        Bit-identical to ``[i for i, p in enumerate(points) if
+        p.dist_sq(center) <= radius * radius]`` — same predicate, same
+        ascending-id order.
+        """
+        r2 = radius * radius
+        cx, cy = center.x, center.y
+        pts = self._pts
+        inv = self._inv
+        ix_lo = math.floor((cx - radius) * inv) - 1
+        ix_hi = math.floor((cx + radius) * inv) + 1
+        iy_lo = math.floor((cy - radius) * inv) - 1
+        iy_hi = math.floor((cy + radius) * inv) + 1
+        rows = self._rows
+        out: list[int] = []
+        # The box scan of _box_cells and the Vec2.dist_sq predicate,
+        # inlined (identical index bounds and float expressions, so
+        # results stay bit-identical): disc is the per-Look hot path
+        # under limited visibility, and generator resumption plus a
+        # method call per candidate cost more than the distance test.
+        if (ix_hi - ix_lo + 1) * (iy_hi - iy_lo + 1) >= 4 * (self._ncells + 1):
+            row_iter: Iterable = rows.values()
+            for row in row_iter:
+                for bucket in row.values():
+                    for pid in bucket:
+                        p = pts[pid]
+                        dx = p.x - cx
+                        dy = p.y - cy
+                        if dx * dx + dy * dy <= r2:
+                            out.append(pid)
+        else:
+            for ix in range(ix_lo, ix_hi + 1):
+                row = rows.get(ix)
+                if not row:
+                    continue
+                for iy in range(iy_lo, iy_hi + 1):
+                    bucket = row.get(iy)
+                    if not bucket:
+                        continue
+                    for pid in bucket:
+                        p = pts[pid]
+                        dx = p.x - cx
+                        dy = p.y - cy
+                        if dx * dx + dy * dy <= r2:
+                            out.append(pid)
+        out.sort()
+        return out
+
+    def disc_points(self, center: Vec2, radius: float) -> list[Vec2]:
+        """Positions (id order) of the points in the disc."""
+        return [self._pts[i] for i in self.disc(center, radius)]
+
+    def near_box(self, center: Vec2, eps: float = EPS) -> list[int]:
+        """Ids of points with ``p.approx_eq(center, eps)`` (id order).
+
+        The per-coordinate box predicate of :meth:`Vec2.approx_eq` —
+        the multiplicity/dedupe tolerance test — evaluated verbatim.
+        """
+        cx, cy = center.x, center.y
+        pts = self._pts
+        out: list[int] = []
+        # Inlined Vec2.approx_eq (identical expression, see disc()).
+        for bucket in self._box_cells(cx - eps, cx + eps, cy - eps, cy + eps):
+            for pid in bucket:
+                p = pts[pid]
+                if abs(p.x - cx) <= eps and abs(p.y - cy) <= eps:
+                    out.append(pid)
+        out.sort()
+        return out
+
+    def knn(
+        self, center: Vec2, k: int, exclude: "int | None" = None
+    ) -> list[int]:
+        """Ids of the ``k`` nearest points, sorted by ``(dist_sq, id)``.
+
+        Deterministic: exact squared distances, ties broken by id —
+        identical to sorting the brute-force ``(dist_sq, id)`` pairs.
+        ``exclude`` omits one id (the querying robot itself).
+        """
+        if k <= 0:
+            return []
+        total = len(self._pts) - (1 if exclude is not None else 0)
+        if total <= 0:
+            return []
+        cx, cy = center.x, center.y
+        ix0 = math.floor(cx * self._inv)
+        iy0 = math.floor(cy * self._inv)
+        rows = self._rows
+        pts = self._pts
+        cand: list[tuple[float, int]] = []
+        ring = 0
+        max_ring = None
+        while True:
+            # Ring `ring`: cells at Chebyshev cell-distance `ring` —
+            # edge columns scan their full y span, interior columns only
+            # the top/bottom cells.
+            before = len(cand)
+            for ix in range(ix0 - ring, ix0 + ring + 1):
+                row = rows.get(ix)
+                if not row:
+                    continue
+                if ring == 0 or ix == ix0 - ring or ix == ix0 + ring:
+                    iys: Iterable[int] = range(iy0 - ring, iy0 + ring + 1)
+                else:
+                    iys = (iy0 - ring, iy0 + ring)
+                for iy in iys:
+                    bucket = row.get(iy)
+                    if not bucket:
+                        continue
+                    for pid in bucket:
+                        if pid == exclude:
+                            continue
+                        # Inlined Vec2.dist_sq (identical expression).
+                        p = pts[pid]
+                        dx = p.x - cx
+                        dy = p.y - cy
+                        cand.append((dx * dx + dy * dy, pid))
+            if len(cand) >= min(k, total):
+                cand.sort()
+                # A cell on ring r is at least (r-1)*cell away (the -1
+                # absorbs the center's offset inside its own cell plus
+                # mapping slack), so once the kth candidate is closer
+                # than the next ring's floor no unseen point can beat it.
+                kth = cand[min(k, total) - 1][0]
+                # Unseen cells are on rings >= ring + 1; a point there is
+                # at least (ring - 1) * cell away (two cells of slack:
+                # one for the center's offset inside its own cell, one
+                # for float mapping slack).
+                floor_dist = (ring - 1) * self.cell
+                if (
+                    floor_dist > 0.0 and floor_dist * floor_dist > kth
+                ) or len(cand) >= total:
+                    return [pid for _, pid in cand[:k]]
+            if max_ring is None and len(cand) == before and rows:
+                # An empty ring: bound the expansion by the occupied
+                # area so a center far outside it cannot spin through
+                # unbounded empty rings.  Computed lazily — typical
+                # queries find candidates on every ring and terminate
+                # through the distance rule without paying this scan.
+                max_ring = max(
+                    abs(min(rows) - ix0), abs(max(rows) - ix0),
+                    max(
+                        max(abs(min(row) - iy0), abs(max(row) - iy0))
+                        for row in rows.values()
+                    ),
+                )
+            if max_ring is not None and ring > max_ring:
+                cand.sort()
+                return [pid for _, pid in cand[:k]]
+            ring += 1
+
+    def nearest(self, center: Vec2, exclude: "int | None" = None) -> "int | None":
+        """Id of the nearest point (ties by id), or ``None`` if empty."""
+        found = self.knn(center, 1, exclude=exclude)
+        return found[0] if found else None
+
+
+def dedupe_indexed(points: Sequence[Vec2], eps: float = EPS) -> tuple[Vec2, ...]:
+    """First-occurrence tolerant dedupe, grid-accelerated.
+
+    Bit-identical to the quadratic reference::
+
+        seen = []
+        for p in points:
+            if not any(p.approx_eq(q, eps) for q in seen):
+                seen.append(p)
+
+    Kept points land in buckets of edge ``2 * eps``; a candidate only
+    needs its 3x3 cell neighbourhood checked (two points within the
+    per-coordinate ``eps`` box differ by at most half a cell, so their
+    indices differ by at most one even after float mapping slack).
+    Non-finite coordinates (possible under hostile sensor-noise plans)
+    fall back to the exact quadratic scan.
+    """
+    cell = 2.0 * eps
+    if cell <= 0.0 or any(
+        not (math.isfinite(p.x) and math.isfinite(p.y)) for p in points
+    ):
+        seen: list[Vec2] = []
+        for p in points:
+            if not any(p.approx_eq(q, eps) for q in seen):
+                seen.append(p)
+        return tuple(seen)
+    inv = 1.0 / cell
+    kept: list[Vec2] = []
+    buckets: dict[tuple[int, int], list[Vec2]] = {}
+    for p in points:
+        ix = math.floor(p.x * inv)
+        iy = math.floor(p.y * inv)
+        duplicate = False
+        for kx in (ix - 1, ix, ix + 1):
+            for ky in (iy - 1, iy, iy + 1):
+                bucket = buckets.get((kx, ky))
+                if not bucket:
+                    continue
+                for q in bucket:
+                    if p.approx_eq(q, eps):
+                        duplicate = True
+                        break
+                if duplicate:
+                    break
+            if duplicate:
+                break
+        if not duplicate:
+            kept.append(p)
+            buckets.setdefault((ix, iy), []).append(p)
+    return tuple(kept)

@@ -1,0 +1,97 @@
+"""Sensing models: what subset of the configuration a Look observes.
+
+The paper's model gives every robot unlimited visibility — a Look sees
+all n robots.  Limited-visibility variants (the axis the grid-APF line
+of related work builds on) restrict a Look to the robots within a fixed
+Euclidean radius ``V`` of the observer.  :class:`SensingModel` carries
+that choice as plain data on :class:`~repro.analysis.scenarios.ScenarioSpec`
+— the same only-when-set convention as fault plans, so full-visibility
+specs keep their historical fingerprints byte-for-byte.
+
+``SensingModel.from_spec`` follows the fault-plan idiom: full visibility
+normalises to ``None`` (the engine's fast path stays entirely
+untouched), and only genuinely limited models materialise an object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry.point import Vec2
+
+__all__ = ["SensingModel", "normalize_sensing"]
+
+
+@dataclass(frozen=True)
+class SensingModel:
+    """A limited-visibility sensing model (full visibility is ``None``).
+
+    Attributes:
+        radius: visibility radius ``V``; a Look at position ``o``
+            observes exactly the robots ``p`` with
+            ``p.dist_sq(o) <= V * V`` (the observer itself, at distance
+            zero, is always included).
+    """
+
+    radius: float
+
+    kind = "limited"
+
+    def __post_init__(self) -> None:
+        if not (self.radius > 0.0):
+            raise ValueError(f"visibility radius must be positive, got {self.radius!r}")
+
+    # -- spec round-trip -------------------------------------------------
+    @staticmethod
+    def from_spec(spec) -> "SensingModel | None":
+        """Normalise a sensing spec; ``None`` means full visibility.
+
+        Accepted forms: ``None`` / ``"full"`` / ``{"kind": "full"}``
+        (all → ``None``), an existing :class:`SensingModel`,
+        ``{"kind": "limited", "radius": V}``, ``{"radius": V}``, and
+        the component-pair spellings ``("limited", {"radius": V})`` /
+        ``["limited", {...}]`` (the JSON round-trip of a journal spec
+        turns tuples into lists).
+        """
+        if spec is None:
+            return None
+        if isinstance(spec, SensingModel):
+            return spec
+        if isinstance(spec, str):
+            if spec == "full":
+                return None
+            raise ValueError(f"unknown sensing kind {spec!r}")
+        if isinstance(spec, (tuple, list)):
+            kind, params = spec
+            spec = {"kind": kind, **dict(params or {})}
+        if not isinstance(spec, dict):
+            raise ValueError(f"cannot interpret sensing spec {spec!r}")
+        kind = spec.get("kind", "limited")
+        if kind == "full":
+            return None
+        if kind != "limited":
+            raise ValueError(f"unknown sensing kind {kind!r}")
+        if "radius" not in spec:
+            raise ValueError("limited sensing requires a 'radius'")
+        return SensingModel(radius=float(spec["radius"]))
+
+    def to_spec(self) -> dict:
+        """The canonical plain-data form (JSON and fingerprint stable)."""
+        return {"kind": "limited", "radius": self.radius}
+
+    # -- semantics -------------------------------------------------------
+    def visible(self, points: Sequence[Vec2], observer: Vec2) -> list[Vec2]:
+        """The brute-force reference filter, order preserving.
+
+        The grid-backed engine path must agree with this bit-for-bit:
+        same ``dist_sq <= radius * radius`` predicate, same input order.
+        """
+        r2 = self.radius * self.radius
+        return [p for p in points if p.dist_sq(observer) <= r2]
+
+
+def normalize_sensing(spec) -> "dict | None":
+    """Validate a sensing spec; canonical dict, or ``None`` for full."""
+    model = SensingModel.from_spec(spec)
+    return None if model is None else model.to_spec()

@@ -73,6 +73,25 @@ const ctx = canvas.getContext("2d");
 const FRAME_SCHEMA_VERSION = 1;
 let view = { scale: 80, ox: 0, oy: 0 };
 let frame = null, frames = 0, source = null, viewSeed = null;
+let userView = false;  // once zoomed/panned, auto-fit stands down
+
+function fitView(f) {
+  // Auto-fit the world bounds of the first frame: swarm configurations
+  // span hundreds of units, tiny formations a couple, and a fixed scale
+  // renders one as a dot cloud off-screen and the other as one pixel.
+  let lo_x = Infinity, hi_x = -Infinity, lo_y = Infinity, hi_y = -Infinity;
+  f.positions.forEach((p) => {
+    const x = num(p[0]), y = num(p[1]);
+    if (!isFinite(x) || !isFinite(y)) return;
+    lo_x = Math.min(lo_x, x); hi_x = Math.max(hi_x, x);
+    lo_y = Math.min(lo_y, y); hi_y = Math.max(hi_y, y);
+  });
+  if (!isFinite(lo_x)) return;
+  const span = Math.max(hi_x - lo_x, hi_y - lo_y, 1e-9);
+  view.scale = 0.85 * Math.min(canvas.clientWidth, canvas.clientHeight) / span;
+  view.ox = -(lo_x + hi_x) / 2;
+  view.oy = -(lo_y + hi_y) / 2;
+}
 const PHASE_COLOR = { i: "#5d6b7a", o: "#e7c45a", m: "#57c7ff" };
 
 function resize() {
@@ -114,6 +133,7 @@ function draw() {
 
 canvas.addEventListener("wheel", (e) => {
   e.preventDefault();
+  userView = true;
   view.scale *= e.deltaY < 0 ? 1.15 : 1 / 1.15;
   draw();
 }, { passive: false });
@@ -122,6 +142,7 @@ canvas.addEventListener("mousedown", (e) => { drag = [e.clientX, e.clientY]; });
 window.addEventListener("mouseup", () => { drag = null; });
 window.addEventListener("mousemove", (e) => {
   if (!drag) return;
+  userView = true;
   view.ox += (e.clientX - drag[0]) / view.scale;
   view.oy -= (e.clientY - drag[1]) / view.scale;
   drag = [e.clientX, e.clientY];
@@ -138,6 +159,7 @@ function onFrame(payload) {
   if (f.seed !== viewSeed) return;  // render one seed; others pass by
   frame = f;
   frames += 1;
+  if (frames === 1 && !userView) fitView(f);
   cell("s-seed", f.seed); cell("s-step", f.step);
   cell("s-action", f.action); cell("s-robot", f.robot);
   cell("s-frames", frames);
@@ -159,7 +181,7 @@ function onStatus(payload) {
 
 function connect(url, label) {
   if (source) source.close();
-  frame = null; frames = 0; viewSeed = null;
+  frame = null; frames = 0; viewSeed = null; userView = false;
   source = new EventSource(url);
   setStatus("connecting: " + label);
   source.onopen = () => setStatus("streaming: " + label);

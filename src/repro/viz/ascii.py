@@ -9,19 +9,47 @@ the center as ``.``.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..geometry import Vec2, smallest_enclosing_circle
 from ..model import Configuration, Pattern
 
+#: The historical canvas, kept for small configurations.
+_BASE_WIDTH, _BASE_HEIGHT = 61, 27
+#: Auto-sizing caps: still a comfortable terminal screenful.
+_MAX_WIDTH, _MAX_HEIGHT = 181, 61
+
+
+def _auto_canvas(n: int, span_x: float, span_y: float) -> tuple[int, int]:
+    """Canvas size for ``n`` points spanning ``span_x`` x ``span_y``.
+
+    Up to a few dozen robots the historical 61x27 canvas is kept.
+    Beyond that the canvas grows like ``sqrt(n)`` (roughly one column
+    per robot of a uniform swarm's edge), with the height following the
+    configuration's aspect ratio at the ~2:1 cell shape of terminal
+    fonts, both capped at a screenful.
+    """
+    if n <= 64:
+        return _BASE_WIDTH, _BASE_HEIGHT
+    width = max(_BASE_WIDTH, min(_MAX_WIDTH, 2 * math.isqrt(n) + 1))
+    aspect = span_y / span_x if span_x > 0.0 else 1.0
+    height = int(round(width * min(max(aspect, 0.2), 2.0) * 0.45))
+    return width, max(_BASE_HEIGHT, min(_MAX_HEIGHT, height))
+
 
 def render(
     points: Sequence[Vec2],
     pattern: Pattern | None = None,
-    width: int = 61,
-    height: int = 27,
+    width: int | None = None,
+    height: int | None = None,
 ) -> str:
-    """Render robot positions (and optionally the target) as ASCII art."""
+    """Render robot positions (and optionally the target) as ASCII art.
+
+    ``width``/``height`` default to an automatic size: the classic 61x27
+    canvas for small configurations, growing with ``sqrt(n)`` and the
+    configuration's aspect ratio for swarms (see :func:`_auto_canvas`).
+    """
     pts = list(points)
     overlay: list[Vec2] = []
     if pattern is not None:
@@ -34,6 +62,10 @@ def render(
     max_y = max(p.y for p in everything)
     span_x = max(max_x - min_x, 1e-9)
     span_y = max(max_y - min_y, 1e-9)
+    if width is None or height is None:
+        auto_w, auto_h = _auto_canvas(len(pts), span_x, span_y)
+        width = auto_w if width is None else width
+        height = auto_h if height is None else height
 
     def cell(p: Vec2) -> tuple[int, int]:
         col = int(round((p.x - min_x) / span_x * (width - 1)))

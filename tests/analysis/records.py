@@ -21,6 +21,7 @@ def serial_reference(spec, seeds):
         delta=built.delta,
         faults=built.faults,
         strict_invariants=built.strict_invariants,
+        sensing=built.sensing,
     )
 
 

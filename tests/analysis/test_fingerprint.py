@@ -39,6 +39,7 @@ ALGORITHM_PARAMS = {
     "multiplicity-form-pattern": {},
     "yamauchi-yamashita": {},
     "global-frame": {},
+    "scattering": {"bits": 2},
 }
 SCHEDULER_PARAMS = {
     "fsync": {},
@@ -51,6 +52,10 @@ INITIAL_PARAMS = {
     "random": {"n": 5},
     "ngon": {"n": 5},
     "faulty-random": {"n": 5},
+    "swarm-grid": {"n": 9, "jitter": 0.25},
+    "swarm-ring": {"n": 9},
+    "swarm-cluster": {"n": 9, "clusters": 3},
+    "stacked": {"n": 8, "stack_size": 4},
 }
 FRAME_POLICY_PARAMS = {
     "random": {},
@@ -103,6 +108,9 @@ def _specs():
         )
     for faults in FAULT_VARIANTS:
         specs.append(ScenarioSpec(name="faulted", faults=faults))
+    specs.append(
+        ScenarioSpec(name="sensed", sensing=("limited", {"radius": 3.0}))
+    )
     return specs
 
 

@@ -16,6 +16,8 @@ smallest enclosing candidate among all pairs/triples is the answer.
 
 import math
 import random
+import sys
+from contextlib import contextmanager
 from itertools import combinations
 
 import pytest
@@ -146,3 +148,92 @@ class TestDegenerateSets:
         sec = smallest_enclosing_circle(pts)
         assert abs(sec.radius - 1.0) <= _TOL
         assert sec.center.dist(Vec2(0.0, 0.0)) <= _TOL
+
+
+@contextmanager
+def _shallow_stack(limit: int = 120):
+    """Cap the recursion budget: swarm-sized SECs must not recurse per point.
+
+    A Welzl implementation that recursed once per point would need
+    thousands of frames at n = 2000; the move-to-front/iterative form
+    runs in constant stack.  This is the no-recursion-blow-up lock the
+    large-swarm subsystem relies on.
+    """
+    old = sys.getrecursionlimit()
+    floor = len(__import__("inspect").stack()) + limit
+    sys.setrecursionlimit(floor)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+class TestLargeSets:
+    """n = 2000 locks: correct on known geometry, constant stack depth.
+
+    The O(n^4) oracle is out of reach here, so correctness is pinned on
+    inputs whose SEC is known in closed form, plus the support-point
+    optimality condition (at least two points on the boundary) for
+    unstructured clouds.
+    """
+
+    def test_cocircular_with_interior_n2000(self):
+        rng = random.Random(42)
+        boundary = [
+            Vec2(3.0 * math.cos(a), 3.0 * math.sin(a))
+            for a in (2 * math.pi * k / 200 for k in range(200))
+        ]
+        interior = [
+            Vec2.polar(rng.uniform(0.0, 2.8), rng.uniform(0, 2 * math.pi))
+            for _ in range(1800)
+        ]
+        pts = boundary + interior
+        rng.shuffle(pts)
+        with _shallow_stack():
+            sec = smallest_enclosing_circle(pts)
+        assert abs(sec.radius - 3.0) <= 1e-9
+        assert sec.center.dist(Vec2.zero()) <= 1e-9
+
+    def test_random_cloud_n2000(self):
+        rng = random.Random(7)
+        pts = [
+            Vec2(rng.uniform(-40, 40), rng.uniform(-40, 40))
+            for _ in range(2000)
+        ]
+        with _shallow_stack():
+            sec = smallest_enclosing_circle(pts)
+        assert _encloses(sec, pts)
+        support = sum(
+            1 for p in pts if abs(p.dist(sec.center) - sec.radius) <= 1e-7
+        )
+        assert support >= 2  # optimality: the SEC is held by its boundary
+
+    def test_duplicates_n2000(self):
+        rng = random.Random(11)
+        base = [
+            Vec2(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            for _ in range(500)
+        ]
+        pts = base * 4
+        rng.shuffle(pts)
+        with _shallow_stack():
+            sec = smallest_enclosing_circle(pts)
+        reference = smallest_enclosing_circle(base)
+        assert abs(sec.radius - reference.radius) <= 1e-9
+        assert sec.center.dist(reference.center) <= 1e-9
+
+    def test_swarm_grid_n2000(self):
+        # Exact grids maximise ties; the SEC of a (w-1) x (h-1) spaced
+        # grid is the diametral circle of opposite corners.
+        from repro.patterns.library import swarm_grid_configuration
+
+        pts = swarm_grid_configuration(2000, jitter=0.0).points()
+        with _shallow_stack():
+            sec = smallest_enclosing_circle(pts)
+        lo_x = min(p.x for p in pts)
+        hi_x = max(p.x for p in pts)
+        lo_y = min(p.y for p in pts)
+        hi_y = max(p.y for p in pts)
+        half_diag = 0.5 * math.hypot(hi_x - lo_x, hi_y - lo_y)
+        assert _encloses(sec, pts)
+        assert sec.radius <= half_diag + 1e-9

@@ -173,9 +173,12 @@ def test_fail_shard_terminal_fails_job(ledger):
 # -- stale-lease reaping ------------------------------------------------
 def test_expire_stale_requeues_dead_workers_shards(ledger):
     ledger.append("j1", small_spec(), [1, 2], shards=2)
-    ledger.claim_next("w1", lease=0.01)
+    # The w1 lease must comfortably outlive the w2 claim call below —
+    # if it expires in between, w2 *steals* shard 0 instead of
+    # claiming shard 1 and the scenario evaporates (seen on slow CI).
+    ledger.claim_next("w1", lease=0.3)
     live = ledger.claim_next("w2", lease=60.0)
-    time.sleep(0.02)
+    time.sleep(0.35)
     requeued, failed = ledger.expire_stale()
     assert (requeued, failed) == (1, 0)
     shards = {s.shard: s for s in ledger.shards("j1")}

@@ -1,0 +1,252 @@
+"""Property suite: PositionGrid queries vs brute force.
+
+Every grid query must be *bit-identical* to the brute-force scan it
+replaces — same float predicate, same id order — on any input, including
+duplicate points (multiplicity stacks), after incremental moves, and
+regardless of cell size.  The brute-force references below are the exact
+loops the engines ran before the index existed.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.point import Vec2
+from repro.geometry.tolerance import EPS
+from repro.spatial import PositionGrid, dedupe_indexed
+
+
+def _random_points(rng, n, spread=10.0):
+    return [
+        Vec2(rng.uniform(-spread, spread), rng.uniform(-spread, spread))
+        for _ in range(n)
+    ]
+
+
+def _with_duplicates(rng, n):
+    """Random points where ~40% duplicate an earlier point exactly."""
+    pts = []
+    for _ in range(n):
+        if pts and rng.random() < 0.4:
+            pts.append(pts[rng.randrange(len(pts))])
+        else:
+            pts.append(Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5)))
+    return pts
+
+
+def _brute_disc(pts, center, radius):
+    r2 = radius * radius
+    return [i for i, p in enumerate(pts) if p.dist_sq(center) <= r2]
+
+
+def _brute_near_box(pts, center, eps):
+    return [i for i, p in enumerate(pts) if p.approx_eq(center, eps)]
+
+
+def _brute_knn(pts, center, k, exclude=None):
+    cand = sorted(
+        (p.dist_sq(center), i) for i, p in enumerate(pts) if i != exclude
+    )
+    return [i for _, i in cand[:k]]
+
+
+def _brute_dedupe(pts, eps=EPS):
+    seen = []
+    for p in pts:
+        if not any(p.approx_eq(q, eps) for q in seen):
+            seen.append(p)
+    return tuple(seen)
+
+
+@pytest.mark.parametrize("seed", range(12))
+class TestDiscVsBrute:
+    def test_random_centers_and_radii(self, seed):
+        rng = random.Random(seed)
+        pts = _random_points(rng, rng.randint(1, 120))
+        grid = PositionGrid(pts)
+        for _ in range(20):
+            center = Vec2(rng.uniform(-12, 12), rng.uniform(-12, 12))
+            radius = rng.uniform(0.01, 15.0)
+            assert grid.disc(center, radius) == _brute_disc(pts, center, radius)
+            assert grid.disc_points(center, radius) == [
+                pts[i] for i in _brute_disc(pts, center, radius)
+            ]
+
+    def test_duplicates(self, seed):
+        rng = random.Random(100 + seed)
+        pts = _with_duplicates(rng, rng.randint(2, 80))
+        grid = PositionGrid(pts)
+        for _ in range(10):
+            center = pts[rng.randrange(len(pts))]  # on-point centers
+            radius = rng.uniform(0.0, 4.0)
+            assert grid.disc(center, radius) == _brute_disc(pts, center, radius)
+
+    def test_odd_cell_sizes(self, seed):
+        # Any positive cell size must give the same answers.
+        rng = random.Random(200 + seed)
+        pts = _random_points(rng, 40)
+        center = Vec2(0.3, -0.7)
+        expected = _brute_disc(pts, center, 3.0)
+        for cell in (1e-3, 0.1, 1.0, 7.0, 1e3):
+            assert PositionGrid(pts, cell=cell).disc(center, 3.0) == expected
+
+
+@pytest.mark.parametrize("seed", range(12))
+class TestKnnVsBrute:
+    def test_knn_ordering_and_ties(self, seed):
+        rng = random.Random(300 + seed)
+        pts = _with_duplicates(rng, rng.randint(1, 100))
+        grid = PositionGrid(pts)
+        for _ in range(10):
+            center = Vec2(rng.uniform(-8, 8), rng.uniform(-8, 8))
+            k = rng.randint(1, len(pts) + 2)
+            assert grid.knn(center, k) == _brute_knn(pts, center, k)
+
+    def test_exclude_self(self, seed):
+        rng = random.Random(400 + seed)
+        pts = _with_duplicates(rng, rng.randint(2, 60))
+        grid = PositionGrid(pts)
+        me = rng.randrange(len(pts))
+        assert grid.knn(pts[me], 3, exclude=me) == _brute_knn(
+            pts, pts[me], 3, exclude=me
+        )
+        assert grid.nearest(pts[me], exclude=me) == _brute_knn(
+            pts, pts[me], 1, exclude=me
+        )[0]
+
+    def test_far_center(self, seed):
+        # Query center far outside the occupied area: the ring expansion
+        # must cross empty space and still find everything.
+        rng = random.Random(500 + seed)
+        pts = _random_points(rng, rng.randint(1, 30), spread=2.0)
+        grid = PositionGrid(pts)
+        center = Vec2(500.0, -340.0)
+        assert grid.knn(center, 5) == _brute_knn(pts, center, 5)
+
+
+class TestKnnEdgeCases:
+    def test_k_zero_and_empty(self):
+        grid = PositionGrid([Vec2(0, 0)])
+        assert grid.knn(Vec2(0, 0), 0) == []
+        assert grid.knn(Vec2(0, 0), 1, exclude=0) == []
+        assert grid.nearest(Vec2(0, 0), exclude=0) is None
+
+    def test_k_exceeds_population(self):
+        pts = [Vec2(0, 0), Vec2(1, 0), Vec2(0, 1)]
+        grid = PositionGrid(pts)
+        assert grid.knn(Vec2(0.1, 0.1), 50) == _brute_knn(pts, Vec2(0.1, 0.1), 50)
+
+    def test_all_identical_points(self):
+        pts = [Vec2(2.0, 3.0)] * 7
+        grid = PositionGrid(pts)
+        assert grid.disc(Vec2(2.0, 3.0), 0.0) == list(range(7))
+        assert grid.knn(Vec2(0.0, 0.0), 3) == [0, 1, 2]
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestNearBoxVsBrute:
+    def test_tolerance_box(self, seed):
+        rng = random.Random(600 + seed)
+        pts = _with_duplicates(rng, rng.randint(1, 80))
+        grid = PositionGrid(pts)
+        for _ in range(10):
+            center = pts[rng.randrange(len(pts))]
+            for eps in (EPS, 1e-9, 0.5):
+                assert grid.near_box(center, eps) == _brute_near_box(
+                    pts, center, eps
+                )
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestMoveMaintenance:
+    def test_queries_after_incremental_moves(self, seed):
+        # The incremental move path must leave the grid answering
+        # exactly like one freshly built over the moved points.
+        rng = random.Random(700 + seed)
+        pts = _random_points(rng, rng.randint(2, 60))
+        grid = PositionGrid(pts)
+        for _ in range(100):
+            pid = rng.randrange(len(pts))
+            pts[pid] = Vec2(rng.uniform(-20, 20), rng.uniform(-20, 20))
+            grid.move(pid, pts[pid])
+        assert grid.points() == pts
+        for _ in range(10):
+            center = Vec2(rng.uniform(-20, 20), rng.uniform(-20, 20))
+            radius = rng.uniform(0.1, 10.0)
+            assert grid.disc(center, radius) == _brute_disc(pts, center, radius)
+            assert grid.knn(center, 4) == _brute_knn(pts, center, 4)
+
+    def test_move_within_cell_keeps_bucket(self, seed):
+        rng = random.Random(800 + seed)
+        grid = PositionGrid([Vec2(0.1, 0.1), Vec2(5.0, 5.0)], cell=1.0)
+        # A sub-cell nudge must not disturb anything.
+        nudged = Vec2(0.2, 0.15)
+        grid.move(0, nudged)
+        assert grid.point(0) == nudged
+        assert grid.disc(nudged, 0.5) == [0]
+
+
+@pytest.mark.parametrize("seed", range(10))
+class TestDedupeIndexed:
+    def test_matches_quadratic_reference(self, seed):
+        rng = random.Random(900 + seed)
+        pts = _with_duplicates(rng, rng.randint(0, 150))
+        assert dedupe_indexed(pts) == _brute_dedupe(pts)
+
+    def test_near_coincident_points(self, seed):
+        # Points straddling the eps box boundary: first-occurrence
+        # semantics must match exactly, not just set-equality.
+        rng = random.Random(1000 + seed)
+        pts = []
+        for _ in range(60):
+            if pts and rng.random() < 0.5:
+                base = pts[rng.randrange(len(pts))]
+                pts.append(
+                    Vec2(
+                        base.x + rng.uniform(-3 * EPS, 3 * EPS),
+                        base.y + rng.uniform(-3 * EPS, 3 * EPS),
+                    )
+                )
+            else:
+                pts.append(Vec2(rng.uniform(-2, 2), rng.uniform(-2, 2)))
+        assert dedupe_indexed(pts) == _brute_dedupe(pts)
+
+
+class TestDedupeEdgeCases:
+    def test_empty(self):
+        assert dedupe_indexed([]) == ()
+
+    def test_non_finite_fallback(self):
+        pts = [Vec2(0.0, 0.0), Vec2(float("nan"), 1.0), Vec2(0.0, 0.0)]
+        assert dedupe_indexed(pts) == _brute_dedupe(pts)
+
+    def test_infinite_coordinate(self):
+        pts = [Vec2(float("inf"), 0.0), Vec2(1.0, 1.0), Vec2(1.0, 1.0)]
+        assert dedupe_indexed(pts) == _brute_dedupe(pts)
+
+
+class TestConstruction:
+    def test_invalid_cell_rejected(self):
+        for cell in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                PositionGrid([Vec2(0, 0)], cell=cell)
+
+    def test_auto_cell_degenerate_inputs(self):
+        # Single point, identical points, one enormous outlier: the
+        # heuristic must stay positive and finite, and queries exact.
+        for pts in (
+            [Vec2(0, 0)],
+            [Vec2(1, 1)] * 5,
+            [Vec2(0, 0), Vec2(1e12, 0)],
+        ):
+            grid = PositionGrid(pts)
+            assert grid.cell > 0.0 and math.isfinite(grid.cell)
+            assert grid.disc(pts[0], 0.5) == _brute_disc(pts, pts[0], 0.5)
+
+    def test_ids_are_insertion_order(self):
+        grid = PositionGrid()
+        assert grid.insert(Vec2(0, 0)) == 0
+        assert grid.insert(Vec2(1, 1)) == 1
+        assert len(grid) == 2
+        assert grid.points() == [Vec2(0, 0), Vec2(1, 1)]

@@ -1,0 +1,99 @@
+"""Index-on vs index-off equivalence: the accelerator contract.
+
+The spatial index evaluates the exact same float predicates as the
+brute-force scans, in the same ascending-id order, so serving a query
+from the grid can never change a computed value.  The observable
+consequence — pinned here across the scenario registry, the serial
+runner and the process pool — is that every field of every
+:class:`RunRecord` is bit-for-bit identical with the index forced on
+and forced off.
+
+``TestSmoke`` is the quick subset CI runs on every push
+(``pytest tests/spatial/test_index_equivalence.py -k Smoke``); the
+full matrix covers a stacked scattering swarm (exercising incremental
+``move`` maintenance and the dedupe path), a pattern-formation run
+forced through the indexed code despite its small n, and a
+limited-visibility scenario where the grid serves every Look.
+"""
+
+import pytest
+
+from repro.analysis import BatchConfig, run
+from repro.analysis.scenarios import ScenarioSpec
+from repro.spatial import index_scope
+
+from ..analysis.records import assert_records_equal, serial_reference
+
+SPECS = [
+    ScenarioSpec(
+        name="idx-scatter80",
+        algorithm="scattering",
+        scheduler="fsync",
+        initial=("stacked", {"n": 80, "stack_size": 4}),
+        pattern=("polygon", {"n": 80}),
+        max_steps=50_000,
+    ),
+    ScenarioSpec(
+        name="idx-polygon7",
+        algorithm="form-pattern",
+        scheduler="async",
+        initial=("random", {"n": 7}),
+        pattern=("polygon", {"n": 7}),
+        max_steps=200_000,
+    ),
+    ScenarioSpec(
+        name="idx-limited80",
+        algorithm="scattering",
+        scheduler="fsync",
+        initial=("swarm-grid", {"n": 80, "jitter": 0.3}),
+        pattern=("polygon", {"n": 80}),
+        max_steps=50_000,
+        sensing=("limited", {"radius": 4.0}),
+    ),
+]
+
+SEEDS = [0, 1, 2]
+
+
+def _runs(spec, seeds, *, mode, workers=None):
+    with index_scope(mode):
+        if workers is None:
+            return serial_reference(spec, seeds).runs
+        return run(spec, seeds, BatchConfig(workers=workers)).runs
+
+
+class TestSmoke:
+    """One swarm scenario, one seed, serial: the fast CI gate."""
+
+    def test_serial_single_seed(self):
+        on = _runs(SPECS[0], [0], mode="on")
+        off = _runs(SPECS[0], [0], mode="off")
+        assert_records_equal(on, off)
+
+    def test_limited_visibility_single_seed(self):
+        on = _runs(SPECS[2], [0], mode="on")
+        off = _runs(SPECS[2], [0], mode="off")
+        assert_records_equal(on, off)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestSerialEquivalence:
+    def test_bit_for_bit(self, spec):
+        on = _runs(spec, SEEDS, mode="on")
+        off = _runs(spec, SEEDS, mode="off")
+        assert_records_equal(on, off)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestParallelEquivalence:
+    def test_bit_for_bit(self, spec):
+        # index_scope mirrors the switch into the environment, so pool
+        # workers inherit it under fork and spawn alike.
+        on = _runs(spec, SEEDS, mode="on", workers=2)
+        off = _runs(spec, SEEDS, mode="off", workers=2)
+        assert_records_equal(on, off)
+
+    def test_parallel_matches_serial_with_index_on(self, spec):
+        parallel = _runs(spec, SEEDS, mode="on", workers=2)
+        serial = _runs(spec, SEEDS, mode="on")
+        assert_records_equal(parallel, serial)

@@ -1,0 +1,154 @@
+"""SensingModel: spec round-trips, the visibility filter, and the
+limited-visibility snapshot contract in both engines.
+
+Full visibility must normalise to ``None`` so the historical engine fast
+path — and every historical scenario fingerprint — stays byte-for-byte
+untouched; limited visibility must give each observer exactly the robots
+inside the closed Euclidean disc of radius ``V``.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import ScenarioSpec, normalize_sensing
+from repro.geometry.point import Vec2
+from repro.spatial import SensingModel, index_scope
+
+
+class TestFromSpec:
+    def test_full_forms_normalise_to_none(self):
+        for spec in (None, "full", {"kind": "full"}):
+            assert SensingModel.from_spec(spec) is None
+            assert normalize_sensing(spec) is None
+
+    def test_limited_forms(self):
+        expect = SensingModel(radius=2.5)
+        for spec in (
+            {"kind": "limited", "radius": 2.5},
+            {"radius": 2.5},
+            ("limited", {"radius": 2.5}),
+            ["limited", {"radius": 2.5}],  # JSON round-trip of the tuple
+            expect,
+        ):
+            assert SensingModel.from_spec(spec) == expect
+
+    def test_to_spec_round_trip(self):
+        model = SensingModel(radius=4.0)
+        assert model.to_spec() == {"kind": "limited", "radius": 4.0}
+        assert SensingModel.from_spec(model.to_spec()) == model
+        assert normalize_sensing(model.to_spec()) == model.to_spec()
+
+    def test_invalid_specs_rejected(self):
+        for bad in ("telepathy", {"kind": "cone", "radius": 1.0}, 42):
+            with pytest.raises(ValueError):
+                SensingModel.from_spec(bad)
+        with pytest.raises(ValueError):
+            SensingModel.from_spec({"kind": "limited"})  # no radius
+
+    def test_non_positive_radius_rejected(self):
+        for radius in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                SensingModel(radius=radius)
+
+
+class TestVisibleFilter:
+    def test_closed_disc_and_order(self):
+        model = SensingModel(radius=2.0)
+        observer = Vec2(0.0, 0.0)
+        pts = [Vec2(3.0, 0.0), Vec2(2.0, 0.0), Vec2(0.0, 0.0), Vec2(-1.0, 1.0)]
+        # Boundary point included (closed disc), input order preserved.
+        assert model.visible(pts, observer) == [
+            Vec2(2.0, 0.0),
+            Vec2(0.0, 0.0),
+            Vec2(-1.0, 1.0),
+        ]
+
+    def test_observer_always_sees_itself(self):
+        model = SensingModel(radius=1e-6)
+        observer = Vec2(5.0, -3.0)
+        assert model.visible([observer, Vec2(0.0, 0.0)], observer) == [observer]
+
+
+class TestScenarioSpecSensing:
+    def test_sensing_omitted_when_full(self):
+        spec = ScenarioSpec(
+            name="sense-full",
+            algorithm="form-pattern",
+            scheduler="fsync",
+            initial=("random", {"n": 4}),
+            pattern=("polygon", {"n": 4}),
+        )
+        assert spec.sensing is None
+        assert "sensing" not in spec.to_dict()
+
+    def test_sensing_normalised_and_serialised(self):
+        spec = ScenarioSpec(
+            name="sense-limited",
+            algorithm="scattering",
+            scheduler="fsync",
+            initial=("stacked", {"n": 8}),
+            pattern=("polygon", {"n": 8}),
+            sensing=("limited", {"radius": 3.0}),
+        )
+        assert spec.sensing == {"kind": "limited", "radius": 3.0}
+        assert spec.to_dict()["sensing"] == {"kind": "limited", "radius": 3.0}
+        assert spec.build().sensing == {"kind": "limited", "radius": 3.0}
+
+    def test_sensing_changes_fingerprint(self):
+        base = dict(
+            name="sense-fp",
+            algorithm="scattering",
+            scheduler="fsync",
+            initial=("stacked", {"n": 8}),
+            pattern=("polygon", {"n": 8}),
+        )
+        full = ScenarioSpec(**base)
+        limited = ScenarioSpec(**base, sensing={"radius": 3.0})
+        assert full.fingerprint() != limited.fingerprint()
+
+
+def _snapshot_views(engine_cls, n=24, radius=3.0, seed=5, index="off"):
+    """Run a limited-visibility sim briefly; return per-robot Look inputs."""
+    from repro.patterns.library import swarm_grid_configuration
+    from repro.scheduler import FsyncScheduler
+    from repro.algorithms.scattering import Scattering
+
+    config = swarm_grid_configuration(n, jitter=0.3, seed=seed)
+    with index_scope(index):
+        sim = engine_cls(
+            config,
+            Scattering(bits=2),
+            FsyncScheduler(),
+            seed=seed,
+            max_steps=2 * n,
+            sensing={"kind": "limited", "radius": radius},
+        )
+        sim.run()
+        full = [r.position for r in sim.robots]
+        return full, [
+            (r.position, sim._observed_points(r.position)) for r in sim.robots
+        ]
+
+
+@pytest.mark.parametrize("index", ["off", "on"])
+class TestLimitedVisibilityContract:
+    """Each observer sees exactly the closed disc around itself —
+    regardless of engine and of whether the grid serves the query."""
+
+    def test_scalar_engine(self, index):
+        from repro.sim.engine import Simulation
+
+        radius = 3.0
+        model = SensingModel(radius=radius)
+        full, views = _snapshot_views(Simulation, radius=radius, index=index)
+        for position, observed in views:
+            # Exactly the brute-force reference filter, order and all.
+            assert observed == model.visible(full, position)
+            assert position in observed
+
+    def test_engines_agree(self, index):
+        from repro.sim.engine import Simulation
+        from repro.fastsim.engine import ArraySimulation
+
+        scalar = _snapshot_views(Simulation, index=index)
+        fast = _snapshot_views(ArraySimulation, index=index)
+        assert scalar == fast

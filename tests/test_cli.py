@@ -114,6 +114,54 @@ class TestFaultFlags:
         assert code == 2
         assert "async" in capsys.readouterr().err
 
+    def test_visibility_defaults_full(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.visibility is None
+        spec = _batch_spec(args)
+        assert spec.sensing is None
+        # Full visibility stays absent from the serialised spec, so
+        # historical fingerprints are untouched.
+        assert "sensing" not in spec.to_dict()
+
+    def test_visibility_full_keyword(self):
+        args = build_parser().parse_args(["batch", "--visibility", "full"])
+        assert _batch_spec(args).sensing is None
+
+    def test_visibility_round_trip(self):
+        args = build_parser().parse_args(["batch", "--visibility", "2.5"])
+        spec = _batch_spec(args)
+        assert spec.sensing == {"kind": "limited", "radius": 2.5}
+        assert "visibility=2.5" in spec.name
+        from repro.analysis import ScenarioSpec
+
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.sensing == spec.sensing
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_visibility_changes_fingerprint(self):
+        full = _batch_spec(build_parser().parse_args(["batch"]))
+        limited = _batch_spec(
+            build_parser().parse_args(["batch", "--visibility", "2.5"])
+        )
+        # Same label-independent workload, different sensing model:
+        # the fingerprints must differ (sensing changes run outcomes).
+        full.name = limited.name
+        assert full.fingerprint() != limited.fingerprint()
+
+    def test_visibility_malformed_exit_code(self, capsys):
+        code = main(["batch", "--visibility", "narrow"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_visibility_negative_exit_code(self, capsys):
+        code = main(["batch", "--visibility", "-1"])
+        assert code == 2
+
+    def test_profile_accepts_visibility(self):
+        args = build_parser().parse_args(["profile", "--visibility", "3"])
+        spec = _batch_spec(args)
+        assert spec.sensing == {"kind": "limited", "radius": 3.0}
+
     def test_batch_runs_with_adversary_and_faults(self, capsys):
         code = main(
             [
