@@ -1,0 +1,220 @@
+"""E12 — chaos-injection benchmark: survival under escalating fault load.
+
+Sweeps the chaos presets (``none`` → ``light`` → ``medium`` → ``heavy``)
+and, for each intensity, drives :func:`repro.chaos.run_chaos` several
+times with distinct chaos seeds.  Every run is the full production
+topology — fabric front-end, real worker subprocesses, shared sqlite
+ledger/store — attacked by the bound plan (clock skew, sqlite faults,
+a chaotic TCP proxy, SIGKILL/SIGSTOP schedules) and then audited
+against a clean single-process reference run.
+
+Per intensity the benchmark records:
+
+* **success rate** — fraction of runs where the job reached ``done``
+  AND the post-run invariant auditor passed every check;
+* **recovery time** — p50/max seconds from the first worker SIGKILL to
+  job completion (only runs whose plan kills workers report this);
+* **retry counts** — shard attempts beyond the first (lease
+  re-claims), sqlite retries absorbed by the writers' backoff, and the
+  proxy's injected network faults.
+
+The checked-in measurement lives in ``BENCH_chaos.json`` at the
+repository root.  Run it directly::
+
+    python benchmarks/bench_e12_chaos.py --runs 3 --json BENCH_chaos.json
+
+Set ``REPRO_E12_SMOKE=1`` (as CI's chaos-smoke job does) for a 2-preset,
+single-run slice that finishes in well under a minute.
+
+Not a pytest benchmark on purpose (same policy as ``bench_service.py``):
+it spawns real worker subprocesses and takes minutes; the functional
+guarantees are pinned by ``tests/chaos/`` instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC)
+
+from repro.analysis.stats import percentile  # noqa: E402
+from repro.chaos import preset, run_chaos  # noqa: E402
+
+SMOKE_ENV = "REPRO_E12_SMOKE"
+
+
+def _spec(n: int, max_steps: int) -> dict:
+    return {
+        "name": f"e12-chaos-n{n}",
+        "algorithm": "form-pattern",
+        "scheduler": "round-robin",
+        "initial": ["random", {"n": n}],
+        "pattern": ["polygon", {"n": n}],
+        "max_steps": max_steps,
+        "delta": 1e-3,
+    }
+
+
+def bench_intensity(
+    name: str,
+    *,
+    runs: int,
+    spec: dict,
+    seeds: list,
+    workers: int,
+    shards: int,
+    lease: float,
+    timeout: float,
+    telemetry: bool,
+) -> dict:
+    """Run one preset ``runs`` times with distinct chaos seeds."""
+    results = []
+    for chaos_seed in range(1, runs + 1):
+        plan = preset(name, seed=chaos_seed, salt="e12")
+        with tempfile.TemporaryDirectory(prefix="bench-e12-") as tmp:
+            result = run_chaos(
+                spec,
+                seeds,
+                plan,
+                workdir=tmp,
+                workers=workers,
+                shards=shards,
+                lease=lease,
+                telemetry=telemetry,
+                timeout=timeout,
+            )
+        results.append(result)
+        print(
+            f"  run {chaos_seed}/{runs}: "
+            f"{'ok' if result.ok else 'FAIL'} status={result.status} "
+            f"wall={result.wall_seconds:.2f}s"
+            + (
+                f" recovery={result.recovery_seconds:.2f}s"
+                if result.recovery_seconds is not None
+                else ""
+            ),
+            flush=True,
+        )
+
+    recoveries = [
+        r.recovery_seconds for r in results if r.recovery_seconds is not None
+    ]
+    extra_attempts = [
+        max(0, r.shard_attempts.get("total", 0) - (r.shards or 0))
+        for r in results
+    ]
+    net_injected = [
+        sum(v for k, v in (r.proxy_stats or {}).items() if k != "connections")
+        for r in results
+    ]
+    return {
+        "preset": name,
+        "runs": len(results),
+        "success_rate": (
+            sum(1 for r in results if r.ok) / len(results) if results else 0.0
+        ),
+        "audit_pass_rate": (
+            sum(1 for r in results if r.audit.ok) / len(results)
+            if results
+            else 0.0
+        ),
+        "wall_p50_seconds": percentile(
+            [r.wall_seconds for r in results], 50.0
+        ),
+        "recovery_p50_seconds": (
+            percentile(recoveries, 50.0) if recoveries else None
+        ),
+        "recovery_max_seconds": max(recoveries) if recoveries else None,
+        "runs_with_kill_recovery": len(recoveries),
+        "shard_retries_total": sum(extra_attempts),
+        "sqlite_retries_total": sum(
+            r.sqlio_front.get("retries", 0) for r in results
+        ),
+        "sqlite_giveups_total": sum(
+            r.sqlio_front.get("giveups", 0) for r in results
+        ),
+        "net_faults_injected_total": sum(net_injected),
+        "submit_recoveries": sum(1 for r in results if r.submit_recovered),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=3,
+                        help="chaos runs per preset (default 3)")
+    parser.add_argument("--n", type=int, default=4,
+                        help="robots per scenario (default 4)")
+    parser.add_argument("--seeds", type=int, default=4,
+                        help="seeds per job (default 4)")
+    parser.add_argument("--max-steps", type=int, default=3000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--lease", type=float, default=1.5)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--presets", nargs="*", default=None,
+                        help="preset subset (default: the full ladder)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="spool frames and audit SSE replay equality")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the record to this path")
+    args = parser.parse_args(argv)
+
+    smoke = bool(os.environ.get(SMOKE_ENV))
+    presets = args.presets or ["none", "light", "medium", "heavy"]
+    runs = args.runs
+    if smoke and args.presets is None:
+        presets = ["none", "medium"]
+        runs = 1
+
+    spec = _spec(args.n, args.max_steps)
+    seeds = list(range(1, args.seeds + 1))
+    intensities = []
+    for name in presets:
+        print(
+            f"{name}: {runs} run(s), {args.workers} workers, "
+            f"{args.shards} shards, lease {args.lease:g}s ...",
+            flush=True,
+        )
+        intensities.append(
+            bench_intensity(
+                name,
+                runs=runs,
+                spec=spec,
+                seeds=seeds,
+                workers=args.workers,
+                shards=args.shards,
+                lease=args.lease,
+                timeout=args.timeout,
+                telemetry=args.telemetry,
+            )
+        )
+
+    record = {
+        "workload": (
+            f"form-pattern n={args.n}, {len(seeds)} seeds x "
+            f"{args.shards} shards over {args.workers} workers; "
+            "audited against a clean reference run"
+        ),
+        "smoke": smoke,
+        "intensities": intensities,
+    }
+    failed = [i["preset"] for i in intensities if i["success_rate"] < 1.0]
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    if failed:
+        print(f"FAILED presets: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Deterministic chaos-injection harness for the distributed fabric.
+
+The simulation core already survives an asynchronous adversary by
+construction (PR 3's activation policies and ``FaultPlan``); this
+package applies the same discipline to the *production stack around
+it* — ledger, workers, HTTP service, store, telemetry spool.  Four
+seeded attack surfaces, one plain-data schedule, one auditor:
+
+* :mod:`repro.chaos.clock` — the injectable ``Clock`` seam threaded
+  through ledger/worker/service/client, enabling virtual-time tests
+  and per-worker clock skew;
+* :mod:`repro.chaos.sqlio` — seeded sqlite I/O faults (``database is
+  locked``, torn writes, fsync failures) at the store/ledger boundary,
+  plus the bounded-retry helper their writers use;
+* :mod:`repro.chaos.procs` — a process-chaos orchestrator running real
+  worker subprocesses under a seeded SIGKILL/SIGSTOP/SIGCONT schedule;
+* :mod:`repro.chaos.netproxy` — a TCP proxy between client and service
+  injecting drops, delays, truncated responses and duplicated
+  deliveries;
+* :mod:`repro.chaos.plan` — ``ChaosPlan``, the seeded, serializable,
+  replayable schedule driving all four (the ``FaultPlan`` idiom);
+* :mod:`repro.chaos.audit` / :mod:`repro.chaos.runner` — the post-run
+  invariant auditor (store byte-identity vs a clean run, attempt-token
+  fencing, terminal-state consistency, replay-vs-live SSE byte
+  equality) and the end-to-end harness behind ``repro chaos`` and the
+  E12 benchmark.
+
+This ``__init__`` stays import-light on purpose: ``repro.store`` and
+``repro.service`` import the clock and sqlio seams from here, so
+pulling in the heavy submodules (runner imports the service stack)
+eagerly would be circular.  They resolve lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .clock import (
+    SYSTEM_CLOCK,
+    Clock,
+    SkewedClock,
+    SystemClock,
+    VirtualClock,
+    resolve_clock,
+)
+from .plan import PRESETS, ChaosPlan, ClockChaos, NetChaos, ProcChaos, preset
+from .sqlio import (
+    SqliteFaultInjector,
+    SqliteFaults,
+    TornWrite,
+    install_injector,
+    sqlio_stats,
+    uninstall_injector,
+)
+
+__all__ = [
+    "PRESETS",
+    "SYSTEM_CLOCK",
+    "ChaosPlan",
+    "Clock",
+    "ClockChaos",
+    "NetChaos",
+    "ProcChaos",
+    "SkewedClock",
+    "SqliteFaultInjector",
+    "SqliteFaults",
+    "SystemClock",
+    "TornWrite",
+    "VirtualClock",
+    "install_injector",
+    "preset",
+    "resolve_clock",
+    "sqlio_stats",
+    "uninstall_injector",
+]
+
+_LAZY = {
+    "AuditReport": "audit",
+    "audit_run": "audit",
+    "ChaosProxy": "netproxy",
+    "WorkerProcess": "procs",
+    "ProcessChaosOrchestrator": "procs",
+    "ChaosResult": "runner",
+    "run_chaos": "runner",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,244 @@
+"""Post-run invariant auditing: did the fabric degrade *gracefully*?
+
+A chaos run is only interesting if something checks the wreckage.
+:func:`audit_run` compares the chaos-run store against a clean
+reference run of the same workload and asserts the house invariants
+the fabric's crash-safety story rests on:
+
+* **byte identity** — every seed's stored record is byte-for-byte
+  identical (via the canonical journal encoding) to the clean run's.
+  Kills, lease steals, torn writes, duplicated deliveries: none of it
+  may change a single result byte.
+* **no double writes** — the ``(fingerprint, seed, schema)`` and
+  ``(fingerprint, seed, version, idx)`` primary keys are re-checked
+  with raw SQL, and each seed's frame spool must be a gapless
+  ``0..k-1`` index sequence.  A worker whose lease was stolen and who
+  kept writing past the attempt-token fence would break exactly this.
+* **ledger terminal consistency** — the job reached a terminal state,
+  every shard reached a terminal state, a ``done`` job has only
+  ``done`` shards, and no shard still holds a live claim.
+* **SSE replay equality** (optional) — the frame payload sequence a
+  live ``/v1/jobs/<id>/events`` subscriber saw equals what the
+  ``/v1/runs/<fp>/<seed>/replay`` endpoint serves afterwards.
+
+Every check yields an :class:`AuditCheck`; the :class:`AuditReport`
+is JSON-ready so benchmark and CI runs can persist the verdicts.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..analysis.journal import encode_record
+from ..store import ExperimentStore, JobLedger
+
+__all__ = ["AuditCheck", "AuditReport", "audit_run"]
+
+#: Job / shard states the fabric may legally end a run in.
+_TERMINAL_JOB = {"done", "failed", "cancelled"}
+_TERMINAL_SHARD = {"done", "failed"}
+
+
+@dataclass(frozen=True)
+class AuditCheck:
+    """One invariant verdict: ``name``, pass/fail, human detail."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class AuditReport:
+    """All verdicts for one chaos run."""
+
+    checks: list[AuditCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> list[AuditCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "checks": [c.to_dict() for c in self.checks]}
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [f"audit: {verdict} ({len(self.checks)} checks)"]
+        for check in self.checks:
+            mark = "ok " if check.ok else "FAIL"
+            lines.append(f"  [{mark}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def _check_byte_identity(
+    store: ExperimentStore,
+    reference: ExperimentStore,
+    fingerprint: str,
+    seeds: Sequence[int],
+) -> AuditCheck:
+    missing: list[int] = []
+    diverged: list[int] = []
+    for seed in seeds:
+        chaotic = store.get(fingerprint, seed)
+        clean = reference.get(fingerprint, seed)
+        if chaotic is None or clean is None:
+            missing.append(seed)
+        elif encode_record(chaotic) != encode_record(clean):
+            diverged.append(seed)
+    if missing:
+        return AuditCheck(
+            "store-byte-identity", False,
+            f"seeds missing a record: {missing[:10]}"
+            + (f" (+{len(missing) - 10} more)" if len(missing) > 10 else ""),
+        )
+    if diverged:
+        return AuditCheck(
+            "store-byte-identity", False,
+            f"records diverge from the clean run at seeds {diverged[:10]}",
+        )
+    return AuditCheck(
+        "store-byte-identity", True,
+        f"{len(seeds)} records byte-identical to the reference run",
+    )
+
+
+def _check_no_double_writes(
+    store: ExperimentStore, fingerprint: str
+) -> AuditCheck:
+    problems: list[str] = []
+    with sqlite3.connect(str(store.path)) as conn:
+        dup_runs = conn.execute(
+            "SELECT seed, schema, COUNT(*) FROM runs WHERE fingerprint=?"
+            " GROUP BY seed, schema HAVING COUNT(*) > 1",
+            (fingerprint,),
+        ).fetchall()
+        if dup_runs:
+            problems.append(f"duplicate run rows: {dup_runs[:5]}")
+        dup_frames = conn.execute(
+            "SELECT seed, version, idx, COUNT(*) FROM frames"
+            " WHERE fingerprint=? GROUP BY seed, version, idx"
+            " HAVING COUNT(*) > 1",
+            (fingerprint,),
+        ).fetchall()
+        if dup_frames:
+            problems.append(f"duplicate frame rows: {dup_frames[:5]}")
+        # Per seed the spool must be idx 0..k-1 with no holes: a fenced
+        # straggler re-spooling frames would tear exactly this.
+        rows = conn.execute(
+            "SELECT seed, version, COUNT(*), MIN(idx), MAX(idx) FROM frames"
+            " WHERE fingerprint=? GROUP BY seed, version",
+            (fingerprint,),
+        ).fetchall()
+        for seed, version, count, lo, hi in rows:
+            if lo != 0 or hi != count - 1:
+                problems.append(
+                    f"frame spool for seed {seed} (v{version}) is not"
+                    f" contiguous: count={count} idx=[{lo}, {hi}]"
+                )
+    conn.close()
+    if problems:
+        return AuditCheck("no-double-writes", False, "; ".join(problems))
+    return AuditCheck(
+        "no-double-writes", True,
+        "run and frame keys unique, frame spools contiguous",
+    )
+
+
+def _check_ledger_terminal(ledger: JobLedger, job_id: str) -> AuditCheck:
+    entry = ledger.get(job_id)
+    if entry is None:
+        return AuditCheck(
+            "ledger-terminal", False, f"job {job_id} not in the ledger"
+        )
+    problems: list[str] = []
+    if entry.status not in _TERMINAL_JOB:
+        problems.append(f"job status {entry.status!r} is not terminal")
+    shards = ledger.shards(job_id)
+    for shard in shards:
+        if shard.status not in _TERMINAL_SHARD:
+            problems.append(
+                f"shard {shard.shard} status {shard.status!r} not terminal"
+            )
+    if entry.status == "done":
+        not_done = [s.shard for s in shards if s.status != "done"]
+        if not_done:
+            problems.append(f"job done but shards {not_done} are not")
+    if problems:
+        return AuditCheck("ledger-terminal", False, "; ".join(problems))
+    return AuditCheck(
+        "ledger-terminal", True,
+        f"job {entry.status}, {len(shards)} shards terminal",
+    )
+
+
+def _check_replay_equality(
+    live: Mapping[int, Sequence[str]],
+    replay: Mapping[int, Sequence[str]],
+) -> AuditCheck:
+    diverged: list[int] = []
+    for seed, live_frames in live.items():
+        if list(live_frames) != list(replay.get(seed, [])):
+            diverged.append(seed)
+    if diverged:
+        return AuditCheck(
+            "sse-replay-byte-equal", False,
+            f"replay diverges from the live stream at seeds {diverged[:10]}",
+        )
+    total = sum(len(frames) for frames in live.values())
+    return AuditCheck(
+        "sse-replay-byte-equal", True,
+        f"{total} live frames across {len(live)} seeds replay byte-equal",
+    )
+
+
+def audit_run(
+    *,
+    store: "ExperimentStore | str",
+    reference: "ExperimentStore | str",
+    fingerprint: str,
+    seeds: Sequence[int],
+    ledger: "JobLedger | str | None" = None,
+    job_id: "str | None" = None,
+    live_frames: "Mapping[int, Sequence[str]] | None" = None,
+    replay_frames: "Mapping[int, Sequence[str]] | None" = None,
+) -> AuditReport:
+    """Audit a chaos run's stores against the house invariants.
+
+    Args:
+        store: the chaos run's experiment store (object or path).
+        reference: the clean single-process run of the same workload.
+        fingerprint: the workload fingerprint both runs wrote under.
+        seeds: the full seed list the job covered.
+        ledger / job_id: checked for terminal consistency when both
+            are given.
+        live_frames / replay_frames: per-seed SSE ``frame`` payload
+            sequences captured live and fetched from the replay
+            endpoint; compared when both are given.
+    """
+    store = store if isinstance(store, ExperimentStore) else ExperimentStore(store)
+    reference = (
+        reference
+        if isinstance(reference, ExperimentStore)
+        else ExperimentStore(reference)
+    )
+    report = AuditReport()
+    report.checks.append(
+        _check_byte_identity(store, reference, fingerprint, seeds)
+    )
+    report.checks.append(_check_no_double_writes(store, fingerprint))
+    if ledger is not None and job_id is not None:
+        ledger = ledger if isinstance(ledger, JobLedger) else JobLedger(ledger)
+        report.checks.append(_check_ledger_terminal(ledger, job_id))
+    if live_frames is not None and replay_frames is not None:
+        report.checks.append(
+            _check_replay_equality(live_frames, replay_frames)
+        )
+    return report

@@ -1,0 +1,181 @@
+"""The injectable clock seam.
+
+Every time-dependent component of the fabric — the ledger's lease
+arithmetic, the worker loop, the service, the resilient client —
+accepts a ``clock`` argument instead of calling the :mod:`time` module
+directly.  Three implementations:
+
+* :class:`SystemClock` — the real wall clock (the default everywhere;
+  a process-wide singleton, :data:`SYSTEM_CLOCK`).
+* :class:`VirtualClock` — a deterministic manual-advance clock for
+  tests: ``sleep`` records the request and advances virtual time
+  instantly, so lease-expiry and backoff behaviour is exercised
+  without real waiting (and without the wall-clock races the old
+  ``time.sleep(0.06)``-style tests suffered under CPU contention).
+* :class:`SkewedClock` — a constant offset (plus optional linear
+  drift) over a base clock.  Chaos runs give each worker process its
+  own skew, modelling the unsynchronised-clocks reality a multi-host
+  fabric lives in; the attempt-token fence, not timestamp agreement,
+  is what must keep the ledger consistent.
+
+The seam is deliberately tiny — ``time()``, ``monotonic()``,
+``sleep()`` — because that is the entire surface the stack uses.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time as _time
+
+__all__ = [
+    "SYSTEM_CLOCK",
+    "Clock",
+    "SkewedClock",
+    "SystemClock",
+    "VirtualClock",
+    "clock_from_env",
+    "resolve_clock",
+]
+
+#: Environment variable carrying a float clock-skew offset in seconds.
+#: ``repro worker`` applies it on startup, which is how the chaos
+#: orchestrator skews subprocess workers it cannot hand an object to.
+SKEW_ENV = "REPRO_CHAOS_CLOCK_SKEW"
+
+
+class Clock:
+    """The three-method protocol every time consumer codes against."""
+
+    def time(self) -> float:
+        """Seconds since the epoch (the ledger's timestamp domain)."""
+        raise NotImplementedError
+
+    def monotonic(self) -> float:
+        """Monotonic seconds (deadline/backoff domain)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (virtual clocks advance instead)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real clock: straight delegation to the :mod:`time` module."""
+
+    def time(self) -> float:
+        return _time.time()
+
+    def monotonic(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SystemClock()"
+
+
+#: Process-wide default; ``clock=None`` everywhere resolves to this.
+SYSTEM_CLOCK = SystemClock()
+
+
+class VirtualClock(Clock):
+    """Deterministic manual-advance clock for virtual-time tests.
+
+    ``time()`` and ``monotonic()`` share one virtual timeline (tests
+    don't care about the epoch).  ``sleep`` appends the request to
+    :attr:`sleeps` and advances the timeline by exactly that amount,
+    so retry/backoff schedules can be asserted to the float.  Thread
+    safe: chaos tests advance the clock from the test thread while a
+    component reads it from another.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+        #: Every sleep duration requested, in call order.
+        self.sleeps: list[float] = []
+
+    def time(self) -> float:
+        with self._lock:
+            return self._now
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += max(0.0, seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward (the test's hand on the dial)."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self.time():.3f})"
+
+
+class SkewedClock(Clock):
+    """A base clock shifted by ``offset`` seconds, optionally drifting.
+
+    ``drift`` is a rate (seconds of skew gained per real second); the
+    drift anchor is the moment of construction, so two ``SkewedClock``
+    objects built from the same spec at different times diverge — which
+    is exactly the property real unsynchronised hosts have.  ``sleep``
+    passes through untouched: skew changes what a worker *believes* the
+    time is, not how fast it runs.
+    """
+
+    def __init__(
+        self, base: "Clock | None" = None, *, offset: float = 0.0, drift: float = 0.0
+    ) -> None:
+        self.base = base or SYSTEM_CLOCK
+        self.offset = float(offset)
+        self.drift = float(drift)
+        self._anchor = self.base.monotonic()
+
+    def _skew(self) -> float:
+        if self.drift == 0.0:
+            return self.offset
+        return self.offset + self.drift * (self.base.monotonic() - self._anchor)
+
+    def time(self) -> float:
+        return self.base.time() + self._skew()
+
+    def monotonic(self) -> float:
+        return self.base.monotonic() + self._skew()
+
+    def sleep(self, seconds: float) -> None:
+        self.base.sleep(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkewedClock(offset={self.offset}, drift={self.drift})"
+
+
+def resolve_clock(clock: "Clock | None") -> Clock:
+    """``None`` means the real clock — the one-liner every seam uses."""
+    return SYSTEM_CLOCK if clock is None else clock
+
+
+def clock_from_env(base: "Clock | None" = None) -> Clock:
+    """The clock a worker process should run on, honouring skew chaos.
+
+    Reads :data:`SKEW_ENV`; absent/empty/zero yields the (real) base
+    clock unchanged, anything else wraps it in a :class:`SkewedClock`.
+    The orchestrator sets the variable per spawned worker.
+    """
+    raw = os.environ.get(SKEW_ENV, "").strip()
+    base = resolve_clock(base)
+    if not raw:
+        return base
+    offset = float(raw)
+    if offset == 0.0:
+        return base
+    return SkewedClock(base, offset=offset)

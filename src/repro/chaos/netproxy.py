@@ -1,0 +1,305 @@
+"""A seeded network-chaos TCP proxy for the ``/v1`` service.
+
+Sits between :class:`~repro.service.client.ServiceClient` and the
+HTTP service, speaking just enough HTTP/1.1 to know where a request
+ends and how long a response body is, and injects one of four faults
+per accepted connection (drawn in accept order from a seeded RNG, so
+a chaos run's network weather is replayable from its plan):
+
+* **drop** — the connection closes before the request ever reaches
+  the upstream: the client sees a reset and its verb-aware retry
+  logic takes over (GETs re-send; POSTs surface the error, because
+  nothing proves the server didn't process them — exactly the
+  ambiguity real networks have).
+* **delay** — the response stalls a fixed number of seconds before
+  the first byte is forwarded; read timeouts and SSE heartbeat
+  cadence are what this exercises.
+* **truncate** — the response headers forward intact, then the body
+  cuts off after N bytes: ``http.client`` raises ``IncompleteRead``
+  and idempotent calls retry.
+* **duplicate** — the request is replayed to the upstream on a second
+  connection (at-least-once delivery); the duplicate's response is
+  read and discarded.  Idempotent writes (``INSERT OR IGNORE``
+  records, fenced transitions) are what make this survivable — the
+  auditor checks they did.
+
+The proxy is transparent when a connection draws no fault: bytes
+relay unmodified in both directions, SSE streams included (no
+``Content-Length`` — relay until either side closes).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+from .clock import Clock, resolve_clock
+from .plan import NetChaos
+
+__all__ = ["ChaosProxy"]
+
+_CHUNK = 65536
+_IO_TIMEOUT_S = 120.0
+
+
+def _read_until_headers(sock: socket.socket) -> bytes:
+    """Read from ``sock`` until the blank line ending the HTTP headers."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(_CHUNK)
+        if not chunk:
+            return data
+        data += chunk
+        if len(data) > 1 << 20:
+            raise ValueError("HTTP header section exceeds 1 MiB")
+    return data
+
+
+def _content_length(header_block: bytes) -> "int | None":
+    for line in header_block.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            try:
+                return int(line.split(b":", 1)[1].strip())
+            except ValueError:
+                return None
+    return None
+
+
+def _read_http_request(sock: socket.socket) -> bytes:
+    """One full request: header block plus ``Content-Length`` body."""
+    data = _read_until_headers(sock)
+    if not data:
+        return b""
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = _content_length(head) or 0
+    while len(rest) < length:
+        chunk = sock.recv(_CHUNK)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
+
+
+class ChaosProxy:
+    """A threaded localhost TCP proxy with seeded per-connection faults.
+
+    Args:
+        upstream: the real service address as ``(host, port)``.
+        chaos: the :class:`~repro.chaos.plan.NetChaos` arm; ``None``
+            or an all-zero arm makes the proxy fully transparent.
+        seed: decision-stream seed (a bound plan's ``net_seed``).
+        clock: time source for injected delays.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`.
+    ``base_url`` is what the client should point at.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        *,
+        chaos: "NetChaos | None" = None,
+        seed: int = 0,
+        clock: "Clock | None" = None,
+        log=None,
+    ) -> None:
+        self.upstream = upstream
+        self.chaos = chaos or NetChaos()
+        self.clock = resolve_clock(clock)
+        self._log = log
+        self._rng = random.Random(f"repro.chaos.net:{seed}")
+        self._listener: "socket.socket | None" = None
+        self._accept_thread: "threading.Thread | None" = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._connections = 0
+        self._injected = 0
+        self.stats = {
+            "connections": 0,
+            "dropped": 0,
+            "delayed": 0,
+            "truncated": 0,
+            "duplicated": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self._listener is not None, "proxy not started"
+        return self._listener.getsockname()[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-proxy", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the fault draw --------------------------------------------------
+    def _decide(self) -> "str | None":
+        """One seeded draw per accepted connection, in accept order."""
+        with self._lock:
+            self._connections += 1
+            self.stats["connections"] += 1
+            c = self.chaos
+            if c.limit is not None and self._injected >= c.limit:
+                return None
+            u = self._rng.random()
+            edges = (
+                ("drop", c.p_drop),
+                ("delay", c.p_delay),
+                ("truncate", c.p_truncate),
+                ("duplicate", c.p_duplicate),
+            )
+            cursor = 0.0
+            for kind, p in edges:
+                cursor += p
+                if u < cursor:
+                    self._injected += 1
+                    key = {
+                        "drop": "dropped",
+                        "delay": "delayed",
+                        "truncate": "truncated",
+                        "duplicate": "duplicated",
+                    }[kind]
+                    self.stats[key] += 1
+                    return kind
+            return None
+
+    # -- relay machinery -------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            fault = self._decide()
+            threading.Thread(
+                target=self._handle,
+                args=(client, fault),
+                name="repro-chaos-proxy-conn",
+                daemon=True,
+            ).start()
+
+    def _handle(self, client: socket.socket, fault: "str | None") -> None:
+        upstream: "socket.socket | None" = None
+        duplicate: "socket.socket | None" = None
+        try:
+            client.settimeout(_IO_TIMEOUT_S)
+            if fault == "drop":
+                self._emit("drop: closing client connection unanswered")
+                return  # finally closes the socket — a clean reset
+            request = _read_http_request(client)
+            if not request:
+                return
+            upstream = socket.create_connection(
+                self.upstream, timeout=_IO_TIMEOUT_S
+            )
+            upstream.sendall(request)
+            if fault == "duplicate":
+                # At-least-once delivery: the same bytes hit the
+                # service twice; the second response is drained and
+                # discarded on a background thread.
+                duplicate = socket.create_connection(
+                    self.upstream, timeout=_IO_TIMEOUT_S
+                )
+                duplicate.sendall(request)
+                threading.Thread(
+                    target=self._drain,
+                    args=(duplicate,),
+                    name="repro-chaos-proxy-dup",
+                    daemon=True,
+                ).start()
+                duplicate = None  # ownership moved to the drain thread
+                self._emit("duplicate: request replayed to upstream")
+            header_data = _read_until_headers(upstream)
+            if not header_data:
+                return
+            if fault == "delay":
+                self._emit(f"delay: stalling response {self.chaos.delay}s")
+                self.clock.sleep(self.chaos.delay)
+            head, _, body_start = header_data.partition(b"\r\n\r\n")
+            client.sendall(head + b"\r\n\r\n")
+            length = _content_length(head)
+            if fault == "truncate":
+                budget = self.chaos.truncate_bytes
+                self._emit(f"truncate: forwarding {budget} body bytes only")
+                client.sendall(body_start[:budget])
+                return  # abrupt close mid-body
+            self._relay_body(upstream, client, body_start, length)
+        except (OSError, ValueError):
+            pass  # either side went away; chaos runs expect that
+        finally:
+            for sock in (client, upstream, duplicate):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+    def _relay_body(
+        self,
+        upstream: socket.socket,
+        client: socket.socket,
+        first: bytes,
+        length: "int | None",
+    ) -> None:
+        """Forward the response body; bounded when a length is known.
+
+        Without ``Content-Length`` (SSE) the relay runs until either
+        side closes — the client hanging up mid-stream propagates the
+        close to the upstream handler, which is what frees its thread.
+        """
+        sent = 0
+        if first:
+            client.sendall(first)
+            sent += len(first)
+        while length is None or sent < length:
+            chunk = upstream.recv(_CHUNK)
+            if not chunk:
+                return
+            client.sendall(chunk)
+            sent += len(chunk)
+
+    def _drain(self, sock: socket.socket) -> None:
+        try:
+            while sock.recv(_CHUNK):
+                pass
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _emit(self, message: str) -> None:
+        if self._log is not None:
+            self._log(f"chaos-proxy: {message}")

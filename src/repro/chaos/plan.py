@@ -1,0 +1,373 @@
+"""``ChaosPlan`` — the seeded, serializable, replayable chaos schedule.
+
+The same plain-data idiom as :mod:`repro.faults.models`: frozen
+dataclasses validated in ``__post_init__``, a ``from_spec``/``to_spec``
+dict round-trip (JSON-stable, so a plan travels through CLI flags,
+benchmark manifests and CI configs unchanged), and a ``bind`` step that
+expands the declarative plan into the concrete, deterministic schedule
+a run executes:
+
+* per-worker clock-skew offsets (:class:`ClockChaos`);
+* the sqlite fault burst each process arms itself with
+  (:class:`~repro.chaos.sqlio.SqliteFaults`, seed derived per bind);
+* the absolute SIGKILL/SIGSTOP/SIGCONT timeline (:class:`ProcChaos` →
+  :class:`SignalEvent` rows, sorted by fire time);
+* the network-proxy decision seed (:class:`NetChaos`).
+
+Binding uses string-seeded ``random.Random`` streams
+(``repro.chaos:<salt>:<seed>:<arm>``) — one independent stream per
+arm, so adding kill events never perturbs the skew draw, and the same
+``(plan, workers)`` pair always yields byte-identical schedules, which
+is the replayability contract the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .sqlio import SqliteFaults
+
+__all__ = [
+    "BoundChaos",
+    "ChaosPlan",
+    "ClockChaos",
+    "NetChaos",
+    "ProcChaos",
+    "SignalEvent",
+    "preset",
+    "PRESETS",
+]
+
+
+@dataclass(frozen=True)
+class ClockChaos:
+    """Per-worker clock skew: offsets drawn uniform in ±``max_skew``."""
+
+    max_skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_skew < 0:
+            raise ValueError("max_skew must be >= 0")
+
+    def to_spec(self) -> dict:
+        return {"max_skew": self.max_skew}
+
+    @classmethod
+    def from_spec(cls, spec: "dict | ClockChaos | None") -> "ClockChaos | None":
+        if spec is None or isinstance(spec, ClockChaos):
+            return spec
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class ProcChaos:
+    """Seeded process-signal schedule over the worker pool.
+
+    ``kills`` SIGKILL events and ``stops`` SIGSTOP events (each
+    SIGCONT-resumed after ``stop_duration``) fire at times drawn
+    uniform in ``[min_delay, max_delay]`` seconds after run start,
+    each aimed at a seeded-random worker slot.  ``respawn`` replaces a
+    killed worker after ``respawn_after`` seconds, modelling an
+    orchestrator that restarts crashed processes (leave it ``True`` —
+    with every worker dead nothing drains the queue).
+    """
+
+    kills: int = 0
+    stops: int = 0
+    min_delay: float = 0.5
+    max_delay: float = 5.0
+    stop_duration: float = 1.0
+    respawn: bool = True
+    respawn_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kills < 0 or self.stops < 0:
+            raise ValueError("kills/stops must be >= 0")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+        if self.stop_duration < 0 or self.respawn_after < 0:
+            raise ValueError("durations must be >= 0")
+
+    def to_spec(self) -> dict:
+        return {
+            "kills": self.kills,
+            "stops": self.stops,
+            "min_delay": self.min_delay,
+            "max_delay": self.max_delay,
+            "stop_duration": self.stop_duration,
+            "respawn": self.respawn,
+            "respawn_after": self.respawn_after,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: "dict | ProcChaos | None") -> "ProcChaos | None":
+        if spec is None or isinstance(spec, ProcChaos):
+            return spec
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class NetChaos:
+    """Per-connection fault probabilities for the chaos TCP proxy.
+
+    Drawn once per accepted connection, in accept order: ``p_drop``
+    closes the connection before any response byte, ``p_delay`` stalls
+    the response by ``delay`` seconds, ``p_truncate`` forwards only
+    the first ``truncate_bytes`` response bytes then closes mid-body,
+    ``p_duplicate`` replays the request to the upstream a second time
+    (at-least-once delivery) and discards the duplicate's response.
+    ``limit`` bounds total injected faults, like the sqlite burst.
+    """
+
+    p_drop: float = 0.0
+    p_delay: float = 0.0
+    delay: float = 0.5
+    p_truncate: float = 0.0
+    truncate_bytes: int = 64
+    p_duplicate: float = 0.0
+    limit: "int | None" = None
+
+    def __post_init__(self) -> None:
+        for name in ("p_drop", "p_delay", "p_truncate", "p_duplicate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        total = self.p_drop + self.p_delay + self.p_truncate + self.p_duplicate
+        if total > 1.0:
+            raise ValueError("net fault probabilities must sum to <= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+        if self.truncate_bytes < 0:
+            raise ValueError("truncate_bytes must be >= 0")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("limit must be >= 0")
+
+    def to_spec(self) -> dict:
+        spec = {
+            "p_drop": self.p_drop,
+            "p_delay": self.p_delay,
+            "delay": self.delay,
+            "p_truncate": self.p_truncate,
+            "truncate_bytes": self.truncate_bytes,
+            "p_duplicate": self.p_duplicate,
+        }
+        if self.limit is not None:
+            spec["limit"] = self.limit
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: "dict | NetChaos | None") -> "NetChaos | None":
+        if spec is None or isinstance(spec, NetChaos):
+            return spec
+        return cls(**spec)
+
+
+@dataclass(frozen=True)
+class SignalEvent:
+    """One bound process-chaos event on the run timeline.
+
+    ``at`` is seconds after run start; ``action`` is ``"kill"`` or
+    ``"stop"``; ``worker`` is a slot index into the worker pool (a
+    respawned worker inherits the slot of the one it replaces, so a
+    schedule stays meaningful across kills).
+    """
+
+    at: float
+    action: str
+    worker: int
+    resume_after: float = 0.0
+
+
+@dataclass(frozen=True)
+class BoundChaos:
+    """A plan expanded against a concrete worker count.
+
+    Everything here is derived deterministically from
+    ``(plan, workers)`` — binding twice yields equal objects, which is
+    what makes a chaos run replayable from its plan spec alone.
+    """
+
+    plan: "ChaosPlan"
+    workers: int
+    skews: tuple[float, ...]
+    signals: tuple[SignalEvent, ...]
+    sqlite: "SqliteFaults | None"
+    net_seed: int
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The full declarative chaos schedule (all arms optional).
+
+    ``seed`` drives every derived stream; ``salt`` namespaces plans the
+    same way ``FaultPlan`` salts fault streams (two plans with equal
+    arms but different salts produce unrelated schedules).
+    """
+
+    seed: int = 0
+    salt: str = ""
+    clock: "ClockChaos | None" = None
+    sqlite: "SqliteFaults | None" = None
+    procs: "ProcChaos | None" = None
+    net: "NetChaos | None" = None
+
+    # -- serialization ---------------------------------------------------
+    def to_spec(self) -> dict:
+        spec: dict = {"seed": self.seed}
+        if self.salt:
+            spec["salt"] = self.salt
+        for arm in ("clock", "sqlite", "procs", "net"):
+            value = getattr(self, arm)
+            if value is not None:
+                spec[arm] = value.to_spec()
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: "dict | ChaosPlan | None") -> "ChaosPlan":
+        if spec is None:
+            return cls()
+        if isinstance(spec, ChaosPlan):
+            return spec
+        known = {"seed", "salt", "clock", "sqlite", "procs", "net"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown ChaosPlan keys: {sorted(unknown)}")
+        return cls(
+            seed=int(spec.get("seed", 0)),
+            salt=str(spec.get("salt", "")),
+            clock=ClockChaos.from_spec(spec.get("clock")),
+            sqlite=SqliteFaults.from_spec(spec.get("sqlite")),
+            procs=ProcChaos.from_spec(spec.get("procs")),
+            net=NetChaos.from_spec(spec.get("net")),
+        )
+
+    # -- binding ---------------------------------------------------------
+    def _stream(self, arm: str) -> random.Random:
+        return random.Random(f"repro.chaos:{self.salt}:{self.seed}:{arm}")
+
+    def bind(self, workers: int) -> BoundChaos:
+        """Expand to the concrete schedule for ``workers`` worker slots."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        skews: tuple[float, ...] = tuple(0.0 for _ in range(workers))
+        if self.clock is not None and self.clock.max_skew > 0:
+            rng = self._stream("clock")
+            skews = tuple(
+                rng.uniform(-self.clock.max_skew, self.clock.max_skew)
+                for _ in range(workers)
+            )
+        events: list[SignalEvent] = []
+        if self.procs is not None:
+            rng = self._stream("procs")
+            for _ in range(self.procs.kills):
+                events.append(
+                    SignalEvent(
+                        at=rng.uniform(
+                            self.procs.min_delay, self.procs.max_delay
+                        ),
+                        action="kill",
+                        worker=rng.randrange(workers),
+                    )
+                )
+            for _ in range(self.procs.stops):
+                events.append(
+                    SignalEvent(
+                        at=rng.uniform(
+                            self.procs.min_delay, self.procs.max_delay
+                        ),
+                        action="stop",
+                        worker=rng.randrange(workers),
+                        resume_after=self.procs.stop_duration,
+                    )
+                )
+            events.sort(key=lambda e: (e.at, e.worker, e.action))
+        sqlite = None
+        if self.sqlite is not None:
+            # Re-seed the burst from the plan streams so two plans with
+            # the same sqlite arm but different seeds/salts inject
+            # different fault sequences.
+            sqlite = SqliteFaults(
+                seed=self._stream("sqlite").randrange(2**31),
+                p_lock=self.sqlite.p_lock,
+                p_torn=self.sqlite.p_torn,
+                p_disk=self.sqlite.p_disk,
+                limit=self.sqlite.limit,
+            )
+        return BoundChaos(
+            plan=self,
+            workers=workers,
+            skews=skews,
+            signals=tuple(events),
+            sqlite=sqlite,
+            net_seed=self._stream("net").randrange(2**31),
+        )
+
+    def active_arms(self) -> list[str]:
+        """The arms this plan actually exercises (logging/reports)."""
+        return [
+            arm
+            for arm in ("clock", "sqlite", "procs", "net")
+            if getattr(self, arm) is not None
+        ]
+
+
+#: Escalating intensity presets the E12 benchmark and CLI share.
+#: ``none`` is the control arm: full harness, zero injected faults.
+PRESETS: dict[str, dict] = {
+    "none": {},
+    "light": {
+        "clock": {"max_skew": 0.2},
+        "sqlite": {"p_lock": 0.02, "limit": 8},
+        "procs": {"kills": 1, "min_delay": 0.5, "max_delay": 2.0},
+    },
+    "medium": {
+        "clock": {"max_skew": 1.0},
+        "sqlite": {"p_lock": 0.05, "p_torn": 0.02, "limit": 16},
+        "procs": {
+            "kills": 1,
+            "stops": 1,
+            "min_delay": 0.5,
+            "max_delay": 3.0,
+            "stop_duration": 0.75,
+        },
+        "net": {"p_drop": 0.05, "p_delay": 0.05, "delay": 0.2, "limit": 12},
+    },
+    "heavy": {
+        "clock": {"max_skew": 5.0},
+        "sqlite": {
+            "p_lock": 0.10,
+            "p_torn": 0.05,
+            "p_disk": 0.03,
+            "limit": 32,
+        },
+        "procs": {
+            "kills": 2,
+            "stops": 2,
+            "min_delay": 0.5,
+            "max_delay": 4.0,
+            "stop_duration": 1.0,
+        },
+        "net": {
+            "p_drop": 0.10,
+            "p_delay": 0.08,
+            "delay": 0.3,
+            "p_truncate": 0.05,
+            "p_duplicate": 0.05,
+            "limit": 24,
+        },
+    },
+}
+
+
+def preset(name: str, *, seed: int = 0, salt: str = "") -> ChaosPlan:
+    """A named intensity preset as a bindable plan."""
+    if name not in PRESETS:
+        raise ValueError(
+            f"unknown chaos preset {name!r}; choose from {sorted(PRESETS)}"
+        )
+    spec = dict(PRESETS[name])
+    spec["seed"] = seed
+    if salt:
+        spec["salt"] = salt
+    return ChaosPlan.from_spec(spec)

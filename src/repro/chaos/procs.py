@@ -1,0 +1,275 @@
+"""Process chaos: real worker subprocesses under a seeded signal schedule.
+
+The orchestrator spawns ``repro worker`` subprocesses exactly the way
+an operator would (``python -m repro worker --ledger ... --store ...``)
+and then executes a bound plan's :class:`~repro.chaos.plan.SignalEvent`
+timeline against them:
+
+* ``kill`` — SIGKILL, the worker dies mid-shard with no chance to
+  clean up; its lease expires and a survivor reclaims the shard.  With
+  ``respawn`` enabled (the default) a fresh incarnation takes over the
+  slot after a short delay, the way a supervisor would restart a
+  crashed process.
+* ``stop`` — SIGSTOP, a stop-the-world pause longer than the lease:
+  the worker is *alive but frozen*, loses its lease without knowing,
+  and is SIGCONT-resumed later to find its attempt token fenced.  This
+  is the nastiest case the token guard exists for — a paused process
+  that wakes up and keeps writing.
+
+Per-slot environment carries the chaos plan into the subprocesses:
+clock skew via ``REPRO_CHAOS_CLOCK_SKEW`` (read by ``repro worker``)
+and the sqlite fault burst via ``REPRO_CHAOS_SQLITE`` (armed lazily by
+the store/ledger fault points).  Every applied event is journalled
+with a monotonic offset so the runner can measure kill→recovery time.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .plan import SignalEvent
+from .sqlio import FAULTS_ENV, SqliteFaults
+
+__all__ = ["ProcessChaosOrchestrator", "WorkerProcess"]
+
+_SRC = str(Path(__file__).resolve().parents[2])
+
+
+class WorkerProcess:
+    """One worker slot: the live subprocess plus its incarnation count."""
+
+    def __init__(self, slot: int, worker_id: str, popen: subprocess.Popen) -> None:
+        self.slot = slot
+        self.worker_id = worker_id
+        self.popen = popen
+        self.incarnation = 0
+        self.paused = False
+
+    def alive(self) -> bool:
+        return self.popen.poll() is None
+
+
+class ProcessChaosOrchestrator:
+    """Spawn a worker pool and run a signal schedule against it.
+
+    Args:
+        ledger / store: the shared sqlite files the workers mount.
+        workers: pool size (slot count).
+        lease / poll / max_attempts / telemetry: forwarded to each
+            ``repro worker`` invocation.
+        skews: per-slot clock offsets (a bound plan's ``skews``); short
+            tuples pad with zero.
+        sqlite: the fault burst each worker process arms itself with
+            (``None`` = no injection in workers).
+        respawn / respawn_after: replace killed workers, supervisor
+            style.
+        log: one-line event callback (``None`` = silent).
+    """
+
+    def __init__(
+        self,
+        *,
+        ledger: "str | os.PathLike",
+        store: "str | os.PathLike",
+        workers: int,
+        lease: float = 1.0,
+        poll: float = 0.05,
+        max_attempts: int = 5,
+        telemetry: bool = False,
+        skews: Sequence[float] = (),
+        sqlite: "SqliteFaults | None" = None,
+        respawn: bool = True,
+        respawn_after: float = 0.5,
+        log=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.ledger = str(ledger)
+        self.store = str(store)
+        self.lease = lease
+        self.poll = poll
+        self.max_attempts = max_attempts
+        self.telemetry = telemetry
+        self.skews = tuple(skews) + (0.0,) * max(0, workers - len(skews))
+        self.sqlite = sqlite
+        self.respawn = respawn
+        self.respawn_after = respawn_after
+        self._log = log
+        self._stopping = threading.Event()
+        self._timers: list[threading.Timer] = []
+        self._thread: "threading.Thread | None" = None
+        self._lock = threading.Lock()
+        #: Applied-event journal: dicts with ``at`` (monotonic offset
+        #: from schedule start), ``action``, ``slot``, ``worker_id``.
+        self.journal: list[dict] = []
+        self._t0: "float | None" = None
+        self.slots: list[WorkerProcess] = [
+            self._spawn(slot, 0) for slot in range(workers)
+        ]
+
+    # -- spawning --------------------------------------------------------
+    def _spawn(self, slot: int, incarnation: int) -> WorkerProcess:
+        worker_id = f"chaos-w{slot}" + (f"r{incarnation}" if incarnation else "")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        skew = self.skews[slot] if slot < len(self.skews) else 0.0
+        if skew:
+            env["REPRO_CHAOS_CLOCK_SKEW"] = repr(skew)
+        else:
+            env.pop("REPRO_CHAOS_CLOCK_SKEW", None)
+        if self.sqlite is not None:
+            env[FAULTS_ENV] = self.sqlite.to_env()
+        else:
+            env.pop(FAULTS_ENV, None)
+        argv = [
+            sys.executable, "-m", "repro", "worker",
+            "--ledger", self.ledger, "--store", self.store,
+            "--id", worker_id,
+            "--lease", str(self.lease),
+            "--poll", str(self.poll),
+            "--max-attempts", str(self.max_attempts),
+        ]
+        if self.telemetry:
+            argv.append("--telemetry")
+        popen = subprocess.Popen(
+            argv,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        proc = WorkerProcess(slot, worker_id, popen)
+        proc.incarnation = incarnation
+        self._emit(f"spawned {worker_id} (pid {popen.pid}, skew {skew:+.3f}s)")
+        return proc
+
+    # -- the schedule ----------------------------------------------------
+    def run_schedule(self, signals: Sequence[SignalEvent]) -> None:
+        """Execute the event timeline on a background thread."""
+        events = sorted(signals, key=lambda e: e.at)
+        self._t0 = time.monotonic()
+
+        def loop() -> None:
+            assert self._t0 is not None
+            for event in events:
+                delay = event.at - (time.monotonic() - self._t0)
+                if delay > 0 and self._stopping.wait(delay):
+                    return
+                if self._stopping.is_set():
+                    return
+                self._apply(event)
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-chaos-signals", daemon=True
+        )
+        self._thread.start()
+
+    def wait_schedule(self, timeout: "float | None" = None) -> None:
+        """Block until every scheduled event (and timer) has fired."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        for timer in list(self._timers):
+            timer.join(timeout)
+
+    def _apply(self, event: SignalEvent) -> None:
+        slot = event.worker % len(self.slots)
+        with self._lock:
+            proc = self.slots[slot]
+            if not proc.alive():
+                self._journal(event.action, proc, note="already-dead")
+                return
+            if event.action == "kill":
+                proc.popen.kill()
+                proc.popen.wait(timeout=30)
+                self._journal("kill", proc)
+                if self.respawn:
+                    self._after(
+                        self.respawn_after, self._respawn, slot,
+                        proc.incarnation + 1,
+                    )
+            elif event.action == "stop":
+                if proc.paused:
+                    self._journal("stop", proc, note="already-paused")
+                    return
+                proc.popen.send_signal(signal.SIGSTOP)
+                proc.paused = True
+                self._journal("stop", proc)
+                self._after(event.resume_after, self._resume, slot)
+            else:  # pragma: no cover - plan validation forbids this
+                raise ValueError(f"unknown chaos action: {event.action!r}")
+
+    def _respawn(self, slot: int, incarnation: int) -> None:
+        if self._stopping.is_set():
+            return
+        with self._lock:
+            self.slots[slot] = self._spawn(slot, incarnation)
+            self._journal("respawn", self.slots[slot])
+
+    def _resume(self, slot: int) -> None:
+        with self._lock:
+            proc = self.slots[slot]
+            if proc.paused and proc.alive():
+                proc.popen.send_signal(signal.SIGCONT)
+                proc.paused = False
+                self._journal("cont", proc)
+
+    def _after(self, delay: float, fn, *args) -> None:
+        timer = threading.Timer(max(0.0, delay), fn, args=args)
+        timer.daemon = True
+        timer.start()
+        self._timers.append(timer)
+
+    def _journal(self, action: str, proc: WorkerProcess, note: str = "") -> None:
+        offset = (
+            time.monotonic() - self._t0 if self._t0 is not None else 0.0
+        )
+        entry = {
+            "at": round(offset, 4),
+            "action": action,
+            "slot": proc.slot,
+            "worker_id": proc.worker_id,
+        }
+        if note:
+            entry["note"] = note
+        self.journal.append(entry)
+        self._emit(f"{action} {proc.worker_id} @ {offset:.2f}s {note}".strip())
+
+    # -- teardown --------------------------------------------------------
+    def close(self) -> None:
+        self._stopping.set()
+        for timer in self._timers:
+            timer.cancel()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        with self._lock:
+            for proc in self.slots:
+                # A paused worker cannot act on SIGTERM; resume first.
+                if proc.paused and proc.alive():
+                    try:
+                        proc.popen.send_signal(signal.SIGCONT)
+                    except OSError:
+                        pass
+                if proc.alive():
+                    proc.popen.terminate()
+            for proc in self.slots:
+                try:
+                    proc.popen.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.popen.kill()
+                    proc.popen.wait(timeout=10)
+
+    def __enter__(self) -> "ProcessChaosOrchestrator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _emit(self, message: str) -> None:
+        if self._log is not None:
+            self._log(f"chaos-procs: {message}")

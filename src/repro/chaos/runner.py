@@ -1,0 +1,391 @@
+"""The chaos run itself: clean reference, full fabric, faults, audit.
+
+:func:`run_chaos` is the one-call harness the ``repro chaos`` CLI and
+the E12 benchmark drive:
+
+1. **Reference run** — the workload executes once, single-process, no
+   chaos, into its own store.  This is ground truth: whatever the
+   fabric survives, its results must be byte-identical to this.
+2. **Fabric** — a fabric-mode ``/v1`` front-end plus real
+   ``repro worker`` subprocesses on a shared ledger/store, exactly the
+   production topology.
+3. **Chaos** — the bound plan attacks every boundary at once: worker
+   clocks skew (env), sqlite faults arm in every process (env), the
+   client talks through the :class:`~repro.chaos.netproxy.ChaosProxy`,
+   and the signal schedule kills/pauses workers mid-shard.
+4. **Audit** — :func:`~repro.chaos.audit.audit_run` compares the
+   wreckage against the reference and the house invariants.
+
+Submission itself goes through the chaotic proxy, which makes the POST
+genuinely ambiguous (a dropped connection does not prove the server
+didn't process it).  The runner recovers the way an operator would:
+on a failed submit it looks the job up in the ledger by workload
+fingerprint before re-submitting on the direct URL.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis import BatchConfig, ScenarioSpec, run
+from ..hooks import spool_only_sink
+from ..service.client import RetryPolicy, ServiceClient
+from ..service.http import make_server
+from ..service.jobs import JobService
+from ..store import JobLedger
+from .audit import AuditReport, audit_run
+from .netproxy import ChaosProxy
+from .plan import ChaosPlan
+from .procs import ProcessChaosOrchestrator
+from .sqlio import sqlio_stats
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+
+@dataclass
+class ChaosResult:
+    """Everything one chaos run produced, JSON-ready via :meth:`to_dict`."""
+
+    plan: dict
+    job_id: "str | None"
+    status: "str | None"
+    succeeded: bool
+    seeds: tuple
+    workers: int
+    shards: "int | None"
+    wall_seconds: float
+    submit_seconds: float
+    recovery_seconds: "float | None"
+    shard_attempts: dict
+    proxy_stats: "dict | None"
+    sqlio_front: dict
+    journal: list
+    audit: AuditReport
+    error: "str | None" = None
+    submit_recovered: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.succeeded and self.audit.ok
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "job_id": self.job_id,
+            "status": self.status,
+            "succeeded": self.succeeded,
+            "ok": self.ok,
+            "seeds": list(self.seeds),
+            "workers": self.workers,
+            "shards": self.shards,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "submit_seconds": round(self.submit_seconds, 4),
+            "recovery_seconds": (
+                round(self.recovery_seconds, 4)
+                if self.recovery_seconds is not None
+                else None
+            ),
+            "shard_attempts": self.shard_attempts,
+            "proxy_stats": self.proxy_stats,
+            "sqlio_front": self.sqlio_front,
+            "journal": self.journal,
+            "audit": self.audit.to_dict(),
+            "error": self.error,
+            "submit_recovered": self.submit_recovered,
+        }
+
+
+def _capture_sse(
+    host: str,
+    port: int,
+    path: str,
+    frames: "dict[int, list[str]]",
+    done: threading.Event,
+    timeout: float,
+) -> None:
+    """Tail one SSE endpoint, bucketing ``frame`` payloads by seed.
+
+    Runs on the *direct* service address — the capture channel must be
+    faithful, because it is one side of the replay-equality audit;
+    routing it through the chaos proxy would test the observer, not
+    the invariant.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path, headers={"Accept": "text/event-stream"})
+        response = conn.getresponse()
+        if response.status != 200:
+            return
+        event = ""
+        while not done.is_set():
+            raw = response.fp.readline()
+            if not raw:
+                return
+            line = raw.decode("utf-8", "replace").rstrip("\n").rstrip("\r")
+            if line.startswith("event:"):
+                event = line.split(":", 1)[1].strip()
+            elif line.startswith("data:"):
+                data = line.split(":", 1)[1].strip()
+                if event == "frame":
+                    try:
+                        seed = int(json.loads(data)["seed"])
+                    except (ValueError, KeyError):
+                        continue
+                    frames.setdefault(seed, []).append(data)
+                elif event == "end":
+                    return
+    except (OSError, http.client.HTTPException):
+        return
+    finally:
+        conn.close()
+
+
+def _fetch_replay(
+    host: str, port: int, fingerprint: str, seed: int, timeout: float
+) -> list[str]:
+    """All ``frame`` payloads the replay endpoint serves for one seed."""
+    frames: "dict[int, list[str]]" = {}
+    _capture_sse(
+        host,
+        port,
+        f"/v1/runs/{fingerprint}/{seed}/replay",
+        frames,
+        threading.Event(),
+        timeout,
+    )
+    return frames.get(seed, [])
+
+
+def run_chaos(
+    spec_data: dict,
+    seeds,
+    plan: ChaosPlan,
+    *,
+    workdir: "str | Path",
+    workers: int = 2,
+    shards: "int | None" = None,
+    lease: float = 2.0,
+    poll: float = 0.05,
+    max_attempts: int = 5,
+    telemetry: bool = False,
+    timeout: float = 180.0,
+    log=None,
+) -> ChaosResult:
+    """Execute one full chaos run and audit the result.
+
+    Args:
+        spec_data: the scenario as a plain dict (CLI/service shape).
+        seeds: seed list the job covers.
+        plan: the :class:`~repro.chaos.plan.ChaosPlan` to execute.
+        workdir: directory for the run's stores and ledger (created).
+        workers: worker subprocess count.
+        shards: shard count for the job (default: service default).
+        lease / poll / max_attempts: worker-fabric tuning; a short
+            lease makes kill recovery observable within the timeout.
+        telemetry: spool frames and audit SSE replay equality too.
+        timeout: overall wait budget for the job.
+        log: one-line progress callback (``None`` = silent).
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    seeds = [int(s) for s in seeds]
+    emit = log or (lambda line: None)
+
+    # 1. Ground truth: one clean, single-process run of the workload.
+    ref_store = workdir / "reference.sqlite"
+    emit(f"chaos: reference run ({len(seeds)} seeds) -> {ref_store.name}")
+    spec = ScenarioSpec.from_dict(dict(spec_data))
+    run(
+        spec,
+        seeds,
+        BatchConfig(
+            workers=1,
+            store=ref_store,
+            telemetry=spool_only_sink() if telemetry else None,
+        ),
+    )
+
+    # 2. The fabric: front-end + ledger + real worker subprocesses.
+    chaos_store = workdir / "chaos.sqlite"
+    chaos_ledger = workdir / "ledger.sqlite"
+    service = JobService(
+        str(chaos_store),
+        ledger=str(chaos_ledger),
+        dispatch=False,
+        auto_start=False,
+        telemetry=telemetry,
+    )
+    fingerprint = service.workload_fingerprint(spec_data)
+    server = make_server(service)
+    threading.Thread(
+        target=server.serve_forever, name="repro-chaos-http", daemon=True
+    ).start()
+    host, port = server.server_address[:2]
+
+    bound = plan.bind(workers)
+    proxy: "ChaosProxy | None" = None
+    base_url = f"http://{host}:{port}"
+    if plan.net is not None:
+        proxy = ChaosProxy(
+            (host, port), chaos=plan.net, seed=bound.net_seed, log=log
+        ).start()
+        base_url = proxy.base_url
+        emit(f"chaos: client routed through proxy at {base_url}")
+
+    procs = plan.procs
+    orchestrator = ProcessChaosOrchestrator(
+        ledger=chaos_ledger,
+        store=chaos_store,
+        workers=workers,
+        lease=lease,
+        poll=poll,
+        max_attempts=max_attempts,
+        telemetry=telemetry,
+        skews=bound.skews,
+        sqlite=bound.sqlite,
+        respawn=procs.respawn if procs is not None else True,
+        respawn_after=procs.respawn_after if procs is not None else 0.5,
+        log=log,
+    )
+
+    client = ServiceClient(
+        base_url,
+        policy=RetryPolicy(
+            retries=6, backoff=0.05, backoff_cap=0.5, seed=plan.seed
+        ),
+    )
+    live_frames: "dict[int, list[str]]" = {}
+    capture_done = threading.Event()
+    capture_thread: "threading.Thread | None" = None
+    job_id: "str | None" = None
+    status: "str | None" = None
+    error: "str | None" = None
+    submit_recovered = False
+    recovery_seconds: "float | None" = None
+    t0 = time.monotonic()
+    try:
+        # 3. Submit — through the chaotic proxy, ambiguity included.
+        try:
+            ack = client.submit(spec_data, seeds, shards=shards)
+            job_id = ack["id"]
+        except Exception as exc:  # noqa: BLE001 — recovery path below
+            emit(f"chaos: submit failed ({type(exc).__name__}); recovering")
+            matches = [
+                entry
+                for entry in JobLedger(chaos_ledger).jobs()
+                if entry.fingerprint == spec.fingerprint()
+            ]
+            if matches:
+                job_id = matches[-1].id
+                submit_recovered = True
+                emit(f"chaos: recovered job {job_id} from the ledger")
+            else:
+                direct = ServiceClient(f"http://{host}:{port}")
+                ack = direct.submit(spec_data, seeds, shards=shards)
+                job_id = ack["id"]
+                submit_recovered = True
+        submit_seconds = time.monotonic() - t0
+        emit(f"chaos: job {job_id} submitted in {submit_seconds:.2f}s")
+
+        if telemetry:
+            capture_thread = threading.Thread(
+                target=_capture_sse,
+                args=(
+                    host,
+                    port,
+                    f"/v1/jobs/{job_id}/events",
+                    live_frames,
+                    capture_done,
+                    timeout,
+                ),
+                name="repro-chaos-sse",
+                daemon=True,
+            )
+            capture_thread.start()
+
+        # 4. Let the signal schedule loose and wait the job out.
+        orchestrator.run_schedule(bound.signals)
+        try:
+            snapshot = client.wait(job_id, timeout=timeout, poll=0.25)
+            status = snapshot.get("status")
+        except Exception as exc:  # noqa: BLE001 — surface in the result
+            error = f"{type(exc).__name__}: {exc}"
+            entry = JobLedger(chaos_ledger).get(job_id)
+            status = entry.status if entry is not None else None
+        wall_seconds = time.monotonic() - t0
+
+        kills = [e for e in orchestrator.journal if e["action"] == "kill"]
+        if kills and status == "done":
+            # Schedule offsets and the submit clock share monotonic
+            # time; both deltas are measured from schedule start.
+            done_offset = time.monotonic() - (orchestrator._t0 or t0)
+            recovery_seconds = max(0.0, done_offset - kills[0]["at"])
+    finally:
+        capture_done.set()
+        orchestrator.close()
+        if capture_thread is not None:
+            capture_thread.join(timeout=5)
+        if proxy is not None:
+            proxy.stop()
+
+    # 5. Audit the wreckage against ground truth.
+    replay_frames: "dict[int, list[str]] | None" = None
+    if telemetry:
+        replay_frames = {
+            seed: _fetch_replay(host, port, fingerprint, seed, timeout)
+            for seed in seeds
+        }
+    report = audit_run(
+        store=str(chaos_store),
+        reference=str(ref_store),
+        fingerprint=fingerprint,
+        seeds=seeds,
+        ledger=str(chaos_ledger),
+        job_id=job_id,
+        live_frames=live_frames if telemetry else None,
+        replay_frames=replay_frames,
+    )
+    server.shutdown()
+    service.stop()
+
+    ledger = JobLedger(chaos_ledger)
+    shard_entries = ledger.shards(job_id) if job_id is not None else []
+    attempts = [entry.attempts for entry in shard_entries]
+    result = ChaosResult(
+        plan=plan.to_spec(),
+        job_id=job_id,
+        status=status,
+        succeeded=status == "done",
+        seeds=tuple(seeds),
+        workers=workers,
+        shards=len(shard_entries) or None,
+        wall_seconds=wall_seconds,
+        submit_seconds=submit_seconds,
+        recovery_seconds=recovery_seconds,
+        shard_attempts={
+            "total": sum(attempts),
+            "max": max(attempts) if attempts else 0,
+        },
+        proxy_stats=dict(proxy.stats) if proxy is not None else None,
+        sqlio_front=sqlio_stats(),
+        journal=list(orchestrator.journal),
+        audit=report,
+        error=error,
+        submit_recovered=submit_recovered,
+    )
+    emit(
+        "chaos: "
+        + ("PASS" if result.ok else "FAIL")
+        + f" status={status} wall={wall_seconds:.2f}s"
+        + (
+            f" recovery={recovery_seconds:.2f}s"
+            if recovery_seconds is not None
+            else ""
+        )
+    )
+    return result

@@ -1,0 +1,313 @@
+"""Seeded sqlite I/O fault injection and the bounded-retry discipline.
+
+The store and ledger funnel every database touch through one
+``_connect()`` context manager apiece; that funnel calls
+:func:`fault_point` twice per operation — once before the connection
+opens (``connect`` phase) and once just before the transaction commits
+(``commit`` phase).  With no injector installed both calls are a
+dictionary lookup and a ``None`` check: the production hot path pays
+nothing.
+
+With an injector installed (directly via :func:`install_injector`, or
+inherited by worker subprocesses through the :data:`FAULTS_ENV`
+environment variable), each fault point draws from a seeded RNG and
+may raise one of three transient errors:
+
+* ``database is locked`` (connect phase) — the classic WAL writer
+  collision;
+* *torn write* (commit phase) — :class:`TornWrite` raised inside the
+  transaction scope, so sqlite rolls the statements back: the write
+  simply never happened;
+* ``disk I/O error`` (commit phase) — a failed fsync; the transaction
+  is likewise rolled back.
+
+All three are **transient by contract**: :func:`run_with_retry` (the
+wrapper every ledger/store writer runs under) retries them with
+bounded exponential backoff on the injected clock seam before giving
+up and propagating.  Because every write in the house is idempotent
+(``INSERT OR IGNORE`` keys, token-fenced updates), re-running a rolled
+back operation is always safe — which is precisely the invariant this
+module exists to hammer on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import threading
+from dataclasses import dataclass
+
+from .clock import Clock, resolve_clock
+
+__all__ = [
+    "FAULTS_ENV",
+    "SqliteFaultInjector",
+    "SqliteFaults",
+    "TornWrite",
+    "active_injector",
+    "fault_point",
+    "install_injector",
+    "is_transient",
+    "reset_sqlio_stats",
+    "run_with_retry",
+    "sqlio_stats",
+    "uninstall_injector",
+]
+
+#: Environment variable carrying a ``SqliteFaults`` spec as JSON.
+#: Worker subprocesses inherit it, so one chaos plan attacks every
+#: process of the fabric without any of them cooperating.
+FAULTS_ENV = "REPRO_CHAOS_SQLITE"
+
+#: Substrings identifying a transient ``sqlite3.OperationalError``.
+_TRANSIENT_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "disk i/o error",
+)
+
+
+class TornWrite(sqlite3.OperationalError):
+    """Chaos: the transaction was rolled back before its commit.
+
+    Raised at a commit-phase fault point *inside* the ``with conn:``
+    scope, so sqlite3's context manager discards every statement the
+    operation executed — to the database the write never happened, to
+    the writer it looks like a transient failure worth retrying.
+    """
+
+
+@dataclass(frozen=True)
+class SqliteFaults:
+    """Plain-data sqlite fault schedule (one arm of a ``ChaosPlan``).
+
+    ``p_lock`` / ``p_torn`` / ``p_disk`` are per-fault-point injection
+    probabilities; ``limit`` bounds the total faults one process will
+    inject (a *burst*, after which the database behaves — keeps chaos
+    runs convergent), ``None`` means unbounded.  ``seed`` makes the
+    draw sequence deterministic per process.
+    """
+
+    seed: int = 0
+    p_lock: float = 0.0
+    p_torn: float = 0.0
+    p_disk: float = 0.0
+    limit: "int | None" = None
+
+    def __post_init__(self) -> None:
+        for name in ("p_lock", "p_torn", "p_disk"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.p_lock + self.p_torn + self.p_disk > 1.0:
+            raise ValueError("fault probabilities must sum to <= 1")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("limit must be >= 0")
+
+    def to_spec(self) -> dict:
+        spec = {
+            "seed": self.seed,
+            "p_lock": self.p_lock,
+            "p_torn": self.p_torn,
+            "p_disk": self.p_disk,
+        }
+        if self.limit is not None:
+            spec["limit"] = self.limit
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: "dict | SqliteFaults | None") -> "SqliteFaults | None":
+        if spec is None or isinstance(spec, SqliteFaults):
+            return spec
+        known = {"seed", "p_lock", "p_torn", "p_disk", "limit"}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown SqliteFaults keys: {sorted(unknown)}")
+        return cls(**spec)
+
+    def to_env(self) -> str:
+        """The :data:`FAULTS_ENV` value that arms subprocesses."""
+        return json.dumps(self.to_spec(), sort_keys=True)
+
+
+class SqliteFaultInjector:
+    """Seeded per-process fault source consulted by every fault point.
+
+    The draw sequence is a single RNG stream seeded from
+    ``repro.chaos.sqlio:<seed>`` (string seeding — deterministic
+    across processes and platforms, the house idiom).  Thread safe:
+    service handler threads and the dispatcher share one injector.
+    """
+
+    def __init__(self, faults: SqliteFaults) -> None:
+        self.faults = faults
+        self._rng = random.Random(f"repro.chaos.sqlio:{faults.seed}")
+        self._lock = threading.Lock()
+        self.injected = 0
+        self.points = 0
+
+    def exhausted(self) -> bool:
+        limit = self.faults.limit
+        return limit is not None and self.injected >= limit
+
+    def draw(self, component: str, phase: str) -> "str | None":
+        """The fault to inject at this point, or ``None``.
+
+        ``connect``-phase points can draw ``lock``; ``commit``-phase
+        points can draw ``torn`` or ``disk``.  One uniform draw per
+        point keeps the sequence deterministic regardless of which
+        phase consumes it.
+        """
+        with self._lock:
+            self.points += 1
+            if self.exhausted():
+                return None
+            u = self._rng.random()
+            kind: "str | None" = None
+            if phase == "connect":
+                if u < self.faults.p_lock:
+                    kind = "lock"
+            else:  # commit
+                if u < self.faults.p_torn:
+                    kind = "torn"
+                elif u < self.faults.p_torn + self.faults.p_disk:
+                    kind = "disk"
+            if kind is not None:
+                self.injected += 1
+                _STATS["injected"] += 1
+                _STATS[f"injected_{kind}"] += 1
+            return kind
+
+
+# Process-global injector slot.  ``False`` marks "environment not yet
+# consulted" so the env lookup happens once per process, lazily — the
+# first store/ledger operation of an armed worker installs it.
+_INJECTOR: "SqliteFaultInjector | None" = None
+_ENV_CHECKED = False
+_INSTALL_LOCK = threading.Lock()
+
+#: Process-wide observability counters (mirrors the spool's ``_STATS``).
+_STATS = {
+    "injected": 0,
+    "injected_lock": 0,
+    "injected_torn": 0,
+    "injected_disk": 0,
+    "retries": 0,
+    "giveups": 0,
+}
+
+
+def sqlio_stats() -> dict:
+    """A snapshot of this process's injection/retry counters."""
+    return dict(_STATS)
+
+
+def reset_sqlio_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def install_injector(faults: "SqliteFaults | dict | None") -> "SqliteFaultInjector | None":
+    """Arm (or, with ``None``, disarm) fault injection in this process."""
+    global _INJECTOR, _ENV_CHECKED
+    with _INSTALL_LOCK:
+        spec = SqliteFaults.from_spec(faults)
+        _INJECTOR = SqliteFaultInjector(spec) if spec is not None else None
+        _ENV_CHECKED = True  # explicit install wins over the environment
+        return _INJECTOR
+
+
+def uninstall_injector() -> None:
+    """Disarm fault injection and forget the environment override."""
+    global _INJECTOR, _ENV_CHECKED
+    with _INSTALL_LOCK:
+        _INJECTOR = None
+        _ENV_CHECKED = False
+
+
+def active_injector() -> "SqliteFaultInjector | None":
+    """The installed injector, arming lazily from :data:`FAULTS_ENV`."""
+    global _INJECTOR, _ENV_CHECKED
+    if _ENV_CHECKED:
+        return _INJECTOR
+    with _INSTALL_LOCK:
+        if not _ENV_CHECKED:
+            raw = os.environ.get(FAULTS_ENV, "").strip()
+            if raw:
+                _INJECTOR = SqliteFaultInjector(
+                    SqliteFaults.from_spec(json.loads(raw))
+                )
+            _ENV_CHECKED = True
+    return _INJECTOR
+
+
+def fault_point(component: str, phase: str) -> None:
+    """A possible failure site; raises the drawn fault, if any.
+
+    ``component`` is ``"store"`` or ``"ledger"`` (observability only);
+    ``phase`` is ``"connect"`` or ``"commit"``.  No injector — no
+    cost beyond one global read.
+    """
+    injector = active_injector()
+    if injector is None:
+        return
+    kind = injector.draw(component, phase)
+    if kind is None:
+        return
+    if kind == "lock":
+        raise sqlite3.OperationalError("database is locked")
+    if kind == "torn":
+        raise TornWrite("chaos: torn write (transaction rolled back)")
+    raise sqlite3.OperationalError("disk I/O error")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Is this a sqlite failure worth retrying?
+
+    Only :class:`TornWrite` and ``OperationalError`` carrying a known
+    transient marker — constraint violations, schema mismatches and
+    friends propagate untouched (retrying those would loop forever on
+    a real bug).
+    """
+    if isinstance(exc, TornWrite):
+        return True
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    message = str(exc).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
+
+
+def run_with_retry(
+    op,
+    *,
+    clock: "Clock | None" = None,
+    attempts: int = 5,
+    backoff: float = 0.05,
+    cap: float = 0.5,
+):
+    """Run ``op()`` retrying transient sqlite failures with backoff.
+
+    The schedule is deterministic (no jitter): ``backoff * 2**k``
+    capped at ``cap``, slept on the injected clock — under a
+    ``VirtualClock`` a full five-attempt storm costs zero wall time.
+    After ``attempts`` transient failures the last error propagates
+    (and the ``giveups`` counter records that the degradation was no
+    longer graceful).
+    """
+    clock = resolve_clock(clock)
+    failure: "BaseException | None" = None
+    for attempt in range(attempts):
+        if attempt:
+            _STATS["retries"] += 1
+            clock.sleep(min(backoff * (2.0 ** (attempt - 1)), cap))
+        try:
+            return op()
+        except sqlite3.OperationalError as exc:
+            if not is_transient(exc):
+                raise
+            failure = exc
+    _STATS["giveups"] += 1
+    assert failure is not None
+    raise failure

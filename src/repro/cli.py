@@ -21,6 +21,9 @@ Commands:
 * ``replay``      — dump a finished run's spooled telemetry frames
   from a store (``--list`` shows which runs have frames); the offline
   sibling of ``GET /v1/runs/<fingerprint>/<seed>/replay``;
+* ``chaos``       — run the workload on a real worker fabric under a
+  seeded chaos plan (clock skew, sqlite faults, process kills, network
+  faults) and audit the recovery invariants against a clean run;
 * ``version``     — print the package version.
 
 ``serve --telemetry`` / ``worker --telemetry`` switch per-step trace
@@ -54,6 +57,7 @@ from .analysis.scenarios import (
     build_pattern,
     build_scheduler,
 )
+from .chaos.plan import PRESETS as CHAOS_PRESETS
 from .faults import POLICY_BUILDERS, parse_fault_specs
 from .geometry import Vec2, cache_enabled, set_cache_enabled
 from .sim import Simulation
@@ -372,6 +376,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the runs that have spooled frames instead of replaying",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the workload on a real worker fabric under a seeded "
+        "chaos plan, then audit the invariants",
+    )
+    _common(chaos)
+    chaos.add_argument("--runs", type=int, default=8)
+    chaos.add_argument(
+        "--preset",
+        choices=sorted(CHAOS_PRESETS),
+        default="light",
+        help="chaos intensity preset (see repro.chaos.plan.PRESETS)",
+    )
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed of the chaos plan (same seed = same fault schedule)",
+    )
+    chaos.add_argument(
+        "--plan",
+        default=None,
+        help="JSON file holding a full ChaosPlan spec (overrides --preset)",
+    )
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument(
+        "--shards", type=int, default=4, help="ledger shards for the job"
+    )
+    chaos.add_argument(
+        "--lease",
+        type=float,
+        default=2.0,
+        help="worker lease seconds (short leases make recovery visible)",
+    )
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        help="directory for the run's stores (default: a fresh temp dir)",
+    )
+    chaos.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="spool frames and audit SSE replay equality too",
+    )
+    chaos.add_argument("--timeout", type=float, default=180.0)
+    chaos.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the full ChaosResult as JSON",
+    )
+    _fault_flags(chaos)
+
     sub.add_parser("version", help="print the version")
     return parser
 
@@ -667,6 +724,7 @@ def cmd_submit(args) -> int:
 def cmd_worker(args) -> int:
     import signal
 
+    from .chaos.clock import clock_from_env
     from .service import Worker
 
     try:
@@ -681,6 +739,10 @@ def cmd_worker(args) -> int:
             timeout=args.timeout,
             telemetry=args.telemetry,
             log=lambda line: print(line, flush=True),
+            # Chaos runs skew each worker's clock through the
+            # environment (REPRO_CHAOS_CLOCK_SKEW); unset, this is the
+            # plain system clock.
+            clock=clock_from_env(),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -840,6 +902,44 @@ def cmd_election(args) -> int:
     return 0 if result.pattern_formed else 1
 
 
+def cmd_chaos(args) -> int:
+    import tempfile
+
+    from .chaos.plan import ChaosPlan, preset
+    from .chaos.runner import run_chaos
+
+    try:
+        spec = _batch_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            plan = ChaosPlan.from_spec(json.load(fh))
+    else:
+        plan = preset(args.preset, seed=args.chaos_seed)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    seeds = range(args.seed, args.seed + args.runs)
+    result = run_chaos(
+        spec.to_dict(),
+        seeds,
+        plan,
+        workdir=workdir,
+        workers=args.workers,
+        shards=args.shards,
+        lease=args.lease,
+        telemetry=args.telemetry,
+        timeout=args.timeout,
+        log=None if args.as_json else lambda line: print(line, flush=True),
+    )
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.audit.summary())
+        print(f"workdir: {workdir}")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -863,6 +963,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_store(args)
     if args.command == "replay":
         return cmd_replay(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "version":
         print(__version__)
         return 0

@@ -40,11 +40,11 @@ from __future__ import annotations
 import json
 import random
 import socket
-import time
 from dataclasses import dataclass
 from http.client import HTTPConnection, HTTPException, HTTPSConnection
 from urllib.parse import urlsplit
 
+from ..chaos.clock import Clock, resolve_clock
 from .errors import CircuitOpen, ErrorCode, JobTimeout, ServiceError
 
 __all__ = [
@@ -152,8 +152,14 @@ def _request_json(
     payload: "dict | None",
     policy: RetryPolicy,
     rng: random.Random,
+    clock: "Clock | None" = None,
 ) -> dict:
-    """The retry loop: verb-aware, capped-backoff, seeded jitter."""
+    """The retry loop: verb-aware, capped-backoff, seeded jitter.
+
+    Backoff sleeps go through the clock seam, so virtual-time tests
+    assert the whole schedule without real waiting.
+    """
+    clock = resolve_clock(clock)
     data = None
     if payload is not None:
         data = json.dumps(payload, ensure_ascii=False).encode("utf-8")
@@ -179,7 +185,7 @@ def _request_json(
             # calls are safe to re-send.
             if not idempotent or attempt > policy.retries:
                 raise
-        time.sleep(policy.delay(attempt, rng))
+        clock.sleep(policy.delay(attempt, rng))
 
 
 class CircuitBreaker:
@@ -194,7 +200,11 @@ class CircuitBreaker:
     """
 
     def __init__(
-        self, failure_threshold: int = 5, reset_after: float = 30.0
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 30.0,
+        *,
+        clock: "Clock | None" = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -202,6 +212,7 @@ class CircuitBreaker:
 
         self.failure_threshold = failure_threshold
         self.reset_after = reset_after
+        self._clock = resolve_clock(clock)
         self._failures = 0
         self._opened_at: "float | None" = None
         self._lock = threading.Lock()
@@ -220,12 +231,12 @@ class CircuitBreaker:
         with self._lock:
             if self._opened_at is None:
                 return
-            elapsed = time.monotonic() - self._opened_at
+            elapsed = self._clock.monotonic() - self._opened_at
             if elapsed >= self.reset_after:
                 # Half-open: let this one call probe the server.  The
                 # window slides forward so concurrent callers don't
                 # stampede.
-                self._opened_at = time.monotonic()
+                self._opened_at = self._clock.monotonic()
                 return
             raise CircuitOpen(self._failures, self.reset_after - elapsed)
 
@@ -238,7 +249,7 @@ class CircuitBreaker:
         with self._lock:
             self._failures += 1
             if self._failures >= self.failure_threshold:
-                self._opened_at = time.monotonic()
+                self._opened_at = self._clock.monotonic()
 
 
 class ServiceClient:
@@ -248,6 +259,8 @@ class ServiceClient:
         base_url: e.g. ``http://127.0.0.1:8765``.
         policy: timeouts/retry schedule (default :class:`RetryPolicy`).
         breaker: circuit breaker; pass ``None`` for a fresh default one.
+        clock: time source for backoff sleeps, the breaker cooldown
+            and the ``wait`` deadline (``None`` = the real clock).
     """
 
     def __init__(
@@ -256,10 +269,12 @@ class ServiceClient:
         *,
         policy: "RetryPolicy | None" = None,
         breaker: "CircuitBreaker | None" = None,
+        clock: "Clock | None" = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.policy = policy or RetryPolicy()
-        self.breaker = breaker or CircuitBreaker()
+        self._clock = resolve_clock(clock)
+        self.breaker = breaker or CircuitBreaker(clock=self._clock)
         self._rng = random.Random(self.policy.seed)
 
     # -- transport ------------------------------------------------------
@@ -267,7 +282,9 @@ class ServiceClient:
         self.breaker.before_call()
         url = f"{self.base_url}{path}"
         try:
-            result = _request_json(url, method, payload, self.policy, self._rng)
+            result = _request_json(
+                url, method, payload, self.policy, self._rng, self._clock
+            )
         except ServiceError as exc:
             # The server answered: transport is healthy.  Only
             # retryable (server-side/overload) statuses count against
@@ -319,7 +336,7 @@ class ServiceClient:
         not hammered; raises :class:`JobTimeout` when the overall
         deadline passes with the job still pending.
         """
-        deadline = time.monotonic() + timeout
+        deadline = self._clock.monotonic() + timeout
         interval = poll
         last_status: "str | None" = None
         while True:
@@ -327,7 +344,7 @@ class ServiceClient:
             last_status = snapshot.get("status")
             if last_status in ("done", "failed"):
                 return snapshot
-            now = time.monotonic()
+            now = self._clock.monotonic()
             if now >= deadline:
                 raise JobTimeout(job_id, timeout, last_status)
             jittered = interval
@@ -335,7 +352,7 @@ class ServiceClient:
                 jittered *= 1.0 + self.policy.jitter * self._rng.uniform(
                     -1.0, 1.0
                 )
-            time.sleep(max(0.0, min(jittered, deadline - now)))
+            self._clock.sleep(max(0.0, min(jittered, deadline - now)))
             interval = min(interval * 2.0, poll_cap)
 
 

@@ -449,17 +449,23 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._sse_json("status", snapshot)
             while True:
+                # Status before drain: workers flush their spool before
+                # marking a shard complete, so a terminal state observed
+                # *here* guarantees the drain below sees every frame.
+                # The other order loses the final flush when it lands
+                # between an empty drain and the terminal check.
+                current = service.lookup(job_id)
+                ending = self._terminal(current) or service.stopping
                 rows = store.frames_after(fingerprint, cursor)
                 for rowid, seed, _idx, payload in rows:
                     cursor = rowid
                     if seed in wanted:
                         self._sse_emit("frame", payload)
-                current = service.lookup(job_id)
                 if current is not None and current.get("done") != last_done:
                     last_done = current.get("done")
                     self._sse_json("aggregate", current)
                 if not rows:
-                    if self._terminal(current) or service.stopping:
+                    if ending:
                         self._sse_json("status", current or {})
                         self._sse_emit("end", "{}")
                         return

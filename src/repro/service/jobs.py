@@ -65,6 +65,7 @@ from .. import hooks as _hooks
 from ..analysis import BatchConfig, BatchResult, ScenarioSpec, run
 from ..analysis.batch import RunRecord
 from ..analysis.journal import encode_record
+from ..chaos.clock import Clock, resolve_clock
 from ..store.ledger import JobLedger
 from ..telemetry import TelemetryBus, encode_frame
 from ..telemetry.spool import spool_stats
@@ -242,6 +243,9 @@ class JobService:
             bus itself always exists — record/aggregate/status events
             are published for every dispatched job regardless — the
             flag only switches the (per-step, higher-volume) frames on.
+        clock: time source threaded into the attached ledger (``None``
+            = the real clock); the seam virtual-time tests and chaos
+            runs inject through.
     """
 
     def __init__(
@@ -258,6 +262,7 @@ class JobService:
         max_attempts: int = 3,
         dispatch: bool = True,
         telemetry: bool = False,
+        clock: "Clock | None" = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -282,8 +287,9 @@ class JobService:
         self.timeout = timeout
         self.job_budget = job_budget
         self.max_attempts = max_attempts
+        self.clock = resolve_clock(clock)
         self.ledger: JobLedger | None = (
-            JobLedger(ledger) if ledger is not None else None
+            JobLedger(ledger, clock=self.clock) if ledger is not None else None
         )
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
         self._backlog: "deque[Job]" = deque()  # recovered jobs, run first

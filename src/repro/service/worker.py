@@ -36,6 +36,7 @@ import traceback
 
 from .. import hooks as _hooks
 from ..analysis import BatchConfig, ScenarioSpec, run
+from ..chaos.clock import Clock, resolve_clock
 from ..store.ledger import JobLedger, ShardClaim
 from .errors import ErrorCode
 
@@ -72,6 +73,14 @@ class Worker:
             ``GET /v1/jobs/<id>/events``; observe-only, records are
             bit-identical either way.
         log: callable for one-line progress events (``None`` = silent).
+        clock: time source for lease bookkeeping (``None`` = the real
+            clock).  Virtual-time tests inject a
+            :class:`~repro.chaos.clock.VirtualClock`; chaos runs give
+            each worker a :class:`~repro.chaos.clock.SkewedClock`
+            (``repro worker`` reads ``REPRO_CHAOS_CLOCK_SKEW``), so
+            lease timestamps written by different workers disagree —
+            the attempt-token fence, not clock agreement, is what
+            keeps the ledger consistent.
     """
 
     def __init__(
@@ -87,6 +96,7 @@ class Worker:
         timeout: "float | None" = None,
         telemetry: bool = False,
         log=None,
+        clock: "Clock | None" = None,
     ) -> None:
         if lease <= 0:
             raise ValueError("lease must be positive")
@@ -94,7 +104,8 @@ class Worker:
             raise ValueError("poll must be positive")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
-        self.ledger = JobLedger(ledger)
+        self.clock = resolve_clock(clock)
+        self.ledger = JobLedger(ledger, clock=self.clock)
         self.store = str(store)
         self.worker_id = worker_id or default_worker_id()
         self.lease = lease

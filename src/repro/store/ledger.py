@@ -55,13 +55,14 @@ import json
 import os
 import re
 import sqlite3
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..analysis.scenarios import ScenarioSpec, canonical_spec_json
+from ..chaos import sqlio
+from ..chaos.clock import Clock, resolve_clock
 
 __all__ = [
     "LEDGER_VERSION",
@@ -236,26 +237,54 @@ class JobLedger:
     Args:
         path: the sqlite file (created, WAL-mode, on first use;
             version-1 files are migrated to the lease-capable layout).
+        clock: time source for lease arithmetic and row timestamps
+            (``None`` = the real clock).  The seam both de-races the
+            virtual-time tests and lets chaos runs skew each worker's
+            view of lease expiry.
     """
 
-    def __init__(self, path: "str | os.PathLike") -> None:
+    def __init__(
+        self, path: "str | os.PathLike", *, clock: "Clock | None" = None
+    ) -> None:
         self.path = Path(path)
-        self._init_db()
+        self._clock = resolve_clock(clock)
+        self._write(self._init_db)
 
     # -- connection management -----------------------------------------
     @contextmanager
-    def _connect(self):
-        """One short-lived connection per operation, committed and closed."""
+    def _connect(self, write: bool = False):
+        """One short-lived connection per operation, committed and closed.
+
+        Both ends are chaos fault points: ``connect`` may raise an
+        injected ``database is locked`` for any caller; the ``commit``
+        point (torn write / failed fsync, still inside the transaction
+        scope, so sqlite rolls back) only arms on ``write``
+        connections — those failure modes are writer phenomena, and
+        only writers run under :meth:`_write`'s bounded backoff.
+        """
+        sqlio.fault_point("ledger", "connect")
         conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
         try:
             with conn:
                 yield conn
+                if write:
+                    sqlio.fault_point("ledger", "commit")
         finally:
             conn.close()
 
+    def _write(self, op):
+        """Run a write op, retrying transient sqlite failures.
+
+        Safe by construction: every ledger write is either keyed
+        ``INSERT OR IGNORE``, token-fenced, or a status transition
+        guarded by its current status, so re-running a rolled-back
+        transaction cannot double-apply.
+        """
+        return sqlio.run_with_retry(op, clock=self._clock)
+
     def _init_db(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self._connect() as conn:
+        with self._connect(write=True) as conn:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta ("
@@ -319,7 +348,7 @@ class JobLedger:
         copied); unfinished jobs get a ``queued`` shard covering their
         full seed list, immediately claimable by the worker fabric.
         """
-        now = time.time()
+        now = self._clock.time()
         for job_id, seeds_json, status, error_code, error_message in (
             conn.execute(
                 "SELECT id, seeds, status, error_code, error_message"
@@ -371,9 +400,10 @@ class JobLedger:
         data = normalised.to_dict()
         seed_list = [int(s) for s in seeds]
         ranges = shard_seeds(seed_list, shards)
-        now = time.time()
-        try:
-            with self._connect() as conn:
+        now = self._clock.time()
+
+        def op() -> None:
+            with self._connect(write=True) as conn:
                 conn.execute(
                     "INSERT INTO jobs"
                     " (id, name, fingerprint, spec, seeds, status, attempts,"
@@ -398,6 +428,9 @@ class JobLedger:
                         for index, chunk in enumerate(ranges)
                     ],
                 )
+
+        try:
+            self._write(op)
         except sqlite3.IntegrityError as exc:
             raise ValueError(f"job id already in ledger: {job_id}") from exc
         entry = self.get(job_id)
@@ -406,12 +439,16 @@ class JobLedger:
 
     def remove(self, job_id: str) -> bool:
         """Delete a ledger row and its shards (submit rollback)."""
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.execute("DELETE FROM jobs WHERE id=?", (job_id,))
-            existed = conn.total_changes - before > 0
-            conn.execute("DELETE FROM shards WHERE job_id=?", (job_id,))
-            return existed
+
+        def op() -> bool:
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.execute("DELETE FROM jobs WHERE id=?", (job_id,))
+                existed = conn.total_changes - before > 0
+                conn.execute("DELETE FROM shards WHERE job_id=?", (job_id,))
+                return existed
+
+        return self._write(op)
 
     def set_status(
         self,
@@ -435,46 +472,50 @@ class JobLedger:
         """
         if status not in _STATUSES:
             raise ValueError(f"unknown job status: {status!r}")
-        now = time.time()
+        now = self._clock.time()
         sets = ["status=?", "updated_at=?", "error_code=?", "error_message=?"]
         params: list = [status, now, error_code, error_message]
         if attempts is not None:
             sets.append("attempts=?")
             params.append(int(attempts))
         params.append(job_id)
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.execute(
-                f"UPDATE jobs SET {', '.join(sets)} WHERE id=?", params
-            )
-            if conn.total_changes - before == 0:
-                raise KeyError(f"no such job in ledger: {job_id}")
-            if status in ("done", "failed"):
+
+        def op() -> None:
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
                 conn.execute(
-                    "UPDATE shards SET status=?, claimed_by=NULL,"
-                    " lease_expires=NULL, error_code=?, error_message=?,"
-                    " updated_at=? WHERE job_id=?"
-                    " AND status NOT IN ('done', 'failed')",
-                    (status, error_code, error_message, now, job_id),
+                    f"UPDATE jobs SET {', '.join(sets)} WHERE id=?", params
                 )
-            elif status == "queued":
-                conn.execute(
-                    "UPDATE shards SET status='queued', claimed_by=NULL,"
-                    " lease_expires=NULL, error_code=NULL,"
-                    " error_message=NULL, updated_at=? WHERE job_id=?"
-                    " AND status NOT IN ('done', 'failed')",
-                    (now, job_id),
-                )
-            elif status == "running":
-                # The in-process dispatcher owns the job: mark its
-                # queued shards running *without* a lease, which makes
-                # them invisible to claim_next (a NULL lease never
-                # counts as expired).
-                conn.execute(
-                    "UPDATE shards SET status='running', updated_at=?"
-                    " WHERE job_id=? AND status='queued'",
-                    (now, job_id),
-                )
+                if conn.total_changes - before == 0:
+                    raise KeyError(f"no such job in ledger: {job_id}")
+                if status in ("done", "failed"):
+                    conn.execute(
+                        "UPDATE shards SET status=?, claimed_by=NULL,"
+                        " lease_expires=NULL, error_code=?, error_message=?,"
+                        " updated_at=? WHERE job_id=?"
+                        " AND status NOT IN ('done', 'failed')",
+                        (status, error_code, error_message, now, job_id),
+                    )
+                elif status == "queued":
+                    conn.execute(
+                        "UPDATE shards SET status='queued', claimed_by=NULL,"
+                        " lease_expires=NULL, error_code=NULL,"
+                        " error_message=NULL, updated_at=? WHERE job_id=?"
+                        " AND status NOT IN ('done', 'failed')",
+                        (now, job_id),
+                    )
+                elif status == "running":
+                    # The in-process dispatcher owns the job: mark its
+                    # queued shards running *without* a lease, which makes
+                    # them invisible to claim_next (a NULL lease never
+                    # counts as expired).
+                    conn.execute(
+                        "UPDATE shards SET status='running', updated_at=?"
+                        " WHERE job_id=? AND status='queued'",
+                        (now, job_id),
+                    )
+
+        self._write(op)
 
     # -- the lease-based work queue -------------------------------------
     def claim_next(
@@ -500,37 +541,53 @@ class JobLedger:
         """
         if lease <= 0:
             raise ValueError("lease must be positive")
-        now = time.time()
-        with self._connect() as conn:
-            row = conn.execute(
-                "UPDATE shards SET status='running', attempts=attempts+1,"
-                " claimed_by=?, lease_expires=?, updated_at=?"
-                " WHERE (job_id, shard) = ("
-                "  SELECT s.job_id, s.shard FROM shards s"
-                "  JOIN jobs j ON j.id = s.job_id"
-                "  WHERE j.status IN ('queued', 'running')"
-                "   AND (s.status='queued'"
-                "        OR (s.status='running'"
-                "            AND s.lease_expires IS NOT NULL"
-                "            AND s.lease_expires <= ?))"
-                "   AND (? IS NULL OR s.attempts < ?)"
-                "  ORDER BY s.rowid LIMIT 1)"
-                " RETURNING job_id, shard, seeds, attempts, lease_expires",
-                (worker_id, now + lease, now, now, max_attempts, max_attempts),
-            ).fetchone()
-            if row is None:
-                return None
-            job_id, shard, seeds_json, attempts, lease_expires = row
-            conn.execute(
-                "UPDATE jobs SET status='running', error_code=NULL,"
-                " error_message=NULL, updated_at=?"
-                " WHERE id=? AND status='queued'",
-                (now, job_id),
-            )
-            name, fingerprint, spec_json = conn.execute(
-                "SELECT name, fingerprint, spec FROM jobs WHERE id=?",
-                (job_id,),
-            ).fetchone()
+
+        def op():
+            now = self._clock.time()
+            with self._connect(write=True) as conn:
+                row = conn.execute(
+                    "UPDATE shards SET status='running', attempts=attempts+1,"
+                    " claimed_by=?, lease_expires=?, updated_at=?"
+                    " WHERE (job_id, shard) = ("
+                    "  SELECT s.job_id, s.shard FROM shards s"
+                    "  JOIN jobs j ON j.id = s.job_id"
+                    "  WHERE j.status IN ('queued', 'running')"
+                    "   AND (s.status='queued'"
+                    "        OR (s.status='running'"
+                    "            AND s.lease_expires IS NOT NULL"
+                    "            AND s.lease_expires <= ?))"
+                    "   AND (? IS NULL OR s.attempts < ?)"
+                    "  ORDER BY s.rowid LIMIT 1)"
+                    " RETURNING job_id, shard, seeds, attempts, lease_expires",
+                    (
+                        worker_id,
+                        now + lease,
+                        now,
+                        now,
+                        max_attempts,
+                        max_attempts,
+                    ),
+                ).fetchone()
+                if row is None:
+                    return None
+                job_id, _shard, _seeds, _attempts, _expires = row
+                conn.execute(
+                    "UPDATE jobs SET status='running', error_code=NULL,"
+                    " error_message=NULL, updated_at=?"
+                    " WHERE id=? AND status='queued'",
+                    (now, job_id),
+                )
+                meta = conn.execute(
+                    "SELECT name, fingerprint, spec FROM jobs WHERE id=?",
+                    (job_id,),
+                ).fetchone()
+                return row, meta
+
+        result = self._write(op)
+        if result is None:
+            return None
+        (job_id, shard, seeds_json, attempts, lease_expires), meta = result
+        name, fingerprint, spec_json = meta
         return ShardClaim(
             job_id=job_id,
             shard=shard,
@@ -558,16 +615,19 @@ class JobLedger:
         expired, another worker bumped the attempt counter) gets
         ``False`` and must stop reporting about the shard.
         """
-        now = time.time()
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.execute(
-                "UPDATE shards SET lease_expires=?, updated_at=?"
-                " WHERE job_id=? AND shard=? AND claimed_by=? AND attempts=?"
-                " AND status='running'",
-                (now + lease, now, job_id, shard, worker_id, token),
-            )
-            return conn.total_changes - before > 0
+        def op() -> bool:
+            now = self._clock.time()
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.execute(
+                    "UPDATE shards SET lease_expires=?, updated_at=?"
+                    " WHERE job_id=? AND shard=? AND claimed_by=?"
+                    " AND attempts=? AND status='running'",
+                    (now + lease, now, job_id, shard, worker_id, token),
+                )
+                return conn.total_changes - before > 0
+
+        return self._write(op)
 
     def complete_shard(
         self, job_id: str, shard: int, worker_id: str, token: int
@@ -578,21 +638,24 @@ class JobLedger:
         goes ``done`` in the same transaction, so readers never observe
         an all-shards-done job still ``running``.
         """
-        now = time.time()
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.execute(
-                "UPDATE shards SET status='done', claimed_by=NULL,"
-                " lease_expires=NULL, error_code=NULL, error_message=NULL,"
-                " updated_at=?"
-                " WHERE job_id=? AND shard=? AND claimed_by=? AND attempts=?"
-                " AND status='running'",
-                (now, job_id, shard, worker_id, token),
-            )
-            if conn.total_changes - before == 0:
-                return False
-            self._refresh_job_status(conn, job_id, now)
-            return True
+        def op() -> bool:
+            now = self._clock.time()
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.execute(
+                    "UPDATE shards SET status='done', claimed_by=NULL,"
+                    " lease_expires=NULL, error_code=NULL, error_message=NULL,"
+                    " updated_at=?"
+                    " WHERE job_id=? AND shard=? AND claimed_by=?"
+                    " AND attempts=? AND status='running'",
+                    (now, job_id, shard, worker_id, token),
+                )
+                if conn.total_changes - before == 0:
+                    return False
+                self._refresh_job_status(conn, job_id, now)
+                return True
+
+        return self._write(op)
 
     def fail_shard(
         self,
@@ -613,22 +676,35 @@ class JobLedger:
         the parent job follows in the same transaction.
         """
         status = "queued" if requeue else "failed"
-        now = time.time()
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.execute(
-                "UPDATE shards SET status=?, claimed_by=NULL,"
-                " lease_expires=NULL, error_code=?, error_message=?,"
-                " updated_at=?"
-                " WHERE job_id=? AND shard=? AND claimed_by=? AND attempts=?"
-                " AND status='running'",
-                (status, code, message, now, job_id, shard, worker_id, token),
-            )
-            if conn.total_changes - before == 0:
-                return False
-            if not requeue:
-                self._refresh_job_status(conn, job_id, now)
-            return True
+
+        def op() -> bool:
+            now = self._clock.time()
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.execute(
+                    "UPDATE shards SET status=?, claimed_by=NULL,"
+                    " lease_expires=NULL, error_code=?, error_message=?,"
+                    " updated_at=?"
+                    " WHERE job_id=? AND shard=? AND claimed_by=?"
+                    " AND attempts=? AND status='running'",
+                    (
+                        status,
+                        code,
+                        message,
+                        now,
+                        job_id,
+                        shard,
+                        worker_id,
+                        token,
+                    ),
+                )
+                if conn.total_changes - before == 0:
+                    return False
+                if not requeue:
+                    self._refresh_job_status(conn, job_id, now)
+                return True
+
+        return self._write(op)
 
     def expire_stale(self, *, max_attempts: "int | None" = None) -> tuple[int, int]:
         """Reap dead leases; returns ``(requeued, failed)`` shard counts.
@@ -640,47 +716,55 @@ class JobLedger:
         ``attempts-exhausted`` taxonomy code, failing their job.
         Workers call this before claiming; any process may.
         """
-        now = time.time()
-        requeued = failed = 0
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.execute(
-                "UPDATE shards SET status='queued', claimed_by=NULL,"
-                " lease_expires=NULL, updated_at=?"
-                " WHERE status='running' AND lease_expires IS NOT NULL"
-                " AND lease_expires <= ?"
-                + (" AND attempts < ?" if max_attempts is not None else ""),
-                (now, now, max_attempts)
-                if max_attempts is not None
-                else (now, now),
-            )
-            requeued = conn.total_changes - before
-            if max_attempts is not None:
-                rows = conn.execute(
-                    "SELECT job_id, shard FROM shards"
-                    " WHERE attempts >= ?"
-                    " AND (status='queued'"
-                    "      OR (status='running'"
-                    "          AND lease_expires IS NOT NULL"
-                    "          AND lease_expires <= ?))",
-                    (max_attempts, now),
-                ).fetchall()
-                for job_id, shard in rows:
-                    conn.execute(
-                        "UPDATE shards SET status='failed', claimed_by=NULL,"
-                        " lease_expires=NULL, error_code=?, error_message=?,"
-                        " updated_at=? WHERE job_id=? AND shard=?",
-                        (
-                            "attempts-exhausted",
-                            f"gave up after {max_attempts} lease(s)",
-                            now,
-                            job_id,
-                            shard,
-                        ),
-                    )
-                    self._refresh_job_status(conn, job_id, now)
-                failed = len(rows)
-        return requeued, failed
+        def op() -> tuple[int, int]:
+            now = self._clock.time()
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.execute(
+                    "UPDATE shards SET status='queued', claimed_by=NULL,"
+                    " lease_expires=NULL, updated_at=?"
+                    " WHERE status='running' AND lease_expires IS NOT NULL"
+                    " AND lease_expires <= ?"
+                    + (
+                        " AND attempts < ?"
+                        if max_attempts is not None
+                        else ""
+                    ),
+                    (now, now, max_attempts)
+                    if max_attempts is not None
+                    else (now, now),
+                )
+                requeued = conn.total_changes - before
+                failed = 0
+                if max_attempts is not None:
+                    rows = conn.execute(
+                        "SELECT job_id, shard FROM shards"
+                        " WHERE attempts >= ?"
+                        " AND (status='queued'"
+                        "      OR (status='running'"
+                        "          AND lease_expires IS NOT NULL"
+                        "          AND lease_expires <= ?))",
+                        (max_attempts, now),
+                    ).fetchall()
+                    for job_id, shard in rows:
+                        conn.execute(
+                            "UPDATE shards SET status='failed',"
+                            " claimed_by=NULL, lease_expires=NULL,"
+                            " error_code=?, error_message=?, updated_at=?"
+                            " WHERE job_id=? AND shard=?",
+                            (
+                                "attempts-exhausted",
+                                f"gave up after {max_attempts} lease(s)",
+                                now,
+                                job_id,
+                                shard,
+                            ),
+                        )
+                        self._refresh_job_status(conn, job_id, now)
+                    failed = len(rows)
+                return requeued, failed
+
+        return self._write(op)
 
     def _refresh_job_status(
         self, conn: sqlite3.Connection, job_id: str, now: float
@@ -770,7 +854,7 @@ class JobLedger:
                 " WHERE status='running' AND claimed_by IS NOT NULL"
                 " AND lease_expires IS NOT NULL AND lease_expires > ?"
                 " ORDER BY claimed_by",
-                (time.time(),),
+                (self._clock.time(),),
             ).fetchall()
         return [row[0] for row in rows]
 

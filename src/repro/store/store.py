@@ -52,6 +52,8 @@ from typing import Iterable, Sequence
 from ..analysis.batch import BatchResult, RunRecord
 from ..analysis.journal import JOURNAL_VERSION, decode_record, encode_record
 from ..analysis.scenarios import ScenarioSpec, canonical_spec_json, spec_fingerprint
+from ..chaos import sqlio
+from ..chaos.clock import Clock, resolve_clock
 from ..telemetry.frames import FRAME_SCHEMA_VERSION
 
 __all__ = [
@@ -108,31 +110,56 @@ class ExperimentStore:
 
     Args:
         path: the sqlite file (created, WAL-mode, on first use).
+        clock: time source for the writers' retry backoff (``None`` =
+            the real clock; tests inject a virtual one).
     """
 
-    def __init__(self, path: "str | os.PathLike") -> None:
+    def __init__(
+        self, path: "str | os.PathLike", *, clock: "Clock | None" = None
+    ) -> None:
         self.path = Path(path)
-        self._init_db()
+        self._clock = resolve_clock(clock)
+        self._write(self._init_db)
 
     # -- connection management -----------------------------------------
     @contextmanager
-    def _connect(self):
+    def _connect(self, write: bool = False):
         """One short-lived connection per operation, committed and closed.
 
         ``sqlite3``'s own context manager only scopes the transaction;
         closing explicitly keeps the per-operation discipline honest
         (no handle survives into a forked worker or another thread).
+        Both ends are chaos fault points (see :mod:`repro.chaos.sqlio`):
+        ``connect`` may raise an injected ``database is locked`` for
+        any caller; the ``commit`` point (torn write / failed fsync —
+        still inside the transaction scope, so sqlite rolls back and
+        the operation can be retried whole) only arms on ``write``
+        connections, because those failure modes are writer phenomena
+        and only writers run under the retry wrapper.
         """
+        sqlio.fault_point("store", "connect")
         conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S)
         try:
             with conn:
                 yield conn
+                if write:
+                    sqlio.fault_point("store", "commit")
         finally:
             conn.close()
 
+    def _write(self, op):
+        """Run a write op, retrying transient sqlite failures.
+
+        Every store write is ``INSERT OR IGNORE`` on a content-derived
+        key, so re-running a rolled-back transaction is idempotent by
+        construction — a transient ``database is locked`` degrades to
+        a short backoff instead of killing the writer's shard.
+        """
+        return sqlio.run_with_retry(op, clock=self._clock)
+
     def _init_db(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self._connect() as conn:
+        with self._connect(write=True) as conn:
             # WAL is a persistent database property: set once, every
             # later connection (any process) inherits it.
             conn.execute("PRAGMA journal_mode=WAL")
@@ -199,12 +226,16 @@ class ExperimentStore:
             normalised = ScenarioSpec.from_dict(spec)
             data, name = normalised.to_dict(), normalised.name
         fingerprint = _fingerprint_of(data)
-        with self._connect() as conn:
-            conn.execute(
-                "INSERT OR IGNORE INTO scenarios(fingerprint, name, spec) "
-                "VALUES (?, ?, ?)",
-                (fingerprint, name, canonical_spec_json(data)),
-            )
+
+        def op() -> None:
+            with self._connect(write=True) as conn:
+                conn.execute(
+                    "INSERT OR IGNORE INTO scenarios(fingerprint, name, spec)"
+                    " VALUES (?, ?, ?)",
+                    (fingerprint, name, canonical_spec_json(data)),
+                )
+
+        self._write(op)
         return fingerprint
 
     def put(self, spec: "ScenarioSpec | dict | str", record: RunRecord) -> bool:
@@ -241,15 +272,19 @@ class ExperimentStore:
             )
             for record in records
         ]
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.executemany(
-                "INSERT OR IGNORE INTO runs"
-                " (fingerprint, seed, schema, formed, terminated, reason,"
-                "  payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                rows,
-            )
-            return conn.total_changes - before
+
+        def op() -> int:
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.executemany(
+                    "INSERT OR IGNORE INTO runs"
+                    " (fingerprint, seed, schema, formed, terminated, reason,"
+                    "  payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                return conn.total_changes - before
+
+        return self._write(op)
 
     # -- frame spool ----------------------------------------------------
     def put_frames(
@@ -275,15 +310,19 @@ class ExperimentStore:
             (fingerprint, int(seed), int(version), start_idx + offset, payload)
             for offset, payload in enumerate(payloads)
         ]
-        with self._connect() as conn:
-            before = conn.total_changes
-            conn.executemany(
-                "INSERT OR IGNORE INTO frames"
-                " (fingerprint, seed, version, idx, payload)"
-                " VALUES (?, ?, ?, ?, ?)",
-                rows,
-            )
-            return conn.total_changes - before
+
+        def op() -> int:
+            with self._connect(write=True) as conn:
+                before = conn.total_changes
+                conn.executemany(
+                    "INSERT OR IGNORE INTO frames"
+                    " (fingerprint, seed, version, idx, payload)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    rows,
+                )
+                return conn.total_changes - before
+
+        return self._write(op)
 
     def frames(
         self,
@@ -480,16 +519,19 @@ class ExperimentStore:
                     f"journal {path} metadata carries neither a spec "
                     "nor a fingerprint"
                 )
-            with self._connect() as conn:
-                conn.execute(
-                    "INSERT OR IGNORE INTO scenarios(fingerprint, name, spec)"
-                    " VALUES (?, ?, ?)",
-                    (
-                        fingerprint,
-                        state.meta.get("scenario", "imported"),
-                        json.dumps(None),
-                    ),
-                )
+            def op() -> None:
+                with self._connect(write=True) as conn:
+                    conn.execute(
+                        "INSERT OR IGNORE INTO scenarios"
+                        " (fingerprint, name, spec) VALUES (?, ?, ?)",
+                        (
+                            fingerprint,
+                            state.meta.get("scenario", "imported"),
+                            json.dumps(None),
+                        ),
+                    )
+
+            self._write(op)
         records = [state.records[s] for s in sorted(state.records)]
         added = self.put_many(fingerprint, records)
         return added, len(records)

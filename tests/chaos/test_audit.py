@@ -1,0 +1,156 @@
+"""The invariant auditor: passes on clean state, catches each corruption."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.analysis import BatchConfig, ScenarioSpec, run
+from repro.chaos.audit import audit_run
+from repro.store import ExperimentStore, JobLedger
+
+from ..service.conftest import small_spec
+
+SEEDS = [1, 2, 3]
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    """Two independent runs of the same workload — necessarily identical."""
+    root = tmp_path_factory.mktemp("audit")
+    spec = ScenarioSpec.from_dict(small_spec(max_steps=2_000))
+    for name in ("ref.sqlite", "chaos.sqlite"):
+        run(spec, SEEDS, BatchConfig(workers=1, store=root / name))
+    return root, spec.fingerprint()
+
+
+def _named(report, name):
+    return next(c for c in report.checks if c.name == name)
+
+
+class TestCleanState:
+    def test_identical_stores_pass(self, stores):
+        root, fingerprint = stores
+        report = audit_run(
+            store=str(root / "chaos.sqlite"),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+        )
+        assert report.ok
+        assert report.failures() == []
+        assert "PASS" in report.summary()
+
+    def test_ledger_terminal_consistency(self, stores, tmp_path):
+        root, fingerprint = stores
+        ledger = JobLedger(tmp_path / "l.sqlite")
+        ledger.append("j1", small_spec(), [1, 2], shards=2)
+        for worker in ("w1", "w2"):
+            claim = ledger.claim_next(worker)
+            ledger.complete_shard(claim.job_id, claim.shard, worker, claim.token)
+        report = audit_run(
+            store=str(root / "chaos.sqlite"),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+            ledger=ledger,
+            job_id="j1",
+        )
+        assert _named(report, "ledger-terminal").ok
+
+
+class TestDetection:
+    def test_missing_record_fails_byte_identity(self, stores):
+        root, fingerprint = stores
+        report = audit_run(
+            store=str(root / "chaos.sqlite"),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS + [99],  # seed 99 was never run
+        )
+        check = _named(report, "store-byte-identity")
+        assert not check.ok
+        assert "99" in check.detail
+
+    def test_tampered_record_fails_byte_identity(self, stores, tmp_path):
+        root, fingerprint = stores
+        tampered = tmp_path / "tampered.sqlite"
+        tampered.write_bytes((root / "chaos.sqlite").read_bytes())
+        with sqlite3.connect(tampered) as conn:
+            (payload,) = conn.execute(
+                "SELECT payload FROM runs WHERE seed = 2"
+            ).fetchone()
+            doc = json.loads(payload)
+            doc["steps"] = doc["steps"] + 1  # one field, one step off
+            conn.execute(
+                "UPDATE runs SET payload = ? WHERE seed = 2",
+                (json.dumps(doc),),
+            )
+        report = audit_run(
+            store=str(tampered),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+        )
+        assert not _named(report, "store-byte-identity").ok
+
+    def test_frame_spool_gap_fails_double_write_check(self, stores, tmp_path):
+        root, fingerprint = stores
+        store_path = tmp_path / "gappy.sqlite"
+        store_path.write_bytes((root / "chaos.sqlite").read_bytes())
+        with sqlite3.connect(store_path) as conn:
+            conn.execute(
+                "INSERT INTO frames (fingerprint, seed, version, idx, payload)"
+                " VALUES (?, 1, 1, 5, '{}')",  # idx 5 with no 0..4: a gap
+                (fingerprint,),
+            )
+        report = audit_run(
+            store=str(store_path),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+        )
+        check = _named(report, "no-double-writes")
+        assert not check.ok
+        assert "contiguous" in check.detail
+
+    def test_non_terminal_ledger_fails(self, stores, tmp_path):
+        root, fingerprint = stores
+        ledger = JobLedger(tmp_path / "l.sqlite")
+        ledger.append("j1", small_spec(), [1], shards=1)
+        ledger.claim_next("w1")  # running, never completed
+        report = audit_run(
+            store=str(root / "chaos.sqlite"),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+            ledger=ledger,
+            job_id="j1",
+        )
+        check = _named(report, "ledger-terminal")
+        assert not check.ok
+        assert "not terminal" in check.detail
+
+    def test_replay_divergence_detected(self, stores):
+        root, fingerprint = stores
+        report = audit_run(
+            store=str(root / "chaos.sqlite"),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+            live_frames={1: ["a", "b"]},
+            replay_frames={1: ["a"]},  # replay lost a frame
+        )
+        assert not _named(report, "sse-replay-byte-equal").ok
+
+    def test_replay_equality_passes(self, stores):
+        root, fingerprint = stores
+        report = audit_run(
+            store=str(root / "chaos.sqlite"),
+            reference=str(root / "ref.sqlite"),
+            fingerprint=fingerprint,
+            seeds=SEEDS,
+            live_frames={1: ["a", "b"], 2: ["c"]},
+            replay_frames={1: ["a", "b"], 2: ["c"]},
+        )
+        assert _named(report, "sse-replay-byte-equal").ok

@@ -1,0 +1,93 @@
+"""The clock seam: virtual time, skew, env propagation, resolution."""
+
+import time
+
+import pytest
+
+from repro.chaos.clock import (
+    SKEW_ENV,
+    SYSTEM_CLOCK,
+    SkewedClock,
+    SystemClock,
+    VirtualClock,
+    clock_from_env,
+    resolve_clock,
+)
+
+
+class TestVirtualClock:
+    def test_starts_where_told_and_advances_on_demand(self):
+        clock = VirtualClock(100.0)
+        assert clock.time() == 100.0
+        assert clock.monotonic() == 100.0
+        clock.advance(2.5)
+        assert clock.time() == 102.5
+
+    def test_sleep_advances_instantly_and_is_recorded(self):
+        clock = VirtualClock()
+        started = time.monotonic()
+        clock.sleep(0.5)
+        clock.sleep(1.5)
+        assert time.monotonic() - started < 0.25  # no real waiting
+        assert clock.sleeps == [0.5, 1.5]
+        assert clock.time() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_negative_sleep_does_not_rewind(self):
+        clock = VirtualClock(10.0)
+        clock.sleep(-5.0)
+        assert clock.time() == 10.0
+
+
+class TestSkewedClock:
+    def test_constant_offset_shifts_both_domains(self):
+        base = VirtualClock(1000.0)
+        skewed = SkewedClock(base, offset=-3.0)
+        assert skewed.time() == 997.0
+        assert skewed.monotonic() == 997.0
+        base.advance(10.0)
+        assert skewed.time() == 1007.0
+
+    def test_drift_accumulates_from_the_anchor(self):
+        base = VirtualClock(0.0)
+        skewed = SkewedClock(base, offset=1.0, drift=0.1)
+        assert skewed.time() == pytest.approx(1.0)  # anchor: no drift yet
+        base.advance(10.0)
+        assert skewed.time() == pytest.approx(10.0 + 1.0 + 1.0)
+
+    def test_sleep_passes_through_to_the_base(self):
+        base = VirtualClock()
+        SkewedClock(base, offset=100.0).sleep(2.0)
+        assert base.sleeps == [2.0]  # skew warps belief, not speed
+
+
+class TestResolution:
+    def test_none_resolves_to_the_system_singleton(self):
+        assert resolve_clock(None) is SYSTEM_CLOCK
+        clock = VirtualClock()
+        assert resolve_clock(clock) is clock
+
+    def test_system_clock_tracks_the_time_module(self):
+        assert abs(SystemClock().time() - time.time()) < 1.0
+
+
+class TestClockFromEnv:
+    def test_unset_yields_the_base_unchanged(self, monkeypatch):
+        monkeypatch.delenv(SKEW_ENV, raising=False)
+        base = VirtualClock(5.0)
+        assert clock_from_env(base) is base
+
+    def test_zero_skew_yields_the_base_unchanged(self, monkeypatch):
+        monkeypatch.setenv(SKEW_ENV, "0.0")
+        base = VirtualClock(5.0)
+        assert clock_from_env(base) is base
+
+    def test_nonzero_skew_wraps_in_a_skewed_clock(self, monkeypatch):
+        monkeypatch.setenv(SKEW_ENV, "-2.5")
+        base = VirtualClock(10.0)
+        clock = clock_from_env(base)
+        assert isinstance(clock, SkewedClock)
+        assert clock.time() == 7.5

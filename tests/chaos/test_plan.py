@@ -1,0 +1,117 @@
+"""ChaosPlan: validation, spec round-trips, seeded bind determinism."""
+
+import pytest
+
+from repro.chaos.plan import (
+    PRESETS,
+    ChaosPlan,
+    ClockChaos,
+    NetChaos,
+    ProcChaos,
+    preset,
+)
+from repro.chaos.sqlio import SqliteFaults
+
+
+class TestValidation:
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError):
+            NetChaos(p_drop=1.5)
+        with pytest.raises(ValueError):
+            NetChaos(p_drop=0.6, p_delay=0.6)  # sum > 1
+        with pytest.raises(ValueError):
+            SqliteFaults(p_lock=-0.1)
+
+    def test_proc_chaos_window_ordering(self):
+        with pytest.raises(ValueError):
+            ProcChaos(kills=1, min_delay=5.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            ProcChaos(kills=-1)
+
+    def test_clock_chaos_skew_nonnegative(self):
+        with pytest.raises(ValueError):
+            ClockChaos(max_skew=-1.0)
+
+
+class TestSpecRoundTrip:
+    def test_full_plan_round_trips(self):
+        plan = preset("heavy", seed=99, salt="rt")
+        rebuilt = ChaosPlan.from_spec(plan.to_spec())
+        assert rebuilt == plan
+        assert rebuilt.to_spec() == plan.to_spec()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ChaosPlan.from_spec({"seed": 1, "typo": True})
+
+    def test_presets_all_build(self):
+        for name in PRESETS:
+            plan = preset(name, seed=1)
+            assert isinstance(plan, ChaosPlan)
+            plan.bind(2)  # every preset must be bindable
+
+
+class TestBindDeterminism:
+    def test_same_seed_same_schedule(self):
+        """The acceptance property: one seed, one fault schedule —
+        bind() twice (or in two processes) and every arm agrees."""
+        plan = preset("medium", seed=7, salt="det")
+        a, b = plan.bind(4), plan.bind(4)
+        assert a == b
+        assert a.skews == b.skews
+        assert a.signals == b.signals
+        assert a.sqlite == b.sqlite
+        assert a.net_seed == b.net_seed
+
+    def test_different_seed_different_schedule(self):
+        base = preset("medium", seed=7)
+        other = preset("medium", seed=8)
+        assert base.bind(4) != other.bind(4)
+
+    def test_arms_draw_independent_streams(self):
+        """Disabling one arm must not change another arm's draws —
+        each arm has its own salted RNG stream."""
+        full = preset("medium", seed=3)
+        no_net = ChaosPlan(
+            seed=3,
+            salt=full.salt,
+            clock=full.clock,
+            sqlite=full.sqlite,
+            procs=full.procs,
+            net=None,
+        )
+        assert full.bind(3).skews == no_net.bind(3).skews
+        assert full.bind(3).signals == no_net.bind(3).signals
+
+    def test_signals_sorted_and_in_window(self):
+        plan = ChaosPlan(
+            seed=11,
+            procs=ProcChaos(
+                kills=3, stops=2, min_delay=1.0, max_delay=4.0,
+                stop_duration=0.5,
+            ),
+        )
+        bound = plan.bind(5)
+        ats = [event.at for event in bound.signals]
+        assert ats == sorted(ats)
+        assert all(1.0 <= at <= 4.0 for at in ats)
+        assert sum(e.action == "kill" for e in bound.signals) == 3
+        assert sum(e.action == "stop" for e in bound.signals) == 2
+        assert all(
+            e.resume_after == 0.5
+            for e in bound.signals
+            if e.action == "stop"
+        )
+
+    def test_skews_bounded_by_max_skew(self):
+        plan = ChaosPlan(seed=5, clock=ClockChaos(max_skew=2.0))
+        bound = plan.bind(8)
+        assert len(bound.skews) == 8
+        assert all(abs(skew) <= 2.0 for skew in bound.skews)
+        assert any(skew != 0.0 for skew in bound.skews)
+
+    def test_no_clock_arm_means_zero_skews(self):
+        bound = ChaosPlan(seed=5).bind(3)
+        assert bound.skews == (0.0, 0.0, 0.0)
+        assert bound.signals == ()
+        assert bound.sqlite is None

@@ -1,0 +1,175 @@
+"""Sqlite fault injection and the writers' bounded-retry discipline.
+
+Includes the regression the chaos PR exists to pin: JobLedger and
+ExperimentStore writers must absorb transient ``database is locked``
+bursts (and torn writes) with bounded backoff instead of propagating,
+and must still give up on persistent failure.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.chaos.clock import VirtualClock
+from repro.chaos.sqlio import (
+    FAULTS_ENV,
+    SqliteFaultInjector,
+    SqliteFaults,
+    TornWrite,
+    install_injector,
+    is_transient,
+    reset_sqlio_stats,
+    run_with_retry,
+    sqlio_stats,
+    uninstall_injector,
+)
+from repro.store import ExperimentStore, JobLedger
+
+from ..service.conftest import small_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Every test starts and ends with injection disarmed."""
+    uninstall_injector()
+    reset_sqlio_stats()
+    yield
+    uninstall_injector()
+    reset_sqlio_stats()
+
+
+class TestInjector:
+    def test_draw_sequence_is_seeded(self):
+        a = SqliteFaultInjector(SqliteFaults(seed=5, p_lock=0.5))
+        b = SqliteFaultInjector(SqliteFaults(seed=5, p_lock=0.5))
+        seq_a = [a.draw("store", "connect") for _ in range(30)]
+        seq_b = [b.draw("store", "connect") for _ in range(30)]
+        assert seq_a == seq_b
+        assert "lock" in seq_a
+
+    def test_limit_bounds_the_burst(self):
+        injector = SqliteFaultInjector(
+            SqliteFaults(seed=1, p_lock=1.0, limit=3)
+        )
+        kinds = [injector.draw("ledger", "connect") for _ in range(10)]
+        assert kinds.count("lock") == 3
+        assert all(k is None for k in kinds[3:])
+
+    def test_commit_phase_partitions_torn_and_disk(self):
+        injector = SqliteFaultInjector(
+            SqliteFaults(seed=2, p_torn=0.5, p_disk=0.5)
+        )
+        kinds = {injector.draw("store", "commit") for _ in range(50)}
+        assert kinds == {"torn", "disk"}
+
+    def test_env_round_trip_arms_lazily(self, monkeypatch):
+        faults = SqliteFaults(seed=9, p_lock=1.0, limit=2)
+        monkeypatch.setenv(FAULTS_ENV, faults.to_env())
+        uninstall_injector()  # forget the autouse fixture's explicit arm
+        from repro.chaos.sqlio import active_injector
+
+        injector = active_injector()
+        assert injector is not None
+        assert injector.faults == faults
+
+    def test_explicit_install_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(
+            FAULTS_ENV, SqliteFaults(seed=1, p_lock=1.0).to_env()
+        )
+        install_injector(None)  # explicit disarm wins
+        from repro.chaos.sqlio import active_injector
+
+        assert active_injector() is None
+
+
+class TestTransience:
+    def test_markers(self):
+        assert is_transient(sqlite3.OperationalError("database is locked"))
+        assert is_transient(sqlite3.OperationalError("disk I/O error"))
+        assert is_transient(TornWrite("chaos"))
+        assert not is_transient(sqlite3.OperationalError("no such table: x"))
+        assert not is_transient(ValueError("database is locked"))
+
+
+class TestRunWithRetry:
+    def test_backoff_schedule_is_deterministic(self):
+        clock = VirtualClock()
+        calls = []
+
+        def op():
+            calls.append(1)
+            if len(calls) < 4:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert run_with_retry(op, clock=clock, backoff=0.05, cap=0.5) == "ok"
+        assert clock.sleeps == [0.05, 0.1, 0.2]
+
+    def test_gives_up_after_attempts_and_counts_it(self):
+        clock = VirtualClock()
+
+        def op():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            run_with_retry(op, clock=clock, attempts=3)
+        assert len(clock.sleeps) == 2  # attempts-1 backoffs
+        assert sqlio_stats()["giveups"] == 1
+
+    def test_non_transient_propagates_immediately(self):
+        clock = VirtualClock()
+
+        def op():
+            raise sqlite3.OperationalError("no such table: runs")
+
+        with pytest.raises(sqlite3.OperationalError):
+            run_with_retry(op, clock=clock)
+        assert clock.sleeps == []
+
+
+class TestWriterRetryRegression:
+    """The satellite: real writers under an injected lock burst."""
+
+    def test_ledger_append_and_claim_survive_lock_burst(self, tmp_path):
+        clock = VirtualClock(1000.0)
+        ledger = JobLedger(tmp_path / "l.sqlite", clock=clock)
+        install_injector(SqliteFaults(seed=3, p_lock=0.6, limit=4))
+        ledger.append("j1", small_spec(), [1, 2], shards=2)
+        claim = ledger.claim_next("w1")
+        assert claim is not None
+        assert ledger.complete_shard(
+            claim.job_id, claim.shard, "w1", claim.token
+        )
+        stats = sqlio_stats()
+        assert stats["injected_lock"] >= 1  # the burst actually fired
+        assert stats["retries"] >= stats["injected_lock"]
+        assert stats["giveups"] == 0  # ...and was fully absorbed
+
+    def test_store_register_survives_torn_write_burst(self, tmp_path):
+        clock = VirtualClock(1000.0)
+        store = ExperimentStore(tmp_path / "s.sqlite", clock=clock)
+        install_injector(SqliteFaults(seed=7, p_torn=0.6, limit=4))
+        fingerprint = store.register(small_spec())
+        assert store.scenario(fingerprint) is not None
+        stats = sqlio_stats()
+        assert stats["injected_torn"] >= 1
+        assert stats["giveups"] == 0
+
+    def test_rolled_back_write_leaves_no_partial_rows(self, tmp_path):
+        """A torn write must be all-or-nothing: after the retries
+        succeed there is exactly one scenario row, never a partial."""
+        store = ExperimentStore(tmp_path / "s.sqlite", clock=VirtualClock())
+        install_injector(SqliteFaults(seed=11, p_torn=0.5, limit=6))
+        store.register(small_spec())
+        uninstall_injector()
+        assert len(store.scenarios()) == 1
+
+    def test_persistent_lock_eventually_propagates(self, tmp_path):
+        clock = VirtualClock()
+        ledger = JobLedger(tmp_path / "l.sqlite", clock=clock)
+        # Unbounded burst: every attempt fails, the writer must give
+        # up with the original error rather than loop forever.
+        install_injector(SqliteFaults(seed=1, p_lock=1.0))
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            ledger.append("j1", small_spec(), [1])
+        assert sqlio_stats()["giveups"] >= 1

@@ -4,7 +4,21 @@ import threading
 
 import pytest
 
+from repro.chaos.clock import VirtualClock
 from repro.service import JobService, make_server
+
+
+@pytest.fixture
+def virtual_clock():
+    """A shared manual-advance clock for de-raced timing tests.
+
+    Components built with ``clock=virtual_clock`` never touch the wall
+    clock: leases expire, backoffs elapse and breakers reset only when
+    the test calls ``advance()`` — so no amount of CPU contention can
+    race the assertions.  Starts at a nonzero epoch so ``time() == 0``
+    never masquerades as "unset".
+    """
+    return VirtualClock(1_000_000.0)
 
 
 @pytest.fixture

@@ -245,45 +245,23 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
 
 
-class _FakeTime:
-    """Deterministic stand-in for the client module's ``time``.
-
-    ``sleep`` records the request and advances the clock by exactly
-    that much, so backoff/cooldown behaviour is pinned without real
-    waiting (or real-clock flakiness).
-    """
-
-    def __init__(self):
-        self.now = 0.0
-        self.sleeps = []
-
-    def monotonic(self):
-        return self.now
-
-    def sleep(self, seconds):
-        self.sleeps.append(seconds)
-        self.now += seconds
-
-    def advance(self, seconds):
-        self.now += seconds
-
-
-@pytest.fixture
-def fake_time(monkeypatch):
-    fake = _FakeTime()
-    monkeypatch.setattr("repro.service.client.time", fake)
-    return fake
+# The old ``_FakeTime`` monkeypatch of the client module's ``time``
+# import is gone: the clock seam (repro.chaos.clock) made time an
+# injected dependency, so these tests hand the shared ``virtual_clock``
+# fixture (tests/service/conftest.py) straight to the constructors.
 
 
 class TestBreakerHalfOpen:
-    def test_failed_trial_reopens_for_a_full_cooldown(self, fake_time):
+    def test_failed_trial_reopens_for_a_full_cooldown(self, virtual_clock):
         """The half-open probe failing must buy the server another whole
         ``reset_after`` of quiet, not fall through to a closed breaker."""
-        breaker = CircuitBreaker(failure_threshold=1, reset_after=30.0)
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=30.0, clock=virtual_clock
+        )
         breaker.record_failure()  # trip at t=0
         assert breaker.open
 
-        fake_time.advance(31.0)
+        virtual_clock.advance(31.0)
         breaker.before_call()  # the one half-open trial is admitted
         breaker.record_failure()  # ...and the probe fails
 
@@ -293,34 +271,38 @@ class TestBreakerHalfOpen:
             breaker.before_call()
         assert excinfo.value.retry_in == pytest.approx(30.0, abs=0.2)
 
-        fake_time.advance(15.0)
+        virtual_clock.advance(15.0)
         with pytest.raises(CircuitOpen) as excinfo:
             breaker.before_call()
         assert excinfo.value.retry_in == pytest.approx(15.0, abs=0.2)
 
         # A successful probe after the second cooldown closes it.
-        fake_time.advance(16.0)
+        virtual_clock.advance(16.0)
         breaker.before_call()
         breaker.record_success()
         assert not breaker.open
         assert breaker.failures == 0
 
-    def test_half_open_admits_exactly_one_caller(self, fake_time):
+    def test_half_open_admits_exactly_one_caller(self, virtual_clock):
         """The sliding window: once the cooldown elapses, the first
         caller through becomes the probe and everyone else keeps
         failing fast — no thundering herd onto a struggling server."""
-        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=10.0, clock=virtual_clock
+        )
         breaker.record_failure()
-        fake_time.advance(11.0)
+        virtual_clock.advance(11.0)
 
         breaker.before_call()  # the probe slot
         with pytest.raises(CircuitOpen):
             breaker.before_call()  # immediately re-blocked
 
-    def test_half_open_no_stampede_under_concurrency(self, fake_time):
-        breaker = CircuitBreaker(failure_threshold=1, reset_after=10.0)
+    def test_half_open_no_stampede_under_concurrency(self, virtual_clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after=10.0, clock=virtual_clock
+        )
         breaker.record_failure()
-        fake_time.advance(11.0)
+        virtual_clock.advance(11.0)
 
         admitted, rejected = [], []
         barrier = threading.Barrier(8)
@@ -355,26 +337,31 @@ class TestWaitDeadlineClamp:
             return {"id": "j1", "status": "running", "done": 0, "total": 1}
 
     def test_final_sleep_is_clamped_to_the_remaining_deadline(
-        self, fake_time
+        self, virtual_clock
     ):
         """wait() never sleeps past its own deadline: the last backoff
         interval is truncated to exactly the time left, so the timeout
         fires at ``timeout`` — not at ``timeout + poll_cap``."""
-        client = self._AlwaysRunning(policy=RetryPolicy(jitter=0.0, seed=1))
+        started = virtual_clock.monotonic()
+        client = self._AlwaysRunning(
+            policy=RetryPolicy(jitter=0.0, seed=1), clock=virtual_clock
+        )
         with pytest.raises(JobTimeout) as excinfo:
             client.wait("j1", timeout=1.0, poll=0.4, poll_cap=10.0)
         # Doubling schedule 0.4, 0.8, ... but the second sleep is
         # clamped to the 0.6 s remaining; then the deadline check trips.
-        assert fake_time.sleeps == [0.4, pytest.approx(0.6)]
-        assert fake_time.now == pytest.approx(1.0)
+        assert virtual_clock.sleeps == [0.4, pytest.approx(0.6)]
+        assert virtual_clock.monotonic() - started == pytest.approx(1.0)
         assert client.polls == 3
         assert excinfo.value.last_status == "running"
 
-    def test_zero_remaining_never_sleeps_negative(self, fake_time):
-        client = self._AlwaysRunning(policy=RetryPolicy(jitter=0.0, seed=1))
+    def test_zero_remaining_never_sleeps_negative(self, virtual_clock):
+        client = self._AlwaysRunning(
+            policy=RetryPolicy(jitter=0.0, seed=1), clock=virtual_clock
+        )
         with pytest.raises(JobTimeout):
             client.wait("j1", timeout=0.0, poll=0.5, poll_cap=1.0)
-        assert fake_time.sleeps == []  # deadline already passed: no sleep
+        assert virtual_clock.sleeps == []  # deadline passed: no sleep
         assert client.polls == 1  # but the job was checked once
 
 

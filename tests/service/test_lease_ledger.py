@@ -6,7 +6,6 @@ plus the v1 -> v2 migration and the ``set_status`` stale-error fix.
 """
 
 import sqlite3
-import time
 
 import pytest
 
@@ -17,8 +16,11 @@ from .conftest import small_spec
 
 
 @pytest.fixture
-def ledger(tmp_path):
-    return JobLedger(tmp_path / "jobs.ledger")
+def ledger(tmp_path, virtual_clock):
+    """A ledger on the shared virtual clock: leases expire only when
+    the test advances the dial, so none of these tests can race real
+    time under CPU contention (the old ``time.sleep(0.06)`` flake)."""
+    return JobLedger(tmp_path / "jobs.ledger", clock=virtual_clock)
 
 
 # -- seed sharding ------------------------------------------------------
@@ -51,7 +53,7 @@ def test_append_creates_shard_rows(ledger):
 
 
 # -- claiming -----------------------------------------------------------
-def test_claim_next_leases_oldest_shard(ledger):
+def test_claim_next_leases_oldest_shard(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1, 2], shards=2)
     claim = ledger.claim_next("w1", lease=30.0)
     assert claim is not None
@@ -59,7 +61,7 @@ def test_claim_next_leases_oldest_shard(ledger):
     assert claim.seeds == (1,)
     assert claim.token == 1
     assert claim.worker_id == "w1"
-    assert claim.lease_expires > time.time()
+    assert claim.lease_expires > virtual_clock.time()
     assert claim.name and claim.fingerprint and claim.spec
     # The parent job went running.
     assert ledger.get("j1").status == "running"
@@ -77,23 +79,23 @@ def test_claim_never_duplicates_across_workers(ledger):
     assert claims[4] is None and claims[5] is None
 
 
-def test_claim_skips_live_leases_but_takes_expired_ones(ledger):
+def test_claim_skips_live_leases_but_takes_expired_ones(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1], shards=1)
-    first = ledger.claim_next("w1", lease=0.05)
+    first = ledger.claim_next("w1", lease=5.0)
     assert first.token == 1
     assert ledger.claim_next("w2") is None  # lease still live
-    time.sleep(0.06)
+    virtual_clock.advance(6.0)
     stolen = ledger.claim_next("w2")  # expired: claimable again
     assert stolen is not None
     assert stolen.token == 2
     assert ledger.shards("j1")[0].claimed_by == "w2"
 
 
-def test_claim_respects_max_attempts(ledger):
+def test_claim_respects_max_attempts(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1], shards=1)
-    claim = ledger.claim_next("w1", lease=0.01, max_attempts=1)
+    claim = ledger.claim_next("w1", lease=1.0, max_attempts=1)
     assert claim.token == 1
-    time.sleep(0.02)
+    virtual_clock.advance(2.0)
     # The single allowed attempt is burned: unclaimable even expired.
     assert ledger.claim_next("w2", max_attempts=1) is None
 
@@ -115,10 +117,10 @@ def test_heartbeat_extends_live_lease(ledger):
     assert after > before
 
 
-def test_heartbeat_fenced_after_reclaim(ledger):
+def test_heartbeat_fenced_after_reclaim(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1], shards=1)
-    old = ledger.claim_next("w1", lease=0.01)
-    time.sleep(0.02)
+    old = ledger.claim_next("w1", lease=1.0)
+    virtual_clock.advance(2.0)
     new = ledger.claim_next("w2", lease=30.0)
     assert new.token == old.token + 1
     # The dispossessed worker's writes are all no-ops now.
@@ -171,14 +173,14 @@ def test_fail_shard_terminal_fails_job(ledger):
 
 
 # -- stale-lease reaping ------------------------------------------------
-def test_expire_stale_requeues_dead_workers_shards(ledger):
+def test_expire_stale_requeues_dead_workers_shards(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1, 2], shards=2)
-    # The w1 lease must comfortably outlive the w2 claim call below —
-    # if it expires in between, w2 *steals* shard 0 instead of
-    # claiming shard 1 and the scenario evaporates (seen on slow CI).
-    ledger.claim_next("w1", lease=0.3)
-    live = ledger.claim_next("w2", lease=60.0)
-    time.sleep(0.35)
+    # Virtual time: the w1 lease cannot expire between these two claim
+    # calls (the old wall-clock version of this test lost shard 0 to
+    # w2 on slow CI), only at the explicit advance below.
+    ledger.claim_next("w1", lease=30.0)
+    live = ledger.claim_next("w2", lease=600.0)
+    virtual_clock.advance(35.0)
     requeued, failed = ledger.expire_stale()
     assert (requeued, failed) == (1, 0)
     shards = {s.shard: s for s in ledger.shards("j1")}
@@ -190,10 +192,10 @@ def test_expire_stale_requeues_dead_workers_shards(ledger):
     assert live.token == 1
 
 
-def test_expire_stale_terminally_fails_exhausted_shards(ledger):
+def test_expire_stale_terminally_fails_exhausted_shards(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1], shards=1)
-    ledger.claim_next("w1", lease=0.01, max_attempts=1)
-    time.sleep(0.02)
+    ledger.claim_next("w1", lease=1.0, max_attempts=1)
+    virtual_clock.advance(2.0)
     requeued, failed = ledger.expire_stale(max_attempts=1)
     assert (requeued, failed) == (0, 1)
     shard = ledger.shards("j1")[0]
@@ -214,11 +216,11 @@ def test_expire_stale_spares_live_leases_even_at_max_attempts(ledger):
     assert ledger.shards("j1")[0].status == "running"
 
 
-def test_active_workers_lists_live_leases_only(ledger):
+def test_active_workers_lists_live_leases_only(ledger, virtual_clock):
     ledger.append("j1", small_spec(), [1, 2], shards=2)
-    ledger.claim_next("wa", lease=60.0)
-    ledger.claim_next("wb", lease=0.01)
-    time.sleep(0.02)
+    ledger.claim_next("wa", lease=600.0)
+    ledger.claim_next("wb", lease=1.0)
+    virtual_clock.advance(2.0)
     assert ledger.active_workers() == ["wa"]
 
 

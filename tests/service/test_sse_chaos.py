@@ -1,0 +1,151 @@
+"""SSE resilience under injected network chaos.
+
+Routes the event stream through :class:`repro.chaos.netproxy.ChaosProxy`
+and pins two liveness properties the viewer and every SSE consumer
+depend on:
+
+* heartbeat cadence survives a response stalled by the network — the
+  pings that keep intermediaries from reaping an idle stream still
+  arrive once the stall clears;
+* a client vanishing mid-stream (with a proxy hop in between) still
+  unsubscribes and frees the handler thread — the close propagates
+  through the relay instead of wedging it.
+"""
+
+import threading
+import time
+from http.client import HTTPConnection
+
+from repro.chaos.netproxy import ChaosProxy
+from repro.chaos.plan import NetChaos
+
+from .conftest import small_spec
+from .test_telemetry_http import _sse_connect, _sse_read, _submit
+
+
+def _connect_via(proxy, path):
+    conn = HTTPConnection("127.0.0.1", proxy.port, timeout=30)
+    conn.request("GET", path)
+    return conn, conn.getresponse()
+
+
+class TestSSEUnderDelay:
+    def test_heartbeats_survive_a_stalled_response(self, service_factory):
+        """Every proxied connection stalls 0.4 s before its first byte;
+        the queued job emits nothing but pings — they must keep coming
+        once the stall clears, on the server's own cadence."""
+        service, base = service_factory(auto_start=False, telemetry=True)
+        host, port = base.rsplit("//", 1)[1].split(":")
+        job = _submit(base, small_spec(), [0])
+        chaos = NetChaos(p_delay=1.0, delay=0.4)
+        with ChaosProxy((host, int(port)), chaos=chaos, seed=1) as proxy:
+            started = time.monotonic()
+            conn, response = _connect_via(
+                proxy, f"/v1/jobs/{job['id']}/events"
+            )
+            pings = 0
+            status_seen = False
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and pings < 2:
+                line = response.fp.readline().decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    pings += 1
+                elif line.startswith("event: status"):
+                    status_seen = True
+            elapsed = time.monotonic() - started
+            conn.close()
+        # The stall delayed the first byte but never broke the stream:
+        # the initial snapshot and at least two heartbeats got through.
+        assert status_seen
+        assert pings >= 2
+        assert elapsed >= 0.4  # the delay fault actually fired
+
+    def test_disconnect_through_proxy_frees_the_handler(
+        self, service_factory
+    ):
+        """The relay must propagate a client hang-up upstream: the
+        service notices, unsubscribes the dead stream and the handler
+        thread exits instead of writing into the proxy forever."""
+        service, base = service_factory(auto_start=False, telemetry=True)
+        host, port = base.rsplit("//", 1)[1].split(":")
+        job = _submit(base, small_spec(), [0])
+        baseline = threading.active_count()
+        with ChaosProxy((host, int(port)), chaos=NetChaos(), seed=2) as proxy:
+            conn, response = _connect_via(
+                proxy, f"/v1/jobs/{job['id']}/events"
+            )
+            _sse_read(response, until="status", max_events=1)
+            assert service.bus.stats()["subscribers"] == 1
+            response.close()
+            conn.close()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if service.bus.stats()["subscribers"] == 0:
+                    break
+                time.sleep(0.1)
+            assert service.bus.stats()["subscribers"] == 0
+        # Proxy relay threads are daemons tied to the closed sockets;
+        # once the subscription is gone the thread count settles back.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if threading.active_count() <= baseline:
+                break
+            time.sleep(0.1)
+        assert threading.active_count() <= baseline
+
+
+class TestSpoolTailRace:
+    def test_final_flush_during_terminal_check_is_not_lost(self, tmp_path):
+        """Regression (found by the E12 auditor): the spool tail drained
+        frames *before* checking job status, so a worker's final flush +
+        shard completion landing between the two reads was silently
+        dropped — the live stream emitted ``end`` without the tail
+        frames and replay diverged.  Deterministic re-creation: the
+        flush and the terminal transition happen inside the status
+        lookup itself, i.e. exactly inside the old race window."""
+        from repro.service import JobService, make_server
+        from repro.store import ExperimentStore, JobLedger
+
+        service = JobService(
+            str(tmp_path / "race.store"),
+            ledger=str(tmp_path / "race.ledger"),
+            dispatch=False,
+        )
+        server = make_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            spec = small_spec()
+            job = _submit(base, spec, [0])
+            store = ExperimentStore(str(tmp_path / "race.store"))
+            ledger = JobLedger(str(tmp_path / "race.ledger"))
+            real_lookup = service.lookup
+            calls = []
+
+            def racing_lookup(job_id):
+                calls.append(job_id)
+                # Call 1 is the route's snapshot; call 2 is the tail
+                # loop's status check.  The "worker" finishes right
+                # there: spool flush, then shard completion.
+                if len(calls) == 2:
+                    store.put_frames(spec, 0, ['{"seed": 0}', '{"seed": 0}'])
+                    claim = ledger.claim_next("w0")
+                    ledger.complete_shard(
+                        claim.job_id, claim.shard, "w0", claim.token
+                    )
+                return real_lookup(job_id)
+
+            service.lookup = racing_lookup
+            conn, response = _sse_connect(
+                base, f"/v1/jobs/{job['id']}/events"
+            )
+            events = _sse_read(response, until="end")
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop(wait=False)
+        frames = [d for kind, d in events if kind == "frame"]
+        assert len(frames) == 2  # the final flush still reached the client
+        assert events[-1][0] == "end"  # ...and the stream still terminated
